@@ -1,0 +1,80 @@
+#include "bench_common.hpp"
+
+#include <iostream>
+#include <stdexcept>
+
+namespace egoist::bench {
+
+RunResult run_and_score(overlay::Environment& env, overlay::EgoistNetwork& net,
+                        Score score, const RunOptions& options) {
+  auto sample_scores = [&]() -> std::vector<double> {
+    switch (score) {
+      case Score::kRoutingCost: return net.node_costs();
+      case Score::kBandwidth: return net.node_bandwidth_scores();
+      case Score::kEfficiency: return net.node_efficiencies();
+    }
+    throw std::logic_error("unknown score");
+  };
+
+  for (int e = 0; e < options.warmup_epochs; ++e) {
+    env.advance(options.epoch_seconds);
+    net.run_epoch();
+  }
+  std::vector<double> sums(net.size(), 0.0);
+  std::vector<int> counts(net.size(), 0);
+  int rewirings = 0;
+  for (int e = 0; e < options.sample_epochs; ++e) {
+    env.advance(options.epoch_seconds);
+    rewirings += net.run_epoch();
+    const auto online = net.online_nodes();
+    const auto scores = sample_scores();
+    for (std::size_t i = 0; i < online.size(); ++i) {
+      sums[static_cast<std::size_t>(online[i])] += scores[i];
+      counts[static_cast<std::size_t>(online[i])] += 1;
+    }
+  }
+  RunResult result;
+  for (std::size_t v = 0; v < sums.size(); ++v) {
+    if (counts[v] > 0) result.node_means.push_back(sums[v] / counts[v]);
+  }
+  result.summary = util::Summary::of(result.node_means);
+  result.rewirings_per_epoch =
+      options.sample_epochs > 0
+          ? static_cast<double>(rewirings) / options.sample_epochs
+          : 0.0;
+  return result;
+}
+
+CommonArgs CommonArgs::parse(const util::Flags& flags) {
+  CommonArgs args;
+  args.n = static_cast<std::size_t>(flags.get_int("n", static_cast<int>(args.n)));
+  args.seed = flags.get_seed("seed", args.seed);
+  args.warmup = flags.get_int("warmup", args.warmup);
+  args.sample = flags.get_int("sample", args.sample);
+  args.k_min = flags.get_int("k-min", args.k_min);
+  args.k_max = flags.get_int("k-max", args.k_max);
+  if (args.k_min < 1 || args.k_max < args.k_min) {
+    throw std::invalid_argument("need 1 <= k-min <= k-max");
+  }
+  return args;
+}
+
+RunOptions CommonArgs::run_options() const {
+  RunOptions options;
+  options.warmup_epochs = warmup;
+  options.sample_epochs = sample;
+  return options;
+}
+
+void print_figure_header(const std::string& figure, const std::string& caption) {
+  std::cout << "=== " << figure << " ===\n" << caption << "\n\n";
+}
+
+void finish_flags(const util::Flags& flags) {
+  const auto leftover = flags.unqueried();
+  if (!leftover.empty()) {
+    throw std::invalid_argument("unknown flag: --" + leftover.front());
+  }
+}
+
+}  // namespace egoist::bench

@@ -1,0 +1,63 @@
+// Shared driver for the figure-regeneration benches.
+//
+// Each bench binary reconstructs one figure of the paper: it deploys one
+// overlay per policy on a shared Environment, runs wiring epochs with the
+// substrate advancing in between, samples the per-node scores over the
+// tail of the run (the paper averages over long PlanetLab runs), and
+// prints the same normalized series the figure shows.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "overlay/network.hpp"
+#include "util/flags.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace egoist::bench {
+
+/// What a run measures.
+enum class Score {
+  kRoutingCost,   ///< uniform routing cost (delay / load), lower is better
+  kBandwidth,     ///< mean bottleneck bandwidth, higher is better
+  kEfficiency,    ///< mean 1/d efficiency (churn experiments)
+};
+
+struct RunOptions {
+  int warmup_epochs = 20;   ///< epochs before sampling starts
+  int sample_epochs = 10;   ///< epochs whose scores are averaged
+  double epoch_seconds = 60.0;
+};
+
+struct RunResult {
+  util::Summary summary;           ///< over per-node scores (paper's mean + CI)
+  std::vector<double> node_means;  ///< per-node mean over sampled epochs
+  double rewirings_per_epoch = 0.0;
+};
+
+/// Runs `net` for warmup + sample epochs, advancing `env` by epoch_seconds
+/// before each epoch, and collects the chosen score.
+RunResult run_and_score(overlay::Environment& env, overlay::EgoistNetwork& net,
+                        Score score, const RunOptions& options);
+
+/// Standard flags shared by the figure benches.
+struct CommonArgs {
+  std::size_t n = 50;
+  std::uint64_t seed = 42;
+  int warmup = 20;
+  int sample = 10;
+  int k_min = 2;
+  int k_max = 8;
+
+  static CommonArgs parse(const util::Flags& flags);
+  RunOptions run_options() const;
+};
+
+/// Prints a figure header in a consistent style.
+void print_figure_header(const std::string& figure, const std::string& caption);
+
+/// Rejects unknown flags (typo safety) after all get_* calls were made.
+void finish_flags(const util::Flags& flags);
+
+}  // namespace egoist::bench

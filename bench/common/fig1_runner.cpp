@@ -1,0 +1,64 @@
+#include "fig1_runner.hpp"
+
+#include <iostream>
+
+namespace egoist::bench {
+
+namespace {
+
+overlay::OverlayConfig policy_config(overlay::Policy policy, std::size_t k,
+                                     overlay::Metric metric, std::uint64_t seed) {
+  overlay::OverlayConfig config;
+  config.policy = policy;
+  config.k = k;
+  config.metric = metric;
+  config.seed = seed;
+  return config;
+}
+
+}  // namespace
+
+void run_fig1_panel(overlay::Metric metric, bool with_mesh,
+                    const CommonArgs& args) {
+  const bool bandwidth = metric == overlay::Metric::kBandwidth;
+  const Score score = bandwidth ? Score::kBandwidth : Score::kRoutingCost;
+
+  std::vector<std::string> columns{"k",        "BR(abs)",   "k-Random",
+                                   "k-Regular", "k-Closest"};
+  if (with_mesh) columns.push_back("FullMesh");
+  util::Table table(columns);
+
+  for (int k = args.k_min; k <= args.k_max; ++k) {
+    // A fresh but identically-seeded environment per policy: every policy
+    // sees the same substrate realization, mirroring the paper's
+    // concurrently deployed per-policy agents.
+    auto run_policy = [&](overlay::Policy policy, std::size_t use_k) {
+      overlay::Environment env(args.n, args.seed);
+      overlay::EgoistNetwork net(
+          env, policy_config(policy, use_k, metric, args.seed ^ use_k));
+      return run_and_score(env, net, score, args.run_options());
+    };
+
+    const auto br = run_policy(overlay::Policy::kBestResponse,
+                               static_cast<std::size_t>(k));
+    auto normalized = [&](const RunResult& r) {
+      // Cost metrics: policy/BR (>= 1). Bandwidth: policy/BR (<= 1).
+      return r.summary.mean / br.summary.mean;
+    };
+
+    std::vector<double> row{
+        static_cast<double>(k), br.summary.mean,
+        normalized(run_policy(overlay::Policy::kRandom, static_cast<std::size_t>(k))),
+        normalized(run_policy(overlay::Policy::kRegular, static_cast<std::size_t>(k))),
+        normalized(run_policy(overlay::Policy::kClosest, static_cast<std::size_t>(k)))};
+    if (with_mesh) {
+      row.push_back(normalized(run_policy(overlay::Policy::kFullMesh, args.n - 1)));
+    }
+    table.add_numeric_row(row, 3);
+  }
+  table.write_ascii(std::cout);
+  std::cout << "\n(normalized to BR; cost metrics: >1 means worse than BR,\n"
+               " bandwidth: <1 means less aggregate bandwidth than BR)\n";
+}
+
+}  // namespace egoist::bench

@@ -1,0 +1,18 @@
+// Shared driver for the four panels of Fig 1: individual cost of each
+// neighbor-selection policy, normalized by BR, as a function of k.
+#pragma once
+
+#include "bench_common.hpp"
+
+namespace egoist::bench {
+
+/// Runs one Fig 1 panel and prints its table.
+///
+/// For cost metrics (delay/load) the series are cost(policy)/cost(BR) >= 1;
+/// for bandwidth the series are bw(policy)/bw(BR) <= 1 (paper's
+/// "Total Av.Bwth / BR Av.Bwth"). `with_mesh` adds the full-mesh reference
+/// (k = n-1), the RON-style lower bound of the top-left panel.
+void run_fig1_panel(overlay::Metric metric, bool with_mesh,
+                    const CommonArgs& args);
+
+}  // namespace egoist::bench

@@ -1,0 +1,70 @@
+// Multipath file transfer through EGOIST first-hop neighbors (§6.1).
+//
+//   $ ./build/examples/multipath_transfer [--n=40] [--k=5]
+//
+// Builds a bandwidth-metric BR overlay, then shows — for a sample
+// source/target pair — how redirecting parallel sessions through overlay
+// neighbors that exit via different AS peering points multiplies the
+// end-to-end rate compared to the single rate-limited IP path.
+#include <iostream>
+
+#include "apps/multipath.hpp"
+#include "overlay/network.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) try {
+  using namespace egoist;
+
+  const util::Flags flags(argc, argv);
+  const auto n = static_cast<std::size_t>(flags.get_int("n", 40));
+  const auto k = static_cast<std::size_t>(flags.get_int("k", 5));
+  const auto seed = flags.get_seed("seed", 11);
+  const int src = flags.get_int("src", 0);
+  const int dst = flags.get_int("dst", static_cast<int>(n) - 1);
+
+  overlay::Environment env(n, seed);
+  overlay::OverlayConfig config;
+  config.policy = overlay::Policy::kBestResponse;
+  config.metric = overlay::Metric::kBandwidth;
+  config.k = k;
+  config.seed = seed;
+  overlay::EgoistNetwork net(env, config);
+  for (int e = 0; e < 10; ++e) {
+    env.advance(60.0);
+    net.run_epoch();
+  }
+
+  const net::PeeringModel peering(n, seed ^ 0xA5u, 2, 4, 2.0);
+  const auto overlay_bw = net.true_bandwidth_graph();
+
+  const double ip = apps::ip_path_rate(env.bandwidth(), peering, src, dst);
+  const auto mp =
+      apps::parallel_transfer(overlay_bw, env.bandwidth(), peering, src, dst);
+  const double bound = apps::maxflow_rate(overlay_bw, peering, src, dst);
+
+  std::cout << "Multipath transfer " << src << " -> " << dst << " (n=" << n
+            << ", k=" << k << ")\n\n";
+  std::cout << "Source AS is multihomed to " << peering.providers(src)
+            << " peering points; each session is rate-limited at its exit.\n\n";
+
+  util::Table table({"session via", "egress point", "rate (Mbps)"});
+  for (std::size_t s = 0; s < mp.first_hops.size(); ++s) {
+    table.add_row({std::to_string(mp.first_hops[s]),
+                   std::to_string(peering.egress_point(src, mp.first_hops[s])),
+                   util::Table::format(mp.session_rates[s], 2)});
+  }
+  table.write_ascii(std::cout);
+
+  std::cout << "\nsingle IP-path session: " << util::Table::format(ip, 2)
+            << " Mbps\n";
+  std::cout << "parallel via overlay:   " << util::Table::format(mp.total_rate, 2)
+            << " Mbps (" << mp.distinct_egress_points << " egress points, gain "
+            << util::Table::format(mp.total_rate / ip, 2) << "x)\n";
+  std::cout << "max-flow upper bound:   " << util::Table::format(bound, 2)
+            << " Mbps\n";
+  return 0;
+} catch (const std::exception& e) {
+  std::cerr << "error: " << e.what() << '\n';
+  return 1;
+}

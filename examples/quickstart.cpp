@@ -1,0 +1,61 @@
+// Quickstart: stand up an EGOIST overlay and watch selfish neighbor
+// selection beat the common heuristics.
+//
+//   $ ./build/examples/quickstart [--n=30] [--k=3] [--epochs=15]
+//
+// The example builds a PlanetLab-like substrate, deploys four overlays on
+// it (Best-Response, k-Random, k-Regular, k-Closest), runs a few wiring
+// epochs, and prints each overlay's mean routing delay.
+#include <iostream>
+
+#include "overlay/network.hpp"
+#include "util/flags.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) try {
+  using namespace egoist;
+
+  const util::Flags flags(argc, argv);
+  const auto n = static_cast<std::size_t>(flags.get_int("n", 30));
+  const auto k = static_cast<std::size_t>(flags.get_int("k", 3));
+  const int epochs = flags.get_int("epochs", 15);
+  const auto seed = flags.get_seed("seed", 7);
+
+  std::cout << "EGOIST quickstart: n=" << n << " nodes, k=" << k
+            << " neighbors each, " << epochs << " one-minute epochs\n\n";
+
+  util::Table table({"policy", "mean delay (ms)", "ci95", "re-wirings"});
+  for (const auto policy :
+       {overlay::Policy::kBestResponse, overlay::Policy::kRandom,
+        overlay::Policy::kRegular, overlay::Policy::kClosest}) {
+    // Each policy gets an identically seeded substrate: a fair, concurrent
+    // comparison exactly like the paper's parallel PlanetLab agents.
+    overlay::Environment env(n, seed);
+
+    overlay::OverlayConfig config;
+    config.policy = policy;
+    config.k = k;
+    config.metric = overlay::Metric::kDelayPing;
+    config.seed = seed;
+    overlay::EgoistNetwork net(env, config);
+
+    for (int e = 0; e < epochs; ++e) {
+      env.advance(60.0);  // substrate drifts between epochs
+      net.run_epoch();    // every node re-evaluates its wiring
+    }
+
+    const auto costs = util::Summary::of(net.node_costs());
+    table.add_row({overlay::to_string(policy),
+                   util::Table::format(costs.mean, 1),
+                   util::Table::format(costs.ci95, 1),
+                   std::to_string(net.total_rewirings())});
+  }
+  table.write_ascii(std::cout);
+  std::cout << "\nBest-Response buys each node (and the overlay as a whole) "
+               "shorter routes\nwith the same per-node link budget k.\n";
+  return 0;
+} catch (const std::exception& e) {
+  std::cerr << "error: " << e.what() << '\n';
+  return 1;
+}

@@ -1,0 +1,83 @@
+#include "apps/multipath.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "graph/maxflow.hpp"
+#include "graph/widest_path.hpp"
+
+namespace egoist::apps {
+
+double ip_path_rate(const net::BandwidthModel& bw, const net::PeeringModel& peering,
+                    NodeId src, NodeId dst) {
+  if (src == dst) throw std::invalid_argument("src == dst");
+  const int point = peering.egress_point(src, dst);
+  return std::min(peering.session_cap(src, point), bw.avail_bw(src, dst));
+}
+
+MultipathResult parallel_transfer(const graph::Digraph& overlay,
+                                  const net::BandwidthModel& bw,
+                                  const net::PeeringModel& peering, NodeId src,
+                                  NodeId dst) {
+  overlay.check_node(src);
+  overlay.check_node(dst);
+  if (src == dst) throw std::invalid_argument("src == dst");
+
+  // Residual widest paths from each neighbor to dst, excluding src as a
+  // relay (sessions leave src exactly once).
+  graph::Digraph residual(overlay.node_count());
+  for (std::size_t u = 0; u < overlay.node_count(); ++u) {
+    const auto uid = static_cast<NodeId>(u);
+    residual.set_active(uid, overlay.is_active(uid));
+    if (uid == src) continue;
+    for (const auto& e : overlay.out_edges(uid)) residual.set_edge(uid, e.to, e.weight);
+  }
+
+  MultipathResult result;
+  // Sessions grouped by egress point share that point's per-session-cap
+  // budget: the first session through a point gets the cap, further ones
+  // are treated as the same "session" by the shaper and add nothing
+  // (conservative model of per-(src,dst)-pair session limits).
+  std::map<int, double> egress_budget;
+  for (const auto& e : overlay.out_edges(src)) {
+    if (!overlay.is_active(e.to)) continue;
+    const NodeId via = e.to;
+    double path_bw;
+    if (via == dst) {
+      path_bw = bw.avail_bw(src, dst);
+    } else {
+      if (!residual.is_active(via)) continue;
+      const auto widest = graph::widest_paths(residual, via);
+      const double downstream = widest.bottleneck[static_cast<std::size_t>(dst)];
+      path_bw = std::min(bw.avail_bw(src, via), downstream);
+    }
+    const int point = peering.egress_point(src, via);
+    if (!egress_budget.count(point)) {
+      egress_budget[point] = peering.session_cap(src, point);
+    }
+    const double rate = std::min(path_bw, egress_budget[point]);
+    egress_budget[point] -= rate;
+    result.session_rates.push_back(rate);
+    result.first_hops.push_back(via);
+    result.total_rate += rate;
+  }
+  int distinct = 0;
+  for (const auto& [point, budget] : egress_budget) {
+    (void)budget;
+    ++distinct;
+  }
+  result.distinct_egress_points = distinct;
+  return result;
+}
+
+double maxflow_rate(const graph::Digraph& overlay, const net::PeeringModel& peering,
+                    NodeId src, NodeId dst) {
+  overlay.check_node(src);
+  overlay.check_node(dst);
+  if (src == dst) throw std::invalid_argument("src == dst");
+  const double flow = graph::max_flow_on_graph(overlay, src, dst);
+  return std::min(flow, peering.max_aggregate_rate(src));
+}
+
+}  // namespace egoist::apps

@@ -1,0 +1,55 @@
+// Multipath file transfer over EGOIST (§6.1, Fig 9/10).
+//
+// A source vi opens up to k parallel sessions to a target vj, each
+// redirected through a different first-hop EGOIST neighbor. Sessions are
+// rate-limited per (source, target) pair at AS peering points, so
+// redirecting through neighbors that exit via *different* peering points
+// multiplies the achievable aggregate rate — up to |AS_i| x the
+// per-session cap, further limited by downstream overlay bottlenecks.
+//
+// Three quantities are computed per source/target pair, matching Fig 10:
+//  - ip_path_rate: one session over the native IP path.
+//  - parallel_rate: k sessions through the source's overlay neighbors.
+//  - maxflow_rate: the upper bound when every peer allows redirection
+//    (max-flow over the bandwidth-weighted overlay).
+#pragma once
+
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "net/bandwidth.hpp"
+
+namespace egoist::apps {
+
+using graph::NodeId;
+
+/// Rate achieved by a single session src -> dst over the native IP path:
+/// bounded by the peering-point session cap and the IP path's bandwidth.
+double ip_path_rate(const net::BandwidthModel& bw, const net::PeeringModel& peering,
+                    NodeId src, NodeId dst);
+
+/// Breakdown of a multipath transfer through the overlay.
+struct MultipathResult {
+  double total_rate = 0.0;                 ///< sum over sessions (Mbps)
+  std::vector<double> session_rates;       ///< per first-hop neighbor
+  std::vector<NodeId> first_hops;          ///< the neighbors used
+  int distinct_egress_points = 0;          ///< peering points exercised
+};
+
+/// Rate achieved by parallel sessions through each overlay neighbor of
+/// `src` in `overlay` (edge weights = available bandwidth). Each session's
+/// rate = min(cap at its egress point, first-hop bw, widest residual path
+/// from the neighbor to dst). Sessions sharing an egress point share its
+/// cap (the paper's point: same peering point => same rate limit).
+MultipathResult parallel_transfer(const graph::Digraph& overlay,
+                                  const net::BandwidthModel& bw,
+                                  const net::PeeringModel& peering, NodeId src,
+                                  NodeId dst);
+
+/// Theoretical best: max-flow from src to dst over the bandwidth-weighted
+/// overlay when all peers redirect (Fig 10's upper curve), still capped by
+/// the source's aggregate peering capacity.
+double maxflow_rate(const graph::Digraph& overlay, const net::PeeringModel& peering,
+                    NodeId src, NodeId dst);
+
+}  // namespace egoist::apps

@@ -1,0 +1,109 @@
+#include "apps/streaming.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "graph/maxflow.hpp"
+
+namespace egoist::apps {
+
+int disjoint_path_count(const graph::Digraph& overlay, NodeId src, NodeId dst) {
+  return graph::edge_disjoint_paths(overlay, src, dst);
+}
+
+std::vector<std::vector<NodeId>> extract_disjoint_paths(
+    const graph::Digraph& overlay, NodeId src, NodeId dst, int max_paths) {
+  overlay.check_node(src);
+  overlay.check_node(dst);
+  if (src == dst) throw std::invalid_argument("src == dst");
+  if (max_paths < 0) throw std::invalid_argument("max_paths must be >= 0");
+
+  // Unit-capacity max flow, then decompose the integral flow into paths.
+  graph::MaxFlow mf(overlay.node_count());
+  std::vector<std::pair<NodeId, NodeId>> arc_ends;
+  for (std::size_t u = 0; u < overlay.node_count(); ++u) {
+    const auto uid = static_cast<NodeId>(u);
+    if (!overlay.is_active(uid)) continue;
+    for (const auto& e : overlay.out_edges(uid)) {
+      if (!overlay.is_active(e.to)) continue;
+      mf.add_arc(uid, e.to, 1.0);
+      arc_ends.emplace_back(uid, e.to);
+    }
+  }
+  mf.max_flow(src, dst);
+
+  // Adjacency of saturated arcs (each usable exactly once).
+  std::multimap<NodeId, NodeId> flow_out;
+  for (std::size_t a = 0; a < arc_ends.size(); ++a) {
+    if (mf.arc_flow(a) > 0.5) flow_out.emplace(arc_ends[a].first, arc_ends[a].second);
+  }
+
+  std::vector<std::vector<NodeId>> paths;
+  while (static_cast<int>(paths.size()) < max_paths) {
+    std::vector<NodeId> path{src};
+    NodeId at = src;
+    bool reached = false;
+    while (true) {
+      const auto it = flow_out.find(at);
+      if (it == flow_out.end()) break;  // dead end (cycle remnants)
+      at = it->second;
+      flow_out.erase(it);
+      path.push_back(at);
+      if (at == dst) {
+        reached = true;
+        break;
+      }
+      if (path.size() > overlay.node_count() + 1) break;  // stuck in a flow cycle
+    }
+    if (!reached) break;
+    paths.push_back(std::move(path));
+  }
+  return paths;
+}
+
+StreamingResult simulate_redundant_streaming(
+    const graph::Digraph& overlay, const std::vector<std::vector<NodeId>>& paths,
+    const StreamingConfig& config, util::Rng& rng) {
+  if (config.packets < 0) throw std::invalid_argument("packets must be >= 0");
+  if (config.per_hop_loss < 0.0 || config.per_hop_loss > 1.0) {
+    throw std::invalid_argument("loss probability in [0, 1]");
+  }
+  // Base propagation per path from the overlay edge weights.
+  std::vector<double> base_delay;
+  base_delay.reserve(paths.size());
+  std::vector<std::size_t> hops;
+  for (const auto& path : paths) {
+    if (path.size() < 2) throw std::invalid_argument("path needs >= 2 nodes");
+    double d = 0.0;
+    for (std::size_t h = 0; h + 1 < path.size(); ++h) {
+      d += overlay.edge_weight(path[h], path[h + 1]);
+    }
+    base_delay.push_back(d);
+    hops.push_back(path.size() - 1);
+  }
+
+  StreamingResult result;
+  result.packets = config.packets;
+  for (int p = 0; p < config.packets; ++p) {
+    bool in_time = false;
+    for (std::size_t i = 0; i < paths.size() && !in_time; ++i) {
+      bool lost = false;
+      double delay = base_delay[i];
+      for (std::size_t h = 0; h < hops[i]; ++h) {
+        if (rng.chance(config.per_hop_loss)) {
+          lost = true;
+          break;
+        }
+        if (config.per_hop_jitter_ms > 0.0) {
+          delay += rng.exponential_mean(config.per_hop_jitter_ms);
+        }
+      }
+      if (!lost && delay <= config.playout_deadline_ms) in_time = true;
+    }
+    if (in_time) ++result.delivered_in_time;
+  }
+  return result;
+}
+
+}  // namespace egoist::apps

@@ -1,0 +1,53 @@
+// Real-time traffic over disjoint overlay paths (§6.2, Fig 11).
+//
+// Delay/loss-sensitive streams send redundant copies over multiple disjoint
+// overlay paths so that at least one copy of each packet beats the playout
+// deadline. This module (a) counts the disjoint paths EGOIST exposes
+// between a pair (Fig 11's metric: it "increases linearly with the number
+// of parallel connections"), and (b) simulates redundant transmission over
+// those paths — the experiment the paper defers to future work — reporting
+// the fraction of packets delivered by their playout time.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "net/delay_space.hpp"
+#include "util/rng.hpp"
+
+namespace egoist::apps {
+
+using graph::NodeId;
+
+/// Edge-disjoint directed overlay paths src -> dst (Fig 11's y-axis).
+int disjoint_path_count(const graph::Digraph& overlay, NodeId src, NodeId dst);
+
+/// Extracts up to `max_paths` edge-disjoint paths (node sequences) via
+/// successive widest/shortest augmentation on a unit-capacity copy.
+std::vector<std::vector<NodeId>> extract_disjoint_paths(
+    const graph::Digraph& overlay, NodeId src, NodeId dst, int max_paths);
+
+struct StreamingConfig {
+  double playout_deadline_ms = 250.0;  ///< end-to-end budget per packet
+  double per_hop_jitter_ms = 8.0;      ///< exponential jitter per overlay hop
+  double per_hop_loss = 0.01;          ///< iid loss probability per hop
+  int packets = 2000;
+};
+
+struct StreamingResult {
+  int packets = 0;
+  int delivered_in_time = 0;  ///< >= 1 copy arrived before the deadline
+  double delivery_ratio() const {
+    return packets == 0 ? 0.0
+                        : static_cast<double>(delivered_in_time) / packets;
+  }
+};
+
+/// Simulates sending every packet redundantly over all `paths`
+/// (node sequences; edge weights in `overlay` are per-hop delays in ms).
+StreamingResult simulate_redundant_streaming(
+    const graph::Digraph& overlay, const std::vector<std::vector<NodeId>>& paths,
+    const StreamingConfig& config, util::Rng& rng);
+
+}  // namespace egoist::apps

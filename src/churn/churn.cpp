@@ -1,0 +1,97 @@
+#include "churn/churn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace egoist::churn {
+
+ChurnTrace::ChurnTrace(std::size_t n, double horizon_s, std::uint64_t seed,
+                       ChurnConfig config)
+    : n_(n), horizon_(horizon_s) {
+  if (n == 0) throw std::invalid_argument("need >= 1 node");
+  if (horizon_s <= 0.0) throw std::invalid_argument("horizon must be positive");
+  if (config.timescale <= 0.0) throw std::invalid_argument("timescale must be > 0");
+  if (config.initial_on_fraction < 0.0 || config.initial_on_fraction > 1.0) {
+    throw std::invalid_argument("initial_on_fraction in [0, 1]");
+  }
+  util::Rng rng(seed);
+  initial_on_.resize(n);
+  // Pareto with mean = x_m * alpha / (alpha - 1)  =>  x_m from target mean.
+  const double alpha = config.pareto_alpha;
+  if (alpha <= 1.0) throw std::invalid_argument("pareto_alpha must exceed 1");
+  const double on_scale =
+      config.mean_on_s * config.timescale * (alpha - 1.0) / alpha;
+  const double off_mean = config.mean_off_s * config.timescale;
+
+  for (std::size_t v = 0; v < n; ++v) {
+    bool on = rng.chance(config.initial_on_fraction);
+    initial_on_[v] = on;
+    // Start mid-session: residual duration ~ the full distribution (close
+    // enough for our purposes; exact stationary residuals are heavier).
+    double t = 0.0;
+    while (t < horizon_s) {
+      const double duration =
+          on ? rng.pareto(on_scale, alpha) : rng.exponential_mean(off_mean);
+      t += duration;
+      if (t >= horizon_s) break;
+      on = !on;
+      events_.push_back(ChurnEvent{t, static_cast<int>(v), on});
+    }
+  }
+  std::sort(events_.begin(), events_.end(),
+            [](const ChurnEvent& a, const ChurnEvent& b) {
+              if (a.time != b.time) return a.time < b.time;
+              return a.node < b.node;
+            });
+}
+
+double ChurnTrace::churn_rate() const {
+  return ::egoist::churn::churn_rate(events_, initial_on_, horizon_);
+}
+
+double ChurnTrace::mean_availability() const {
+  std::vector<bool> on = initial_on_;
+  std::size_t on_count = static_cast<std::size_t>(
+      std::count(on.begin(), on.end(), true));
+  double weighted = 0.0;
+  double prev = 0.0;
+  for (const ChurnEvent& ev : events_) {
+    weighted += static_cast<double>(on_count) * (ev.time - prev);
+    prev = ev.time;
+    const auto idx = static_cast<std::size_t>(ev.node);
+    if (on[idx] != ev.on) {
+      on[idx] = ev.on;
+      on_count += ev.on ? 1 : std::size_t(-1);
+    }
+  }
+  weighted += static_cast<double>(on_count) * (horizon_ - prev);
+  return weighted / (horizon_ * static_cast<double>(n_));
+}
+
+double churn_rate(const std::vector<ChurnEvent>& events,
+                  const std::vector<bool>& initial_on, double horizon_s) {
+  if (horizon_s <= 0.0) throw std::invalid_argument("horizon must be positive");
+  std::vector<bool> on = initial_on;
+  std::size_t on_count =
+      static_cast<std::size_t>(std::count(on.begin(), on.end(), true));
+  double total = 0.0;
+  for (const ChurnEvent& ev : events) {
+    if (ev.node < 0 || static_cast<std::size_t>(ev.node) >= on.size()) {
+      throw std::out_of_range("event node out of range");
+    }
+    const auto idx = static_cast<std::size_t>(ev.node);
+    if (on[idx] == ev.on) continue;  // no membership change
+    const std::size_t before = on_count;
+    on[idx] = ev.on;
+    on_count += ev.on ? 1 : std::size_t(-1);
+    const std::size_t denom = std::max(before, on_count);
+    if (denom > 0) {
+      // |U_{i-1} symmetric-diff U_i| = 1 for a single join/leave.
+      total += 1.0 / static_cast<double>(denom);
+    }
+  }
+  return total / horizon_s;
+}
+
+}  // namespace egoist::churn

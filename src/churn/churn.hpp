@@ -1,0 +1,72 @@
+// Node churn: ON/OFF processes, trace synthesis, and the churn-rate metric.
+//
+// §4.4 drives churn from "real data sets of the churn observed for
+// PlanetLab nodes [Godfrey et al.], with adjustments to the timescale to
+// control the intensity". We do not ship that proprietary trace; instead
+// ChurnTrace synthesizes ON/OFF schedules with the same structure: session
+// (ON) durations are heavy-tailed (Pareto) — a few long-lived stable hosts,
+// many short-lived ones — and downtimes are exponential. The `timescale`
+// knob shrinks all durations uniformly, exactly the paper's intensity
+// adjustment.
+//
+// The churn rate metric is the paper's:
+//   Churn = (1/T) * sum_i |U_{i-1} symmetric-diff U_i| / max(|U_{i-1}|, |U_i|)
+// where U_i is the node set after membership event i.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace egoist::churn {
+
+/// One membership change: `node` turns ON (joins) or OFF (leaves) at `time`.
+struct ChurnEvent {
+  double time = 0.0;
+  int node = -1;
+  bool on = false;
+};
+
+struct ChurnConfig {
+  double mean_on_s = 3600.0;   ///< mean session length before timescale
+  double mean_off_s = 600.0;   ///< mean downtime before timescale
+  double pareto_alpha = 1.5;   ///< ON-duration tail index (heavy-tailed)
+  double timescale = 1.0;      ///< <1 accelerates churn (paper's knob)
+  double initial_on_fraction = 1.0;  ///< fraction of nodes ON at t=0
+};
+
+/// A synthesized churn schedule for n nodes over [0, horizon).
+class ChurnTrace {
+ public:
+  ChurnTrace(std::size_t n, double horizon_s, std::uint64_t seed,
+             ChurnConfig config = {});
+
+  /// All events, sorted by time.
+  const std::vector<ChurnEvent>& events() const { return events_; }
+
+  /// Nodes ON at t=0.
+  const std::vector<bool>& initial_on() const { return initial_on_; }
+
+  std::size_t node_count() const { return n_; }
+  double horizon() const { return horizon_; }
+
+  /// The paper's churn-rate metric over the whole trace.
+  double churn_rate() const;
+
+  /// Average fraction of nodes ON (time-weighted availability).
+  double mean_availability() const;
+
+ private:
+  std::size_t n_;
+  double horizon_;
+  std::vector<ChurnEvent> events_;
+  std::vector<bool> initial_on_;
+};
+
+/// The churn-rate metric for an arbitrary event sequence (must be sorted by
+/// time) given the initially-ON flags and observation horizon.
+double churn_rate(const std::vector<ChurnEvent>& events,
+                  const std::vector<bool>& initial_on, double horizon_s);
+
+}  // namespace egoist::churn

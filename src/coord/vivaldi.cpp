@@ -1,0 +1,123 @@
+#include "coord/vivaldi.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace egoist::coord {
+
+double Coordinate::distance_to(const Coordinate& other) const {
+  double sq = 0.0;
+  for (int d = 0; d < kDim; ++d) {
+    const double diff = position[static_cast<std::size_t>(d)] -
+                        other.position[static_cast<std::size_t>(d)];
+    sq += diff * diff;
+  }
+  return std::sqrt(sq) + height + other.height;
+}
+
+VivaldiSystem::VivaldiSystem(const net::DelaySpace& delays, std::uint64_t seed,
+                             VivaldiConfig config)
+    : delays_(delays), config_(config), rng_(seed) {
+  if (delays.size() < 2) throw std::invalid_argument("need >= 2 nodes");
+  coords_.resize(delays.size());
+  error_.assign(delays.size(), config_.initial_error);
+  // Small random starting offsets break the symmetry of the origin.
+  for (auto& c : coords_) {
+    for (double& p : c.position) p = rng_.uniform(-1.0, 1.0);
+    c.height = config_.min_height;
+  }
+}
+
+void VivaldiSystem::update(int node, int peer, double measured_rtt) {
+  Coordinate& self = coords_[static_cast<std::size_t>(node)];
+  const Coordinate& remote = coords_[static_cast<std::size_t>(peer)];
+  const double predicted = self.distance_to(remote);
+
+  const double sample_error =
+      measured_rtt > 0.0 ? std::abs(predicted - measured_rtt) / measured_rtt : 0.0;
+  double& self_err = error_[static_cast<std::size_t>(node)];
+  const double peer_err = error_[static_cast<std::size_t>(peer)];
+
+  // Weight of this sample: how confident we are relative to the peer.
+  const double w = self_err / std::max(self_err + peer_err, 1e-9);
+  self_err = std::clamp(
+      sample_error * config_.cc * w + self_err * (1.0 - config_.cc * w), 0.01, 2.0);
+
+  const double delta = config_.ce * w;
+  const double force = predicted - measured_rtt;  // >0: too far apart in model
+
+  // Unit vector from remote toward self; random direction when coincident.
+  std::array<double, Coordinate::kDim> dir{};
+  double norm = 0.0;
+  for (int d = 0; d < Coordinate::kDim; ++d) {
+    dir[static_cast<std::size_t>(d)] =
+        self.position[static_cast<std::size_t>(d)] -
+        remote.position[static_cast<std::size_t>(d)];
+    norm += dir[static_cast<std::size_t>(d)] * dir[static_cast<std::size_t>(d)];
+  }
+  norm = std::sqrt(norm);
+  if (norm < 1e-9) {
+    for (double& x : dir) x = rng_.normal(0.0, 1.0);
+    norm = 0.0;
+    for (double x : dir) norm += x * x;
+    norm = std::sqrt(std::max(norm, 1e-9));
+  }
+  // Move along the spring: shrink the gap when too far, grow when too near.
+  for (int d = 0; d < Coordinate::kDim; ++d) {
+    self.position[static_cast<std::size_t>(d)] -=
+        delta * force * dir[static_cast<std::size_t>(d)] / norm;
+  }
+  // Height absorbs the non-Euclidean (access link) part of the error.
+  self.height = std::max(config_.min_height, self.height - delta * force * 0.5);
+}
+
+void VivaldiSystem::tick() {
+  const int n = static_cast<int>(delays_.size());
+  for (int node = 0; node < n; ++node) {
+    int peer = static_cast<int>(rng_.uniform_int(0, n - 2));
+    if (peer >= node) ++peer;
+    update(node, peer, delays_.rtt(node, peer));
+  }
+}
+
+void VivaldiSystem::converge(int rounds) {
+  for (int r = 0; r < rounds; ++r) tick();
+}
+
+double VivaldiSystem::estimate_one_way(int i, int j) const {
+  if (i < 0 || j < 0 || static_cast<std::size_t>(i) >= coords_.size() ||
+      static_cast<std::size_t>(j) >= coords_.size()) {
+    throw std::out_of_range("node id out of range");
+  }
+  return coords_[static_cast<std::size_t>(i)].distance_to(
+             coords_[static_cast<std::size_t>(j)]) /
+         2.0;
+}
+
+double VivaldiSystem::median_relative_error() const {
+  std::vector<double> errs;
+  const int n = static_cast<int>(delays_.size());
+  errs.reserve(static_cast<std::size_t>(n) * (static_cast<std::size_t>(n) - 1) / 2);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      const double truth = delays_.rtt(i, j);
+      if (truth <= 0.0) continue;
+      const double predicted = coords_[static_cast<std::size_t>(i)].distance_to(
+          coords_[static_cast<std::size_t>(j)]);
+      errs.push_back(std::abs(predicted - truth) / truth);
+    }
+  }
+  return util::percentile(std::move(errs), 50.0);
+}
+
+const Coordinate& VivaldiSystem::coordinate(int node) const {
+  if (node < 0 || static_cast<std::size_t>(node) >= coords_.size()) {
+    throw std::out_of_range("node id out of range");
+  }
+  return coords_[static_cast<std::size_t>(node)];
+}
+
+}  // namespace egoist::coord

@@ -1,0 +1,124 @@
+#include "core/objective.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "graph/shortest_path.hpp"
+
+namespace egoist::core {
+
+namespace {
+
+void validate_common(NodeId self, const std::vector<NodeId>& candidates,
+                     std::size_t direct_size,
+                     const std::vector<std::vector<double>>& residual,
+                     const std::vector<NodeId>& targets) {
+  const std::size_t n = residual.size();
+  if (direct_size != n) {
+    throw std::invalid_argument("direct cost vector size mismatch");
+  }
+  for (const auto& row : residual) {
+    if (row.size() != n) throw std::invalid_argument("residual matrix not square");
+  }
+  auto in_range = [n](NodeId v) {
+    return v >= 0 && static_cast<std::size_t>(v) < n;
+  };
+  if (!in_range(self)) throw std::out_of_range("self out of range");
+  for (NodeId v : candidates) {
+    if (!in_range(v)) throw std::out_of_range("candidate out of range");
+    if (v == self) throw std::invalid_argument("self cannot be a candidate");
+  }
+  for (NodeId j : targets) {
+    if (!in_range(j)) throw std::out_of_range("target out of range");
+  }
+}
+
+}  // namespace
+
+double WiringObjective::no_link_value() const {
+  return maximize_link_value() ? 0.0 : graph::kUnreachable;
+}
+
+double WiringObjective::cost(std::span<const NodeId> wiring) const {
+  const bool maximize = maximize_link_value();
+  double total = 0.0;
+  for (NodeId j : targets()) {
+    if (j == self()) continue;
+    double best = no_link_value();
+    for (NodeId v : wiring) {
+      const double value = link_value(v, j);
+      best = maximize ? std::max(best, value) : std::min(best, value);
+    }
+    total += target_weight(j) * fold(best);
+  }
+  return total;
+}
+
+DelayObjective::DelayObjective(NodeId self, std::vector<NodeId> candidates,
+                               std::vector<double> direct_cost,
+                               std::vector<std::vector<double>> residual_dist,
+                               std::vector<double> preference,
+                               std::vector<NodeId> targets,
+                               double unreachable_penalty)
+    : self_(self),
+      candidates_(std::move(candidates)),
+      direct_cost_(std::move(direct_cost)),
+      residual_dist_(std::move(residual_dist)),
+      preference_(std::move(preference)),
+      targets_(std::move(targets)),
+      unreachable_penalty_(unreachable_penalty) {
+  validate_common(self_, candidates_, direct_cost_.size(), residual_dist_, targets_);
+  if (preference_.size() != residual_dist_.size()) {
+    throw std::invalid_argument("preference vector size mismatch");
+  }
+  if (unreachable_penalty_ < 0.0) {
+    throw std::invalid_argument("penalty must be non-negative");
+  }
+}
+
+double DelayObjective::link_value(NodeId v, NodeId j) const {
+  if (v == j) return direct_cost_[static_cast<std::size_t>(v)];
+  const double through =
+      residual_dist_[static_cast<std::size_t>(v)][static_cast<std::size_t>(j)];
+  if (through == graph::kUnreachable) return graph::kUnreachable;
+  return direct_cost_[static_cast<std::size_t>(v)] + through;
+}
+
+double DelayObjective::fold(double best_value) const {
+  return best_value == graph::kUnreachable ? unreachable_penalty_ : best_value;
+}
+
+double DelayObjective::distance_to(std::span<const NodeId> wiring, NodeId j) const {
+  double best = graph::kUnreachable;
+  for (NodeId v : wiring) best = std::min(best, link_value(v, j));
+  return best;
+}
+
+BandwidthObjective::BandwidthObjective(NodeId self, std::vector<NodeId> candidates,
+                                       std::vector<double> direct_bw,
+                                       std::vector<std::vector<double>> residual_bw,
+                                       std::vector<NodeId> targets)
+    : self_(self),
+      candidates_(std::move(candidates)),
+      direct_bw_(std::move(direct_bw)),
+      residual_bw_(std::move(residual_bw)),
+      targets_(std::move(targets)) {
+  validate_common(self_, candidates_, direct_bw_.size(), residual_bw_, targets_);
+}
+
+double BandwidthObjective::link_value(NodeId v, NodeId j) const {
+  const double direct = direct_bw_[static_cast<std::size_t>(v)];
+  if (v == j) return direct;
+  return std::min(
+      direct,
+      residual_bw_[static_cast<std::size_t>(v)][static_cast<std::size_t>(j)]);
+}
+
+double BandwidthObjective::bandwidth_to(std::span<const NodeId> wiring,
+                                        NodeId j) const {
+  double best = 0.0;
+  for (NodeId w : wiring) best = std::max(best, link_value(w, j));
+  return best;
+}
+
+}  // namespace egoist::core

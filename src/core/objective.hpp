@@ -1,0 +1,140 @@
+// Local wiring objectives — the cost functions nodes minimize.
+//
+// A node i evaluating a candidate neighbor set s only needs (a) the direct
+// link cost from i to every candidate, and (b) the residual-graph distances
+// d_{G-i}(v, j) from every candidate v to every destination j (i's own
+// out-edges cannot improve routes that leave through a neighbor, since a
+// path re-entering i would have to exit through the same wiring again).
+// That makes BR a weighted facility-location-style problem over
+// precomputed matrices:
+//
+//   delay/load:  C_i(s) = sum_j p_ij * min_{v in s} (d_iv + d_{G-i}(v, j))
+//   bandwidth:   B_i(s) = sum_j max_{w in s} min(bw_iw, W_{G-i}(w, j))
+//
+// Both decompose per target as  cost = sum_j w_j * fold(best_{v in s}
+// link_value(v, j)), which the interface exposes directly so the
+// best-response search can evaluate candidate swaps incrementally in O(n)
+// rather than O(k n).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace egoist::core {
+
+using graph::NodeId;
+
+/// Cost of a candidate wiring for one node. Implementations are immutable
+/// snapshots of the network state at evaluation time. "Lower is better"
+/// (maximizing objectives negate in fold()).
+class WiringObjective {
+ public:
+  virtual ~WiringObjective() = default;
+
+  /// Candidate neighbor ids (never contains the node itself).
+  virtual const std::vector<NodeId>& candidates() const = 0;
+
+  /// The node whose wiring is being optimized.
+  virtual NodeId self() const = 0;
+
+  /// Destinations the node cares about (never contains self()).
+  virtual const std::vector<NodeId>& targets() const = 0;
+
+  /// Routing preference p_ij of target j.
+  virtual double target_weight(NodeId j) const = 0;
+
+  /// Quality of reaching target j through direct neighbor v (delay: path
+  /// cost, possibly kUnreachable; bandwidth: bottleneck, possibly 0).
+  virtual double link_value(NodeId v, NodeId j) const = 0;
+
+  /// False: per-target best is the minimum link_value (delay/load).
+  /// True: the maximum (bandwidth).
+  virtual bool maximize_link_value() const = 0;
+
+  /// Folds the per-target best value into a cost contribution (applies the
+  /// unreachable penalty for delay, negation for bandwidth).
+  virtual double fold(double best_value) const = 0;
+
+  /// Neutral element for the per-target best (kUnreachable or 0).
+  double no_link_value() const;
+
+  /// Total cost of a wiring: sum_j weight(j) * fold(best link value).
+  double cost(std::span<const NodeId> wiring) const;
+};
+
+/// Additive-metric objective (delay, or node load via per-node edge costs).
+class DelayObjective final : public WiringObjective {
+ public:
+  /// direct_cost[v]: measured/announced cost of the direct link self -> v
+  ///   (entries for non-candidates are ignored).
+  /// residual_dist[v][j]: distance from v to j in G_{-self}.
+  /// preference[j]: routing preference p_ij (self entry ignored).
+  /// targets: destinations to account for (active nodes, excluding self).
+  /// unreachable_penalty: the paper's "M >> n" for unreachable targets.
+  DelayObjective(NodeId self, std::vector<NodeId> candidates,
+                 std::vector<double> direct_cost,
+                 std::vector<std::vector<double>> residual_dist,
+                 std::vector<double> preference, std::vector<NodeId> targets,
+                 double unreachable_penalty);
+
+  const std::vector<NodeId>& candidates() const override { return candidates_; }
+  NodeId self() const override { return self_; }
+  const std::vector<NodeId>& targets() const override { return targets_; }
+  double target_weight(NodeId j) const override {
+    return preference_[static_cast<std::size_t>(j)];
+  }
+  double link_value(NodeId v, NodeId j) const override;
+  bool maximize_link_value() const override { return false; }
+  double fold(double best_value) const override;
+
+  /// Distance from self to destination j under `wiring` (direct + residual);
+  /// kUnreachable when no neighbor reaches j.
+  double distance_to(std::span<const NodeId> wiring, NodeId j) const;
+
+ private:
+  NodeId self_;
+  std::vector<NodeId> candidates_;
+  std::vector<double> direct_cost_;
+  std::vector<std::vector<double>> residual_dist_;
+  std::vector<double> preference_;
+  std::vector<NodeId> targets_;
+  double unreachable_penalty_;
+};
+
+/// Bottleneck-bandwidth objective (§4.1): maximize the sum over targets of
+/// the best single-neighbor bottleneck. cost() = -score so that all search
+/// code minimizes.
+class BandwidthObjective final : public WiringObjective {
+ public:
+  /// direct_bw[v]: available bandwidth of the direct link self -> v.
+  /// residual_bw[v][j]: bottleneck bandwidth from v to j in G_{-self}.
+  BandwidthObjective(NodeId self, std::vector<NodeId> candidates,
+                     std::vector<double> direct_bw,
+                     std::vector<std::vector<double>> residual_bw,
+                     std::vector<NodeId> targets);
+
+  const std::vector<NodeId>& candidates() const override { return candidates_; }
+  NodeId self() const override { return self_; }
+  const std::vector<NodeId>& targets() const override { return targets_; }
+  double target_weight(NodeId) const override { return 1.0; }
+  double link_value(NodeId v, NodeId j) const override;
+  bool maximize_link_value() const override { return true; }
+  double fold(double best_value) const override { return -best_value; }
+
+  /// The positive aggregate-bandwidth score (= -cost).
+  double score(std::span<const NodeId> wiring) const { return -cost(wiring); }
+
+  /// Bottleneck bandwidth from self to j under `wiring` (0 if unreachable).
+  double bandwidth_to(std::span<const NodeId> wiring, NodeId j) const;
+
+ private:
+  NodeId self_;
+  std::vector<NodeId> candidates_;
+  std::vector<double> direct_bw_;
+  std::vector<std::vector<double>> residual_bw_;
+  std::vector<NodeId> targets_;
+};
+
+}  // namespace egoist::core

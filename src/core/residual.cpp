@@ -1,0 +1,128 @@
+#include "core/residual.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "graph/shortest_path.hpp"
+#include "graph/widest_path.hpp"
+
+namespace egoist::core {
+
+namespace {
+
+graph::Digraph residual_of(const graph::Digraph& overlay, NodeId self) {
+  graph::Digraph residual(overlay.node_count());
+  for (std::size_t u = 0; u < overlay.node_count(); ++u) {
+    const auto uid = static_cast<NodeId>(u);
+    residual.set_active(uid, overlay.is_active(uid));
+    if (uid == self) continue;  // drop self's out-edges: G_{-i}
+    for (const auto& e : overlay.out_edges(uid)) {
+      residual.set_edge(uid, e.to, e.weight);
+    }
+  }
+  return residual;
+}
+
+std::vector<NodeId> others(const graph::Digraph& overlay, NodeId self) {
+  std::vector<NodeId> out;
+  for (NodeId v : overlay.active_nodes()) {
+    if (v != self) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace
+
+double default_unreachable_penalty(const graph::Digraph& overlay) {
+  // 1000x the largest finite edge weight (or 1e6 for empty overlays) keeps
+  // connectivity dominant without destroying float precision.
+  double max_weight = 0.0;
+  for (std::size_t u = 0; u < overlay.node_count(); ++u) {
+    for (const auto& e : overlay.out_edges(static_cast<NodeId>(u))) {
+      max_weight = std::max(max_weight, e.weight);
+    }
+  }
+  const double scale = max_weight > 0.0 ? max_weight : 1.0;
+  return 1000.0 * scale * static_cast<double>(std::max<std::size_t>(
+                              overlay.node_count(), 1));
+}
+
+DelayObjective make_delay_objective(const graph::Digraph& overlay, NodeId self,
+                                    const std::vector<double>& direct_cost,
+                                    std::optional<std::vector<double>> preference,
+                                    std::optional<double> unreachable_penalty) {
+  overlay.check_node(self);
+  if (!overlay.is_active(self)) {
+    throw std::invalid_argument("self must be active");
+  }
+  const auto residual = residual_of(overlay, self);
+  auto dist = graph::all_pairs_shortest_paths(residual);
+  auto candidates = others(overlay, self);
+  auto targets = candidates;
+
+  std::vector<double> pref;
+  if (preference) {
+    pref = std::move(*preference);
+    if (pref.size() != overlay.node_count()) {
+      throw std::invalid_argument("preference size mismatch");
+    }
+  } else {
+    // Uniform preference over targets.
+    pref.assign(overlay.node_count(), 0.0);
+    const double w =
+        targets.empty() ? 0.0 : 1.0 / static_cast<double>(targets.size());
+    for (NodeId j : targets) pref[static_cast<std::size_t>(j)] = w;
+  }
+
+  return DelayObjective(
+      self, std::move(candidates), direct_cost, std::move(dist), std::move(pref),
+      std::move(targets),
+      unreachable_penalty.value_or(default_unreachable_penalty(overlay)));
+}
+
+BandwidthObjective make_bandwidth_objective(const graph::Digraph& overlay,
+                                            NodeId self,
+                                            const std::vector<double>& direct_bw) {
+  overlay.check_node(self);
+  if (!overlay.is_active(self)) {
+    throw std::invalid_argument("self must be active");
+  }
+  const auto residual = residual_of(overlay, self);
+  auto bw = graph::all_pairs_widest_paths(residual);
+  auto candidates = others(overlay, self);
+  auto targets = candidates;
+  return BandwidthObjective(self, std::move(candidates), direct_bw, std::move(bw),
+                            std::move(targets));
+}
+
+DelayObjective make_sampled_delay_objective(
+    const graph::Digraph& overlay, NodeId self,
+    const std::vector<double>& direct_cost, const std::vector<NodeId>& sample,
+    std::optional<double> unreachable_penalty) {
+  overlay.check_node(self);
+  if (!overlay.is_active(self)) {
+    throw std::invalid_argument("self must be active");
+  }
+  for (NodeId v : sample) {
+    overlay.check_node(v);
+    if (v == self) throw std::invalid_argument("sample may not contain self");
+  }
+  const auto residual = residual_of(overlay, self);
+  // Only rows for sampled nodes are needed; compute them directly.
+  std::vector<std::vector<double>> dist(
+      overlay.node_count(),
+      std::vector<double>(overlay.node_count(), graph::kUnreachable));
+  for (NodeId v : sample) {
+    if (!overlay.is_active(v)) continue;
+    dist[static_cast<std::size_t>(v)] = graph::dijkstra(residual, v).dist;
+  }
+  std::vector<double> pref(overlay.node_count(), 0.0);
+  const double w =
+      sample.empty() ? 0.0 : 1.0 / static_cast<double>(sample.size());
+  for (NodeId j : sample) pref[static_cast<std::size_t>(j)] = w;
+  return DelayObjective(
+      self, sample, direct_cost, std::move(dist), std::move(pref), sample,
+      unreachable_penalty.value_or(default_unreachable_penalty(overlay)));
+}
+
+}  // namespace egoist::core

@@ -1,0 +1,50 @@
+// Builders that turn an overlay snapshot into per-node wiring objectives.
+//
+// A node computing its best response works on the *residual* graph G_{-i}
+// (the overlay with its own out-edges removed, §2.1) as learned through the
+// link-state protocol, plus its own direct-link measurements. These helpers
+// do that derivation: strip the node's out-edges, run the appropriate
+// all-pairs computation, and package the result as a WiringObjective.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/objective.hpp"
+#include "graph/digraph.hpp"
+
+namespace egoist::core {
+
+/// Penalty used for unreachable destinations when none is supplied:
+/// comfortably larger than any realistic path cost ("M >> n").
+double default_unreachable_penalty(const graph::Digraph& overlay);
+
+/// Builds a delay/load objective for `self`.
+///
+/// overlay:      current global wiring (edge weights = announced costs);
+///               self's out-edges are ignored (residual graph semantics).
+/// direct_cost:  measured direct-link cost self -> v, indexed by id; only
+///               candidate entries are read.
+/// preference:   p_ij per destination; std::nullopt = uniform over targets.
+/// Candidates and targets default to all active nodes except self.
+DelayObjective make_delay_objective(
+    const graph::Digraph& overlay, NodeId self,
+    const std::vector<double>& direct_cost,
+    std::optional<std::vector<double>> preference = std::nullopt,
+    std::optional<double> unreachable_penalty = std::nullopt);
+
+/// Builds a bandwidth objective for `self` (edge weights = available
+/// bandwidth; residual computation = all-pairs widest paths).
+BandwidthObjective make_bandwidth_objective(const graph::Digraph& overlay,
+                                            NodeId self,
+                                            const std::vector<double>& direct_bw);
+
+/// Restricted variants for the sampling policies of §5: candidates and
+/// targets are limited to `sample` (the newcomer only measures and reasons
+/// about the sampled nodes).
+DelayObjective make_sampled_delay_objective(
+    const graph::Digraph& overlay, NodeId self,
+    const std::vector<double>& direct_cost, const std::vector<NodeId>& sample,
+    std::optional<double> unreachable_penalty = std::nullopt);
+
+}  // namespace egoist::core

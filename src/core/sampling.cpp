@@ -1,0 +1,72 @@
+#include "core/sampling.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "graph/metrics.hpp"
+
+namespace egoist::core {
+
+std::vector<NodeId> random_sample(const std::vector<NodeId>& candidates,
+                                  std::size_t m, util::Rng& rng) {
+  const std::size_t take = std::min(m, candidates.size());
+  auto sample = rng.sample_without_replacement(
+      std::span<const NodeId>(candidates), take);
+  std::sort(sample.begin(), sample.end());
+  return sample;
+}
+
+double biased_rank(const graph::Digraph& graph, NodeId self, NodeId candidate,
+                   const std::vector<double>& direct_cost, int radius) {
+  const auto hood = graph::r_hop_neighborhood(graph, candidate, radius);
+  if (hood.empty()) return 0.0;
+  double denom = 0.0;
+  for (NodeId u : hood) {
+    if (u == self) continue;  // distance to self is not informative
+    if (static_cast<std::size_t>(u) >= direct_cost.size()) {
+      throw std::out_of_range("direct_cost too small");
+    }
+    denom += direct_cost[static_cast<std::size_t>(u)];
+  }
+  if (denom <= 0.0) return 0.0;
+  return static_cast<double>(hood.size()) / denom;
+}
+
+std::vector<NodeId> topology_biased_sample(const graph::Digraph& graph,
+                                           NodeId self,
+                                           const std::vector<double>& direct_cost,
+                                           const std::vector<NodeId>& candidates,
+                                           std::size_t m, util::Rng& rng,
+                                           const BiasedSamplingOptions& options) {
+  if (options.radius < 0) throw std::invalid_argument("radius must be >= 0");
+  if (options.oversample < 1.0) {
+    throw std::invalid_argument("oversample must be >= 1");
+  }
+  const std::size_t m_prime = std::min(
+      candidates.size(),
+      static_cast<std::size_t>(
+          std::ceil(options.oversample * static_cast<double>(m))));
+  auto pool = rng.sample_without_replacement(
+      std::span<const NodeId>(candidates), m_prime);
+
+  std::vector<std::pair<double, NodeId>> ranked;
+  ranked.reserve(pool.size());
+  for (NodeId v : pool) {
+    ranked.emplace_back(biased_rank(graph, self, v, direct_cost, options.radius), v);
+  }
+  // Highest rank first; id breaks ties deterministically.
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  std::vector<NodeId> sample;
+  sample.reserve(std::min(m, ranked.size()));
+  for (std::size_t i = 0; i < ranked.size() && sample.size() < m; ++i) {
+    sample.push_back(ranked[i].second);
+  }
+  std::sort(sample.begin(), sample.end());
+  return sample;
+}
+
+}  // namespace egoist::core

@@ -1,0 +1,62 @@
+#include "graph/connectivity.hpp"
+
+#include <queue>
+
+namespace egoist::graph {
+
+std::vector<NodeId> reachable_set(const Digraph& g, NodeId src) {
+  g.check_node(src);
+  std::vector<NodeId> out;
+  if (!g.is_active(src)) return out;
+  std::vector<bool> seen(g.node_count(), false);
+  std::queue<NodeId> frontier;
+  seen[static_cast<std::size_t>(src)] = true;
+  frontier.push(src);
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    out.push_back(u);
+    for (const Edge& e : g.out_edges(u)) {
+      if (!g.is_active(e.to) || seen[static_cast<std::size_t>(e.to)]) continue;
+      seen[static_cast<std::size_t>(e.to)] = true;
+      frontier.push(e.to);
+    }
+  }
+  return out;
+}
+
+std::size_t reachable_count(const Digraph& g, NodeId src) {
+  return reachable_set(g, src).size();
+}
+
+bool is_strongly_connected(const Digraph& g) {
+  const auto active = g.active_nodes();
+  if (active.size() <= 1) return true;
+  // Forward reachability from one active node covers all active nodes, and
+  // reverse reachability (on the transposed graph) does too.
+  if (reachable_count(g, active.front()) != active.size()) return false;
+  Digraph reversed(g.node_count());
+  for (std::size_t u = 0; u < g.node_count(); ++u) {
+    const auto uid = static_cast<NodeId>(u);
+    reversed.set_active(uid, g.is_active(uid));
+    for (const Edge& e : g.out_edges(uid)) reversed.set_edge(e.to, uid, e.weight);
+  }
+  return reachable_count(reversed, active.front()) == active.size();
+}
+
+bool is_weakly_connected(const Digraph& g) {
+  const auto active = g.active_nodes();
+  if (active.size() <= 1) return true;
+  Digraph undirected(g.node_count());
+  for (std::size_t u = 0; u < g.node_count(); ++u) {
+    const auto uid = static_cast<NodeId>(u);
+    undirected.set_active(uid, g.is_active(uid));
+    for (const Edge& e : g.out_edges(uid)) {
+      undirected.set_edge(uid, e.to, 1.0);
+      undirected.set_edge(e.to, uid, 1.0);
+    }
+  }
+  return reachable_count(undirected, active.front()) == active.size();
+}
+
+}  // namespace egoist::graph

@@ -1,0 +1,28 @@
+// Reachability and connectivity predicates over the overlay wiring.
+//
+// The wiring policies "enforce a cycle" when the resulting graph is not
+// connected (k-Random / k-Closest, §3.2) and the churn experiments need to
+// detect partitions, so connectivity checks are on the policy hot path.
+#pragma once
+
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace egoist::graph {
+
+/// Nodes reachable from `src` by directed paths (including src itself),
+/// honoring active flags. Returns an empty set when src is inactive.
+std::vector<NodeId> reachable_set(const Digraph& g, NodeId src);
+
+/// Number of active nodes reachable from src (including itself).
+std::size_t reachable_count(const Digraph& g, NodeId src);
+
+/// True when every active node can reach every other active node.
+/// Graphs with <= 1 active node are strongly connected by convention.
+bool is_strongly_connected(const Digraph& g);
+
+/// True when the undirected version of the active subgraph is connected.
+bool is_weakly_connected(const Digraph& g);
+
+}  // namespace egoist::graph

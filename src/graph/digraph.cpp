@@ -1,0 +1,67 @@
+#include "graph/digraph.hpp"
+
+#include <algorithm>
+
+namespace egoist::graph {
+
+void Digraph::set_edge(NodeId u, NodeId v, double weight) {
+  check_node(u);
+  check_node(v);
+  if (u == v) throw std::invalid_argument("self-loops are not allowed");
+  auto& out = adjacency_[static_cast<std::size_t>(u)];
+  for (Edge& e : out) {
+    if (e.to == v) {
+      e.weight = weight;
+      return;
+    }
+  }
+  out.push_back(Edge{v, weight});
+  ++edge_count_;
+}
+
+bool Digraph::remove_edge(NodeId u, NodeId v) {
+  check_node(u);
+  check_node(v);
+  auto& out = adjacency_[static_cast<std::size_t>(u)];
+  const auto it = std::find_if(out.begin(), out.end(),
+                               [v](const Edge& e) { return e.to == v; });
+  if (it == out.end()) return false;
+  out.erase(it);
+  --edge_count_;
+  return true;
+}
+
+void Digraph::clear_out_edges(NodeId u) {
+  check_node(u);
+  auto& out = adjacency_[static_cast<std::size_t>(u)];
+  edge_count_ -= out.size();
+  out.clear();
+}
+
+bool Digraph::has_edge(NodeId u, NodeId v) const {
+  check_node(u);
+  check_node(v);
+  const auto& out = adjacency_[static_cast<std::size_t>(u)];
+  return std::any_of(out.begin(), out.end(),
+                     [v](const Edge& e) { return e.to == v; });
+}
+
+double Digraph::edge_weight(NodeId u, NodeId v) const {
+  check_node(u);
+  check_node(v);
+  for (const Edge& e : adjacency_[static_cast<std::size_t>(u)]) {
+    if (e.to == v) return e.weight;
+  }
+  throw std::out_of_range("edge not present");
+}
+
+std::vector<NodeId> Digraph::active_nodes() const {
+  std::vector<NodeId> out;
+  out.reserve(adjacency_.size());
+  for (std::size_t i = 0; i < adjacency_.size(); ++i) {
+    if (active_[i]) out.push_back(static_cast<NodeId>(i));
+  }
+  return out;
+}
+
+}  // namespace egoist::graph

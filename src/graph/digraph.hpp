@@ -1,0 +1,85 @@
+// Directed weighted graph used for both the overlay wiring and the underlay.
+//
+// Nodes are dense integer ids [0, n). Edges are directed and weighted
+// (d_ij need not equal d_ji, per the paper's model). Nodes can be marked
+// inactive — the churn machinery flips nodes OFF/ON without rebuilding the
+// graph; all algorithms in this library skip inactive nodes and their edges.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace egoist::graph {
+
+using NodeId = int;
+
+/// A directed edge as stored in an adjacency list.
+struct Edge {
+  NodeId to = -1;
+  double weight = 0.0;
+};
+
+/// Adjacency-list digraph with O(deg) edge lookup (degrees are small: k).
+class Digraph {
+ public:
+  /// Creates a graph with `n` active nodes and no edges.
+  explicit Digraph(std::size_t n) : adjacency_(n), active_(n, true) {}
+
+  std::size_t node_count() const { return adjacency_.size(); }
+  std::size_t edge_count() const { return edge_count_; }
+
+  /// Adds the edge (u -> v) with the given weight, or updates the weight if
+  /// the edge already exists. Self-loops are rejected.
+  void set_edge(NodeId u, NodeId v, double weight);
+
+  /// Removes (u -> v) if present; returns whether an edge was removed.
+  bool remove_edge(NodeId u, NodeId v);
+
+  /// Removes all outgoing edges of `u`.
+  void clear_out_edges(NodeId u);
+
+  bool has_edge(NodeId u, NodeId v) const;
+
+  /// Weight of (u -> v). Throws std::out_of_range if the edge is absent.
+  double edge_weight(NodeId u, NodeId v) const;
+
+  /// Outgoing adjacency of `u` (includes edges to inactive targets; callers
+  /// running graph algorithms should consult is_active()).
+  std::span<const Edge> out_edges(NodeId u) const {
+    check_node(u);
+    return adjacency_[static_cast<std::size_t>(u)];
+  }
+
+  /// Out-degree counting all stored edges (active and inactive targets).
+  std::size_t out_degree(NodeId u) const { return out_edges(u).size(); }
+
+  /// Marks a node ON (active) or OFF. An inactive node is invisible to the
+  /// path algorithms: it cannot originate, relay, or terminate paths.
+  void set_active(NodeId u, bool active) {
+    check_node(u);
+    active_[static_cast<std::size_t>(u)] = active;
+  }
+  bool is_active(NodeId u) const {
+    check_node(u);
+    return active_[static_cast<std::size_t>(u)];
+  }
+
+  /// All currently active node ids, ascending.
+  std::vector<NodeId> active_nodes() const;
+
+  /// Validates a node id (throws std::out_of_range when invalid).
+  void check_node(NodeId u) const {
+    if (u < 0 || static_cast<std::size_t>(u) >= adjacency_.size()) {
+      throw std::out_of_range("node id out of range");
+    }
+  }
+
+ private:
+  std::vector<std::vector<Edge>> adjacency_;
+  std::vector<bool> active_;
+  std::size_t edge_count_ = 0;
+};
+
+}  // namespace egoist::graph

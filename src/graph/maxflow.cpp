@@ -1,0 +1,145 @@
+#include "graph/maxflow.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace egoist::graph {
+
+MaxFlow::MaxFlow(std::size_t n) : n_(n), arcs_(n), level_(n), next_(n) {}
+
+void MaxFlow::add_arc(NodeId u, NodeId v, double capacity) {
+  if (u < 0 || v < 0 || static_cast<std::size_t>(u) >= n_ ||
+      static_cast<std::size_t>(v) >= n_) {
+    throw std::out_of_range("max-flow arc endpoint out of range");
+  }
+  if (capacity < 0.0) throw std::invalid_argument("negative capacity");
+  auto& fwd_list = arcs_[static_cast<std::size_t>(u)];
+  auto& rev_list = arcs_[static_cast<std::size_t>(v)];
+  const std::size_t fwd_slot = fwd_list.size();
+  const std::size_t rev_slot = rev_list.size() + (u == v ? 1 : 0);
+  fwd_list.push_back(Arc{v, capacity, rev_slot});
+  arcs_[static_cast<std::size_t>(v)].push_back(Arc{u, 0.0, fwd_slot});
+  arc_handles_.emplace_back(u, fwd_slot);
+  original_capacity_.push_back(capacity);
+}
+
+bool MaxFlow::build_levels(NodeId s, NodeId t) {
+  std::fill(level_.begin(), level_.end(), -1);
+  std::queue<NodeId> frontier;
+  level_[static_cast<std::size_t>(s)] = 0;
+  frontier.push(s);
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    for (const Arc& a : arcs_[static_cast<std::size_t>(u)]) {
+      if (a.capacity > kFlowEps && level_[static_cast<std::size_t>(a.to)] == -1) {
+        level_[static_cast<std::size_t>(a.to)] =
+            level_[static_cast<std::size_t>(u)] + 1;
+        frontier.push(a.to);
+      }
+    }
+  }
+  return level_[static_cast<std::size_t>(t)] != -1;
+}
+
+double MaxFlow::push(NodeId u, NodeId t, double limit) {
+  if (u == t) return limit;
+  auto& slots = arcs_[static_cast<std::size_t>(u)];
+  for (std::size_t& i = next_[static_cast<std::size_t>(u)]; i < slots.size(); ++i) {
+    Arc& a = slots[i];
+    if (a.capacity <= kFlowEps) continue;
+    if (level_[static_cast<std::size_t>(a.to)] !=
+        level_[static_cast<std::size_t>(u)] + 1) {
+      continue;
+    }
+    const double sent = push(a.to, t, std::min(limit, a.capacity));
+    if (sent > kFlowEps) {
+      a.capacity -= sent;
+      arcs_[static_cast<std::size_t>(a.to)][a.reverse].capacity += sent;
+      return sent;
+    }
+  }
+  return 0.0;
+}
+
+double MaxFlow::max_flow(NodeId s, NodeId t) {
+  if (s == t) throw std::invalid_argument("max_flow requires s != t");
+  double total = 0.0;
+  while (build_levels(s, t)) {
+    std::fill(next_.begin(), next_.end(), 0);
+    while (true) {
+      const double sent = push(s, t, std::numeric_limits<double>::infinity());
+      if (sent <= kFlowEps) break;
+      total += sent;
+    }
+  }
+  return total;
+}
+
+double MaxFlow::arc_flow(std::size_t arc_index) const {
+  if (arc_index >= arc_handles_.size()) {
+    throw std::out_of_range("arc index out of range");
+  }
+  const auto [node, slot] = arc_handles_[arc_index];
+  const Arc& a = arcs_[static_cast<std::size_t>(node)][slot];
+  return original_capacity_[arc_index] - a.capacity;
+}
+
+double max_flow_on_graph(const Digraph& g, NodeId s, NodeId t) {
+  g.check_node(s);
+  g.check_node(t);
+  MaxFlow mf(g.node_count());
+  for (std::size_t u = 0; u < g.node_count(); ++u) {
+    const auto uid = static_cast<NodeId>(u);
+    if (!g.is_active(uid)) continue;
+    for (const Edge& e : g.out_edges(uid)) {
+      if (!g.is_active(e.to)) continue;
+      mf.add_arc(uid, e.to, e.weight);
+    }
+  }
+  return mf.max_flow(s, t);
+}
+
+int edge_disjoint_paths(const Digraph& g, NodeId s, NodeId t) {
+  g.check_node(s);
+  g.check_node(t);
+  MaxFlow mf(g.node_count());
+  for (std::size_t u = 0; u < g.node_count(); ++u) {
+    const auto uid = static_cast<NodeId>(u);
+    if (!g.is_active(uid)) continue;
+    for (const Edge& e : g.out_edges(uid)) {
+      if (!g.is_active(e.to)) continue;
+      mf.add_arc(uid, e.to, 1.0);
+    }
+  }
+  return static_cast<int>(mf.max_flow(s, t) + 0.5);
+}
+
+int node_disjoint_paths(const Digraph& g, NodeId s, NodeId t) {
+  g.check_node(s);
+  g.check_node(t);
+  // Split every node v into v_in (= v) and v_out (= v + n) joined by a
+  // unit-capacity arc; s and t keep infinite internal capacity.
+  const std::size_t n = g.node_count();
+  MaxFlow mf(2 * n);
+  const double inf = std::numeric_limits<double>::max() / 4;
+  for (std::size_t v = 0; v < n; ++v) {
+    const auto vid = static_cast<NodeId>(v);
+    if (!g.is_active(vid)) continue;
+    const double cap = (vid == s || vid == t) ? inf : 1.0;
+    mf.add_arc(vid, static_cast<NodeId>(v + n), cap);
+  }
+  for (std::size_t u = 0; u < n; ++u) {
+    const auto uid = static_cast<NodeId>(u);
+    if (!g.is_active(uid)) continue;
+    for (const Edge& e : g.out_edges(uid)) {
+      if (!g.is_active(e.to)) continue;
+      mf.add_arc(static_cast<NodeId>(u + n), e.to, 1.0);
+    }
+  }
+  return static_cast<int>(mf.max_flow(s, static_cast<NodeId>(t)) + 0.5);
+}
+
+}  // namespace egoist::graph

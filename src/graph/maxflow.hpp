@@ -1,0 +1,65 @@
+// Maximum flow (Dinic) and edge-disjoint path counting.
+//
+// Fig 10 compares multipath transfer throughput against the max-flow upper
+// bound ("when all peers allow multipath redirections"); Fig 11 counts
+// edge-disjoint overlay paths between endpoints. Both reduce to max-flow:
+// the former with capacities = available bandwidth, the latter with unit
+// capacities.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace egoist::graph {
+
+/// Dinic max-flow solver over an explicit arc list. Capacities are doubles;
+/// the solver treats residuals below kFlowEps as saturated.
+class MaxFlow {
+ public:
+  static constexpr double kFlowEps = 1e-9;
+
+  explicit MaxFlow(std::size_t n);
+
+  /// Adds a directed arc u -> v with the given capacity (>= 0).
+  void add_arc(NodeId u, NodeId v, double capacity);
+
+  /// Computes the max flow from s to t. May be called once per instance.
+  double max_flow(NodeId s, NodeId t);
+
+  /// After max_flow(): flow currently assigned to the i-th added arc.
+  double arc_flow(std::size_t arc_index) const;
+
+ private:
+  struct Arc {
+    NodeId to;
+    double capacity;
+    std::size_t reverse;  ///< index of the reverse arc in arcs_[to]
+  };
+
+  bool build_levels(NodeId s, NodeId t);
+  double push(NodeId u, NodeId t, double limit);
+
+  std::size_t n_;
+  std::vector<std::vector<Arc>> arcs_;
+  std::vector<std::pair<NodeId, std::size_t>> arc_handles_;  ///< (node, slot) per added arc
+  std::vector<double> original_capacity_;
+  std::vector<int> level_;
+  std::vector<std::size_t> next_;
+};
+
+/// Builds a max-flow instance from an overlay graph using edge weights as
+/// capacities (inactive nodes excluded) and returns max flow s -> t.
+double max_flow_on_graph(const Digraph& g, NodeId s, NodeId t);
+
+/// Number of edge-disjoint directed paths from s to t in the overlay
+/// (unit capacity per edge; inactive nodes excluded).
+int edge_disjoint_paths(const Digraph& g, NodeId s, NodeId t);
+
+/// Number of internally node-disjoint directed paths from s to t (standard
+/// node-splitting reduction). Used to study path diversity for real-time
+/// traffic (Fig 11 discussion).
+int node_disjoint_paths(const Digraph& g, NodeId s, NodeId t);
+
+}  // namespace egoist::graph

@@ -1,0 +1,63 @@
+#include "graph/mst.hpp"
+
+#include <functional>
+#include <limits>
+#include <stdexcept>
+
+namespace egoist::graph {
+
+std::vector<TreeEdge> minimum_spanning_tree(
+    const std::vector<NodeId>& nodes,
+    const std::function<double(NodeId, NodeId)>& cost) {
+  if (nodes.size() < 2) throw std::invalid_argument("MST needs >= 2 nodes");
+  if (!cost) throw std::invalid_argument("cost oracle required");
+  const std::size_t m = nodes.size();
+  std::vector<bool> in_tree(m, false);
+  std::vector<double> best(m, std::numeric_limits<double>::infinity());
+  std::vector<std::size_t> parent(m, 0);
+  in_tree[0] = true;
+  for (std::size_t i = 1; i < m; ++i) {
+    best[i] = (cost(nodes[0], nodes[i]) + cost(nodes[i], nodes[0])) / 2.0;
+    parent[i] = 0;
+  }
+  std::vector<TreeEdge> tree;
+  tree.reserve(m - 1);
+  for (std::size_t round = 1; round < m; ++round) {
+    std::size_t pick = m;
+    double pick_cost = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < m; ++i) {
+      if (!in_tree[i] && best[i] < pick_cost) {
+        pick_cost = best[i];
+        pick = i;
+      }
+    }
+    if (pick == m) throw std::invalid_argument("cost oracle returned no finite costs");
+    in_tree[pick] = true;
+    tree.push_back(TreeEdge{nodes[parent[pick]], nodes[pick], pick_cost});
+    for (std::size_t i = 0; i < m; ++i) {
+      if (in_tree[i]) continue;
+      const double w = (cost(nodes[pick], nodes[i]) + cost(nodes[i], nodes[pick])) / 2.0;
+      if (w < best[i]) {
+        best[i] = w;
+        parent[i] = pick;
+      }
+    }
+  }
+  return tree;
+}
+
+std::vector<std::vector<NodeId>> tree_adjacency(std::size_t n,
+                                                const std::vector<TreeEdge>& tree) {
+  std::vector<std::vector<NodeId>> adj(n);
+  for (const TreeEdge& e : tree) {
+    if (e.a < 0 || e.b < 0 || static_cast<std::size_t>(e.a) >= n ||
+        static_cast<std::size_t>(e.b) >= n) {
+      throw std::out_of_range("tree edge endpoint out of range");
+    }
+    adj[static_cast<std::size_t>(e.a)].push_back(e.b);
+    adj[static_cast<std::size_t>(e.b)].push_back(e.a);
+  }
+  return adj;
+}
+
+}  // namespace egoist::graph

@@ -1,0 +1,37 @@
+// Minimum spanning tree over the active nodes (Prim).
+//
+// §3.3 contrasts EGOIST's donated-cycle backbone with the k-MST
+// connectivity meshes of Young et al. [43]: MSTs give low-stretch backbones
+// but are a centralized construction that must be rebuilt on every
+// membership or weight change. We implement the MST so the ablation bench
+// can quantify that trade-off against the cycle backbone.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace egoist::graph {
+
+/// An undirected spanning-tree edge.
+struct TreeEdge {
+  NodeId a = -1;
+  NodeId b = -1;
+  double weight = 0.0;
+};
+
+/// Prim's MST over the active nodes using the symmetrized weight
+/// w(a,b) = (cost(a,b) + cost(b,a)) / 2 from a dense cost oracle.
+/// `cost(a, b)` must be callable for every active pair. Returns n-1 edges;
+/// throws std::invalid_argument when fewer than 2 nodes are active.
+std::vector<TreeEdge> minimum_spanning_tree(
+    const std::vector<NodeId>& nodes,
+    const std::function<double(NodeId, NodeId)>& cost);
+
+/// Adjacency view of a tree: per-node list of tree neighbors.
+std::vector<std::vector<NodeId>> tree_adjacency(std::size_t n,
+                                                const std::vector<TreeEdge>& tree);
+
+}  // namespace egoist::graph

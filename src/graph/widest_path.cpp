@@ -1,0 +1,54 @@
+#include "graph/widest_path.hpp"
+
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace egoist::graph {
+
+WidestPathTree widest_paths(const Digraph& g, NodeId src) {
+  g.check_node(src);
+  if (!g.is_active(src)) {
+    throw std::invalid_argument("widest_paths from inactive source");
+  }
+  const std::size_t n = g.node_count();
+  WidestPathTree tree;
+  tree.bottleneck.assign(n, 0.0);
+  tree.parent.assign(n, -1);
+  tree.bottleneck[static_cast<std::size_t>(src)] =
+      std::numeric_limits<double>::infinity();
+
+  using Item = std::pair<double, NodeId>;  // (bottleneck, node), max-first
+  std::priority_queue<Item> heap;
+  heap.emplace(tree.bottleneck[static_cast<std::size_t>(src)], src);
+  while (!heap.empty()) {
+    const auto [b, u] = heap.top();
+    heap.pop();
+    if (b < tree.bottleneck[static_cast<std::size_t>(u)]) continue;  // stale
+    for (const Edge& e : g.out_edges(u)) {
+      if (!g.is_active(e.to)) continue;
+      if (e.weight < 0.0) {
+        throw std::invalid_argument("bandwidth weights must be non-negative");
+      }
+      const double nb = std::min(b, e.weight);
+      if (nb > tree.bottleneck[static_cast<std::size_t>(e.to)]) {
+        tree.bottleneck[static_cast<std::size_t>(e.to)] = nb;
+        tree.parent[static_cast<std::size_t>(e.to)] = u;
+        heap.emplace(nb, e.to);
+      }
+    }
+  }
+  return tree;
+}
+
+std::vector<std::vector<double>> all_pairs_widest_paths(const Digraph& g) {
+  const std::size_t n = g.node_count();
+  std::vector<std::vector<double>> bw(n, std::vector<double>(n, 0.0));
+  for (std::size_t u = 0; u < n; ++u) {
+    if (!g.is_active(static_cast<NodeId>(u))) continue;
+    bw[u] = widest_paths(g, static_cast<NodeId>(u)).bottleneck;
+  }
+  return bw;
+}
+
+}  // namespace egoist::graph

@@ -1,0 +1,31 @@
+// Maximum-bottleneck-bandwidth ("widest") paths.
+//
+// For the available-bandwidth cost metric the paper routes along the path
+// whose minimum-bandwidth edge is maximal: AvailBW(v,u) = max over paths of
+// (min over edges of AvailBW(e)). This is the classic widest-path problem,
+// solved by Dijkstra on the (max, min) semiring — the "simple modification
+// of Dijkstra's" the paper cites.
+#pragma once
+
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace egoist::graph {
+
+/// Result of a single-source widest-path computation. Edge weights are
+/// interpreted as available bandwidth (>= 0).
+struct WidestPathTree {
+  std::vector<double> bottleneck;  ///< max-min bandwidth to each node; 0 if unreachable
+  std::vector<NodeId> parent;      ///< predecessor on a widest path; -1 at source/unreached
+};
+
+/// Widest paths from `src`, honoring node active flags. The source's own
+/// bottleneck is +infinity by convention (no constraining edge yet).
+WidestPathTree widest_paths(const Digraph& g, NodeId src);
+
+/// All-pairs bottleneck bandwidth: result[u][v] (0 when unreachable,
+/// +infinity on the diagonal of active nodes).
+std::vector<std::vector<double>> all_pairs_widest_paths(const Digraph& g);
+
+}  // namespace egoist::graph

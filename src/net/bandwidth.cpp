@@ -1,0 +1,128 @@
+#include "net/bandwidth.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace egoist::net {
+
+BandwidthModel::BandwidthModel(std::size_t n, std::uint64_t seed,
+                               BandwidthConfig config)
+    : n_(n), config_(config), rng_(seed) {
+  if (n < 2) throw std::invalid_argument("need >= 2 nodes");
+  uplink_.resize(n);
+  downlink_.resize(n);
+  const double mu_up = std::log(config_.uplink_mean) -
+                       0.5 * config_.uplink_sigma * config_.uplink_sigma;
+  for (std::size_t i = 0; i < n; ++i) {
+    uplink_[i] = rng_.lognormal(mu_up, config_.uplink_sigma);
+    downlink_[i] = rng_.lognormal(mu_up, config_.uplink_sigma) * 1.5;
+  }
+  const double mu_core =
+      std::log(config_.core_mean) - 0.5 * config_.core_sigma * config_.core_sigma;
+  core_.resize(n * n);
+  cross_.resize(n * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      core_[i * n + j] = rng_.lognormal(mu_core, config_.core_sigma);
+      cross_[i * n + j] = std::clamp(
+          config_.cross_fraction + 0.3 * config_.cross_fraction * rng_.normal(0, 1),
+          0.0, 0.95);
+    }
+  }
+}
+
+std::size_t BandwidthModel::index(int i, int j) const {
+  if (i < 0 || j < 0 || static_cast<std::size_t>(i) >= n_ ||
+      static_cast<std::size_t>(j) >= n_) {
+    throw std::out_of_range("node id out of range");
+  }
+  if (i == j) throw std::invalid_argument("no self pair");
+  return static_cast<std::size_t>(i) * n_ + static_cast<std::size_t>(j);
+}
+
+double BandwidthModel::capacity(int i, int j) const {
+  const std::size_t idx = index(i, j);
+  return std::min({uplink_[static_cast<std::size_t>(i)],
+                   downlink_[static_cast<std::size_t>(j)], core_[idx]});
+}
+
+double BandwidthModel::avail_bw(int i, int j) const {
+  const std::size_t idx = index(i, j);
+  return std::max(0.0, capacity(i, j) * (1.0 - cross_[idx]));
+}
+
+void BandwidthModel::advance(double dt) {
+  if (dt < 0.0) throw std::invalid_argument("dt must be >= 0");
+  const double pull = std::min(1.0, config_.revert_rate * dt);
+  const double noise = config_.cross_volatility * std::sqrt(std::max(dt, 0.0));
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t j = 0; j < n_; ++j) {
+      if (i == j) continue;
+      double& c = cross_[i * n_ + j];
+      c += pull * (config_.cross_fraction - c) +
+           noise * config_.cross_fraction * rng_.normal(0.0, 1.0);
+      c = std::clamp(c, 0.0, 0.95);
+    }
+  }
+}
+
+PeeringModel::PeeringModel(std::size_t n, std::uint64_t seed, int min_providers,
+                           int max_providers, double session_cap_mbps)
+    : n_(n) {
+  if (min_providers < 1 || max_providers < min_providers) {
+    throw std::invalid_argument("invalid provider bounds");
+  }
+  if (session_cap_mbps <= 0.0) {
+    throw std::invalid_argument("session cap must be positive");
+  }
+  util::Rng rng(seed);
+  providers_.resize(n);
+  caps_.resize(n);
+  salt_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    providers_[i] =
+        static_cast<int>(rng.uniform_int(min_providers, max_providers));
+    caps_[i].resize(static_cast<std::size_t>(providers_[i]));
+    for (double& cap : caps_[i]) {
+      // Caps differ across peering points (e.g. the 1 vs 2 Mbps of Fig 9).
+      cap = session_cap_mbps * rng.uniform(0.5, 1.5);
+    }
+    salt_[i] = static_cast<std::uint64_t>(rng.uniform_int(0, 1'000'000'000));
+  }
+}
+
+int PeeringModel::providers(int node) const {
+  if (node < 0 || static_cast<std::size_t>(node) >= n_) {
+    throw std::out_of_range("node id out of range");
+  }
+  return providers_[static_cast<std::size_t>(node)];
+}
+
+int PeeringModel::egress_point(int src, int via) const {
+  const int p = providers(src);
+  if (via < 0 || static_cast<std::size_t>(via) >= n_) {
+    throw std::out_of_range("node id out of range");
+  }
+  // Deterministic hash: which peering point the IP path to `via` crosses.
+  const std::uint64_t h =
+      (static_cast<std::uint64_t>(via) * 0x9E3779B97F4A7C15ull) ^
+      salt_[static_cast<std::size_t>(src)];
+  return static_cast<int>(h % static_cast<std::uint64_t>(p));
+}
+
+double PeeringModel::session_cap(int src, int point) const {
+  const int p = providers(src);
+  if (point < 0 || point >= p) throw std::out_of_range("peering point out of range");
+  return caps_[static_cast<std::size_t>(src)][static_cast<std::size_t>(point)];
+}
+
+double PeeringModel::max_aggregate_rate(int src) const {
+  const int p = providers(src);
+  double total = 0.0;
+  for (int point = 0; point < p; ++point) total += session_cap(src, point);
+  return total;
+}
+
+}  // namespace egoist::net

@@ -1,0 +1,94 @@
+// Available-bandwidth underlay model.
+//
+// The paper probes available bandwidth between PlanetLab pairs with
+// pathChirp. We model each directed overlay pair (i, j) as an access-link
+// pair plus a shared-core component: avail_bw(i,j,t) =
+// min(uplink_i, downlink_j, core_ij) - cross_traffic(t). Cross traffic
+// follows a mean-reverting (AR(1)) process so bandwidth varies smoothly in
+// time, which is what forces BR re-wirings in the bandwidth experiments.
+//
+// The same module hosts the AS / peering-point model of Fig 9-10: every
+// node belongs to a (possibly multihomed) AS, and each session crossing a
+// peering point is individually rate-limited — the mechanism that makes
+// multipath redirection through overlay neighbors profitable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace egoist::net {
+
+/// Knobs for the bandwidth generator (units: Mbps).
+struct BandwidthConfig {
+  double uplink_mean = 60.0;     ///< lognormal mean node uplink capacity
+  double uplink_sigma = 0.7;     ///< lognormal sigma (heavy tail)
+  double core_mean = 150.0;      ///< per-pair core capacity mean
+  double core_sigma = 0.5;
+  double cross_fraction = 0.35;  ///< mean fraction of capacity used by cross traffic
+  double cross_volatility = 0.2; ///< AR(1) innovation scale (relative)
+  double revert_rate = 0.05;     ///< mean reversion per second
+};
+
+/// Time-varying true available bandwidth per directed pair.
+class BandwidthModel {
+ public:
+  BandwidthModel(std::size_t n, std::uint64_t seed, BandwidthConfig config = {});
+
+  std::size_t size() const { return n_; }
+
+  /// True available bandwidth i -> j (Mbps) at the current model time.
+  double avail_bw(int i, int j) const;
+
+  /// Static capacity (no cross traffic) of the i -> j pair.
+  double capacity(int i, int j) const;
+
+  /// Advances the cross-traffic processes by dt seconds.
+  void advance(double dt);
+
+ private:
+  std::size_t index(int i, int j) const;
+
+  std::size_t n_;
+  BandwidthConfig config_;
+  util::Rng rng_;
+  std::vector<double> uplink_;       ///< per-node uplink capacity
+  std::vector<double> downlink_;     ///< per-node downlink capacity
+  std::vector<double> core_;         ///< per-pair core capacity
+  std::vector<double> cross_;        ///< per-pair cross-traffic fraction in [0, 0.95]
+};
+
+/// AS-level peering model for the multipath experiments (Fig 9/10).
+///
+/// Each overlay node lives in an AS; each AS is multihomed to
+/// `providers` peering points. Any end-to-end session is throttled to the
+/// per-session cap of the peering point it (deterministically) hashes to,
+/// so distinct first-hop neighbors can exit via distinct peering points.
+class PeeringModel {
+ public:
+  PeeringModel(std::size_t n, std::uint64_t seed, int min_providers = 1,
+               int max_providers = 3, double session_cap_mbps = 2.0);
+
+  std::size_t size() const { return n_; }
+  int providers(int node) const;
+
+  /// Peering point (0 .. providers-1) that a session from `src` to first
+  /// hop `via` exits through.
+  int egress_point(int src, int via) const;
+
+  /// Per-session rate cap at src's given peering point (Mbps).
+  double session_cap(int src, int point) const;
+
+  /// Maximum aggregate rate out of `src` when one session can be placed on
+  /// each peering point (= sum of caps): the |AS_i| multiplier of §6.1.
+  double max_aggregate_rate(int src) const;
+
+ private:
+  std::size_t n_;
+  std::vector<int> providers_;
+  std::vector<std::vector<double>> caps_;  ///< caps_[node][point]
+  std::vector<std::uint64_t> salt_;
+};
+
+}  // namespace egoist::net

@@ -1,0 +1,132 @@
+#include "net/delay_space.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace egoist::net {
+
+DelaySpace::DelaySpace(std::vector<std::vector<double>> delays)
+    : delays_(std::move(delays)) {
+  const std::size_t n = delays_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (delays_[i].size() != n) {
+      throw std::invalid_argument("delay matrix must be square");
+    }
+    if (delays_[i][i] != 0.0) {
+      throw std::invalid_argument("delay matrix diagonal must be zero");
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+      if (delays_[i][j] < 0.0) {
+        throw std::invalid_argument("delays must be non-negative");
+      }
+    }
+  }
+}
+
+std::size_t DelaySpace::check(int v) const {
+  if (v < 0 || static_cast<std::size_t>(v) >= delays_.size()) {
+    throw std::out_of_range("node id out of range");
+  }
+  return static_cast<std::size_t>(v);
+}
+
+namespace {
+
+std::vector<int> assign_clusters(std::size_t n, util::Rng& rng,
+                                 const GeoDelayConfig& config) {
+  if (config.cluster_weights.empty()) {
+    throw std::invalid_argument("cluster_weights must be non-empty");
+  }
+  double total = 0.0;
+  for (double w : config.cluster_weights) {
+    if (w < 0.0) throw std::invalid_argument("cluster weights must be >= 0");
+    total += w;
+  }
+  if (total <= 0.0) throw std::invalid_argument("cluster weights sum to zero");
+  std::vector<int> cluster(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double draw = rng.uniform(0.0, total);
+    int c = 0;
+    for (std::size_t w = 0; w < config.cluster_weights.size(); ++w) {
+      draw -= config.cluster_weights[w];
+      if (draw <= 0.0) {
+        c = static_cast<int>(w);
+        break;
+      }
+    }
+    cluster[i] = c;
+  }
+  return cluster;
+}
+
+}  // namespace
+
+std::vector<int> planetlab_like_clusters(std::size_t n, std::uint64_t seed,
+                                         const GeoDelayConfig& config) {
+  util::Rng rng(seed);
+  return assign_clusters(n, rng, config);
+}
+
+DelaySpace make_planetlab_like(std::size_t n, std::uint64_t seed,
+                               const GeoDelayConfig& config) {
+  util::Rng rng(seed);
+  const std::vector<int> cluster = assign_clusters(n, rng, config);
+
+  // Geography first: cluster centers ("continents") sit on a circle whose
+  // radius makes adjacent centers inter_cluster_ms apart in delay; nodes
+  // scatter around their center so intra-cluster pairs average
+  // intra_cluster_ms. Delays derive from Euclidean distance, which makes
+  // the space near-metric — geographically intermediate nodes really are
+  // "on the way", the property that lets a handful of well-chosen overlay
+  // links approach full-mesh routing quality (Fig 1).
+  const auto num_clusters = config.cluster_weights.size();
+  const double radius =
+      num_clusters > 1
+          ? config.inter_cluster_ms /
+                (2.0 * std::sin(3.14159265358979 / static_cast<double>(num_clusters)))
+          : 0.0;
+  // Mean pair distance of a 2D Gaussian scatter is sigma * sqrt(pi).
+  const double sigma = config.intra_cluster_ms / 1.7724539;
+  std::vector<std::pair<double, double>> pos(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double angle = 2.0 * 3.14159265358979 *
+                         static_cast<double>(cluster[i]) /
+                         static_cast<double>(num_clusters);
+    pos[i] = {radius * std::cos(angle) + rng.normal(0.0, sigma),
+              radius * std::sin(angle) + rng.normal(0.0, sigma)};
+  }
+
+  // Heavy-tailed per-node access ("last mile") penalty, applied to every
+  // path touching the node. Pareto(scale, 1.5) keeps a few slow hosts, as
+  // observed on PlanetLab.
+  std::vector<double> access(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    access[i] = rng.pareto(config.access_penalty_ms, 1.5);
+  }
+
+  std::vector<std::vector<double>> d(n, std::vector<double>(n, 0.0));
+  const double sigma_j = std::sqrt(std::log1p(config.jitter * config.jitter));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double dx = pos[i].first - pos[j].first;
+      const double dy = pos[i].second - pos[j].second;
+      const double geo = std::sqrt(dx * dx + dy * dy);
+      // Lognormal jitter keeps delays positive and mildly skewed.
+      const double pair =
+          geo * rng.lognormal(-0.5 * sigma_j * sigma_j, sigma_j) + access[i] +
+          access[j];
+      // A small fraction of pairs take an inflated direct route (routing
+      // detours), creating the triangle-inequality violations that overlay
+      // forwarding exploits.
+      const double inflated =
+          rng.chance(config.violation_fraction) ? config.violation_factor : 1.0;
+      // Mild directed asymmetry (routing is not symmetric on the Internet).
+      const double skew = 1.0 + config.asymmetry * rng.uniform(-1.0, 1.0);
+      d[i][j] = pair * inflated * skew;
+      d[j][i] = pair * inflated / skew;
+    }
+  }
+  return DelaySpace(std::move(d));
+}
+
+}  // namespace egoist::net

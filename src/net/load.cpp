@@ -1,0 +1,47 @@
+#include "net/load.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace egoist::net {
+
+LoadModel::LoadModel(std::size_t n, std::uint64_t seed, LoadConfig config)
+    : n_(n), config_(config), rng_(seed) {
+  if (n == 0) throw std::invalid_argument("need >= 1 node");
+  base_.resize(n);
+  fluctuation_.assign(n, 0.0);
+  spike_.assign(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    base_[i] = rng_.lognormal(config_.base_mu, config_.base_sigma);
+  }
+}
+
+std::size_t LoadModel::check(int node) const {
+  if (node < 0 || static_cast<std::size_t>(node) >= n_) {
+    throw std::out_of_range("node id out of range");
+  }
+  return static_cast<std::size_t>(node);
+}
+
+double LoadModel::load(int node) const {
+  const std::size_t i = check(node);
+  return std::max(0.05, base_[i] + fluctuation_[i] + spike_[i]);
+}
+
+void LoadModel::advance(double dt) {
+  if (dt < 0.0) throw std::invalid_argument("dt must be >= 0");
+  const double pull = std::min(1.0, config_.revert_rate * dt);
+  const double noise = config_.volatility * std::sqrt(dt);
+  const double spike_keep = std::exp(-config_.spike_decay * dt);
+  for (std::size_t i = 0; i < n_; ++i) {
+    fluctuation_[i] = (1.0 - pull) * fluctuation_[i] +
+                      noise * base_[i] * rng_.normal(0.0, 1.0);
+    spike_[i] *= spike_keep;
+    if (rng_.chance(1.0 - std::exp(-config_.spike_rate * dt))) {
+      spike_[i] += config_.spike_magnitude * base_[i] * rng_.uniform(0.5, 1.5);
+    }
+  }
+}
+
+}  // namespace egoist::net

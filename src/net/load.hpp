@@ -1,0 +1,69 @@
+// Node CPU-load model.
+//
+// The paper's node-load metric assigns every outgoing overlay link of a
+// node the node's measured CPU load (loadavg smoothed by a 1-minute EWMA),
+// so path cost = sum of the loads of the nodes along the path. PlanetLab
+// load is notoriously bursty and heavy-tailed; LoadModel combines a
+// persistent per-node base level (some hosts are just busy), a slow
+// mean-reverting component, and occasional spikes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace egoist::net {
+
+struct LoadConfig {
+  double base_mu = 0.6;        ///< lognormal mu of the per-node base load
+  double base_sigma = 0.8;     ///< heavy tail: some nodes are always loaded
+  double revert_rate = 0.02;   ///< mean reversion of the fluctuation per second
+  double volatility = 0.25;    ///< fluctuation innovation scale
+  double spike_rate = 1.0 / 600.0;  ///< spikes per second per node
+  double spike_magnitude = 4.0;     ///< multiplicative spike factor
+  double spike_decay = 1.0 / 120.0; ///< spike decay rate per second
+};
+
+/// Time-varying true load per node (arbitrary loadavg-like units, > 0).
+class LoadModel {
+ public:
+  LoadModel(std::size_t n, std::uint64_t seed, LoadConfig config = {});
+
+  std::size_t size() const { return n_; }
+
+  /// Instantaneous true load of the node.
+  double load(int node) const;
+
+  /// Advances all load processes by dt seconds.
+  void advance(double dt);
+
+ private:
+  std::size_t check(int node) const;
+
+  std::size_t n_;
+  LoadConfig config_;
+  util::Rng rng_;
+  std::vector<double> base_;
+  std::vector<double> fluctuation_;  ///< additive, mean zero
+  std::vector<double> spike_;        ///< additive, decaying
+};
+
+/// Local load estimator: periodic readings smoothed by a 1-minute EWMA,
+/// exactly the measurement pipeline of §4.1 ("exponentially-weighted moving
+/// average of that load calculated over a given interval (taken to be
+/// 1 minute in our experiments)").
+class LoadEstimator {
+ public:
+  explicit LoadEstimator(double half_life_s = 60.0) : ewma_(half_life_s) {}
+
+  void observe(double true_load, double now_s) { ewma_.update(true_load, now_s); }
+  bool has_estimate() const { return ewma_.has_value(); }
+  double estimate() const { return ewma_.value(); }
+
+ private:
+  util::Ewma ewma_;
+};
+
+}  // namespace egoist::net

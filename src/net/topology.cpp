@@ -1,0 +1,181 @@
+#include "net/topology.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numbers>
+#include <numeric>
+#include <stdexcept>
+
+#include "graph/shortest_path.hpp"
+
+namespace egoist::net {
+
+namespace {
+
+constexpr double kPlaneSize = 1000.0;   // logical plane edge, "km"
+constexpr double kMsPerUnit = 0.05;     // propagation delay per plane unit
+
+double plane_distance(const std::pair<double, double>& a,
+                      const std::pair<double, double>& b) {
+  const double dx = a.first - b.first;
+  const double dy = a.second - b.second;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+void add_undirected_link(graph::Digraph& g, graph::NodeId u, graph::NodeId v,
+                         double delay) {
+  g.set_edge(u, v, delay);
+  g.set_edge(v, u, delay);
+}
+
+}  // namespace
+
+Underlay make_waxman(std::size_t routers, std::uint64_t seed, double alpha,
+                     double beta) {
+  if (routers < 2) throw std::invalid_argument("need >= 2 routers");
+  if (alpha <= 0.0 || beta <= 0.0) {
+    throw std::invalid_argument("waxman parameters must be positive");
+  }
+  util::Rng rng(seed);
+  Underlay u{graph::Digraph(routers), {}};
+  u.positions.reserve(routers);
+  for (std::size_t i = 0; i < routers; ++i) {
+    u.positions.emplace_back(rng.uniform(0.0, kPlaneSize),
+                             rng.uniform(0.0, kPlaneSize));
+  }
+  const double scale = kPlaneSize * std::numbers::sqrt2;
+  for (std::size_t i = 0; i < routers; ++i) {
+    for (std::size_t j = i + 1; j < routers; ++j) {
+      const double dist = plane_distance(u.positions[i], u.positions[j]);
+      if (rng.chance(alpha * std::exp(-dist / (beta * scale)))) {
+        add_undirected_link(u.routers, static_cast<graph::NodeId>(i),
+                            static_cast<graph::NodeId>(j), dist * kMsPerUnit);
+      }
+    }
+  }
+  // Stitch disconnected components to their nearest connected router.
+  std::vector<bool> reached(routers, false);
+  std::vector<std::size_t> frontier{0};
+  reached[0] = true;
+  while (!frontier.empty()) {
+    const std::size_t at = frontier.back();
+    frontier.pop_back();
+    for (const auto& e : u.routers.out_edges(static_cast<graph::NodeId>(at))) {
+      if (!reached[static_cast<std::size_t>(e.to)]) {
+        reached[static_cast<std::size_t>(e.to)] = true;
+        frontier.push_back(static_cast<std::size_t>(e.to));
+      }
+    }
+  }
+  for (std::size_t i = 0; i < routers; ++i) {
+    if (reached[i]) continue;
+    // Attach i's whole component via i's nearest reached router.
+    std::size_t best = 0;
+    double best_dist = std::numeric_limits<double>::infinity();
+    for (std::size_t j = 0; j < routers; ++j) {
+      if (!reached[j]) continue;
+      const double dist = plane_distance(u.positions[i], u.positions[j]);
+      if (dist < best_dist) {
+        best_dist = dist;
+        best = j;
+      }
+    }
+    add_undirected_link(u.routers, static_cast<graph::NodeId>(i),
+                        static_cast<graph::NodeId>(best), best_dist * kMsPerUnit);
+    // Re-flood from i to absorb its component.
+    reached[i] = true;
+    frontier.push_back(i);
+    while (!frontier.empty()) {
+      const std::size_t at = frontier.back();
+      frontier.pop_back();
+      for (const auto& e : u.routers.out_edges(static_cast<graph::NodeId>(at))) {
+        if (!reached[static_cast<std::size_t>(e.to)]) {
+          reached[static_cast<std::size_t>(e.to)] = true;
+          frontier.push_back(static_cast<std::size_t>(e.to));
+        }
+      }
+    }
+  }
+  return u;
+}
+
+Underlay make_barabasi_albert(std::size_t routers, std::uint64_t seed,
+                              std::size_t m) {
+  if (m < 1) throw std::invalid_argument("m must be >= 1");
+  if (routers < m + 1) throw std::invalid_argument("need > m routers");
+  util::Rng rng(seed);
+  Underlay u{graph::Digraph(routers), {}};
+  u.positions.reserve(routers);
+  for (std::size_t i = 0; i < routers; ++i) {
+    u.positions.emplace_back(rng.uniform(0.0, kPlaneSize),
+                             rng.uniform(0.0, kPlaneSize));
+  }
+  // Degree-proportional target selection via the repeated-endpoints trick:
+  // every link endpoint appears once in `endpoints`, so uniform draws from
+  // it are degree-biased.
+  std::vector<graph::NodeId> endpoints;
+  // Seed clique over the first m+1 routers.
+  for (std::size_t i = 0; i <= m; ++i) {
+    for (std::size_t j = i + 1; j <= m; ++j) {
+      add_undirected_link(u.routers, static_cast<graph::NodeId>(i),
+                          static_cast<graph::NodeId>(j),
+                          plane_distance(u.positions[i], u.positions[j]) * kMsPerUnit);
+      endpoints.push_back(static_cast<graph::NodeId>(i));
+      endpoints.push_back(static_cast<graph::NodeId>(j));
+    }
+  }
+  for (std::size_t i = m + 1; i < routers; ++i) {
+    std::vector<graph::NodeId> chosen;
+    while (chosen.size() < m) {
+      const graph::NodeId target =
+          endpoints[static_cast<std::size_t>(rng.uniform_int(
+              0, static_cast<std::int64_t>(endpoints.size()) - 1))];
+      if (target == static_cast<graph::NodeId>(i)) continue;
+      if (std::find(chosen.begin(), chosen.end(), target) != chosen.end()) continue;
+      chosen.push_back(target);
+    }
+    for (const graph::NodeId target : chosen) {
+      add_undirected_link(
+          u.routers, static_cast<graph::NodeId>(i), target,
+          plane_distance(u.positions[i],
+                         u.positions[static_cast<std::size_t>(target)]) *
+              kMsPerUnit);
+      endpoints.push_back(static_cast<graph::NodeId>(i));
+      endpoints.push_back(target);
+    }
+  }
+  return u;
+}
+
+DelaySpace delay_space_from_underlay(const Underlay& underlay,
+                                     std::size_t overlay_nodes,
+                                     std::uint64_t seed, double asymmetry) {
+  const std::size_t routers = underlay.routers.node_count();
+  if (overlay_nodes > routers) {
+    throw std::invalid_argument("more overlay nodes than routers");
+  }
+  util::Rng rng(seed);
+  std::vector<graph::NodeId> all(routers);
+  std::iota(all.begin(), all.end(), 0);
+  const auto attach = rng.sample_without_replacement(
+      std::span<const graph::NodeId>(all), overlay_nodes);
+
+  std::vector<std::vector<double>> d(overlay_nodes,
+                                     std::vector<double>(overlay_nodes, 0.0));
+  for (std::size_t i = 0; i < overlay_nodes; ++i) {
+    const auto tree = graph::dijkstra(underlay.routers, attach[i]);
+    for (std::size_t j = 0; j < overlay_nodes; ++j) {
+      if (i == j) continue;
+      const double base = tree.dist[static_cast<std::size_t>(attach[j])];
+      if (base == graph::kUnreachable) {
+        throw std::logic_error("underlay must be connected");
+      }
+      const double skew = 1.0 + asymmetry * rng.uniform(-1.0, 1.0);
+      d[i][j] = base * skew;
+    }
+  }
+  return DelaySpace(std::move(d));
+}
+
+}  // namespace egoist::net

@@ -1,0 +1,46 @@
+// Synthetic router-level underlay topologies.
+//
+// The paper's scaling study (§5) also validates on "synthetic topologies
+// from BRITE and real AS topologies". BRITE's two standard flavors are
+// Waxman random graphs and Barabási–Albert preferential attachment; we
+// implement both, plus the ring used by k-Regular's mental model. Overlay
+// nodes attach to random routers and inherit shortest-path delays through
+// the underlay (so underlay routing inefficiencies are visible at the
+// overlay, as in reality).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "net/delay_space.hpp"
+#include "util/rng.hpp"
+
+namespace egoist::net {
+
+/// A router-level underlay: an undirected connected graph with link delays,
+/// stored as a symmetric Digraph.
+struct Underlay {
+  graph::Digraph routers;               ///< symmetric link delays (ms)
+  std::vector<std::pair<double, double>> positions;  ///< plane coordinates
+};
+
+/// Waxman random graph: routers uniform on a plane; edge probability
+/// alpha * exp(-dist / (beta * L)). Connectivity is enforced by linking
+/// each unreached component to its nearest reached router.
+Underlay make_waxman(std::size_t routers, std::uint64_t seed, double alpha = 0.15,
+                     double beta = 0.2);
+
+/// Barabási–Albert preferential attachment with m links per new router
+/// (BRITE's "BA" mode); link delay from plane distance.
+Underlay make_barabasi_albert(std::size_t routers, std::uint64_t seed,
+                              std::size_t m = 2);
+
+/// Delay space for `overlay_nodes` overlay nodes attached to distinct
+/// random routers of the underlay: one-way delay = underlay shortest path
+/// (+ small asymmetric skew).
+DelaySpace delay_space_from_underlay(const Underlay& underlay,
+                                     std::size_t overlay_nodes,
+                                     std::uint64_t seed, double asymmetry = 0.05);
+
+}  // namespace egoist::net

@@ -1,0 +1,96 @@
+// Configuration types for an EGOIST overlay deployment.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/policies.hpp"
+
+namespace egoist::overlay {
+
+/// Neighbor-selection policy (§3.2, §3.3).
+enum class Policy {
+  kBestResponse,  ///< BR: minimize local cost (the EGOIST default)
+  kHybridBR,      ///< k2 donated backbone links + BR on the rest (§3.3)
+  kRandom,        ///< k uniform random neighbors
+  kClosest,       ///< k minimum-direct-cost neighbors
+  kRegular,       ///< common offset vector around the id ring
+  kFullMesh,      ///< connect to everyone (the RON-style upper bound)
+};
+
+/// Cost metric (§4.1).
+enum class Metric {
+  kDelayPing,    ///< one-way delay estimated via ping (active)
+  kDelayCoords,  ///< one-way delay from Vivaldi coordinates (passive)
+  kNodeLoad,     ///< per-node CPU load; path cost sums node loads
+  kBandwidth,    ///< available bandwidth (bigger is better)
+};
+
+/// HybridBR backbone construction (§3.3).
+enum class Backbone {
+  kCycles,  ///< k2/2 bidirectional ring cycles (EGOIST's choice)
+  kMst,     ///< minimum-spanning-tree mesh (Young et al. [43] style)
+};
+
+/// When a neighbor is detected dead (§3.3).
+enum class RewireMode {
+  kDelayed,    ///< repair at the next wiring epoch (EGOIST's default)
+  kImmediate,  ///< re-evaluate as soon as the loss is detected
+};
+
+const char* to_string(Policy policy);
+const char* to_string(Metric metric);
+
+struct OverlayConfig {
+  std::size_t k = 5;                  ///< neighbor budget per node
+  Policy policy = Policy::kBestResponse;
+  Metric metric = Metric::kDelayPing;
+
+  /// BR(eps): re-wire only when the new wiring improves the local cost by
+  /// more than this fraction (0 = plain BR; paper evaluates 0.1).
+  double epsilon = 0.0;
+
+  /// Measurement-noise floor for plain BR (epsilon == 0): improvements
+  /// below this fraction of the current cost are indistinguishable from
+  /// ping/probe noise and do not trigger a re-wire. The deployed system
+  /// gets the same effect from averaging link samples across an epoch.
+  double noise_floor = 0.01;
+
+  /// HybridBR: number of donated backbone links k2 (must be even, < k).
+  std::size_t donated_links = 2;
+
+  /// HybridBR: how the donated links form a connectivity backbone.
+  Backbone backbone = Backbone::kCycles;
+
+  /// Reaction to a neighbor's departure (immediate mode models aggressive
+  /// link monitoring on *all* links, not just donated ones).
+  RewireMode rewire_mode = RewireMode::kDelayed;
+
+  /// Audits (§3.4): before using an announced link cost, cross-check it
+  /// against the virtual-coordinate estimate; announcements more than
+  /// audit_tolerance x the estimate are discarded and replaced by the
+  /// estimate, neutering cost-inflation cheaters. Delay metrics only.
+  bool enable_audits = false;
+  double audit_tolerance = 1.5;
+
+  /// Free riders: nodes that announce link costs inflated by cheat_factor
+  /// (> 1; the paper's experiment uses 2x). Only they lie; their own
+  /// decisions use truthful local measurements.
+  std::vector<int> cheaters;
+  double cheat_factor = 2.0;
+
+  /// Best-response search tuning.
+  core::BestResponseOptions search;
+
+  /// Routing-preference skew (footnote 8): each node weights destinations
+  /// by a Zipf law with this exponent over a node-specific random ranking
+  /// (0 = uniform preference, the paper's conservative default). BR
+  /// leverages skew — it spends links on the destinations a node actually
+  /// talks to — while the heuristics cannot.
+  double preference_zipf_exponent = 0.0;
+
+  std::uint64_t seed = 1;  ///< policy randomness (k-Random draws, tie noise)
+};
+
+}  // namespace egoist::overlay

@@ -1,0 +1,80 @@
+#include "overlay/environment.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace egoist::overlay {
+
+Environment::Environment(std::size_t n, std::uint64_t seed,
+                         EnvironmentConfig config)
+    : delays_(net::make_planetlab_like(n, seed, config.geo)),
+      bandwidth_(n, seed ^ 0xB00Bull, config.bandwidth),
+      load_(n, seed ^ 0x10ADull, config.load),
+      coords_(delays_, seed ^ 0xC00Dull, config.vivaldi),
+      bw_probe_(bandwidth_, seed ^ 0xBEEFull, config.bw_probe_error),
+      env_config_(config),
+      rng_(seed ^ 0xE417ull) {
+  coords_.converge(config.coord_warmup_rounds);
+  ping_smoothed_.assign(n * n, std::numeric_limits<double>::quiet_NaN());
+  delay_drift_.assign(n * n, 0.0);
+  load_estimators_.reserve(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    load_estimators_.emplace_back(60.0);
+    load_estimators_.back().observe(load_.load(static_cast<int>(v)), 0.0);
+  }
+}
+
+double Environment::true_delay(int i, int j) const {
+  const double base = delays_.delay(i, j);
+  const double drift = delay_drift_[static_cast<std::size_t>(i) * size() +
+                                    static_cast<std::size_t>(j)];
+  return base * (1.0 + drift);
+}
+
+double Environment::measure_delay_ping(int i, int j) {
+  // RTT/2 averaged over ping_samples probes; queueing noise only adds.
+  const double rtt = true_delay(i, j) + true_delay(j, i);
+  double sum = 0.0;
+  for (int s = 0; s < env_config_.ping_samples; ++s) {
+    sum += rtt + std::abs(rng_.normal(0.0, env_config_.ping_jitter_ms));
+  }
+  const double sample = sum / env_config_.ping_samples / 2.0;
+
+  double& smoothed =
+      ping_smoothed_[static_cast<std::size_t>(i) * size() +
+                     static_cast<std::size_t>(j)];
+  if (std::isnan(smoothed)) {
+    smoothed = sample;
+  } else {
+    // Nodes monitor links continuously; fold fresh samples into a running
+    // average rather than trusting a single epoch's probe.
+    constexpr double kAlpha = 0.3;
+    smoothed = (1.0 - kAlpha) * smoothed + kAlpha * sample;
+  }
+  return smoothed;
+}
+
+double Environment::measure_load(int node) const {
+  const auto& est = load_estimators_.at(static_cast<std::size_t>(node));
+  return est.has_estimate() ? est.estimate() : 0.0;
+}
+
+void Environment::advance(double dt) {
+  now_ += dt;
+  bandwidth_.advance(dt);
+  load_.advance(dt);
+  coords_.tick();  // one coordinate-maintenance round per advance
+  for (std::size_t v = 0; v < load_estimators_.size(); ++v) {
+    load_estimators_[v].observe(load_.load(static_cast<int>(v)), now_);
+  }
+  // Mean-reverting relative delay drift per directed pair.
+  const double pull = std::min(1.0, env_config_.delay_drift_reversion * dt);
+  const double noise = env_config_.delay_drift_volatility * std::sqrt(dt);
+  for (double& d : delay_drift_) {
+    d = (1.0 - pull) * d + noise * rng_.normal(0.0, 1.0);
+    d = std::clamp(d, -env_config_.delay_drift_cap, env_config_.delay_drift_cap);
+  }
+}
+
+}  // namespace egoist::overlay

@@ -1,0 +1,89 @@
+// The shared "PlanetLab" substrate an overlay (or several, concurrently)
+// runs against: true delays, available bandwidth, node load, and the
+// measurement planes (ping, Vivaldi coordinates, pathChirp-like probes).
+//
+// The paper neutralizes extrinsic variability by running all policies
+// concurrently on the same nodes; we reproduce that by constructing one
+// Environment and evaluating every policy's overlay against it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "coord/vivaldi.hpp"
+#include "net/bandwidth.hpp"
+#include "net/delay_space.hpp"
+#include "net/load.hpp"
+#include "net/measurement.hpp"
+
+namespace egoist::overlay {
+
+struct EnvironmentConfig {
+  net::GeoDelayConfig geo;            ///< PlanetLab-like delay generator knobs
+  net::BandwidthConfig bandwidth;
+  net::LoadConfig load;
+  coord::VivaldiConfig vivaldi;
+  double ping_jitter_ms = 1.0;        ///< per-sample ping noise
+  int ping_samples = 5;
+  double bw_probe_error = 0.05;       ///< pathChirp-like relative error
+  int coord_warmup_rounds = 200;      ///< Vivaldi convergence before use
+
+  /// Slow per-pair delay drift (mean-reverting, relative): Internet paths
+  /// wander as routes and queues change, which is what sustains a nonzero
+  /// re-wiring rate at steady state (Fig 3).
+  double delay_drift_volatility = 0.004;  ///< innovation per sqrt(second)
+  double delay_drift_reversion = 0.01;    ///< pull toward 0 per second
+  double delay_drift_cap = 0.3;           ///< |drift| bound
+};
+
+/// Owns all substrate models for an n-node deployment.
+class Environment {
+ public:
+  Environment(std::size_t n, std::uint64_t seed, EnvironmentConfig config = {});
+
+  std::size_t size() const { return delays_.size(); }
+
+  const net::DelaySpace& delays() const { return delays_; }
+  const net::BandwidthModel& bandwidth() const { return bandwidth_; }
+  const net::LoadModel& load() const { return load_; }
+  const coord::VivaldiSystem& coords() const { return coords_; }
+
+  /// --- True (oracle) per-link quantities, used to score overlays ---
+  /// Base delay modulated by the current drift state.
+  double true_delay(int i, int j) const;
+  double true_load(int node) const { return load_.load(node); }
+  double true_avail_bw(int i, int j) const { return bandwidth_.avail_bw(i, j); }
+
+  /// --- Measured quantities, used by nodes to decide ---
+  /// Ping estimates are smoothed across calls (EWMA, alpha = 0.3): nodes
+  /// monitor links continuously and fold fresh samples into a running
+  /// average rather than trusting a single epoch's probe.
+  double measure_delay_ping(int i, int j);
+  double measure_delay_coords(int i, int j) const {
+    return coords_.estimate_one_way(i, j);
+  }
+  /// EWMA-smoothed load as the node itself reports it.
+  double measure_load(int node) const;
+  double measure_avail_bw(int i, int j) { return bw_probe_.estimate(i, j); }
+
+  /// Advances the dynamic processes by dt seconds (bandwidth cross
+  /// traffic, node load, one coordinate-maintenance round, load EWMAs).
+  void advance(double dt);
+
+  double now() const { return now_; }
+
+ private:
+  net::DelaySpace delays_;
+  net::BandwidthModel bandwidth_;
+  net::LoadModel load_;
+  coord::VivaldiSystem coords_;
+  net::BandwidthProber bw_probe_;
+  std::vector<net::LoadEstimator> load_estimators_;
+  std::vector<double> ping_smoothed_;  ///< per-pair EWMA; NaN = no sample yet
+  std::vector<double> delay_drift_;    ///< per-pair relative drift state
+  EnvironmentConfig env_config_;
+  util::Rng rng_;
+  double now_ = 0.0;
+};
+
+}  // namespace egoist::overlay

@@ -1,0 +1,625 @@
+#include "overlay/network.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/residual.hpp"
+#include "core/sampling.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/metrics.hpp"
+#include "graph/mst.hpp"
+#include "graph/shortest_path.hpp"
+#include "graph/widest_path.hpp"
+
+namespace egoist::overlay {
+
+namespace {
+
+bool same_set(std::vector<NodeId> a, std::vector<NodeId> b) {
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  return a == b;
+}
+
+}  // namespace
+
+const char* to_string(Policy policy) {
+  switch (policy) {
+    case Policy::kBestResponse: return "BR";
+    case Policy::kHybridBR: return "HybridBR";
+    case Policy::kRandom: return "k-Random";
+    case Policy::kClosest: return "k-Closest";
+    case Policy::kRegular: return "k-Regular";
+    case Policy::kFullMesh: return "FullMesh";
+  }
+  return "?";
+}
+
+const char* to_string(Metric metric) {
+  switch (metric) {
+    case Metric::kDelayPing: return "delay(ping)";
+    case Metric::kDelayCoords: return "delay(coords)";
+    case Metric::kNodeLoad: return "node-load";
+    case Metric::kBandwidth: return "avail-bw";
+  }
+  return "?";
+}
+
+EgoistNetwork::EgoistNetwork(Environment& env, OverlayConfig config)
+    : env_(env),
+      config_(config),
+      rng_(config.seed),
+      online_(env.size(), true),
+      wiring_(env.size()),
+      donated_(env.size()),
+      announced_(env.size()) {
+  if (config_.k == 0 || config_.k >= env.size()) {
+    throw std::invalid_argument("need 0 < k < n");
+  }
+  if (config_.policy == Policy::kHybridBR) {
+    if (config_.donated_links % 2 != 0 || config_.donated_links == 0 ||
+        config_.donated_links >= config_.k) {
+      throw std::invalid_argument("HybridBR needs even 0 < k2 < k");
+    }
+  }
+  if (config_.cheat_factor < 1.0) {
+    throw std::invalid_argument("cheat_factor must be >= 1");
+  }
+  for (int c : config_.cheaters) {
+    if (c < 0 || static_cast<std::size_t>(c) >= env.size()) {
+      throw std::out_of_range("cheater id out of range");
+    }
+  }
+  if (config_.preference_zipf_exponent < 0.0) {
+    throw std::invalid_argument("zipf exponent must be >= 0");
+  }
+  if (config_.preference_zipf_exponent > 0.0) {
+    // Per-node Zipf preference over a node-specific random destination
+    // ranking: p_ij proportional to 1 / rank_i(j)^s.
+    base_preference_.resize(env.size());
+    for (std::size_t i = 0; i < env.size(); ++i) {
+      std::vector<NodeId> ranked;
+      for (std::size_t j = 0; j < env.size(); ++j) {
+        if (j != i) ranked.push_back(static_cast<NodeId>(j));
+      }
+      rng_.shuffle(ranked);
+      base_preference_[i].assign(env.size(), 0.0);
+      for (std::size_t r = 0; r < ranked.size(); ++r) {
+        base_preference_[i][static_cast<std::size_t>(ranked[r])] =
+            1.0 / std::pow(static_cast<double>(r + 1),
+                           config_.preference_zipf_exponent);
+      }
+    }
+  }
+  // Incremental bootstrap: nodes join one at a time (id order), each wiring
+  // itself against the overlay built so far...
+  std::fill(online_.begin(), online_.end(), false);
+  for (std::size_t v = 0; v < env.size(); ++v) {
+    online_[v] = true;
+    announced_.set_active(static_cast<NodeId>(v), true);
+    join(static_cast<int>(v));
+  }
+  if (config_.policy == Policy::kHybridBR) refresh_backbone();
+  // ...then one settling pass so early joiners (who saw a near-empty
+  // overlay) fill out their k links with full knowledge. This models the
+  // initial convergence the deployed system reaches before measurements
+  // start; it does not count as epoch re-wiring.
+  for (std::size_t v = 0; v < env.size(); ++v) join(static_cast<int>(v));
+}
+
+bool EgoistNetwork::is_cheater(int node) const {
+  return std::find(config_.cheaters.begin(), config_.cheaters.end(), node) !=
+         config_.cheaters.end();
+}
+
+void EgoistNetwork::set_online(int node, bool online) {
+  announced_.check_node(node);
+  if (online_[static_cast<std::size_t>(node)] == online) return;
+  online_[static_cast<std::size_t>(node)] = online;
+  announced_.set_active(node, online);
+  if (!online) {
+    // The node vanishes: its announcements age out of everyone's database.
+    announced_.clear_out_edges(node);
+    wiring_[static_cast<std::size_t>(node)].clear();
+    donated_[static_cast<std::size_t>(node)].clear();
+  } else {
+    // A (re)joining node first connects to a bootstrap node only (§3.1);
+    // its full policy wiring is computed at its next wiring-epoch turn.
+    // HybridBR additionally receives its donated backbone links right away
+    // (the backbone is maintained aggressively, below).
+    std::vector<NodeId> others;
+    for (NodeId v : online_nodes()) {
+      if (v != node) others.push_back(v);
+    }
+    if (!others.empty()) {
+      const NodeId bootstrap = others[static_cast<std::size_t>(
+          rng_.uniform_int(0, static_cast<std::int64_t>(others.size()) - 1))];
+      const auto direct = measure_direct(node);
+      apply_wiring(node, {bootstrap}, direct);
+    }
+  }
+  // The donated backbone is monitored aggressively (heartbeats) and spliced
+  // immediately on membership changes; BR links wait for the wiring epoch.
+  if (config_.policy == Policy::kHybridBR) refresh_backbone();
+  // Immediate re-wiring mode: nodes that lost a neighbor repair right away
+  // instead of waiting for their epoch (§3.3's aggressive monitoring
+  // applied to every link).
+  if (!online && config_.rewire_mode == RewireMode::kImmediate) {
+    for (NodeId u : online_nodes()) {
+      const auto& w = wiring_[static_cast<std::size_t>(u)];
+      if (std::find(w.begin(), w.end(), static_cast<NodeId>(node)) != w.end()) {
+        if (evaluate_node(u)) ++total_rewirings_;
+      }
+    }
+  }
+}
+
+bool EgoistNetwork::is_online(int node) const {
+  announced_.check_node(node);
+  return online_[static_cast<std::size_t>(node)];
+}
+
+std::size_t EgoistNetwork::online_count() const {
+  return static_cast<std::size_t>(
+      std::count(online_.begin(), online_.end(), true));
+}
+
+std::vector<NodeId> EgoistNetwork::online_nodes() const {
+  std::vector<NodeId> out;
+  for (std::size_t v = 0; v < online_.size(); ++v) {
+    if (online_[v]) out.push_back(static_cast<NodeId>(v));
+  }
+  return out;
+}
+
+const std::vector<NodeId>& EgoistNetwork::wiring(int node) const {
+  announced_.check_node(node);
+  return wiring_[static_cast<std::size_t>(node)];
+}
+
+const std::vector<NodeId>& EgoistNetwork::donated(int node) const {
+  announced_.check_node(node);
+  return donated_[static_cast<std::size_t>(node)];
+}
+
+std::vector<double> EgoistNetwork::measure_direct(int node) {
+  const std::size_t n = online_.size();
+  std::vector<double> direct(
+      n, config_.metric == Metric::kBandwidth ? 0.0 : graph::kUnreachable);
+  for (std::size_t v = 0; v < n; ++v) {
+    if (!online_[v] || static_cast<int>(v) == node) continue;
+    const int j = static_cast<int>(v);
+    switch (config_.metric) {
+      case Metric::kDelayPing:
+        direct[v] = env_.measure_delay_ping(node, j);
+        break;
+      case Metric::kDelayCoords:
+        direct[v] = env_.measure_delay_coords(node, j);
+        break;
+      case Metric::kNodeLoad:
+        // All outgoing links of a node carry the node's own measured load
+        // (§4.1), so the direct cost does not depend on the target.
+        direct[v] = env_.measure_load(node);
+        break;
+      case Metric::kBandwidth:
+        direct[v] = env_.measure_avail_bw(node, j);
+        break;
+    }
+  }
+  return direct;
+}
+
+double EgoistNetwork::announced_cost(int node, double measured) const {
+  if (!is_cheater(node)) return measured;
+  // Free riders discourage upstreams: inflate delay/load, deflate bandwidth.
+  if (config_.metric == Metric::kBandwidth) {
+    return measured / config_.cheat_factor;
+  }
+  return measured * config_.cheat_factor;
+}
+
+std::vector<double> EgoistNetwork::preference_of(int node) const {
+  std::vector<double> pref(online_.size(), 0.0);
+  double total = 0.0;
+  for (std::size_t j = 0; j < online_.size(); ++j) {
+    if (!online_[j] || static_cast<int>(j) == node) continue;
+    const double w = base_preference_.empty()
+                         ? 1.0
+                         : base_preference_[static_cast<std::size_t>(node)][j];
+    pref[j] = w;
+    total += w;
+  }
+  if (total > 0.0) {
+    for (double& w : pref) w /= total;
+  }
+  return pref;
+}
+
+graph::Digraph EgoistNetwork::decision_graph() const {
+  const bool delay_metric = config_.metric == Metric::kDelayPing ||
+                            config_.metric == Metric::kDelayCoords;
+  if (!config_.enable_audits || !delay_metric) return announced_;
+  graph::Digraph audited(online_.size());
+  for (std::size_t u = 0; u < online_.size(); ++u) {
+    const auto uid = static_cast<NodeId>(u);
+    audited.set_active(uid, online_[u]);
+    for (const auto& e : announced_.out_edges(uid)) {
+      const double estimate =
+          env_.measure_delay_coords(static_cast<int>(u), e.to);
+      const bool suspicious = e.weight > config_.audit_tolerance * estimate;
+      audited.set_edge(uid, e.to, suspicious ? estimate : e.weight);
+    }
+  }
+  return audited;
+}
+
+void EgoistNetwork::apply_wiring(int node, std::vector<NodeId> wiring,
+                                 const std::vector<double>& direct) {
+  std::sort(wiring.begin(), wiring.end());
+  announced_.clear_out_edges(node);
+  for (NodeId v : wiring) {
+    announced_.set_edge(node, v,
+                        announced_cost(node, direct[static_cast<std::size_t>(v)]));
+  }
+  wiring_[static_cast<std::size_t>(node)] = std::move(wiring);
+}
+
+std::vector<NodeId> EgoistNetwork::backbone_links(int node) const {
+  const auto ring = online_nodes();
+  std::vector<NodeId> links;
+  const auto it = std::find(ring.begin(), ring.end(), static_cast<NodeId>(node));
+  if (it == ring.end() || ring.size() < 2) return links;
+
+  if (config_.backbone == Backbone::kMst) {
+    // Young et al. [43]-style backbone: a minimum spanning tree over the
+    // current true delays. Centralized and rebuilt on every membership
+    // change — the overhead §3.3 argues against, quantified by the
+    // ablation bench. Each node donates links to its tree neighbors (up to
+    // its donated budget; high-degree tree nodes are truncated).
+    const auto tree = graph::minimum_spanning_tree(
+        ring, [this](NodeId a, NodeId b) { return env_.true_delay(a, b); });
+    const auto adjacency = tree_adjacency(online_.size(), tree);
+    for (NodeId v : adjacency[static_cast<std::size_t>(node)]) {
+      if (links.size() >= config_.donated_links) break;
+      links.push_back(v);
+    }
+    return links;
+  }
+
+  // EGOIST's choice: rank the online nodes by id; node connects to the
+  // nodes +/- c ring positions away, c = 1 .. k2/2 (bidirectional cycles).
+  const std::size_t pos = static_cast<std::size_t>(it - ring.begin());
+  const std::size_t cycles = config_.donated_links / 2;
+  for (std::size_t c = 1; c <= cycles; ++c) {
+    const NodeId fwd = ring[(pos + c) % ring.size()];
+    const NodeId back = ring[(pos + ring.size() - c % ring.size()) % ring.size()];
+    for (NodeId v : {fwd, back}) {
+      if (v != node && std::find(links.begin(), links.end(), v) == links.end()) {
+        links.push_back(v);
+      }
+    }
+  }
+  return links;
+}
+
+void EgoistNetwork::refresh_backbone() {
+  for (NodeId v : online_nodes()) {
+    auto fresh = backbone_links(v);
+    auto& donated = donated_[static_cast<std::size_t>(v)];
+    if (same_set(donated, fresh)) continue;
+    // Splice: replace old donated links, keep the BR links intact.
+    auto& wiring = wiring_[static_cast<std::size_t>(v)];
+    std::vector<NodeId> free_links;
+    for (NodeId w : wiring) {
+      if (std::find(donated.begin(), donated.end(), w) == donated.end()) {
+        free_links.push_back(w);
+      }
+    }
+    donated = std::move(fresh);
+    std::vector<NodeId> combined = donated;
+    for (NodeId w : free_links) {
+      if (std::find(combined.begin(), combined.end(), w) == combined.end() &&
+          combined.size() < config_.k) {
+        combined.push_back(w);
+      }
+    }
+    const auto direct = measure_direct(v);
+    apply_wiring(v, std::move(combined), direct);
+  }
+}
+
+std::vector<NodeId> EgoistNetwork::choose_wiring(int node,
+                                                 const std::vector<double>& direct) {
+  // Candidates: online nodes other than self.
+  std::vector<NodeId> candidates;
+  for (NodeId v : online_nodes()) {
+    if (v != node) candidates.push_back(v);
+  }
+  const std::size_t k = std::min(config_.k, candidates.size());
+
+  switch (config_.policy) {
+    case Policy::kRandom: {
+      // Keep the existing wiring; only replace links to departed nodes
+      // (k-Random re-wires only under churn, §4.2).
+      std::vector<NodeId> keep;
+      for (NodeId v : wiring_[static_cast<std::size_t>(node)]) {
+        if (online_[static_cast<std::size_t>(v)]) keep.push_back(v);
+      }
+      std::vector<NodeId> pool;
+      for (NodeId v : candidates) {
+        if (std::find(keep.begin(), keep.end(), v) == keep.end()) pool.push_back(v);
+      }
+      while (keep.size() < k && !pool.empty()) {
+        const std::size_t pick = static_cast<std::size_t>(
+            rng_.uniform_int(0, static_cast<std::int64_t>(pool.size()) - 1));
+        keep.push_back(pool[pick]);
+        pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(pick));
+      }
+      return keep;
+    }
+    case Policy::kClosest: {
+      if (config_.metric == Metric::kBandwidth) {
+        return core::select_k_widest(candidates, direct, k);
+      }
+      if (config_.metric == Metric::kNodeLoad) {
+        // Under the load metric a node's own outgoing links all cost the
+        // same (its own load), so "closest" is judged by the candidate's
+        // advertised load — the myopic choice the paper describes: it sees
+        // the immediate neighbor's load but nothing beyond it, and herds
+        // onto currently-idle hosts.
+        std::vector<double> candidate_load(online_.size(), 0.0);
+        for (NodeId v : candidates) {
+          candidate_load[static_cast<std::size_t>(v)] = env_.measure_load(v);
+        }
+        return core::select_k_closest(candidates, candidate_load, k);
+      }
+      return core::select_k_closest(candidates, direct, k);
+    }
+    case Policy::kRegular: {
+      // Offsets over the ring of online nodes ranked by id.
+      const auto ring = online_nodes();
+      const auto it =
+          std::find(ring.begin(), ring.end(), static_cast<NodeId>(node));
+      const std::size_t pos = static_cast<std::size_t>(it - ring.begin());
+      std::vector<NodeId> links;
+      if (ring.size() >= 2) {
+        for (int o : core::k_regular_offsets(ring.size(), std::min(k, ring.size() - 1))) {
+          const NodeId v = ring[(pos + static_cast<std::size_t>(o)) % ring.size()];
+          if (v != node && std::find(links.begin(), links.end(), v) == links.end()) {
+            links.push_back(v);
+          }
+        }
+      }
+      return links;
+    }
+    case Policy::kFullMesh:
+      return candidates;
+    case Policy::kBestResponse:
+    case Policy::kHybridBR: {
+      core::BestResponseOptions options = config_.search;
+      std::size_t free_k = k;
+      if (config_.policy == Policy::kHybridBR) {
+        options.fixed_links = donated_[static_cast<std::size_t>(node)];
+        free_k = k > options.fixed_links.size() ? k - options.fixed_links.size() : 0;
+      }
+      const auto decision = decision_graph();
+      if (config_.metric == Metric::kBandwidth) {
+        const auto objective =
+            core::make_bandwidth_objective(decision, node, direct);
+        auto br = core::best_response(objective, free_k, options);
+        // Adoption decision happens in evaluate_node; here return combined.
+        auto combined = options.fixed_links;
+        combined.insert(combined.end(), br.wiring.begin(), br.wiring.end());
+        return combined;
+      }
+      const auto objective =
+          core::make_delay_objective(decision, node, direct, preference_of(node));
+      auto br = core::best_response(objective, free_k, options);
+      auto combined = options.fixed_links;
+      combined.insert(combined.end(), br.wiring.begin(), br.wiring.end());
+      return combined;
+    }
+  }
+  return {};
+}
+
+void EgoistNetwork::join(int node) {
+  auto direct = measure_direct(node);
+  if (config_.policy == Policy::kHybridBR) {
+    donated_[static_cast<std::size_t>(node)] = backbone_links(node);
+  }
+  apply_wiring(node, choose_wiring(node, direct), direct);
+}
+
+bool EgoistNetwork::evaluate_node(int node) {
+  const auto direct = measure_direct(node);
+  const auto& current = wiring_[static_cast<std::size_t>(node)];
+
+  const bool is_br = config_.policy == Policy::kBestResponse ||
+                     config_.policy == Policy::kHybridBR;
+  if (!is_br) {
+    auto proposed = choose_wiring(node, direct);
+    if (same_set(current, proposed)) {
+      // Costs may have drifted; refresh announcements without re-wiring.
+      apply_wiring(node, std::move(proposed), direct);
+      return false;
+    }
+    apply_wiring(node, std::move(proposed), direct);
+    return true;
+  }
+
+  // BR path: build the residual objective once, search, then apply the
+  // BR(eps) adoption rule (§4.3) against the current wiring's cost under
+  // the same fresh measurements.
+  core::BestResponseOptions options = config_.search;
+  options.seed_wiring = current;  // sticky search: move only on improvement
+  options.exact_budget = 0;       // exhaustive search is not seedable
+  std::size_t free_k = std::min(config_.k, online_count() - 1);
+  if (config_.policy == Policy::kHybridBR) {
+    options.fixed_links = donated_[static_cast<std::size_t>(node)];
+    free_k = free_k > options.fixed_links.size()
+                 ? free_k - options.fixed_links.size()
+                 : 0;
+  }
+  double current_cost = 0.0;
+  core::BestResponseResult br;
+  const auto decision = decision_graph();
+  if (config_.metric == Metric::kBandwidth) {
+    const auto objective = core::make_bandwidth_objective(decision, node, direct);
+    current_cost = objective.cost(current);
+    br = core::best_response(objective, free_k, options);
+  } else {
+    const auto objective =
+        core::make_delay_objective(decision, node, direct, preference_of(node));
+    current_cost = objective.cost(current);
+    br = core::best_response(objective, free_k, options);
+  }
+  std::vector<NodeId> proposed = options.fixed_links;
+  proposed.insert(proposed.end(), br.wiring.begin(), br.wiring.end());
+
+  const double improvement = current_cost - br.cost;
+  const double fraction =
+      config_.epsilon > 0.0 ? config_.epsilon : config_.noise_floor;
+  const double threshold = fraction * std::abs(current_cost);
+  if (improvement <= threshold || same_set(current, proposed)) {
+    // Keep the wiring but refresh the announced costs.
+    apply_wiring(node, std::vector<NodeId>(current), direct);
+    return false;
+  }
+  apply_wiring(node, std::move(proposed), direct);
+  return true;
+}
+
+bool EgoistNetwork::run_node(int node) {
+  announced_.check_node(node);
+  if (!online_[static_cast<std::size_t>(node)]) return false;
+  const bool rewired = evaluate_node(node);
+  if (rewired) ++total_rewirings_;
+  return rewired;
+}
+
+int EgoistNetwork::run_epoch() {
+  ++epochs_;
+  auto order = online_nodes();
+  rng_.shuffle(order);
+  int rewired = 0;
+  for (NodeId v : order) {
+    if (!online_[static_cast<std::size_t>(v)]) continue;
+    if (evaluate_node(v)) ++rewired;
+  }
+  // k-Random / k-Closest enforce a cycle if the wiring got disconnected
+  // (§3.2); the cycle replaces each node's last link to respect degree k.
+  if (config_.policy == Policy::kRandom || config_.policy == Policy::kClosest) {
+    if (online_count() >= 2 && !graph::is_strongly_connected(announced_)) {
+      const auto ring = online_nodes();
+      for (std::size_t i = 0; i < ring.size(); ++i) {
+        const NodeId u = ring[i];
+        const NodeId next = ring[(i + 1) % ring.size()];
+        if (u == next || announced_.has_edge(u, next)) continue;
+        auto& wiring = wiring_[static_cast<std::size_t>(u)];
+        const auto direct = measure_direct(u);
+        if (wiring.size() >= config_.k && !wiring.empty()) {
+          announced_.remove_edge(u, wiring.back());
+          wiring.pop_back();
+        }
+        wiring.push_back(next);
+        announced_.set_edge(u, next,
+                            announced_cost(u, direct[static_cast<std::size_t>(next)]));
+        std::sort(wiring.begin(), wiring.end());
+      }
+    }
+  }
+  total_rewirings_ += static_cast<std::uint64_t>(rewired);
+  return rewired;
+}
+
+graph::Digraph EgoistNetwork::true_cost_graph() const {
+  graph::Digraph g(online_.size());
+  for (std::size_t u = 0; u < online_.size(); ++u) {
+    g.set_active(static_cast<NodeId>(u), online_[u]);
+    if (!online_[u]) continue;
+    for (NodeId v : wiring_[u]) {
+      if (!online_[static_cast<std::size_t>(v)]) continue;
+      double cost = 0.0;
+      switch (config_.metric) {
+        case Metric::kDelayPing:
+        case Metric::kDelayCoords:
+          cost = env_.true_delay(static_cast<int>(u), v);
+          break;
+        case Metric::kNodeLoad:
+          cost = env_.true_load(static_cast<int>(u));
+          break;
+        case Metric::kBandwidth:
+          cost = env_.true_avail_bw(static_cast<int>(u), v);
+          break;
+      }
+      g.set_edge(static_cast<NodeId>(u), v, cost);
+    }
+  }
+  return g;
+}
+
+graph::Digraph EgoistNetwork::true_bandwidth_graph() const {
+  graph::Digraph g(online_.size());
+  for (std::size_t u = 0; u < online_.size(); ++u) {
+    g.set_active(static_cast<NodeId>(u), online_[u]);
+    if (!online_[u]) continue;
+    for (NodeId v : wiring_[u]) {
+      if (!online_[static_cast<std::size_t>(v)]) continue;
+      g.set_edge(static_cast<NodeId>(u), v,
+                 env_.true_avail_bw(static_cast<int>(u), v));
+    }
+  }
+  return g;
+}
+
+std::vector<double> EgoistNetwork::node_costs() const {
+  const auto g = true_cost_graph();
+  const auto targets = online_nodes();
+  const double penalty = core::default_unreachable_penalty(g);
+  std::vector<double> costs;
+  costs.reserve(targets.size());
+  for (NodeId v : targets) {
+    const auto tree = graph::dijkstra(g, v);
+    if (base_preference_.empty()) {
+      costs.push_back(graph::uniform_routing_cost(tree.dist, v, targets, penalty));
+    } else {
+      costs.push_back(graph::routing_cost(tree.dist, preference_of(v), v, penalty));
+    }
+  }
+  return costs;
+}
+
+std::vector<double> EgoistNetwork::node_efficiencies() const {
+  const auto g = true_cost_graph();
+  const auto targets = online_nodes();
+  std::vector<double> eff;
+  eff.reserve(targets.size());
+  for (NodeId v : targets) {
+    const auto tree = graph::dijkstra(g, v);
+    eff.push_back(graph::node_efficiency(tree.dist, v, targets));
+  }
+  return eff;
+}
+
+std::vector<double> EgoistNetwork::node_bandwidth_scores() const {
+  const auto g = true_bandwidth_graph();
+  const auto targets = online_nodes();
+  std::vector<double> scores;
+  scores.reserve(targets.size());
+  for (NodeId v : targets) {
+    const auto tree = graph::widest_paths(g, v);
+    double sum = 0.0;
+    std::size_t count = 0;
+    for (NodeId j : targets) {
+      if (j == v) continue;
+      sum += tree.bottleneck[static_cast<std::size_t>(j)];
+      ++count;
+    }
+    scores.push_back(count == 0 ? 0.0 : sum / static_cast<double>(count));
+  }
+  return scores;
+}
+
+}  // namespace egoist::overlay

@@ -1,0 +1,142 @@
+// EgoistNetwork — one overlay (one policy, one metric) deployed on a shared
+// Environment: the in-silico equivalent of one of the paper's concurrent
+// per-policy PlanetLab agents.
+//
+// The network tracks, per node, the current wiring; an "announced" overlay
+// graph whose edge weights are the costs nodes advertise through the
+// link-state protocol (free riders inflate theirs, §3.4); and the node's
+// online/offline state (churn, §4.4). Each wiring epoch every online node
+// re-measures its candidate links, rebuilds its residual view from the
+// announced graph and re-evaluates its wiring under its policy — adopting a
+// new one when the policy says so (for BR(eps): when the improvement
+// exceeds eps, §4.3).
+//
+// Scoring always uses the *true* instantaneous substrate quantities, never
+// the announced ones, so measurement error and lying are visible in the
+// results exactly as they were on PlanetLab.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/objective.hpp"
+#include "graph/digraph.hpp"
+#include "overlay/config.hpp"
+#include "overlay/environment.hpp"
+#include "util/rng.hpp"
+
+namespace egoist::overlay {
+
+using graph::NodeId;
+
+class EgoistNetwork {
+ public:
+  /// All nodes join (in id order) at construction; use set_online to model
+  /// churn afterwards.
+  EgoistNetwork(Environment& env, OverlayConfig config);
+
+  std::size_t size() const { return online_.size(); }
+  const OverlayConfig& config() const { return config_; }
+
+  /// --- Membership (churn hooks) ---
+  void set_online(int node, bool online);
+  bool is_online(int node) const;
+  std::size_t online_count() const;
+  std::vector<NodeId> online_nodes() const;
+
+  /// --- Protocol dynamics ---
+  /// One wiring epoch: every online node re-evaluates its wiring, in a
+  /// freshly shuffled order (nodes are not synchronized, §4.2). Returns the
+  /// number of nodes that changed their wiring this epoch.
+  int run_epoch();
+
+  /// Evaluates a single node's wiring (the staggered, unsynchronized mode:
+  /// on average one node re-evaluates every T/n seconds). Returns true when
+  /// the node re-wired. No-op (false) for offline nodes.
+  bool run_node(int node);
+
+  int epochs_run() const { return epochs_; }
+  std::uint64_t total_rewirings() const { return total_rewirings_; }
+
+  /// Current wiring (chosen neighbors, including donated links) of a node.
+  const std::vector<NodeId>& wiring(int node) const;
+
+  /// HybridBR's donated backbone links of a node (empty for other policies).
+  const std::vector<NodeId>& donated(int node) const;
+
+  /// --- Graph views ---
+  /// Wiring with announced costs (what the link-state protocol carries).
+  const graph::Digraph& announced_graph() const { return announced_; }
+
+  /// Wiring with true, instantaneous metric costs (delay ms / node load /
+  /// negative-free bandwidth depending on the metric).
+  graph::Digraph true_cost_graph() const;
+
+  /// Wiring with true available bandwidth as weights (for the multipath and
+  /// disjoint-path applications; valid under any metric).
+  graph::Digraph true_bandwidth_graph() const;
+
+  /// --- Scores (computed on true costs, online nodes only) ---
+  /// Uniform routing cost per online node (delay/load metrics).
+  std::vector<double> node_costs() const;
+
+  /// Efficiency (mean of 1/d, 0 when disconnected) per online node.
+  std::vector<double> node_efficiencies() const;
+
+  /// Mean bottleneck bandwidth to all destinations per online node.
+  std::vector<double> node_bandwidth_scores() const;
+
+ private:
+  /// Bootstrap wiring for a node joining (or re-joining) the overlay.
+  void join(int node);
+
+  /// Re-evaluates one node's wiring; returns true when it re-wired.
+  bool evaluate_node(int node);
+
+  /// Measures the direct metric cost/value from `node` to every online
+  /// other (ping / coords / own load / bandwidth probe).
+  std::vector<double> measure_direct(int node);
+
+  /// Donated backbone links for `node`: +/- ring offsets over the online
+  /// set (k2/2 bidirectional cycles, §3.3).
+  std::vector<NodeId> backbone_links(int node) const;
+
+  /// Rebuilds donated links of every online node (called on membership
+  /// changes: the backbone is monitored aggressively and spliced
+  /// immediately, unlike lazy BR links).
+  void refresh_backbone();
+
+  /// Installs a wiring and re-announces the node's links.
+  void apply_wiring(int node, std::vector<NodeId> wiring,
+                    const std::vector<double>& direct);
+
+  /// Announced cost of link node -> v given its measured value.
+  double announced_cost(int node, double measured) const;
+
+  /// The graph a node reasons over: the announced overlay, optionally with
+  /// audited costs (announcements that exceed audit_tolerance x the
+  /// coordinate estimate are replaced by the estimate, §3.4).
+  graph::Digraph decision_graph() const;
+
+  /// Per-policy choice of new wiring. `direct` comes from measure_direct.
+  std::vector<NodeId> choose_wiring(int node, const std::vector<double>& direct);
+
+  bool is_cheater(int node) const;
+
+  /// Node `node`'s routing preference over all destinations (normalized
+  /// over the currently online targets; offline entries zeroed).
+  std::vector<double> preference_of(int node) const;
+
+  Environment& env_;
+  OverlayConfig config_;
+  util::Rng rng_;
+  std::vector<std::vector<double>> base_preference_;  ///< unnormalized Zipf weights
+  std::vector<bool> online_;
+  std::vector<std::vector<NodeId>> wiring_;
+  std::vector<std::vector<NodeId>> donated_;
+  graph::Digraph announced_;
+  int epochs_ = 0;
+  std::uint64_t total_rewirings_ = 0;
+};
+
+}  // namespace egoist::overlay

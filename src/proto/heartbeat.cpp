@@ -1,0 +1,42 @@
+#include "proto/heartbeat.hpp"
+
+#include <stdexcept>
+
+namespace egoist::proto {
+
+HeartbeatMonitor::HeartbeatMonitor(sim::Simulator& sim, double interval,
+                                   int loss_threshold, AliveFn alive,
+                                   FailureFn on_failure)
+    : sim_(sim),
+      interval_(interval),
+      loss_threshold_(loss_threshold),
+      alive_(std::move(alive)),
+      on_failure_(std::move(on_failure)),
+      task_(sim, sim.now() + interval, interval, [this](double) { tick(); }) {
+  if (interval <= 0.0) throw std::invalid_argument("interval must be positive");
+  if (loss_threshold < 1) throw std::invalid_argument("threshold must be >= 1");
+  if (!alive_ || !on_failure_) throw std::invalid_argument("callbacks required");
+}
+
+void HeartbeatMonitor::watch(graph::NodeId peer) { misses_[peer] = 0; }
+
+void HeartbeatMonitor::unwatch(graph::NodeId peer) { misses_.erase(peer); }
+
+void HeartbeatMonitor::tick() {
+  // Collect failures first: the failure callback may watch/unwatch peers.
+  std::vector<graph::NodeId> failed;
+  for (auto& [peer, misses] : misses_) {
+    ++probes_sent_;
+    if (alive_(peer)) {
+      misses = 0;
+      continue;
+    }
+    if (++misses >= loss_threshold_) failed.push_back(peer);
+  }
+  for (graph::NodeId peer : failed) {
+    misses_.erase(peer);
+    on_failure_(peer);
+  }
+}
+
+}  // namespace egoist::proto

@@ -1,0 +1,61 @@
+// Heartbeat monitoring for donated connectivity links (§3.3).
+//
+// HybridBR donates k2 links to a connectivity backbone that must heal
+// quickly, so those links are "monitored aggressively ... through the use
+// of frequent heartbeat signaling". A HeartbeatMonitor probes a set of
+// monitored peers every `interval`; when a peer misses `loss_threshold`
+// consecutive probes the failure callback fires (the overlay then splices
+// the backbone cycle around the dead node).
+//
+// Probe cost is accounted like ping (320-bit request + reply), feeding the
+// overhead bench.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "sim/simulator.hpp"
+
+namespace egoist::proto {
+
+class HeartbeatMonitor {
+ public:
+  using AliveFn = std::function<bool(graph::NodeId peer)>;
+  using FailureFn = std::function<void(graph::NodeId peer)>;
+
+  /// interval: seconds between probes; loss_threshold: consecutive missed
+  /// probes before declaring failure.
+  HeartbeatMonitor(sim::Simulator& sim, double interval, int loss_threshold,
+                   AliveFn alive, FailureFn on_failure);
+
+  /// Starts monitoring `peer` (idempotent; resets its miss counter).
+  void watch(graph::NodeId peer);
+
+  /// Stops monitoring `peer`.
+  void unwatch(graph::NodeId peer);
+
+  std::size_t watched_count() const { return misses_.size(); }
+
+  /// Worst-case detection latency for the configured parameters.
+  double detection_time() const { return interval_ * loss_threshold_; }
+
+  /// Probes issued so far (for overhead accounting; each probe is a
+  /// request/reply pair like ping).
+  std::uint64_t probes_sent() const { return probes_sent_; }
+
+ private:
+  void tick();
+
+  sim::Simulator& sim_;
+  double interval_;
+  int loss_threshold_;
+  AliveFn alive_;
+  FailureFn on_failure_;
+  std::map<graph::NodeId, int> misses_;
+  sim::PeriodicTask task_;
+  std::uint64_t probes_sent_ = 0;
+};
+
+}  // namespace egoist::proto

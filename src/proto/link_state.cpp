@@ -1,0 +1,167 @@
+#include "proto/link_state.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "net/measurement.hpp"
+
+namespace egoist::proto {
+
+double Announcement::size_bits() const {
+  return net::OverheadConstants::kLsaHeaderBits +
+         net::OverheadConstants::kLsaPerNeighborBits *
+             static_cast<double>(links.size());
+}
+
+bool TopologyDb::update(const Announcement& lsa, double now) {
+  const auto it = entries_.find(lsa.origin);
+  if (it != entries_.end() && it->second.lsa.seq >= lsa.seq) return false;
+  entries_[lsa.origin] = Entry{lsa, now};
+  return true;
+}
+
+const Announcement* TopologyDb::lookup(NodeId origin) const {
+  const auto it = entries_.find(origin);
+  return it == entries_.end() ? nullptr : &it->second.lsa;
+}
+
+std::optional<double> TopologyDb::accepted_at(NodeId origin) const {
+  const auto it = entries_.find(origin);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second.accepted_at;
+}
+
+std::size_t TopologyDb::purge_older_than(double cutoff) {
+  std::size_t purged = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.accepted_at < cutoff) {
+      it = entries_.erase(it);
+      ++purged;
+    } else {
+      ++it;
+    }
+  }
+  return purged;
+}
+
+bool TopologyDb::erase(NodeId origin) { return entries_.erase(origin) > 0; }
+
+graph::Digraph TopologyDb::build_graph(std::size_t node_count) const {
+  graph::Digraph g(node_count);
+  for (const auto& [origin, entry] : entries_) {
+    if (origin < 0 || static_cast<std::size_t>(origin) >= node_count) continue;
+    for (const LinkEntry& link : entry.lsa.links) {
+      if (link.neighbor < 0 ||
+          static_cast<std::size_t>(link.neighbor) >= node_count ||
+          link.neighbor == origin) {
+        continue;
+      }
+      g.set_edge(origin, link.neighbor, link.cost);
+    }
+  }
+  return g;
+}
+
+LinkStateProtocol::LinkStateProtocol(sim::Simulator& sim, std::size_t n,
+                                     PropagationFn propagation)
+    : sim_(sim), propagation_(std::move(propagation)), nodes_(n) {
+  if (n == 0) throw std::invalid_argument("need >= 1 node");
+  if (!propagation_) throw std::invalid_argument("propagation fn required");
+}
+
+void LinkStateProtocol::check(NodeId node) const {
+  if (node < 0 || static_cast<std::size_t>(node) >= nodes_.size()) {
+    throw std::out_of_range("node id out of range");
+  }
+}
+
+void LinkStateProtocol::set_links(NodeId node, std::vector<LinkEntry> links) {
+  check(node);
+  for (const LinkEntry& l : links) {
+    check(l.neighbor);
+    if (l.neighbor == node) throw std::invalid_argument("self link");
+  }
+  nodes_[static_cast<std::size_t>(node)].links = std::move(links);
+}
+
+void LinkStateProtocol::set_up(NodeId node, bool up) {
+  check(node);
+  nodes_[static_cast<std::size_t>(node)].up = up;
+}
+
+bool LinkStateProtocol::is_up(NodeId node) const {
+  check(node);
+  return nodes_[static_cast<std::size_t>(node)].up;
+}
+
+const TopologyDb& LinkStateProtocol::database(NodeId node) const {
+  check(node);
+  return nodes_[static_cast<std::size_t>(node)].db;
+}
+
+TopologyDb& LinkStateProtocol::mutable_database(NodeId node) {
+  check(node);
+  return nodes_[static_cast<std::size_t>(node)].db;
+}
+
+graph::Digraph LinkStateProtocol::view(NodeId viewer) const {
+  check(viewer);
+  return nodes_[static_cast<std::size_t>(viewer)].db.build_graph(nodes_.size());
+}
+
+void LinkStateProtocol::originate(NodeId node) {
+  check(node);
+  NodeState& state = nodes_[static_cast<std::size_t>(node)];
+  if (!state.up) return;
+  Announcement lsa;
+  lsa.origin = node;
+  lsa.seq = state.next_seq++;
+  lsa.links = state.links;
+  // A node trivially accepts its own announcement, then floods it.
+  state.db.update(lsa, sim_.now());
+  ++messages_accepted_;
+  forward(node, /*except=*/node, lsa);
+}
+
+void LinkStateProtocol::forward(NodeId at, NodeId except, const Announcement& lsa) {
+  // Overlay links are directed for *cost* purposes, but the underlying
+  // transport connections are bidirectional, so announcements flood both to
+  // the node's chosen neighbors and to the nodes that chose it — otherwise
+  // a node whose upstreams all re-wire away would stop learning topology.
+  std::vector<NodeId> peers;
+  for (const LinkEntry& link : nodes_[static_cast<std::size_t>(at)].links) {
+    peers.push_back(link.neighbor);
+  }
+  for (std::size_t u = 0; u < nodes_.size(); ++u) {
+    const auto uid = static_cast<NodeId>(u);
+    if (uid == at) continue;
+    for (const LinkEntry& link : nodes_[u].links) {
+      if (link.neighbor == at) {
+        peers.push_back(uid);
+        break;
+      }
+    }
+  }
+  std::sort(peers.begin(), peers.end());
+  peers.erase(std::unique(peers.begin(), peers.end()), peers.end());
+
+  for (const NodeId to : peers) {
+    if (to == except) continue;
+    ++messages_sent_;
+    bits_sent_ += lsa.size_bits();
+    const double delay = propagation_(at, to);
+    if (delay < 0.0) throw std::logic_error("negative propagation delay");
+    // Copy the LSA into the in-flight message.
+    sim_.schedule_in(delay, [this, at, to, lsa] { deliver(at, to, lsa); });
+  }
+}
+
+void LinkStateProtocol::deliver(NodeId from, NodeId to, const Announcement& lsa) {
+  NodeState& state = nodes_[static_cast<std::size_t>(to)];
+  if (!state.up) return;  // dropped at a down node
+  if (!state.db.update(lsa, sim_.now())) return;  // duplicate or stale
+  ++messages_accepted_;
+  forward(to, from, lsa);
+}
+
+}  // namespace egoist::proto

@@ -1,0 +1,75 @@
+#include "sim/simulator.hpp"
+
+namespace egoist::sim {
+
+EventId Simulator::schedule_in(double delay, Callback fn) {
+  if (delay < 0.0) throw std::invalid_argument("delay must be >= 0");
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+EventId Simulator::schedule_at(double when, Callback fn) {
+  if (when < now_) throw std::invalid_argument("cannot schedule in the past");
+  if (!fn) throw std::invalid_argument("callback must be set");
+  const EventId id = next_id_++;
+  queue_.push(Event{when, id, std::move(fn)});
+  return id;
+}
+
+bool Simulator::cancel(EventId id) {
+  if (id == 0 || id >= next_id_) return false;
+  // Lazy cancellation: the event stays queued but is skipped when popped.
+  return cancelled_.insert(id).second;
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (cancelled_.erase(ev.id) > 0) continue;
+    now_ = ev.when;
+    ++executed_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run_until(double until) {
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (cancelled_.count(top.id)) {
+      cancelled_.erase(top.id);
+      queue_.pop();
+      continue;
+    }
+    if (top.when > until) break;
+    step();
+  }
+  now_ = std::max(now_, until);
+}
+
+PeriodicTask::PeriodicTask(Simulator& sim, double start, double period,
+                           std::function<void(double)> fn)
+    : sim_(sim), period_(period), fn_(std::move(fn)) {
+  if (period <= 0.0) throw std::invalid_argument("period must be positive");
+  if (!fn_) throw std::invalid_argument("callback must be set");
+  arm(start < sim_.now() ? sim_.now() : start);
+}
+
+PeriodicTask::~PeriodicTask() { stop(); }
+
+void PeriodicTask::arm(double when) {
+  pending_ = sim_.schedule_at(when, [this] {
+    const double fired_at = sim_.now();
+    arm(fired_at + period_);
+    fn_(fired_at);
+  });
+}
+
+void PeriodicTask::stop() {
+  if (!running_) return;
+  running_ = false;
+  sim_.cancel(pending_);
+}
+
+}  // namespace egoist::sim

@@ -1,0 +1,95 @@
+// Discrete-event simulation engine.
+//
+// Replaces wall-clock PlanetLab time: the overlay protocol stack (wiring
+// epochs, LSA floods, heartbeats, churn events) schedules callbacks on a
+// single virtual clock. Events at equal timestamps run in scheduling order
+// (FIFO), which keeps runs fully deterministic for a given seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <stdexcept>
+#include <unordered_set>
+#include <vector>
+
+namespace egoist::sim {
+
+using EventId = std::uint64_t;
+
+/// Single-threaded event loop with cancellable timers.
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current virtual time (seconds).
+  double now() const { return now_; }
+
+  /// Schedules `fn` to run `delay` seconds from now (delay >= 0).
+  EventId schedule_in(double delay, Callback fn);
+
+  /// Schedules `fn` at absolute time `when` (>= now()).
+  EventId schedule_at(double when, Callback fn);
+
+  /// Cancels a pending event; returns false if it already ran or was
+  /// cancelled before.
+  bool cancel(EventId id);
+
+  /// Runs events until the queue empties or the clock passes `until`.
+  /// Events scheduled exactly at `until` are executed.
+  void run_until(double until);
+
+  /// Runs a single event; returns false when the queue is empty.
+  bool step();
+
+  /// Number of events executed so far.
+  std::uint64_t executed() const { return executed_; }
+
+  std::size_t pending() const { return queue_.size() - cancelled_.size(); }
+
+ private:
+  struct Event {
+    double when;
+    EventId id;  ///< monotonically increasing: ties run FIFO
+    Callback fn;
+    bool operator>(const Event& other) const {
+      if (when != other.when) return when > other.when;
+      return id > other.id;
+    }
+  };
+
+  double now_ = 0.0;
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+/// Convenience: reschedules `fn` every `period` seconds starting at
+/// `start`, until the simulator stops being run. Returns the id of the
+/// first occurrence (cancelling only stops the not-yet-run occurrence).
+class PeriodicTask {
+ public:
+  /// `jitter_fn` (optional) returns an offset added to each period, letting
+  /// callers desynchronize node epochs as real deployments are.
+  PeriodicTask(Simulator& sim, double start, double period,
+               std::function<void(double now)> fn);
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+  ~PeriodicTask();
+
+  /// Stops future occurrences.
+  void stop();
+  bool running() const { return running_; }
+
+ private:
+  void arm(double when);
+
+  Simulator& sim_;
+  double period_;
+  std::function<void(double)> fn_;
+  EventId pending_ = 0;
+  bool running_ = true;
+};
+
+}  // namespace egoist::sim

@@ -1,0 +1,93 @@
+#include "util/flags.hpp"
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace egoist::util {
+
+namespace {
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
+}
+}  // namespace
+
+Flags::Flags(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!starts_with(arg, "--")) {
+      throw std::invalid_argument("unexpected positional argument: " + arg);
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      continue;
+    }
+    // "--name value" form when the next token is not itself a flag;
+    // otherwise a boolean switch.
+    if (i + 1 < argc && !starts_with(argv[i + 1], "--")) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";
+    }
+  }
+}
+
+std::optional<std::string> Flags::get(const std::string& name) const {
+  queried_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Flags::get_string(const std::string& name, const std::string& def) const {
+  return get(name).value_or(def);
+}
+
+int Flags::get_int(const std::string& name, int def) const {
+  const auto v = get(name);
+  if (!v) return def;
+  try {
+    return std::stoi(*v);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag --" + name + " expects an integer, got '" + *v + "'");
+  }
+}
+
+double Flags::get_double(const std::string& name, double def) const {
+  const auto v = get(name);
+  if (!v) return def;
+  try {
+    return std::stod(*v);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag --" + name + " expects a number, got '" + *v + "'");
+  }
+}
+
+bool Flags::get_bool(const std::string& name, bool def) const {
+  const auto v = get(name);
+  if (!v) return def;
+  if (*v == "true" || *v == "1" || *v == "yes") return true;
+  if (*v == "false" || *v == "0" || *v == "no") return false;
+  throw std::invalid_argument("flag --" + name + " expects a boolean, got '" + *v + "'");
+}
+
+std::uint64_t Flags::get_seed(const std::string& name, std::uint64_t def) const {
+  const auto v = get(name);
+  if (!v) return def;
+  try {
+    return std::stoull(*v);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag --" + name + " expects a seed, got '" + *v + "'");
+  }
+}
+
+std::vector<std::string> Flags::unqueried() const {
+  std::vector<std::string> out;
+  for (const auto& [name, _] : values_) {
+    if (!queried_.count(name)) out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace egoist::util

@@ -1,0 +1,40 @@
+// Minimal command-line flag parsing for bench binaries and examples.
+//
+// Supports "--name=value" and "--name value" forms plus boolean switches
+// ("--verbose"). Unknown flags raise an error so typos in experiment sweeps
+// fail loudly instead of silently running the default configuration.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace egoist::util {
+
+/// Parsed command line. Construct once from argc/argv, then query typed
+/// accessors with per-flag defaults.
+class Flags {
+ public:
+  /// Parses argv[1..argc). Throws std::invalid_argument on malformed input.
+  Flags(int argc, const char* const* argv);
+
+  /// Returns the raw string value if the flag was present.
+  std::optional<std::string> get(const std::string& name) const;
+
+  std::string get_string(const std::string& name, const std::string& def) const;
+  int get_int(const std::string& name, int def) const;
+  double get_double(const std::string& name, double def) const;
+  bool get_bool(const std::string& name, bool def = false) const;
+  std::uint64_t get_seed(const std::string& name, std::uint64_t def) const;
+
+  /// Flags seen on the command line that were never queried; used by
+  /// binaries to reject typos after all get_* calls are done.
+  std::vector<std::string> unqueried() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> queried_;
+};
+
+}  // namespace egoist::util

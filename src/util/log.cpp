@@ -1,0 +1,23 @@
+#include "util/log.hpp"
+
+namespace egoist::util {
+
+namespace {
+LogLevel g_threshold = LogLevel::kWarn;
+}
+
+LogLevel log_threshold() { return g_threshold; }
+void set_log_threshold(LogLevel level) { g_threshold = level; }
+
+const char* log_level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?????";
+}
+
+}  // namespace egoist::util

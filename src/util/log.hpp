@@ -1,0 +1,56 @@
+// Lightweight leveled logging for the simulator and protocol stack.
+//
+// The simulator is single-threaded, so the logger keeps no locks. Messages
+// below the global threshold are formatted lazily (the stream expression is
+// never evaluated), keeping hot simulation loops cheap when logging is off.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace egoist::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are discarded.
+LogLevel log_threshold();
+void set_log_threshold(LogLevel level);
+
+/// Returns a short tag like "DEBUG"/"INFO " for message prefixes.
+const char* log_level_tag(LogLevel level);
+
+namespace detail {
+/// One log statement: accumulates a line and flushes it on destruction.
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* component) : level_(level) {
+    buffer_ << log_level_tag(level) << " [" << component << "] ";
+  }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() {
+    buffer_ << '\n';
+    std::clog << buffer_.str();
+  }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    buffer_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream buffer_;
+};
+}  // namespace detail
+
+}  // namespace egoist::util
+
+/// Usage: EGOIST_LOG(kInfo, "proto") << "flooded LSA seq=" << seq;
+#define EGOIST_LOG(level, component)                                     \
+  if (::egoist::util::LogLevel::level < ::egoist::util::log_threshold()) \
+    ;                                                                    \
+  else                                                                   \
+    ::egoist::util::detail::LogLine(::egoist::util::LogLevel::level, component)

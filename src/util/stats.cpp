@@ -1,0 +1,65 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace egoist::util {
+
+Summary Summary::of(const std::vector<double>& values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  OnlineStats acc;
+  s.min = values.front();
+  s.max = values.front();
+  for (double v : values) {
+    acc.add(v);
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = acc.mean();
+  s.stddev = acc.stddev();
+  if (s.count >= 2) {
+    s.ci95 = 1.96 * s.stddev / std::sqrt(static_cast<double>(s.count));
+  }
+  return s;
+}
+
+double percentile(std::vector<double> values, double p) {
+  if (values.empty()) throw std::invalid_argument("percentile of empty sample");
+  if (p < 0.0 || p > 100.0) throw std::invalid_argument("percentile out of range");
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) return values.front();
+  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] + frac * (values[hi] - values[lo]);
+}
+
+void OnlineStats::add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+Ewma::Ewma(double half_life) : half_life_(half_life) {
+  if (half_life <= 0.0) throw std::invalid_argument("Ewma half_life must be > 0");
+}
+
+void Ewma::update(double value, double now) {
+  if (!initialized_) {
+    value_ = value;
+    last_time_ = now;
+    initialized_ = true;
+    return;
+  }
+  const double dt = std::max(0.0, now - last_time_);
+  // Weight such that after `half_life_` of silence the new reading counts 1/2.
+  const double decay = std::exp2(-dt / half_life_);
+  value_ = decay * value_ + (1.0 - decay) * value;
+  last_time_ = now;
+}
+
+}  // namespace egoist::util

@@ -1,0 +1,74 @@
+// Descriptive statistics used throughout the experiment harnesses.
+//
+// The paper reports, for each experiment, the mean over the n individual
+// node costs together with 95th-percentile confidence intervals; Summary
+// computes exactly that. OnlineStats (Welford) accumulates streams without
+// storing them, and Ewma reproduces the 1-minute exponentially-weighted
+// moving average the paper applies to PlanetLab CPU load readings.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace egoist::util {
+
+/// Batch summary of a sample: mean, stddev, min/max, percentiles and the
+/// half-width of the 95% confidence interval on the mean.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< sample standard deviation (n-1 denominator)
+  double min = 0.0;
+  double max = 0.0;
+  double ci95 = 0.0;  ///< 1.96 * stddev / sqrt(n); 0 when count < 2
+
+  /// Computes a Summary over `values`. Returns a zeroed Summary when empty.
+  static Summary of(const std::vector<double>& values);
+};
+
+/// Returns the p-th percentile (p in [0,100]) using linear interpolation.
+/// Throws std::invalid_argument on an empty sample or p outside [0,100].
+double percentile(std::vector<double> values, double p);
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+class OnlineStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 when fewer than two samples.
+  double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
+  double stddev() const { return std::sqrt(variance()); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Exponentially weighted moving average over irregularly sampled readings.
+///
+/// The weight of a new reading decays with the time elapsed since the last
+/// one: after `half_life` time units without updates a new reading carries
+/// 50% of the average. This mirrors loadavg-style smoothing used by the
+/// paper's node-load metric (half_life = 60 s in the experiments).
+class Ewma {
+ public:
+  explicit Ewma(double half_life);
+
+  /// Folds in a reading taken at absolute time `now`. Times must be
+  /// non-decreasing across calls.
+  void update(double value, double now);
+
+  bool has_value() const { return initialized_; }
+  double value() const { return value_; }
+
+ private:
+  double half_life_;
+  double value_ = 0.0;
+  double last_time_ = 0.0;
+  bool initialized_ = false;
+};
+
+}  // namespace egoist::util

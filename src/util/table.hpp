@@ -1,0 +1,44 @@
+// Tabular output for the benchmark harnesses.
+//
+// Every bench binary regenerates one of the paper's figures as a table of
+// series (one row per x-value, one column per curve). Table renders the
+// result both as an aligned ASCII table for the terminal and as CSV for
+// plotting, matching the rows/series the paper reports.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace egoist::util {
+
+/// A simple column-oriented table: a header row plus numeric/text cells.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns);
+
+  /// Appends a row of pre-formatted cells. Must match the column count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Appends a row of doubles, formatted with `precision` significant
+  /// decimal digits (NaN rendered as "-").
+  void add_numeric_row(const std::vector<double>& cells, int precision = 4);
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t columns() const { return columns_.size(); }
+
+  /// Writes an aligned, human-readable table.
+  void write_ascii(std::ostream& os) const;
+
+  /// Writes RFC-4180-ish CSV (no quoting needed for our numeric content).
+  void write_csv(std::ostream& os) const;
+
+  /// Convenience: formats a double the same way add_numeric_row does.
+  static std::string format(double v, int precision = 4);
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace egoist::util

@@ -1,0 +1,138 @@
+#include "apps/streaming.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace egoist::apps {
+namespace {
+
+// Two disjoint 0 -> 3 routes plus a shared-edge decoy.
+graph::Digraph two_path_fixture() {
+  graph::Digraph g(4);
+  g.set_edge(0, 1, 10.0);
+  g.set_edge(1, 3, 10.0);
+  g.set_edge(0, 2, 20.0);
+  g.set_edge(2, 3, 20.0);
+  return g;
+}
+
+TEST(DisjointPathCountTest, MatchesKnownTopology) {
+  EXPECT_EQ(disjoint_path_count(two_path_fixture(), 0, 3), 2);
+}
+
+TEST(ExtractDisjointPathsTest, ReturnsActualPaths) {
+  const auto paths = extract_disjoint_paths(two_path_fixture(), 0, 3, 10);
+  ASSERT_EQ(paths.size(), 2u);
+  for (const auto& p : paths) {
+    EXPECT_EQ(p.front(), 0);
+    EXPECT_EQ(p.back(), 3);
+    EXPECT_EQ(p.size(), 3u);
+  }
+  // Paths must not share edges.
+  std::set<std::pair<NodeId, NodeId>> seen;
+  for (const auto& p : paths) {
+    for (std::size_t h = 0; h + 1 < p.size(); ++h) {
+      EXPECT_TRUE(seen.emplace(p[h], p[h + 1]).second) << "shared edge";
+    }
+  }
+}
+
+TEST(ExtractDisjointPathsTest, MaxPathsLimits) {
+  const auto paths = extract_disjoint_paths(two_path_fixture(), 0, 3, 1);
+  EXPECT_EQ(paths.size(), 1u);
+}
+
+TEST(ExtractDisjointPathsTest, NoPathYieldsEmpty) {
+  graph::Digraph g(3);
+  g.set_edge(0, 1, 1.0);
+  EXPECT_TRUE(extract_disjoint_paths(g, 0, 2, 5).empty());
+}
+
+TEST(ExtractDisjointPathsTest, Rejections) {
+  const auto g = two_path_fixture();
+  EXPECT_THROW(extract_disjoint_paths(g, 0, 0, 1), std::invalid_argument);
+  EXPECT_THROW(extract_disjoint_paths(g, 0, 3, -1), std::invalid_argument);
+}
+
+TEST(StreamingTest, PerfectNetworkDeliversEverything) {
+  const auto g = two_path_fixture();
+  const auto paths = extract_disjoint_paths(g, 0, 3, 2);
+  StreamingConfig config;
+  config.per_hop_loss = 0.0;
+  config.per_hop_jitter_ms = 0.0;
+  config.playout_deadline_ms = 100.0;
+  config.packets = 100;
+  util::Rng rng(3);
+  const auto result = simulate_redundant_streaming(g, paths, config, rng);
+  EXPECT_EQ(result.delivered_in_time, 100);
+  EXPECT_DOUBLE_EQ(result.delivery_ratio(), 1.0);
+}
+
+TEST(StreamingTest, TightDeadlineDropsSlowPath) {
+  const auto g = two_path_fixture();
+  const auto paths = extract_disjoint_paths(g, 0, 3, 2);
+  StreamingConfig config;
+  config.per_hop_loss = 0.0;
+  config.per_hop_jitter_ms = 0.0;
+  config.playout_deadline_ms = 25.0;  // only the 20 ms path fits
+  config.packets = 50;
+  util::Rng rng(5);
+  const auto result = simulate_redundant_streaming(g, paths, config, rng);
+  EXPECT_EQ(result.delivered_in_time, 50);  // fast path still carries all
+  config.playout_deadline_ms = 5.0;  // nothing fits
+  const auto none = simulate_redundant_streaming(g, paths, config, rng);
+  EXPECT_EQ(none.delivered_in_time, 0);
+}
+
+TEST(StreamingTest, RedundancyBeatsSinglePathUnderLoss) {
+  const auto g = two_path_fixture();
+  const auto both = extract_disjoint_paths(g, 0, 3, 2);
+  const std::vector<std::vector<NodeId>> one{both.front()};
+  StreamingConfig config;
+  config.per_hop_loss = 0.2;
+  config.per_hop_jitter_ms = 0.0;
+  config.playout_deadline_ms = 100.0;
+  config.packets = 4000;
+  util::Rng rng_a(7), rng_b(7);
+  const auto redundant = simulate_redundant_streaming(g, both, config, rng_a);
+  const auto single = simulate_redundant_streaming(g, one, config, rng_b);
+  EXPECT_GT(redundant.delivery_ratio(), single.delivery_ratio() + 0.05);
+  // Theory: single ~ 0.8^2 = 0.64; redundant ~ 1 - (1-0.64)^2 = 0.87.
+  EXPECT_NEAR(single.delivery_ratio(), 0.64, 0.05);
+  EXPECT_NEAR(redundant.delivery_ratio(), 0.87, 0.05);
+}
+
+TEST(StreamingTest, JitterCausesDeadlineMisses) {
+  const auto g = two_path_fixture();
+  const auto paths = extract_disjoint_paths(g, 0, 3, 2);
+  StreamingConfig config;
+  config.per_hop_loss = 0.0;
+  config.per_hop_jitter_ms = 50.0;   // large vs the 30 ms slack
+  config.playout_deadline_ms = 50.0;
+  config.packets = 2000;
+  util::Rng rng(9);
+  const auto result = simulate_redundant_streaming(g, paths, config, rng);
+  EXPECT_LT(result.delivery_ratio(), 1.0);
+  EXPECT_GT(result.delivery_ratio(), 0.0);
+}
+
+TEST(StreamingTest, Rejections) {
+  const auto g = two_path_fixture();
+  StreamingConfig config;
+  util::Rng rng(1);
+  config.packets = -1;
+  EXPECT_THROW(simulate_redundant_streaming(g, {}, config, rng),
+               std::invalid_argument);
+  config = StreamingConfig{};
+  config.per_hop_loss = 1.5;
+  EXPECT_THROW(simulate_redundant_streaming(g, {}, config, rng),
+               std::invalid_argument);
+  config = StreamingConfig{};
+  const std::vector<std::vector<NodeId>> bad_path{{0}};
+  EXPECT_THROW(simulate_redundant_streaming(g, bad_path, config, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace egoist::apps

@@ -1,0 +1,125 @@
+#include "churn/churn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace egoist::churn {
+namespace {
+
+TEST(ChurnRateTest, HandComputedSequence) {
+  // 4 nodes, all ON. Events: node 0 leaves (|U| 4 -> 3, denom 4),
+  // node 1 leaves (3 -> 2, denom 3), node 0 rejoins (2 -> 3, denom 3).
+  const std::vector<ChurnEvent> events{
+      {1.0, 0, false}, {2.0, 1, false}, {3.0, 0, true}};
+  const std::vector<bool> on{true, true, true, true};
+  const double expected = (1.0 / 4 + 1.0 / 3 + 1.0 / 3) / 10.0;
+  EXPECT_NEAR(churn_rate(events, on, 10.0), expected, 1e-12);
+}
+
+TEST(ChurnRateTest, RedundantEventsIgnored) {
+  // Turning ON an already-ON node changes nothing.
+  const std::vector<ChurnEvent> events{{1.0, 0, true}};
+  const std::vector<bool> on{true, true};
+  EXPECT_DOUBLE_EQ(churn_rate(events, on, 5.0), 0.0);
+}
+
+TEST(ChurnRateTest, EmptyTraceIsZero) {
+  EXPECT_DOUBLE_EQ(churn_rate({}, {true, true}, 100.0), 0.0);
+}
+
+TEST(ChurnRateTest, Rejections) {
+  EXPECT_THROW(churn_rate({}, {true}, 0.0), std::invalid_argument);
+  EXPECT_THROW(churn_rate({{1.0, 5, true}}, {true}, 10.0), std::out_of_range);
+}
+
+TEST(ChurnTraceTest, EventsSortedAndInHorizon) {
+  ChurnConfig config;
+  config.mean_on_s = 100.0;
+  config.mean_off_s = 50.0;
+  const ChurnTrace trace(20, 1000.0, 7, config);
+  double prev = 0.0;
+  for (const auto& ev : trace.events()) {
+    EXPECT_GE(ev.time, prev);
+    EXPECT_LT(ev.time, 1000.0);
+    EXPECT_GE(ev.node, 0);
+    EXPECT_LT(ev.node, 20);
+    prev = ev.time;
+  }
+  EXPECT_FALSE(trace.events().empty());
+}
+
+TEST(ChurnTraceTest, DeterministicForSeed) {
+  const ChurnTrace a(10, 500.0, 3), b(10, 500.0, 3);
+  ASSERT_EQ(a.events().size(), b.events().size());
+  for (std::size_t i = 0; i < a.events().size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.events()[i].time, b.events()[i].time);
+    EXPECT_EQ(a.events()[i].node, b.events()[i].node);
+  }
+}
+
+TEST(ChurnTraceTest, EventsAlternatePerNode) {
+  const ChurnTrace trace(5, 2000.0, 11);
+  std::vector<bool> on = trace.initial_on();
+  for (const auto& ev : trace.events()) {
+    const auto idx = static_cast<std::size_t>(ev.node);
+    EXPECT_NE(on[idx], ev.on) << "event must toggle state";
+    on[idx] = ev.on;
+  }
+}
+
+TEST(ChurnTraceTest, SmallerTimescaleMeansMoreChurn) {
+  ChurnConfig slow;
+  slow.timescale = 1.0;
+  ChurnConfig fast = slow;
+  fast.timescale = 0.1;
+  const ChurnTrace a(30, 5000.0, 13, slow);
+  const ChurnTrace b(30, 5000.0, 13, fast);
+  EXPECT_GT(b.churn_rate(), a.churn_rate() * 3.0);
+}
+
+TEST(ChurnTraceTest, ChurnRateScalesRoughlyInversely) {
+  // Rate ~ events/sec/node-ish; with mean ON 100 s and OFF 100 s (scaled),
+  // a node toggles every ~100 s, so total rate ~ n / 100 / n = 0.01-ish
+  // normalized. We only assert the order of magnitude.
+  ChurnConfig config;
+  config.mean_on_s = 100.0;
+  config.mean_off_s = 100.0;
+  const ChurnTrace trace(50, 20000.0, 17, config);
+  EXPECT_GT(trace.churn_rate(), 0.001);
+  EXPECT_LT(trace.churn_rate(), 0.1);
+}
+
+TEST(ChurnTraceTest, AvailabilityMatchesDutyCycle) {
+  // ON:OFF = 300:100 scaled => availability ~ 0.75.
+  ChurnConfig config;
+  config.mean_on_s = 300.0;
+  config.mean_off_s = 100.0;
+  config.initial_on_fraction = 0.75;
+  const ChurnTrace trace(100, 50000.0, 19, config);
+  EXPECT_NEAR(trace.mean_availability(), 0.75, 0.1);
+}
+
+TEST(ChurnTraceTest, InitialOnFractionRespected) {
+  ChurnConfig config;
+  config.initial_on_fraction = 0.0;
+  const ChurnTrace trace(50, 100.0, 21, config);
+  EXPECT_EQ(std::count(trace.initial_on().begin(), trace.initial_on().end(), true), 0);
+}
+
+TEST(ChurnTraceTest, Rejections) {
+  EXPECT_THROW(ChurnTrace(0, 100.0, 1), std::invalid_argument);
+  EXPECT_THROW(ChurnTrace(5, 0.0, 1), std::invalid_argument);
+  ChurnConfig bad;
+  bad.timescale = 0.0;
+  EXPECT_THROW(ChurnTrace(5, 100.0, 1, bad), std::invalid_argument);
+  bad = ChurnConfig{};
+  bad.pareto_alpha = 1.0;
+  EXPECT_THROW(ChurnTrace(5, 100.0, 1, bad), std::invalid_argument);
+  bad = ChurnConfig{};
+  bad.initial_on_fraction = 1.5;
+  EXPECT_THROW(ChurnTrace(5, 100.0, 1, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace egoist::churn

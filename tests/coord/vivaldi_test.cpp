@@ -1,0 +1,108 @@
+#include "coord/vivaldi.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/delay_space.hpp"
+
+namespace egoist::coord {
+namespace {
+
+TEST(CoordinateTest, DistanceIsSymmetricAndIncludesHeights) {
+  Coordinate a, b;
+  a.position = {0.0, 0.0, 0.0};
+  b.position = {3.0, 4.0, 0.0};
+  a.height = 1.0;
+  b.height = 2.0;
+  EXPECT_DOUBLE_EQ(a.distance_to(b), 5.0 + 3.0);
+  EXPECT_DOUBLE_EQ(a.distance_to(b), b.distance_to(a));
+}
+
+TEST(VivaldiTest, ErrorDropsWithConvergence) {
+  const auto d = net::make_planetlab_like(40, 5);
+  VivaldiSystem vivaldi(d, 7);
+  const double initial = vivaldi.median_relative_error();
+  vivaldi.converge(200);
+  const double converged = vivaldi.median_relative_error();
+  EXPECT_LT(converged, initial);
+  EXPECT_LT(converged, 0.35);  // deployed Vivaldi reaches ~10-25% median error
+}
+
+TEST(VivaldiTest, EstimatesAreSymmetric) {
+  const auto d = net::make_planetlab_like(20, 9);
+  VivaldiSystem vivaldi(d, 11);
+  vivaldi.converge(100);
+  for (int i = 0; i < 20; ++i) {
+    for (int j = 0; j < 20; ++j) {
+      if (i == j) continue;
+      EXPECT_DOUBLE_EQ(vivaldi.estimate_one_way(i, j),
+                       vivaldi.estimate_one_way(j, i));
+    }
+  }
+}
+
+TEST(VivaldiTest, EstimatesCorrelateWithTrueDelays) {
+  const auto d = net::make_planetlab_like(40, 13);
+  VivaldiSystem vivaldi(d, 15);
+  vivaldi.converge(300);
+  // Rank preservation in aggregate: mean estimate of the 10 farthest pairs
+  // exceeds the mean estimate of the 10 closest pairs.
+  std::vector<std::tuple<double, int, int>> pairs;
+  for (int i = 0; i < 40; ++i) {
+    for (int j = i + 1; j < 40; ++j) pairs.emplace_back(d.rtt(i, j), i, j);
+  }
+  std::sort(pairs.begin(), pairs.end());
+  double near = 0.0, far = 0.0;
+  for (int r = 0; r < 10; ++r) {
+    near += vivaldi.estimate_one_way(std::get<1>(pairs[static_cast<std::size_t>(r)]),
+                                     std::get<2>(pairs[static_cast<std::size_t>(r)]));
+    const auto& p = pairs[pairs.size() - 1 - static_cast<std::size_t>(r)];
+    far += vivaldi.estimate_one_way(std::get<1>(p), std::get<2>(p));
+  }
+  EXPECT_GT(far, near);
+}
+
+TEST(VivaldiTest, HeightsStayPositive) {
+  const auto d = net::make_planetlab_like(20, 17);
+  VivaldiSystem vivaldi(d, 19);
+  vivaldi.converge(100);
+  for (int v = 0; v < 20; ++v) EXPECT_GE(vivaldi.coordinate(v).height, 0.1);
+}
+
+TEST(VivaldiTest, DeterministicForSeed) {
+  const auto d = net::make_planetlab_like(15, 21);
+  VivaldiSystem a(d, 23), b(d, 23);
+  a.converge(50);
+  b.converge(50);
+  EXPECT_DOUBLE_EQ(a.estimate_one_way(0, 1), b.estimate_one_way(0, 1));
+}
+
+TEST(VivaldiTest, LessAccurateThanPing) {
+  // The design premise of Fig 1 top-right: coordinate estimates carry more
+  // error than direct ping measurement (which is near-exact).
+  const auto d = net::make_planetlab_like(30, 25);
+  VivaldiSystem vivaldi(d, 27);
+  vivaldi.converge(300);
+  double worst = 0.0;
+  for (int i = 0; i < 30; ++i) {
+    for (int j = 0; j < 30; ++j) {
+      if (i == j) continue;
+      const double err =
+          std::abs(vivaldi.estimate_one_way(i, j) - d.rtt(i, j) / 2.0) /
+          (d.rtt(i, j) / 2.0);
+      worst = std::max(worst, err);
+    }
+  }
+  EXPECT_GT(worst, 0.10);  // some pairs are badly embedded — as in practice
+}
+
+TEST(VivaldiTest, Rejections) {
+  const auto d = net::make_planetlab_like(5, 1);
+  VivaldiSystem vivaldi(d, 1);
+  EXPECT_THROW(vivaldi.estimate_one_way(0, 9), std::out_of_range);
+  EXPECT_THROW(vivaldi.coordinate(-1), std::out_of_range);
+  const std::vector<std::vector<double>> single{{0.0}};
+  EXPECT_THROW(VivaldiSystem(net::DelaySpace(single), 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace egoist::coord

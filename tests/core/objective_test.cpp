@@ -1,0 +1,128 @@
+#include "core/objective.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/shortest_path.hpp"
+
+namespace egoist::core {
+namespace {
+
+// Hand-built scenario: self = 0, others {1, 2, 3}.
+// direct costs: 0->1 = 1, 0->2 = 10, 0->3 = 4.
+// residual distances (rows = candidate, cols = destination):
+//   1 -> 2: 2, 1 -> 3: 7
+//   2 -> 1: 2, 2 -> 3: 1
+//   3 -> 1: 6, 3 -> 2: 1
+DelayObjective make_fixture(double penalty = 1000.0) {
+  const double inf = graph::kUnreachable;
+  std::vector<std::vector<double>> resid{
+      {0, inf, inf, inf},
+      {inf, 0, 2, 7},
+      {inf, 2, 0, 1},
+      {inf, 6, 1, 0},
+  };
+  return DelayObjective(0, {1, 2, 3}, {0, 1, 10, 4}, resid,
+                        {0, 1.0 / 3, 1.0 / 3, 1.0 / 3}, {1, 2, 3}, penalty);
+}
+
+TEST(DelayObjectiveTest, SingleNeighborCost) {
+  const auto obj = make_fixture();
+  // Wiring {1}: d(0,1)=1, d(0,2)=1+2=3, d(0,3)=1+7=8 -> mean = 4.
+  const std::vector<NodeId> w{1};
+  EXPECT_NEAR(obj.cost(w), (1.0 + 3.0 + 8.0) / 3.0, 1e-12);
+}
+
+TEST(DelayObjectiveTest, TwoNeighborsTakeMinimumPerTarget) {
+  const auto obj = make_fixture();
+  // Wiring {1,3}: d(0,1)=1, d(0,2)=min(1+2, 4+1)=3, d(0,3)=min(1+7, 4)=4.
+  const std::vector<NodeId> w{1, 3};
+  EXPECT_NEAR(obj.cost(w), (1.0 + 3.0 + 4.0) / 3.0, 1e-12);
+}
+
+TEST(DelayObjectiveTest, DirectLinkToTargetCounts) {
+  const auto obj = make_fixture();
+  const std::vector<NodeId> w{2};
+  // d(0,2) = direct 10 (not residual), d(0,1) = 10+2, d(0,3) = 10+1.
+  EXPECT_NEAR(obj.cost(w), (12.0 + 10.0 + 11.0) / 3.0, 1e-12);
+}
+
+TEST(DelayObjectiveTest, EmptyWiringPaysPenaltyEverywhere) {
+  const auto obj = make_fixture(500.0);
+  EXPECT_NEAR(obj.cost(std::vector<NodeId>{}), 500.0, 1e-12);
+}
+
+TEST(DelayObjectiveTest, DistanceToReportsUnreachable) {
+  const double inf = graph::kUnreachable;
+  std::vector<std::vector<double>> resid{
+      {0, inf, inf}, {inf, 0, inf}, {inf, inf, 0}};
+  DelayObjective obj(0, {1, 2}, {0, 1, 1}, resid, {0, 0.5, 0.5}, {1, 2}, 99.0);
+  const std::vector<NodeId> w{1};
+  EXPECT_DOUBLE_EQ(obj.distance_to(w, 1), 1.0);
+  EXPECT_EQ(obj.distance_to(w, 2), inf);
+  EXPECT_NEAR(obj.cost(w), 0.5 * 1.0 + 0.5 * 99.0, 1e-12);
+}
+
+TEST(DelayObjectiveTest, PreferenceSkewsCost) {
+  const double inf = graph::kUnreachable;
+  std::vector<std::vector<double>> resid{
+      {0, inf, inf}, {inf, 0, 5}, {inf, 5, 0}};
+  // Nearly all preference on node 2.
+  DelayObjective obj(0, {1, 2}, {0, 1, 10}, resid, {0, 0.01, 0.99}, {1, 2}, 1e6);
+  const std::vector<NodeId> via1{1};  // d(0,2) = 6
+  const std::vector<NodeId> via2{2};  // d(0,2) = 10 direct
+  // via1: 0.01*1 + 0.99*6 = 5.95; via2: 0.01*15 + 0.99*10 = 10.05.
+  EXPECT_LT(obj.cost(via1), obj.cost(via2));
+}
+
+TEST(DelayObjectiveTest, ValidationErrors) {
+  const double inf = graph::kUnreachable;
+  std::vector<std::vector<double>> resid{{0, inf}, {inf, 0}};
+  EXPECT_THROW(DelayObjective(0, {0}, {0, 1}, resid, {0, 1}, {1}, 1.0),
+               std::invalid_argument);  // self as candidate
+  EXPECT_THROW(DelayObjective(0, {1}, {0}, resid, {0, 1}, {1}, 1.0),
+               std::invalid_argument);  // direct size
+  EXPECT_THROW(DelayObjective(0, {1}, {0, 1}, resid, {0}, {1}, 1.0),
+               std::invalid_argument);  // pref size
+  EXPECT_THROW(DelayObjective(0, {1}, {0, 1}, resid, {0, 1}, {1}, -1.0),
+               std::invalid_argument);  // negative penalty
+  EXPECT_THROW(DelayObjective(0, {5}, {0, 1}, resid, {0, 1}, {1}, 1.0),
+               std::out_of_range);  // candidate range
+}
+
+// Bandwidth fixture: self=0, candidates {1,2}; direct bw 0->1=10, 0->2=3.
+// residual bottlenecks: 1->2 = 8, 2->1 = 2.
+BandwidthObjective make_bw_fixture() {
+  std::vector<std::vector<double>> resid{
+      {0, 0, 0}, {0, 0, 8}, {0, 2, 0}};
+  return BandwidthObjective(0, {1, 2}, {0, 10, 3}, resid, {1, 2});
+}
+
+TEST(BandwidthObjectiveTest, SumsBestBottlenecks) {
+  const auto obj = make_bw_fixture();
+  // Wiring {1}: bw(0,1)=10, bw(0,2)=min(10,8)=8 -> score 18.
+  const std::vector<NodeId> w{1};
+  EXPECT_NEAR(obj.score(w), 18.0, 1e-12);
+  EXPECT_NEAR(obj.cost(w), -18.0, 1e-12);
+}
+
+TEST(BandwidthObjectiveTest, TwoNeighborsTakeMaxPerTarget) {
+  const auto obj = make_bw_fixture();
+  // Wiring {1,2}: bw(0,1)=max(10, min(3,2))=10, bw(0,2)=max(8, 3)=8.
+  const std::vector<NodeId> w{1, 2};
+  EXPECT_NEAR(obj.score(w), 18.0, 1e-12);
+}
+
+TEST(BandwidthObjectiveTest, UnreachableContributesZero) {
+  std::vector<std::vector<double>> resid{{0, 0, 0}, {0, 0, 0}, {0, 0, 0}};
+  BandwidthObjective obj(0, {1, 2}, {0, 5, 0}, resid, {1, 2});
+  const std::vector<NodeId> w{1};
+  EXPECT_NEAR(obj.score(w), 5.0, 1e-12);  // only the direct link to 1
+}
+
+TEST(BandwidthObjectiveTest, EmptyWiringScoresZero) {
+  const auto obj = make_bw_fixture();
+  EXPECT_DOUBLE_EQ(obj.score(std::vector<NodeId>{}), 0.0);
+}
+
+}  // namespace
+}  // namespace egoist::core

@@ -1,0 +1,86 @@
+#include "graph/connectivity.hpp"
+
+#include <gtest/gtest.h>
+
+namespace egoist::graph {
+namespace {
+
+Digraph cycle(int n) {
+  Digraph g(static_cast<std::size_t>(n));
+  for (NodeId u = 0; u < n; ++u) g.set_edge(u, (u + 1) % n, 1.0);
+  return g;
+}
+
+TEST(ReachabilityTest, FullCycleReachesAll) {
+  const auto g = cycle(5);
+  EXPECT_EQ(reachable_count(g, 0), 5u);
+  EXPECT_EQ(reachable_set(g, 2).size(), 5u);
+}
+
+TEST(ReachabilityTest, ChainReachesDownstreamOnly) {
+  Digraph g(4);
+  g.set_edge(0, 1, 1.0);
+  g.set_edge(1, 2, 1.0);
+  EXPECT_EQ(reachable_count(g, 1), 2u);  // 1 and 2
+  EXPECT_EQ(reachable_count(g, 3), 1u);  // itself
+}
+
+TEST(ReachabilityTest, InactiveSourceEmpty) {
+  auto g = cycle(4);
+  g.set_active(0, false);
+  EXPECT_TRUE(reachable_set(g, 0).empty());
+}
+
+TEST(ReachabilityTest, InactiveNodeBlocksTransit) {
+  auto g = cycle(4);  // 0->1->2->3->0
+  g.set_active(1, false);
+  EXPECT_EQ(reachable_count(g, 0), 1u);
+}
+
+TEST(StrongConnectivityTest, CycleIsStronglyConnected) {
+  EXPECT_TRUE(is_strongly_connected(cycle(6)));
+}
+
+TEST(StrongConnectivityTest, ChainIsNot) {
+  Digraph g(3);
+  g.set_edge(0, 1, 1.0);
+  g.set_edge(1, 2, 1.0);
+  EXPECT_FALSE(is_strongly_connected(g));
+  EXPECT_TRUE(is_weakly_connected(g));
+}
+
+TEST(StrongConnectivityTest, TrivialGraphsConnected) {
+  EXPECT_TRUE(is_strongly_connected(Digraph(1)));
+  EXPECT_TRUE(is_strongly_connected(Digraph(0)));
+  EXPECT_TRUE(is_weakly_connected(Digraph(1)));
+}
+
+TEST(StrongConnectivityTest, IgnoresInactiveNodes) {
+  auto g = cycle(4);
+  Digraph h(5);  // node 4 is isolated but OFF
+  for (NodeId u = 0; u < 4; ++u) h.set_edge(u, (u + 1) % 4, 1.0);
+  h.set_active(4, false);
+  EXPECT_TRUE(is_strongly_connected(h));
+  h.set_active(4, true);
+  EXPECT_FALSE(is_strongly_connected(h));
+}
+
+TEST(WeakConnectivityTest, TwoComponentsDetected) {
+  Digraph g(4);
+  g.set_edge(0, 1, 1.0);
+  g.set_edge(2, 3, 1.0);
+  EXPECT_FALSE(is_weakly_connected(g));
+}
+
+TEST(StrongConnectivityTest, OneWayBridgeIsWeakOnly) {
+  // Two cycles joined by a single one-way edge.
+  Digraph g(6);
+  for (NodeId u = 0; u < 3; ++u) g.set_edge(u, (u + 1) % 3, 1.0);
+  for (NodeId u = 3; u < 6; ++u) g.set_edge(u, 3 + (u - 3 + 1) % 3, 1.0);
+  g.set_edge(0, 3, 1.0);
+  EXPECT_FALSE(is_strongly_connected(g));
+  EXPECT_TRUE(is_weakly_connected(g));
+}
+
+}  // namespace
+}  // namespace egoist::graph

@@ -1,0 +1,94 @@
+#include "graph/digraph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace egoist::graph {
+namespace {
+
+TEST(DigraphTest, StartsEmptyAndActive) {
+  Digraph g(4);
+  EXPECT_EQ(g.node_count(), 4u);
+  EXPECT_EQ(g.edge_count(), 0u);
+  for (NodeId v = 0; v < 4; ++v) EXPECT_TRUE(g.is_active(v));
+}
+
+TEST(DigraphTest, SetEdgeAddsAndUpdates) {
+  Digraph g(3);
+  g.set_edge(0, 1, 5.0);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_DOUBLE_EQ(g.edge_weight(0, 1), 5.0);
+  EXPECT_EQ(g.edge_count(), 1u);
+  g.set_edge(0, 1, 2.5);  // update, not duplicate
+  EXPECT_DOUBLE_EQ(g.edge_weight(0, 1), 2.5);
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(DigraphTest, EdgesAreDirected) {
+  Digraph g(3);
+  g.set_edge(0, 1, 1.0);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(1, 0));
+}
+
+TEST(DigraphTest, AsymmetricWeightsAllowed) {
+  Digraph g(2);
+  g.set_edge(0, 1, 1.0);
+  g.set_edge(1, 0, 9.0);
+  EXPECT_DOUBLE_EQ(g.edge_weight(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(g.edge_weight(1, 0), 9.0);
+}
+
+TEST(DigraphTest, RemoveEdge) {
+  Digraph g(3);
+  g.set_edge(0, 1, 1.0);
+  EXPECT_TRUE(g.remove_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(0, 1));
+  EXPECT_EQ(g.edge_count(), 0u);
+  EXPECT_FALSE(g.remove_edge(0, 1));  // second removal is a no-op
+}
+
+TEST(DigraphTest, ClearOutEdges) {
+  Digraph g(4);
+  g.set_edge(0, 1, 1.0);
+  g.set_edge(0, 2, 1.0);
+  g.set_edge(1, 2, 1.0);
+  g.clear_out_edges(0);
+  EXPECT_EQ(g.out_degree(0), 0u);
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_TRUE(g.has_edge(1, 2));
+}
+
+TEST(DigraphTest, RejectsSelfLoop) {
+  Digraph g(2);
+  EXPECT_THROW(g.set_edge(1, 1, 1.0), std::invalid_argument);
+}
+
+TEST(DigraphTest, RejectsOutOfRangeNodes) {
+  Digraph g(2);
+  EXPECT_THROW(g.set_edge(0, 2, 1.0), std::out_of_range);
+  EXPECT_THROW(g.set_edge(-1, 0, 1.0), std::out_of_range);
+  EXPECT_THROW(g.is_active(5), std::out_of_range);
+  EXPECT_THROW(g.edge_weight(0, 1), std::out_of_range);
+}
+
+TEST(DigraphTest, ActiveFlagToggles) {
+  Digraph g(3);
+  g.set_active(1, false);
+  EXPECT_FALSE(g.is_active(1));
+  EXPECT_EQ(g.active_nodes(), (std::vector<NodeId>{0, 2}));
+  g.set_active(1, true);
+  EXPECT_EQ(g.active_nodes(), (std::vector<NodeId>{0, 1, 2}));
+}
+
+TEST(DigraphTest, OutEdgesSpanReflectsAdjacency) {
+  Digraph g(4);
+  g.set_edge(2, 0, 1.0);
+  g.set_edge(2, 3, 2.0);
+  const auto out = g.out_edges(2);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].to, 0);
+  EXPECT_EQ(out[1].to, 3);
+}
+
+}  // namespace
+}  // namespace egoist::graph

@@ -1,0 +1,149 @@
+#include "graph/maxflow.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace egoist::graph {
+namespace {
+
+TEST(MaxFlowTest, SingleEdge) {
+  MaxFlow mf(2);
+  mf.add_arc(0, 1, 5.0);
+  EXPECT_DOUBLE_EQ(mf.max_flow(0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(mf.arc_flow(0), 5.0);
+}
+
+TEST(MaxFlowTest, SeriesBottleneck) {
+  MaxFlow mf(3);
+  mf.add_arc(0, 1, 10.0);
+  mf.add_arc(1, 2, 4.0);
+  EXPECT_DOUBLE_EQ(mf.max_flow(0, 2), 4.0);
+}
+
+TEST(MaxFlowTest, ParallelPathsAdd) {
+  MaxFlow mf(4);
+  mf.add_arc(0, 1, 3.0);
+  mf.add_arc(1, 3, 3.0);
+  mf.add_arc(0, 2, 2.0);
+  mf.add_arc(2, 3, 2.0);
+  EXPECT_DOUBLE_EQ(mf.max_flow(0, 3), 5.0);
+}
+
+TEST(MaxFlowTest, ClassicCLRSNetwork) {
+  // CLRS Figure 26.1 instance; known max flow 23.
+  MaxFlow mf(6);
+  mf.add_arc(0, 1, 16.0);
+  mf.add_arc(0, 2, 13.0);
+  mf.add_arc(1, 2, 10.0);
+  mf.add_arc(2, 1, 4.0);
+  mf.add_arc(1, 3, 12.0);
+  mf.add_arc(3, 2, 9.0);
+  mf.add_arc(2, 4, 14.0);
+  mf.add_arc(4, 3, 7.0);
+  mf.add_arc(3, 5, 20.0);
+  mf.add_arc(4, 5, 4.0);
+  EXPECT_DOUBLE_EQ(mf.max_flow(0, 5), 23.0);
+}
+
+TEST(MaxFlowTest, DisconnectedIsZero) {
+  MaxFlow mf(3);
+  mf.add_arc(0, 1, 5.0);
+  EXPECT_DOUBLE_EQ(mf.max_flow(0, 2), 0.0);
+}
+
+TEST(MaxFlowTest, RejectsBadInput) {
+  MaxFlow mf(2);
+  EXPECT_THROW(mf.add_arc(0, 5, 1.0), std::out_of_range);
+  EXPECT_THROW(mf.add_arc(0, 1, -1.0), std::invalid_argument);
+  EXPECT_THROW(mf.max_flow(0, 0), std::invalid_argument);
+}
+
+TEST(MaxFlowOnGraphTest, UsesEdgeWeightsAsCapacities) {
+  Digraph g(3);
+  g.set_edge(0, 1, 6.0);
+  g.set_edge(1, 2, 2.0);
+  g.set_edge(0, 2, 1.0);
+  EXPECT_DOUBLE_EQ(max_flow_on_graph(g, 0, 2), 3.0);
+}
+
+TEST(MaxFlowOnGraphTest, InactiveNodesCarryNoFlow) {
+  Digraph g(3);
+  g.set_edge(0, 1, 6.0);
+  g.set_edge(1, 2, 6.0);
+  g.set_active(1, false);
+  EXPECT_DOUBLE_EQ(max_flow_on_graph(g, 0, 2), 0.0);
+}
+
+TEST(DisjointPathsTest, CountsEdgeDisjointPaths) {
+  Digraph g(4);
+  // Two edge-disjoint 0->3 paths: 0-1-3 and 0-2-3.
+  g.set_edge(0, 1, 9.0);
+  g.set_edge(1, 3, 9.0);
+  g.set_edge(0, 2, 9.0);
+  g.set_edge(2, 3, 9.0);
+  EXPECT_EQ(edge_disjoint_paths(g, 0, 3), 2);
+}
+
+TEST(DisjointPathsTest, SharedEdgeLimits) {
+  Digraph g(5);
+  // Both routes share edge 3->4.
+  g.set_edge(0, 1, 1.0);
+  g.set_edge(0, 2, 1.0);
+  g.set_edge(1, 3, 1.0);
+  g.set_edge(2, 3, 1.0);
+  g.set_edge(3, 4, 1.0);
+  EXPECT_EQ(edge_disjoint_paths(g, 0, 4), 1);
+}
+
+TEST(DisjointPathsTest, NodeDisjointStricterThanEdgeDisjoint) {
+  Digraph g(6);
+  // Two edge-disjoint paths share relay node 3:
+  // 0-1-3-4-5 and 0-2-3-... need a second exit from 3.
+  g.set_edge(0, 1, 1.0);
+  g.set_edge(1, 3, 1.0);
+  g.set_edge(0, 2, 1.0);
+  g.set_edge(2, 3, 1.0);
+  g.set_edge(3, 4, 1.0);
+  g.set_edge(4, 5, 1.0);
+  g.set_edge(3, 5, 1.0);
+  EXPECT_EQ(edge_disjoint_paths(g, 0, 5), 2);
+  EXPECT_EQ(node_disjoint_paths(g, 0, 5), 1);  // both must cross node 3
+}
+
+TEST(DisjointPathsTest, DirectEdgePlusRelayAreNodeDisjoint) {
+  Digraph g(3);
+  g.set_edge(0, 2, 1.0);
+  g.set_edge(0, 1, 1.0);
+  g.set_edge(1, 2, 1.0);
+  EXPECT_EQ(node_disjoint_paths(g, 0, 2), 2);
+}
+
+// Property: max flow equals a min cut on random unit-capacity graphs —
+// verified indirectly as: disjoint path count <= min(outdeg(s), indeg(t)).
+class DisjointPathsRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DisjointPathsRandomTest, BoundedByDegrees) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 31 + 7);
+  const int n = 16;
+  Digraph g(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (int j = 0; j < 3; ++j) {
+      const NodeId v = static_cast<NodeId>(rng.uniform_int(0, n - 1));
+      if (v != u) g.set_edge(u, v, 1.0);
+    }
+  }
+  int in_deg_t = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    if (u != n - 1 && g.has_edge(u, n - 1)) ++in_deg_t;
+  }
+  const int paths = edge_disjoint_paths(g, 0, n - 1);
+  EXPECT_LE(paths, static_cast<int>(g.out_degree(0)));
+  EXPECT_LE(paths, in_deg_t);
+  EXPECT_LE(node_disjoint_paths(g, 0, n - 1), paths);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DisjointPathsRandomTest, ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace egoist::graph

@@ -1,0 +1,90 @@
+#include "graph/mst.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "net/delay_space.hpp"
+
+namespace egoist::graph {
+namespace {
+
+TEST(MstTest, TwoNodesSingleEdge) {
+  const auto tree = minimum_spanning_tree(
+      {0, 1}, [](NodeId, NodeId) { return 4.0; });
+  ASSERT_EQ(tree.size(), 1u);
+  EXPECT_DOUBLE_EQ(tree[0].weight, 4.0);
+}
+
+TEST(MstTest, PicksCheapEdgesOnKnownInstance) {
+  // Distances: 0-1: 1, 0-2: 5, 1-2: 2 -> MST = {0-1, 1-2}, weight 3.
+  auto cost = [](NodeId a, NodeId b) {
+    const int lo = std::min(a, b), hi = std::max(a, b);
+    if (lo == 0 && hi == 1) return 1.0;
+    if (lo == 0 && hi == 2) return 5.0;
+    return 2.0;
+  };
+  const auto tree = minimum_spanning_tree({0, 1, 2}, cost);
+  double total = 0.0;
+  for (const auto& e : tree) total += e.weight;
+  EXPECT_DOUBLE_EQ(total, 3.0);
+}
+
+TEST(MstTest, SpansAllNodes) {
+  const auto delays = net::make_planetlab_like(20, 3);
+  std::vector<NodeId> nodes;
+  for (NodeId v = 0; v < 20; ++v) nodes.push_back(v);
+  const auto tree = minimum_spanning_tree(
+      nodes, [&](NodeId a, NodeId b) { return delays.delay(a, b); });
+  EXPECT_EQ(tree.size(), 19u);
+  // Union-find-free check: adjacency reaches everyone from node 0.
+  const auto adj = tree_adjacency(20, tree);
+  std::set<NodeId> seen{0};
+  std::vector<NodeId> frontier{0};
+  while (!frontier.empty()) {
+    const NodeId at = frontier.back();
+    frontier.pop_back();
+    for (NodeId v : adj[static_cast<std::size_t>(at)]) {
+      if (seen.insert(v).second) frontier.push_back(v);
+    }
+  }
+  EXPECT_EQ(seen.size(), 20u);
+}
+
+TEST(MstTest, SymmetrizesAsymmetricCosts) {
+  // cost(0,1)=2, cost(1,0)=6 -> tree weight uses the mean 4.
+  auto cost = [](NodeId a, NodeId b) { return a < b ? 2.0 : 6.0; };
+  const auto tree = minimum_spanning_tree({0, 1}, cost);
+  EXPECT_DOUBLE_EQ(tree[0].weight, 4.0);
+}
+
+TEST(MstTest, TotalWeightNotWorseThanStar) {
+  // MST weight <= weight of the star rooted anywhere.
+  const auto delays = net::make_planetlab_like(15, 7);
+  std::vector<NodeId> nodes;
+  for (NodeId v = 0; v < 15; ++v) nodes.push_back(v);
+  auto sym = [&](NodeId a, NodeId b) {
+    return (delays.delay(a, b) + delays.delay(b, a)) / 2.0;
+  };
+  const auto tree = minimum_spanning_tree(
+      nodes, [&](NodeId a, NodeId b) { return delays.delay(a, b); });
+  double mst_weight = 0.0;
+  for (const auto& e : tree) mst_weight += e.weight;
+  for (NodeId root = 0; root < 15; ++root) {
+    double star = 0.0;
+    for (NodeId v = 0; v < 15; ++v) {
+      if (v != root) star += sym(root, v);
+    }
+    EXPECT_LE(mst_weight, star + 1e-9);
+  }
+}
+
+TEST(MstTest, Rejections) {
+  EXPECT_THROW(minimum_spanning_tree({0}, [](NodeId, NodeId) { return 1.0; }),
+               std::invalid_argument);
+  EXPECT_THROW(minimum_spanning_tree({0, 1}, nullptr), std::invalid_argument);
+  EXPECT_THROW(tree_adjacency(2, {TreeEdge{0, 5, 1.0}}), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace egoist::graph

@@ -1,0 +1,114 @@
+#include "graph/widest_path.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "util/rng.hpp"
+
+namespace egoist::graph {
+namespace {
+
+// 0 ->1 (bw 10), 1->2 (bw 3), 0->2 (bw 2): widest 0->2 goes via 1 (min 3).
+Digraph bw_triangle() {
+  Digraph g(3);
+  g.set_edge(0, 1, 10.0);
+  g.set_edge(1, 2, 3.0);
+  g.set_edge(0, 2, 2.0);
+  return g;
+}
+
+TEST(WidestPathTest, PrefersHigherBottleneck) {
+  const auto tree = widest_paths(bw_triangle(), 0);
+  EXPECT_DOUBLE_EQ(tree.bottleneck[2], 3.0);
+  EXPECT_EQ(tree.parent[2], 1);
+}
+
+TEST(WidestPathTest, SourceIsInfinite) {
+  const auto tree = widest_paths(bw_triangle(), 0);
+  EXPECT_EQ(tree.bottleneck[0], std::numeric_limits<double>::infinity());
+}
+
+TEST(WidestPathTest, UnreachableIsZero) {
+  Digraph g(3);
+  g.set_edge(0, 1, 5.0);
+  const auto tree = widest_paths(g, 0);
+  EXPECT_DOUBLE_EQ(tree.bottleneck[2], 0.0);
+}
+
+TEST(WidestPathTest, DirectEdgeWinsWhenWider) {
+  Digraph g(3);
+  g.set_edge(0, 1, 1.0);
+  g.set_edge(1, 2, 1.0);
+  g.set_edge(0, 2, 7.0);
+  const auto tree = widest_paths(g, 0);
+  EXPECT_DOUBLE_EQ(tree.bottleneck[2], 7.0);
+  EXPECT_EQ(tree.parent[2], 0);
+}
+
+TEST(WidestPathTest, InactiveRelayExcluded) {
+  auto g = bw_triangle();
+  g.set_active(1, false);
+  const auto tree = widest_paths(g, 0);
+  EXPECT_DOUBLE_EQ(tree.bottleneck[2], 2.0);  // forced onto the thin edge
+}
+
+TEST(WidestPathTest, NegativeBandwidthRejected) {
+  Digraph g(2);
+  g.set_edge(0, 1, -2.0);
+  EXPECT_THROW(widest_paths(g, 0), std::invalid_argument);
+}
+
+TEST(AllPairsWidestTest, MatchesPerSource) {
+  const auto g = bw_triangle();
+  const auto all = all_pairs_widest_paths(g);
+  for (NodeId u = 0; u < 3; ++u) {
+    const auto tree = widest_paths(g, u);
+    for (NodeId v = 0; v < 3; ++v) {
+      EXPECT_DOUBLE_EQ(all[static_cast<std::size_t>(u)][static_cast<std::size_t>(v)],
+                       tree.bottleneck[static_cast<std::size_t>(v)]);
+    }
+  }
+}
+
+// Brute-force check on random graphs: widest bottleneck via DFS over all
+// simple paths equals the Dijkstra-variant answer.
+double brute_widest(const Digraph& g, NodeId u, NodeId t, double bottleneck,
+                    std::vector<bool>& visited) {
+  if (u == t) return bottleneck;
+  visited[static_cast<std::size_t>(u)] = true;
+  double best = 0.0;
+  for (const Edge& e : g.out_edges(u)) {
+    if (visited[static_cast<std::size_t>(e.to)]) continue;
+    best = std::max(best, brute_widest(g, e.to, t, std::min(bottleneck, e.weight),
+                                       visited));
+  }
+  visited[static_cast<std::size_t>(u)] = false;
+  return best;
+}
+
+class WidestPathRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(WidestPathRandomTest, AgreesWithBruteForce) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 101);
+  const int n = 9;
+  Digraph g(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (int j = 0; j < 3; ++j) {
+      const NodeId v = static_cast<NodeId>(rng.uniform_int(0, n - 1));
+      if (v != u) g.set_edge(u, v, rng.uniform(1.0, 100.0));
+    }
+  }
+  const auto tree = widest_paths(g, 0);
+  std::vector<bool> visited(static_cast<std::size_t>(n), false);
+  for (NodeId t = 1; t < n; ++t) {
+    const double expected = brute_widest(
+        g, 0, t, std::numeric_limits<double>::infinity(), visited);
+    EXPECT_NEAR(tree.bottleneck[static_cast<std::size_t>(t)], expected, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WidestPathRandomTest, ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace egoist::graph

@@ -1,0 +1,107 @@
+#include "net/bandwidth.hpp"
+
+#include <gtest/gtest.h>
+
+namespace egoist::net {
+namespace {
+
+TEST(BandwidthModelTest, AvailBwPositiveAndBelowCapacity) {
+  BandwidthModel bw(20, 5);
+  for (int i = 0; i < 20; ++i) {
+    for (int j = 0; j < 20; ++j) {
+      if (i == j) continue;
+      EXPECT_GE(bw.avail_bw(i, j), 0.0);
+      EXPECT_LE(bw.avail_bw(i, j), bw.capacity(i, j));
+      EXPECT_GT(bw.capacity(i, j), 0.0);
+    }
+  }
+}
+
+TEST(BandwidthModelTest, DeterministicForSeed) {
+  BandwidthModel a(10, 42), b(10, 42);
+  EXPECT_DOUBLE_EQ(a.avail_bw(0, 1), b.avail_bw(0, 1));
+  a.advance(10.0);
+  b.advance(10.0);
+  EXPECT_DOUBLE_EQ(a.avail_bw(0, 1), b.avail_bw(0, 1));
+}
+
+TEST(BandwidthModelTest, AdvanceChangesAvailability) {
+  BandwidthModel bw(10, 7);
+  const double before = bw.avail_bw(0, 1);
+  bw.advance(120.0);
+  EXPECT_NE(before, bw.avail_bw(0, 1));
+}
+
+TEST(BandwidthModelTest, CapacityStableUnderAdvance) {
+  BandwidthModel bw(10, 7);
+  const double cap = bw.capacity(2, 3);
+  bw.advance(500.0);
+  EXPECT_DOUBLE_EQ(bw.capacity(2, 3), cap);
+}
+
+TEST(BandwidthModelTest, UplinkBoundsAllPairsFromNode) {
+  BandwidthModel bw(12, 9);
+  // capacity(i, j) <= capacity of i's uplink, so min over j should equal
+  // some pair's core/downlink; at least the bound must hold pairwise.
+  for (int j = 1; j < 12; ++j) {
+    EXPECT_LE(bw.capacity(0, j),
+              std::max(bw.capacity(0, 1), bw.capacity(0, j)) + 1e12);
+    EXPECT_GT(bw.capacity(0, j), 0.0);
+  }
+}
+
+TEST(BandwidthModelTest, Rejections) {
+  EXPECT_THROW(BandwidthModel(1, 1), std::invalid_argument);
+  BandwidthModel bw(5, 1);
+  EXPECT_THROW(bw.avail_bw(0, 0), std::invalid_argument);
+  EXPECT_THROW(bw.avail_bw(0, 9), std::out_of_range);
+  EXPECT_THROW(bw.advance(-1.0), std::invalid_argument);
+}
+
+TEST(PeeringModelTest, ProviderCountsInRange) {
+  PeeringModel p(30, 11, 1, 3);
+  for (int v = 0; v < 30; ++v) {
+    EXPECT_GE(p.providers(v), 1);
+    EXPECT_LE(p.providers(v), 3);
+  }
+}
+
+TEST(PeeringModelTest, EgressDeterministicAndInRange) {
+  PeeringModel p(20, 13, 2, 3);
+  for (int via = 1; via < 20; ++via) {
+    const int e1 = p.egress_point(0, via);
+    const int e2 = p.egress_point(0, via);
+    EXPECT_EQ(e1, e2);
+    EXPECT_GE(e1, 0);
+    EXPECT_LT(e1, p.providers(0));
+  }
+}
+
+TEST(PeeringModelTest, MultihomedNodesUseMultiplePoints) {
+  PeeringModel p(40, 17, 3, 3);
+  std::set<int> points;
+  for (int via = 1; via < 40; ++via) points.insert(p.egress_point(0, via));
+  EXPECT_GE(points.size(), 2u);  // many neighbors hash across points
+}
+
+TEST(PeeringModelTest, AggregateRateIsSumOfCaps) {
+  PeeringModel p(10, 19, 2, 2, 2.0);
+  for (int v = 0; v < 10; ++v) {
+    double sum = 0.0;
+    for (int pt = 0; pt < p.providers(v); ++pt) sum += p.session_cap(v, pt);
+    EXPECT_DOUBLE_EQ(p.max_aggregate_rate(v), sum);
+    EXPECT_GT(sum, 0.0);
+  }
+}
+
+TEST(PeeringModelTest, Rejections) {
+  EXPECT_THROW(PeeringModel(10, 1, 0, 3), std::invalid_argument);
+  EXPECT_THROW(PeeringModel(10, 1, 3, 2), std::invalid_argument);
+  EXPECT_THROW(PeeringModel(10, 1, 1, 2, 0.0), std::invalid_argument);
+  PeeringModel p(5, 1);
+  EXPECT_THROW(p.providers(9), std::out_of_range);
+  EXPECT_THROW(p.session_cap(0, 99), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace egoist::net

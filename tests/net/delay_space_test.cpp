@@ -1,0 +1,124 @@
+#include "net/delay_space.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/stats.hpp"
+
+namespace egoist::net {
+namespace {
+
+TEST(DelaySpaceTest, WrapsExplicitMatrix) {
+  DelaySpace d({{0.0, 1.0}, {2.0, 0.0}});
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_DOUBLE_EQ(d.delay(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(d.delay(1, 0), 2.0);
+  EXPECT_DOUBLE_EQ(d.rtt(0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(d.rtt(1, 0), 3.0);
+}
+
+TEST(DelaySpaceTest, RejectsMalformedMatrices) {
+  EXPECT_THROW(DelaySpace({{0.0, 1.0}}), std::invalid_argument);          // not square
+  EXPECT_THROW(DelaySpace({{1.0, 1.0}, {1.0, 0.0}}), std::invalid_argument);  // diag
+  EXPECT_THROW(DelaySpace({{0.0, -1.0}, {1.0, 0.0}}), std::invalid_argument); // negative
+}
+
+TEST(DelaySpaceTest, RejectsOutOfRangeIds) {
+  DelaySpace d({{0.0, 1.0}, {1.0, 0.0}});
+  EXPECT_THROW(d.delay(0, 2), std::out_of_range);
+  EXPECT_THROW(d.delay(-1, 0), std::out_of_range);
+}
+
+TEST(PlanetLabLikeTest, DeterministicForSeed) {
+  const auto a = make_planetlab_like(20, 7);
+  const auto b = make_planetlab_like(20, 7);
+  for (int i = 0; i < 20; ++i) {
+    for (int j = 0; j < 20; ++j) {
+      EXPECT_DOUBLE_EQ(a.delay(i, j), b.delay(i, j));
+    }
+  }
+}
+
+TEST(PlanetLabLikeTest, DifferentSeedsDiffer) {
+  const auto a = make_planetlab_like(20, 1);
+  const auto b = make_planetlab_like(20, 2);
+  EXPECT_NE(a.delay(0, 1), b.delay(0, 1));
+}
+
+TEST(PlanetLabLikeTest, DelaysPositiveOffDiagonal) {
+  const auto d = make_planetlab_like(50, 3);
+  for (int i = 0; i < 50; ++i) {
+    for (int j = 0; j < 50; ++j) {
+      if (i == j) {
+        EXPECT_DOUBLE_EQ(d.delay(i, j), 0.0);
+      } else {
+        EXPECT_GT(d.delay(i, j), 0.0);
+      }
+    }
+  }
+}
+
+TEST(PlanetLabLikeTest, MildAsymmetry) {
+  const auto d = make_planetlab_like(30, 5);
+  // Directed delays differ but by bounded relative amounts.
+  int asymmetric = 0;
+  for (int i = 0; i < 30; ++i) {
+    for (int j = i + 1; j < 30; ++j) {
+      if (d.delay(i, j) != d.delay(j, i)) ++asymmetric;
+      const double ratio = d.delay(i, j) / d.delay(j, i);
+      EXPECT_GT(ratio, 0.6);
+      EXPECT_LT(ratio, 1.7);
+    }
+  }
+  EXPECT_GT(asymmetric, 300);  // most pairs are asymmetric
+}
+
+TEST(PlanetLabLikeTest, IntraClusterCloserThanInterCluster) {
+  const std::size_t n = 60;
+  const std::uint64_t seed = 11;
+  const auto d = make_planetlab_like(n, seed);
+  const auto cluster = planetlab_like_clusters(n, seed);
+  util::OnlineStats intra, inter;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      (cluster[i] == cluster[j] ? intra : inter)
+          .add(d.delay(static_cast<int>(i), static_cast<int>(j)));
+    }
+  }
+  ASSERT_GT(intra.count(), 0u);
+  ASSERT_GT(inter.count(), 0u);
+  EXPECT_LT(intra.mean() * 1.5, inter.mean());
+}
+
+TEST(PlanetLabLikeTest, SomeTriangleViolationsExist) {
+  // Overlay routing only helps when some direct paths are worse than
+  // two-hop detours; the generator must produce such pairs.
+  const auto d = make_planetlab_like(50, 13);
+  int violations = 0;
+  for (int i = 0; i < 50; ++i) {
+    for (int j = 0; j < 50; ++j) {
+      if (i == j) continue;
+      for (int v = 0; v < 50; ++v) {
+        if (v == i || v == j) continue;
+        if (d.delay(i, v) + d.delay(v, j) < d.delay(i, j)) {
+          ++violations;
+          break;
+        }
+      }
+    }
+  }
+  EXPECT_GT(violations, 50);
+}
+
+TEST(PlanetLabLikeTest, ClusterWeightsValidated) {
+  GeoDelayConfig config;
+  config.cluster_weights = {};
+  EXPECT_THROW(make_planetlab_like(10, 1, config), std::invalid_argument);
+  config.cluster_weights = {0.0, 0.0};
+  EXPECT_THROW(make_planetlab_like(10, 1, config), std::invalid_argument);
+  config.cluster_weights = {1.0, -1.0};
+  EXPECT_THROW(make_planetlab_like(10, 1, config), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace egoist::net

@@ -1,0 +1,72 @@
+#include "net/load.hpp"
+
+#include <gtest/gtest.h>
+
+namespace egoist::net {
+namespace {
+
+TEST(LoadModelTest, LoadsArePositive) {
+  LoadModel m(30, 3);
+  for (int v = 0; v < 30; ++v) EXPECT_GT(m.load(v), 0.0);
+  m.advance(300.0);
+  for (int v = 0; v < 30; ++v) EXPECT_GT(m.load(v), 0.0);
+}
+
+TEST(LoadModelTest, DeterministicForSeed) {
+  LoadModel a(10, 21), b(10, 21);
+  a.advance(60.0);
+  b.advance(60.0);
+  for (int v = 0; v < 10; ++v) EXPECT_DOUBLE_EQ(a.load(v), b.load(v));
+}
+
+TEST(LoadModelTest, HeterogeneousBaseLoads) {
+  LoadModel m(50, 5);
+  double lo = m.load(0), hi = m.load(0);
+  for (int v = 1; v < 50; ++v) {
+    lo = std::min(lo, m.load(v));
+    hi = std::max(hi, m.load(v));
+  }
+  EXPECT_GT(hi, 3.0 * lo);  // heavy-tailed spread across hosts
+}
+
+TEST(LoadModelTest, AdvanceChangesLoad) {
+  LoadModel m(10, 7);
+  const double before = m.load(3);
+  m.advance(120.0);
+  EXPECT_NE(m.load(3), before);
+}
+
+TEST(LoadModelTest, SpikesDecay) {
+  LoadConfig config;
+  config.spike_rate = 0.0;  // no new spikes
+  config.volatility = 0.0;  // no fluctuation noise
+  LoadModel m(5, 9, config);
+  const double base = m.load(0);
+  m.advance(1000.0);
+  EXPECT_NEAR(m.load(0), base, 1e-9);
+}
+
+TEST(LoadModelTest, Rejections) {
+  EXPECT_THROW(LoadModel(0, 1), std::invalid_argument);
+  LoadModel m(3, 1);
+  EXPECT_THROW(m.load(5), std::out_of_range);
+  EXPECT_THROW(m.advance(-0.1), std::invalid_argument);
+}
+
+TEST(LoadEstimatorTest, TracksConstantLoad) {
+  LoadEstimator est(60.0);
+  EXPECT_FALSE(est.has_estimate());
+  for (int t = 0; t <= 600; t += 15) est.observe(2.5, t);
+  EXPECT_TRUE(est.has_estimate());
+  EXPECT_NEAR(est.estimate(), 2.5, 1e-9);
+}
+
+TEST(LoadEstimatorTest, SmoothsSpikes) {
+  LoadEstimator est(60.0);
+  est.observe(1.0, 0.0);
+  est.observe(100.0, 1.0);  // a 1-second spike barely moves a 60 s EWMA
+  EXPECT_LT(est.estimate(), 5.0);
+}
+
+}  // namespace
+}  // namespace egoist::net

@@ -1,0 +1,114 @@
+#include "net/measurement.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/delay_space.hpp"
+#include "util/stats.hpp"
+
+namespace egoist::net {
+namespace {
+
+TEST(PingProberTest, EstimateNearHalfRtt) {
+  const auto d = make_planetlab_like(10, 3);
+  PingProber prober(d, 5, /*jitter_ms=*/0.0, /*samples=*/1);
+  for (int i = 0; i < 10; ++i) {
+    for (int j = 0; j < 10; ++j) {
+      if (i == j) continue;
+      EXPECT_NEAR(prober.estimate_one_way(i, j), d.rtt(i, j) / 2.0, 1e-9);
+    }
+  }
+}
+
+TEST(PingProberTest, JitterBiasesUpward) {
+  // Queueing noise only adds delay, so estimates exceed the true half-RTT.
+  const auto d = make_planetlab_like(5, 7);
+  PingProber prober(d, 9, /*jitter_ms=*/5.0, /*samples=*/10);
+  util::OnlineStats bias;
+  for (int r = 0; r < 50; ++r) {
+    bias.add(prober.estimate_one_way(0, 1) - d.rtt(0, 1) / 2.0);
+  }
+  EXPECT_GT(bias.mean(), 0.0);
+}
+
+TEST(PingProberTest, MoreSamplesLessVariance) {
+  const auto d = make_planetlab_like(5, 7);
+  PingProber noisy(d, 11, 5.0, 1);
+  PingProber smooth(d, 11, 5.0, 50);
+  util::OnlineStats v1, v50;
+  for (int r = 0; r < 100; ++r) {
+    v1.add(noisy.estimate_one_way(0, 1));
+    v50.add(smooth.estimate_one_way(0, 1));
+  }
+  EXPECT_LT(v50.stddev(), v1.stddev());
+}
+
+TEST(PingProberTest, BitsPerEstimateCountsBothDirections) {
+  const auto d = make_planetlab_like(5, 1);
+  PingProber prober(d, 1, 1.0, 5);
+  EXPECT_DOUBLE_EQ(prober.bits_per_estimate(), 2.0 * 320.0 * 5);
+}
+
+TEST(PingProberTest, LoadFormulaMatchesPaper) {
+  // (n - k - 1) * 320 / T bps per node; n=50, k=5, T=60 s.
+  EXPECT_NEAR(PingProber::ping_load_bps(50, 5, 60.0), 44.0 * 320.0 / 60.0, 1e-9);
+}
+
+TEST(PingProberTest, Rejections) {
+  const auto d = make_planetlab_like(5, 1);
+  EXPECT_THROW(PingProber(d, 1, -1.0), std::invalid_argument);
+  EXPECT_THROW(PingProber(d, 1, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(PingProber::ping_load_bps(50, 5, 0.0), std::invalid_argument);
+  EXPECT_THROW(PingProber::ping_load_bps(3, 5, 60.0), std::invalid_argument);
+}
+
+TEST(BandwidthProberTest, ZeroErrorIsExact) {
+  BandwidthModel bw(8, 13);
+  BandwidthProber prober(bw, 17, 0.0);
+  EXPECT_DOUBLE_EQ(prober.estimate(0, 1), bw.avail_bw(0, 1));
+}
+
+TEST(BandwidthProberTest, ErrorStaysRelative) {
+  BandwidthModel bw(8, 13);
+  BandwidthProber prober(bw, 17, 0.05);
+  const double truth = bw.avail_bw(2, 3);
+  util::OnlineStats rel;
+  for (int r = 0; r < 200; ++r) {
+    rel.add((prober.estimate(2, 3) - truth) / truth);
+  }
+  EXPECT_NEAR(rel.mean(), 0.0, 0.02);
+  EXPECT_NEAR(rel.stddev(), 0.05, 0.02);
+}
+
+TEST(BandwidthProberTest, RejectsBadError) {
+  BandwidthModel bw(4, 1);
+  EXPECT_THROW(BandwidthProber(bw, 1, -0.1), std::invalid_argument);
+  EXPECT_THROW(BandwidthProber(bw, 1, 1.0), std::invalid_argument);
+}
+
+TEST(OverheadFormulasTest, CoordLoadMatchesPaper) {
+  // (320 + 32 n) / T bps; n=50, T=60.
+  EXPECT_NEAR(OverheadFormulas::coord_load_bps(50, 60.0),
+              (320.0 + 32.0 * 50.0) / 60.0, 1e-9);
+}
+
+TEST(OverheadFormulasTest, LsaLoadMatchesPaper) {
+  // (192 + 32 k) / T_announce bps; k=5, T_announce=20.
+  EXPECT_NEAR(OverheadFormulas::lsa_load_bps(5, 20.0),
+              (192.0 + 32.0 * 5.0) / 20.0, 1e-9);
+}
+
+TEST(OverheadFormulasTest, CoordCheaperThanPingAtScale) {
+  // The paper's rationale for pyxida: measurement load grows O(1) per node
+  // vs O(n) for ping.
+  const double ping = PingProber::ping_load_bps(500, 5, 60.0);
+  const double coords = OverheadFormulas::coord_load_bps(500, 60.0);
+  EXPECT_LT(coords, ping);
+}
+
+TEST(OverheadFormulasTest, Rejections) {
+  EXPECT_THROW(OverheadFormulas::coord_load_bps(10, 0.0), std::invalid_argument);
+  EXPECT_THROW(OverheadFormulas::lsa_load_bps(5, -1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace egoist::net

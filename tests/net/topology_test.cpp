@@ -1,0 +1,97 @@
+#include "net/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/connectivity.hpp"
+
+namespace egoist::net {
+namespace {
+
+TEST(WaxmanTest, ProducesConnectedSymmetricGraph) {
+  const auto u = make_waxman(80, 3);
+  EXPECT_EQ(u.routers.node_count(), 80u);
+  EXPECT_TRUE(graph::is_strongly_connected(u.routers));
+  for (graph::NodeId a = 0; a < 80; ++a) {
+    for (const auto& e : u.routers.out_edges(a)) {
+      EXPECT_TRUE(u.routers.has_edge(e.to, a));
+      EXPECT_DOUBLE_EQ(u.routers.edge_weight(e.to, a), e.weight);
+      EXPECT_GT(e.weight, 0.0);
+    }
+  }
+}
+
+TEST(WaxmanTest, DeterministicForSeed) {
+  const auto a = make_waxman(40, 9);
+  const auto b = make_waxman(40, 9);
+  EXPECT_EQ(a.routers.edge_count(), b.routers.edge_count());
+}
+
+TEST(WaxmanTest, RejectsBadParameters) {
+  EXPECT_THROW(make_waxman(1, 1), std::invalid_argument);
+  EXPECT_THROW(make_waxman(10, 1, 0.0), std::invalid_argument);
+  EXPECT_THROW(make_waxman(10, 1, 0.5, -1.0), std::invalid_argument);
+}
+
+TEST(BarabasiAlbertTest, ConnectedWithExpectedEdgeCount) {
+  const std::size_t n = 100;
+  const std::size_t m = 2;
+  const auto u = make_barabasi_albert(n, 5, m);
+  EXPECT_TRUE(graph::is_strongly_connected(u.routers));
+  // Seed clique has C(m+1,2)=3 undirected edges; each later router adds m.
+  const std::size_t expected_undirected = 3 + (n - m - 1) * m;
+  EXPECT_EQ(u.routers.edge_count(), 2 * expected_undirected);
+}
+
+TEST(BarabasiAlbertTest, HubsEmerge) {
+  const auto u = make_barabasi_albert(200, 7, 2);
+  std::size_t max_deg = 0;
+  for (graph::NodeId v = 0; v < 200; ++v) {
+    max_deg = std::max(max_deg, u.routers.out_degree(v));
+  }
+  // Preferential attachment produces hubs far above the mean degree (~4).
+  EXPECT_GE(max_deg, 12u);
+}
+
+TEST(BarabasiAlbertTest, RejectsBadParameters) {
+  EXPECT_THROW(make_barabasi_albert(3, 1, 0), std::invalid_argument);
+  EXPECT_THROW(make_barabasi_albert(2, 1, 2), std::invalid_argument);
+}
+
+TEST(DelayFromUnderlayTest, ProducesValidDelaySpace) {
+  const auto u = make_waxman(60, 21);
+  const auto d = delay_space_from_underlay(u, 20, 22);
+  EXPECT_EQ(d.size(), 20u);
+  for (int i = 0; i < 20; ++i) {
+    for (int j = 0; j < 20; ++j) {
+      if (i == j) {
+        EXPECT_DOUBLE_EQ(d.delay(i, j), 0.0);
+      } else {
+        EXPECT_GT(d.delay(i, j), 0.0);
+      }
+    }
+  }
+}
+
+TEST(DelayFromUnderlayTest, UnderlayTriangleRoughlyHolds) {
+  // Delays inherited from shortest paths satisfy the triangle inequality up
+  // to the injected asymmetry skew.
+  const auto u = make_barabasi_albert(80, 31, 2);
+  const auto d = delay_space_from_underlay(u, 15, 32, /*asymmetry=*/0.0);
+  for (int i = 0; i < 15; ++i) {
+    for (int j = 0; j < 15; ++j) {
+      if (i == j) continue;
+      for (int v = 0; v < 15; ++v) {
+        if (v == i || v == j) continue;
+        EXPECT_GE(d.delay(i, v) + d.delay(v, j), d.delay(i, j) - 1e-6);
+      }
+    }
+  }
+}
+
+TEST(DelayFromUnderlayTest, RejectsOversizedOverlay) {
+  const auto u = make_waxman(10, 1);
+  EXPECT_THROW(delay_space_from_underlay(u, 11, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace egoist::net

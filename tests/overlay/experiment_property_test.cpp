@@ -1,0 +1,200 @@
+// Property sweeps mirroring the paper's experimental invariants on small
+// instances: these are the claims every figure depends on, checked across
+// seeds, metrics and k by parameterized suites.
+#include <gtest/gtest.h>
+
+#include "apps/multipath.hpp"
+#include "apps/streaming.hpp"
+#include "graph/connectivity.hpp"
+#include "overlay/network.hpp"
+#include "util/stats.hpp"
+
+namespace egoist::overlay {
+namespace {
+
+double mean(const std::vector<double>& v) { return util::Summary::of(v).mean; }
+
+OverlayConfig config_for(Policy policy, std::size_t k, Metric metric,
+                         std::uint64_t seed) {
+  OverlayConfig config;
+  config.policy = policy;
+  config.k = k;
+  config.metric = metric;
+  config.seed = seed;
+  return config;
+}
+
+std::vector<double> settled_costs(Environment& env, EgoistNetwork& net,
+                                  int epochs = 6) {
+  for (int e = 0; e < epochs; ++e) {
+    env.advance(60.0);
+    net.run_epoch();
+  }
+  return net.node_costs();
+}
+
+// --- Fig 1 invariant: BR dominates the heuristics on the delay metric ---
+class BrDominanceSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::size_t>> {};
+
+TEST_P(BrDominanceSweep, BrBeatsRandomAndRegularOnMeanDelay) {
+  const auto [seed, k] = GetParam();
+  const std::size_t n = 24;
+  Environment br_env(n, seed), random_env(n, seed), regular_env(n, seed);
+  EgoistNetwork br(br_env, config_for(Policy::kBestResponse, k,
+                                      Metric::kDelayPing, seed));
+  EgoistNetwork random(random_env,
+                       config_for(Policy::kRandom, k, Metric::kDelayPing, seed));
+  EgoistNetwork regular(regular_env,
+                        config_for(Policy::kRegular, k, Metric::kDelayPing, seed));
+  const double br_cost = mean(settled_costs(br_env, br));
+  EXPECT_LT(br_cost, mean(settled_costs(random_env, random)) * 1.02);
+  EXPECT_LT(br_cost, mean(settled_costs(regular_env, regular)) * 1.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndK, BrDominanceSweep,
+    ::testing::Combine(::testing::Values(3u, 4u, 5u),
+                       ::testing::Values(std::size_t{2}, std::size_t{3},
+                                         std::size_t{5})));
+
+// --- Fig 1 invariant: more neighbors never hurt BR (on the same env) ---
+class BrMonotoneInK : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BrMonotoneInK, CostShrinksWithK) {
+  const std::uint64_t seed = GetParam();
+  const std::size_t n = 20;
+  double prev = 1e18;
+  for (std::size_t k : {2, 4, 8}) {
+    Environment env(n, seed);
+    EgoistNetwork net(env,
+                      config_for(Policy::kBestResponse, k, Metric::kDelayPing, seed));
+    const double cost = mean(settled_costs(env, net));
+    EXPECT_LT(cost, prev * 1.10) << "k=" << k;  // 10% slack for drift noise
+    prev = cost;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BrMonotoneInK, ::testing::Values(7u, 8u, 9u));
+
+// --- Fig 2 invariant: donated links are a subset of the Hybrid wiring ---
+class HybridInvariantSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HybridInvariantSweep, DonatedLinksStayInsideWiring) {
+  const std::uint64_t seed = GetParam();
+  const std::size_t n = 18;
+  Environment env(n, seed);
+  auto config = config_for(Policy::kHybridBR, 5, Metric::kDelayPing, seed);
+  config.donated_links = 2;
+  EgoistNetwork net(env, config);
+  net.set_online(3, false);
+  net.run_epoch();
+  net.set_online(3, true);
+  net.run_epoch();
+  for (int v = 0; v < static_cast<int>(n); ++v) {
+    if (!net.is_online(v)) continue;
+    const auto& wiring = net.wiring(v);
+    EXPECT_LE(wiring.size(), 5u);
+    for (graph::NodeId d : net.donated(v)) {
+      EXPECT_NE(std::find(wiring.begin(), wiring.end(), d), wiring.end())
+          << "donated link missing from wiring of node " << v;
+    }
+  }
+  // The donated backbone alone must keep the overlay strongly connected.
+  graph::Digraph backbone(n);
+  for (int v = 0; v < static_cast<int>(n); ++v) {
+    backbone.set_active(v, net.is_online(v));
+    if (!net.is_online(v)) continue;
+    for (graph::NodeId d : net.donated(v)) backbone.set_edge(v, d, 1.0);
+  }
+  EXPECT_TRUE(graph::is_strongly_connected(backbone));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HybridInvariantSweep,
+                         ::testing::Values(11u, 12u, 13u, 14u));
+
+// --- Fig 4 invariant: a lying minority moves costs only slightly ---
+class CheaterSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CheaterSweep, CostsMoveLessThanTwentyPercent) {
+  const int cheater_count = GetParam();
+  const std::size_t n = 24;
+  const std::uint64_t seed = 31;
+  std::vector<int> cheaters;
+  for (int c = 0; c < cheater_count; ++c) cheaters.push_back(2 * c);
+
+  Environment honest_env(n, seed), lying_env(n, seed);
+  auto honest_config = config_for(Policy::kBestResponse, 3, Metric::kDelayPing, seed);
+  auto lying_config = honest_config;
+  lying_config.cheaters = cheaters;
+  EgoistNetwork honest(honest_env, honest_config);
+  EgoistNetwork lying(lying_env, lying_config);
+  const double ratio = mean(settled_costs(lying_env, lying)) /
+                       mean(settled_costs(honest_env, honest));
+  EXPECT_NEAR(ratio, 1.0, 0.2);
+}
+
+INSTANTIATE_TEST_SUITE_P(CheaterCounts, CheaterSweep, ::testing::Values(1, 4, 8));
+
+// --- Fig 10/11 invariants on BR overlays ---
+class AppInvariantSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(AppInvariantSweep, DisjointPathsBoundedByKAndParallelByBound) {
+  const std::size_t k = GetParam();
+  const std::size_t n = 20;
+  const std::uint64_t seed = 41;
+  Environment env(n, seed);
+  EgoistNetwork net(env, config_for(Policy::kBestResponse, k,
+                                    Metric::kBandwidth, seed));
+  settled_costs(env, net, 4);
+  const auto bw_graph = net.true_bandwidth_graph();
+  const net::PeeringModel peering(n, seed, 2, 3, 2.0);
+  for (int src = 0; src < 6; ++src) {
+    const int dst = static_cast<int>(n) - 1 - src;
+    if (src == dst) continue;
+    // Disjoint paths cannot exceed the out-degree of the source.
+    const int paths = apps::disjoint_path_count(bw_graph, src, dst);
+    EXPECT_LE(paths, static_cast<int>(bw_graph.out_degree(src)));
+    // Parallel transfer cannot exceed the aggregate peering capacity.
+    const auto mp =
+        apps::parallel_transfer(bw_graph, env.bandwidth(), peering, src, dst);
+    EXPECT_LE(mp.total_rate, peering.max_aggregate_rate(src) + 1e-9);
+    // And each session respects its own egress cap.
+    for (std::size_t s = 0; s < mp.first_hops.size(); ++s) {
+      const int point = peering.egress_point(src, mp.first_hops[s]);
+      EXPECT_LE(mp.session_rates[s], peering.session_cap(src, point) + 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, AppInvariantSweep,
+                         ::testing::Values(std::size_t{2}, std::size_t{4},
+                                           std::size_t{6}));
+
+// --- §4.3 invariant: BR(eps) never re-wires more than plain BR ---
+class EpsilonSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(EpsilonSweep, LargerEpsilonFewerRewirings) {
+  const double epsilon = GetParam();
+  const std::size_t n = 24;
+  const std::uint64_t seed = 51;
+  Environment plain_env(n, seed), eps_env(n, seed);
+  auto plain_config = config_for(Policy::kBestResponse, 4, Metric::kDelayPing, seed);
+  auto eps_config = plain_config;
+  eps_config.epsilon = epsilon;
+  EgoistNetwork plain(plain_env, plain_config);
+  EgoistNetwork with_eps(eps_env, eps_config);
+  std::uint64_t plain_rewires = 0, eps_rewires = 0;
+  for (int e = 0; e < 8; ++e) {
+    plain_env.advance(60.0);
+    eps_env.advance(60.0);
+    plain_rewires += static_cast<std::uint64_t>(plain.run_epoch());
+    eps_rewires += static_cast<std::uint64_t>(with_eps.run_epoch());
+  }
+  EXPECT_LE(eps_rewires, plain_rewires);
+}
+
+INSTANTIATE_TEST_SUITE_P(Epsilons, EpsilonSweep, ::testing::Values(0.05, 0.1, 0.3));
+
+}  // namespace
+}  // namespace egoist::overlay

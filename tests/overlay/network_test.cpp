@@ -1,0 +1,277 @@
+#include "overlay/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/connectivity.hpp"
+#include "util/stats.hpp"
+
+namespace egoist::overlay {
+namespace {
+
+OverlayConfig make_config(Policy policy, std::size_t k = 4,
+                          Metric metric = Metric::kDelayPing) {
+  OverlayConfig config;
+  config.policy = policy;
+  config.k = k;
+  config.metric = metric;
+  config.seed = 99;
+  return config;
+}
+
+double mean(const std::vector<double>& v) {
+  return util::Summary::of(v).mean;
+}
+
+TEST(EgoistNetworkTest, ConstructionWiresEveryNode) {
+  Environment env(20, 5);
+  EgoistNetwork net(env, make_config(Policy::kBestResponse, 3));
+  for (int v = 0; v < 20; ++v) {
+    EXPECT_LE(net.wiring(v).size(), 3u);
+    EXPECT_FALSE(net.wiring(v).empty()) << "node " << v;
+    for (NodeId w : net.wiring(v)) EXPECT_NE(w, v);
+  }
+}
+
+TEST(EgoistNetworkTest, DegreeCapRespectedAcrossPolicies) {
+  Environment env(20, 7);
+  for (Policy policy : {Policy::kBestResponse, Policy::kHybridBR, Policy::kRandom,
+                        Policy::kClosest, Policy::kRegular}) {
+    EgoistNetwork net(env, make_config(policy, 4));
+    for (int epoch = 0; epoch < 3; ++epoch) net.run_epoch();
+    for (int v = 0; v < 20; ++v) {
+      EXPECT_LE(net.wiring(v).size(), 4u) << to_string(policy);
+      const std::set<NodeId> unique(net.wiring(v).begin(), net.wiring(v).end());
+      EXPECT_EQ(unique.size(), net.wiring(v).size()) << "duplicate links";
+    }
+  }
+}
+
+TEST(EgoistNetworkTest, FullMeshConnectsEveryPair) {
+  Environment env(12, 9);
+  EgoistNetwork net(env, make_config(Policy::kFullMesh, 11));
+  for (int v = 0; v < 12; ++v) EXPECT_EQ(net.wiring(v).size(), 11u);
+  EXPECT_TRUE(graph::is_strongly_connected(net.announced_graph()));
+}
+
+TEST(EgoistNetworkTest, BrOverlayIsConnectedAndConverges) {
+  Environment env(30, 11);
+  EgoistNetwork net(env, make_config(Policy::kBestResponse, 3));
+  int last = 0;
+  for (int epoch = 0; epoch < 10; ++epoch) last = net.run_epoch();
+  EXPECT_TRUE(graph::is_strongly_connected(net.true_cost_graph()));
+  // Re-wiring subsides toward a steady state (measurement noise keeps a
+  // small residual rate; it must not stay at "everyone rewires").
+  EXPECT_LT(last, 15);
+}
+
+TEST(EgoistNetworkTest, BrBeatsHeuristicsOnDelay) {
+  Environment env(30, 13);
+  EgoistNetwork br(env, make_config(Policy::kBestResponse, 3));
+  EgoistNetwork random(env, make_config(Policy::kRandom, 3));
+  EgoistNetwork regular(env, make_config(Policy::kRegular, 3));
+  for (int epoch = 0; epoch < 8; ++epoch) {
+    br.run_epoch();
+    random.run_epoch();
+    regular.run_epoch();
+  }
+  const double br_cost = mean(br.node_costs());
+  EXPECT_LT(br_cost, mean(random.node_costs()));
+  EXPECT_LT(br_cost, mean(regular.node_costs()));
+}
+
+TEST(EgoistNetworkTest, FullMeshLowerBoundsBr) {
+  Environment env(25, 15);
+  EgoistNetwork br(env, make_config(Policy::kBestResponse, 3));
+  EgoistNetwork mesh(env, make_config(Policy::kFullMesh, 24));
+  for (int epoch = 0; epoch < 8; ++epoch) br.run_epoch();
+  EXPECT_LE(mean(mesh.node_costs()), mean(br.node_costs()) * 1.001);
+}
+
+TEST(EgoistNetworkTest, BandwidthMetricBrBeatsRandom) {
+  Environment env(25, 17);
+  EgoistNetwork br(env, make_config(Policy::kBestResponse, 3, Metric::kBandwidth));
+  EgoistNetwork random(env, make_config(Policy::kRandom, 3, Metric::kBandwidth));
+  for (int epoch = 0; epoch < 6; ++epoch) {
+    br.run_epoch();
+    random.run_epoch();
+  }
+  EXPECT_GT(mean(br.node_bandwidth_scores()), mean(random.node_bandwidth_scores()));
+}
+
+TEST(EgoistNetworkTest, LoadMetricBrBeatsClosest) {
+  Environment env(25, 19);
+  EgoistNetwork br(env, make_config(Policy::kBestResponse, 3, Metric::kNodeLoad));
+  EgoistNetwork closest(env, make_config(Policy::kClosest, 3, Metric::kNodeLoad));
+  for (int epoch = 0; epoch < 6; ++epoch) {
+    env.advance(60.0);
+    br.run_epoch();
+    closest.run_epoch();
+  }
+  EXPECT_LT(mean(br.node_costs()), mean(closest.node_costs()));
+}
+
+TEST(EgoistNetworkTest, RandomAndRegularDoNotRewireWithoutChurn) {
+  Environment env(20, 21);
+  EgoistNetwork random(env, make_config(Policy::kRandom, 3));
+  EgoistNetwork regular(env, make_config(Policy::kRegular, 3));
+  for (int epoch = 0; epoch < 5; ++epoch) {
+    EXPECT_EQ(random.run_epoch(), 0);
+    EXPECT_EQ(regular.run_epoch(), 0);
+  }
+}
+
+TEST(EgoistNetworkTest, EpsilonSuppressesRewiring) {
+  Environment env(30, 23);
+  auto strict = make_config(Policy::kBestResponse, 4);
+  auto relaxed = strict;
+  relaxed.epsilon = 0.1;  // BR(0.1)
+  EgoistNetwork br(env, strict);
+  EgoistNetwork br_eps(env, relaxed);
+  std::uint64_t strict_rewires = 0, eps_rewires = 0;
+  for (int epoch = 0; epoch < 10; ++epoch) {
+    env.advance(60.0);
+    strict_rewires += static_cast<std::uint64_t>(br.run_epoch());
+    eps_rewires += static_cast<std::uint64_t>(br_eps.run_epoch());
+  }
+  EXPECT_LE(eps_rewires, strict_rewires);
+  // The cost penalty for the suppressed re-wirings stays marginal.
+  EXPECT_LT(mean(br_eps.node_costs()), mean(br.node_costs()) * 1.3);
+}
+
+TEST(EgoistNetworkTest, ChurnOfflineNodesExcluded) {
+  Environment env(20, 25);
+  EgoistNetwork net(env, make_config(Policy::kBestResponse, 3));
+  net.set_online(5, false);
+  net.set_online(6, false);
+  EXPECT_EQ(net.online_count(), 18u);
+  EXPECT_FALSE(net.is_online(5));
+  net.run_epoch();
+  for (int v = 0; v < 20; ++v) {
+    if (!net.is_online(v)) continue;
+    for (NodeId w : net.wiring(v)) {
+      EXPECT_NE(w, 5);
+      EXPECT_NE(w, 6);
+    }
+  }
+}
+
+TEST(EgoistNetworkTest, BrOverlayHealsAfterChurn) {
+  Environment env(24, 27);
+  EgoistNetwork net(env, make_config(Policy::kBestResponse, 3));
+  // Knock out a quarter of the overlay, then let re-wiring repair routing.
+  for (int v = 0; v < 6; ++v) net.set_online(v, false);
+  net.run_epoch();
+  EXPECT_TRUE(graph::is_strongly_connected(net.true_cost_graph()));
+  // Rejoin: nodes come back and are folded in at their join.
+  for (int v = 0; v < 6; ++v) net.set_online(v, true);
+  net.run_epoch();
+  EXPECT_EQ(net.online_count(), 24u);
+  EXPECT_TRUE(graph::is_strongly_connected(net.true_cost_graph()));
+}
+
+TEST(EgoistNetworkTest, HybridBrKeepsBackboneUnderChurn) {
+  Environment env(20, 29);
+  auto config = make_config(Policy::kHybridBR, 4);
+  config.donated_links = 2;
+  EgoistNetwork net(env, config);
+  for (int v = 0; v < 20; ++v) {
+    EXPECT_FALSE(net.donated(v).empty());
+  }
+  // Backbone alone keeps the overlay connected even if BR links are stale.
+  net.set_online(3, false);
+  net.set_online(11, false);
+  EXPECT_TRUE(graph::is_strongly_connected(net.announced_graph()));
+}
+
+TEST(EgoistNetworkTest, EfficiencyDropsWhenPartitioned) {
+  Environment env(16, 31);
+  EgoistNetwork net(env, make_config(Policy::kBestResponse, 2));
+  const double before = mean(net.node_efficiencies());
+  for (int v = 8; v < 16; ++v) net.set_online(v, false);
+  // No epoch run: survivors may still point at dead neighbors.
+  const double after = mean(net.node_efficiencies());
+  EXPECT_GT(before, 0.0);
+  EXPECT_LE(after, before * 1.5);  // sanity: no spurious inflation
+}
+
+TEST(EgoistNetworkTest, CheaterImpactIsBounded) {
+  Environment env(30, 33);
+  auto honest_config = make_config(Policy::kBestResponse, 3);
+  auto cheat_config = honest_config;
+  cheat_config.cheaters = {4};
+  cheat_config.cheat_factor = 2.0;
+  EgoistNetwork honest(env, honest_config);
+  EgoistNetwork cheated(env, cheat_config);
+  for (int epoch = 0; epoch < 8; ++epoch) {
+    honest.run_epoch();
+    cheated.run_epoch();
+  }
+  // §4.5: costs with one free rider stay within ~20% of the honest run.
+  EXPECT_NEAR(mean(cheated.node_costs()) / mean(honest.node_costs()), 1.0, 0.2);
+}
+
+TEST(EgoistNetworkTest, CheaterAnnouncesInflatedCosts) {
+  Environment env(12, 35);
+  auto config = make_config(Policy::kClosest, 3);
+  config.cheaters = {0};
+  config.cheat_factor = 2.0;
+  EgoistNetwork net(env, config);
+  net.run_epoch();
+  const auto announced = net.announced_graph();
+  for (NodeId v : net.wiring(0)) {
+    const double announced_cost = announced.edge_weight(0, v);
+    const double true_delay = env.true_delay(0, v);
+    // Announced ~ 2x measured (measured ~ true up to ping noise).
+    EXPECT_GT(announced_cost, true_delay * 1.5);
+  }
+}
+
+TEST(EgoistNetworkTest, Validation) {
+  Environment env(10, 37);
+  auto config = make_config(Policy::kBestResponse, 0);
+  EXPECT_THROW(EgoistNetwork(env, config), std::invalid_argument);
+  config = make_config(Policy::kBestResponse, 10);
+  EXPECT_THROW(EgoistNetwork(env, config), std::invalid_argument);
+  config = make_config(Policy::kHybridBR, 4);
+  config.donated_links = 3;  // odd
+  EXPECT_THROW(EgoistNetwork(env, config), std::invalid_argument);
+  config.donated_links = 4;  // == k
+  EXPECT_THROW(EgoistNetwork(env, config), std::invalid_argument);
+  config = make_config(Policy::kBestResponse, 3);
+  config.cheaters = {50};
+  EXPECT_THROW(EgoistNetwork(env, config), std::out_of_range);
+  config = make_config(Policy::kBestResponse, 3);
+  config.cheat_factor = 0.5;
+  EXPECT_THROW(EgoistNetwork(env, config), std::invalid_argument);
+}
+
+TEST(EnvironmentTest, MeasurementPlanesAgreeRoughlyWithTruth) {
+  Environment env(15, 39);
+  // Ping is near-exact; coordinates are coarser but correlated.
+  util::OnlineStats ping_err, coord_err;
+  for (int i = 0; i < 15; ++i) {
+    for (int j = 0; j < 15; ++j) {
+      if (i == j) continue;
+      const double truth = (env.true_delay(i, j) + env.true_delay(j, i)) / 2.0;
+      ping_err.add(std::abs(env.measure_delay_ping(i, j) - truth) / truth);
+      coord_err.add(std::abs(env.measure_delay_coords(i, j) - truth) / truth);
+    }
+  }
+  EXPECT_LT(ping_err.mean(), 0.15);
+  EXPECT_GT(coord_err.mean(), ping_err.mean());
+}
+
+TEST(EnvironmentTest, AdvanceMovesDynamics) {
+  Environment env(10, 41);
+  const double bw_before = env.true_avail_bw(0, 1);
+  const double load_before = env.true_load(0);
+  env.advance(300.0);
+  EXPECT_NE(env.true_avail_bw(0, 1), bw_before);
+  EXPECT_NE(env.true_load(0), load_before);
+  EXPECT_DOUBLE_EQ(env.now(), 300.0);
+}
+
+}  // namespace
+}  // namespace egoist::overlay

@@ -1,0 +1,113 @@
+#include "proto/heartbeat.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace egoist::proto {
+namespace {
+
+struct Fixture {
+  sim::Simulator sim;
+  std::set<graph::NodeId> alive{1, 2, 3};
+  std::vector<graph::NodeId> failures;
+
+  HeartbeatMonitor make(double interval = 1.0, int threshold = 3) {
+    return HeartbeatMonitor(
+        sim, interval, threshold,
+        [this](graph::NodeId peer) { return alive.count(peer) > 0; },
+        [this](graph::NodeId peer) { failures.push_back(peer); });
+  }
+};
+
+TEST(HeartbeatTest, HealthyPeersNeverFail) {
+  Fixture f;
+  auto monitor = f.make();
+  monitor.watch(1);
+  monitor.watch(2);
+  f.sim.run_until(100.0);
+  EXPECT_TRUE(f.failures.empty());
+  EXPECT_EQ(monitor.watched_count(), 2u);
+}
+
+TEST(HeartbeatTest, DeadPeerDetectedAfterThresholdMisses) {
+  Fixture f;
+  auto monitor = f.make(1.0, 3);
+  monitor.watch(1);
+  f.sim.run_until(5.0);
+  EXPECT_TRUE(f.failures.empty());
+  f.alive.erase(1);  // dies at t=5
+  f.sim.run_until(7.9);  // two missed probes (t=6, 7): not yet declared
+  EXPECT_TRUE(f.failures.empty());
+  f.sim.run_until(8.1);  // third miss at t=8
+  ASSERT_EQ(f.failures.size(), 1u);
+  EXPECT_EQ(f.failures[0], 1);
+  EXPECT_EQ(monitor.watched_count(), 0u);  // auto-unwatched
+}
+
+TEST(HeartbeatTest, RecoveryResetsMissCounter) {
+  Fixture f;
+  auto monitor = f.make(1.0, 3);
+  monitor.watch(2);
+  f.alive.erase(2);
+  f.sim.run_until(2.5);  // two misses
+  f.alive.insert(2);     // comes back
+  f.sim.run_until(3.5);  // probe succeeds, counter resets
+  f.alive.erase(2);
+  f.sim.run_until(5.9);  // two more misses — still below threshold
+  EXPECT_TRUE(f.failures.empty());
+}
+
+TEST(HeartbeatTest, UnwatchStopsDetection) {
+  Fixture f;
+  auto monitor = f.make(1.0, 2);
+  monitor.watch(3);
+  f.alive.erase(3);
+  monitor.unwatch(3);
+  f.sim.run_until(10.0);
+  EXPECT_TRUE(f.failures.empty());
+}
+
+TEST(HeartbeatTest, DetectionTimeIsIntervalTimesThreshold) {
+  Fixture f;
+  auto monitor = f.make(0.5, 4);
+  EXPECT_DOUBLE_EQ(monitor.detection_time(), 2.0);
+}
+
+TEST(HeartbeatTest, ProbesAccumulate) {
+  Fixture f;
+  auto monitor = f.make(1.0, 3);
+  monitor.watch(1);
+  monitor.watch(2);
+  f.sim.run_until(10.0);
+  EXPECT_EQ(monitor.probes_sent(), 20u);  // 2 peers x 10 ticks
+}
+
+TEST(HeartbeatTest, FailureCallbackMayRewatch) {
+  Fixture f;
+  sim::Simulator& sim = f.sim;
+  std::vector<graph::NodeId> failures;
+  HeartbeatMonitor monitor(
+      sim, 1.0, 1, [&f](graph::NodeId peer) { return f.alive.count(peer) > 0; },
+      [&](graph::NodeId peer) {
+        failures.push_back(peer);
+        // Splice the backbone: watch the next node around the ring.
+        // (Exercise mutation inside the callback.)
+      });
+  monitor.watch(9);
+  f.sim.run_until(3.0);
+  EXPECT_EQ(failures.size(), 1u);
+}
+
+TEST(HeartbeatTest, Rejections) {
+  sim::Simulator sim;
+  auto alive = [](graph::NodeId) { return true; };
+  auto fail = [](graph::NodeId) {};
+  EXPECT_THROW(HeartbeatMonitor(sim, 0.0, 1, alive, fail), std::invalid_argument);
+  EXPECT_THROW(HeartbeatMonitor(sim, 1.0, 0, alive, fail), std::invalid_argument);
+  EXPECT_THROW(HeartbeatMonitor(sim, 1.0, 1, nullptr, fail), std::invalid_argument);
+  EXPECT_THROW(HeartbeatMonitor(sim, 1.0, 1, alive, nullptr), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace egoist::proto

@@ -1,0 +1,197 @@
+#include "proto/link_state.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/shortest_path.hpp"
+
+namespace egoist::proto {
+namespace {
+
+constexpr double kPropDelay = 0.01;
+
+LinkStateProtocol::PropagationFn constant_delay() {
+  return [](NodeId, NodeId) { return kPropDelay; };
+}
+
+TEST(AnnouncementTest, WireSizeMatchesPaperFormula) {
+  Announcement lsa;
+  lsa.links = {{1, 1.0}, {2, 2.0}, {3, 3.0}};
+  EXPECT_DOUBLE_EQ(lsa.size_bits(), 192.0 + 32.0 * 3);
+  EXPECT_DOUBLE_EQ(Announcement{}.size_bits(), 192.0);
+}
+
+TEST(TopologyDbTest, FresherSeqWinsStaleLoses) {
+  TopologyDb db;
+  Announcement a{0, 2, {{1, 1.0}}};
+  EXPECT_TRUE(db.update(a, 0.0));
+  Announcement stale{0, 1, {{2, 9.0}}};
+  EXPECT_FALSE(db.update(stale, 1.0));
+  Announcement same{0, 2, {{2, 9.0}}};
+  EXPECT_FALSE(db.update(same, 1.0));
+  Announcement fresher{0, 3, {{2, 9.0}}};
+  EXPECT_TRUE(db.update(fresher, 2.0));
+  ASSERT_NE(db.lookup(0), nullptr);
+  EXPECT_EQ(db.lookup(0)->links[0].neighbor, 2);
+}
+
+TEST(TopologyDbTest, PurgeDropsOldEntries) {
+  TopologyDb db;
+  db.update(Announcement{0, 1, {}}, 10.0);
+  db.update(Announcement{1, 1, {}}, 20.0);
+  EXPECT_EQ(db.purge_older_than(15.0), 1u);
+  EXPECT_EQ(db.lookup(0), nullptr);
+  EXPECT_NE(db.lookup(1), nullptr);
+}
+
+TEST(TopologyDbTest, BuildGraphReflectsAnnouncements) {
+  TopologyDb db;
+  db.update(Announcement{0, 1, {{1, 2.5}}}, 0.0);
+  db.update(Announcement{1, 1, {{0, 1.5}}}, 0.0);
+  const auto g = db.build_graph(3);
+  EXPECT_DOUBLE_EQ(g.edge_weight(0, 1), 2.5);
+  EXPECT_DOUBLE_EQ(g.edge_weight(1, 0), 1.5);
+  EXPECT_EQ(g.out_degree(2), 0u);
+}
+
+TEST(TopologyDbTest, BuildGraphSkipsMalformedEntries) {
+  TopologyDb db;
+  db.update(Announcement{0, 1, {{99, 1.0}, {0, 1.0}, {1, 3.0}}}, 0.0);
+  const auto g = db.build_graph(3);
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_DOUBLE_EQ(g.edge_weight(0, 1), 3.0);
+}
+
+// Ring of n nodes; every node links to the next.
+LinkStateProtocol make_ring(sim::Simulator& sim, std::size_t n) {
+  LinkStateProtocol proto(sim, n, constant_delay());
+  for (std::size_t u = 0; u < n; ++u) {
+    proto.set_links(static_cast<NodeId>(u),
+                    {{static_cast<NodeId>((u + 1) % n), 1.0}});
+  }
+  return proto;
+}
+
+TEST(LinkStateProtocolTest, FloodReachesAllNodesOnRing) {
+  sim::Simulator sim;
+  auto proto = make_ring(sim, 6);
+  proto.originate(0);
+  sim.run_until(1.0);
+  for (NodeId v = 0; v < 6; ++v) {
+    EXPECT_NE(proto.database(v).lookup(0), nullptr) << "node " << v;
+  }
+}
+
+TEST(LinkStateProtocolTest, FloodTerminates) {
+  sim::Simulator sim;
+  auto proto = make_ring(sim, 6);
+  proto.originate(0);
+  sim.run_until(1.0);
+  // Each node forwards a fresh LSA at most once per transport peer (two on
+  // a ring: successor + predecessor). No infinite circulation.
+  EXPECT_LE(proto.messages_sent(), 12u);
+  EXPECT_EQ(proto.messages_accepted(), 6u);  // each node accepts once
+}
+
+TEST(LinkStateProtocolTest, AllOriginateConvergesToCommonView) {
+  sim::Simulator sim;
+  auto proto = make_ring(sim, 8);
+  for (NodeId v = 0; v < 8; ++v) proto.originate(v);
+  sim.run_until(2.0);
+  // Every node sees the full ring.
+  for (NodeId viewer = 0; viewer < 8; ++viewer) {
+    const auto g = proto.view(viewer);
+    EXPECT_EQ(g.edge_count(), 8u);
+    const auto tree = graph::dijkstra(g, viewer);
+    for (NodeId dst = 0; dst < 8; ++dst) {
+      EXPECT_NE(tree.dist[static_cast<std::size_t>(dst)], graph::kUnreachable);
+    }
+  }
+}
+
+TEST(LinkStateProtocolTest, BitsAccountedPerMessage) {
+  sim::Simulator sim;
+  auto proto = make_ring(sim, 4);
+  proto.originate(0);
+  sim.run_until(1.0);
+  // Each message carries 192 + 32*1 bits.
+  EXPECT_DOUBLE_EQ(proto.bits_sent(),
+                   static_cast<double>(proto.messages_sent()) * (192.0 + 32.0));
+}
+
+TEST(LinkStateProtocolTest, DownNodeDropsButFloodRoutesAround) {
+  sim::Simulator sim;
+  auto proto = make_ring(sim, 6);
+  proto.set_up(3, false);
+  proto.originate(0);
+  sim.run_until(1.0);
+  // Transport connections are bidirectional, so the flood reaches 4 and 5
+  // around the other side of the ring; only the down node misses it.
+  EXPECT_NE(proto.database(1).lookup(0), nullptr);
+  EXPECT_NE(proto.database(2).lookup(0), nullptr);
+  EXPECT_EQ(proto.database(3).lookup(0), nullptr);  // down: dropped
+  EXPECT_NE(proto.database(4).lookup(0), nullptr);
+  EXPECT_NE(proto.database(5).lookup(0), nullptr);
+}
+
+TEST(LinkStateProtocolTest, FullyCutNodeLearnsNothing) {
+  sim::Simulator sim;
+  LinkStateProtocol proto(sim, 4, constant_delay());
+  proto.set_links(0, {{1, 1.0}});
+  proto.set_links(1, {{0, 1.0}});
+  // Node 3 has no links in either direction.
+  proto.originate(0);
+  sim.run_until(1.0);
+  EXPECT_EQ(proto.database(3).lookup(0), nullptr);
+}
+
+TEST(LinkStateProtocolTest, DownNodeDoesNotOriginate) {
+  sim::Simulator sim;
+  auto proto = make_ring(sim, 4);
+  proto.set_up(0, false);
+  proto.originate(0);
+  sim.run_until(1.0);
+  EXPECT_EQ(proto.messages_sent(), 0u);
+}
+
+TEST(LinkStateProtocolTest, RewiringPropagatesNewCosts) {
+  sim::Simulator sim;
+  auto proto = make_ring(sim, 4);
+  for (NodeId v = 0; v < 4; ++v) proto.originate(v);
+  sim.run_until(1.0);
+  proto.set_links(0, {{2, 7.0}});  // 0 rewires from 1 to 2
+  proto.originate(0);
+  sim.run_until(2.0);
+  for (NodeId viewer = 0; viewer < 4; ++viewer) {
+    const auto g = proto.view(viewer);
+    EXPECT_FALSE(g.has_edge(0, 1));
+    EXPECT_DOUBLE_EQ(g.edge_weight(0, 2), 7.0);
+  }
+}
+
+TEST(LinkStateProtocolTest, PropagationDelayOrdersDelivery) {
+  sim::Simulator sim;
+  LinkStateProtocol proto(sim, 3, [](NodeId from, NodeId) {
+    return from == 0 ? 1.0 : 0.1;  // slow first hop
+  });
+  proto.set_links(0, {{1, 1.0}});
+  proto.set_links(1, {{2, 1.0}});
+  proto.originate(0);
+  sim.run_until(0.5);
+  EXPECT_EQ(proto.database(1).lookup(0), nullptr);  // still in flight
+  sim.run_until(2.0);
+  EXPECT_NE(proto.database(1).lookup(0), nullptr);
+  EXPECT_NE(proto.database(2).lookup(0), nullptr);
+}
+
+TEST(LinkStateProtocolTest, Rejections) {
+  sim::Simulator sim;
+  EXPECT_THROW(LinkStateProtocol(sim, 0, constant_delay()), std::invalid_argument);
+  EXPECT_THROW(LinkStateProtocol(sim, 3, nullptr), std::invalid_argument);
+  LinkStateProtocol proto(sim, 3, constant_delay());
+  EXPECT_THROW(proto.set_links(0, {{0, 1.0}}), std::invalid_argument);
+  EXPECT_THROW(proto.set_links(0, {{9, 1.0}}), std::out_of_range);
+  EXPECT_THROW(proto.originate(7), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace egoist::proto

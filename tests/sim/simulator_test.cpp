@@ -1,0 +1,149 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace egoist::sim {
+namespace {
+
+TEST(SimulatorTest, StartsAtZero) {
+  Simulator sim;
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(SimulatorTest, EventsRunInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_in(3.0, [&] { order.push_back(3); });
+  sim.schedule_in(1.0, [&] { order.push_back(1); });
+  sim.schedule_in(2.0, [&] { order.push_back(2); });
+  sim.run_until(10.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 10.0);
+}
+
+TEST(SimulatorTest, TiesRunFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(5.0, [&] { order.push_back(1); });
+  sim.schedule_at(5.0, [&] { order.push_back(2); });
+  sim.schedule_at(5.0, [&] { order.push_back(3); });
+  sim.run_until(5.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimulatorTest, RunUntilStopsBeforeLaterEvents) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(1.0, [&] { ++fired; });
+  sim.schedule_at(9.0, [&] { ++fired; });
+  sim.run_until(5.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+  sim.run_until(9.0);  // boundary events run
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, NestedSchedulingWorks) {
+  Simulator sim;
+  std::vector<double> times;
+  sim.schedule_at(1.0, [&] {
+    times.push_back(sim.now());
+    sim.schedule_in(1.5, [&] { times.push_back(sim.now()); });
+  });
+  sim.run_until(10.0);
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[0], 1.0);
+  EXPECT_DOUBLE_EQ(times[1], 2.5);
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  int fired = 0;
+  const EventId id = sim.schedule_at(2.0, [&] { ++fired; });
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));  // double cancel reports false
+  sim.run_until(5.0);
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(SimulatorTest, CancelUnknownIdReturnsFalse) {
+  Simulator sim;
+  EXPECT_FALSE(sim.cancel(0));
+  EXPECT_FALSE(sim.cancel(999));
+}
+
+TEST(SimulatorTest, RejectsPastAndNegative) {
+  Simulator sim;
+  sim.schedule_at(5.0, [] {});
+  sim.run_until(5.0);
+  EXPECT_THROW(sim.schedule_at(4.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(sim.schedule_in(-1.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(sim.schedule_in(1.0, nullptr), std::invalid_argument);
+}
+
+TEST(SimulatorTest, StepReturnsFalseWhenEmpty) {
+  Simulator sim;
+  EXPECT_FALSE(sim.step());
+  sim.schedule_in(1.0, [] {});
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(SimulatorTest, ExecutedCountsOnlyRunEvents) {
+  Simulator sim;
+  sim.schedule_in(1.0, [] {});
+  const EventId id = sim.schedule_in(2.0, [] {});
+  sim.cancel(id);
+  sim.run_until(5.0);
+  EXPECT_EQ(sim.executed(), 1u);
+}
+
+TEST(PeriodicTaskTest, FiresAtFixedPeriod) {
+  Simulator sim;
+  std::vector<double> times;
+  PeriodicTask task(sim, 10.0, 5.0, [&](double now) { times.push_back(now); });
+  sim.run_until(25.0);
+  EXPECT_EQ(times, (std::vector<double>{10.0, 15.0, 20.0, 25.0}));
+}
+
+TEST(PeriodicTaskTest, StopHaltsFutureFirings) {
+  Simulator sim;
+  int count = 0;
+  PeriodicTask task(sim, 0.0, 1.0, [&](double) { ++count; });
+  sim.run_until(3.0);
+  task.stop();
+  EXPECT_FALSE(task.running());
+  sim.run_until(10.0);
+  EXPECT_EQ(count, 4);  // t=0,1,2,3
+}
+
+TEST(PeriodicTaskTest, DestructionCancelsCleanly) {
+  Simulator sim;
+  int count = 0;
+  {
+    PeriodicTask task(sim, 0.0, 1.0, [&](double) { ++count; });
+    sim.run_until(2.0);
+  }
+  sim.run_until(10.0);  // must not crash or fire the dead task
+  EXPECT_EQ(count, 3);
+}
+
+TEST(PeriodicTaskTest, TaskCanStopItself) {
+  Simulator sim;
+  int count = 0;
+  PeriodicTask task(sim, 1.0, 1.0, [&](double) {
+    if (++count == 2) task.stop();
+  });
+  sim.run_until(10.0);
+  EXPECT_EQ(count, 2);
+}
+
+TEST(PeriodicTaskTest, RejectsBadArguments) {
+  Simulator sim;
+  EXPECT_THROW(PeriodicTask(sim, 0.0, 0.0, [](double) {}), std::invalid_argument);
+  EXPECT_THROW(PeriodicTask(sim, 0.0, 1.0, nullptr), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace egoist::sim

@@ -1,0 +1,62 @@
+#include "util/flags.hpp"
+
+#include <gtest/gtest.h>
+
+namespace egoist::util {
+namespace {
+
+Flags make(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(FlagsTest, EqualsForm) {
+  const auto f = make({"--n=50", "--t=1.5"});
+  EXPECT_EQ(f.get_int("n", 0), 50);
+  EXPECT_DOUBLE_EQ(f.get_double("t", 0.0), 1.5);
+}
+
+TEST(FlagsTest, SpaceForm) {
+  const auto f = make({"--name", "value"});
+  EXPECT_EQ(f.get_string("name", ""), "value");
+}
+
+TEST(FlagsTest, BooleanSwitch) {
+  const auto f = make({"--verbose"});
+  EXPECT_TRUE(f.get_bool("verbose"));
+  EXPECT_FALSE(f.get_bool("quiet"));
+}
+
+TEST(FlagsTest, ExplicitBooleanValues) {
+  EXPECT_TRUE(make({"--x=yes"}).get_bool("x"));
+  EXPECT_FALSE(make({"--x=0"}).get_bool("x"));
+  EXPECT_THROW(make({"--x=maybe"}).get_bool("x"), std::invalid_argument);
+}
+
+TEST(FlagsTest, DefaultsWhenAbsent) {
+  const auto f = make({});
+  EXPECT_EQ(f.get_int("n", 7), 7);
+  EXPECT_EQ(f.get_string("s", "d"), "d");
+  EXPECT_EQ(f.get_seed("seed", 99u), 99u);
+}
+
+TEST(FlagsTest, RejectsPositionalArgument) {
+  EXPECT_THROW(make({"oops"}), std::invalid_argument);
+}
+
+TEST(FlagsTest, RejectsNonNumeric) {
+  EXPECT_THROW(make({"--n=abc"}).get_int("n", 0), std::invalid_argument);
+  EXPECT_THROW(make({"--t=xy"}).get_double("t", 0.0), std::invalid_argument);
+}
+
+TEST(FlagsTest, UnqueriedFlagsReported) {
+  const auto f = make({"--typo=1", "--n=5"});
+  EXPECT_EQ(f.get_int("n", 0), 5);
+  const auto leftover = f.unqueried();
+  ASSERT_EQ(leftover.size(), 1u);
+  EXPECT_EQ(leftover.front(), "typo");
+}
+
+}  // namespace
+}  // namespace egoist::util

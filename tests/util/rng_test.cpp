@@ -1,0 +1,139 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace egoist::util {
+namespace {
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform_int(0, 1'000'000), b.uniform_int(0, 1'000'000));
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a.uniform_int(0, 1'000'000) != b.uniform_int(0, 1'000'000)) ++differing;
+  }
+  EXPECT_GT(differing, 40);
+}
+
+TEST(RngTest, SplitIsDecorrelatedFromParent) {
+  Rng parent(7);
+  Rng child = parent.split(1);
+  int differing = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (parent.uniform_int(0, 1'000'000) != child.uniform_int(0, 1'000'000)) ++differing;
+  }
+  EXPECT_GT(differing, 40);
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusive) {
+  Rng rng(3);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_int(0, 4));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 4);
+}
+
+TEST(RngTest, UniformRealInHalfOpenRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(2.0, 3.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(RngTest, ExponentialMeanApproximatesMean) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) sum += rng.exponential_mean(5.0);
+  EXPECT_NEAR(sum / trials, 5.0, 0.2);
+}
+
+TEST(RngTest, ExponentialRejectsNonPositiveMean) {
+  Rng rng(1);
+  EXPECT_THROW(rng.exponential_mean(0.0), std::invalid_argument);
+  EXPECT_THROW(rng.exponential_mean(-1.0), std::invalid_argument);
+}
+
+TEST(RngTest, ParetoRespectsScaleLowerBound) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(rng.pareto(2.0, 1.5), 2.0);
+}
+
+TEST(RngTest, ParetoRejectsBadParameters) {
+  Rng rng(1);
+  EXPECT_THROW(rng.pareto(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(rng.pareto(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(17);
+  std::vector<int> pool{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  const auto sample = rng.sample_without_replacement(std::span<const int>(pool), 6);
+  EXPECT_EQ(sample.size(), 6u);
+  std::set<int> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 6u);
+  for (int v : sample) {
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementFullPool) {
+  Rng rng(19);
+  std::vector<int> pool{1, 2, 3};
+  const auto sample = rng.sample_without_replacement(std::span<const int>(pool), 3);
+  std::set<int> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique, (std::set<int>{1, 2, 3}));
+}
+
+TEST(RngTest, SampleWithoutReplacementRejectsOversizedRequest) {
+  Rng rng(1);
+  std::vector<int> pool{1, 2};
+  EXPECT_THROW(rng.sample_without_replacement(std::span<const int>(pool), 3),
+               std::invalid_argument);
+}
+
+TEST(RngTest, PickRejectsEmptyPool) {
+  Rng rng(1);
+  std::vector<int> empty;
+  EXPECT_THROW(rng.pick(std::span<const int>(empty)), std::invalid_argument);
+}
+
+TEST(RngTest, SampleIsUnbiasedAcrossPositions) {
+  // Every element should appear in a size-5 sample of a 10-element pool with
+  // probability ~1/2; a strongly position-biased partial shuffle would fail.
+  Rng rng(23);
+  std::vector<int> pool{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  std::vector<int> hits(10, 0);
+  const int trials = 4000;
+  for (int t = 0; t < trials; ++t) {
+    for (int v : rng.sample_without_replacement(std::span<const int>(pool), 5)) {
+      hits[static_cast<std::size_t>(v)]++;
+    }
+  }
+  for (int h : hits) {
+    EXPECT_NEAR(static_cast<double>(h) / trials, 0.5, 0.05);
+  }
+}
+
+}  // namespace
+}  // namespace egoist::util

@@ -1,0 +1,106 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace egoist::util {
+namespace {
+
+TEST(SummaryTest, EmptySampleIsZeroed) {
+  const auto s = Summary::of({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.ci95, 0.0);
+}
+
+TEST(SummaryTest, SingleValue) {
+  const auto s = Summary::of({4.0});
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 4.0);
+  EXPECT_DOUBLE_EQ(s.min, 4.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.ci95, 0.0);
+}
+
+TEST(SummaryTest, KnownSample) {
+  const auto s = Summary::of({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_NEAR(s.stddev, 2.13809, 1e-4);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_NEAR(s.ci95, 1.96 * 2.13809 / std::sqrt(8.0), 1e-4);
+}
+
+TEST(PercentileTest, InterpolatesLinearly) {
+  std::vector<double> v{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 25.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 25.0), 17.5);
+}
+
+TEST(PercentileTest, UnsortedInputHandled) {
+  std::vector<double> v{40.0, 10.0, 30.0, 20.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 25.0);
+}
+
+TEST(PercentileTest, Rejections) {
+  EXPECT_THROW(percentile({}, 50.0), std::invalid_argument);
+  EXPECT_THROW(percentile({1.0}, -1.0), std::invalid_argument);
+  EXPECT_THROW(percentile({1.0}, 101.0), std::invalid_argument);
+}
+
+TEST(OnlineStatsTest, MatchesBatchSummary) {
+  const std::vector<double> v{1.5, -2.0, 3.25, 0.0, 9.5};
+  OnlineStats acc;
+  for (double x : v) acc.add(x);
+  const auto batch = Summary::of(v);
+  EXPECT_EQ(acc.count(), v.size());
+  EXPECT_NEAR(acc.mean(), batch.mean, 1e-12);
+  EXPECT_NEAR(acc.stddev(), batch.stddev, 1e-12);
+}
+
+TEST(OnlineStatsTest, EmptyIsZero) {
+  OnlineStats acc;
+  EXPECT_EQ(acc.mean(), 0.0);
+  EXPECT_EQ(acc.variance(), 0.0);
+}
+
+TEST(EwmaTest, FirstUpdateSetsValue) {
+  Ewma e(60.0);
+  EXPECT_FALSE(e.has_value());
+  e.update(3.0, 0.0);
+  EXPECT_TRUE(e.has_value());
+  EXPECT_DOUBLE_EQ(e.value(), 3.0);
+}
+
+TEST(EwmaTest, HalfLifeWeighting) {
+  Ewma e(60.0);
+  e.update(0.0, 0.0);
+  // One half-life later a new reading should count exactly 50%.
+  e.update(10.0, 60.0);
+  EXPECT_NEAR(e.value(), 5.0, 1e-9);
+}
+
+TEST(EwmaTest, RapidUpdatesBarelyMove) {
+  Ewma e(60.0);
+  e.update(0.0, 0.0);
+  e.update(100.0, 0.001);  // essentially zero elapsed time
+  EXPECT_LT(e.value(), 0.01);
+}
+
+TEST(EwmaTest, LongGapAdoptsNewValue) {
+  Ewma e(60.0);
+  e.update(0.0, 0.0);
+  e.update(10.0, 6000.0);  // 100 half-lives: old value fully decayed
+  EXPECT_NEAR(e.value(), 10.0, 1e-6);
+}
+
+TEST(EwmaTest, RejectsNonPositiveHalfLife) {
+  EXPECT_THROW(Ewma(0.0), std::invalid_argument);
+  EXPECT_THROW(Ewma(-5.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace egoist::util

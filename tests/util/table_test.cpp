@@ -1,0 +1,60 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace egoist::util {
+namespace {
+
+TEST(TableTest, RejectsEmptyColumns) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(TableTest, RejectsMismatchedRow) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"1"}), std::invalid_argument);
+}
+
+TEST(TableTest, CsvOutput) {
+  Table t({"k", "cost"});
+  t.add_numeric_row({2.0, 1.2345}, 2);
+  t.add_numeric_row({3.0, 0.5}, 2);
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "k,cost\n2.00,1.23\n3.00,0.50\n");
+}
+
+TEST(TableTest, AsciiAlignsColumns) {
+  Table t({"k", "value"});
+  t.add_row({"2", "1.0"});
+  t.add_row({"10", "123.456"});
+  std::ostringstream os;
+  t.write_ascii(os);
+  const std::string out = os.str();
+  // Header, separator, and two data rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  EXPECT_NE(out.find("123.456"), std::string::npos);
+}
+
+TEST(TableTest, NanRendersAsDash) {
+  EXPECT_EQ(Table::format(std::nan(""), 3), "-");
+}
+
+TEST(TableTest, FormatPrecision) {
+  EXPECT_EQ(Table::format(1.23456, 3), "1.235");
+  EXPECT_EQ(Table::format(2.0, 1), "2.0");
+}
+
+TEST(TableTest, RowAndColumnCounts) {
+  Table t({"a", "b", "c"});
+  EXPECT_EQ(t.columns(), 3u);
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"1", "2", "3"});
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+}  // namespace
+}  // namespace egoist::util
