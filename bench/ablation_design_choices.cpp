@@ -68,7 +68,8 @@ int main(int argc, char** argv) try {
   const util::Flags flags(argc, argv);
   auto args = CommonArgs::parse(flags);
   const int epochs = flags.get_int("epochs", 25);
-  finish_flags(flags);
+  flags.finish(
+      "ablations for the section 3.3-3.4 design choices: ring-cycle vs MST backbone, delayed vs immediate re-wiring, audits on/off");
 
   overlay::OverlayConfig base;
   base.k = 5;

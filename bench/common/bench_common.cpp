@@ -70,11 +70,4 @@ void print_figure_header(const std::string& figure, const std::string& caption) 
   std::cout << "=== " << figure << " ===\n" << caption << "\n\n";
 }
 
-void finish_flags(const util::Flags& flags) {
-  const auto leftover = flags.unqueried();
-  if (!leftover.empty()) {
-    throw std::invalid_argument("unknown flag: --" + leftover.front());
-  }
-}
-
 }  // namespace egoist::bench

@@ -57,7 +57,4 @@ struct CommonArgs {
 /// Prints a figure header in a consistent style.
 void print_figure_header(const std::string& figure, const std::string& caption);
 
-/// Rejects unknown flags (typo safety) after all get_* calls were made.
-void finish_flags(const util::Flags& flags);
-
 }  // namespace egoist::bench

@@ -19,7 +19,8 @@ int main(int argc, char** argv) try {
   const double session_cap = flags.get_double("session-cap", 2.0);
   const int min_providers = flags.get_int("min-providers", 2);
   const int max_providers = flags.get_int("max-providers", 5);
-  finish_flags(flags);
+  flags.finish(
+      "Fig 10: available-bandwidth gain from multipath transfer over a bandwidth-metric BR overlay");
 
   print_figure_header(
       "Fig 10: available bandwidth gain, n=50",

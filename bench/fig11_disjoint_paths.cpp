@@ -16,7 +16,8 @@ int main(int argc, char** argv) try {
   const util::Flags flags(argc, argv);
   auto args = CommonArgs::parse(flags);
   const int pairs = flags.get_int("pairs", 200);
-  finish_flags(flags);
+  flags.finish(
+      "Fig 11: edge-disjoint overlay paths between random pairs vs k over a delay-metric BR overlay");
 
   print_figure_header(
       "Fig 11: disjoint paths, n=50",

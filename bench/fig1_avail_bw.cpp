@@ -8,7 +8,8 @@ int main(int argc, char** argv) try {
   using namespace egoist;
   const util::Flags flags(argc, argv);
   const auto args = bench::CommonArgs::parse(flags);
-  bench::finish_flags(flags);
+  flags.finish(
+      "Fig 1 (bottom-right): aggregate available bandwidth vs k, each policy normalized to BR");
   bench::print_figure_header(
       "Fig 1 (bottom-right): available bandwidth",
       "Total available bandwidth / BR available bandwidth vs k (<= 1); BR "

@@ -8,7 +8,8 @@ int main(int argc, char** argv) try {
   using namespace egoist;
   const util::Flags flags(argc, argv);
   const auto args = bench::CommonArgs::parse(flags);
-  bench::finish_flags(flags);
+  flags.finish(
+      "Fig 1 (top-right): individual cost vs k, delay from Vivaldi coordinates, normalized to BR");
   bench::print_figure_header(
       "Fig 1 (top-right): delay via virtual coordinates",
       "Individual cost / BR cost vs k when link delays come from the "

@@ -8,7 +8,8 @@ int main(int argc, char** argv) try {
   using namespace egoist;
   const util::Flags flags(argc, argv);
   const auto args = bench::CommonArgs::parse(flags);
-  bench::finish_flags(flags);
+  flags.finish(
+      "Fig 1 (top-left): individual cost vs k, delay via ping, normalized to BR, with the full-mesh reference");
   bench::print_figure_header(
       "Fig 1 (top-left): delay via ping",
       "Individual cost / BR cost vs k, 50-node EGOIST overlay; full mesh "

@@ -8,7 +8,8 @@ int main(int argc, char** argv) try {
   using namespace egoist;
   const util::Flags flags(argc, argv);
   const auto args = bench::CommonArgs::parse(flags);
-  bench::finish_flags(flags);
+  flags.finish(
+      "Fig 1 (bottom-left): individual cost vs k under the node CPU-load metric, normalized to BR");
   bench::print_figure_header(
       "Fig 1 (bottom-left): node load",
       "Individual cost / BR cost vs k; every outgoing link of a node costs "

@@ -89,7 +89,8 @@ int main(int argc, char** argv) try {
   auto args = CommonArgs::parse(flags);
   const int epochs = flags.get_int("epochs", 40);
   const int warmup = flags.get_int("churn-warmup", 10);
-  finish_flags(flags);
+  flags.finish(
+      "Fig 2: node efficiency under trace-driven and parameterized churn, normalized to BR");
 
   const double horizon = epochs * 60.0;
   const std::vector<overlay::Policy> policies{

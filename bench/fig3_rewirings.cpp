@@ -47,7 +47,8 @@ int main(int argc, char** argv) try {
   const util::Flags flags(argc, argv);
   auto args = CommonArgs::parse(flags);
   const int timeline_epochs = flags.get_int("timeline-epochs", 60);
-  finish_flags(flags);
+  flags.finish(
+      "Fig 3: BR re-wiring dynamics — per-epoch timeline, steady state vs k, BR(eps) sensitivity");
 
   // --- Left: re-wirings per epoch over time ---
   print_figure_header("Fig 3 (left): re-wirings per epoch over time",

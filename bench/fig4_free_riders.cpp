@@ -57,7 +57,8 @@ int main(int argc, char** argv) try {
   const util::Flags flags(argc, argv);
   auto args = CommonArgs::parse(flags);
   const int free_rider = flags.get_int("free-rider", 7);
-  finish_flags(flags);
+  flags.finish(
+      "Fig 4: robustness to free riders announcing 2x-inflated link costs");
 
   // --- Left: one free rider across k ---
   print_figure_header(

@@ -246,7 +246,8 @@ int main(int argc, char** argv) try {
   const util::Flags flags(argc, argv);
   const auto seed = flags.get_seed("seed", 42);
   const int trials = flags.get_int("trials", 5);
-  finish_flags(flags);
+  flags.finish(
+      "Figs 5-8: scalability via sampling (n=295, k=3, r=2) — a newcomer joins each base overlay from a sample of m nodes");
 
   const auto delays = net::make_planetlab_like(kBaseNodes + 1, seed);
   run_figure(Base::kBr, 5, delays, seed ^ 5u, trials);

@@ -25,6 +25,9 @@ int main(int argc, char** argv) try {
   const double factor = flags.get_double("factor", 2.0);
   const int epochs = flags.get_int("epochs", 12);
   const auto seed = flags.get_seed("seed", 23);
+  flags.finish(
+      "cheater_robustness: measure how free riders that understate their "
+      "cost distort the overlays each policy builds (paper section 3.4)");
 
   std::vector<int> liars;
   for (std::size_t c = 0; c < n / 4; ++c) liars.push_back(static_cast<int>(4 * c));

@@ -32,6 +32,9 @@ int main(int argc, char** argv) try {
   const double churn_target = flags.get_double("churn", 0.02);
   const int epochs = flags.get_int("epochs", 20);
   const auto seed = flags.get_seed("seed", 17);
+  flags.finish(
+      "churn_resilience: run each policy under ON/OFF churn and compare "
+      "node efficiency (paper section 4.4)");
 
   // ON/OFF schedule calibrated so the measured churn rate lands near the
   // requested target (see bench/fig2_churn.cpp for the calibration).

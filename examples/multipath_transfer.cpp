@@ -22,6 +22,9 @@ int main(int argc, char** argv) try {
   const auto seed = flags.get_seed("seed", 11);
   const int src = flags.get_int("src", 0);
   const int dst = flags.get_int("dst", static_cast<int>(n) - 1);
+  flags.finish(
+      "multipath_transfer: compare single-path vs multipath transfer "
+      "bandwidth between two overlay nodes (paper section 5)");
 
   overlay::Environment env(n, seed);
   overlay::OverlayConfig config;

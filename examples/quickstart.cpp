@@ -21,6 +21,9 @@ int main(int argc, char** argv) try {
   const auto k = static_cast<std::size_t>(flags.get_int("k", 3));
   const int epochs = flags.get_int("epochs", 15);
   const auto seed = flags.get_seed("seed", 7);
+  flags.finish(
+      "quickstart: deploy BR/k-Random/k-Regular/k-Closest overlays on a "
+      "shared substrate and compare mean routing delay after a few epochs");
 
   std::cout << "EGOIST quickstart: n=" << n << " nodes, k=" << k
             << " neighbors each, " << epochs << " one-minute epochs\n\n";

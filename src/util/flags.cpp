@@ -1,6 +1,9 @@
 #include "util/flags.hpp"
 
 #include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
 #include <stdexcept>
 
 namespace egoist::util {
@@ -41,10 +44,12 @@ std::optional<std::string> Flags::get(const std::string& name) const {
 }
 
 std::string Flags::get_string(const std::string& name, const std::string& def) const {
+  defaults_.emplace(name, def);
   return get(name).value_or(def);
 }
 
 int Flags::get_int(const std::string& name, int def) const {
+  defaults_.emplace(name, std::to_string(def));
   const auto v = get(name);
   if (!v) return def;
   try {
@@ -55,6 +60,11 @@ int Flags::get_int(const std::string& name, int def) const {
 }
 
 double Flags::get_double(const std::string& name, double def) const {
+  {
+    std::ostringstream os;
+    os << def;
+    defaults_.emplace(name, os.str());
+  }
   const auto v = get(name);
   if (!v) return def;
   try {
@@ -65,6 +75,7 @@ double Flags::get_double(const std::string& name, double def) const {
 }
 
 bool Flags::get_bool(const std::string& name, bool def) const {
+  defaults_.emplace(name, def ? "true" : "false");
   const auto v = get(name);
   if (!v) return def;
   if (*v == "true" || *v == "1" || *v == "yes") return true;
@@ -73,6 +84,7 @@ bool Flags::get_bool(const std::string& name, bool def) const {
 }
 
 std::uint64_t Flags::get_seed(const std::string& name, std::uint64_t def) const {
+  defaults_.emplace(name, std::to_string(def));
   const auto v = get(name);
   if (!v) return def;
   try {
@@ -88,6 +100,36 @@ std::vector<std::string> Flags::unqueried() const {
     if (!queried_.count(name)) out.push_back(name);
   }
   return out;
+}
+
+bool Flags::help_requested() const {
+  const auto it = values_.find("help");
+  if (it == values_.end()) return false;
+  // Mirror get_bool: an explicit false-ish value means "no help".
+  return it->second != "false" && it->second != "0" && it->second != "no";
+}
+
+std::string Flags::usage() const {
+  std::ostringstream os;
+  os << "flags:\n";
+  for (const auto& [name, def] : defaults_) {
+    os << "  --" << name << "  (default: " << def << ")\n";
+  }
+  os << "  --help  (print this message and exit)\n";
+  return os.str();
+}
+
+void Flags::finish(const std::string& description) const {
+  if (help_requested()) {
+    if (!description.empty()) std::cout << description << "\n\n";
+    std::cout << usage();
+    std::exit(0);
+  }
+  queried_["help"] = true;  // an explicit --help=false is consumed, not a typo
+  const auto leftover = unqueried();
+  if (!leftover.empty()) {
+    throw std::invalid_argument("unknown flag: --" + leftover.front());
+  }
 }
 
 }  // namespace egoist::util

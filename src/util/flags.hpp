@@ -32,9 +32,22 @@ class Flags {
   /// binaries to reject typos after all get_* calls are done.
   std::vector<std::string> unqueried() const;
 
+  /// True if --help was passed on the command line.
+  bool help_requested() const;
+
+  /// One "--name (default: value)" line per flag queried so far; call after
+  /// all get_* calls so every flag the binary understands is listed.
+  std::string usage() const;
+
+  /// Standard epilogue for a CLI binary: on --help, prints `description`
+  /// plus usage() to stdout and exits 0; otherwise throws
+  /// std::invalid_argument on any flag that was never queried (typo safety).
+  void finish(const std::string& description = "") const;
+
  private:
   std::map<std::string, std::string> values_;
   mutable std::map<std::string, bool> queried_;
+  mutable std::map<std::string, std::string> defaults_;
 };
 
 }  // namespace egoist::util

@@ -1,0 +1,87 @@
+// Construction smoke test: every Policy x Metric combination must be able
+// to build an EgoistNetwork on a fresh Environment and survive one epoch.
+// Guards future policy refactors against silently breaking construction.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "overlay/network.hpp"
+
+namespace egoist::overlay {
+namespace {
+
+const std::vector<Policy> kAllPolicies{
+    Policy::kBestResponse, Policy::kHybridBR, Policy::kRandom,
+    Policy::kClosest,      Policy::kRegular,  Policy::kFullMesh,
+};
+
+const std::vector<Metric> kAllMetrics{
+    Metric::kDelayPing,
+    Metric::kDelayCoords,
+    Metric::kNodeLoad,
+    Metric::kBandwidth,
+};
+
+TEST(PolicySmokeTest, EveryPolicyConstructsAndRunsOneEpoch) {
+  constexpr std::size_t kNodes = 16;
+  for (const auto policy : kAllPolicies) {
+    for (const auto metric : kAllMetrics) {
+      SCOPED_TRACE(std::string(to_string(policy)) + " / " + to_string(metric));
+      Environment env(kNodes, /*seed=*/99);
+      OverlayConfig config;
+      config.policy = policy;
+      config.metric = metric;
+      config.k = 4;
+      config.seed = 99;
+      EgoistNetwork net(env, config);
+      ASSERT_EQ(net.size(), kNodes);
+      ASSERT_EQ(net.online_count(), kNodes);
+
+      env.advance(60.0);
+      const int rewirings = net.run_epoch();
+      EXPECT_GE(rewirings, 0);
+      EXPECT_EQ(net.epochs_run(), 1);
+
+      // Every online node keeps a wiring within its link budget (FullMesh
+      // wires to everyone regardless of k) with no self-loops.
+      for (std::size_t v = 0; v < kNodes; ++v) {
+        const auto& wiring = net.wiring(static_cast<int>(v));
+        if (policy == Policy::kFullMesh) {
+          EXPECT_EQ(wiring.size(), kNodes - 1);
+        } else {
+          EXPECT_LE(wiring.size(), config.k);
+          EXPECT_GE(wiring.size(), 1u);
+        }
+        for (const auto u : wiring) {
+          EXPECT_NE(u, static_cast<int>(v));
+        }
+      }
+
+      // Scores over true costs must be finite and sized to the online set.
+      const auto costs = net.node_costs();
+      ASSERT_EQ(costs.size(), net.online_count());
+      for (const double c : costs) {
+        EXPECT_TRUE(std::isfinite(c));
+      }
+    }
+  }
+}
+
+TEST(PolicySmokeTest, HybridBRKeepsDonatedBackboneLinks) {
+  Environment env(12, 5);
+  OverlayConfig config;
+  config.policy = Policy::kHybridBR;
+  config.k = 4;
+  config.donated_links = 2;
+  config.seed = 5;
+  EgoistNetwork net(env, config);
+  env.advance(60.0);
+  net.run_epoch();
+  for (int v = 0; v < 12; ++v) {
+    EXPECT_EQ(net.donated(v).size(), config.donated_links);
+  }
+}
+
+}  // namespace
+}  // namespace egoist::overlay

@@ -58,5 +58,49 @@ TEST(FlagsTest, UnqueriedFlagsReported) {
   EXPECT_EQ(leftover.front(), "typo");
 }
 
+TEST(FlagsTest, HelpRequested) {
+  EXPECT_TRUE(make({"--help"}).help_requested());
+  EXPECT_TRUE(make({"--help=true"}).help_requested());
+  EXPECT_FALSE(make({}).help_requested());
+  // Explicit false-ish values mean "no help", mirroring get_bool.
+  EXPECT_FALSE(make({"--help=false"}).help_requested());
+  EXPECT_FALSE(make({"--help=0"}).help_requested());
+  EXPECT_FALSE(make({"--help=no"}).help_requested());
+}
+
+TEST(FlagsTest, UsageListsQueriedFlagsWithDefaults) {
+  const auto f = make({});
+  f.get_int("n", 50);
+  f.get_double("t", 1.5);
+  f.get_string("name", "br");
+  f.get_bool("verbose");
+  f.get_seed("seed", 42u);
+  const auto usage = f.usage();
+  EXPECT_NE(usage.find("--n  (default: 50)"), std::string::npos);
+  EXPECT_NE(usage.find("--t  (default: 1.5)"), std::string::npos);
+  EXPECT_NE(usage.find("--name  (default: br)"), std::string::npos);
+  EXPECT_NE(usage.find("--verbose  (default: false)"), std::string::npos);
+  EXPECT_NE(usage.find("--seed  (default: 42)"), std::string::npos);
+  EXPECT_NE(usage.find("--help"), std::string::npos);
+}
+
+TEST(FlagsTest, FinishThrowsOnUnknownFlag) {
+  const auto f = make({"--typo=1"});
+  EXPECT_THROW(f.finish(), std::invalid_argument);
+}
+
+TEST(FlagsTest, FinishAcceptsQueriedAndExplicitNoHelp) {
+  const auto f = make({"--n=5", "--help=false"});
+  EXPECT_EQ(f.get_int("n", 0), 5);
+  EXPECT_NO_THROW(f.finish());
+}
+
+TEST(FlagsDeathTest, FinishOnHelpPrintsUsageAndExitsZero) {
+  const auto f = make({"--help"});
+  f.get_int("n", 50);
+  EXPECT_EXIT(f.finish("prog description"), ::testing::ExitedWithCode(0),
+              "");
+}
+
 }  // namespace
 }  // namespace egoist::util
