@@ -124,12 +124,17 @@ graph::Digraph build_base(Base base, const net::DelaySpace& delays,
 }
 
 /// The newcomer's realized cost: mean distance to all base nodes over the
-/// base graph + the chosen wiring (full-information evaluation).
-double newcomer_cost(const graph::Digraph& base_graph,
+/// base graph + the chosen wiring (full-information evaluation). The
+/// engine holds the base snapshot, so each evaluation reuses the shared
+/// base trees instead of re-running an all-pairs computation; `scratch`
+/// carries the borrowed residual matrix across calls.
+double newcomer_cost(graph::PathEngine& engine,
                      const std::vector<double>& direct,
-                     const std::vector<NodeId>& wiring) {
+                     const std::vector<NodeId>& wiring,
+                     graph::DistanceMatrix& scratch) {
   const auto self = static_cast<NodeId>(kBaseNodes);
-  const auto objective = core::make_delay_objective(base_graph, self, direct);
+  const auto objective = core::make_delay_objective(
+      engine, self, direct, std::nullopt, std::nullopt, &scratch);
   return objective.cost(wiring);
 }
 
@@ -142,9 +147,9 @@ struct SampledCosts {
 };
 
 /// One trial of all sampled strategies at sample size m.
-SampledCosts sampled_trial(const graph::Digraph& base_graph,
+SampledCosts sampled_trial(graph::PathEngine& engine,
                            const std::vector<double>& direct, std::size_t m,
-                           util::Rng& rng) {
+                           util::Rng& rng, graph::DistanceMatrix& scratch) {
   const auto self = static_cast<NodeId>(kBaseNodes);
   std::vector<NodeId> candidates(kBaseNodes);
   std::iota(candidates.begin(), candidates.end(), 0);
@@ -152,8 +157,8 @@ SampledCosts sampled_trial(const graph::Digraph& base_graph,
   const auto sample = core::random_sample(candidates, m, rng);
   SampledCosts costs;
   // k-Random within the sample.
-  costs.k_random = newcomer_cost(base_graph, direct,
-                                 core::select_k_random(sample, kDegree, rng));
+  costs.k_random = newcomer_cost(
+      engine, direct, core::select_k_random(sample, kDegree, rng), scratch);
   // k-Regular within the sample: regular index offsets in the sorted sample.
   {
     std::vector<NodeId> wiring;
@@ -163,31 +168,31 @@ SampledCosts sampled_trial(const graph::Digraph& base_graph,
     }
     std::sort(wiring.begin(), wiring.end());
     wiring.erase(std::unique(wiring.begin(), wiring.end()), wiring.end());
-    costs.k_regular = newcomer_cost(base_graph, direct, wiring);
+    costs.k_regular = newcomer_cost(engine, direct, wiring, scratch);
   }
   // k-Closest within the sample.
-  costs.k_closest = newcomer_cost(base_graph, direct,
-                                  core::select_k_closest(sample, direct, kDegree));
+  costs.k_closest = newcomer_cost(
+      engine, direct, core::select_k_closest(sample, direct, kDegree), scratch);
   // BR restricted to the sample (search on the sampled objective; evaluate
   // on the full one).
   core::BestResponseOptions options;
   options.exact_budget = 0;
   {
     const auto objective =
-        core::make_sampled_delay_objective(base_graph, self, direct, sample);
+        core::make_sampled_delay_objective(engine, self, direct, sample);
     const auto br = core::best_response(objective, kDegree, options);
-    costs.br = newcomer_cost(base_graph, direct, br.wiring);
+    costs.br = newcomer_cost(engine, direct, br.wiring, scratch);
   }
-  // BRtp: topology-biased sample, then BR on it.
+  // BRtp: topology-biased sample over the CSR snapshot, then BR on it.
   {
     core::BiasedSamplingOptions bias;
     bias.radius = kRadius;
-    const auto biased = core::topology_biased_sample(base_graph, self, direct,
+    const auto biased = core::topology_biased_sample(engine.csr(), self, direct,
                                                      candidates, m, rng, bias);
     const auto objective =
-        core::make_sampled_delay_objective(base_graph, self, direct, biased);
+        core::make_sampled_delay_objective(engine, self, direct, biased);
     const auto br = core::best_response(objective, kDegree, options);
-    costs.brtp = newcomer_cost(base_graph, direct, br.wiring);
+    costs.brtp = newcomer_cost(engine, direct, br.wiring, scratch);
   }
   return costs;
 }
@@ -202,10 +207,17 @@ void run_figure(Base base, int figure_number, const net::DelaySpace& delays,
   base_graph.set_active(self, true);
   const auto direct = direct_delays(delays, self, kBaseNodes + 1);
 
+  // One shared snapshot of the base overlay: the newcomer has no out-edges
+  // yet, so its residual view equals the base and every query below reuses
+  // the engine's base trees.
+  graph::PathEngine engine(base_graph);
+  graph::DistanceMatrix scratch;
+
   // BR with no sampling: the normalization baseline.
   double baseline;
   {
-    const auto objective = core::make_delay_objective(base_graph, self, direct);
+    const auto objective = core::make_delay_objective(
+        engine, self, direct, std::nullopt, std::nullopt, &scratch);
     core::BestResponseOptions options;
     options.exact_budget = 0;
     baseline = core::best_response(objective, kDegree, options).cost;
@@ -220,7 +232,7 @@ void run_figure(Base base, int figure_number, const net::DelaySpace& delays,
   for (std::size_t m = 6; m <= 20; m += 2) {
     SampledCosts mean;
     for (int t = 0; t < trials; ++t) {
-      const auto c = sampled_trial(base_graph, direct, m, rng);
+      const auto c = sampled_trial(engine, direct, m, rng, scratch);
       mean.k_random += c.k_random;
       mean.k_regular += c.k_regular;
       mean.k_closest += c.k_closest;

@@ -57,6 +57,40 @@ void BM_AllPairsShortestPaths(benchmark::State& state) {
 }
 BENCHMARK(BM_AllPairsShortestPaths)->Arg(50)->Arg(100)->Arg(295);
 
+void BM_PathEngineResidualAllPairs(benchmark::State& state) {
+  // The BR hot path: residual all-pairs served from the engine's shared
+  // base trees (compare with BM_AllPairsShortestPaths, which is what the
+  // legacy path paid per node per epoch on top of a graph copy).
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto g = make_overlay(n, 4, 7);
+  graph::PathEngine engine(g);
+  graph::DistanceMatrix out;
+  engine.all_shortest(graph::kNoExclude, out);  // build the base trees
+  graph::NodeId exclude = 0;
+  for (auto _ : state) {
+    engine.all_shortest(exclude, out);
+    benchmark::DoNotOptimize(out.row(0).data());
+    exclude = static_cast<graph::NodeId>((exclude + 1) % static_cast<int>(n));
+  }
+}
+BENCHMARK(BM_PathEngineResidualAllPairs)->Arg(50)->Arg(100)->Arg(295);
+
+void BM_PathEngineRowUpdate(benchmark::State& state) {
+  // The sequential-epoch mutation: one node re-announces, the engine
+  // patches its base trees instead of rebuilding them.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto g = make_overlay(n, 4, 7);
+  graph::PathEngine engine(g);
+  graph::DistanceMatrix out;
+  engine.all_shortest(graph::kNoExclude, out);
+  graph::NodeId u = 0;
+  for (auto _ : state) {
+    engine.update_out_edges(u, g);
+    u = static_cast<graph::NodeId>((u + 1) % static_cast<int>(n));
+  }
+}
+BENCHMARK(BM_PathEngineRowUpdate)->Arg(50)->Arg(100)->Arg(295);
+
 void BM_WidestPaths(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const auto g = make_overlay(n, 4, 9);

@@ -11,14 +11,14 @@ namespace {
 
 void validate_common(NodeId self, const std::vector<NodeId>& candidates,
                      std::size_t direct_size,
-                     const std::vector<std::vector<double>>& residual,
+                     const graph::DistanceMatrix& residual,
                      const std::vector<NodeId>& targets) {
-  const std::size_t n = residual.size();
+  const std::size_t n = residual.rows();
+  if (residual.cols() != n) {
+    throw std::invalid_argument("residual matrix not square");
+  }
   if (direct_size != n) {
     throw std::invalid_argument("direct cost vector size mismatch");
-  }
-  for (const auto& row : residual) {
-    if (row.size() != n) throw std::invalid_argument("residual matrix not square");
   }
   auto in_range = [n](NodeId v) {
     return v >= 0 && static_cast<std::size_t>(v) < n;
@@ -39,6 +39,19 @@ double WiringObjective::no_link_value() const {
   return maximize_link_value() ? 0.0 : graph::kUnreachable;
 }
 
+void WiringObjective::fill_link_values(std::span<const NodeId> sources,
+                                       std::span<const NodeId> targets,
+                                       std::span<double> out) const {
+  if (out.size() != sources.size() * targets.size()) {
+    throw std::invalid_argument("link value buffer size mismatch");
+  }
+  for (std::size_t s = 0; s < sources.size(); ++s) {
+    for (std::size_t t = 0; t < targets.size(); ++t) {
+      out[s * targets.size() + t] = link_value(sources[s], targets[t]);
+    }
+  }
+}
+
 double WiringObjective::cost(std::span<const NodeId> wiring) const {
   const bool maximize = maximize_link_value();
   double total = 0.0;
@@ -56,19 +69,55 @@ double WiringObjective::cost(std::span<const NodeId> wiring) const {
 
 DelayObjective::DelayObjective(NodeId self, std::vector<NodeId> candidates,
                                std::vector<double> direct_cost,
-                               std::vector<std::vector<double>> residual_dist,
+                               graph::DistanceMatrix residual_dist,
                                std::vector<double> preference,
                                std::vector<NodeId> targets,
                                double unreachable_penalty)
     : self_(self),
       candidates_(std::move(candidates)),
       direct_cost_(std::move(direct_cost)),
-      residual_dist_(std::move(residual_dist)),
+      owned_residual_(std::move(residual_dist)),
       preference_(std::move(preference)),
       targets_(std::move(targets)),
       unreachable_penalty_(unreachable_penalty) {
-  validate_common(self_, candidates_, direct_cost_.size(), residual_dist_, targets_);
-  if (preference_.size() != residual_dist_.size()) {
+  validate_common(self_, candidates_, direct_cost_.size(), residual(), targets_);
+  if (preference_.size() != residual().rows()) {
+    throw std::invalid_argument("preference vector size mismatch");
+  }
+  if (unreachable_penalty_ < 0.0) {
+    throw std::invalid_argument("penalty must be non-negative");
+  }
+}
+
+DelayObjective::DelayObjective(NodeId self, std::vector<NodeId> candidates,
+                               std::vector<double> direct_cost,
+                               const std::vector<std::vector<double>>& residual_dist,
+                               std::vector<double> preference,
+                               std::vector<NodeId> targets,
+                               double unreachable_penalty)
+    : DelayObjective(self, std::move(candidates), std::move(direct_cost),
+                     graph::DistanceMatrix::from_nested(residual_dist),
+                     std::move(preference), std::move(targets),
+                     unreachable_penalty) {}
+
+DelayObjective::DelayObjective(NodeId self, std::vector<NodeId> candidates,
+                               std::vector<double> direct_cost,
+                               const graph::DistanceMatrix* residual_view,
+                               std::vector<double> preference,
+                               std::vector<NodeId> targets,
+                               double unreachable_penalty)
+    : self_(self),
+      candidates_(std::move(candidates)),
+      direct_cost_(std::move(direct_cost)),
+      external_residual_(residual_view),
+      preference_(std::move(preference)),
+      targets_(std::move(targets)),
+      unreachable_penalty_(unreachable_penalty) {
+  if (external_residual_ == nullptr) {
+    throw std::invalid_argument("residual view may not be null");
+  }
+  validate_common(self_, candidates_, direct_cost_.size(), residual(), targets_);
+  if (preference_.size() != residual().rows()) {
     throw std::invalid_argument("preference vector size mismatch");
   }
   if (unreachable_penalty_ < 0.0) {
@@ -77,11 +126,43 @@ DelayObjective::DelayObjective(NodeId self, std::vector<NodeId> candidates,
 }
 
 double DelayObjective::link_value(NodeId v, NodeId j) const {
-  if (v == j) return direct_cost_[static_cast<std::size_t>(v)];
+  const double direct = direct_cost_[static_cast<std::size_t>(v)];
+  if (v == j) return direct;
   const double through =
-      residual_dist_[static_cast<std::size_t>(v)][static_cast<std::size_t>(j)];
-  if (through == graph::kUnreachable) return graph::kUnreachable;
-  return direct_cost_[static_cast<std::size_t>(v)] + through;
+      residual()(static_cast<std::size_t>(v), static_cast<std::size_t>(j));
+  // Clamp before summing: when either leg is unreachable the link is, and
+  // summing an unreachable sentinel with a finite leg must not produce a
+  // value that escapes the == kUnreachable checks in fold()/distance_to().
+  if (through == graph::kUnreachable || direct == graph::kUnreachable) {
+    return graph::kUnreachable;
+  }
+  return direct + through;
+}
+
+void DelayObjective::fill_link_values(std::span<const NodeId> sources,
+                                      std::span<const NodeId> targets,
+                                      std::span<double> out) const {
+  if (out.size() != sources.size() * targets.size()) {
+    throw std::invalid_argument("link value buffer size mismatch");
+  }
+  const graph::DistanceMatrix& dist = residual();
+  std::size_t i = 0;
+  for (const NodeId v : sources) {
+    const double direct = direct_cost_[static_cast<std::size_t>(v)];
+    const auto row = dist.row(static_cast<std::size_t>(v));
+    for (const NodeId j : targets) {
+      double value;
+      if (v == j) {
+        value = direct;
+      } else {
+        const double through = row[static_cast<std::size_t>(j)];
+        value = (through == graph::kUnreachable || direct == graph::kUnreachable)
+                    ? graph::kUnreachable
+                    : direct + through;
+      }
+      out[i++] = value;
+    }
+  }
 }
 
 double DelayObjective::fold(double best_value) const {
@@ -96,14 +177,37 @@ double DelayObjective::distance_to(std::span<const NodeId> wiring, NodeId j) con
 
 BandwidthObjective::BandwidthObjective(NodeId self, std::vector<NodeId> candidates,
                                        std::vector<double> direct_bw,
-                                       std::vector<std::vector<double>> residual_bw,
+                                       graph::DistanceMatrix residual_bw,
                                        std::vector<NodeId> targets)
     : self_(self),
       candidates_(std::move(candidates)),
       direct_bw_(std::move(direct_bw)),
-      residual_bw_(std::move(residual_bw)),
+      owned_residual_(std::move(residual_bw)),
       targets_(std::move(targets)) {
-  validate_common(self_, candidates_, direct_bw_.size(), residual_bw_, targets_);
+  validate_common(self_, candidates_, direct_bw_.size(), residual(), targets_);
+}
+
+BandwidthObjective::BandwidthObjective(NodeId self, std::vector<NodeId> candidates,
+                                       std::vector<double> direct_bw,
+                                       const std::vector<std::vector<double>>& residual_bw,
+                                       std::vector<NodeId> targets)
+    : BandwidthObjective(self, std::move(candidates), std::move(direct_bw),
+                         graph::DistanceMatrix::from_nested(residual_bw),
+                         std::move(targets)) {}
+
+BandwidthObjective::BandwidthObjective(NodeId self, std::vector<NodeId> candidates,
+                                       std::vector<double> direct_bw,
+                                       const graph::DistanceMatrix* residual_view,
+                                       std::vector<NodeId> targets)
+    : self_(self),
+      candidates_(std::move(candidates)),
+      direct_bw_(std::move(direct_bw)),
+      external_residual_(residual_view),
+      targets_(std::move(targets)) {
+  if (external_residual_ == nullptr) {
+    throw std::invalid_argument("residual view may not be null");
+  }
+  validate_common(self_, candidates_, direct_bw_.size(), residual(), targets_);
 }
 
 double BandwidthObjective::link_value(NodeId v, NodeId j) const {
@@ -111,7 +215,25 @@ double BandwidthObjective::link_value(NodeId v, NodeId j) const {
   if (v == j) return direct;
   return std::min(
       direct,
-      residual_bw_[static_cast<std::size_t>(v)][static_cast<std::size_t>(j)]);
+      residual()(static_cast<std::size_t>(v), static_cast<std::size_t>(j)));
+}
+
+void BandwidthObjective::fill_link_values(std::span<const NodeId> sources,
+                                          std::span<const NodeId> targets,
+                                          std::span<double> out) const {
+  if (out.size() != sources.size() * targets.size()) {
+    throw std::invalid_argument("link value buffer size mismatch");
+  }
+  const graph::DistanceMatrix& bw = residual();
+  std::size_t i = 0;
+  for (const NodeId v : sources) {
+    const double direct = direct_bw_[static_cast<std::size_t>(v)];
+    const auto row = bw.row(static_cast<std::size_t>(v));
+    for (const NodeId j : targets) {
+      out[i++] = v == j ? direct
+                        : std::min(direct, row[static_cast<std::size_t>(j)]);
+    }
+  }
 }
 
 double BandwidthObjective::bandwidth_to(std::span<const NodeId> wiring,

@@ -15,12 +15,18 @@
 // link_value(v, j)), which the interface exposes directly so the
 // best-response search can evaluate candidate swaps incrementally in O(n)
 // rather than O(k n).
+//
+// Residual matrices are stored as flat row-major graph::DistanceMatrix
+// (produced allocation-free by graph::PathEngine); the nested-vector
+// constructors remain as conversions for hand-built fixtures and the
+// legacy all-pairs path.
 #pragma once
 
 #include <span>
 #include <vector>
 
 #include "graph/digraph.hpp"
+#include "graph/distance_matrix.hpp"
 
 namespace egoist::core {
 
@@ -49,6 +55,15 @@ class WiringObjective {
   /// cost, possibly kUnreachable; bandwidth: bottleneck, possibly 0).
   virtual double link_value(NodeId v, NodeId j) const = 0;
 
+  /// Bulk form of link_value for the search's cache: fills
+  /// out[s * targets.size() + t] = link_value(sources[s], targets[t]).
+  /// The default loops over the virtual link_value; concrete objectives
+  /// override with a flat non-virtual loop (the fill dominates evaluator
+  /// setup at large n). out.size() must be sources.size() * targets.size().
+  virtual void fill_link_values(std::span<const NodeId> sources,
+                                std::span<const NodeId> targets,
+                                std::span<double> out) const;
+
   /// False: per-target best is the minimum link_value (delay/load).
   /// True: the maximum (bandwidth).
   virtual bool maximize_link_value() const = 0;
@@ -56,6 +71,13 @@ class WiringObjective {
   /// Folds the per-target best value into a cost contribution (applies the
   /// unreachable penalty for delay, negation for bandwidth).
   virtual double fold(double best_value) const = 0;
+
+  /// The value fold() substitutes for an unreachable best (delay: the
+  /// "M >> n" penalty; maximizing objectives have no unreachable sentinel
+  /// and return 0). The best-response search caches this once and inlines
+  /// the fold in its hot loops, so every objective's fold() must equal
+  ///   maximize ? -v : (v == kUnreachable ? fold_penalty() : v).
+  virtual double fold_penalty() const = 0;
 
   /// Neutral element for the per-target best (kUnreachable or 0).
   double no_link_value() const;
@@ -69,13 +91,28 @@ class DelayObjective final : public WiringObjective {
  public:
   /// direct_cost[v]: measured/announced cost of the direct link self -> v
   ///   (entries for non-candidates are ignored).
-  /// residual_dist[v][j]: distance from v to j in G_{-self}.
+  /// residual_dist(v, j): distance from v to j in G_{-self}.
   /// preference[j]: routing preference p_ij (self entry ignored).
   /// targets: destinations to account for (active nodes, excluding self).
   /// unreachable_penalty: the paper's "M >> n" for unreachable targets.
   DelayObjective(NodeId self, std::vector<NodeId> candidates,
                  std::vector<double> direct_cost,
-                 std::vector<std::vector<double>> residual_dist,
+                 graph::DistanceMatrix residual_dist,
+                 std::vector<double> preference, std::vector<NodeId> targets,
+                 double unreachable_penalty);
+
+  /// Legacy nested-matrix convenience (converts; throws on ragged input).
+  DelayObjective(NodeId self, std::vector<NodeId> candidates,
+                 std::vector<double> direct_cost,
+                 const std::vector<std::vector<double>>& residual_dist,
+                 std::vector<double> preference, std::vector<NodeId> targets,
+                 double unreachable_penalty);
+
+  /// Borrowing constructor: the residual matrix stays owned by the caller
+  /// (the epoch loop's reusable scratch) and must outlive the objective.
+  DelayObjective(NodeId self, std::vector<NodeId> candidates,
+                 std::vector<double> direct_cost,
+                 const graph::DistanceMatrix* residual_view,
                  std::vector<double> preference, std::vector<NodeId> targets,
                  double unreachable_penalty);
 
@@ -86,18 +123,27 @@ class DelayObjective final : public WiringObjective {
     return preference_[static_cast<std::size_t>(j)];
   }
   double link_value(NodeId v, NodeId j) const override;
+  void fill_link_values(std::span<const NodeId> sources,
+                        std::span<const NodeId> targets,
+                        std::span<double> out) const override;
   bool maximize_link_value() const override { return false; }
   double fold(double best_value) const override;
+  double fold_penalty() const override { return unreachable_penalty_; }
 
   /// Distance from self to destination j under `wiring` (direct + residual);
   /// kUnreachable when no neighbor reaches j.
   double distance_to(std::span<const NodeId> wiring, NodeId j) const;
 
  private:
+  const graph::DistanceMatrix& residual() const {
+    return external_residual_ != nullptr ? *external_residual_ : owned_residual_;
+  }
+
   NodeId self_;
   std::vector<NodeId> candidates_;
   std::vector<double> direct_cost_;
-  std::vector<std::vector<double>> residual_dist_;
+  graph::DistanceMatrix owned_residual_;
+  const graph::DistanceMatrix* external_residual_ = nullptr;
   std::vector<double> preference_;
   std::vector<NodeId> targets_;
   double unreachable_penalty_;
@@ -109,10 +155,22 @@ class DelayObjective final : public WiringObjective {
 class BandwidthObjective final : public WiringObjective {
  public:
   /// direct_bw[v]: available bandwidth of the direct link self -> v.
-  /// residual_bw[v][j]: bottleneck bandwidth from v to j in G_{-self}.
+  /// residual_bw(v, j): bottleneck bandwidth from v to j in G_{-self}.
   BandwidthObjective(NodeId self, std::vector<NodeId> candidates,
                      std::vector<double> direct_bw,
-                     std::vector<std::vector<double>> residual_bw,
+                     graph::DistanceMatrix residual_bw,
+                     std::vector<NodeId> targets);
+
+  /// Legacy nested-matrix convenience (converts; throws on ragged input).
+  BandwidthObjective(NodeId self, std::vector<NodeId> candidates,
+                     std::vector<double> direct_bw,
+                     const std::vector<std::vector<double>>& residual_bw,
+                     std::vector<NodeId> targets);
+
+  /// Borrowing constructor (see DelayObjective).
+  BandwidthObjective(NodeId self, std::vector<NodeId> candidates,
+                     std::vector<double> direct_bw,
+                     const graph::DistanceMatrix* residual_view,
                      std::vector<NodeId> targets);
 
   const std::vector<NodeId>& candidates() const override { return candidates_; }
@@ -120,8 +178,12 @@ class BandwidthObjective final : public WiringObjective {
   const std::vector<NodeId>& targets() const override { return targets_; }
   double target_weight(NodeId) const override { return 1.0; }
   double link_value(NodeId v, NodeId j) const override;
+  void fill_link_values(std::span<const NodeId> sources,
+                        std::span<const NodeId> targets,
+                        std::span<double> out) const override;
   bool maximize_link_value() const override { return true; }
   double fold(double best_value) const override { return -best_value; }
+  double fold_penalty() const override { return 0.0; }  // unused: maximizing
 
   /// The positive aggregate-bandwidth score (= -cost).
   double score(std::span<const NodeId> wiring) const { return -cost(wiring); }
@@ -130,10 +192,15 @@ class BandwidthObjective final : public WiringObjective {
   double bandwidth_to(std::span<const NodeId> wiring, NodeId j) const;
 
  private:
+  const graph::DistanceMatrix& residual() const {
+    return external_residual_ != nullptr ? *external_residual_ : owned_residual_;
+  }
+
   NodeId self_;
   std::vector<NodeId> candidates_;
   std::vector<double> direct_bw_;
-  std::vector<std::vector<double>> residual_bw_;
+  graph::DistanceMatrix owned_residual_;
+  const graph::DistanceMatrix* external_residual_ = nullptr;
   std::vector<NodeId> targets_;
 };
 

@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "graph/shortest_path.hpp"
+
 namespace egoist::core {
 
 namespace {
@@ -31,20 +33,26 @@ std::uint64_t binomial_capped(std::uint64_t n, std::uint64_t k,
 class Evaluator {
  public:
   Evaluator(const WiringObjective& obj, const std::vector<NodeId>& pool,
-            const std::vector<NodeId>& fixed)
-      : obj_(obj), pool_(pool), maximize_(obj.maximize_link_value()) {
+            const std::vector<NodeId>& fixed, BestResponseScratch* scratch)
+      : obj_(obj),
+        pool_(pool),
+        maximize_(obj.maximize_link_value()),
+        fold_penalty_(obj.fold_penalty()),
+        value_storage_(scratch != nullptr ? scratch->link_values
+                                          : owned_values_) {
     for (NodeId j : obj.targets()) {
       if (j == obj.self()) continue;
       targets_.push_back(j);
       weights_.push_back(obj.target_weight(j));
     }
     const std::size_t t = targets_.size();
-    value_.resize(pool_.size() * t);
-    for (std::size_t c = 0; c < pool_.size(); ++c) {
-      for (std::size_t ti = 0; ti < t; ++ti) {
-        value_[c * t + ti] = obj_.link_value(pool_[c], targets_[ti]);
-      }
-    }
+    value_storage_.resize(pool_.size() * t);
+    value_ = value_storage_.data();
+    // Candidate rows of the link-value cache fill lazily on first touch
+    // (see row()): candidates never scanned — e.g. pruned pools — are
+    // never materialized, and the fill streams once instead of an eager
+    // n^2 pass up front.
+    row_filled_.assign(pool_.size(), 0);
     fixed_best_.assign(t, obj.no_link_value());
     for (NodeId v : fixed) {
       for (std::size_t ti = 0; ti < t; ++ti) {
@@ -54,6 +62,9 @@ class Evaluator {
     best1_ = fixed_best_;
     best1_slot_.assign(t, kFixedSlot);
     best2_ = fixed_best_;
+    add_cost_.assign(pool_.size(), 0.0);
+    add_stamp_.assign(pool_.size(), 0);
+    owned_off_.assign(1, 0);
   }
 
   static constexpr int kFixedSlot = -1;
@@ -62,35 +73,86 @@ class Evaluator {
     return maximize_ ? std::max(a, b) : std::min(a, b);
   }
 
+  /// Inline fold for the hot loops: the canonical shape every objective's
+  /// virtual fold() is documented to match (see fold_penalty()). Saves a
+  /// virtual call per target per candidate evaluation.
+  double fold(double best) const {
+    if (maximize_) return -best;
+    return best == graph::kUnreachable ? fold_penalty_ : best;
+  }
+
+  /// The per-target sums below run in deterministic 4-lane form: a single
+  /// ordered accumulator is a loop-carried FP dependency (~4 cycles per
+  /// target) and dominates the whole search at large n. Four independent
+  /// lanes folded as (a0+a1)+(a2+a3) keep results deterministic (same
+  /// order every call, used identically by all three cost functions) while
+  /// quadrupling throughput; they may round differently from the naive
+  /// left-to-right sum, which only perturbs exact ties in the local
+  /// search.
+  template <typename PerTarget>
+  double lane_sum(std::size_t t, PerTarget term) const {
+    double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+    std::size_t ti = 0;
+    for (; ti + 4 <= t; ti += 4) {
+      a0 += term(ti);
+      a1 += term(ti + 1);
+      a2 += term(ti + 2);
+      a3 += term(ti + 3);
+    }
+    for (; ti < t; ++ti) a0 += term(ti);
+    return (a0 + a1) + (a2 + a3);
+  }
+
   /// Cost of the current wiring.
   double current_cost() const {
-    double total = 0.0;
-    for (std::size_t ti = 0; ti < targets_.size(); ++ti) {
-      total += weights_[ti] * obj_.fold(best1_[ti]);
+    return lane_sum(targets_.size(), [this](std::size_t ti) {
+      return weights_[ti] * fold(best1_[ti]);
+    });
+  }
+
+  /// Link values of pool candidate `c` against every target, filled on
+  /// first use (one virtual bulk call per candidate row; the concrete
+  /// objectives stream it from flat arrays).
+  const double* row(std::size_t c) {
+    const std::size_t t = targets_.size();
+    double* value = value_ + c * t;
+    if (!row_filled_[c]) {
+      obj_.fill_link_values({&pool_[c], 1}, targets_, {value, t});
+      row_filled_[c] = 1;
     }
-    return total;
+    return value;
   }
 
   /// Cost if pool candidate `c` were added to the current wiring.
-  double cost_with_added(std::size_t c) const {
+  double cost_with_added(std::size_t c) {
     const std::size_t t = targets_.size();
-    double total = 0.0;
-    for (std::size_t ti = 0; ti < t; ++ti) {
-      total += weights_[ti] * obj_.fold(combine(best1_[ti], value_[c * t + ti]));
-    }
-    return total;
+    const double* value = row(c);
+    return lane_sum(t, [this, value](std::size_t ti) {
+      return weights_[ti] * fold(combine(best1_[ti], value[ti]));
+    });
   }
 
-  /// Cost if slot `slot` were replaced by pool candidate `c`.
-  double cost_with_swap(int slot, std::size_t c) const {
-    const std::size_t t = targets_.size();
-    double total = 0.0;
-    for (std::size_t ti = 0; ti < t; ++ti) {
-      const double without =
-          best1_slot_[ti] == slot ? best2_[ti] : best1_[ti];
-      total += weights_[ti] * obj_.fold(combine(without, value_[c * t + ti]));
+  /// Cost if slot `slot` were replaced by pool candidate `c`, decomposed
+  /// as cost_with_added(c) plus a correction over the targets whose best
+  /// link `slot` currently provides (the only targets where the two
+  /// differ). With the add-cost memoized per candidate for the duration of
+  /// a wiring state (see swap passes below), a full swap scan costs
+  /// ~2·|targets| per candidate instead of k·|targets|.
+  double cost_with_swap(int slot, std::size_t c) {
+    const double* value = row(c);
+    if (add_stamp_[c] != wiring_stamp_) {
+      add_cost_[c] = cost_with_added(c);
+      add_stamp_[c] = wiring_stamp_;
     }
-    return total;
+    const std::size_t begin = owned_off_[static_cast<std::size_t>(slot)];
+    const std::size_t end = owned_off_[static_cast<std::size_t>(slot) + 1];
+    const double correction =
+        lane_sum(end - begin, [this, value, begin](std::size_t i) {
+          const std::size_t ti = owned_[begin + i];
+          return weights_[ti] * (fold(combine(best2_[ti], value[ti])) -
+                                 fold(combine(best1_[ti], value[ti])));
+        });
+    return add_cost_[c] + correction;
   }
 
   /// Rebuilds the per-target best/second-best from the chosen `slots`.
@@ -98,6 +160,7 @@ class Evaluator {
   /// best2 (the value after removing best1's slot) is always well defined.
   void rebuild(const std::vector<std::size_t>& slots) {
     const std::size_t t = targets_.size();
+    for (const std::size_t s : slots) row(s);  // materialize chosen rows
     auto strictly_better = [this](double a, double b) {
       return maximize_ ? a > b : a < b;
     };
@@ -120,19 +183,50 @@ class Evaluator {
       best1_slot_[ti] = s1;
       best2_[ti] = b2;
     }
+    // The wiring changed: invalidate the add-cost memo and re-bin each
+    // target under the slot that provides its best link (fixed-owned
+    // targets belong to no slot; swapping never changes their term).
+    ++wiring_stamp_;
+    owned_off_.assign(slots.size() + 1, 0);
+    for (std::size_t ti = 0; ti < t; ++ti) {
+      if (best1_slot_[ti] >= 0) {
+        ++owned_off_[static_cast<std::size_t>(best1_slot_[ti]) + 1];
+      }
+    }
+    for (std::size_t s = 0; s < slots.size(); ++s) {
+      owned_off_[s + 1] += owned_off_[s];
+    }
+    owned_.resize(owned_off_.back());
+    owned_cursor_.assign(owned_off_.begin(), owned_off_.end() - 1);
+    for (std::size_t ti = 0; ti < t; ++ti) {
+      if (best1_slot_[ti] >= 0) {
+        owned_[owned_cursor_[static_cast<std::size_t>(best1_slot_[ti])]++] = ti;
+      }
+    }
   }
 
  private:
   const WiringObjective& obj_;
   const std::vector<NodeId>& pool_;
   bool maximize_;
+  double fold_penalty_;
   std::vector<NodeId> targets_;
   std::vector<double> weights_;
-  std::vector<double> value_;       ///< value_[c * T + ti]
+  std::vector<double> owned_values_;     ///< backing when no scratch given
+  std::vector<double>& value_storage_;
+  double* value_ = nullptr;              ///< value_[c * T + ti]
+  std::vector<std::uint8_t> row_filled_;
   std::vector<double> fixed_best_;  ///< per-target best over fixed links
   std::vector<double> best1_;
   std::vector<int> best1_slot_;     ///< slot providing best1 (kFixedSlot = fixed)
   std::vector<double> best2_;       ///< best when best1's slot is removed
+
+  std::uint32_t wiring_stamp_ = 0;        ///< bumped by rebuild()
+  std::vector<double> add_cost_;          ///< memo: cost_with_added per candidate
+  std::vector<std::uint32_t> add_stamp_;  ///< memo validity stamp
+  std::vector<std::size_t> owned_;        ///< target indices binned by slot
+  std::vector<std::size_t> owned_off_;    ///< per-slot offsets into owned_
+  std::vector<std::size_t> owned_cursor_;
 };
 
 }  // namespace
@@ -283,7 +377,7 @@ BestResponseResult best_response(const WiringObjective& objective, std::size_t k
   }
 
   // Greedy construction + swap local search over the cached evaluator.
-  Evaluator eval(objective, pool, options.fixed_links);
+  Evaluator eval(objective, pool, options.fixed_links, options.scratch);
   std::vector<std::size_t> slots;  // indices into pool
   std::vector<bool> used(pool.size(), false);
 

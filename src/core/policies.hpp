@@ -23,6 +23,14 @@
 
 namespace egoist::core {
 
+/// Reusable buffers for best_response(): the search caches a
+/// candidates x targets link-value matrix per call, and the epoch loop
+/// calls it once per node — pointing every call at one scratch object
+/// removes the only O(n^2) allocation left on the hot path.
+struct BestResponseScratch {
+  std::vector<double> link_values;
+};
+
 /// Tuning for best_response().
 struct BestResponseOptions {
   /// Run exhaustive search when C(|candidates|, k) is at most this;
@@ -44,6 +52,10 @@ struct BestResponseOptions {
   /// improves — which is how the deployed system avoids flip-flopping on
   /// measurement noise. Ignored by the exhaustive path.
   std::vector<NodeId> seed_wiring;
+
+  /// Optional reusable buffers (see BestResponseScratch); must outlive the
+  /// best_response() call. nullptr = allocate per call.
+  BestResponseScratch* scratch = nullptr;
 };
 
 /// Result of a best-response computation.

@@ -31,6 +31,41 @@ std::vector<NodeId> others(const graph::Digraph& overlay, NodeId self) {
   return out;
 }
 
+std::vector<NodeId> others(const graph::CsrGraph& overlay, NodeId self) {
+  std::vector<NodeId> out;
+  for (NodeId v : overlay.active_nodes()) {
+    if (v != self) out.push_back(v);
+  }
+  return out;
+}
+
+void check_active_self(const graph::CsrGraph& csr, NodeId self) {
+  csr.check_node(self);
+  if (!csr.is_active(self)) {
+    throw std::invalid_argument("self must be active");
+  }
+}
+
+std::vector<double> uniform_preference(std::size_t n,
+                                       const std::vector<NodeId>& targets) {
+  std::vector<double> pref(n, 0.0);
+  const double w =
+      targets.empty() ? 0.0 : 1.0 / static_cast<double>(targets.size());
+  for (NodeId j : targets) pref[static_cast<std::size_t>(j)] = w;
+  return pref;
+}
+
+std::vector<double> resolve_preference(
+    std::optional<std::vector<double>>&& preference, std::size_t n,
+    const std::vector<NodeId>& targets) {
+  if (!preference) return uniform_preference(n, targets);
+  std::vector<double> pref = std::move(*preference);
+  if (pref.size() != n) {
+    throw std::invalid_argument("preference size mismatch");
+  }
+  return pref;
+}
+
 }  // namespace
 
 double default_unreachable_penalty(const graph::Digraph& overlay) {
@@ -47,6 +82,12 @@ double default_unreachable_penalty(const graph::Digraph& overlay) {
                               overlay.node_count(), 1));
 }
 
+double default_unreachable_penalty(const graph::CsrGraph& overlay) {
+  const double scale = overlay.max_weight() > 0.0 ? overlay.max_weight() : 1.0;
+  return 1000.0 * scale * static_cast<double>(std::max<std::size_t>(
+                              overlay.node_count(), 1));
+}
+
 DelayObjective make_delay_objective(const graph::Digraph& overlay, NodeId self,
                                     const std::vector<double>& direct_cost,
                                     std::optional<std::vector<double>> preference,
@@ -56,28 +97,38 @@ DelayObjective make_delay_objective(const graph::Digraph& overlay, NodeId self,
     throw std::invalid_argument("self must be active");
   }
   const auto residual = residual_of(overlay, self);
-  auto dist = graph::all_pairs_shortest_paths(residual);
+  auto dist = graph::DistanceMatrix::from_nested(
+      graph::all_pairs_shortest_paths(residual));
   auto candidates = others(overlay, self);
   auto targets = candidates;
-
-  std::vector<double> pref;
-  if (preference) {
-    pref = std::move(*preference);
-    if (pref.size() != overlay.node_count()) {
-      throw std::invalid_argument("preference size mismatch");
-    }
-  } else {
-    // Uniform preference over targets.
-    pref.assign(overlay.node_count(), 0.0);
-    const double w =
-        targets.empty() ? 0.0 : 1.0 / static_cast<double>(targets.size());
-    for (NodeId j : targets) pref[static_cast<std::size_t>(j)] = w;
-  }
-
+  auto pref = resolve_preference(std::move(preference), overlay.node_count(),
+                                 targets);
   return DelayObjective(
       self, std::move(candidates), direct_cost, std::move(dist), std::move(pref),
       std::move(targets),
       unreachable_penalty.value_or(default_unreachable_penalty(overlay)));
+}
+
+DelayObjective make_delay_objective(graph::PathEngine& engine, NodeId self,
+                                    const std::vector<double>& direct_cost,
+                                    std::optional<std::vector<double>> preference,
+                                    std::optional<double> unreachable_penalty,
+                                    graph::DistanceMatrix* scratch) {
+  check_active_self(engine.csr(), self);
+  auto candidates = others(engine.csr(), self);
+  auto targets = candidates;
+  auto pref = resolve_preference(std::move(preference), engine.node_count(),
+                                 targets);
+  const double penalty =
+      unreachable_penalty.value_or(default_unreachable_penalty(engine.csr()));
+  if (scratch != nullptr) {
+    engine.all_shortest(self, *scratch);
+    return DelayObjective(self, std::move(candidates), direct_cost, scratch,
+                          std::move(pref), std::move(targets), penalty);
+  }
+  return DelayObjective(self, std::move(candidates), direct_cost,
+                        engine.all_shortest(self), std::move(pref),
+                        std::move(targets), penalty);
 }
 
 BandwidthObjective make_bandwidth_objective(const graph::Digraph& overlay,
@@ -88,11 +139,28 @@ BandwidthObjective make_bandwidth_objective(const graph::Digraph& overlay,
     throw std::invalid_argument("self must be active");
   }
   const auto residual = residual_of(overlay, self);
-  auto bw = graph::all_pairs_widest_paths(residual);
+  auto bw = graph::DistanceMatrix::from_nested(
+      graph::all_pairs_widest_paths(residual));
   auto candidates = others(overlay, self);
   auto targets = candidates;
   return BandwidthObjective(self, std::move(candidates), direct_bw, std::move(bw),
                             std::move(targets));
+}
+
+BandwidthObjective make_bandwidth_objective(graph::PathEngine& engine,
+                                            NodeId self,
+                                            const std::vector<double>& direct_bw,
+                                            graph::DistanceMatrix* scratch) {
+  check_active_self(engine.csr(), self);
+  auto candidates = others(engine.csr(), self);
+  auto targets = candidates;
+  if (scratch != nullptr) {
+    engine.all_widest(self, *scratch);
+    return BandwidthObjective(self, std::move(candidates), direct_bw, scratch,
+                              std::move(targets));
+  }
+  return BandwidthObjective(self, std::move(candidates), direct_bw,
+                            engine.all_widest(self), std::move(targets));
 }
 
 DelayObjective make_sampled_delay_objective(
@@ -109,20 +177,40 @@ DelayObjective make_sampled_delay_objective(
   }
   const auto residual = residual_of(overlay, self);
   // Only rows for sampled nodes are needed; compute them directly.
-  std::vector<std::vector<double>> dist(
-      overlay.node_count(),
-      std::vector<double>(overlay.node_count(), graph::kUnreachable));
+  graph::DistanceMatrix dist(overlay.node_count(), overlay.node_count(),
+                             graph::kUnreachable);
   for (NodeId v : sample) {
     if (!overlay.is_active(v)) continue;
-    dist[static_cast<std::size_t>(v)] = graph::dijkstra(residual, v).dist;
+    const auto row = graph::dijkstra(residual, v).dist;
+    std::copy(row.begin(), row.end(),
+              dist.row(static_cast<std::size_t>(v)).begin());
   }
-  std::vector<double> pref(overlay.node_count(), 0.0);
-  const double w =
-      sample.empty() ? 0.0 : 1.0 / static_cast<double>(sample.size());
-  for (NodeId j : sample) pref[static_cast<std::size_t>(j)] = w;
   return DelayObjective(
-      self, sample, direct_cost, std::move(dist), std::move(pref), sample,
+      self, sample, direct_cost, std::move(dist),
+      uniform_preference(overlay.node_count(), sample), sample,
       unreachable_penalty.value_or(default_unreachable_penalty(overlay)));
+}
+
+DelayObjective make_sampled_delay_objective(
+    graph::PathEngine& engine, NodeId self,
+    const std::vector<double>& direct_cost, const std::vector<NodeId>& sample,
+    std::optional<double> unreachable_penalty) {
+  const auto& csr = engine.csr();
+  check_active_self(csr, self);
+  for (NodeId v : sample) {
+    csr.check_node(v);
+    if (v == self) throw std::invalid_argument("sample may not contain self");
+  }
+  const std::size_t n = engine.node_count();
+  graph::DistanceMatrix dist(n, n, graph::kUnreachable);
+  for (NodeId v : sample) {
+    if (!csr.is_active(v)) continue;
+    engine.shortest_from(v, self, dist.row(static_cast<std::size_t>(v)));
+  }
+  return DelayObjective(
+      self, sample, direct_cost, std::move(dist),
+      uniform_preference(n, sample), sample,
+      unreachable_penalty.value_or(default_unreachable_penalty(csr)));
 }
 
 }  // namespace egoist::core

@@ -2,24 +2,51 @@
 
 #include <algorithm>
 #include <cmath>
+#include <queue>
 #include <stdexcept>
 
 #include "graph/metrics.hpp"
 
 namespace egoist::core {
 
-std::vector<NodeId> random_sample(const std::vector<NodeId>& candidates,
-                                  std::size_t m, util::Rng& rng) {
-  const std::size_t take = std::min(m, candidates.size());
-  auto sample = rng.sample_without_replacement(
-      std::span<const NodeId>(candidates), take);
-  std::sort(sample.begin(), sample.end());
-  return sample;
+namespace {
+
+/// r-hop out-neighborhood of v (excluding v) over a CSR snapshot: same
+/// semantics as graph::r_hop_neighborhood on the source Digraph (activity
+/// is baked into the snapshot, so no per-edge flag checks remain).
+std::vector<NodeId> csr_r_hop_neighborhood(const graph::CsrGraph& g, NodeId v,
+                                           int r) {
+  if (r < 0) throw std::invalid_argument("radius must be >= 0");
+  g.check_node(v);
+  std::vector<NodeId> out;
+  if (!g.is_active(v)) return out;
+  std::vector<int> hops(g.node_count(), -1);
+  std::queue<NodeId> frontier;
+  hops[static_cast<std::size_t>(v)] = 0;
+  frontier.push(v);
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    const int next_hop = hops[static_cast<std::size_t>(u)] + 1;
+    if (next_hop > r) continue;
+    for (NodeId w : g.out_targets(u)) {
+      if (hops[static_cast<std::size_t>(w)] != -1) continue;
+      hops[static_cast<std::size_t>(w)] = next_hop;
+      frontier.push(w);
+    }
+  }
+  // Collect in ascending id order, exactly like the Digraph overload: the
+  // rank's denominator is a float sum, so summation order must match for
+  // the two paths to produce identical ranks.
+  for (std::size_t j = 0; j < hops.size(); ++j) {
+    if (static_cast<NodeId>(j) == v) continue;
+    if (hops[j] >= 0) out.push_back(static_cast<NodeId>(j));
+  }
+  return out;
 }
 
-double biased_rank(const graph::Digraph& graph, NodeId self, NodeId candidate,
-                   const std::vector<double>& direct_cost, int radius) {
-  const auto hood = graph::r_hop_neighborhood(graph, candidate, radius);
+double rank_over_neighborhood(const std::vector<NodeId>& hood, NodeId self,
+                              const std::vector<double>& direct_cost) {
   if (hood.empty()) return 0.0;
   double denom = 0.0;
   for (NodeId u : hood) {
@@ -33,12 +60,12 @@ double biased_rank(const graph::Digraph& graph, NodeId self, NodeId candidate,
   return static_cast<double>(hood.size()) / denom;
 }
 
-std::vector<NodeId> topology_biased_sample(const graph::Digraph& graph,
-                                           NodeId self,
-                                           const std::vector<double>& direct_cost,
-                                           const std::vector<NodeId>& candidates,
-                                           std::size_t m, util::Rng& rng,
-                                           const BiasedSamplingOptions& options) {
+template <typename Graph>
+std::vector<NodeId> biased_sample_impl(const Graph& graph, NodeId self,
+                                       const std::vector<double>& direct_cost,
+                                       const std::vector<NodeId>& candidates,
+                                       std::size_t m, util::Rng& rng,
+                                       const BiasedSamplingOptions& options) {
   if (options.radius < 0) throw std::invalid_argument("radius must be >= 0");
   if (options.oversample < 1.0) {
     throw std::invalid_argument("oversample must be >= 1");
@@ -67,6 +94,49 @@ std::vector<NodeId> topology_biased_sample(const graph::Digraph& graph,
   }
   std::sort(sample.begin(), sample.end());
   return sample;
+}
+
+}  // namespace
+
+std::vector<NodeId> random_sample(const std::vector<NodeId>& candidates,
+                                  std::size_t m, util::Rng& rng) {
+  const std::size_t take = std::min(m, candidates.size());
+  auto sample = rng.sample_without_replacement(
+      std::span<const NodeId>(candidates), take);
+  std::sort(sample.begin(), sample.end());
+  return sample;
+}
+
+double biased_rank(const graph::Digraph& graph, NodeId self, NodeId candidate,
+                   const std::vector<double>& direct_cost, int radius) {
+  return rank_over_neighborhood(
+      graph::r_hop_neighborhood(graph, candidate, radius), self, direct_cost);
+}
+
+double biased_rank(const graph::CsrGraph& graph, NodeId self, NodeId candidate,
+                   const std::vector<double>& direct_cost, int radius) {
+  return rank_over_neighborhood(
+      csr_r_hop_neighborhood(graph, candidate, radius), self, direct_cost);
+}
+
+std::vector<NodeId> topology_biased_sample(const graph::Digraph& graph,
+                                           NodeId self,
+                                           const std::vector<double>& direct_cost,
+                                           const std::vector<NodeId>& candidates,
+                                           std::size_t m, util::Rng& rng,
+                                           const BiasedSamplingOptions& options) {
+  return biased_sample_impl(graph, self, direct_cost, candidates, m, rng,
+                            options);
+}
+
+std::vector<NodeId> topology_biased_sample(const graph::CsrGraph& graph,
+                                           NodeId self,
+                                           const std::vector<double>& direct_cost,
+                                           const std::vector<NodeId>& candidates,
+                                           std::size_t m, util::Rng& rng,
+                                           const BiasedSamplingOptions& options) {
+  return biased_sample_impl(graph, self, direct_cost, candidates, m, rng,
+                            options);
 }
 
 }  // namespace egoist::core

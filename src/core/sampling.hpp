@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "graph/digraph.hpp"
+#include "graph/path_engine.hpp"
 #include "util/rng.hpp"
 
 namespace egoist::core {
@@ -44,9 +45,24 @@ std::vector<NodeId> topology_biased_sample(const graph::Digraph& graph,
                                            std::size_t m, util::Rng& rng,
                                            const BiasedSamplingOptions& options = {});
 
+/// CSR-snapshot variant of the topology-biased sampler: the r-hop BFS runs
+/// over the PathEngine's flat snapshot instead of the adjacency-list
+/// Digraph. Ranks (and therefore samples) are identical to the Digraph
+/// overload on a snapshot of the same graph.
+std::vector<NodeId> topology_biased_sample(const graph::CsrGraph& graph,
+                                           NodeId self,
+                                           const std::vector<double>& direct_cost,
+                                           const std::vector<NodeId>& candidates,
+                                           std::size_t m, util::Rng& rng,
+                                           const BiasedSamplingOptions& options = {});
+
 /// The ranking function b_ij (exposed for tests): higher is better.
 /// Returns 0 when F(v_j) is empty.
 double biased_rank(const graph::Digraph& graph, NodeId self, NodeId candidate,
+                   const std::vector<double>& direct_cost, int radius);
+
+/// CSR-snapshot variant of the ranking function.
+double biased_rank(const graph::CsrGraph& graph, NodeId self, NodeId candidate,
                    const std::vector<double>& direct_cost, int radius);
 
 }  // namespace egoist::core

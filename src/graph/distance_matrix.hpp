@@ -1,0 +1,76 @@
+// Flat row-major distance matrix.
+//
+// The residual objectives used to carry vector<vector<double>> all-pairs
+// results: n + 1 allocations per best-response evaluation and a pointer
+// chase per cell. DistanceMatrix is the replacement: one contiguous block,
+// row() views for per-source writers (the PathEngine's worker loop fills
+// disjoint rows in place), and cache-friendly (v, j) reads in the
+// link-value hot loop.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace egoist::graph {
+
+class DistanceMatrix {
+ public:
+  DistanceMatrix() = default;
+  DistanceMatrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), cells_(rows * cols, fill) {}
+
+  /// Converts a legacy nested all-pairs result. Throws std::invalid_argument
+  /// on ragged input.
+  static DistanceMatrix from_nested(const std::vector<std::vector<double>>& rows) {
+    DistanceMatrix m(rows.size(), rows.empty() ? 0 : rows.front().size());
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      if (rows[r].size() != m.cols_) {
+        throw std::invalid_argument("residual matrix not square");
+      }
+      std::copy(rows[r].begin(), rows[r].end(), m.row(r).begin());
+    }
+    return m;
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return cells_.empty(); }
+
+  /// Resizes without preserving contents; reuses capacity when possible.
+  void reset(std::size_t rows, std::size_t cols, double fill) {
+    rows_ = rows;
+    cols_ = cols;
+    cells_.assign(rows * cols, fill);
+  }
+
+  /// Resizes without the fill pass, for callers that overwrite every row
+  /// (reused cells keep stale values until written).
+  void reshape(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    cells_.resize(rows * cols);
+  }
+
+  double operator()(std::size_t r, std::size_t c) const {
+    return cells_[r * cols_ + c];
+  }
+  double& operator()(std::size_t r, std::size_t c) {
+    return cells_[r * cols_ + c];
+  }
+
+  std::span<double> row(std::size_t r) {
+    return {cells_.data() + r * cols_, cols_};
+  }
+  std::span<const double> row(std::size_t r) const {
+    return {cells_.data() + r * cols_, cols_};
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> cells_;
+};
+
+}  // namespace egoist::graph

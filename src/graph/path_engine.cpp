@@ -1,0 +1,572 @@
+#include "graph/path_engine.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <thread>
+#include <type_traits>
+
+#include "graph/shortest_path.hpp"
+
+namespace egoist::graph {
+
+void CsrGraph::rebuild(const Digraph& g) {
+  const std::size_t n = g.node_count();
+  active_.assign(n, 0);
+  for (std::size_t u = 0; u < n; ++u) {
+    if (g.is_active(static_cast<NodeId>(u))) active_[u] = 1;
+  }
+
+  // The max weight scans *every* stored edge, including those dropped for
+  // inactivity below: the default unreachable penalty is derived from it
+  // and must match the legacy Digraph scan, which never looks at activity.
+  max_weight_ = 0.0;
+  for (std::size_t u = 0; u < n; ++u) {
+    for (const Edge& e : g.out_edges(static_cast<NodeId>(u))) {
+      max_weight_ = std::max(max_weight_, e.weight);
+    }
+  }
+
+  offset_.assign(n + 1, 0);
+  target_.clear();
+  weight_.clear();
+  target_.reserve(g.edge_count());
+  weight_.reserve(g.edge_count());
+  for (std::size_t u = 0; u < n; ++u) {
+    offset_[u] = target_.size();
+    if (!active_[u]) continue;  // an inactive source never relaxes edges
+    for (const Edge& e : g.out_edges(static_cast<NodeId>(u))) {
+      if (e.weight < 0.0) {
+        throw std::invalid_argument("path engine requires non-negative weights");
+      }
+      if (!active_[static_cast<std::size_t>(e.to)]) continue;
+      target_.push_back(e.to);
+      weight_.push_back(e.weight);
+    }
+  }
+  offset_[n] = target_.size();
+
+  // Reverse CSR (counting sort by target): repair seeds scan the edges
+  // *entering* an affected subtree.
+  const std::size_t m = target_.size();
+  in_offset_.assign(n + 1, 0);
+  for (std::size_t e = 0; e < m; ++e) {
+    ++in_offset_[static_cast<std::size_t>(target_[e]) + 1];
+  }
+  for (std::size_t u = 0; u < n; ++u) in_offset_[u + 1] += in_offset_[u];
+  in_source_.resize(m);
+  in_weight_.resize(m);
+  build_cursor_.assign(in_offset_.begin(), in_offset_.end() - 1);
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t e = offset_[u]; e < offset_[u + 1]; ++e) {
+      const auto slot = build_cursor_[static_cast<std::size_t>(target_[e])]++;
+      in_source_[slot] = static_cast<NodeId>(u);
+      in_weight_[slot] = weight_[e];
+    }
+  }
+}
+
+std::vector<NodeId> CsrGraph::active_nodes() const {
+  std::vector<NodeId> out;
+  for (std::size_t u = 0; u < active_.size(); ++u) {
+    if (active_[u]) out.push_back(static_cast<NodeId>(u));
+  }
+  return out;
+}
+
+namespace {
+
+// 4-ary heap primitives over a flat vector. Wider nodes trade a deeper
+// sift for fewer cache lines touched per pop. `better` orders the heap top
+// (less-than for shortest paths, greater-than for widest).
+constexpr std::size_t kArity = 4;
+
+template <typename Item, typename Better>
+void sift_up(std::vector<Item>& h, std::size_t i, Better better) {
+  Item item = h[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / kArity;
+    if (!better(item.key, h[parent].key)) break;
+    h[i] = h[parent];
+    i = parent;
+  }
+  h[i] = item;
+}
+
+template <typename Item, typename Better>
+void sift_down(std::vector<Item>& h, std::size_t i, Better better) {
+  const std::size_t size = h.size();
+  Item item = h[i];
+  while (true) {
+    const std::size_t first = i * kArity + 1;
+    if (first >= size) break;
+    const std::size_t last = std::min(first + kArity, size);
+    std::size_t best = first;
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (better(h[c].key, h[best].key)) best = c;
+    }
+    if (!better(h[best].key, item.key)) break;
+    h[i] = h[best];
+    i = best;
+  }
+  h[i] = item;
+}
+
+template <bool kWidest>
+constexpr double init_value() {
+  return kWidest ? 0.0 : kUnreachable;
+}
+
+template <bool kWidest>
+constexpr double source_value() {
+  return kWidest ? std::numeric_limits<double>::infinity() : 0.0;
+}
+
+template <bool kWidest>
+double combine(double upstream, double weight) {
+  if constexpr (kWidest) {
+    return std::min(upstream, weight);
+  } else {
+    return upstream + weight;
+  }
+}
+
+constexpr auto make_better(std::bool_constant<true>) {
+  return [](double a, double b) { return a > b; };
+}
+constexpr auto make_better(std::bool_constant<false>) {
+  return [](double a, double b) { return a < b; };
+}
+
+}  // namespace
+
+void PathEngine::set_workers(int workers) {
+  if (workers < 0) throw std::invalid_argument("workers must be >= 0");
+  if (workers == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    workers = static_cast<int>(std::min(4u, std::max(1u, hw)));
+  }
+  workers_ = workers;
+}
+
+void PathEngine::rebuild(const Digraph& g) {
+  csr_.rebuild(g);
+  shortest_base_.valid = false;
+  widest_base_.valid = false;
+  affected_mark_.assign(csr_.node_count(), 0);
+  mark_epoch_ = 0;
+}
+
+void PathEngine::update_out_edges(NodeId u, const Digraph& g) {
+  const std::size_t n = csr_.node_count();
+  if (g.node_count() != n || (!shortest_base_.valid && !widest_base_.valid)) {
+    rebuild(g);
+    return;
+  }
+  csr_.check_node(u);
+  active_before_.resize(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    active_before_[v] = csr_.is_active(static_cast<NodeId>(v)) ? 1 : 0;
+  }
+  const bool had_shortest = shortest_base_.valid;
+  const bool had_widest = widest_base_.valid;
+  csr_.rebuild(g);
+  for (std::size_t v = 0; v < n; ++v) {
+    if ((csr_.is_active(static_cast<NodeId>(v)) ? 1 : 0) != active_before_[v]) {
+      // Membership changed: the one-row contract is void, start over.
+      shortest_base_.valid = false;
+      widest_base_.valid = false;
+      return;
+    }
+  }
+  if (had_shortest) {
+    for (std::size_t src = 0; src < n; ++src) {
+      update_tree<false>(shortest_base_, static_cast<NodeId>(src), u);
+    }
+  }
+  if (had_widest) {
+    for (std::size_t src = 0; src < n; ++src) {
+      update_tree<true>(widest_base_, static_cast<NodeId>(src), u);
+    }
+  }
+}
+
+PathEngine::Workspace& PathEngine::workspace(std::size_t i) {
+  if (workspaces_.size() <= i) workspaces_.resize(i + 1);
+  return workspaces_[i];
+}
+
+template <bool kWidest>
+void PathEngine::run(Workspace& ws, NodeId src, NodeId exclude,
+                     std::span<double> out, NodeId* parent_row) const {
+  const double init = init_value<kWidest>();
+  std::fill(out.begin(), out.end(), init);
+  if (parent_row != nullptr) {
+    std::fill(parent_row, parent_row + out.size(), NodeId{-1});
+  }
+  if (!csr_.is_active(src)) return;  // all_pairs leaves inactive rows unreached
+  out[static_cast<std::size_t>(src)] = source_value<kWidest>();
+
+  const auto better = make_better(std::bool_constant<kWidest>{});
+  auto& heap = ws.heap;
+  heap.clear();
+  heap.push_back({out[static_cast<std::size_t>(src)], src});
+  while (!heap.empty()) {
+    const HeapItem top = heap.front();
+    heap.front() = heap.back();
+    heap.pop_back();
+    if (!heap.empty()) sift_down(heap, 0, better);
+
+    const auto u = static_cast<std::size_t>(top.node);
+    if (better(out[u], top.key)) continue;  // stale entry
+    if (top.node == exclude) continue;      // residual view: G_{-exclude}
+
+    const auto targets = csr_.out_targets(top.node);
+    const auto weights = csr_.out_weights(top.node);
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+      const auto v = static_cast<std::size_t>(targets[i]);
+      const double candidate = combine<kWidest>(top.key, weights[i]);
+      if (better(candidate, out[v])) {
+        out[v] = candidate;
+        if (parent_row != nullptr) parent_row[v] = top.node;
+        heap.push_back({candidate, targets[i]});
+        sift_up(heap, heap.size() - 1, better);
+      }
+    }
+  }
+}
+
+template <bool kWidest>
+void PathEngine::ensure_base(BaseTrees& base) {
+  if (base.valid) return;
+  const std::size_t n = csr_.node_count();
+  base.dist.reshape(n, n);       // every row is fully written by run()
+  base.parent.resize(n * n);     // likewise
+  base.child_count.assign(n * n, 0);
+
+  // One SSSP tree per source; rows and parent slices are disjoint, so the
+  // sources can be fanned out over a small worker pool (read-only CSR).
+  const std::size_t pool = std::min<std::size_t>(
+      static_cast<std::size_t>(std::max(workers_, 1)),
+      std::max<std::size_t>(n, 1));
+  for (std::size_t w = 0; w < pool; ++w) workspace(w);  // allocate up front
+  auto build_range = [&](std::size_t worker, std::size_t begin,
+                         std::size_t end) {
+    for (std::size_t src = begin; src < end; ++src) {
+      NodeId* parent_row = base.parent.data() + src * n;
+      run<kWidest>(workspaces_[worker], static_cast<NodeId>(src), kNoExclude,
+                   base.dist.row(src), parent_row);
+      std::int32_t* counts = base.child_count.data() + src * n;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (parent_row[j] >= 0) ++counts[static_cast<std::size_t>(parent_row[j])];
+      }
+    }
+  };
+  if (pool <= 1 || n == 0) {
+    build_range(0, 0, n);
+  } else {
+    const std::size_t chunk = (n + pool - 1) / pool;
+    std::vector<std::thread> threads;
+    threads.reserve(pool - 1);
+    for (std::size_t w = 1; w < pool; ++w) {
+      const std::size_t begin = w * chunk;
+      const std::size_t end = std::min(begin + chunk, n);
+      if (begin >= end) break;
+      threads.emplace_back(build_range, w, begin, end);
+    }
+    build_range(0, 0, std::min(chunk, n));
+    for (auto& t : threads) t.join();
+  }
+  base.valid = true;
+}
+
+std::size_t PathEngine::collect_descendants(const NodeId* parent_row,
+                                            const std::int32_t* child_count_row,
+                                            NodeId u, std::uint64_t mark) {
+  const std::size_t n = csr_.node_count();
+  desc_buf_.clear();
+  // Leaf (or unreached) in this tree: nothing below it, skip the scans.
+  if (child_count_row[static_cast<std::size_t>(u)] == 0) return 0;
+  // Level scans: each sweep admits nodes whose tree parent is u or already
+  // collected. Overlay SP trees are shallow (log-ish depth), so a handful
+  // of O(n) integer scans beats building explicit child lists.
+  constexpr int kMaxScans = 16;
+  for (int scan = 0; scan < kMaxScans; ++scan) {
+    const std::size_t before = desc_buf_.size();
+    for (std::size_t j = 0; j < n; ++j) {
+      if (affected_mark_[j] == mark) continue;
+      const NodeId p = parent_row[j];
+      if (p < 0) continue;
+      if (p == u || affected_mark_[static_cast<std::size_t>(p)] == mark) {
+        affected_mark_[j] = mark;
+        desc_buf_.push_back(static_cast<NodeId>(j));
+      }
+    }
+    if (desc_buf_.size() == before) return desc_buf_.size();
+  }
+
+  // Deep subtree: finish with explicit child lists + DFS (same mark, so
+  // already-collected nodes are kept and not revisited).
+  child_offset_.assign(n + 1, 0);
+  for (std::size_t j = 0; j < n; ++j) {
+    if (parent_row[j] >= 0) {
+      ++child_offset_[static_cast<std::size_t>(parent_row[j]) + 1];
+    }
+  }
+  for (std::size_t v = 0; v < n; ++v) child_offset_[v + 1] += child_offset_[v];
+  child_cursor_.assign(child_offset_.begin(), child_offset_.end() - 1);
+  child_.resize(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    if (parent_row[j] >= 0) {
+      child_[child_cursor_[static_cast<std::size_t>(parent_row[j])]++] =
+          static_cast<NodeId>(j);
+    }
+  }
+  desc_stack_.clear();
+  desc_stack_.push_back(u);
+  for (NodeId d : desc_buf_) desc_stack_.push_back(d);
+  while (!desc_stack_.empty()) {
+    const auto x = static_cast<std::size_t>(desc_stack_.back());
+    desc_stack_.pop_back();
+    for (std::size_t c = child_offset_[x]; c < child_offset_[x + 1]; ++c) {
+      const NodeId ch = child_[c];
+      if (affected_mark_[static_cast<std::size_t>(ch)] == mark) continue;
+      affected_mark_[static_cast<std::size_t>(ch)] = mark;
+      desc_buf_.push_back(ch);
+      desc_stack_.push_back(ch);
+    }
+  }
+  return desc_buf_.size();
+}
+
+template <bool kWidest>
+void PathEngine::repair_row(const BaseTrees& base, NodeId src, NodeId exclude,
+                            std::span<double> out) {
+  const std::size_t s = static_cast<std::size_t>(src);
+  const double init = init_value<kWidest>();
+
+  if (!csr_.is_active(src)) {
+    std::fill(out.begin(), out.end(), init);
+    return;
+  }
+  if (src == exclude) {
+    // G_{-src} from src: no out-edges, only the source entry is set.
+    std::fill(out.begin(), out.end(), init);
+    out[s] = source_value<kWidest>();
+    return;
+  }
+  const auto row = base.dist.row(s);
+  std::copy(row.begin(), row.end(), out.begin());
+  if (exclude == kNoExclude || !csr_.is_active(exclude)) return;
+
+  // Proper descendants of `exclude` in tree(src): the only destinations
+  // whose tree path uses one of exclude's out-edges. Everything else keeps
+  // its base distance (its tree path survives in G_{-exclude}, and a
+  // subset-minimum cannot drop below the full-graph minimum it attains).
+  const std::size_t n = csr_.node_count();
+  const NodeId* parent_row = base.parent.data() + s * n;
+  const std::int32_t* count_row = base.child_count.data() + s * n;
+  const std::uint64_t mark = ++mark_epoch_;
+  if (collect_descendants(parent_row, count_row, exclude, mark) == 0) return;
+
+  const auto better = make_better(std::bool_constant<kWidest>{});
+  auto& heap = workspace(0).heap;
+  heap.clear();
+  for (const NodeId a : desc_buf_) out[static_cast<std::size_t>(a)] = init;
+  // Seed each affected node from edges entering the set (never from
+  // `exclude` itself), then run Dijkstra restricted to the set: values
+  // outside it are final, because removing edges cannot improve them.
+  for (const NodeId a : desc_buf_) {
+    const auto sources = csr_.in_sources(a);
+    const auto weights = csr_.in_weights(a);
+    double best = init;
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+      const auto w = static_cast<std::size_t>(sources[i]);
+      if (sources[i] == exclude || affected_mark_[w] == mark) continue;
+      const double dw = out[w];
+      if (dw == init) continue;
+      const double candidate = combine<kWidest>(dw, weights[i]);
+      if (better(candidate, best)) best = candidate;
+    }
+    if (best != init) {
+      out[static_cast<std::size_t>(a)] = best;
+      heap.push_back({best, a});
+      sift_up(heap, heap.size() - 1, better);
+    }
+  }
+  while (!heap.empty()) {
+    const HeapItem top = heap.front();
+    heap.front() = heap.back();
+    heap.pop_back();
+    if (!heap.empty()) sift_down(heap, 0, better);
+    const auto u = static_cast<std::size_t>(top.node);
+    if (better(out[u], top.key)) continue;  // stale
+    const auto targets = csr_.out_targets(top.node);
+    const auto weights = csr_.out_weights(top.node);
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+      const auto v = static_cast<std::size_t>(targets[i]);
+      if (affected_mark_[v] != mark) continue;  // outside values are final
+      const double candidate = combine<kWidest>(top.key, weights[i]);
+      if (better(candidate, out[v])) {
+        out[v] = candidate;
+        heap.push_back({candidate, targets[i]});
+        sift_up(heap, heap.size() - 1, better);
+      }
+    }
+  }
+}
+
+template <bool kWidest>
+void PathEngine::update_tree(BaseTrees& base, NodeId src, NodeId u) {
+  if (!csr_.is_active(src)) return;  // row stays all-unreached
+  const std::size_t n = csr_.node_count();
+  const std::size_t s = static_cast<std::size_t>(src);
+  const auto out = base.dist.row(s);
+  NodeId* parent_row = base.parent.data() + s * n;
+  std::int32_t* count_row = base.child_count.data() + s * n;
+  if (src == u) {
+    // Every distance from u runs over u's own (replaced) out-edges.
+    run<kWidest>(workspace(0), src, kNoExclude, out, parent_row);
+    std::fill(count_row, count_row + n, 0);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (parent_row[j] >= 0) ++count_row[static_cast<std::size_t>(parent_row[j])];
+    }
+    return;
+  }
+  const double init = init_value<kWidest>();
+  const auto better = make_better(std::bool_constant<kWidest>{});
+  const std::uint64_t mark = ++mark_epoch_;
+  collect_descendants(parent_row, count_row, u, mark);
+
+  // Child counts track every parent change below.
+  auto set_parent = [&](std::size_t t, NodeId p) {
+    const NodeId old = parent_row[t];
+    if (old == p) return;
+    if (old >= 0) --count_row[static_cast<std::size_t>(old)];
+    if (p >= 0) ++count_row[static_cast<std::size_t>(p)];
+    parent_row[t] = p;
+  };
+
+  auto& heap = workspace(0).heap;
+  heap.clear();
+  for (const NodeId a : desc_buf_) {
+    out[static_cast<std::size_t>(a)] = init;
+    set_parent(static_cast<std::size_t>(a), -1);
+  }
+  // Reseed the invalidated descendants from edges entering the set —
+  // including edges out of u, at their *new* weights.
+  for (const NodeId a : desc_buf_) {
+    const auto sources = csr_.in_sources(a);
+    const auto weights = csr_.in_weights(a);
+    double best = init;
+    NodeId best_parent = -1;
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+      const auto w = static_cast<std::size_t>(sources[i]);
+      if (affected_mark_[w] == mark) continue;
+      const double dw = out[w];
+      if (dw == init) continue;
+      const double candidate = combine<kWidest>(dw, weights[i]);
+      if (better(candidate, best)) {
+        best = candidate;
+        best_parent = sources[i];
+      }
+    }
+    if (best != init) {
+      out[static_cast<std::size_t>(a)] = best;
+      set_parent(static_cast<std::size_t>(a), best_parent);
+      heap.push_back({best, a});
+      sift_up(heap, heap.size() - 1, better);
+    }
+  }
+  // The new row may also *improve* nodes outside the invalidated set;
+  // seed those improvements from u directly...
+  const double du = out[static_cast<std::size_t>(u)];
+  if (du != init) {
+    const auto targets = csr_.out_targets(u);
+    const auto weights = csr_.out_weights(u);
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+      const auto t = static_cast<std::size_t>(targets[i]);
+      if (affected_mark_[t] == mark) continue;  // seeded above
+      const double candidate = combine<kWidest>(du, weights[i]);
+      if (better(candidate, out[t])) {
+        out[t] = candidate;
+        set_parent(t, u);
+        heap.push_back({candidate, targets[i]});
+        sift_up(heap, heap.size() - 1, better);
+      }
+    }
+  }
+  // ...and let the relaxation escape the set: unlike the query-side
+  // repair, an update can lower (shortest) / raise (widest) values
+  // anywhere downstream of the change.
+  while (!heap.empty()) {
+    const HeapItem top = heap.front();
+    heap.front() = heap.back();
+    heap.pop_back();
+    if (!heap.empty()) sift_down(heap, 0, better);
+    const auto x = static_cast<std::size_t>(top.node);
+    if (better(out[x], top.key)) continue;  // stale
+    const auto targets = csr_.out_targets(top.node);
+    const auto weights = csr_.out_weights(top.node);
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+      const auto t = static_cast<std::size_t>(targets[i]);
+      const double candidate = combine<kWidest>(top.key, weights[i]);
+      if (better(candidate, out[t])) {
+        out[t] = candidate;
+        set_parent(t, top.node);
+        heap.push_back({candidate, targets[i]});
+        sift_up(heap, heap.size() - 1, better);
+      }
+    }
+  }
+}
+
+void PathEngine::shortest_from(NodeId src, NodeId exclude,
+                               std::span<double> dist_out) {
+  csr_.check_node(src);
+  if (exclude != kNoExclude) csr_.check_node(exclude);
+  if (dist_out.size() != csr_.node_count()) {
+    throw std::invalid_argument("output row size mismatch");
+  }
+  if (shortest_base_.valid) {
+    repair_row<false>(shortest_base_, src, exclude, dist_out);
+  } else {
+    run<false>(workspace(0), src, exclude, dist_out, nullptr);
+  }
+}
+
+void PathEngine::widest_from(NodeId src, NodeId exclude,
+                             std::span<double> bottleneck_out) {
+  csr_.check_node(src);
+  if (exclude != kNoExclude) csr_.check_node(exclude);
+  if (bottleneck_out.size() != csr_.node_count()) {
+    throw std::invalid_argument("output row size mismatch");
+  }
+  if (widest_base_.valid) {
+    repair_row<true>(widest_base_, src, exclude, bottleneck_out);
+  } else {
+    run<true>(workspace(0), src, exclude, bottleneck_out, nullptr);
+  }
+}
+
+template <bool kWidest>
+void PathEngine::all_rows(NodeId exclude, DistanceMatrix& out) {
+  if (exclude != kNoExclude) csr_.check_node(exclude);
+  const std::size_t n = csr_.node_count();
+  BaseTrees& base = kWidest ? widest_base_ : shortest_base_;
+  ensure_base<kWidest>(base);
+  out.reshape(n, n);
+  for (std::size_t src = 0; src < n; ++src) {
+    repair_row<kWidest>(base, static_cast<NodeId>(src), exclude, out.row(src));
+  }
+}
+
+void PathEngine::all_shortest(NodeId exclude, DistanceMatrix& out) {
+  all_rows<false>(exclude, out);
+}
+
+void PathEngine::all_widest(NodeId exclude, DistanceMatrix& out) {
+  all_rows<true>(exclude, out);
+}
+
+}  // namespace egoist::graph

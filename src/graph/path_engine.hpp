@@ -1,0 +1,273 @@
+// Epoch-shared residual shortest/widest paths over a CSR snapshot.
+//
+// Best-response evaluation needs, for every node i, the all-pairs distances
+// of the residual graph G_{-i} (the announced overlay minus i's out-edges).
+// The legacy path (core::residual_of + graph::all_pairs_shortest_paths)
+// materializes a fresh Digraph and runs n full Dijkstras per node —
+// O(n^2 m log n) work per epoch plus hundreds of allocations per node,
+// which is what pinned the figure benches at n = 50.
+//
+// PathEngine replaces that with three layers:
+//
+// - CsrGraph: a flat compressed-sparse-row snapshot (forward + reverse
+//   offset / endpoint / weight arrays + an active bitmap) rebuilt in place
+//   from a Digraph. Edge-weight validation and inactive-endpoint filtering
+//   happen once at build time instead of inside every relaxation.
+// - Residual *views*: every traversal takes an `exclude_out_edges_of`
+//   source whose edge range is skipped, so G_{-i} costs O(1) instead of an
+//   O(n + m) graph copy. Paths *through* the excluded node are unaffected
+//   (its in-edges remain), matching core::residual_of semantics exactly.
+// - Shared base trees: the first all-pairs query against a snapshot
+//   computes one SSSP tree per source (dist row + parent links), shared by
+//   every later query on the snapshot. A query excluding node i differs
+//   from a base row only at the *proper descendants of i in that source's
+//   tree*: every other destination's tree path avoids i's out-edges, so
+//   its base distance is provably the residual distance, bit for bit. The
+//   descendants are repaired by a small Dijkstra seeded from the edges
+//   entering the affected set.
+//
+// The epoch loop is sequential best response: after a node re-announces,
+// only that node's out-edge row changes. update_out_edges() re-snapshots
+// the row and patches every base tree in place — invalidate the old
+// descendants, reseed them, and propagate any improvements the new row
+// creates — so the trees survive the whole epoch instead of being rebuilt
+// n times. Per epoch this turns n * n full Dijkstras into n (one base
+// build) plus output-bounded repairs.
+//
+// Bit-exactness: a distance is the minimum over paths of the left-to-right
+// IEEE sum of edge weights (min of exact weights for widest); that
+// min-fold does not depend on heap arity, visitation order, or which
+// algorithm enumerates the paths, and every kept row value is squeezed
+// between the full-graph minimum and a surviving path that attains it.
+// The equivalence suite in tests/graph/path_engine_test.cpp enforces all
+// of this against the legacy implementation, which stays as the reference.
+//
+// Steady-state queries allocate nothing: the workspace (4-ary heap, stamp
+// marks, scratch lists) and the base-tree arenas are reused across
+// rebuild() calls.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "graph/distance_matrix.hpp"
+
+namespace egoist::graph {
+
+/// Passed as `exclude_out_edges_of` when no source is excluded.
+inline constexpr NodeId kNoExclude = -1;
+
+/// Immutable flat snapshot of a Digraph at a point in time. Activity flags
+/// are baked in: out-edges of inactive sources and edges to inactive
+/// targets are dropped at build time (algorithms on the live Digraph skip
+/// them per relaxation; on a snapshot the filtering can be hoisted).
+class CsrGraph {
+ public:
+  CsrGraph() = default;
+  explicit CsrGraph(const Digraph& g) { rebuild(g); }
+
+  /// Rebuilds the snapshot in place, reusing the flat buffers. Validates
+  /// every stored weight (throws std::invalid_argument on a negative one),
+  /// hoisting the per-relaxation check out of the traversal loops.
+  void rebuild(const Digraph& g);
+
+  std::size_t node_count() const { return active_.size(); }
+  /// Stored (active-to-active) edges only.
+  std::size_t edge_count() const { return target_.size(); }
+
+  bool is_active(NodeId u) const {
+    return active_[static_cast<std::size_t>(u)] != 0;
+  }
+
+  /// Targets / weights of u's out-edges (parallel spans).
+  std::span<const NodeId> out_targets(NodeId u) const {
+    const auto i = static_cast<std::size_t>(u);
+    return {target_.data() + offset_[i], offset_[i + 1] - offset_[i]};
+  }
+  std::span<const double> out_weights(NodeId u) const {
+    const auto i = static_cast<std::size_t>(u);
+    return {weight_.data() + offset_[i], offset_[i + 1] - offset_[i]};
+  }
+
+  /// Sources / weights of u's in-edges (reverse CSR, parallel spans).
+  std::span<const NodeId> in_sources(NodeId u) const {
+    const auto i = static_cast<std::size_t>(u);
+    return {in_source_.data() + in_offset_[i], in_offset_[i + 1] - in_offset_[i]};
+  }
+  std::span<const double> in_weights(NodeId u) const {
+    const auto i = static_cast<std::size_t>(u);
+    return {in_weight_.data() + in_offset_[i], in_offset_[i + 1] - in_offset_[i]};
+  }
+
+  /// Largest edge weight of the snapshotted Digraph (0 for an edgeless
+  /// graph). Unlike the adjacency arrays this includes edges dropped for
+  /// inactivity: core::default_unreachable_penalty derives from it and
+  /// must agree with the legacy Digraph scan, which ignores activity.
+  double max_weight() const { return max_weight_; }
+
+  /// Active node ids, ascending.
+  std::vector<NodeId> active_nodes() const;
+
+  void check_node(NodeId u) const {
+    if (u < 0 || static_cast<std::size_t>(u) >= active_.size()) {
+      throw std::out_of_range("node id out of range");
+    }
+  }
+
+ private:
+  std::vector<std::size_t> offset_;     ///< size n + 1
+  std::vector<NodeId> target_;
+  std::vector<double> weight_;
+  std::vector<std::size_t> in_offset_;  ///< size n + 1 (reverse CSR)
+  std::vector<NodeId> in_source_;
+  std::vector<double> in_weight_;
+  std::vector<std::uint8_t> active_;    ///< bitmap, avoids vector<bool> reads
+  std::vector<std::size_t> build_cursor_;  ///< rebuild() scratch
+  double max_weight_ = 0.0;
+};
+
+/// Reusable residual-path solver over a CsrGraph snapshot. Not thread-safe
+/// across calls; the internal base-build worker fan-out is.
+class PathEngine {
+ public:
+  PathEngine() = default;
+  /// workers: parallelism for the per-source base-tree build (the one
+  /// O(n * SSSP) pass per snapshot). 1 = serial, 0 = auto (min(4,
+  /// hardware_concurrency)). Results are identical at any setting; the
+  /// sources are partitioned into contiguous chunks of disjoint rows.
+  explicit PathEngine(const Digraph& g, int workers = 1) : PathEngine() {
+    set_workers(workers);
+    rebuild(g);
+  }
+
+  void set_workers(int workers);
+  int workers() const { return workers_; }
+
+  /// Takes a fresh snapshot of `g`, reusing all internal buffers, and
+  /// invalidates the shared base trees (rebuilt lazily on the next
+  /// all-pairs query).
+  void rebuild(const Digraph& g);
+
+  /// Re-snapshots `g` after a change confined to `u`'s out-edges (the
+  /// sequential-epoch mutation: one node re-announced its links) and
+  /// patches the base trees in place instead of invalidating them.
+  /// If activity flags changed — or anything beyond u's row differs — the
+  /// incremental contract is void; activity changes are detected and fall
+  /// back to a full invalidation, other rows are the caller's contract.
+  void update_out_edges(NodeId u, const Digraph& g);
+
+  const CsrGraph& csr() const { return csr_; }
+  std::size_t node_count() const { return csr_.node_count(); }
+
+  /// Shortest-path distances from src with exclude's out-edge range
+  /// skipped (kNoExclude = none). Writes the full row: kUnreachable for
+  /// unreached nodes, and the whole row when src is inactive (mirroring
+  /// all_pairs_shortest_paths, which leaves inactive rows unreachable).
+  /// Served from the shared base trees when a prior all-pairs query built
+  /// them; runs a direct SSSP otherwise. dist_out.size() must be
+  /// node_count().
+  void shortest_from(NodeId src, NodeId exclude_out_edges_of,
+                     std::span<double> dist_out);
+
+  /// Widest-path (max-min) bottlenecks from src; 0 for unreached nodes,
+  /// +infinity at an active source's own entry.
+  void widest_from(NodeId src, NodeId exclude_out_edges_of,
+                   std::span<double> bottleneck_out);
+
+  /// All-pairs into a flat matrix: out(v, j) = d_{G - exclude}(v, j).
+  /// Builds the shared base trees on first use per snapshot, then serves
+  /// every source row by descendant repair.
+  void all_shortest(NodeId exclude_out_edges_of, DistanceMatrix& out);
+  void all_widest(NodeId exclude_out_edges_of, DistanceMatrix& out);
+
+  DistanceMatrix all_shortest(NodeId exclude_out_edges_of) {
+    DistanceMatrix out;
+    all_shortest(exclude_out_edges_of, out);
+    return out;
+  }
+  DistanceMatrix all_widest(NodeId exclude_out_edges_of) {
+    DistanceMatrix out;
+    all_widest(exclude_out_edges_of, out);
+    return out;
+  }
+
+ private:
+  struct HeapItem {
+    double key;
+    NodeId node;
+  };
+  /// Per-worker scratch: a preallocated 4-ary heap. Query rows are written
+  /// directly into the caller's output span, so a run allocates nothing
+  /// once the buffers have grown to the graph's working size.
+  struct Workspace {
+    std::vector<HeapItem> heap;
+  };
+
+  /// Shared per-snapshot base trees for one semiring (shortest or widest):
+  /// one dist row and parent array per source. The proper descendants of u
+  /// in tree v — found by level scans over the parent array — are the only
+  /// destinations whose base distance can change when u's out-edges are
+  /// excluded (queries) or replaced (updates).
+  struct BaseTrees {
+    bool valid = false;
+    DistanceMatrix dist;
+    std::vector<NodeId> parent;  ///< n * n; -1 at sources and unreached
+    /// Children per node per tree, kept in lockstep with `parent`: a node
+    /// with no children in a tree has no descendants there, which lets
+    /// both repair and update skip that tree without scanning it.
+    std::vector<std::int32_t> child_count;  ///< n * n
+  };
+
+  template <bool kWidest>
+  void run(Workspace& ws, NodeId src, NodeId exclude, std::span<double> out,
+           NodeId* parent_row) const;
+
+  template <bool kWidest>
+  void ensure_base(BaseTrees& base);
+
+  /// Collects the proper descendants of u in the tree given by
+  /// `parent_row` into desc_buf_, marking each with `mark` in
+  /// affected_mark_. `child_count_row` short-circuits leaf nodes.
+  /// Returns the number collected.
+  std::size_t collect_descendants(const NodeId* parent_row,
+                                  const std::int32_t* child_count_row,
+                                  NodeId u, std::uint64_t mark);
+
+  /// Copies tree src's base row into `out`, then recomputes the proper
+  /// descendants of `exclude` in that tree by a Dijkstra seeded from the
+  /// edges entering the affected set (relaxation stays inside the set:
+  /// removing out-edges cannot improve any distance).
+  template <bool kWidest>
+  void repair_row(const BaseTrees& base, NodeId src, NodeId exclude,
+                  std::span<double> out);
+
+  /// Patches tree src in place after u's out-edge row changed: invalidate
+  /// u's old descendants, reseed them from the new snapshot, and let the
+  /// relaxation escape the set to propagate improvements the new row
+  /// enables.
+  template <bool kWidest>
+  void update_tree(BaseTrees& base, NodeId src, NodeId u);
+
+  template <bool kWidest>
+  void all_rows(NodeId exclude, DistanceMatrix& out);
+
+  Workspace& workspace(std::size_t i);
+
+  CsrGraph csr_;
+  int workers_ = 1;
+  std::vector<Workspace> workspaces_;
+  BaseTrees shortest_base_;
+  BaseTrees widest_base_;
+  std::vector<std::uint64_t> affected_mark_;  ///< epoch-stamped membership
+  std::uint64_t mark_epoch_ = 0;
+  std::vector<NodeId> desc_buf_;              ///< scratch descendant list
+  std::vector<std::size_t> child_offset_;     ///< scratch (deep-subtree DFS)
+  std::vector<std::size_t> child_cursor_;
+  std::vector<NodeId> child_;
+  std::vector<NodeId> desc_stack_;
+  std::vector<std::uint8_t> active_before_;   ///< update_out_edges guard
+};
+
+}  // namespace egoist::graph

@@ -39,6 +39,12 @@ enum class RewireMode {
   kImmediate,  ///< re-evaluate as soon as the loss is detected
 };
 
+/// How BR/HybridBR compute residual all-pairs distances.
+enum class PathBackend {
+  kCsrEngine,  ///< graph::PathEngine: CSR snapshot + reusable workspace
+  kLegacy,     ///< residual Digraph copy + graph::all_pairs_* (reference)
+};
+
 const char* to_string(Policy policy);
 const char* to_string(Metric metric);
 
@@ -82,6 +88,17 @@ struct OverlayConfig {
 
   /// Best-response search tuning.
   core::BestResponseOptions search;
+
+  /// Residual path computation backend. kCsrEngine is the allocation-free
+  /// hot path; kLegacy is the reference implementation it is validated
+  /// against (bit-identical distances, so identical wiring trajectories).
+  PathBackend path_backend = PathBackend::kCsrEngine;
+
+  /// Worker threads for the engine's per-source SSSP loop (read-only CSR,
+  /// disjoint output rows — results are identical at any setting).
+  /// 1 = serial, 0 = auto (min(4, hardware threads)). Only the CSR engine
+  /// backend parallelizes.
+  int path_workers = 1;
 
   /// Routing-preference skew (footnote 8): each node weights destinations
   /// by a Zipf law with this exponent over a node-specific random ranking

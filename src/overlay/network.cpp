@@ -53,10 +53,12 @@ EgoistNetwork::EgoistNetwork(Environment& env, OverlayConfig config)
       online_(env.size(), true),
       wiring_(env.size()),
       donated_(env.size()),
-      announced_(env.size()) {
+      announced_(env.size()),
+      audited_(0) {
   if (config_.k == 0 || config_.k >= env.size()) {
     throw std::invalid_argument("need 0 < k < n");
   }
+  engine_.set_workers(config_.path_workers);  // throws on negative
   if (config_.policy == Policy::kHybridBR) {
     if (config_.donated_links % 2 != 0 || config_.donated_links == 0 ||
         config_.donated_links >= config_.k) {
@@ -236,7 +238,7 @@ std::vector<double> EgoistNetwork::preference_of(int node) const {
   return pref;
 }
 
-graph::Digraph EgoistNetwork::decision_graph() const {
+const graph::Digraph& EgoistNetwork::decision_graph() {
   const bool delay_metric = config_.metric == Metric::kDelayPing ||
                             config_.metric == Metric::kDelayCoords;
   if (!config_.enable_audits || !delay_metric) return announced_;
@@ -251,7 +253,15 @@ graph::Digraph EgoistNetwork::decision_graph() const {
       audited.set_edge(uid, e.to, suspicious ? estimate : e.weight);
     }
   }
-  return audited;
+  audited_ = std::move(audited);
+  return audited_;
+}
+
+double EgoistNetwork::unreachable_penalty(const graph::Digraph& decision) const {
+  // Rescanning every announced edge once per node per epoch is pure waste;
+  // run_epoch caches the scan's result for the epoch.
+  return epoch_penalty_ ? *epoch_penalty_
+                        : core::default_unreachable_penalty(decision);
 }
 
 void EgoistNetwork::apply_wiring(int node, std::vector<NodeId> wiring,
@@ -263,6 +273,9 @@ void EgoistNetwork::apply_wiring(int node, std::vector<NodeId> wiring,
                         announced_cost(node, direct[static_cast<std::size_t>(v)]));
   }
   wiring_[static_cast<std::size_t>(node)] = std::move(wiring);
+  // Keep the epoch-shared engine snapshot in lockstep: only this node's
+  // out-edge row changed, so its base trees are patched, not rebuilt.
+  if (engine_synced_) engine_.update_out_edges(node, announced_);
 }
 
 std::vector<NodeId> EgoistNetwork::backbone_links(int node) const {
@@ -398,30 +411,53 @@ std::vector<NodeId> EgoistNetwork::choose_wiring(int node,
     case Policy::kBestResponse:
     case Policy::kHybridBR: {
       core::BestResponseOptions options = config_.search;
+      options.scratch = &br_scratch_;
       std::size_t free_k = k;
       if (config_.policy == Policy::kHybridBR) {
         options.fixed_links = donated_[static_cast<std::size_t>(node)];
         free_k = k > options.fixed_links.size() ? k - options.fixed_links.size() : 0;
       }
-      const auto decision = decision_graph();
-      if (config_.metric == Metric::kBandwidth) {
-        const auto objective =
-            core::make_bandwidth_objective(decision, node, direct);
-        auto br = core::best_response(objective, free_k, options);
-        // Adoption decision happens in evaluate_node; here return combined.
-        auto combined = options.fixed_links;
-        combined.insert(combined.end(), br.wiring.begin(), br.wiring.end());
-        return combined;
-      }
-      const auto objective =
-          core::make_delay_objective(decision, node, direct, preference_of(node));
-      auto br = core::best_response(objective, free_k, options);
+      // Adoption decision happens in evaluate_node; here return combined.
+      auto br = run_best_response(node, direct, free_k, options,
+                                  /*current_for_cost=*/nullptr,
+                                  /*current_cost=*/nullptr);
       auto combined = options.fixed_links;
       combined.insert(combined.end(), br.wiring.begin(), br.wiring.end());
       return combined;
     }
   }
   return {};
+}
+
+core::BestResponseResult EgoistNetwork::run_best_response(
+    int node, const std::vector<double>& direct, std::size_t free_k,
+    const core::BestResponseOptions& options,
+    const std::vector<NodeId>* current_for_cost, double* current_cost) {
+  auto search = [&](const core::WiringObjective& objective) {
+    if (current_for_cost != nullptr && current_cost != nullptr) {
+      *current_cost = objective.cost(*current_for_cost);
+    }
+    return core::best_response(objective, free_k, options);
+  };
+  const graph::Digraph& decision = decision_graph();
+  const bool use_engine = config_.path_backend == PathBackend::kCsrEngine;
+  // Inside a synchronized epoch the engine already mirrors the decision
+  // graph (snapshotted at the boundary, patched after each re-announce);
+  // otherwise it re-snapshots per call, reusing its buffers.
+  if (use_engine && !engine_synced_) engine_.rebuild(decision);
+  if (config_.metric == Metric::kBandwidth) {
+    return search(use_engine
+                      ? core::make_bandwidth_objective(engine_, node, direct,
+                                                       &residual_scratch_)
+                      : core::make_bandwidth_objective(decision, node, direct));
+  }
+  const double penalty = unreachable_penalty(decision);
+  return search(use_engine
+                    ? core::make_delay_objective(engine_, node, direct,
+                                                 preference_of(node), penalty,
+                                                 &residual_scratch_)
+                    : core::make_delay_objective(decision, node, direct,
+                                                 preference_of(node), penalty));
 }
 
 void EgoistNetwork::join(int node) {
@@ -453,6 +489,7 @@ bool EgoistNetwork::evaluate_node(int node) {
   // BR(eps) adoption rule (§4.3) against the current wiring's cost under
   // the same fresh measurements.
   core::BestResponseOptions options = config_.search;
+  options.scratch = &br_scratch_;
   options.seed_wiring = current;  // sticky search: move only on improvement
   options.exact_budget = 0;       // exhaustive search is not seedable
   std::size_t free_k = std::min(config_.k, online_count() - 1);
@@ -463,18 +500,8 @@ bool EgoistNetwork::evaluate_node(int node) {
                  : 0;
   }
   double current_cost = 0.0;
-  core::BestResponseResult br;
-  const auto decision = decision_graph();
-  if (config_.metric == Metric::kBandwidth) {
-    const auto objective = core::make_bandwidth_objective(decision, node, direct);
-    current_cost = objective.cost(current);
-    br = core::best_response(objective, free_k, options);
-  } else {
-    const auto objective =
-        core::make_delay_objective(decision, node, direct, preference_of(node));
-    current_cost = objective.cost(current);
-    br = core::best_response(objective, free_k, options);
-  }
+  core::BestResponseResult br =
+      run_best_response(node, direct, free_k, options, &current, &current_cost);
   std::vector<NodeId> proposed = options.fixed_links;
   proposed.insert(proposed.end(), br.wiring.begin(), br.wiring.end());
 
@@ -501,6 +528,25 @@ bool EgoistNetwork::run_node(int node) {
 
 int EgoistNetwork::run_epoch() {
   ++epochs_;
+  // Cache the unreachable-fold penalty for this epoch (bandwidth's fold
+  // has none): one edge scan instead of one per node.
+  if (config_.metric != Metric::kBandwidth) {
+    epoch_penalty_ = core::default_unreachable_penalty(decision_graph());
+  }
+  // Epoch-shared engine snapshot: taken once here, then patched after each
+  // node re-announces (see evaluate_node), so the shared base trees carry
+  // across the sequential epoch instead of being rebuilt n times. Audit
+  // mode rebuilds the audited decision graph per node, so it re-snapshots
+  // per evaluation instead.
+  const bool is_br = config_.policy == Policy::kBestResponse ||
+                     config_.policy == Policy::kHybridBR;
+  const bool audited = config_.enable_audits &&
+                       (config_.metric == Metric::kDelayPing ||
+                        config_.metric == Metric::kDelayCoords);
+  if (is_br && !audited && config_.path_backend == PathBackend::kCsrEngine) {
+    engine_.rebuild(announced_);
+    engine_synced_ = true;
+  }
   auto order = online_nodes();
   rng_.shuffle(order);
   int rewired = 0;
@@ -508,6 +554,8 @@ int EgoistNetwork::run_epoch() {
     if (!online_[static_cast<std::size_t>(v)]) continue;
     if (evaluate_node(v)) ++rewired;
   }
+  engine_synced_ = false;
+  epoch_penalty_.reset();
   // k-Random / k-Closest enforce a cycle if the wiring got disconnected
   // (§3.2); the cycle replaces each node's last link to respect degree k.
   if (config_.policy == Policy::kRandom || config_.policy == Policy::kClosest) {

@@ -17,10 +17,12 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "core/objective.hpp"
 #include "graph/digraph.hpp"
+#include "graph/path_engine.hpp"
 #include "overlay/config.hpp"
 #include "overlay/environment.hpp"
 #include "util/rng.hpp"
@@ -115,11 +117,28 @@ class EgoistNetwork {
 
   /// The graph a node reasons over: the announced overlay, optionally with
   /// audited costs (announcements that exceed audit_tolerance x the
-  /// coordinate estimate are replaced by the estimate, §3.4).
-  graph::Digraph decision_graph() const;
+  /// coordinate estimate are replaced by the estimate, §3.4). Returns a
+  /// reference to announced_ when audits are off (the common case — no
+  /// per-node graph copy), or to the member audit buffer otherwise.
+  const graph::Digraph& decision_graph();
+
+  /// The "M >> n" fold penalty for the current decision graph: the value
+  /// cached for this epoch when inside run_epoch (computed once instead of
+  /// rescanning every edge once per node), a fresh scan otherwise.
+  double unreachable_penalty(const graph::Digraph& decision) const;
 
   /// Per-policy choice of new wiring. `direct` comes from measure_direct.
   std::vector<NodeId> choose_wiring(int node, const std::vector<double>& direct);
+
+  /// Builds the metric-appropriate residual objective over the decision
+  /// graph — through the shared CSR engine or the legacy residual-copy
+  /// path, per config — and runs the BR search. When `current_for_cost`
+  /// is non-null, *current_cost receives that wiring's cost under the same
+  /// objective (the BR(eps) adoption baseline).
+  core::BestResponseResult run_best_response(
+      int node, const std::vector<double>& direct, std::size_t free_k,
+      const core::BestResponseOptions& options,
+      const std::vector<NodeId>* current_for_cost, double* current_cost);
 
   bool is_cheater(int node) const;
 
@@ -135,6 +154,37 @@ class EgoistNetwork {
   std::vector<std::vector<NodeId>> wiring_;
   std::vector<std::vector<NodeId>> donated_;
   graph::Digraph announced_;
+
+  /// Shared CSR path engine (PathBackend::kCsrEngine): re-snapshots the
+  /// decision graph before each BR evaluation, reusing its flat buffers, so
+  /// the residual all-pairs runs allocation-free. Each node's G_{-i} is an
+  /// O(1) exclusion view over the snapshot instead of a graph copy.
+  graph::PathEngine engine_;
+
+  /// Residual-matrix scratch reused by every engine-backed objective (the
+  /// objective borrows it for the duration of one evaluation) so the epoch
+  /// loop performs no n^2 allocations.
+  graph::DistanceMatrix residual_scratch_;
+
+  /// Link-value scratch reused by every best_response() search.
+  core::BestResponseScratch br_scratch_;
+
+  /// Audited decision graph buffer (only populated when audits are on).
+  graph::Digraph audited_;
+
+  /// True while run_epoch keeps the engine synchronized with announced_:
+  /// the engine is snapshotted once at the epoch boundary and then patched
+  /// incrementally after each node re-announces (update_out_edges), so its
+  /// shared base trees survive the whole sequential epoch. Off outside
+  /// epochs (run_node, immediate re-wiring: per-call snapshots) and in
+  /// audit mode (the audited decision graph is rebuilt per node).
+  bool engine_synced_ = false;
+
+  /// Per-epoch cache of core::default_unreachable_penalty over the decision
+  /// graph: set for the duration of run_epoch, empty outside it (join and
+  /// immediate-rewire paths compute a fresh value, as the seed did).
+  std::optional<double> epoch_penalty_;
+
   int epochs_ = 0;
   std::uint64_t total_rewirings_ = 0;
 };

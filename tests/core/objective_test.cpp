@@ -89,6 +89,53 @@ TEST(DelayObjectiveTest, ValidationErrors) {
                std::out_of_range);  // candidate range
 }
 
+TEST(DelayObjectiveTest, UnmeasuredDirectLegClampsToUnreachable) {
+  // Regression: an unmeasured direct cost (kUnreachable) combined with a
+  // finite residual distance must clamp to kUnreachable — never a sum that
+  // escapes the sentinel checks in fold()/distance_to() and corrupts the
+  // min-fold with a garbage "reachable" value.
+  const double inf = graph::kUnreachable;
+  std::vector<std::vector<double>> resid{
+      {0, inf, inf}, {inf, 0, 3}, {inf, 5, 0}};
+  DelayObjective obj(0, {1, 2}, {0, inf, 2}, resid, {0, 0.5, 0.5}, {1, 2},
+                     100.0);
+  // Candidate 1's direct link was never measured: both legs through 1 are
+  // unreachable, even though 1 -> 2 has a finite residual distance.
+  EXPECT_EQ(obj.link_value(1, 2), inf);
+  EXPECT_EQ(obj.link_value(1, 1), inf);  // v == j returns the direct leg
+  // The min-fold over wiring {1, 2} must pick 2's finite path, and wiring
+  // {1} alone must pay the penalty on every target.
+  const std::vector<NodeId> both{1, 2};
+  EXPECT_DOUBLE_EQ(obj.distance_to(both, 2), 2.0);
+  EXPECT_NEAR(obj.cost(std::vector<NodeId>{1}), 100.0, 1e-12);
+}
+
+TEST(DelayObjectiveTest, BulkFillMatchesLinkValue) {
+  const double inf = graph::kUnreachable;
+  std::vector<std::vector<double>> resid{
+      {0, inf, inf, inf},
+      {inf, 0, 2, 7},
+      {inf, 2, 0, inf},
+      {inf, 6, 1, 0},
+  };
+  DelayObjective obj(0, {1, 2, 3}, {0, 1, inf, 4}, resid,
+                     {0, 1.0 / 3, 1.0 / 3, 1.0 / 3}, {1, 2, 3}, 1000.0);
+  const std::vector<NodeId> sources{1, 2, 3};
+  const std::vector<NodeId> targets{1, 2, 3};
+  std::vector<double> bulk(sources.size() * targets.size());
+  obj.fill_link_values(sources, targets, bulk);
+  for (std::size_t s = 0; s < sources.size(); ++s) {
+    for (std::size_t t = 0; t < targets.size(); ++t) {
+      EXPECT_EQ(bulk[s * targets.size() + t],
+                obj.link_value(sources[s], targets[t]))
+          << sources[s] << " -> " << targets[t];
+    }
+  }
+  std::vector<double> wrong(2);
+  EXPECT_THROW(obj.fill_link_values(sources, targets, wrong),
+               std::invalid_argument);
+}
+
 // Bandwidth fixture: self=0, candidates {1,2}; direct bw 0->1=10, 0->2=3.
 // residual bottlenecks: 1->2 = 8, 2->1 = 2.
 BandwidthObjective make_bw_fixture() {
@@ -122,6 +169,19 @@ TEST(BandwidthObjectiveTest, UnreachableContributesZero) {
 TEST(BandwidthObjectiveTest, EmptyWiringScoresZero) {
   const auto obj = make_bw_fixture();
   EXPECT_DOUBLE_EQ(obj.score(std::vector<NodeId>{}), 0.0);
+}
+
+TEST(BandwidthObjectiveTest, BulkFillMatchesLinkValue) {
+  const auto obj = make_bw_fixture();
+  const std::vector<NodeId> sources{1, 2};
+  const std::vector<NodeId> targets{1, 2};
+  std::vector<double> bulk(4);
+  obj.fill_link_values(sources, targets, bulk);
+  for (std::size_t s = 0; s < 2; ++s) {
+    for (std::size_t t = 0; t < 2; ++t) {
+      EXPECT_EQ(bulk[s * 2 + t], obj.link_value(sources[s], targets[t]));
+    }
+  }
 }
 
 }  // namespace

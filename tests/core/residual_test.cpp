@@ -120,6 +120,100 @@ TEST(SampledObjectiveTest, SampleMayNotContainSelf) {
                std::invalid_argument);
 }
 
+// ---------------------------------------------------------------------------
+// Engine-backed builders must match the legacy (residual-copy) builders
+// cost-for-cost on the same overlay snapshot.
+
+TEST(EngineBuilderTest, DelayObjectiveMatchesLegacy) {
+  graph::Digraph overlay(4);
+  overlay.set_edge(0, 1, 1.0);  // self's edge: excluded by both paths
+  overlay.set_edge(1, 2, 2.0);
+  overlay.set_edge(2, 3, 1.0);
+  overlay.set_edge(3, 1, 4.0);
+  const std::vector<double> direct{0.0, 1.0, 9.0, 2.5};
+  graph::PathEngine engine(overlay);
+  const auto legacy = make_delay_objective(overlay, 0, direct);
+  const auto hot = make_delay_objective(engine, 0, direct);
+  EXPECT_EQ(hot.candidates(), legacy.candidates());
+  EXPECT_EQ(hot.targets(), legacy.targets());
+  for (const std::vector<NodeId>& w :
+       {std::vector<NodeId>{1}, {3}, {1, 3}, {1, 2, 3}}) {
+    EXPECT_EQ(hot.cost(w), legacy.cost(w));
+  }
+  for (NodeId v : hot.candidates()) {
+    for (NodeId j : hot.targets()) {
+      EXPECT_EQ(hot.link_value(v, j), legacy.link_value(v, j));
+    }
+  }
+}
+
+TEST(EngineBuilderTest, BandwidthObjectiveMatchesLegacy) {
+  graph::Digraph overlay(4);
+  overlay.set_edge(1, 2, 8.0);
+  overlay.set_edge(2, 3, 6.0);
+  overlay.set_edge(3, 1, 2.0);
+  overlay.set_edge(0, 3, 100.0);  // self's edge: must not help candidates
+  const std::vector<double> direct_bw{0.0, 10.0, 3.0, 1.0};
+  graph::PathEngine engine(overlay);
+  const auto legacy = make_bandwidth_objective(overlay, 0, direct_bw);
+  const auto hot = make_bandwidth_objective(engine, 0, direct_bw);
+  for (const std::vector<NodeId>& w :
+       {std::vector<NodeId>{1}, {2}, {1, 3}, {1, 2, 3}}) {
+    EXPECT_EQ(hot.score(w), legacy.score(w));
+  }
+}
+
+TEST(EngineBuilderTest, SampledObjectiveMatchesLegacy) {
+  graph::Digraph overlay(6);
+  for (NodeId u = 1; u < 6; ++u) {
+    overlay.set_edge(u, (u % 5) + 1, 1.0 + u);  // ring 1 -> 2 -> ... -> 5 -> 1
+  }
+  overlay.set_active(4, false);  // churned-out sampled node
+  const std::vector<double> direct{0.0, 1.0, 2.0, 3.0, 4.0, 5.0};
+  const std::vector<NodeId> sample{1, 3, 4};
+  graph::PathEngine engine(overlay);
+  const auto legacy = make_sampled_delay_objective(overlay, 0, direct, sample);
+  const auto hot = make_sampled_delay_objective(engine, 0, direct, sample);
+  EXPECT_EQ(hot.candidates(), legacy.candidates());
+  for (const std::vector<NodeId>& w : {std::vector<NodeId>{1}, {3}, {1, 3}}) {
+    EXPECT_EQ(hot.cost(w), legacy.cost(w));
+  }
+  EXPECT_THROW(make_sampled_delay_objective(engine, 0, direct, {0, 1}),
+               std::invalid_argument);
+}
+
+TEST(EngineBuilderTest, DefaultPenaltyMatchesLegacyUnderChurn) {
+  // Regression: a churned node holding the heaviest edge must not make the
+  // engine path default to a different "M >> n" penalty than the legacy
+  // path — otherwise unreachable targets fold to different costs and the
+  // two builders stop being drop-in equivalents.
+  graph::Digraph overlay(4);
+  overlay.set_edge(1, 2, 2.0);
+  overlay.set_edge(2, 3, 1.0);
+  overlay.set_edge(3, 1, 50.0);
+  overlay.set_active(3, false);
+  graph::PathEngine engine(overlay);
+  EXPECT_EQ(default_unreachable_penalty(engine.csr()),
+            default_unreachable_penalty(overlay));
+  const std::vector<double> direct{0.0, 1.0, 9.0, 3.0};
+  const auto legacy = make_delay_objective(overlay, 0, direct);
+  const auto hot = make_delay_objective(engine, 0, direct);
+  // Node 2 cannot reach node 1 (its only outgoing edge led to churned 3),
+  // so wiring {2} pays the penalty on target 1 — it must match exactly.
+  const std::vector<NodeId> w{2};
+  EXPECT_EQ(hot.cost(w), legacy.cost(w));
+}
+
+TEST(EngineBuilderTest, InactiveSelfRejected) {
+  graph::Digraph overlay(3);
+  overlay.set_active(0, false);
+  graph::PathEngine engine(overlay);
+  const std::vector<double> direct{0.0, 1.0, 1.0};
+  EXPECT_THROW(make_delay_objective(engine, 0, direct), std::invalid_argument);
+  EXPECT_THROW(make_bandwidth_objective(engine, 0, direct),
+               std::invalid_argument);
+}
+
 TEST(ResidualIntegrationTest, BrImprovesOverArbitraryWiring) {
   const std::size_t n = 25;
   const auto delays = net::make_planetlab_like(n, 77);

@@ -95,6 +95,30 @@ TEST(TopologyBiasedSampleTest, ReturnsRequestedSize) {
   EXPECT_EQ(unique.size(), 4u);
 }
 
+TEST(TopologyBiasedSampleTest, CsrOverloadMatchesDigraph) {
+  // Same graph, same rng seed: the CSR-snapshot sampler must rank and pick
+  // identically to the adjacency-list reference, including churned nodes.
+  const auto g = star_fixture();
+  graph::Digraph churned = g;
+  churned.set_active(6, false);
+  const graph::CsrGraph csr(churned);
+  std::vector<double> direct(8, 1.0);
+  direct[3] = 0.25;
+  const std::vector<NodeId> candidates{1, 2, 3, 4, 5, 7};
+  for (NodeId v : candidates) {
+    EXPECT_EQ(biased_rank(csr, 0, v, direct, 2),
+              biased_rank(churned, 0, v, direct, 2))
+        << "rank of " << v;
+  }
+  util::Rng rng_a(17);
+  util::Rng rng_b(17);
+  const auto via_digraph =
+      topology_biased_sample(churned, 0, direct, candidates, 3, rng_a);
+  const auto via_csr =
+      topology_biased_sample(csr, 0, direct, candidates, 3, rng_b);
+  EXPECT_EQ(via_csr, via_digraph);
+}
+
 TEST(TopologyBiasedSampleTest, Rejections) {
   const auto g = star_fixture();
   const std::vector<double> direct(8, 1.0);

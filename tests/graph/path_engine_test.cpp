@@ -1,0 +1,329 @@
+#include "graph/path_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "graph/shortest_path.hpp"
+#include "graph/widest_path.hpp"
+#include "util/rng.hpp"
+
+namespace egoist::graph {
+namespace {
+
+// ---------------------------------------------------------------------------
+// DistanceMatrix
+
+TEST(DistanceMatrixTest, FlatRowMajorLayout) {
+  DistanceMatrix m(2, 3, 7.0);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 7.0);
+  m(1, 2) = 42.0;
+  EXPECT_DOUBLE_EQ(m.row(1)[2], 42.0);
+  EXPECT_DOUBLE_EQ(m.row(0)[2], 7.0);
+}
+
+TEST(DistanceMatrixTest, FromNestedCopiesAndValidates) {
+  const auto m = DistanceMatrix::from_nested({{1.0, 2.0}, {3.0, 4.0}});
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+  EXPECT_THROW(DistanceMatrix::from_nested({{1.0, 2.0}, {3.0}}),
+               std::invalid_argument);
+}
+
+TEST(DistanceMatrixTest, ResetReshapesAndRefills) {
+  DistanceMatrix m(2, 2, 1.0);
+  m.reset(3, 3, kUnreachable);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m(2, 2), kUnreachable);
+}
+
+// ---------------------------------------------------------------------------
+// CsrGraph
+
+TEST(CsrGraphTest, SnapshotsEdgesAndActivity) {
+  Digraph g(4);
+  g.set_edge(0, 1, 1.5);
+  g.set_edge(0, 2, 2.5);
+  g.set_edge(1, 2, 3.5);
+  g.set_active(3, false);
+  g.set_edge(2, 3, 9.0);  // target inactive: dropped from the snapshot
+  CsrGraph csr(g);
+  EXPECT_EQ(csr.node_count(), 4u);
+  EXPECT_EQ(csr.edge_count(), 3u);
+  EXPECT_TRUE(csr.is_active(0));
+  EXPECT_FALSE(csr.is_active(3));
+  EXPECT_EQ(csr.out_targets(0).size(), 2u);
+  EXPECT_EQ(csr.out_targets(2).size(), 0u);
+  // The dropped edge to the inactive node still counts toward max_weight:
+  // the default unreachable penalty must match the legacy Digraph scan.
+  EXPECT_DOUBLE_EQ(csr.max_weight(), 9.0);
+  EXPECT_EQ(csr.active_nodes(), (std::vector<NodeId>{0, 1, 2}));
+}
+
+TEST(CsrGraphTest, InactiveSourceEdgesDropped) {
+  Digraph g(3);
+  g.set_edge(0, 1, 1.0);
+  g.set_active(0, false);
+  CsrGraph csr(g);
+  EXPECT_EQ(csr.edge_count(), 0u);
+  EXPECT_TRUE(csr.out_targets(0).empty());
+}
+
+TEST(CsrGraphTest, ValidationHoistedToBuild) {
+  Digraph g(2);
+  g.set_edge(0, 1, -1.0);
+  CsrGraph csr;
+  EXPECT_THROW(csr.rebuild(g), std::invalid_argument);
+}
+
+TEST(CsrGraphTest, RebuildReflectsNewSnapshot) {
+  Digraph g(3);
+  g.set_edge(0, 1, 1.0);
+  CsrGraph csr(g);
+  EXPECT_EQ(csr.edge_count(), 1u);
+  g.set_edge(1, 2, 2.0);
+  g.set_active(0, false);
+  csr.rebuild(g);
+  EXPECT_EQ(csr.edge_count(), 1u);  // 0's edge dropped, 1's added
+  EXPECT_EQ(csr.out_targets(1)[0], 2);
+}
+
+// ---------------------------------------------------------------------------
+// PathEngine vs. the legacy reference implementation
+
+/// The legacy residual derivation (core::residual_of semantics): copy the
+/// overlay minus `exclude`'s out-edges. The engine must match this bitwise.
+Digraph residual_copy(const Digraph& overlay, NodeId exclude) {
+  Digraph residual(overlay.node_count());
+  for (std::size_t u = 0; u < overlay.node_count(); ++u) {
+    const auto uid = static_cast<NodeId>(u);
+    residual.set_active(uid, overlay.is_active(uid));
+    if (uid == exclude) continue;
+    for (const auto& e : overlay.out_edges(uid)) {
+      residual.set_edge(uid, e.to, e.weight);
+    }
+  }
+  return residual;
+}
+
+Digraph random_overlay(util::Rng& rng, std::size_t n, std::size_t out_degree,
+                       double inactive_fraction) {
+  Digraph g(n);
+  for (std::size_t u = 0; u < n; ++u) {
+    if (rng.chance(inactive_fraction)) g.set_active(static_cast<NodeId>(u), false);
+  }
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t d = 0; d < out_degree; ++d) {
+      const auto v = static_cast<NodeId>(
+          rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+      if (v == static_cast<NodeId>(u)) continue;
+      g.set_edge(static_cast<NodeId>(u), v, rng.uniform(0.1, 100.0));
+    }
+  }
+  return g;
+}
+
+TEST(PathEngineTest, ShortestMatchesDijkstraOnHandBuiltGraph) {
+  Digraph g(5);
+  g.set_edge(0, 1, 2.0);
+  g.set_edge(1, 2, 3.0);
+  g.set_edge(0, 2, 10.0);
+  g.set_edge(2, 3, 1.0);
+  // node 4 is unreachable
+  PathEngine engine(g);
+  std::vector<double> row(5);
+  engine.shortest_from(0, kNoExclude, row);
+  const auto reference = dijkstra(g, 0).dist;
+  for (std::size_t j = 0; j < 5; ++j) EXPECT_EQ(row[j], reference[j]) << j;
+}
+
+TEST(PathEngineTest, ExclusionMatchesResidualCopy) {
+  // 0 -> 1 -> 2 chain plus 0 -> 2 shortcut; excluding 0 removes both of
+  // 0's edges but keeps 1 -> 2 and 2 -> 0 intact.
+  Digraph g(3);
+  g.set_edge(0, 1, 1.0);
+  g.set_edge(0, 2, 1.0);
+  g.set_edge(1, 2, 5.0);
+  g.set_edge(2, 0, 4.0);
+  PathEngine engine(g);
+  std::vector<double> row(3);
+  engine.shortest_from(1, 0, row);
+  const auto reference = dijkstra(residual_copy(g, 0), 1).dist;
+  for (std::size_t j = 0; j < 3; ++j) EXPECT_EQ(row[j], reference[j]) << j;
+  // Paths *through* the excluded node still work: 1 -> 2 -> 0.
+  EXPECT_DOUBLE_EQ(row[0], 9.0);
+}
+
+TEST(PathEngineTest, InactiveSourceRowStaysUnreachable) {
+  Digraph g(3);
+  g.set_edge(0, 1, 1.0);
+  g.set_active(2, false);
+  PathEngine engine(g);
+  std::vector<double> row(3, 0.0);
+  engine.shortest_from(2, kNoExclude, row);
+  for (double d : row) EXPECT_EQ(d, kUnreachable);
+  engine.widest_from(2, kNoExclude, row);
+  for (double d : row) EXPECT_EQ(d, 0.0);
+}
+
+TEST(PathEngineTest, WidestMatchesReferenceOnHandBuiltGraph) {
+  Digraph g(4);
+  g.set_edge(0, 1, 10.0);
+  g.set_edge(1, 2, 8.0);
+  g.set_edge(0, 2, 5.0);
+  g.set_edge(2, 3, 12.0);
+  PathEngine engine(g);
+  std::vector<double> row(4);
+  engine.widest_from(0, kNoExclude, row);
+  const auto reference = widest_paths(g, 0).bottleneck;
+  for (std::size_t j = 0; j < 4; ++j) EXPECT_EQ(row[j], reference[j]) << j;
+  EXPECT_EQ(row[0], std::numeric_limits<double>::infinity());
+  EXPECT_DOUBLE_EQ(row[2], 8.0);
+}
+
+TEST(PathEngineTest, RowSizeValidated) {
+  Digraph g(3);
+  PathEngine engine(g);
+  std::vector<double> wrong(2);
+  EXPECT_THROW(engine.shortest_from(0, kNoExclude, wrong),
+               std::invalid_argument);
+}
+
+/// Randomized equivalence: across random graphs with churned-out nodes,
+/// every residual view of the engine must be bit-identical to the legacy
+/// residual-copy + all-pairs path (the acceptance bar for swapping the BR
+/// hot loop onto the engine).
+TEST(PathEngineEquivalenceTest, RandomGraphsAllExclusionsBitIdentical) {
+  util::Rng rng(20260729);
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::size_t n = 6 + static_cast<std::size_t>(rng.uniform_int(0, 18));
+    const auto g = random_overlay(rng, n, 3, trial % 3 == 0 ? 0.25 : 0.0);
+    PathEngine engine(g);
+    for (NodeId exclude = -1; exclude < static_cast<NodeId>(n); ++exclude) {
+      const auto residual =
+          exclude == kNoExclude ? g : residual_copy(g, exclude);
+      const auto ref_dist = all_pairs_shortest_paths(residual);
+      const auto ref_bw = all_pairs_widest_paths(residual);
+      const auto dist = engine.all_shortest(exclude);
+      const auto bw = engine.all_widest(exclude);
+      ASSERT_EQ(dist.rows(), n);
+      for (std::size_t u = 0; u < n; ++u) {
+        for (std::size_t j = 0; j < n; ++j) {
+          ASSERT_EQ(dist(u, j), ref_dist[u][j])
+              << "trial " << trial << " exclude " << exclude << " (" << u
+              << " -> " << j << ")";
+          ASSERT_EQ(bw(u, j), ref_bw[u][j])
+              << "trial " << trial << " exclude " << exclude << " (" << u
+              << " -> " << j << ")";
+        }
+      }
+    }
+  }
+}
+
+/// Randomized incremental-update equivalence: after each single-row
+/// mutation (the sequential-epoch pattern: one node re-announces its
+/// links), the patched base trees must answer every residual query
+/// bit-identically to a from-scratch legacy computation on the new graph.
+TEST(PathEngineEquivalenceTest, IncrementalRowUpdatesStayBitIdentical) {
+  util::Rng rng(0xE601u);
+  for (int trial = 0; trial < 4; ++trial) {
+    const std::size_t n = 10 + static_cast<std::size_t>(rng.uniform_int(0, 10));
+    auto g = random_overlay(rng, n, 3, trial % 2 == 0 ? 0.2 : 0.0);
+    PathEngine engine(g);
+    engine.all_shortest(kNoExclude);  // force the shared base trees
+    engine.all_widest(kNoExclude);
+    for (int step = 0; step < 12; ++step) {
+      // Mutate one node's out-edge row: re-price, drop, and add links.
+      const auto u = static_cast<NodeId>(
+          rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+      g.clear_out_edges(u);
+      const auto degree = static_cast<std::size_t>(rng.uniform_int(0, 4));
+      for (std::size_t d = 0; d < degree; ++d) {
+        const auto v = static_cast<NodeId>(
+            rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+        if (v != u) g.set_edge(u, v, rng.uniform(0.1, 50.0));
+      }
+      engine.update_out_edges(u, g);
+      // Every residual view must match the reference on the NEW graph.
+      for (NodeId exclude = -1; exclude < static_cast<NodeId>(n); ++exclude) {
+        const auto residual =
+            exclude == kNoExclude ? g : residual_copy(g, exclude);
+        const auto ref_dist = all_pairs_shortest_paths(residual);
+        const auto ref_bw = all_pairs_widest_paths(residual);
+        const auto dist = engine.all_shortest(exclude);
+        const auto bw = engine.all_widest(exclude);
+        for (std::size_t a = 0; a < n; ++a) {
+          for (std::size_t b = 0; b < n; ++b) {
+            ASSERT_EQ(dist(a, b), ref_dist[a][b])
+                << "trial " << trial << " step " << step << " exclude "
+                << exclude << " (" << a << " -> " << b << ")";
+            ASSERT_EQ(bw(a, b), ref_bw[a][b])
+                << "trial " << trial << " step " << step << " exclude "
+                << exclude << " (" << a << " -> " << b << ")";
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(PathEngineTest, UpdateWithActivityChangeFallsBackToRebuild) {
+  util::Rng rng(3);
+  auto g = random_overlay(rng, 12, 3, 0.0);
+  PathEngine engine(g);
+  engine.all_shortest(kNoExclude);
+  g.set_active(4, false);  // membership change voids the one-row contract
+  engine.update_out_edges(0, g);
+  const auto dist = engine.all_shortest(kNoExclude);
+  const auto ref = all_pairs_shortest_paths(g);
+  for (std::size_t a = 0; a < 12; ++a) {
+    for (std::size_t b = 0; b < 12; ++b) {
+      ASSERT_EQ(dist(a, b), ref[a][b]) << a << " -> " << b;
+    }
+  }
+}
+
+TEST(PathEngineEquivalenceTest, ParallelWorkersMatchSerial) {
+  util::Rng rng(7);
+  const auto g = random_overlay(rng, 40, 4, 0.1);
+  PathEngine serial(g, 1);
+  PathEngine parallel(g, 3);
+  EXPECT_EQ(parallel.workers(), 3);
+  for (NodeId exclude : {kNoExclude, NodeId{0}, NodeId{17}}) {
+    const auto a = serial.all_shortest(exclude);
+    const auto b = parallel.all_shortest(exclude);
+    for (std::size_t u = 0; u < 40; ++u) {
+      for (std::size_t j = 0; j < 40; ++j) {
+        ASSERT_EQ(a(u, j), b(u, j)) << u << " -> " << j;
+      }
+    }
+  }
+}
+
+TEST(PathEngineTest, AutoWorkersResolveToAtLeastOne) {
+  PathEngine engine;
+  engine.set_workers(0);
+  EXPECT_GE(engine.workers(), 1);
+  EXPECT_LE(engine.workers(), 4);
+  EXPECT_THROW(engine.set_workers(-1), std::invalid_argument);
+}
+
+TEST(PathEngineTest, RebuildTracksGraphMutations) {
+  Digraph g(3);
+  g.set_edge(0, 1, 1.0);
+  g.set_edge(1, 2, 1.0);
+  PathEngine engine(g);
+  std::vector<double> row(3);
+  engine.shortest_from(0, kNoExclude, row);
+  EXPECT_DOUBLE_EQ(row[2], 2.0);
+  g.set_edge(0, 2, 0.5);
+  engine.rebuild(g);
+  engine.shortest_from(0, kNoExclude, row);
+  EXPECT_DOUBLE_EQ(row[2], 0.5);
+}
+
+}  // namespace
+}  // namespace egoist::graph

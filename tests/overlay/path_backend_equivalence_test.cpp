@@ -1,0 +1,164 @@
+// Backend equivalence: the CSR path engine must be a pure drop-in for the
+// legacy residual-copy path. Distances are bit-identical by construction
+// (see tests/graph/path_engine_test.cpp), so two otherwise-identical
+// overlays — one per PathBackend — must make identical wiring decisions
+// epoch after epoch, for every Policy x Metric combination, through churn,
+// audits, free riders, and skewed preferences.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "overlay/network.hpp"
+
+namespace egoist::overlay {
+namespace {
+
+bool same_graph(const graph::Digraph& a, const graph::Digraph& b,
+                std::string* why) {
+  if (a.node_count() != b.node_count()) {
+    *why = "node count";
+    return false;
+  }
+  for (std::size_t u = 0; u < a.node_count(); ++u) {
+    const auto uid = static_cast<NodeId>(u);
+    if (a.is_active(uid) != b.is_active(uid)) {
+      *why = "active flag of node " + std::to_string(u);
+      return false;
+    }
+    const auto ea = a.out_edges(uid);
+    const auto eb = b.out_edges(uid);
+    if (ea.size() != eb.size()) {
+      *why = "degree of node " + std::to_string(u);
+      return false;
+    }
+    for (std::size_t i = 0; i < ea.size(); ++i) {
+      if (ea[i].to != eb[i].to || ea[i].weight != eb[i].weight) {
+        std::ostringstream oss;
+        oss << "edge " << u << " -> " << ea[i].to << " vs " << eb[i].to;
+        *why = oss.str();
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+struct Deployment {
+  Environment env;
+  EgoistNetwork net;
+  Deployment(std::size_t n, std::uint64_t env_seed, OverlayConfig config)
+      : env(n, env_seed), net(env, config) {}
+};
+
+void expect_lockstep(OverlayConfig base, const std::string& label,
+                     bool with_churn = true) {
+  const std::size_t n = 14;
+  const std::uint64_t env_seed = 404;
+  OverlayConfig engine_cfg = base;
+  engine_cfg.path_backend = PathBackend::kCsrEngine;
+  OverlayConfig legacy_cfg = base;
+  legacy_cfg.path_backend = PathBackend::kLegacy;
+
+  // Two identical substrates: measurement noise streams stay in lockstep
+  // as long as both overlays issue the same measurement sequence — which
+  // they do exactly while their decisions coincide.
+  Deployment engine(n, env_seed, engine_cfg);
+  Deployment legacy(n, env_seed, legacy_cfg);
+
+  std::string why;
+  ASSERT_TRUE(same_graph(engine.net.announced_graph(),
+                         legacy.net.announced_graph(), &why))
+      << label << " diverged at bootstrap: " << why;
+
+  for (int epoch = 0; epoch < 6; ++epoch) {
+    if (with_churn && epoch == 2) {
+      engine.net.set_online(3, false);
+      legacy.net.set_online(3, false);
+    }
+    if (with_churn && epoch == 4) {
+      engine.net.set_online(3, true);
+      legacy.net.set_online(3, true);
+    }
+    engine.env.advance(60.0);
+    legacy.env.advance(60.0);
+    const int rewired_engine = engine.net.run_epoch();
+    const int rewired_legacy = legacy.net.run_epoch();
+    EXPECT_EQ(rewired_engine, rewired_legacy)
+        << label << " rewire count diverged at epoch " << epoch;
+    for (std::size_t v = 0; v < n; ++v) {
+      ASSERT_EQ(engine.net.wiring(static_cast<int>(v)),
+                legacy.net.wiring(static_cast<int>(v)))
+          << label << " wiring of node " << v << " diverged at epoch " << epoch;
+    }
+    ASSERT_TRUE(same_graph(engine.net.announced_graph(),
+                           legacy.net.announced_graph(), &why))
+        << label << " announced graph diverged at epoch " << epoch << ": "
+        << why;
+  }
+}
+
+OverlayConfig make_config(Policy policy, Metric metric) {
+  OverlayConfig config;
+  config.policy = policy;
+  config.metric = metric;
+  config.k = 3;
+  config.donated_links = 2;
+  config.seed = 99;
+  return config;
+}
+
+TEST(PathBackendEquivalenceTest, EveryPolicyMetricCombination) {
+  for (Policy policy :
+       {Policy::kBestResponse, Policy::kHybridBR, Policy::kRandom,
+        Policy::kClosest, Policy::kRegular, Policy::kFullMesh}) {
+    for (Metric metric : {Metric::kDelayPing, Metric::kDelayCoords,
+                          Metric::kNodeLoad, Metric::kBandwidth}) {
+      const std::string label = std::string(to_string(policy)) + " / " +
+                                std::string(to_string(metric));
+      expect_lockstep(make_config(policy, metric), label);
+    }
+  }
+}
+
+TEST(PathBackendEquivalenceTest, AuditedDecisionGraph) {
+  auto config = make_config(Policy::kBestResponse, Metric::kDelayPing);
+  config.enable_audits = true;
+  config.cheaters = {2};
+  expect_lockstep(config, "BR audited + cheater");
+}
+
+TEST(PathBackendEquivalenceTest, SkewedPreferences) {
+  auto config = make_config(Policy::kBestResponse, Metric::kDelayCoords);
+  config.preference_zipf_exponent = 1.0;
+  expect_lockstep(config, "BR zipf preference");
+}
+
+TEST(PathBackendEquivalenceTest, ParallelWorkersLockstep) {
+  auto config = make_config(Policy::kBestResponse, Metric::kDelayPing);
+  config.path_workers = 3;
+  expect_lockstep(config, "BR 3-worker engine");
+}
+
+TEST(PathBackendEquivalenceTest, ImmediateRewireMode) {
+  auto config = make_config(Policy::kHybridBR, Metric::kDelayPing);
+  config.rewire_mode = RewireMode::kImmediate;
+  expect_lockstep(config, "HybridBR immediate rewire");
+}
+
+TEST(PathBackendEquivalenceTest, ScoresIdenticalAcrossBackends) {
+  auto config = make_config(Policy::kBestResponse, Metric::kDelayPing);
+  Deployment engine(14, 404, config);
+  config.path_backend = PathBackend::kLegacy;
+  Deployment legacy(14, 404, config);
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    engine.env.advance(60.0);
+    legacy.env.advance(60.0);
+    engine.net.run_epoch();
+    legacy.net.run_epoch();
+  }
+  EXPECT_EQ(engine.net.node_costs(), legacy.net.node_costs());
+  EXPECT_EQ(engine.net.node_efficiencies(), legacy.net.node_efficiencies());
+}
+
+}  // namespace
+}  // namespace egoist::overlay
