@@ -1,153 +1,12 @@
-// Ablation bench for the design choices §3.3-§3.4 argues for:
-//
-//  (a) Backbone construction: EGOIST's donated ring cycles vs an MST mesh
-//      (Young et al. style) — efficiency under churn and splice cost
-//      (backbone links rebuilt per membership event).
-//  (b) Re-wiring mode: delayed (epoch) vs immediate repair — efficiency
-//      under churn vs extra evaluations.
-//  (c) Audits: free-rider impact with and without coordinate cross-checks.
-#include <iostream>
+// Ablations for the §3.3-§3.4 design choices: ring-cycle vs MST backbone,
+// delayed vs immediate re-wiring, audits on/off.
+// Thin wrapper over the scenario driver
+// (scenarios/ablation_design_choices.scn).
+#include "exp/cli.hpp"
 
-#include "churn/churn.hpp"
-#include "common/bench_common.hpp"
-
-namespace egoist::bench {
-namespace {
-
-struct ChurnOutcome {
-  double efficiency = 0.0;
-  std::uint64_t rewirings = 0;
-};
-
-ChurnOutcome run_churny(const CommonArgs& args, overlay::OverlayConfig config,
-                        double mean_on_s, int epochs) {
-  churn::ChurnConfig churn_config;
-  churn_config.mean_on_s = mean_on_s;
-  churn_config.mean_off_s = mean_on_s / 3.0;
-  churn_config.initial_on_fraction = 0.75;
-  const churn::ChurnTrace trace(args.n, epochs * 60.0, args.seed ^ 0xAB1u,
-                                churn_config);
-  overlay::Environment env(args.n, args.seed);
-  overlay::EgoistNetwork net(env, config);
-  for (std::size_t v = 0; v < args.n; ++v) {
-    if (!trace.initial_on()[v]) net.set_online(static_cast<int>(v), false);
-  }
-  std::size_t next = 0;
-  util::OnlineStats efficiency;
-  const auto& events = trace.events();
-  const double slot = 60.0 / static_cast<double>(args.n);
-  util::Rng order_rng(args.seed ^ 0xAB2u);
-  for (int e = 0; e < epochs; ++e) {
-    auto order = net.online_nodes();
-    order_rng.shuffle(order);
-    std::size_t turn = 0;
-    for (std::size_t s = 0; s < args.n; ++s) {
-      const double t = e * 60.0 + (s + 1) * slot;
-      while (next < events.size() && events[next].time <= t) {
-        net.set_online(events[next].node, events[next].on);
-        ++next;
-      }
-      env.advance(slot);
-      if (turn < order.size() && net.online_count() >= 2) {
-        if (net.is_online(order[turn])) net.run_node(order[turn]);
-        ++turn;
-      }
-    }
-    if (e < 5 || net.online_count() < 2) continue;
-    for (double eff : net.node_efficiencies()) efficiency.add(eff);
-  }
-  return ChurnOutcome{efficiency.mean(), net.total_rewirings()};
-}
-
-}  // namespace
-}  // namespace egoist::bench
-
-int main(int argc, char** argv) try {
-  using namespace egoist;
-  using namespace egoist::bench;
-  const util::Flags flags(argc, argv);
-  auto args = CommonArgs::parse(flags);
-  const int epochs = flags.get_int("epochs", 25);
-  flags.finish(
-      "ablations for the section 3.3-3.4 design choices: ring-cycle vs MST backbone, delayed vs immediate re-wiring, audits on/off");
-
-  overlay::OverlayConfig base;
-  base.k = 5;
-  base.seed = args.seed;
-
-  // --- (a) Backbone construction under churn ---
-  print_figure_header(
-      "Ablation (a): HybridBR backbone — ring cycles vs MST mesh",
-      "Mean efficiency under two churn intensities; cycles splice locally, "
-      "the MST is a centralized rebuild per membership event (§3.3).");
-  {
-    util::Table table({"churn mean-ON (s)", "cycles eff", "mst eff"});
-    for (double mean_on : {2000.0, 200.0}) {
-      auto cycles = base;
-      cycles.policy = overlay::Policy::kHybridBR;
-      cycles.backbone = overlay::Backbone::kCycles;
-      auto mst = cycles;
-      mst.backbone = overlay::Backbone::kMst;
-      table.add_numeric_row({mean_on,
-                             run_churny(args, cycles, mean_on, epochs).efficiency,
-                             run_churny(args, mst, mean_on, epochs).efficiency},
-                            4);
-    }
-    table.write_ascii(std::cout);
-  }
-
-  // --- (b) Re-wiring mode ---
-  std::cout << "\n";
-  print_figure_header(
-      "Ablation (b): delayed vs immediate re-wiring (plain BR)",
-      "Immediate repair buys efficiency under churn at the price of more "
-      "re-wirings (probing/computation).");
-  {
-    util::Table table(
-        {"churn mean-ON (s)", "delayed eff", "immediate eff",
-         "delayed rewires", "immediate rewires"});
-    for (double mean_on : {2000.0, 200.0}) {
-      auto delayed = base;
-      delayed.policy = overlay::Policy::kBestResponse;
-      delayed.rewire_mode = overlay::RewireMode::kDelayed;
-      auto immediate = delayed;
-      immediate.rewire_mode = overlay::RewireMode::kImmediate;
-      const auto d = run_churny(args, delayed, mean_on, epochs);
-      const auto i = run_churny(args, immediate, mean_on, epochs);
-      table.add_numeric_row({mean_on, d.efficiency, i.efficiency,
-                             static_cast<double>(d.rewirings),
-                             static_cast<double>(i.rewirings)},
-                            4);
-    }
-    table.write_ascii(std::cout);
-  }
-
-  // --- (c) Audits vs a flagrant cheater ---
-  std::cout << "\n";
-  print_figure_header(
-      "Ablation (c): coordinate audits vs a 4x-inflating free rider",
-      "Mean routing cost with the cheater, without and with audits "
-      "(lower is better; audits replace flagged announcements with the "
-      "coordinate estimate, §3.4).");
-  {
-    util::Table table({"audits", "mean cost (ms)"});
-    for (bool audits : {false, true}) {
-      overlay::Environment env(args.n, args.seed);
-      auto config = base;
-      config.policy = overlay::Policy::kBestResponse;
-      config.cheaters = {3};
-      config.cheat_factor = 4.0;
-      config.enable_audits = audits;
-      overlay::EgoistNetwork net(env, config);
-      const auto result =
-          run_and_score(env, net, Score::kRoutingCost, args.run_options());
-      table.add_row({audits ? "on" : "off",
-                     util::Table::format(result.summary.mean, 2)});
-    }
-    table.write_ascii(std::cout);
-  }
-  return 0;
-} catch (const std::exception& e) {
-  std::cerr << "error: " << e.what() << '\n';
-  return 1;
+int main(int argc, char** argv) {
+  return egoist::exp::run_scenario_main(
+      "ablation_design_choices", argc, argv,
+      "ablations for the section 3.3-3.4 design choices: ring-cycle vs MST "
+      "backbone, delayed vs immediate re-wiring, audits on/off");
 }

@@ -1,0 +1,16 @@
+// egoist_sweep: the one CLI for every experiment in the registry.
+//
+//   egoist_sweep --list                         # what can run
+//   egoist_sweep --scenario scenarios/foo.scn   # run a scenario file
+//   egoist_sweep --experiment fig2_churn --n=30 # run with overrides
+//   egoist_sweep --experiment steady_state --jobs 4 --jsonl out.jsonl
+//     --sweep.n=50,100 --sweep.policy=BR,HybridBR
+//
+// Grids expand into independent cells (own RNG streams), run on a thread
+// pool, and emit in deterministic cell order — byte-identical at any
+// --jobs level. See docs/EXPERIMENTS.md.
+#include "exp/cli.hpp"
+
+int main(int argc, char** argv) {
+  return egoist::exp::run_sweep_main(argc, argv);
+}

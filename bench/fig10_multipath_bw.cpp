@@ -1,72 +1,11 @@
-// Fig 10: available-bandwidth gain from multipath transfer.
-//
-// Over a bandwidth-metric BR overlay (per k), every source-target pair is
-// evaluated two ways: (a) k parallel sessions through the source's
-// first-hop neighbors vs the single IP-path session, and (b) the
-// theoretical bound when every peer allows redirection (max-flow over the
-// overlay, capped by the source's aggregate peering capacity) vs the IP
-// path. Per-session shaping at AS peering points is what multipath evades.
-#include <iostream>
+// Fig 10: available-bandwidth gain from multipath transfer over a
+// bandwidth-metric BR overlay.
+// Thin wrapper over the scenario driver (scenarios/fig10_multipath_bw.scn).
+#include "exp/cli.hpp"
 
-#include "apps/multipath.hpp"
-#include "common/bench_common.hpp"
-
-int main(int argc, char** argv) try {
-  using namespace egoist;
-  using namespace egoist::bench;
-  const util::Flags flags(argc, argv);
-  auto args = CommonArgs::parse(flags);
-  const double session_cap = flags.get_double("session-cap", 2.0);
-  const int min_providers = flags.get_int("min-providers", 2);
-  const int max_providers = flags.get_int("max-providers", 5);
-  flags.finish(
-      "Fig 10: available-bandwidth gain from multipath transfer over a bandwidth-metric BR overlay");
-
-  print_figure_header(
-      "Fig 10: available bandwidth gain, n=50",
-      "Mean gain over all source-target pairs (95% CI) vs k: parallel "
-      "first-hop sessions and the all-peers-redirect max-flow bound, both "
-      "normalized by the single IP-path rate.");
-
-  const net::PeeringModel peering(args.n, args.seed ^ 0xA5u, min_providers,
-                                  max_providers, session_cap);
-
-  util::Table table({"k", "parallel gain", "ci95", "max-flow gain", "ci95"});
-  for (int k = args.k_min; k <= args.k_max; ++k) {
-    overlay::Environment env(args.n, args.seed);
-    overlay::OverlayConfig config;
-    config.policy = overlay::Policy::kBestResponse;
-    config.metric = overlay::Metric::kBandwidth;
-    config.k = static_cast<std::size_t>(k);
-    config.seed = args.seed ^ static_cast<std::uint64_t>(k);
-    overlay::EgoistNetwork net(env, config);
-    for (int e = 0; e < args.warmup; ++e) {
-      env.advance(60.0);
-      net.run_epoch();
-    }
-    const auto overlay_bw = net.true_bandwidth_graph();
-
-    std::vector<double> parallel_gains, maxflow_gains;
-    for (int src = 0; src < static_cast<int>(args.n); ++src) {
-      for (int dst = 0; dst < static_cast<int>(args.n); ++dst) {
-        if (src == dst) continue;
-        const double ip = apps::ip_path_rate(env.bandwidth(), peering, src, dst);
-        if (ip <= 0.0) continue;
-        const auto parallel =
-            apps::parallel_transfer(overlay_bw, env.bandwidth(), peering, src, dst);
-        parallel_gains.push_back(parallel.total_rate / ip);
-        maxflow_gains.push_back(apps::maxflow_rate(overlay_bw, peering, src, dst) /
-                                ip);
-      }
-    }
-    const auto p = util::Summary::of(parallel_gains);
-    const auto m = util::Summary::of(maxflow_gains);
-    table.add_numeric_row(
-        {static_cast<double>(k), p.mean, p.ci95, m.mean, m.ci95}, 3);
-  }
-  table.write_ascii(std::cout);
-  return 0;
-} catch (const std::exception& e) {
-  std::cerr << "error: " << e.what() << '\n';
-  return 1;
+int main(int argc, char** argv) {
+  return egoist::exp::run_scenario_main(
+      "fig10_multipath_bw", argc, argv,
+      "Fig 10: available-bandwidth gain from multipath transfer over a "
+      "bandwidth-metric BR overlay");
 }

@@ -1,72 +1,11 @@
-// Fig 11: number of edge-disjoint overlay paths between source and target
-// vs k, over a delay-metric BR overlay — the redirection substrate for
-// real-time (delay/loss-sensitive) traffic.
-//
-// As an extension (the experiment the paper defers to future work), the
-// bench also simulates redundant streaming over those disjoint paths and
-// reports the in-deadline delivery ratio.
-#include <iostream>
+// Fig 11: edge-disjoint overlay paths between random pairs vs k over a
+// delay-metric BR overlay.
+// Thin wrapper over the scenario driver (scenarios/fig11_disjoint_paths.scn).
+#include "exp/cli.hpp"
 
-#include "apps/streaming.hpp"
-#include "common/bench_common.hpp"
-
-int main(int argc, char** argv) try {
-  using namespace egoist;
-  using namespace egoist::bench;
-  const util::Flags flags(argc, argv);
-  auto args = CommonArgs::parse(flags);
-  const int pairs = flags.get_int("pairs", 200);
-  flags.finish(
-      "Fig 11: edge-disjoint overlay paths between random pairs vs k over a delay-metric BR overlay");
-
-  print_figure_header(
-      "Fig 11: disjoint paths, n=50",
-      "Mean number of edge-disjoint overlay paths between random "
-      "source-target pairs vs k (95% CI), plus the redundant-streaming "
-      "delivery ratio over those paths (extension experiment).");
-
-  util::Table table({"k", "disjoint paths", "ci95", "delivery ratio"});
-  util::Rng pair_rng(args.seed ^ 0xD15u);
-  for (int k = args.k_min; k <= args.k_max; ++k) {
-    overlay::Environment env(args.n, args.seed);
-    overlay::OverlayConfig config;
-    config.policy = overlay::Policy::kBestResponse;
-    config.metric = overlay::Metric::kDelayPing;
-    config.k = static_cast<std::size_t>(k);
-    config.seed = args.seed ^ static_cast<std::uint64_t>(k * 13);
-    overlay::EgoistNetwork net(env, config);
-    for (int e = 0; e < args.warmup; ++e) {
-      env.advance(60.0);
-      net.run_epoch();
-    }
-    const auto g = net.true_cost_graph();
-
-    std::vector<double> counts;
-    util::OnlineStats delivery;
-    apps::StreamingConfig streaming;
-    streaming.packets = 200;
-    for (int p = 0; p < pairs; ++p) {
-      const int src = static_cast<int>(pair_rng.uniform_int(0, args.n - 1));
-      int dst = static_cast<int>(pair_rng.uniform_int(0, args.n - 2));
-      if (dst >= src) ++dst;
-      const int paths = apps::disjoint_path_count(g, src, dst);
-      counts.push_back(static_cast<double>(paths));
-      if (paths > 0) {
-        const auto routes = apps::extract_disjoint_paths(g, src, dst, paths);
-        if (!routes.empty()) {
-          delivery.add(apps::simulate_redundant_streaming(g, routes, streaming,
-                                                          pair_rng)
-                           .delivery_ratio());
-        }
-      }
-    }
-    const auto s = util::Summary::of(counts);
-    table.add_numeric_row(
-        {static_cast<double>(k), s.mean, s.ci95, delivery.mean()}, 3);
-  }
-  table.write_ascii(std::cout);
-  return 0;
-} catch (const std::exception& e) {
-  std::cerr << "error: " << e.what() << '\n';
-  return 1;
+int main(int argc, char** argv) {
+  return egoist::exp::run_scenario_main(
+      "fig11_disjoint_paths", argc, argv,
+      "Fig 11: edge-disjoint overlay paths between random pairs vs k over a "
+      "delay-metric BR overlay");
 }

@@ -1,22 +1,11 @@
 // Fig 1 (bottom-right): aggregate available bandwidth vs k (bigger is
 // better), each policy normalized to BR.
-#include <iostream>
+// Thin wrapper over the scenario driver (scenarios/fig1_avail_bw.scn).
+#include "exp/cli.hpp"
 
-#include "common/fig1_runner.hpp"
-
-int main(int argc, char** argv) try {
-  using namespace egoist;
-  const util::Flags flags(argc, argv);
-  const auto args = bench::CommonArgs::parse(flags);
-  flags.finish(
-      "Fig 1 (bottom-right): aggregate available bandwidth vs k, each policy normalized to BR");
-  bench::print_figure_header(
-      "Fig 1 (bottom-right): available bandwidth",
-      "Total available bandwidth / BR available bandwidth vs k (<= 1); BR "
-      "maximizes the sum of bottleneck bandwidths to all destinations.");
-  bench::run_fig1_panel(overlay::Metric::kBandwidth, /*with_mesh=*/false, args);
-  return 0;
-} catch (const std::exception& e) {
-  std::cerr << "error: " << e.what() << '\n';
-  return 1;
+int main(int argc, char** argv) {
+  return egoist::exp::run_scenario_main(
+      "fig1_avail_bw", argc, argv,
+      "Fig 1 (bottom-right): aggregate available bandwidth vs k, each policy "
+      "normalized to BR");
 }

@@ -1,22 +1,11 @@
 // Fig 1 (top-right): individual cost vs k, delay metric from the Vivaldi
 // virtual coordinate system (the pyxida substitute), normalized to BR.
-#include <iostream>
+// Thin wrapper over the scenario driver (scenarios/fig1_delay_coords.scn).
+#include "exp/cli.hpp"
 
-#include "common/fig1_runner.hpp"
-
-int main(int argc, char** argv) try {
-  using namespace egoist;
-  const util::Flags flags(argc, argv);
-  const auto args = bench::CommonArgs::parse(flags);
-  flags.finish(
-      "Fig 1 (top-right): individual cost vs k, delay from Vivaldi coordinates, normalized to BR");
-  bench::print_figure_header(
-      "Fig 1 (top-right): delay via virtual coordinates",
-      "Individual cost / BR cost vs k when link delays come from the "
-      "(cheaper, less accurate) coordinate system instead of ping.");
-  bench::run_fig1_panel(overlay::Metric::kDelayCoords, /*with_mesh=*/false, args);
-  return 0;
-} catch (const std::exception& e) {
-  std::cerr << "error: " << e.what() << '\n';
-  return 1;
+int main(int argc, char** argv) {
+  return egoist::exp::run_scenario_main(
+      "fig1_delay_coords", argc, argv,
+      "Fig 1 (top-right): individual cost vs k, delay from Vivaldi "
+      "coordinates, normalized to BR");
 }

@@ -1,22 +1,12 @@
 // Fig 1 (top-left): individual cost vs k, delay metric measured via ping,
 // normalized to BR, with the full-mesh (RON-style) reference.
-#include <iostream>
+// Thin wrapper over the scenario driver; knobs live in
+// scenarios/fig1_delay_ping.scn (docs/EXPERIMENTS.md maps every figure).
+#include "exp/cli.hpp"
 
-#include "common/fig1_runner.hpp"
-
-int main(int argc, char** argv) try {
-  using namespace egoist;
-  const util::Flags flags(argc, argv);
-  const auto args = bench::CommonArgs::parse(flags);
-  flags.finish(
-      "Fig 1 (top-left): individual cost vs k, delay via ping, normalized to BR, with the full-mesh reference");
-  bench::print_figure_header(
-      "Fig 1 (top-left): delay via ping",
-      "Individual cost / BR cost vs k, 50-node EGOIST overlay; full mesh "
-      "(k=n-1) is the lower bound a RON-style O(n^2) design achieves.");
-  bench::run_fig1_panel(overlay::Metric::kDelayPing, /*with_mesh=*/true, args);
-  return 0;
-} catch (const std::exception& e) {
-  std::cerr << "error: " << e.what() << '\n';
-  return 1;
+int main(int argc, char** argv) {
+  return egoist::exp::run_scenario_main(
+      "fig1_delay_ping", argc, argv,
+      "Fig 1 (top-left): individual cost vs k, delay via ping, normalized to "
+      "BR, with the full-mesh reference");
 }

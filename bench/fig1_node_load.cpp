@@ -1,22 +1,11 @@
 // Fig 1 (bottom-left): individual cost vs k under the node CPU-load metric
 // (path cost = sum of node loads along the path), normalized to BR.
-#include <iostream>
+// Thin wrapper over the scenario driver (scenarios/fig1_node_load.scn).
+#include "exp/cli.hpp"
 
-#include "common/fig1_runner.hpp"
-
-int main(int argc, char** argv) try {
-  using namespace egoist;
-  const util::Flags flags(argc, argv);
-  const auto args = bench::CommonArgs::parse(flags);
-  flags.finish(
-      "Fig 1 (bottom-left): individual cost vs k under the node CPU-load metric, normalized to BR");
-  bench::print_figure_header(
-      "Fig 1 (bottom-left): node load",
-      "Individual cost / BR cost vs k; every outgoing link of a node costs "
-      "the node's own EWMA-smoothed load, so BR routes around busy hosts.");
-  bench::run_fig1_panel(overlay::Metric::kNodeLoad, /*with_mesh=*/false, args);
-  return 0;
-} catch (const std::exception& e) {
-  std::cerr << "error: " << e.what() << '\n';
-  return 1;
+int main(int argc, char** argv) {
+  return egoist::exp::run_scenario_main(
+      "fig1_node_load", argc, argv,
+      "Fig 1 (bottom-left): individual cost vs k under the node CPU-load "
+      "metric, normalized to BR");
 }

@@ -1,156 +1,13 @@
-// Fig 2: node efficiency under churn, normalized to BR.
-//
-// Left panel: trace-driven churn (PlanetLab-like ON/OFF processes) for
-// k = 3..8. Right panel: k = 5 with the churn timescale swept so the
-// measured churn rate spans ~1e-5 .. 0.1 (the paper's definition:
-// Churn = (1/T) sum_i |U_{i-1} symdiff U_i| / max(|U_{i-1}|,|U_i|)).
-//
-// Efficiency replaces routing cost because churn can partition the overlay;
-// eps_i = mean over reachable targets of 1/d and 0 for unreachable ones.
-#include <iostream>
+// Fig 2: node efficiency under trace-driven and parameterized churn,
+// normalized to BR. Thin wrapper over the scenario driver
+// (scenarios/fig2_churn.scn); the experiment body lives in
+// src/exp/experiments/fig2_churn.cpp and the staggered epoch scheduling in
+// src/exp/churn_replay.cpp.
+#include "exp/cli.hpp"
 
-#include "churn/churn.hpp"
-#include "common/bench_common.hpp"
-
-namespace egoist::bench {
-namespace {
-
-struct ChurnRun {
-  double mean_efficiency = 0.0;
-  double measured_churn = 0.0;
-};
-
-/// Runs one policy under the given churn trace, sampling efficiency each
-/// epoch after warmup.
-ChurnRun run_under_churn(const CommonArgs& args, overlay::Policy policy,
-                         std::size_t k, const churn::ChurnTrace& trace,
-                         int epochs, int warmup) {
-  overlay::Environment env(args.n, args.seed);
-  overlay::OverlayConfig config;
-  config.policy = policy;
-  config.k = k;
-  config.metric = overlay::Metric::kDelayPing;
-  config.seed = args.seed ^ (k * 7919);
-  if (policy == overlay::Policy::kHybridBR) config.donated_links = 2;
-  overlay::EgoistNetwork net(env, config);
-
-  // Apply the trace's initial state.
-  for (std::size_t v = 0; v < args.n; ++v) {
-    if (!trace.initial_on()[v]) net.set_online(static_cast<int>(v), false);
-  }
-
-  // Staggered, unsynchronized re-wiring: one node re-evaluates every T/n
-  // seconds (T = 60 s), with churn events applied in time order between
-  // evaluations. This is what gives BR its O(T/n) healing time (§4.4) —
-  // any node's re-wiring can reconnect a partitioned BR overlay, while
-  // k-Random/k-Regular must wait for the specific cut nodes' turns.
-  std::size_t next_event = 0;
-  util::OnlineStats efficiency;
-  const auto& events = trace.events();
-  const double slot = 60.0 / static_cast<double>(args.n);
-  util::Rng order_rng(args.seed ^ 0x0BDEu);
-  for (int e = 0; e < epochs; ++e) {
-    auto order = net.online_nodes();
-    order_rng.shuffle(order);
-    std::size_t turn = 0;
-    for (std::size_t s = 0; s < args.n; ++s) {
-      const double t = e * 60.0 + (s + 1) * slot;
-      while (next_event < events.size() && events[next_event].time <= t) {
-        net.set_online(events[next_event].node, events[next_event].on);
-        ++next_event;
-      }
-      env.advance(slot);
-      if (turn < order.size() && net.online_count() >= 2) {
-        if (net.is_online(order[turn])) net.run_node(order[turn]);
-        ++turn;
-      }
-    }
-    if (e < warmup || net.online_count() < 2) continue;
-    for (double eff : net.node_efficiencies()) efficiency.add(eff);
-  }
-  return ChurnRun{efficiency.mean(), trace.churn_rate()};
-}
-
-churn::ChurnConfig trace_config(double mean_on_s) {
-  churn::ChurnConfig config;
-  config.mean_on_s = mean_on_s;
-  config.mean_off_s = mean_on_s / 3.0;  // ~75% availability
-  config.initial_on_fraction = 0.75;
-  return config;
-}
-
-}  // namespace
-}  // namespace egoist::bench
-
-int main(int argc, char** argv) try {
-  using namespace egoist;
-  using namespace egoist::bench;
-  const util::Flags flags(argc, argv);
-  auto args = CommonArgs::parse(flags);
-  const int epochs = flags.get_int("epochs", 40);
-  const int warmup = flags.get_int("churn-warmup", 10);
-  flags.finish(
-      "Fig 2: node efficiency under trace-driven and parameterized churn, normalized to BR");
-
-  const double horizon = epochs * 60.0;
-  const std::vector<overlay::Policy> policies{
-      overlay::Policy::kRandom, overlay::Policy::kRegular,
-      overlay::Policy::kClosest, overlay::Policy::kHybridBR};
-
-  // --- Left panel: trace-driven churn, efficiency vs k ---
-  print_figure_header(
-      "Fig 2 (left): trace-driven churn, n=50",
-      "Node efficiency / BR efficiency vs k under PlanetLab-like ON/OFF "
-      "churn (heavy-tailed sessions, ~75% availability).");
-  {
-    util::Table table({"k", "BR(abs eff)", "k-Random", "k-Regular", "k-Closest",
-                       "HybridBR", "churn"});
-    const churn::ChurnTrace trace(args.n, horizon, args.seed ^ 0xC4u,
-                                  trace_config(3600.0));
-    for (int k = std::max(args.k_min, 3); k <= args.k_max; ++k) {
-      const auto br = run_under_churn(args, overlay::Policy::kBestResponse,
-                                      static_cast<std::size_t>(k), trace, epochs,
-                                      warmup);
-      std::vector<double> row{static_cast<double>(k), br.mean_efficiency};
-      for (const auto policy : policies) {
-        const auto r = run_under_churn(args, policy, static_cast<std::size_t>(k),
-                                       trace, epochs, warmup);
-        row.push_back(r.mean_efficiency / br.mean_efficiency);
-      }
-      row.push_back(br.measured_churn);
-      table.add_numeric_row(row, 4);
-    }
-    table.write_ascii(std::cout);
-  }
-
-  // --- Right panel: parameterized churn at k = 5 ---
-  std::cout << "\n";
-  print_figure_header(
-      "Fig 2 (right): parameterized churn, n=50, k=5",
-      "Node efficiency / BR efficiency vs measured churn rate; HybridBR "
-      "overtakes BR once churn events outpace the O(T/n) healing time.");
-  {
-    util::Table table({"target", "churn(measured)", "BR(abs eff)", "k-Random",
-                       "k-Regular", "k-Closest", "HybridBR"});
-    for (const double target : {1e-5, 1e-4, 1e-3, 1e-2, 0.05, 0.1}) {
-      // churn ~ 2 / mean_on for 75% availability (see churn.hpp).
-      const churn::ChurnTrace trace(args.n, horizon, args.seed ^ 0xC8u,
-                                    trace_config(2.0 / target));
-      const auto br = run_under_churn(args, overlay::Policy::kBestResponse, 5,
-                                      trace, epochs, warmup);
-      std::vector<double> row{target, br.measured_churn, br.mean_efficiency};
-      for (const auto policy : policies) {
-        const auto r = run_under_churn(args, policy, 5, trace, epochs, warmup);
-        row.push_back(br.mean_efficiency > 0.0
-                          ? r.mean_efficiency / br.mean_efficiency
-                          : 0.0);
-      }
-      table.add_numeric_row(row, 4);
-    }
-    table.write_ascii(std::cout);
-  }
-  return 0;
-} catch (const std::exception& e) {
-  std::cerr << "error: " << e.what() << '\n';
-  return 1;
+int main(int argc, char** argv) {
+  return egoist::exp::run_scenario_main(
+      "fig2_churn", argc, argv,
+      "Fig 2: node efficiency under trace-driven and parameterized churn, "
+      "normalized to BR");
 }

@@ -1,112 +1,11 @@
-// Fig 3: re-wiring dynamics of BR.
-//
-// Left: total re-wirings per (one-minute) epoch over time, k = 2..8 — the
-// rate drops quickly to a small steady state sustained by delay drift.
-// Center: BR cost (normalized by full mesh) and steady-state re-wirings
-// per epoch vs k — more links buy little cost but cost more re-wiring.
-// Right: the same with BR(eps = 0.1), which slashes re-wirings at marginal
-// cost impact.
-#include <iostream>
-#include <memory>
+// Fig 3: BR re-wiring dynamics — per-epoch timeline, steady state vs k,
+// BR(eps) sensitivity. Thin wrapper over the scenario driver
+// (scenarios/fig3_rewirings.scn).
+#include "exp/cli.hpp"
 
-#include "common/bench_common.hpp"
-
-namespace egoist::bench {
-namespace {
-
-overlay::OverlayConfig br_config(std::size_t k, double epsilon,
-                                 std::uint64_t seed) {
-  overlay::OverlayConfig config;
-  config.policy = overlay::Policy::kBestResponse;
-  config.k = k;
-  config.metric = overlay::Metric::kDelayPing;
-  config.epsilon = epsilon;
-  config.seed = seed;
-  return config;
-}
-
-struct SteadyState {
-  double cost = 0.0;        ///< mean node cost over the sampled tail
-  double rewirings = 0.0;   ///< mean re-wirings per epoch over the tail
-};
-
-SteadyState steady_state(const CommonArgs& args, std::size_t k, double epsilon) {
-  overlay::Environment env(args.n, args.seed);
-  overlay::EgoistNetwork net(env, br_config(k, epsilon, args.seed ^ k));
-  const auto result =
-      run_and_score(env, net, Score::kRoutingCost, args.run_options());
-  return SteadyState{result.summary.mean, result.rewirings_per_epoch};
-}
-
-}  // namespace
-}  // namespace egoist::bench
-
-int main(int argc, char** argv) try {
-  using namespace egoist;
-  using namespace egoist::bench;
-  const util::Flags flags(argc, argv);
-  auto args = CommonArgs::parse(flags);
-  const int timeline_epochs = flags.get_int("timeline-epochs", 60);
-  flags.finish(
-      "Fig 3: BR re-wiring dynamics — per-epoch timeline, steady state vs k, BR(eps) sensitivity");
-
-  // --- Left: re-wirings per epoch over time ---
-  print_figure_header("Fig 3 (left): re-wirings per epoch over time",
-                      "Total re-wirings in the overlay per one-minute epoch; "
-                      "columns are k = 2, 3, 4, 5, 8 as in the paper.");
-  {
-    const std::vector<std::size_t> ks{2, 3, 4, 5, 8};
-    std::vector<std::unique_ptr<overlay::Environment>> envs;
-    std::vector<std::unique_ptr<overlay::EgoistNetwork>> nets;
-    for (std::size_t k : ks) {
-      envs.push_back(std::make_unique<overlay::Environment>(args.n, args.seed));
-      nets.push_back(std::make_unique<overlay::EgoistNetwork>(
-          *envs.back(), br_config(k, 0.0, args.seed ^ k)));
-    }
-    util::Table table({"minute", "k=2", "k=3", "k=4", "k=5", "k=8"});
-    for (int e = 0; e < timeline_epochs; ++e) {
-      std::vector<double> row{static_cast<double>(e + 1)};
-      for (std::size_t i = 0; i < ks.size(); ++i) {
-        envs[i]->advance(60.0);
-        row.push_back(static_cast<double>(nets[i]->run_epoch()));
-      }
-      if (e < 10 || (e + 1) % 5 == 0) table.add_numeric_row(row, 0);
-    }
-    table.write_ascii(std::cout);
-  }
-
-  // --- Center and right: cost vs re-wirings as a function of k ---
-  auto sweep = [&](double epsilon, const char* title, const char* caption) {
-    std::cout << "\n";
-    print_figure_header(title, caption);
-    // Full-mesh reference cost for normalization.
-    overlay::Environment mesh_env(args.n, args.seed);
-    overlay::OverlayConfig mesh_config;
-    mesh_config.policy = overlay::Policy::kFullMesh;
-    mesh_config.k = args.n - 1;
-    mesh_config.seed = args.seed;
-    overlay::EgoistNetwork mesh(mesh_env, mesh_config);
-    const double mesh_cost =
-        run_and_score(mesh_env, mesh, Score::kRoutingCost, args.run_options())
-            .summary.mean;
-
-    util::Table table({"k", "cost/full-mesh", "re-wirings/epoch"});
-    for (int k = args.k_min; k <= args.k_max; ++k) {
-      const auto s = steady_state(args, static_cast<std::size_t>(k), epsilon);
-      table.add_numeric_row(
-          {static_cast<double>(k), s.cost / mesh_cost, s.rewirings}, 3);
-    }
-    table.write_ascii(std::cout);
-  };
-
-  sweep(0.0, "Fig 3 (center): exact-threshold BR",
-        "Normalized cost (vs full mesh) and steady-state re-wirings per "
-        "epoch vs k.");
-  sweep(0.1, "Fig 3 (right): BR(0.1)",
-        "Re-wiring only on >10% improvement: re-wirings collapse while the "
-        "normalized cost barely moves.");
-  return 0;
-} catch (const std::exception& e) {
-  std::cerr << "error: " << e.what() << '\n';
-  return 1;
+int main(int argc, char** argv) {
+  return egoist::exp::run_scenario_main(
+      "fig3_rewirings", argc, argv,
+      "Fig 3: BR re-wiring dynamics — per-epoch timeline, steady state vs k, "
+      "BR(eps) sensitivity");
 }

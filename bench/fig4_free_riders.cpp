@@ -1,108 +1,9 @@
-// Fig 4: robustness to free riders who announce inflated (2x) link costs
-// to discourage others from routing through them.
-//
-// Left: a single free rider, k = 2..8 — the cost of the free rider and of
-// the other nodes, each normalized by the corresponding cost in a
-// cheater-free run (ratio ~= 1 means the lie neither helped nor hurt).
-// Right: k = 2 with 0..16 free riders (up to a third of the overlay).
-#include <algorithm>
-#include <iostream>
+// Fig 4: robustness to free riders who announce inflated (2x) link costs.
+// Thin wrapper over the scenario driver (scenarios/fig4_free_riders.scn).
+#include "exp/cli.hpp"
 
-#include "common/bench_common.hpp"
-
-namespace egoist::bench {
-namespace {
-
-struct SplitCosts {
-  double cheaters = 0.0;      ///< mean cost of the free riders
-  double non_cheaters = 0.0;  ///< mean cost of everyone else
-};
-
-/// Runs one overlay; `riders` are the nodes whose costs are averaged into
-/// SplitCosts.cheaters, and they actually lie only when `lie` is set (the
-/// honest baseline uses the same split so ratios compare the same nodes).
-SplitCosts run_split(const CommonArgs& args, std::size_t k,
-                     const std::vector<int>& riders, bool lie) {
-  overlay::Environment env(args.n, args.seed);
-  overlay::OverlayConfig config;
-  config.policy = overlay::Policy::kBestResponse;
-  config.k = k;
-  config.metric = overlay::Metric::kDelayPing;
-  config.seed = args.seed ^ (k * 31);
-  if (lie) config.cheaters = riders;
-  config.cheat_factor = 2.0;
-  overlay::EgoistNetwork net(env, config);
-  const auto result =
-      run_and_score(env, net, Score::kRoutingCost, args.run_options());
-
-  SplitCosts split;
-  util::OnlineStats cheat_stats, honest_stats;
-  for (std::size_t v = 0; v < result.node_means.size(); ++v) {
-    const bool is_rider =
-        std::find(riders.begin(), riders.end(), static_cast<int>(v)) !=
-        riders.end();
-    (is_rider ? cheat_stats : honest_stats).add(result.node_means[v]);
-  }
-  split.cheaters = cheat_stats.count() ? cheat_stats.mean() : 0.0;
-  split.non_cheaters = honest_stats.mean();
-  return split;
-}
-
-}  // namespace
-}  // namespace egoist::bench
-
-int main(int argc, char** argv) try {
-  using namespace egoist;
-  using namespace egoist::bench;
-  const util::Flags flags(argc, argv);
-  auto args = CommonArgs::parse(flags);
-  const int free_rider = flags.get_int("free-rider", 7);
-  flags.finish(
+int main(int argc, char** argv) {
+  return egoist::exp::run_scenario_main(
+      "fig4_free_riders", argc, argv,
       "Fig 4: robustness to free riders announcing 2x-inflated link costs");
-
-  // --- Left: one free rider across k ---
-  print_figure_header(
-      "Fig 4 (left): one free rider, n=50",
-      "Cost with the free rider / cost without, for the free rider itself "
-      "and for the other nodes (1.0 = lying changed nothing).");
-  {
-    util::Table table({"k", "free rider", "non free riders"});
-    for (int k = args.k_min; k <= args.k_max; ++k) {
-      const auto honest =
-          run_split(args, static_cast<std::size_t>(k), {free_rider}, false);
-      const auto cheated =
-          run_split(args, static_cast<std::size_t>(k), {free_rider}, true);
-      table.add_numeric_row(
-          {static_cast<double>(k), cheated.cheaters / honest.cheaters,
-           cheated.non_cheaters / honest.non_cheaters},
-          3);
-    }
-    table.write_ascii(std::cout);
-  }
-
-  // --- Right: many free riders at k = 2 ---
-  std::cout << "\n";
-  print_figure_header(
-      "Fig 4 (right): many free riders, n=50, k=2",
-      "Cost with f free riders / cost without, as f grows to a third of "
-      "the population.");
-  {
-    util::Table table({"free riders", "free riders' cost", "others' cost"});
-    for (int f : {0, 2, 4, 6, 8, 10, 12, 14, 16}) {
-      std::vector<int> riders;
-      for (int c = 0; c < f; ++c) riders.push_back(3 * c);  // spread out
-      const auto honest = run_split(args, 2, riders, false);
-      const auto cheated = run_split(args, 2, riders, true);
-      table.add_numeric_row(
-          {static_cast<double>(f),
-           f == 0 ? 1.0 : cheated.cheaters / honest.cheaters,
-           cheated.non_cheaters / honest.non_cheaters},
-          3);
-    }
-    table.write_ascii(std::cout);
-  }
-  return 0;
-} catch (const std::exception& e) {
-  std::cerr << "error: " << e.what() << '\n';
-  return 1;
 }

@@ -1,273 +1,11 @@
-// Figs 5-8: scalability via sampling (n = 295, k = 3, r = 2).
-//
-// A 295-node overlay is built incrementally with a base strategy (Fig 5:
-// BR; Fig 6: k-Random; Fig 7: k-Regular; Fig 8: k-Closest). A newcomer
-// then joins using each strategy restricted to a sample of m nodes
-// (m = 6..20): k-Random / k-Regular / k-Closest with random sampling, BR
-// with random sampling, and BRtp (BR with topology-biased sampling,
-// b_ij = |F(v_j)| / sum_{u in F(v_j)} d(v_i, u), radius r).
-//
-// The series report the newcomer's realized cost (distance to all 295
-// destinations over the final graph) normalized by the cost of a newcomer
-// running BR with NO sampling.
-#include <iostream>
-#include <numeric>
+// Figs 5-8: scalability via sampling (n = 295, k = 3, r = 2) — a newcomer
+// joins each base overlay from a sample of m nodes.
+// Thin wrapper over the scenario driver (scenarios/fig5_8_sampling.scn).
+#include "exp/cli.hpp"
 
-#include "common/bench_common.hpp"
-#include "core/residual.hpp"
-#include "core/sampling.hpp"
-#include "net/delay_space.hpp"
-
-namespace egoist::bench {
-namespace {
-
-using core::NodeId;
-
-constexpr std::size_t kBaseNodes = 295;
-constexpr std::size_t kDegree = 3;
-constexpr int kRadius = 2;
-
-enum class Base { kBr, kRandom, kRegular, kClosest };
-
-const char* base_name(Base base) {
-  switch (base) {
-    case Base::kBr: return "BR";
-    case Base::kRandom: return "k-Random";
-    case Base::kRegular: return "k-Regular";
-    case Base::kClosest: return "k-Closest";
-  }
-  return "?";
-}
-
-/// Direct (true) delays from `src` to every node id < limit.
-std::vector<double> direct_delays(const net::DelaySpace& delays, NodeId src,
-                                  std::size_t total) {
-  std::vector<double> out(total, 0.0);
-  for (std::size_t v = 0; v < total; ++v) {
-    if (static_cast<NodeId>(v) != src) out[v] = delays.delay(src, static_cast<int>(v));
-  }
-  return out;
-}
-
-/// Builds the 295-node base graph (node kBaseNodes stays inactive) with the
-/// given strategy. Graph weights are true delays. Overlay connections are
-/// TCP, hence usable in both directions (with direction-specific costs):
-/// wiring v -> w also installs w -> v, which keeps incrementally built
-/// graphs strongly connected (otherwise all edges would point backward in
-/// join order and late joiners would be unreachable).
-graph::Digraph build_base(Base base, const net::DelaySpace& delays,
-                          util::Rng& rng) {
-  graph::Digraph g(kBaseNodes + 1);
-  g.set_active(static_cast<NodeId>(kBaseNodes), false);
-  auto wire = [&](NodeId v, const std::vector<NodeId>& links) {
-    for (NodeId w : links) {
-      g.set_edge(v, w, delays.delay(v, w));
-      g.set_edge(w, v, delays.delay(w, v));
-    }
-  };
-  switch (base) {
-    case Base::kBr: {
-      // Incremental construction: only nodes 0..j-1 are active when j joins.
-      for (std::size_t v = 1; v < kBaseNodes; ++v) {
-        g.set_active(static_cast<NodeId>(v), false);
-      }
-      for (std::size_t j = 1; j < kBaseNodes; ++j) {
-        const auto self = static_cast<NodeId>(j);
-        g.set_active(self, true);
-        const auto direct = direct_delays(delays, self, kBaseNodes + 1);
-        const auto objective = core::make_delay_objective(g, self, direct);
-        core::BestResponseOptions options;
-        options.exact_budget = 0;
-        const auto br = core::best_response(objective, kDegree, options);
-        wire(self, br.wiring);
-      }
-      break;
-    }
-    case Base::kRandom: {
-      std::vector<NodeId> all(kBaseNodes);
-      std::iota(all.begin(), all.end(), 0);
-      for (std::size_t v = 0; v < kBaseNodes; ++v) {
-        std::vector<NodeId> candidates;
-        for (NodeId w : all) {
-          if (w != static_cast<NodeId>(v)) candidates.push_back(w);
-        }
-        wire(static_cast<NodeId>(v),
-             core::select_k_random(candidates, kDegree, rng));
-      }
-      break;
-    }
-    case Base::kRegular: {
-      for (std::size_t v = 0; v < kBaseNodes; ++v) {
-        wire(static_cast<NodeId>(v),
-             core::select_k_regular(static_cast<NodeId>(v), kBaseNodes, kDegree));
-      }
-      break;
-    }
-    case Base::kClosest: {
-      std::vector<NodeId> all(kBaseNodes);
-      std::iota(all.begin(), all.end(), 0);
-      for (std::size_t v = 0; v < kBaseNodes; ++v) {
-        std::vector<NodeId> candidates;
-        for (NodeId w : all) {
-          if (w != static_cast<NodeId>(v)) candidates.push_back(w);
-        }
-        wire(static_cast<NodeId>(v),
-             core::select_k_closest(
-                 candidates, direct_delays(delays, static_cast<NodeId>(v),
-                                           kBaseNodes + 1),
-                 kDegree));
-      }
-      break;
-    }
-  }
-  return g;
-}
-
-/// The newcomer's realized cost: mean distance to all base nodes over the
-/// base graph + the chosen wiring (full-information evaluation). The
-/// engine holds the base snapshot, so each evaluation reuses the shared
-/// base trees instead of re-running an all-pairs computation; `scratch`
-/// carries the borrowed residual matrix across calls.
-double newcomer_cost(graph::PathEngine& engine,
-                     const std::vector<double>& direct,
-                     const std::vector<NodeId>& wiring,
-                     graph::DistanceMatrix& scratch) {
-  const auto self = static_cast<NodeId>(kBaseNodes);
-  const auto objective = core::make_delay_objective(
-      engine, self, direct, std::nullopt, std::nullopt, &scratch);
-  return objective.cost(wiring);
-}
-
-struct SampledCosts {
-  double k_random = 0.0;
-  double k_regular = 0.0;
-  double k_closest = 0.0;
-  double br = 0.0;
-  double brtp = 0.0;
-};
-
-/// One trial of all sampled strategies at sample size m.
-SampledCosts sampled_trial(graph::PathEngine& engine,
-                           const std::vector<double>& direct, std::size_t m,
-                           util::Rng& rng, graph::DistanceMatrix& scratch) {
-  const auto self = static_cast<NodeId>(kBaseNodes);
-  std::vector<NodeId> candidates(kBaseNodes);
-  std::iota(candidates.begin(), candidates.end(), 0);
-
-  const auto sample = core::random_sample(candidates, m, rng);
-  SampledCosts costs;
-  // k-Random within the sample.
-  costs.k_random = newcomer_cost(
-      engine, direct, core::select_k_random(sample, kDegree, rng), scratch);
-  // k-Regular within the sample: regular index offsets in the sorted sample.
-  {
-    std::vector<NodeId> wiring;
-    const auto offsets = core::k_regular_offsets(sample.size() + 1, kDegree);
-    for (int o : offsets) {
-      wiring.push_back(sample[static_cast<std::size_t>(o - 1) % sample.size()]);
-    }
-    std::sort(wiring.begin(), wiring.end());
-    wiring.erase(std::unique(wiring.begin(), wiring.end()), wiring.end());
-    costs.k_regular = newcomer_cost(engine, direct, wiring, scratch);
-  }
-  // k-Closest within the sample.
-  costs.k_closest = newcomer_cost(
-      engine, direct, core::select_k_closest(sample, direct, kDegree), scratch);
-  // BR restricted to the sample (search on the sampled objective; evaluate
-  // on the full one).
-  core::BestResponseOptions options;
-  options.exact_budget = 0;
-  {
-    const auto objective =
-        core::make_sampled_delay_objective(engine, self, direct, sample);
-    const auto br = core::best_response(objective, kDegree, options);
-    costs.br = newcomer_cost(engine, direct, br.wiring, scratch);
-  }
-  // BRtp: topology-biased sample over the CSR snapshot, then BR on it.
-  {
-    core::BiasedSamplingOptions bias;
-    bias.radius = kRadius;
-    const auto biased = core::topology_biased_sample(engine.csr(), self, direct,
-                                                     candidates, m, rng, bias);
-    const auto objective =
-        core::make_sampled_delay_objective(engine, self, direct, biased);
-    const auto br = core::best_response(objective, kDegree, options);
-    costs.brtp = newcomer_cost(engine, direct, br.wiring, scratch);
-  }
-  return costs;
-}
-
-void run_figure(Base base, int figure_number, const net::DelaySpace& delays,
-                std::uint64_t seed, int trials) {
-  util::Rng rng(seed);
-  auto base_graph = build_base(base, delays, rng);
-  const auto self = static_cast<NodeId>(kBaseNodes);
-  // The newcomer is present (active) but not yet wired; the base graph is
-  // exactly its residual graph G_{-i}.
-  base_graph.set_active(self, true);
-  const auto direct = direct_delays(delays, self, kBaseNodes + 1);
-
-  // One shared snapshot of the base overlay: the newcomer has no out-edges
-  // yet, so its residual view equals the base and every query below reuses
-  // the engine's base trees.
-  graph::PathEngine engine(base_graph);
-  graph::DistanceMatrix scratch;
-
-  // BR with no sampling: the normalization baseline.
-  double baseline;
-  {
-    const auto objective = core::make_delay_objective(
-        engine, self, direct, std::nullopt, std::nullopt, &scratch);
-    core::BestResponseOptions options;
-    options.exact_budget = 0;
-    baseline = core::best_response(objective, kDegree, options).cost;
-  }
-
-  print_figure_header(
-      "Fig " + std::to_string(figure_number) + ": sampling on a " +
-          base_name(base) + " graph (n=295, k=3, r=2)",
-      "Newcomer's cost / BR-no-sampling cost vs sample size m.");
-  util::Table table(
-      {"m", "k-Random", "k-Regular", "k-Closest", "BR", "BRtp"});
-  for (std::size_t m = 6; m <= 20; m += 2) {
-    SampledCosts mean;
-    for (int t = 0; t < trials; ++t) {
-      const auto c = sampled_trial(engine, direct, m, rng, scratch);
-      mean.k_random += c.k_random;
-      mean.k_regular += c.k_regular;
-      mean.k_closest += c.k_closest;
-      mean.br += c.br;
-      mean.brtp += c.brtp;
-    }
-    const double norm = baseline * trials;
-    table.add_numeric_row({static_cast<double>(m), mean.k_random / norm,
-                           mean.k_regular / norm, mean.k_closest / norm,
-                           mean.br / norm, mean.brtp / norm},
-                          3);
-  }
-  table.write_ascii(std::cout);
-  std::cout << "\n";
-}
-
-}  // namespace
-}  // namespace egoist::bench
-
-int main(int argc, char** argv) try {
-  using namespace egoist;
-  using namespace egoist::bench;
-  const util::Flags flags(argc, argv);
-  const auto seed = flags.get_seed("seed", 42);
-  const int trials = flags.get_int("trials", 5);
-  flags.finish(
-      "Figs 5-8: scalability via sampling (n=295, k=3, r=2) — a newcomer joins each base overlay from a sample of m nodes");
-
-  const auto delays = net::make_planetlab_like(kBaseNodes + 1, seed);
-  run_figure(Base::kBr, 5, delays, seed ^ 5u, trials);
-  run_figure(Base::kRandom, 6, delays, seed ^ 6u, trials);
-  run_figure(Base::kRegular, 7, delays, seed ^ 7u, trials);
-  run_figure(Base::kClosest, 8, delays, seed ^ 8u, trials);
-  return 0;
-} catch (const std::exception& e) {
-  std::cerr << "error: " << e.what() << '\n';
-  return 1;
+int main(int argc, char** argv) {
+  return egoist::exp::run_scenario_main(
+      "fig5_8_sampling", argc, argv,
+      "Figs 5-8: scalability via sampling (n=295, k=3, r=2) — a newcomer "
+      "joins each base overlay from a sample of m nodes");
 }

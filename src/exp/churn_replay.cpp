@@ -1,0 +1,53 @@
+#include "exp/churn_replay.hpp"
+
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace egoist::exp {
+
+ChurnReplayResult replay_churn(overlay::Environment& env,
+                               overlay::EgoistNetwork& net,
+                               const churn::ChurnTrace& trace,
+                               const ChurnReplayOptions& options) {
+  const std::size_t n = net.size();
+  if (trace.node_count() != n) {
+    throw std::invalid_argument("churn trace node count != overlay size");
+  }
+  if (options.epochs < 0 || options.epoch_seconds <= 0.0) {
+    throw std::invalid_argument("need epochs >= 0 and epoch_seconds > 0");
+  }
+
+  // Apply the trace's initial state.
+  for (std::size_t v = 0; v < n; ++v) {
+    if (!trace.initial_on()[v]) net.set_online(static_cast<int>(v), false);
+  }
+
+  std::size_t next_event = 0;
+  util::OnlineStats efficiency;
+  const auto& events = trace.events();
+  const double slot = options.epoch_seconds / static_cast<double>(n);
+  util::Rng order_rng(options.order_seed);
+  for (int e = 0; e < options.epochs; ++e) {
+    auto order = net.online_nodes();
+    order_rng.shuffle(order);
+    std::size_t turn = 0;
+    for (std::size_t s = 0; s < n; ++s) {
+      const double t = e * options.epoch_seconds + (s + 1) * slot;
+      while (next_event < events.size() && events[next_event].time <= t) {
+        net.set_online(events[next_event].node, events[next_event].on);
+        ++next_event;
+      }
+      env.advance(slot);
+      if (turn < order.size() && net.online_count() >= 2) {
+        if (net.is_online(order[turn])) net.run_node(order[turn]);
+        ++turn;
+      }
+    }
+    if (e < options.warmup_epochs || net.online_count() < 2) continue;
+    for (double eff : net.node_efficiencies()) efficiency.add(eff);
+  }
+  return ChurnReplayResult{efficiency.mean(), net.total_rewirings()};
+}
+
+}  // namespace egoist::exp

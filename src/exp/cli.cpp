@@ -1,0 +1,183 @@
+#include "exp/cli.hpp"
+
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <stdexcept>
+
+#include "exp/registry.hpp"
+#include "exp/runner.hpp"
+#include "exp/sweep.hpp"
+#include "util/flags.hpp"
+
+#ifndef EGOIST_SCENARIO_DIR
+#define EGOIST_SCENARIO_DIR "scenarios"
+#endif
+
+namespace egoist::exp {
+
+namespace {
+
+bool is_control_flag(const std::string& name) {
+  return name == "scenario" || name == "experiment" || name == "jsonl" ||
+         name == "jobs" || name == "list" || name == "help";
+}
+
+/// Applies every non-control flag as a scenario knob override.
+void apply_overrides(ScenarioSpec& spec, const util::Flags& flags) {
+  for (const auto& [key, value] : flags.consume_all()) {
+    if (!is_control_flag(key)) spec.set(key, value);
+  }
+}
+
+/// Runs `spec` (grid-aware) to the console, plus JSON lines when asked.
+/// "--jsonl -" claims stdout for the JSON stream, so the console tables
+/// are suppressed to keep it one parseable object per line.
+void run_to_sinks(const ScenarioSpec& spec, int jobs, const std::string& jsonl) {
+  ConsoleSink console(std::cout);
+  std::vector<ResultSink*> sinks;
+  if (jsonl != "-") sinks.push_back(&console);
+  std::ofstream jsonl_file;
+  std::unique_ptr<JsonLinesSink> jsonl_sink;
+  if (!jsonl.empty()) {
+    if (jsonl == "-") {
+      jsonl_sink = std::make_unique<JsonLinesSink>(std::cout);
+    } else {
+      jsonl_file.open(jsonl);
+      if (!jsonl_file) throw std::runtime_error("cannot write " + jsonl);
+      jsonl_sink = std::make_unique<JsonLinesSink>(jsonl_file);
+    }
+    sinks.push_back(jsonl_sink.get());
+  }
+  TeeSink tee(sinks);
+  SweepOptions options;
+  options.jobs = jobs;
+  run_sweep(spec, options, tee);
+}
+
+void print_knobs(const ScenarioSpec& spec) {
+  if (!spec.params.empty()) {
+    std::cout << "knobs (scenario file values; any --key=value overrides):\n";
+    for (const auto& [key, value] : spec.params) {
+      std::cout << "  --" << key << "  (" << value << ")\n";
+    }
+  }
+  if (!spec.axes.empty()) {
+    std::cout << "sweep axes:\n";
+    for (const auto& [key, values] : spec.axes) {
+      std::cout << "  --sweep." << key << "  (" << values << ")\n";
+    }
+  }
+}
+
+void print_control_flags() {
+  std::cout << "control flags:\n"
+               "  --scenario FILE  (run this scenario file)\n"
+               "  --jsonl FILE     (also stream JSON-lines results; - = stdout)\n"
+               "  --jobs N         (parallel grid cells; 0 = hardware threads)\n"
+               "  --help           (this message)\n";
+}
+
+}  // namespace
+
+std::string default_scenario_path(const std::string& name) {
+  return std::string(EGOIST_SCENARIO_DIR) + "/" + name + ".scn";
+}
+
+int run_scenario_main(const std::string& scenario_name, int argc,
+                      const char* const* argv, const std::string& description) {
+  try {
+    const util::Flags flags(argc, argv);
+    // egoist_sweep-only flags must not be silently swallowed here — a user
+    // who passes --experiment believes they retargeted the run.
+    for (const char* sweep_only : {"experiment", "list"}) {
+      if (flags.get(sweep_only)) {
+        throw std::invalid_argument(
+            std::string("--") + sweep_only +
+            " is an egoist_sweep flag; this binary always runs the '" +
+            scenario_name + "' scenario (use --scenario FILE to substitute "
+            "a file, or egoist_sweep to run anything)");
+      }
+    }
+    const std::string path =
+        flags.get_string("scenario", default_scenario_path(scenario_name));
+    const std::string jsonl = flags.get_string("jsonl", "");
+    const int jobs = flags.get_int("jobs", 1);
+
+    if (flags.help_requested()) {
+      std::cout << description << "\n\n"
+                << "scenario file: " << path << "\n";
+      try {
+        print_knobs(load_scenario_file(path));
+      } catch (const std::exception&) {
+        // Help still works when the scenario file is not readable.
+      }
+      print_control_flags();
+      return 0;
+    }
+
+    ScenarioSpec spec = load_scenario_file(path);
+    apply_overrides(spec, flags);
+    run_to_sinks(spec, jobs, jsonl);
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}
+
+int run_sweep_main(int argc, const char* const* argv) {
+  try {
+    const util::Flags flags(argc, argv);
+    const std::string path = flags.get_string("scenario", "");
+    const std::string experiment = flags.get_string("experiment", "");
+    const std::string jsonl = flags.get_string("jsonl", "");
+    const int jobs = flags.get_int("jobs", 1);
+    const bool list = flags.get_bool("list");
+
+    if (flags.help_requested()) {
+      std::cout
+          << "egoist_sweep: run any experiment scenario or grid sweep.\n\n"
+             "usage:\n"
+             "  egoist_sweep --scenario FILE [--key=value ...]\n"
+             "  egoist_sweep --experiment NAME [--key=value ...]\n"
+             "  egoist_sweep --list\n\n"
+             "Scenario files are key = value lines (see scenarios/*.scn and\n"
+             "docs/EXPERIMENTS.md); 'sweep.<knob> = v1,v2' declares a grid\n"
+             "axis. Any other --key=value flag overrides a scenario knob,\n"
+             "including --sweep.<knob>=v1,v2 axes.\n";
+      print_control_flags();
+      std::cout << "  --experiment NAME  (run a registered experiment with "
+                   "its defaults)\n"
+                   "  --list             (list registered experiments)\n";
+      return 0;
+    }
+    if (list) {
+      for (const auto& e : experiments()) {
+        std::cout << e.name << "\n    " << e.summary << "\n";
+      }
+      return 0;
+    }
+    if (path.empty() == experiment.empty()) {
+      throw std::invalid_argument(
+          "pass exactly one of --scenario FILE or --experiment NAME "
+          "(--help for usage)");
+    }
+
+    ScenarioSpec spec;
+    if (!path.empty()) {
+      spec = load_scenario_file(path);
+    } else {
+      spec.name = experiment;
+      spec.experiment = experiment;
+    }
+    apply_overrides(spec, flags);
+    run_to_sinks(spec, jobs, jsonl);
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}
+
+}  // namespace egoist::exp

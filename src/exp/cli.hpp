@@ -1,0 +1,32 @@
+// main() bodies for the thin experiment binaries.
+//
+// Every bench/fig* binary is one call to run_scenario_main: it loads the
+// figure's checked-in scenario file (scenarios/<name>.scn, located via the
+// build-time EGOIST_SCENARIO_DIR), layers any --key=value flags on top as
+// knob overrides, and runs the result through the scenario driver.
+// bench/egoist_sweep is run_sweep_main: the same machinery for an
+// arbitrary scenario file or registry experiment, plus grid execution
+// (--jobs) and experiment discovery (--list).
+#pragma once
+
+#include <string>
+
+namespace egoist::exp {
+
+/// Shared control flags (everything else overrides scenario knobs):
+///   --scenario FILE   run this scenario file instead of the default
+///   --jsonl FILE      also stream JSON-lines results to FILE ("-" = stdout)
+///   --jobs N          grid cells run N at a time (0 = hardware threads)
+///   --help            description, scenario path and knobs
+/// Returns the process exit code (0 ok, 1 on any error).
+int run_scenario_main(const std::string& scenario_name, int argc,
+                      const char* const* argv, const std::string& description);
+
+/// egoist_sweep: --scenario FILE or --experiment NAME (+ the control flags
+/// above, plus --list to enumerate registered experiments).
+int run_sweep_main(int argc, const char* const* argv);
+
+/// The checked-in scenario file for `name`: EGOIST_SCENARIO_DIR/<name>.scn.
+std::string default_scenario_path(const std::string& name);
+
+}  // namespace egoist::exp

@@ -1,9 +1,8 @@
-#include "bench_common.hpp"
+#include "exp/common.hpp"
 
-#include <iostream>
 #include <stdexcept>
 
-namespace egoist::bench {
+namespace egoist::exp {
 
 RunResult run_and_score(overlay::Environment& env, overlay::EgoistNetwork& net,
                         Score score, const RunOptions& options) {
@@ -45,14 +44,14 @@ RunResult run_and_score(overlay::Environment& env, overlay::EgoistNetwork& net,
   return result;
 }
 
-CommonArgs CommonArgs::parse(const util::Flags& flags) {
+CommonArgs CommonArgs::parse(const ParamReader& params) {
   CommonArgs args;
-  args.n = static_cast<std::size_t>(flags.get_int("n", static_cast<int>(args.n)));
-  args.seed = flags.get_seed("seed", args.seed);
-  args.warmup = flags.get_int("warmup", args.warmup);
-  args.sample = flags.get_int("sample", args.sample);
-  args.k_min = flags.get_int("k-min", args.k_min);
-  args.k_max = flags.get_int("k-max", args.k_max);
+  args.n = static_cast<std::size_t>(params.get_int("n", static_cast<int>(args.n)));
+  args.seed = params.get_seed("seed", args.seed);
+  args.warmup = params.get_int("warmup", args.warmup);
+  args.sample = params.get_int("sample", args.sample);
+  args.k_min = params.get_int("k-min", args.k_min);
+  args.k_max = params.get_int("k-max", args.k_max);
   if (args.k_min < 1 || args.k_max < args.k_min) {
     throw std::invalid_argument("need 1 <= k-min <= k-max");
   }
@@ -66,8 +65,4 @@ RunOptions CommonArgs::run_options() const {
   return options;
 }
 
-void print_figure_header(const std::string& figure, const std::string& caption) {
-  std::cout << "=== " << figure << " ===\n" << caption << "\n\n";
-}
-
-}  // namespace egoist::bench
+}  // namespace egoist::exp

@@ -1,21 +1,23 @@
-// Shared driver for the figure-regeneration benches.
+// Shared measurement loop for the figure experiments.
 //
-// Each bench binary reconstructs one figure of the paper: it deploys one
-// overlay per policy on a shared Environment, runs wiring epochs with the
-// substrate advancing in between, samples the per-node scores over the
+// Each figure experiment reconstructs one figure of the paper: it deploys
+// one overlay per policy on a shared Environment, runs wiring epochs with
+// the substrate advancing in between, samples the per-node scores over the
 // tail of the run (the paper averages over long PlanetLab runs), and
-// prints the same normalized series the figure shows.
+// emits the same normalized series the figure shows. This used to live in
+// bench/common/; it moved here when the benches became thin wrappers over
+// the scenario driver.
 #pragma once
 
 #include <string>
 #include <vector>
 
+#include "exp/params.hpp"
 #include "overlay/network.hpp"
-#include "util/flags.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
-namespace egoist::bench {
+namespace egoist::exp {
 
 /// What a run measures.
 enum class Score {
@@ -41,7 +43,7 @@ struct RunResult {
 RunResult run_and_score(overlay::Environment& env, overlay::EgoistNetwork& net,
                         Score score, const RunOptions& options);
 
-/// Standard flags shared by the figure benches.
+/// Standard knobs shared by the figure experiments.
 struct CommonArgs {
   std::size_t n = 50;
   std::uint64_t seed = 42;
@@ -50,11 +52,8 @@ struct CommonArgs {
   int k_min = 2;
   int k_max = 8;
 
-  static CommonArgs parse(const util::Flags& flags);
+  static CommonArgs parse(const ParamReader& params);
   RunOptions run_options() const;
 };
 
-/// Prints a figure header in a consistent style.
-void print_figure_header(const std::string& figure, const std::string& caption);
-
-}  // namespace egoist::bench
+}  // namespace egoist::exp

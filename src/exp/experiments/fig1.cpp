@@ -1,0 +1,108 @@
+// Fig 1, all four panels: individual cost of each neighbor-selection
+// policy, normalized by BR, as a function of k. One registered experiment
+// per panel (metric), sharing the panel driver below.
+#include "exp/common.hpp"
+#include "exp/experiments/experiments.hpp"
+
+namespace egoist::exp {
+
+namespace {
+
+overlay::OverlayConfig policy_config(overlay::Policy policy, std::size_t k,
+                                     overlay::Metric metric, std::uint64_t seed) {
+  overlay::OverlayConfig config;
+  config.policy = policy;
+  config.k = k;
+  config.metric = metric;
+  config.seed = seed;
+  return config;
+}
+
+/// Runs one Fig 1 panel and emits its table.
+///
+/// For cost metrics (delay/load) the series are cost(policy)/cost(BR) >= 1;
+/// for bandwidth the series are bw(policy)/bw(BR) <= 1 (paper's
+/// "Total Av.Bwth / BR Av.Bwth"). `with_mesh` adds the full-mesh reference
+/// (k = n-1), the RON-style lower bound of the top-left panel.
+void run_fig1_panel(overlay::Metric metric, bool with_mesh,
+                    const CommonArgs& args, ResultSink& sink) {
+  const bool bandwidth = metric == overlay::Metric::kBandwidth;
+  const Score score = bandwidth ? Score::kBandwidth : Score::kRoutingCost;
+
+  std::vector<std::string> columns{"k",        "BR(abs)",   "k-Random",
+                                   "k-Regular", "k-Closest"};
+  if (with_mesh) columns.push_back("FullMesh");
+  util::Table table(columns);
+
+  for (int k = args.k_min; k <= args.k_max; ++k) {
+    // A fresh but identically-seeded environment per policy: every policy
+    // sees the same substrate realization, mirroring the paper's
+    // concurrently deployed per-policy agents.
+    auto run_policy = [&](overlay::Policy policy, std::size_t use_k) {
+      overlay::Environment env(args.n, args.seed);
+      overlay::EgoistNetwork net(
+          env, policy_config(policy, use_k, metric, args.seed ^ use_k));
+      return run_and_score(env, net, score, args.run_options());
+    };
+
+    const auto br = run_policy(overlay::Policy::kBestResponse,
+                               static_cast<std::size_t>(k));
+    auto normalized = [&](const RunResult& r) {
+      // Cost metrics: policy/BR (>= 1). Bandwidth: policy/BR (<= 1).
+      return r.summary.mean / br.summary.mean;
+    };
+
+    std::vector<double> row{
+        static_cast<double>(k), br.summary.mean,
+        normalized(run_policy(overlay::Policy::kRandom, static_cast<std::size_t>(k))),
+        normalized(run_policy(overlay::Policy::kRegular, static_cast<std::size_t>(k))),
+        normalized(run_policy(overlay::Policy::kClosest, static_cast<std::size_t>(k)))};
+    if (with_mesh) {
+      row.push_back(normalized(run_policy(overlay::Policy::kFullMesh, args.n - 1)));
+    }
+    table.add_numeric_row(row, 3);
+  }
+  sink.table("cost_vs_k", table);
+  sink.text("\n(normalized to BR; cost metrics: >1 means worse than BR,\n"
+            " bandwidth: <1 means less aggregate bandwidth than BR)\n");
+}
+
+}  // namespace
+
+void run_fig1_delay_ping(const ParamReader& params, ResultSink& sink) {
+  const auto args = CommonArgs::parse(params);
+  sink.section(
+      "Fig 1 (top-left): delay via ping",
+      "Individual cost / BR cost vs k, 50-node EGOIST overlay; full mesh "
+      "(k=n-1) is the lower bound a RON-style O(n^2) design achieves.");
+  run_fig1_panel(overlay::Metric::kDelayPing, /*with_mesh=*/true, args, sink);
+}
+
+void run_fig1_delay_coords(const ParamReader& params, ResultSink& sink) {
+  const auto args = CommonArgs::parse(params);
+  sink.section(
+      "Fig 1 (top-right): delay via virtual coordinates",
+      "Individual cost / BR cost vs k when link delays come from the "
+      "(cheaper, less accurate) coordinate system instead of ping.");
+  run_fig1_panel(overlay::Metric::kDelayCoords, /*with_mesh=*/false, args, sink);
+}
+
+void run_fig1_node_load(const ParamReader& params, ResultSink& sink) {
+  const auto args = CommonArgs::parse(params);
+  sink.section(
+      "Fig 1 (bottom-left): node load",
+      "Individual cost / BR cost vs k; every outgoing link of a node costs "
+      "the node's own EWMA-smoothed load, so BR routes around busy hosts.");
+  run_fig1_panel(overlay::Metric::kNodeLoad, /*with_mesh=*/false, args, sink);
+}
+
+void run_fig1_avail_bw(const ParamReader& params, ResultSink& sink) {
+  const auto args = CommonArgs::parse(params);
+  sink.section(
+      "Fig 1 (bottom-right): available bandwidth",
+      "Total available bandwidth / BR available bandwidth vs k (<= 1); BR "
+      "maximizes the sum of bottleneck bandwidths to all destinations.");
+  run_fig1_panel(overlay::Metric::kBandwidth, /*with_mesh=*/false, args, sink);
+}
+
+}  // namespace egoist::exp

@@ -1,0 +1,258 @@
+// Epoch wall-time scaling of the BR hot path (ISSUE 2 acceptance bench).
+//
+// Measures EgoistNetwork::run_epoch() wall time for BR / HybridBR overlays
+// at growing n, on three residual-path backends:
+//
+//   legacy     residual Digraph copy + all-pairs per node (the seed's path)
+//   engine     graph::PathEngine, serial (CSR snapshot + reused workspace)
+//   engine-mt  graph::PathEngine with the per-source worker pool
+//
+// All backends produce bit-identical distances, so for a fixed seed every
+// variant walks the *same* wiring trajectory — the re-wiring counts printed
+// per row double as a correctness cross-check (they must match, and the
+// run fails when they do not). Timings cover run_epoch() only; substrate
+// advancement runs outside the clock.
+//
+// Emits a machine-readable JSON report (console, and the `json` knob names
+// a file) so CI can track the perf trajectory, plus per-measurement rows
+// through the structured sink. Timings are wall-clock and thus not
+// deterministic; rewiring counts and trajectories are.
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "exp/common.hpp"
+#include "exp/experiments/experiments.hpp"
+
+namespace egoist::exp {
+
+namespace {
+
+struct BackendSpec {
+  std::string name;
+  overlay::PathBackend backend;
+  int workers;
+};
+
+struct Measurement {
+  std::string policy;
+  std::size_t n = 0;
+  std::string backend;
+  int workers = 1;
+  double epoch_ms_mean = 0.0;
+  double epoch_ms_min = 0.0;
+  int rewirings = 0;       ///< total over the timed epochs (trajectory check)
+  double speedup = 0.0;    ///< vs. legacy at same (policy, n); 0 = n/a
+};
+
+std::vector<std::size_t> parse_n_list(const std::string& csv) {
+  std::vector<std::size_t> out;
+  for (const auto& item : split_csv(csv)) {
+    const int v = std::stoi(item);
+    if (v < 3) throw std::invalid_argument("n must be >= 3");
+    out.push_back(static_cast<std::size_t>(v));
+  }
+  if (out.empty()) throw std::invalid_argument("empty n-list");
+  return out;
+}
+
+std::vector<overlay::Policy> parse_policies(const std::string& csv) {
+  std::vector<overlay::Policy> out;
+  for (const auto& item : split_csv(csv)) {
+    if (item == "BR") {
+      out.push_back(overlay::Policy::kBestResponse);
+    } else if (item == "HybridBR") {
+      out.push_back(overlay::Policy::kHybridBR);
+    } else {
+      throw std::invalid_argument("unknown policy (want BR, HybridBR): " + item);
+    }
+  }
+  if (out.empty()) throw std::invalid_argument("empty policies");
+  return out;
+}
+
+Measurement measure(overlay::Policy policy, std::size_t n,
+                    const BackendSpec& spec, std::size_t k, int warmup,
+                    int epochs, std::uint64_t seed) {
+  overlay::OverlayConfig config;
+  config.policy = policy;
+  config.metric = overlay::Metric::kDelayPing;
+  config.k = std::min(k, n - 1);
+  config.donated_links = 2;
+  config.seed = seed;
+  config.path_backend = spec.backend;
+  config.path_workers = spec.workers;
+
+  overlay::Environment env(n, seed);
+  overlay::EgoistNetwork net(env, config);
+  for (int e = 0; e < warmup; ++e) {
+    env.advance(60.0);
+    net.run_epoch();
+  }
+
+  Measurement m;
+  m.policy = overlay::to_string(policy);
+  m.n = n;
+  m.backend = spec.name;
+  m.workers = spec.workers;
+  m.epoch_ms_min = std::numeric_limits<double>::infinity();
+  for (int e = 0; e < epochs; ++e) {
+    env.advance(60.0);
+    const auto start = std::chrono::steady_clock::now();
+    m.rewirings += net.run_epoch();
+    const auto stop = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(stop - start).count();
+    m.epoch_ms_mean += ms;
+    m.epoch_ms_min = std::min(m.epoch_ms_min, ms);
+  }
+  m.epoch_ms_mean /= epochs;
+  return m;
+}
+
+std::string json_report(const std::vector<Measurement>& results, std::size_t k,
+                        int warmup, int epochs, std::uint64_t seed) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(3);
+  out << "{\"bench\":\"perf_epoch_scaling\",\"metric\":\"delay(ping)\","
+      << "\"k\":" << k << ",\"warmup\":" << warmup << ",\"epochs\":" << epochs
+      << ",\"seed\":" << seed << ",\"results\":[";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& m = results[i];
+    if (i > 0) out << ",";
+    out << "{\"policy\":\"" << m.policy << "\",\"n\":" << m.n
+        << ",\"backend\":\"" << m.backend << "\",\"workers\":" << m.workers
+        << ",\"epoch_ms_mean\":" << m.epoch_ms_mean
+        << ",\"epoch_ms_min\":" << m.epoch_ms_min
+        << ",\"rewirings\":" << m.rewirings;
+    if (m.speedup > 0.0) out << ",\"speedup_vs_legacy\":" << m.speedup;
+    out << "}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+const std::vector<std::string> kRowColumns{
+    "policy", "n", "backend", "workers", "epoch_ms_mean", "epoch_ms_min",
+    "rewirings", "speedup_vs_legacy"};
+
+std::vector<std::string> row_cells(const Measurement& m) {
+  std::ostringstream mean_ms, min_ms, speedup;
+  mean_ms << std::fixed << std::setprecision(3) << m.epoch_ms_mean;
+  min_ms << std::fixed << std::setprecision(3) << m.epoch_ms_min;
+  if (m.speedup > 0.0) {
+    speedup << std::fixed << std::setprecision(3) << m.speedup;
+  } else {
+    speedup << "-";
+  }
+  return {m.policy,     std::to_string(m.n), m.backend,
+          std::to_string(m.workers),          mean_ms.str(),
+          min_ms.str(), std::to_string(m.rewirings), speedup.str()};
+}
+
+}  // namespace
+
+void run_perf_epoch_scaling(const ParamReader& params, ResultSink& sink) {
+  const auto n_list = parse_n_list(params.get_string("n-list", "50,100,200,400"));
+  const auto policies = parse_policies(params.get_string("policies", "BR,HybridBR"));
+  const auto k = static_cast<std::size_t>(params.get_int("k", 5));
+  const int warmup = params.get_int("warmup", 1);
+  const int epochs = params.get_int("epochs", 3);
+  if (warmup < 0 || epochs < 1) {
+    throw std::invalid_argument("need warmup >= 0 and epochs >= 1");
+  }
+  const std::uint64_t seed = params.get_seed("seed", 42);
+  const int workers = params.get_int("workers", 0);
+  const int legacy_max_n = params.get_int("legacy-max-n", 400);
+  const std::string json_path = params.get_string("json", "");
+
+  sink.section(
+      "perf: epoch scaling",
+      "run_epoch() wall time per backend; rewiring counts must agree across\n"
+      "backends (bit-identical trajectories for a fixed seed).");
+
+  const std::vector<BackendSpec> specs{
+      {"legacy", overlay::PathBackend::kLegacy, 1},
+      {"engine", overlay::PathBackend::kCsrEngine, 1},
+      {"engine-mt", overlay::PathBackend::kCsrEngine, workers},
+  };
+
+  std::vector<Measurement> results;
+  {
+    std::ostringstream head;
+    head << std::left << std::setw(10) << "policy" << std::setw(7) << "n"
+         << std::setw(11) << "backend" << std::setw(9) << "workers"
+         << std::setw(14) << "epoch ms" << std::setw(14) << "min ms"
+         << std::setw(10) << "rewires" << "speedup\n";
+    head << std::string(78, '-') << "\n";
+    sink.text(head.str());
+  }
+  int trajectory_mismatches = 0;
+  std::string mismatch_report;
+  for (const auto policy : policies) {
+    for (const std::size_t n : n_list) {
+      double legacy_ms = 0.0;
+      int legacy_rewirings = -1;
+      for (const auto& spec : specs) {
+        if (spec.name == "legacy" &&
+            n > static_cast<std::size_t>(legacy_max_n)) {
+          continue;
+        }
+        auto m = measure(policy, n, spec, k, warmup, epochs, seed);
+        if (spec.name == "legacy") {
+          legacy_ms = m.epoch_ms_mean;
+          legacy_rewirings = m.rewirings;
+        } else {
+          if (legacy_ms > 0.0 && m.epoch_ms_mean > 0.0) {
+            m.speedup = legacy_ms / m.epoch_ms_mean;
+          }
+          // Enforce the trajectory cross-check the banner promises: all
+          // backends must walk the same wiring sequence for a fixed seed.
+          if (legacy_rewirings >= 0 && m.rewirings != legacy_rewirings) {
+            ++trajectory_mismatches;
+            mismatch_report += "TRAJECTORY MISMATCH: " + m.policy +
+                               " n=" + std::to_string(n) + " " + m.backend +
+                               " rewired " + std::to_string(m.rewirings) +
+                               " vs legacy " + std::to_string(legacy_rewirings) +
+                               "\n";
+          }
+        }
+        std::ostringstream line;
+        line << std::left << std::setw(10) << m.policy << std::setw(7) << m.n
+             << std::setw(11) << m.backend << std::setw(9) << m.workers
+             << std::setw(14) << std::fixed << std::setprecision(2)
+             << m.epoch_ms_mean << std::setw(14) << m.epoch_ms_min
+             << std::setw(10) << m.rewirings;
+        if (m.speedup > 0.0) {
+          line << std::setprecision(2) << m.speedup << "x";
+        } else {
+          line << "-";
+        }
+        line << "\n";
+        sink.text(line.str());
+        sink.row("scaling", kRowColumns, row_cells(m));
+        results.push_back(std::move(m));
+      }
+    }
+  }
+
+  const std::string json = json_report(results, k, warmup, epochs, seed);
+  sink.text("\nJSON: " + json + "\n");
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) throw std::runtime_error("cannot write " + json_path);
+    out << json << "\n";
+    sink.text("wrote " + json_path + "\n");
+  }
+  if (trajectory_mismatches > 0) {
+    throw std::runtime_error(
+        mismatch_report + "error: " + std::to_string(trajectory_mismatches) +
+        " backend(s) diverged from the legacy trajectory");
+  }
+}
+
+}  // namespace egoist::exp

@@ -1,0 +1,28 @@
+// The experiment registry: every paper figure (and the perf/ablation
+// studies) is one named experiment with a run function over (ParamReader,
+// ResultSink). Scenario files select an experiment by name; the thin
+// bench/ binaries are one registry lookup each. docs/EXPERIMENTS.md is the
+// human-readable index of this table.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exp/params.hpp"
+#include "exp/result_sink.hpp"
+
+namespace egoist::exp {
+
+struct Experiment {
+  std::string name;     ///< registry key ("fig2_churn", "steady_state", ...)
+  std::string summary;  ///< one-line description for --list / --help
+  void (*run)(const ParamReader& params, ResultSink& sink);
+};
+
+/// All registered experiments, in documentation order.
+const std::vector<Experiment>& experiments();
+
+/// Looks up an experiment; nullptr when the name is unknown.
+const Experiment* find_experiment(const std::string& name);
+
+}  // namespace egoist::exp

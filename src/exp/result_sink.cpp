@@ -1,0 +1,185 @@
+#include "exp/result_sink.hpp"
+
+#include <ostream>
+
+namespace egoist::exp {
+
+namespace {
+
+/// Escapes a string for inclusion in a JSON string literal.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char hex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(c >> 4) & 0xF];
+          out += hex[c & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_string(const std::string& s) {
+  return "\"" + json_escape(s) + "\"";
+}
+
+void write_string_array(std::ostream& os, const std::vector<std::string>& items) {
+  os << "[";
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    os << (i ? "," : "") << json_string(items[i]);
+  }
+  os << "]";
+}
+
+}  // namespace
+
+// --- ConsoleSink ---
+
+void ConsoleSink::section(const std::string& title, const std::string& caption) {
+  os_ << "=== " << title << " ===\n" << caption << "\n\n";
+}
+
+void ConsoleSink::table(const std::string&, const util::Table& t) {
+  t.write_ascii(os_);
+}
+
+void ConsoleSink::text(const std::string& raw) { os_ << raw; }
+
+// --- JsonLinesSink ---
+
+void JsonLinesSink::begin_scenario(const std::string& scenario,
+                                   const std::string& experiment,
+                                   const Params& params) {
+  scenario_ = scenario;
+  os_ << "{\"type\":\"scenario\",\"scenario\":" << json_string(scenario)
+      << ",\"experiment\":" << json_string(experiment) << ",\"params\":{";
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    os_ << (i ? "," : "") << json_string(params[i].first) << ":"
+        << json_string(params[i].second);
+  }
+  os_ << "}}\n";
+}
+
+void JsonLinesSink::section(const std::string& title, const std::string& caption) {
+  os_ << "{\"type\":\"section\",\"scenario\":" << json_string(scenario_)
+      << ",\"title\":" << json_string(title) << ",\"caption\":"
+      << json_string(caption) << "}\n";
+}
+
+void JsonLinesSink::row(const std::string& panel,
+                        const std::vector<std::string>& columns,
+                        const std::vector<std::string>& cells) {
+  os_ << "{\"type\":\"row\",\"scenario\":" << json_string(scenario_)
+      << ",\"panel\":" << json_string(panel) << ",\"columns\":";
+  write_string_array(os_, columns);
+  os_ << ",\"cells\":";
+  write_string_array(os_, cells);
+  os_ << "}\n";
+}
+
+void JsonLinesSink::table(const std::string& panel, const util::Table& t) {
+  for (const auto& cells : t.cell_rows()) row(panel, t.column_names(), cells);
+}
+
+// --- TeeSink ---
+
+void TeeSink::begin_scenario(const std::string& scenario,
+                             const std::string& experiment, const Params& params) {
+  for (auto* s : sinks_) s->begin_scenario(scenario, experiment, params);
+}
+void TeeSink::section(const std::string& title, const std::string& caption) {
+  for (auto* s : sinks_) s->section(title, caption);
+}
+void TeeSink::table(const std::string& panel, const util::Table& t) {
+  for (auto* s : sinks_) s->table(panel, t);
+}
+void TeeSink::row(const std::string& panel, const std::vector<std::string>& columns,
+                  const std::vector<std::string>& cells) {
+  for (auto* s : sinks_) s->row(panel, columns, cells);
+}
+void TeeSink::text(const std::string& raw) {
+  for (auto* s : sinks_) s->text(raw);
+}
+void TeeSink::end_scenario() {
+  for (auto* s : sinks_) s->end_scenario();
+}
+
+// --- BufferSink ---
+
+void BufferSink::begin_scenario(const std::string& scenario,
+                                const std::string& experiment,
+                                const Params& params) {
+  Event ev;
+  ev.kind = Event::Kind::kBegin;
+  ev.a = scenario;
+  ev.b = experiment;
+  ev.params = params;
+  events_.push_back(std::move(ev));
+}
+
+void BufferSink::section(const std::string& title, const std::string& caption) {
+  Event ev;
+  ev.kind = Event::Kind::kSection;
+  ev.a = title;
+  ev.b = caption;
+  events_.push_back(std::move(ev));
+}
+
+void BufferSink::table(const std::string& panel, const util::Table& t) {
+  Event ev;
+  ev.kind = Event::Kind::kTable;
+  ev.a = panel;
+  ev.table = std::make_shared<const util::Table>(t);
+  events_.push_back(std::move(ev));
+}
+
+void BufferSink::row(const std::string& panel,
+                     const std::vector<std::string>& columns,
+                     const std::vector<std::string>& cells) {
+  Event ev;
+  ev.kind = Event::Kind::kRow;
+  ev.a = panel;
+  ev.columns = columns;
+  ev.cells = cells;
+  events_.push_back(std::move(ev));
+}
+
+void BufferSink::text(const std::string& raw) {
+  Event ev;
+  ev.kind = Event::Kind::kText;
+  ev.a = raw;
+  events_.push_back(std::move(ev));
+}
+
+void BufferSink::end_scenario() {
+  Event ev;
+  ev.kind = Event::Kind::kEnd;
+  events_.push_back(std::move(ev));
+}
+
+void BufferSink::replay(ResultSink& sink) const {
+  for (const auto& ev : events_) {
+    switch (ev.kind) {
+      case Event::Kind::kBegin: sink.begin_scenario(ev.a, ev.b, ev.params); break;
+      case Event::Kind::kSection: sink.section(ev.a, ev.b); break;
+      case Event::Kind::kTable: sink.table(ev.a, *ev.table); break;
+      case Event::Kind::kRow: sink.row(ev.a, ev.columns, ev.cells); break;
+      case Event::Kind::kText: sink.text(ev.a); break;
+      case Event::Kind::kEnd: sink.end_scenario(); break;
+    }
+  }
+}
+
+}  // namespace egoist::exp

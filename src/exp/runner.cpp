@@ -1,0 +1,34 @@
+#include "exp/runner.hpp"
+
+#include <stdexcept>
+
+#include "exp/params.hpp"
+#include "exp/registry.hpp"
+#include "util/flags.hpp"
+
+namespace egoist::exp {
+
+void run_scenario(const ScenarioSpec& spec, ResultSink& sink) {
+  if (!spec.axes.empty()) {
+    throw std::invalid_argument(
+        "scenario '" + spec.name +
+        "' declares sweep axes; expand_grid/run_sweep it instead");
+  }
+  const Experiment* experiment = find_experiment(spec.experiment);
+  if (!experiment) {
+    std::vector<std::string> names;
+    for (const auto& e : experiments()) names.push_back(e.name);
+    std::string message = "unknown experiment: " + spec.experiment;
+    if (const auto hint = util::closest_name(spec.experiment, names)) {
+      message += " (did you mean " + *hint + "?)";
+    }
+    throw std::invalid_argument(message);
+  }
+  ParamReader params(spec);
+  sink.begin_scenario(spec.name, spec.experiment, spec.params);
+  experiment->run(params, sink);
+  params.finish();  // after the run, so every knob the experiment reads counts
+  sink.end_scenario();
+}
+
+}  // namespace egoist::exp

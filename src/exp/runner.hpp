@@ -1,0 +1,16 @@
+// ScenarioRunner: one scenario in, structured results out.
+#pragma once
+
+#include "exp/result_sink.hpp"
+#include "exp/scenario.hpp"
+
+namespace egoist::exp {
+
+/// Runs one fully-resolved scenario (no grid axes) through the registry:
+/// emits begin_scenario, runs the experiment, then rejects unread knobs
+/// (typo safety) and closes the scenario. Throws std::invalid_argument on
+/// an unknown experiment (with a closest-name hint), on unread knobs, and
+/// whatever the experiment itself throws.
+void run_scenario(const ScenarioSpec& spec, ResultSink& sink);
+
+}  // namespace egoist::exp

@@ -1,0 +1,144 @@
+#include "exp/scenario.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace egoist::exp {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return "";
+  const auto end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+void set_in(Params& params, const std::string& key, const std::string& value) {
+  for (auto& [k, v] : params) {
+    if (k == key) {
+      v = value;
+      return;
+    }
+  }
+  params.emplace_back(key, value);
+}
+
+}  // namespace
+
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) out.push_back(trim(item));
+  return out;
+}
+
+void ScenarioSpec::set(const std::string& key, const std::string& value) {
+  if (key == "experiment") {
+    experiment = value;
+    return;
+  }
+  constexpr const char kSweepPrefix[] = "sweep.";
+  if (key.rfind(kSweepPrefix, 0) == 0) {
+    const std::string axis = key.substr(sizeof(kSweepPrefix) - 1);
+    if (axis.empty()) throw std::invalid_argument("empty sweep axis name");
+    set_in(axes, axis, value);
+    return;
+  }
+  set_in(params, key, value);
+}
+
+const std::string* ScenarioSpec::find(const std::string& key) const {
+  for (const auto& [k, v] : params) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+ScenarioSpec parse_scenario_text(const std::string& text, const std::string& name,
+                                 const std::string& where) {
+  ScenarioSpec spec;
+  spec.name = name;
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    line = trim(line);
+    if (line.empty()) continue;
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument(where + ":" + std::to_string(line_no) +
+                                  ": expected 'key = value', got '" + line + "'");
+    }
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    if (key.empty()) {
+      throw std::invalid_argument(where + ":" + std::to_string(line_no) +
+                                  ": empty key");
+    }
+    spec.set(key, value);
+  }
+  if (spec.experiment.empty()) {
+    throw std::invalid_argument(where + ": scenario sets no 'experiment'");
+  }
+  return spec;
+}
+
+ScenarioSpec load_scenario_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot read scenario file: " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  // Name the spec after the file stem: "scenarios/fig2_churn.scn" -> fig2_churn.
+  std::string stem = path;
+  const auto slash = stem.find_last_of("/\\");
+  if (slash != std::string::npos) stem = stem.substr(slash + 1);
+  const auto dot = stem.find_last_of('.');
+  if (dot != std::string::npos && dot > 0) stem = stem.substr(0, dot);
+  return parse_scenario_text(text.str(), stem, path);
+}
+
+std::vector<ScenarioSpec> expand_grid(const ScenarioSpec& spec) {
+  if (spec.axes.empty()) return {spec};
+
+  std::vector<std::pair<std::string, std::vector<std::string>>> axes;
+  for (const auto& [key, csv] : spec.axes) {
+    auto values = split_csv(csv);
+    if (values.empty()) {
+      throw std::invalid_argument("sweep axis '" + key + "' has no values");
+    }
+    axes.emplace_back(key, std::move(values));
+  }
+
+  std::vector<ScenarioSpec> cells;
+  std::vector<std::size_t> index(axes.size(), 0);
+  while (true) {
+    ScenarioSpec cell;
+    cell.experiment = spec.experiment;
+    cell.params = spec.params;
+    std::string suffix;
+    for (std::size_t a = 0; a < axes.size(); ++a) {
+      const auto& [key, values] = axes[a];
+      cell.set(key, values[index[a]]);
+      suffix += (a ? "," : "") + key + "=" + values[index[a]];
+    }
+    cell.name = spec.name + "[" + suffix + "]";
+    cells.push_back(std::move(cell));
+
+    // Odometer increment, last axis fastest.
+    std::size_t a = axes.size();
+    while (a > 0) {
+      --a;
+      if (++index[a] < axes[a].second.size()) break;
+      index[a] = 0;
+      if (a == 0) return cells;
+    }
+  }
+}
+
+}  // namespace egoist::exp

@@ -1,0 +1,53 @@
+// Declarative experiment scenarios.
+//
+// A ScenarioSpec names one experiment from the registry (exp/registry.hpp)
+// plus its knobs as ordered key=value string pairs. Specs come from
+// scenario files — one "key = value" per line, '#' comments, see
+// scenarios/*.scn and docs/EXPERIMENTS.md — with CLI flags layered on top
+// as overrides. Keys prefixed "sweep." declare grid axes: their
+// comma-separated values are expanded into one cell per combination by
+// expand_grid(), which the SweepRunner (exp/sweep.hpp) executes.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace egoist::exp {
+
+using Params = std::vector<std::pair<std::string, std::string>>;
+
+struct ScenarioSpec {
+  std::string name;        ///< display name: file stem, or the experiment name
+  std::string experiment;  ///< registry key, e.g. "fig1_delay_ping"
+  Params params;           ///< knobs, in declaration order
+  Params axes;             ///< grid axes ("sweep.<key>" entries, prefix stripped)
+
+  /// Sets or overrides a knob. Keys starting with "sweep." go to axes
+  /// (prefix stripped); the reserved key "experiment" retargets the spec.
+  void set(const std::string& key, const std::string& value);
+
+  /// The current value of a knob, if set.
+  const std::string* find(const std::string& key) const;
+};
+
+/// Parses scenario-file syntax. Throws std::invalid_argument on malformed
+/// lines; `where` names the source (file path) for error messages.
+ScenarioSpec parse_scenario_text(const std::string& text, const std::string& name,
+                                 const std::string& where = "<scenario>");
+
+/// Loads and parses a scenario file; the spec's name is the file stem.
+/// Throws std::runtime_error when the file cannot be read.
+ScenarioSpec load_scenario_file(const std::string& path);
+
+/// Expands the grid axes into one fully-resolved cell per combination, in
+/// declaration order with the last axis varying fastest. Cells are named
+/// "<name>[k1=v1,k2=v2]" and carry no axes of their own. A spec without
+/// axes expands to itself, unchanged.
+std::vector<ScenarioSpec> expand_grid(const ScenarioSpec& spec);
+
+/// Splits a comma-separated value into trimmed items ("a, b" -> {"a","b"});
+/// the splitter behind grid axes and list-valued knobs (perf's n-list).
+std::vector<std::string> split_csv(const std::string& csv);
+
+}  // namespace egoist::exp

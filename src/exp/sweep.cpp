@@ -1,0 +1,66 @@
+#include "exp/sweep.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "exp/runner.hpp"
+
+namespace egoist::exp {
+
+void run_sweep(const ScenarioSpec& spec, const SweepOptions& options,
+               ResultSink& sink) {
+  const auto cells = expand_grid(spec);
+
+  std::size_t jobs;
+  if (options.jobs > 0) {
+    jobs = static_cast<std::size_t>(options.jobs);
+  } else if (options.jobs == 0) {
+    jobs = std::max(1u, std::thread::hardware_concurrency());
+  } else {
+    throw std::invalid_argument("jobs must be >= 0");
+  }
+  jobs = std::min(jobs, cells.size());
+
+  std::vector<BufferSink> buffers(cells.size());
+  std::vector<std::exception_ptr> errors(cells.size());
+
+  if (jobs <= 1) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      try {
+        run_scenario(cells[i], buffers[i]);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    }
+  } else {
+    std::atomic<std::size_t> next{0};
+    auto worker = [&] {
+      while (true) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= cells.size()) return;
+        try {
+          run_scenario(cells[i], buffers[i]);
+        } catch (...) {
+          errors[i] = std::current_exception();
+        }
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(jobs);
+    for (std::size_t t = 0; t < jobs; ++t) pool.emplace_back(worker);
+    for (auto& t : pool) t.join();
+  }
+
+  // Deterministic merge: cell order, stopping at the first failed cell so
+  // output is a prefix of the sequential run's output even on error.
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (errors[i]) std::rethrow_exception(errors[i]);
+    buffers[i].replay(sink);
+  }
+}
+
+}  // namespace egoist::exp

@@ -1,0 +1,31 @@
+// SweepRunner: grid execution on a thread pool.
+//
+// A scenario with "sweep." axes expands into a grid of cells (one
+// fully-resolved ScenarioSpec per combination). Cells are embarrassingly
+// parallel by construction: every cell builds its own Environment and
+// overlay stack from its own seed knob — no RNG stream is shared across
+// cells — so a cell's trajectory is bit-identical whether the grid runs on
+// one thread or sixteen. Each worker records into a per-cell BufferSink
+// and the merged output replays in cell order, so the emitted bytes are
+// also independent of the job count (the lockstep test in
+// tests/exp/sweep_lockstep_test.cpp enforces both properties).
+#pragma once
+
+#include "exp/result_sink.hpp"
+#include "exp/scenario.hpp"
+
+namespace egoist::exp {
+
+struct SweepOptions {
+  /// Worker threads; 0 = one per hardware thread (capped at the cell count).
+  int jobs = 1;
+};
+
+/// Expands `spec`'s grid and runs every cell, `jobs` at a time, replaying
+/// each cell's output into `sink` in cell order. A spec without axes runs
+/// as a single cell. The first cell failure (in cell order) is rethrown
+/// after all workers drain; completed cells before it still emit.
+void run_sweep(const ScenarioSpec& spec, const SweepOptions& options,
+               ResultSink& sink);
+
+}  // namespace egoist::exp

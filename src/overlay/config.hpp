@@ -47,6 +47,15 @@ enum class PathBackend {
 
 const char* to_string(Policy policy);
 const char* to_string(Metric metric);
+const char* to_string(Backbone backbone);
+const char* to_string(PathBackend backend);
+
+/// Parse the to_string names back into enums (scenario files / CLI flags).
+/// Throw std::invalid_argument listing the accepted spellings.
+Policy parse_policy(const std::string& name);
+Metric parse_metric(const std::string& name);
+Backbone parse_backbone(const std::string& name);
+PathBackend parse_path_backend(const std::string& name);
 
 struct OverlayConfig {
   std::size_t k = 5;                  ///< neighbor budget per node

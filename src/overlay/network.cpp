@@ -24,28 +24,6 @@ bool same_set(std::vector<NodeId> a, std::vector<NodeId> b) {
 
 }  // namespace
 
-const char* to_string(Policy policy) {
-  switch (policy) {
-    case Policy::kBestResponse: return "BR";
-    case Policy::kHybridBR: return "HybridBR";
-    case Policy::kRandom: return "k-Random";
-    case Policy::kClosest: return "k-Closest";
-    case Policy::kRegular: return "k-Regular";
-    case Policy::kFullMesh: return "FullMesh";
-  }
-  return "?";
-}
-
-const char* to_string(Metric metric) {
-  switch (metric) {
-    case Metric::kDelayPing: return "delay(ping)";
-    case Metric::kDelayCoords: return "delay(coords)";
-    case Metric::kNodeLoad: return "node-load";
-    case Metric::kBandwidth: return "avail-bw";
-  }
-  return "?";
-}
-
 EgoistNetwork::EgoistNetwork(Environment& env, OverlayConfig config)
     : env_(env),
       config_(config),

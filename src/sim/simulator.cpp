@@ -48,6 +48,11 @@ void Simulator::run_until(double until) {
   now_ = std::max(now_, until);
 }
 
+void Simulator::run_for(double duration) {
+  if (duration < 0.0) throw std::invalid_argument("duration must be >= 0");
+  run_until(now_ + duration);
+}
+
 PeriodicTask::PeriodicTask(Simulator& sim, double start, double period,
                            std::function<void(double)> fn)
     : sim_(sim), period_(period), fn_(std::move(fn)) {

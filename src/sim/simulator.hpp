@@ -39,6 +39,11 @@ class Simulator {
   /// Events scheduled exactly at `until` are executed.
   void run_until(double until);
 
+  /// Convenience: run_until(now() + duration). The clock always lands
+  /// exactly on now() + duration (no drift across repeated calls), which is
+  /// what epoch-style callers ("advance one announce period") want.
+  void run_for(double duration);
+
   /// Runs a single event; returns false when the queue is empty.
   bool step();
 

@@ -1,5 +1,6 @@
 #include "util/flags.hpp"
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdlib>
 #include <iostream>
@@ -12,7 +13,41 @@ namespace {
 bool starts_with(const std::string& s, const std::string& prefix) {
   return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
 }
+
+/// Levenshtein edit distance; small strings only (flag names).
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> prev(b.size() + 1), cur(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) prev[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    cur[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[b.size()];
+}
 }  // namespace
+
+std::optional<std::string> closest_name(const std::string& name,
+                                        const std::vector<std::string>& candidates) {
+  std::optional<std::string> best;
+  std::size_t best_distance = 0;
+  for (const auto& candidate : candidates) {
+    const std::size_t d = edit_distance(name, candidate);
+    if (!best || d < best_distance) {
+      best = candidate;
+      best_distance = d;
+    }
+  }
+  // Only suggest plausible typos: within ~a third of the name's length
+  // (at least 2 edits so one-letter names still get a hint).
+  const std::size_t cutoff =
+      std::max<std::size_t>(2, std::max(name.size(), best ? best->size() : 0) / 3);
+  if (!best || best_distance > cutoff) return std::nullopt;
+  return best;
+}
 
 Flags::Flags(int argc, const char* const* argv) {
   for (int i = 1; i < argc; ++i) {
@@ -94,6 +129,15 @@ std::uint64_t Flags::get_seed(const std::string& name, std::uint64_t def) const 
   }
 }
 
+std::vector<std::pair<std::string, std::string>> Flags::consume_all() const {
+  std::vector<std::pair<std::string, std::string>> out;
+  for (const auto& [name, value] : values_) {
+    queried_[name] = true;
+    out.emplace_back(name, value);
+  }
+  return out;
+}
+
 std::vector<std::string> Flags::unqueried() const {
   std::vector<std::string> out;
   for (const auto& [name, _] : values_) {
@@ -128,7 +172,14 @@ void Flags::finish(const std::string& description) const {
   queried_["help"] = true;  // an explicit --help=false is consumed, not a typo
   const auto leftover = unqueried();
   if (!leftover.empty()) {
-    throw std::invalid_argument("unknown flag: --" + leftover.front());
+    std::vector<std::string> known;
+    for (const auto& [name, _] : defaults_) known.push_back(name);
+    known.push_back("help");
+    std::string message = "unknown flag: --" + leftover.front();
+    if (const auto hint = closest_name(leftover.front(), known)) {
+      message += " (did you mean --" + *hint + "?)";
+    }
+    throw std::invalid_argument(message);
   }
 }
 

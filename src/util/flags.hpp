@@ -8,6 +8,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace egoist::util {
@@ -32,6 +33,11 @@ class Flags {
   /// binaries to reject typos after all get_* calls are done.
   std::vector<std::string> unqueried() const;
 
+  /// Every flag present on the command line as (name, raw value), in
+  /// sorted-name order, marking them all queried. Used by the scenario CLI,
+  /// which forwards arbitrary --key=value flags as parameter overrides.
+  std::vector<std::pair<std::string, std::string>> consume_all() const;
+
   /// True if --help was passed on the command line.
   bool help_requested() const;
 
@@ -41,7 +47,8 @@ class Flags {
 
   /// Standard epilogue for a CLI binary: on --help, prints `description`
   /// plus usage() to stdout and exits 0; otherwise throws
-  /// std::invalid_argument on any flag that was never queried (typo safety).
+  /// std::invalid_argument on any flag that was never queried, suggesting
+  /// the closest known flag (typo safety).
   void finish(const std::string& description = "") const;
 
  private:
@@ -49,5 +56,12 @@ class Flags {
   mutable std::map<std::string, bool> queried_;
   mutable std::map<std::string, std::string> defaults_;
 };
+
+/// Returns the candidate closest to `name` by edit distance, or nullopt
+/// when nothing is close enough to be a plausible typo. Shared by Flags
+/// and the scenario-parameter reader so both reject typos with the same
+/// "did you mean" hint.
+std::optional<std::string> closest_name(const std::string& name,
+                                        const std::vector<std::string>& candidates);
 
 }  // namespace egoist::util

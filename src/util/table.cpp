@@ -1,6 +1,7 @@
 #include "util/table.hpp"
 
 #include <cmath>
+#include <cstdlib>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
@@ -33,18 +34,40 @@ std::string Table::format(double v, int precision) {
   return os.str();
 }
 
+namespace {
+/// A cell counts as numeric when it parses fully as a double (covers
+/// negatives and scientific notation) or is the NaN placeholder "-".
+bool is_numeric_cell(const std::string& cell) {
+  if (cell.empty() || cell == "-") return true;
+  char* end = nullptr;
+  (void)std::strtod(cell.c_str(), &end);
+  return end != nullptr && *end == '\0' && end != cell.c_str();
+}
+}  // namespace
+
 void Table::write_ascii(std::ostream& os) const {
   std::vector<std::size_t> width(columns_.size());
   for (std::size_t c = 0; c < columns_.size(); ++c) width[c] = columns_[c].size();
+  // Numeric columns (every data cell numeric, NaN "-" included) are
+  // right-aligned so signs and decimal points line up; text columns are
+  // left-aligned. Headers follow their column's data.
+  std::vector<bool> numeric(columns_.size(), true);
   for (const auto& row : rows_) {
     for (std::size_t c = 0; c < row.size(); ++c) {
       width[c] = std::max(width[c], row[c].size());
+      if (!is_numeric_cell(row[c])) numeric[c] = false;
     }
   }
   auto emit = [&](const std::vector<std::string>& row) {
     for (std::size_t c = 0; c < row.size(); ++c) {
-      os << std::setw(static_cast<int>(width[c])) << row[c]
-         << (c + 1 < row.size() ? "  " : "");
+      const bool last = c + 1 == row.size();
+      if (last && !numeric[c]) {
+        os << row[c];  // no trailing padding after a left-aligned tail
+      } else {
+        os << (numeric[c] ? std::right : std::left)
+           << std::setw(static_cast<int>(width[c])) << row[c];
+      }
+      os << (last ? "" : "  ");
     }
     os << '\n';
   };

@@ -27,7 +27,13 @@ class Table {
   std::size_t rows() const { return rows_.size(); }
   std::size_t columns() const { return columns_.size(); }
 
-  /// Writes an aligned, human-readable table.
+  /// Raw access for structured (JSON-lines) emission by exp::ResultSink.
+  const std::vector<std::string>& column_names() const { return columns_; }
+  const std::vector<std::vector<std::string>>& cell_rows() const { return rows_; }
+
+  /// Writes an aligned, human-readable table. Numeric columns (including
+  /// NaN "-" and negative cells) are right-aligned; text columns are
+  /// left-aligned, headers following their column's data.
   void write_ascii(std::ostream& os) const;
 
   /// Writes RFC-4180-ish CSV (no quoting needed for our numeric content).

@@ -1,0 +1,104 @@
+// Registry gate: every registered experiment must ship a scenario file,
+// run end-to-end through run_scenario from that file (with shrunk knob
+// overrides), and emit at least one structured row. Starting from the
+// checked-in .scn file makes this the typo-safety gate for the shipped
+// scenarios too: a knob a file sets that its experiment no longer reads
+// fails here, not at a user's prompt.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+
+#include "exp/cli.hpp"
+#include "exp/registry.hpp"
+#include "exp/runner.hpp"
+
+namespace egoist::exp {
+namespace {
+
+/// Shrunk knobs per experiment: fast, but still exercising the full path.
+const std::map<std::string, Params>& smoke_overrides() {
+  static const std::map<std::string, Params> kOverrides{
+      {"fig1_delay_ping",
+       {{"n", "10"}, {"warmup", "1"}, {"sample", "1"}, {"k-min", "2"}, {"k-max", "2"}}},
+      {"fig1_delay_coords",
+       {{"n", "10"}, {"warmup", "1"}, {"sample", "1"}, {"k-min", "2"}, {"k-max", "2"}}},
+      {"fig1_node_load",
+       {{"n", "10"}, {"warmup", "1"}, {"sample", "1"}, {"k-min", "2"}, {"k-max", "2"}}},
+      {"fig1_avail_bw",
+       {{"n", "10"}, {"warmup", "1"}, {"sample", "1"}, {"k-min", "2"}, {"k-max", "2"}}},
+      {"fig2_churn",
+       {{"n", "8"}, {"epochs", "2"}, {"churn-warmup", "0"}, {"k-min", "3"}, {"k-max", "3"}}},
+      {"fig3_rewirings",
+       {{"n", "10"}, {"warmup", "1"}, {"sample", "1"}, {"k-min", "2"}, {"k-max", "2"},
+        {"timeline-epochs", "2"}}},
+      {"fig4_free_riders",
+       {{"n", "50"}, {"warmup", "1"}, {"sample", "1"}, {"k-min", "2"}, {"k-max", "2"}}},
+      {"fig5_8_sampling",
+       {{"trials", "1"}, {"base-n", "24"}, {"m-min", "6"}, {"m-max", "6"}}},
+      {"fig10_multipath_bw",
+       {{"n", "10"}, {"warmup", "1"}, {"k-min", "2"}, {"k-max", "2"}}},
+      {"fig11_disjoint_paths",
+       {{"n", "10"}, {"warmup", "1"}, {"k-min", "2"}, {"k-max", "2"}, {"pairs", "5"}}},
+      {"overhead_accounting",
+       {{"n", "10"}, {"rounds", "2"}, {"k-min", "2"}, {"k-max", "2"}}},
+      {"ablation_design_choices",
+       {{"n", "8"}, {"warmup", "1"}, {"sample", "1"}, {"epochs", "6"}}},
+      {"perf_epoch_scaling",
+       {{"n-list", "8"}, {"epochs", "1"}, {"warmup", "0"}, {"legacy-max-n", "8"}}},
+      {"steady_state",
+       {{"n", "10"}, {"warmup", "1"}, {"sample", "1"}, {"k", "2"}}},
+  };
+  return kOverrides;
+}
+
+TEST(ExperimentsSmokeTest, EveryRegisteredExperimentRunsFromItsScenarioFile) {
+  for (const auto& experiment : experiments()) {
+    const auto it = smoke_overrides().find(experiment.name);
+    ASSERT_NE(it, smoke_overrides().end())
+        << "experiment '" << experiment.name
+        << "' has no smoke overrides; add it to this test";
+    ScenarioSpec spec;
+    ASSERT_NO_THROW(spec = load_scenario_file(
+                        default_scenario_path(experiment.name)))
+        << "experiment '" << experiment.name
+        << "' ships no scenarios/" << experiment.name << ".scn";
+    EXPECT_EQ(spec.experiment, experiment.name);
+    spec.name = experiment.name + "_smoke";
+    for (const auto& [key, value] : it->second) spec.set(key, value);
+
+    std::ostringstream console_os, json_os;
+    ConsoleSink console(console_os);
+    JsonLinesSink json(json_os);
+    TeeSink tee({&console, &json});
+    ASSERT_NO_THROW(run_scenario(spec, tee)) << experiment.name;
+    EXPECT_NE(json_os.str().find("\"type\":\"row\""), std::string::npos)
+        << experiment.name << " emitted no structured rows";
+  }
+}
+
+TEST(ExperimentsSmokeTest, CiSmokeSweepScenarioExpandsToFourSteadyStateCells) {
+  ScenarioSpec spec;
+  ASSERT_NO_THROW(spec = load_scenario_file(
+                      default_scenario_path("ci_smoke_sweep")));
+  EXPECT_EQ(spec.experiment, "steady_state");
+  const auto cells = expand_grid(spec);
+  ASSERT_EQ(cells.size(), 4u);  // the CI gate's schema check assumes 4
+  for (const auto& cell : cells) EXPECT_TRUE(cell.axes.empty());
+}
+
+TEST(ExperimentsSmokeTest, RegistryNamesAreUniqueAndSummarized) {
+  std::map<std::string, int> seen;
+  for (const auto& experiment : experiments()) {
+    EXPECT_FALSE(experiment.name.empty());
+    EXPECT_FALSE(experiment.summary.empty()) << experiment.name;
+    EXPECT_NE(experiment.run, nullptr) << experiment.name;
+    EXPECT_EQ(seen[experiment.name]++, 0)
+        << "duplicate experiment name " << experiment.name;
+    EXPECT_EQ(find_experiment(experiment.name), &experiment);
+  }
+  EXPECT_EQ(find_experiment("no_such_experiment"), nullptr);
+}
+
+}  // namespace
+}  // namespace egoist::exp

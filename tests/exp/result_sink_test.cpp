@@ -1,0 +1,105 @@
+#include "exp/result_sink.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace egoist::exp {
+namespace {
+
+util::Table sample_table() {
+  util::Table t({"k", "cost"});
+  t.add_numeric_row({2.0, 1.25}, 2);
+  t.add_numeric_row({3.0, 0.75}, 2);
+  return t;
+}
+
+TEST(ConsoleSinkTest, MatchesLegacyFigureFormat) {
+  std::ostringstream os;
+  ConsoleSink sink(os);
+  sink.begin_scenario("s", "e", {{"n", "50"}});
+  sink.section("Fig X", "A caption.");
+  sink.table("panel", sample_table());
+  sink.text("\nfootnote\n");
+  EXPECT_EQ(os.str(),
+            "=== Fig X ===\nA caption.\n\n"
+            "   k  cost\n"
+            "----------\n"
+            "2.00  1.25\n"
+            "3.00  0.75\n"
+            "\nfootnote\n");
+}
+
+TEST(JsonLinesSinkTest, SchemaAndEscaping) {
+  std::ostringstream os;
+  JsonLinesSink sink(os);
+  sink.begin_scenario("s[n=1]", "steady_state", {{"n", "1"}, {"note", "a\"b"}});
+  sink.section("T", "line1\nline2");
+  sink.table("panel", sample_table());
+  sink.text("ignored by structured sinks");
+  const std::string out = os.str();
+  EXPECT_EQ(out,
+            "{\"type\":\"scenario\",\"scenario\":\"s[n=1]\","
+            "\"experiment\":\"steady_state\","
+            "\"params\":{\"n\":\"1\",\"note\":\"a\\\"b\"}}\n"
+            "{\"type\":\"section\",\"scenario\":\"s[n=1]\",\"title\":\"T\","
+            "\"caption\":\"line1\\nline2\"}\n"
+            "{\"type\":\"row\",\"scenario\":\"s[n=1]\",\"panel\":\"panel\","
+            "\"columns\":[\"k\",\"cost\"],\"cells\":[\"2.00\",\"1.25\"]}\n"
+            "{\"type\":\"row\",\"scenario\":\"s[n=1]\",\"panel\":\"panel\","
+            "\"columns\":[\"k\",\"cost\"],\"cells\":[\"3.00\",\"0.75\"]}\n");
+}
+
+TEST(BufferSinkTest, ReplayPreservesEventOrderAndContent) {
+  BufferSink buffer;
+  buffer.begin_scenario("s", "e", {{"n", "5"}});
+  buffer.section("T", "C");
+  buffer.table("p", sample_table());
+  buffer.row("p", {"a"}, {"1"});
+  buffer.text("tail\n");
+  buffer.end_scenario();
+
+  std::ostringstream direct_os, replay_os;
+  {
+    ConsoleSink direct(direct_os);
+    direct.begin_scenario("s", "e", {{"n", "5"}});
+    direct.section("T", "C");
+    direct.table("p", sample_table());
+    direct.row("p", {"a"}, {"1"});
+    direct.text("tail\n");
+    direct.end_scenario();
+  }
+  ConsoleSink replayed(replay_os);
+  buffer.replay(replayed);
+  EXPECT_EQ(replay_os.str(), direct_os.str());
+
+  // The same holds for the structured sink (rows included).
+  std::ostringstream direct_json, replay_json;
+  {
+    JsonLinesSink direct(direct_json);
+    direct.begin_scenario("s", "e", {{"n", "5"}});
+    direct.section("T", "C");
+    direct.table("p", sample_table());
+    direct.row("p", {"a"}, {"1"});
+    direct.text("tail\n");
+    direct.end_scenario();
+  }
+  JsonLinesSink replayed_json(replay_json);
+  buffer.replay(replayed_json);
+  EXPECT_EQ(replay_json.str(), direct_json.str());
+}
+
+TEST(TeeSinkTest, FansOutToAllSinks) {
+  std::ostringstream console_os, json_os;
+  ConsoleSink console(console_os);
+  JsonLinesSink json(json_os);
+  TeeSink tee({&console, &json});
+  tee.begin_scenario("s", "e", {});
+  tee.section("T", "C");
+  tee.table("p", sample_table());
+  EXPECT_NE(console_os.str().find("=== T ==="), std::string::npos);
+  EXPECT_NE(json_os.str().find("\"type\":\"row\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace egoist::exp

@@ -82,6 +82,35 @@ TEST(SimulatorTest, RejectsPastAndNegative) {
   EXPECT_THROW(sim.schedule_in(1.0, nullptr), std::invalid_argument);
 }
 
+TEST(SimulatorTest, RunForAdvancesRelativeToNow) {
+  Simulator sim;
+  std::vector<double> times;
+  sim.schedule_at(5.0, [&] { times.push_back(sim.now()); });
+  sim.schedule_at(30.0, [&] { times.push_back(sim.now()); });
+  sim.run_for(20.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 20.0);
+  sim.run_for(10.0);  // boundary event at 30 runs
+  EXPECT_DOUBLE_EQ(sim.now(), 30.0);
+  EXPECT_EQ(times, (std::vector<double>{5.0, 30.0}));
+}
+
+TEST(SimulatorTest, RepeatedRunForLandsExactlyOnEpochBoundaries) {
+  // The epoch-scheduling pattern of the overhead experiment: advancing by
+  // the announce period R times must land the clock exactly on R periods,
+  // with every periodic firing observed.
+  Simulator sim;
+  int fired = 0;
+  PeriodicTask task(sim, 20.0, 20.0, [&](double) { ++fired; });
+  for (int r = 0; r < 5; ++r) sim.run_for(20.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 100.0);
+  EXPECT_EQ(fired, 5);  // t = 20, 40, 60, 80, 100
+}
+
+TEST(SimulatorTest, RunForRejectsNegative) {
+  Simulator sim;
+  EXPECT_THROW(sim.run_for(-0.5), std::invalid_argument);
+}
+
 TEST(SimulatorTest, StepReturnsFalseWhenEmpty) {
   Simulator sim;
   EXPECT_FALSE(sim.step());

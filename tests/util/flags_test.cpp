@@ -89,6 +89,50 @@ TEST(FlagsTest, FinishThrowsOnUnknownFlag) {
   EXPECT_THROW(f.finish(), std::invalid_argument);
 }
 
+TEST(FlagsTest, FinishSuggestsClosestKnownFlag) {
+  const auto f = make({"--sampel=3"});
+  f.get_int("sample", 10);
+  f.get_int("warmup", 20);
+  try {
+    f.finish();
+    FAIL() << "finish() must reject the typo";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("unknown flag: --sampel"), std::string::npos) << what;
+    EXPECT_NE(what.find("did you mean --sample?"), std::string::npos) << what;
+  }
+}
+
+TEST(FlagsTest, FinishOmitsSuggestionWhenNothingIsClose) {
+  const auto f = make({"--zzqqxx=1"});
+  f.get_int("n", 5);
+  try {
+    f.finish();
+    FAIL() << "finish() must reject the unknown flag";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_EQ(std::string(e.what()).find("did you mean"), std::string::npos);
+  }
+}
+
+TEST(ClosestNameTest, PicksMinimumEditDistanceWithinCutoff) {
+  const std::vector<std::string> candidates{"sample", "warmup", "seed"};
+  ASSERT_TRUE(closest_name("sampel", candidates).has_value());
+  EXPECT_EQ(*closest_name("sampel", candidates), "sample");
+  EXPECT_EQ(*closest_name("warmups", candidates), "warmup");
+  EXPECT_EQ(*closest_name("sed", candidates), "seed");
+  EXPECT_FALSE(closest_name("completely-different", candidates).has_value());
+  EXPECT_FALSE(closest_name("x", {}).has_value());
+}
+
+TEST(FlagsTest, ConsumeAllReturnsEverythingAndSatisfiesFinish) {
+  const auto f = make({"--a=1", "--b", "two"});
+  const auto all = f.consume_all();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0], (std::pair<std::string, std::string>{"a", "1"}));
+  EXPECT_EQ(all[1], (std::pair<std::string, std::string>{"b", "two"}));
+  EXPECT_TRUE(f.unqueried().empty());
+}
+
 TEST(FlagsTest, FinishAcceptsQueriedAndExplicitNoHelp) {
   const auto f = make({"--n=5", "--help=false"});
   EXPECT_EQ(f.get_int("n", 0), 5);

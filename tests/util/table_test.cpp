@@ -48,6 +48,59 @@ TEST(TableTest, FormatPrecision) {
   EXPECT_EQ(Table::format(2.0, 1), "2.0");
 }
 
+TEST(TableTest, NumericColumnsRightAlignIncludingNanAndNegatives) {
+  Table t({"k", "delta"});
+  t.add_numeric_row({2.0, -1.5}, 2);
+  t.add_numeric_row({10.0, std::nan("")}, 2);
+  std::ostringstream os;
+  t.write_ascii(os);
+  // Signs, dashes and decimal points line up on the right edge.
+  EXPECT_EQ(os.str(),
+            "    k  delta\n"
+            "------------\n"
+            " 2.00  -1.50\n"
+            "10.00      -\n");
+}
+
+TEST(TableTest, TextColumnsLeftAlignHeaderIncluded) {
+  Table t({"policy", "cost"});
+  t.add_row({"BR", "74.30"});
+  t.add_row({"k-Random", "459.60"});
+  std::ostringstream os;
+  t.write_ascii(os);
+  EXPECT_EQ(os.str(),
+            "policy      cost\n"
+            "----------------\n"
+            "BR         74.30\n"
+            "k-Random  459.60\n");
+}
+
+TEST(TableTest, TrailingTextColumnHasNoPadding) {
+  Table t({"n", "note"});
+  t.add_row({"1", "ok"});
+  t.add_row({"2", "longer note"});
+  std::ostringstream os;
+  t.write_ascii(os);
+  EXPECT_EQ(os.str(),
+            "n  note\n"
+            "--------------\n"
+            "1  ok\n"
+            "2  longer note\n");
+}
+
+TEST(TableTest, ScientificNotationCountsAsNumeric) {
+  Table t({"x"});
+  t.add_row({"1e-05"});
+  t.add_row({"-2.5e+03"});
+  std::ostringstream os;
+  t.write_ascii(os);
+  EXPECT_EQ(os.str(),
+            "       x\n"
+            "--------\n"
+            "   1e-05\n"
+            "-2.5e+03\n");
+}
+
 TEST(TableTest, RowAndColumnCounts) {
   Table t({"a", "b", "c"});
   EXPECT_EQ(t.columns(), 3u);
