@@ -11,7 +11,7 @@
 #include <algorithm>
 #include <iostream>
 
-#include "overlay/network.hpp"
+#include "host/overlay_host.hpp"
 #include "util/flags.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -32,24 +32,22 @@ int main(int argc, char** argv) try {
   std::vector<int> liars;
   for (std::size_t c = 0; c < n / 4; ++c) liars.push_back(static_cast<int>(4 * c));
 
-  auto run = [&](bool lie) {
-    overlay::Environment env(n, seed);
-    overlay::OverlayConfig config;
-    config.policy = overlay::Policy::kBestResponse;
-    config.k = k;
-    config.seed = seed;
-    if (lie) config.cheaters = liars;
-    config.cheat_factor = factor;
-    overlay::EgoistNetwork net(env, config);
-    for (int e = 0; e < epochs; ++e) {
-      env.advance(60.0);
-      net.run_epoch();
-    }
-    return net.node_costs();
+  // Honest and lying overlays run concurrently on one host; each sees the
+  // same substrate realization through its own measurement plane, so the
+  // cost ratio isolates exactly what the lie changed.
+  host::OverlayHost host(n, seed);
+  auto deploy = [&](bool lie) {
+    host::OverlaySpec spec;
+    spec.policy(overlay::Policy::kBestResponse).k(k).seed(seed);
+    if (lie) spec.cheaters(liars, factor);
+    return host.deploy(spec);
   };
+  const auto honest_overlay = deploy(false);
+  const auto lying_overlay = deploy(true);
+  host.run_epochs(epochs);
 
-  const auto honest = run(false);
-  const auto cheated = run(true);
+  const auto honest = host.snapshot(honest_overlay).node_costs();
+  const auto cheated = host.snapshot(lying_overlay).node_costs();
 
   util::OnlineStats liar_honest, liar_cheated, other_honest, other_cheated;
   for (std::size_t v = 0; v < n; ++v) {

@@ -2,26 +2,20 @@
 //
 //   $ ./build/examples/churn_resilience [--n=40] [--k=5] [--churn=0.02]
 //
-// Runs BR and HybridBR side by side under an aggressive ON/OFF churn
-// process (staggered re-wiring, one node per T/n seconds) and prints each
-// overlay's efficiency over time — watch HybridBR's donated cycle links
-// keep it connected through membership storms that partition plain BR.
+// Deploys BR and HybridBR side by side on one OverlayHost under an
+// aggressive ON/OFF churn process (the host's staggered mode: one node
+// re-evaluates per T/n seconds, churn events applied in time order) and
+// prints each overlay's efficiency over time from epoch-end subscriptions
+// — watch HybridBR's donated cycle links keep it connected through
+// membership storms that partition plain BR.
 #include <iostream>
+#include <vector>
 
 #include "churn/churn.hpp"
-#include "overlay/network.hpp"
+#include "host/overlay_host.hpp"
 #include "util/flags.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
-
-namespace {
-
-double mean_efficiency(const egoist::overlay::EgoistNetwork& net) {
-  if (net.online_count() < 2) return 0.0;
-  return egoist::util::Summary::of(net.node_efficiencies()).mean;
-}
-
-}  // namespace
 
 int main(int argc, char** argv) try {
   using namespace egoist;
@@ -37,7 +31,7 @@ int main(int argc, char** argv) try {
       "node efficiency (paper section 4.4)");
 
   // ON/OFF schedule calibrated so the measured churn rate lands near the
-  // requested target (see bench/fig2_churn.cpp for the calibration).
+  // requested target (see scenarios/fig2_churn.scn for the calibration).
   churn::ChurnConfig churn_config;
   churn_config.mean_on_s = 2.0 / churn_target;
   churn_config.mean_off_s = churn_config.mean_on_s / 3.0;
@@ -48,52 +42,48 @@ int main(int argc, char** argv) try {
             << ", measured churn rate "
             << util::Table::format(trace.churn_rate(), 4) << " (events/s/node)\n\n";
 
-  overlay::Environment br_env(n, seed), hybrid_env(n, seed);
-  overlay::OverlayConfig br_config;
-  br_config.policy = overlay::Policy::kBestResponse;
-  br_config.k = k;
-  br_config.seed = seed;
-  auto hybrid_config = br_config;
-  hybrid_config.policy = overlay::Policy::kHybridBR;
-  hybrid_config.donated_links = 2;
+  host::OverlayHost host(n, seed);
+  auto deploy = [&](overlay::Policy policy) {
+    return host.deploy(host::OverlaySpec()
+                           .policy(policy)
+                           .k(k)
+                           .seed(seed)
+                           .donated_links(2)
+                           .epoch_period(60.0)
+                           .staggered(seed ^ 0x0Du)
+                           .churn(trace));
+  };
+  const auto br = deploy(overlay::Policy::kBestResponse);
+  const auto hybrid = deploy(overlay::Policy::kHybridBR);
 
-  overlay::EgoistNetwork br(br_env, br_config);
-  overlay::EgoistNetwork hybrid(hybrid_env, hybrid_config);
-  for (std::size_t v = 0; v < n; ++v) {
-    if (!trace.initial_on()[v]) {
-      br.set_online(static_cast<int>(v), false);
-      hybrid.set_online(static_cast<int>(v), false);
-    }
-  }
-
+  // Per-epoch efficiency series, collected as the host drives both
+  // overlays through the shared event loop.
+  auto mean_efficiency = [&](host::OverlayHandle handle) {
+    const auto snapshot = host.snapshot(handle);
+    if (snapshot.online_count() < 2) return 0.0;
+    return util::Summary::of(snapshot.node_efficiencies()).mean;
+  };
   util::Table table({"minute", "online", "BR efficiency", "HybridBR efficiency"});
-  std::size_t next = 0;
-  const auto& events = trace.events();
-  const double slot = 60.0 / static_cast<double>(n);
-  util::Rng order_rng(seed ^ 0x0Du);
-  for (int e = 0; e < epochs; ++e) {
-    auto order = br.online_nodes();
-    order_rng.shuffle(order);
-    std::size_t turn = 0;
-    for (std::size_t s = 0; s < n; ++s) {
-      const double t = e * 60.0 + (s + 1) * slot;
-      while (next < events.size() && events[next].time <= t) {
-        br.set_online(events[next].node, events[next].on);
-        hybrid.set_online(events[next].node, events[next].on);
-        ++next;
-      }
-      br_env.advance(slot);
-      hybrid_env.advance(slot);
-      if (turn < order.size()) {
-        if (br.is_online(order[turn])) br.run_node(order[turn]);
-        if (hybrid.is_online(order[turn])) hybrid.run_node(order[turn]);
-        ++turn;
-      }
-    }
-    table.add_row({std::to_string(e + 1), std::to_string(br.online_count()),
-                   util::Table::format(mean_efficiency(br), 4),
-                   util::Table::format(mean_efficiency(hybrid), 4)});
-  }
+  std::vector<double> br_series;
+  std::vector<std::size_t> online_series;
+  const auto sub_br = host.on_epoch_end(br, [&](const host::EpochEvent& event) {
+    online_series.push_back(event.online_count);
+    br_series.push_back(mean_efficiency(br));
+  });
+  // HybridBR's epoch ends after BR's at the same timestamps (deployment
+  // order), so both series are complete when its subscription fires.
+  const auto sub_hybrid =
+      host.on_epoch_end(hybrid, [&](const host::EpochEvent& event) {
+        table.add_row({std::to_string(event.epoch),
+                       std::to_string(online_series.back()),
+                       util::Table::format(br_series.back(), 4),
+                       util::Table::format(mean_efficiency(hybrid), 4)});
+      });
+
+  host.run_epochs(epochs);
+  host.unsubscribe(sub_br);
+  host.unsubscribe(sub_hybrid);
+
   table.write_ascii(std::cout);
   std::cout << "\nHybridBR donates 2 of its " << k
             << " links to a heartbeat-monitored backbone cycle; under heavy\n"

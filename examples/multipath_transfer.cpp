@@ -9,7 +9,7 @@
 #include <iostream>
 
 #include "apps/multipath.hpp"
-#include "overlay/network.hpp"
+#include "host/overlay_host.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
 
@@ -26,24 +26,21 @@ int main(int argc, char** argv) try {
       "multipath_transfer: compare single-path vs multipath transfer "
       "bandwidth between two overlay nodes (paper section 5)");
 
-  overlay::Environment env(n, seed);
-  overlay::OverlayConfig config;
-  config.policy = overlay::Policy::kBestResponse;
-  config.metric = overlay::Metric::kBandwidth;
-  config.k = k;
-  config.seed = seed;
-  overlay::EgoistNetwork net(env, config);
-  for (int e = 0; e < 10; ++e) {
-    env.advance(60.0);
-    net.run_epoch();
-  }
+  host::OverlayHost host(n, seed);
+  const auto overlay = host.deploy(host::OverlaySpec()
+                                       .policy(overlay::Policy::kBestResponse)
+                                       .metric(overlay::Metric::kBandwidth)
+                                       .k(k)
+                                       .seed(seed));
+  host.run_epochs(overlay, 10);
 
   const net::PeeringModel peering(n, seed ^ 0xA5u, 2, 4, 2.0);
-  const auto overlay_bw = net.true_bandwidth_graph();
+  const auto snapshot = host.snapshot(overlay);
+  const auto& overlay_bw = snapshot.true_bandwidth_graph();
+  const auto& bw = host.environment(overlay).bandwidth();
 
-  const double ip = apps::ip_path_rate(env.bandwidth(), peering, src, dst);
-  const auto mp =
-      apps::parallel_transfer(overlay_bw, env.bandwidth(), peering, src, dst);
+  const double ip = apps::ip_path_rate(bw, peering, src, dst);
+  const auto mp = apps::parallel_transfer(overlay_bw, bw, peering, src, dst);
   const double bound = apps::maxflow_rate(overlay_bw, peering, src, dst);
 
   std::cout << "Multipath transfer " << src << " -> " << dst << " (n=" << n

@@ -1,14 +1,17 @@
-// Quickstart: stand up an EGOIST overlay and watch selfish neighbor
+// Quickstart: stand up an EGOIST deployment and watch selfish neighbor
 // selection beat the common heuristics.
 //
 //   $ ./build/examples/quickstart [--n=30] [--k=3] [--epochs=15]
 //
-// The example builds a PlanetLab-like substrate, deploys four overlays on
-// it (Best-Response, k-Random, k-Regular, k-Closest), runs a few wiring
-// epochs, and prints each overlay's mean routing delay.
+// The example builds one OverlayHost (a PlanetLab-like substrate plus a
+// virtual clock), deploys four overlays on it (Best-Response, k-Random,
+// k-Regular, k-Closest) — each a cheap handle with its own measurement
+// plane, all seeing identical network conditions — runs a few wiring
+// epochs through the event loop, and prints each overlay's mean routing
+// delay from an immutable snapshot.
 #include <iostream>
 
-#include "overlay/network.hpp"
+#include "host/overlay_host.hpp"
 #include "util/flags.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -28,31 +31,33 @@ int main(int argc, char** argv) try {
   std::cout << "EGOIST quickstart: n=" << n << " nodes, k=" << k
             << " neighbors each, " << epochs << " one-minute epochs\n\n";
 
+  // One host, four concurrent overlays: a fair comparison exactly like the
+  // paper's parallel PlanetLab agents.
+  host::OverlayHost host(n, seed);
+
+  const std::vector<overlay::Policy> policies{
+      overlay::Policy::kBestResponse, overlay::Policy::kRandom,
+      overlay::Policy::kRegular, overlay::Policy::kClosest};
+  std::vector<host::OverlayHandle> handles;
+  for (const auto policy : policies) {
+    handles.push_back(host.deploy(host::OverlaySpec()
+                                      .policy(policy)
+                                      .metric(overlay::Metric::kDelayPing)
+                                      .k(k)
+                                      .seed(seed)
+                                      .epoch_period(60.0)));
+  }
+
+  host.run_epochs(epochs);  // every node re-evaluates once per epoch
+
   util::Table table({"policy", "mean delay (ms)", "ci95", "re-wirings"});
-  for (const auto policy :
-       {overlay::Policy::kBestResponse, overlay::Policy::kRandom,
-        overlay::Policy::kRegular, overlay::Policy::kClosest}) {
-    // Each policy gets an identically seeded substrate: a fair, concurrent
-    // comparison exactly like the paper's parallel PlanetLab agents.
-    overlay::Environment env(n, seed);
-
-    overlay::OverlayConfig config;
-    config.policy = policy;
-    config.k = k;
-    config.metric = overlay::Metric::kDelayPing;
-    config.seed = seed;
-    overlay::EgoistNetwork net(env, config);
-
-    for (int e = 0; e < epochs; ++e) {
-      env.advance(60.0);  // substrate drifts between epochs
-      net.run_epoch();    // every node re-evaluates its wiring
-    }
-
-    const auto costs = util::Summary::of(net.node_costs());
-    table.add_row({overlay::to_string(policy),
+  for (std::size_t i = 0; i < policies.size(); ++i) {
+    const auto snapshot = host.snapshot(handles[i]);
+    const auto costs = util::Summary::of(snapshot.node_costs());
+    table.add_row({overlay::to_string(policies[i]),
                    util::Table::format(costs.mean, 1),
                    util::Table::format(costs.ci95, 1),
-                   std::to_string(net.total_rewirings())});
+                   std::to_string(snapshot.total_rewirings())});
   }
   table.write_ascii(std::cout);
   std::cout << "\nBest-Response buys each node (and the overlay as a whole) "

@@ -6,48 +6,59 @@
 
 namespace egoist::exp {
 
-ChurnReplayResult replay_churn(overlay::Environment& env,
-                               overlay::EgoistNetwork& net,
-                               const churn::ChurnTrace& trace,
-                               const ChurnReplayOptions& options) {
-  const std::size_t n = net.size();
-  if (trace.node_count() != n) {
-    throw std::invalid_argument("churn trace node count != overlay size");
-  }
-  if (options.epochs < 0 || options.epoch_seconds <= 0.0) {
-    throw std::invalid_argument("need epochs >= 0 and epoch_seconds > 0");
+std::vector<ChurnReplayResult> replay_churn(
+    host::OverlayHost& host, const std::vector<host::OverlayHandle>& overlays,
+    const ChurnReplayOptions& options) {
+  if (options.epochs < 0) {
+    throw std::invalid_argument("need epochs >= 0");
   }
 
-  // Apply the trace's initial state.
-  for (std::size_t v = 0; v < n; ++v) {
-    if (!trace.initial_on()[v]) net.set_online(static_cast<int>(v), false);
+  struct Accumulator {
+    util::OnlineStats efficiency;
+    int epoch = 0;  ///< epochs seen by this run
+  };
+  std::vector<Accumulator> accs(overlays.size());
+
+  std::vector<host::SubscriptionId> subscriptions;
+  subscriptions.reserve(overlays.size());
+  for (std::size_t i = 0; i < overlays.size(); ++i) {
+    subscriptions.push_back(host.on_epoch_end(
+        overlays[i],
+        [&host, &accs, &options, i](const host::EpochEvent& event) {
+          auto& acc = accs[i];
+          ++acc.epoch;
+          if (acc.epoch <= options.warmup_epochs ||
+              acc.epoch > options.epochs || event.online_count < 2) {
+            return;
+          }
+          const auto snapshot = host.snapshot(event.overlay);
+          for (double eff : snapshot.node_efficiencies()) {
+            acc.efficiency.add(eff);
+          }
+        }));
   }
 
-  std::size_t next_event = 0;
-  util::OnlineStats efficiency;
-  const auto& events = trace.events();
-  const double slot = options.epoch_seconds / static_cast<double>(n);
-  util::Rng order_rng(options.order_seed);
-  for (int e = 0; e < options.epochs; ++e) {
-    auto order = net.online_nodes();
-    order_rng.shuffle(order);
-    std::size_t turn = 0;
-    for (std::size_t s = 0; s < n; ++s) {
-      const double t = e * options.epoch_seconds + (s + 1) * slot;
-      while (next_event < events.size() && events[next_event].time <= t) {
-        net.set_online(events[next_event].node, events[next_event].on);
-        ++next_event;
-      }
-      env.advance(slot);
-      if (turn < order.size() && net.online_count() >= 2) {
-        if (net.is_online(order[turn])) net.run_node(order[turn]);
-        ++turn;
-      }
+  for (std::size_t i = 0; i < overlays.size(); ++i) {
+    if (accs[i].epoch < options.epochs) {
+      host.run_epochs(overlays[i], options.epochs - accs[i].epoch);
     }
-    if (e < options.warmup_epochs || net.online_count() < 2) continue;
-    for (double eff : net.node_efficiencies()) efficiency.add(eff);
   }
-  return ChurnReplayResult{efficiency.mean(), net.total_rewirings()};
+  for (const auto id : subscriptions) host.unsubscribe(id);
+
+  std::vector<ChurnReplayResult> results;
+  results.reserve(overlays.size());
+  for (std::size_t i = 0; i < overlays.size(); ++i) {
+    results.push_back(ChurnReplayResult{accs[i].efficiency.mean(),
+                                        host.total_rewirings(overlays[i])});
+  }
+  return results;
+}
+
+ChurnReplayResult replay_churn(host::OverlayHost& host,
+                               host::OverlayHandle overlay,
+                               const ChurnReplayOptions& options) {
+  return replay_churn(host, std::vector<host::OverlayHandle>{overlay}, options)
+      .front();
 }
 
 }  // namespace egoist::exp

@@ -1,42 +1,50 @@
-// Staggered, unsynchronized epoch scheduling under a churn trace.
+// Staggered, unsynchronized epoch measurement under a churn trace, on the
+// OverlayHost API.
 //
 // The paper's churn experiments (§4.4, Fig 2) do not run synchronized
 // epochs: on average one node re-evaluates its wiring every T/n seconds,
 // with churn events applied in time order between evaluations. That is
 // what gives BR its O(T/n) healing time — any node's re-wiring can
 // reconnect a partitioned BR overlay, while k-Random/k-Regular must wait
-// for the specific cut nodes' turns. This loop used to be duplicated in
-// fig2_churn and ablation_design_choices; it is now the one scheduling
-// implementation both experiments (and the tests) share.
+// for the specific cut nodes' turns.
+//
+// The scheduling itself now lives in host::OverlayHost's staggered mode
+// (deploy with OverlaySpec::staggered(order_seed).churn(trace)); what
+// remains here is the measurement convention the churn figures share:
+// sample every online node's efficiency at each post-warmup epoch end,
+// skipping epochs that end with fewer than two nodes online.
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
-#include "churn/churn.hpp"
-#include "overlay/network.hpp"
+#include "exp/common.hpp"
+#include "host/overlay_host.hpp"
 
 namespace egoist::exp {
 
 struct ChurnReplayOptions {
-  int epochs = 40;              ///< total epochs to run
-  int warmup_epochs = 10;       ///< epochs excluded from the efficiency mean
-  double epoch_seconds = 60.0;  ///< T: one node evaluates every T/n seconds
-  std::uint64_t order_seed = 0; ///< per-epoch evaluation-order shuffle stream
+  int epochs = 40;         ///< total epochs to run
+  int warmup_epochs = 10;  ///< epochs excluded from the efficiency mean
 };
 
 struct ChurnReplayResult {
-  double mean_efficiency = 0.0;     ///< over per-node samples of the tail epochs
-  std::uint64_t total_rewirings = 0;  ///< net.total_rewirings() after the run
+  double mean_efficiency = 0.0;       ///< over per-node samples of the tail epochs
+  std::uint64_t total_rewirings = 0;  ///< the overlay's lifetime count after the run
 };
 
-/// Applies `trace`'s initial ON/OFF state to `net`, then replays its events
-/// in time order interleaved with staggered per-node evaluations (one slot
-/// of T/n seconds per node per epoch, evaluation order re-shuffled each
-/// epoch from `order_seed`). Epochs with fewer than two online nodes are
-/// never sampled. Fully deterministic for fixed inputs.
-ChurnReplayResult replay_churn(overlay::Environment& env,
-                               overlay::EgoistNetwork& net,
-                               const churn::ChurnTrace& trace,
+/// Drives every overlay in `overlays` (deployed staggered, typically with
+/// a churn trace) for `options.epochs` more epochs and collects each one's
+/// mean tail efficiency through epoch-end subscriptions. Epochs with fewer
+/// than two online nodes are never sampled. Fully deterministic for fixed
+/// specs.
+std::vector<ChurnReplayResult> replay_churn(
+    host::OverlayHost& host, const std::vector<host::OverlayHandle>& overlays,
+    const ChurnReplayOptions& options);
+
+/// Single-overlay convenience overload.
+ChurnReplayResult replay_churn(host::OverlayHost& host,
+                               host::OverlayHandle overlay,
                                const ChurnReplayOptions& options);
 
 }  // namespace egoist::exp

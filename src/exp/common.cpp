@@ -4,44 +4,98 @@
 
 namespace egoist::exp {
 
-RunResult run_and_score(overlay::Environment& env, overlay::EgoistNetwork& net,
-                        Score score, const RunOptions& options) {
-  auto sample_scores = [&]() -> std::vector<double> {
-    switch (score) {
-      case Score::kRoutingCost: return net.node_costs();
-      case Score::kBandwidth: return net.node_bandwidth_scores();
-      case Score::kEfficiency: return net.node_efficiencies();
-    }
-    throw std::logic_error("unknown score");
-  };
+std::vector<double> snapshot_scores(const host::WiringSnapshot& snapshot,
+                                    Score score) {
+  switch (score) {
+    case Score::kRoutingCost: return snapshot.node_costs();
+    case Score::kBandwidth: return snapshot.node_bandwidth_scores();
+    case Score::kEfficiency: return snapshot.node_efficiencies();
+  }
+  throw std::logic_error("unknown score");
+}
 
-  for (int e = 0; e < options.warmup_epochs; ++e) {
-    env.advance(options.epoch_seconds);
-    net.run_epoch();
+std::vector<RunResult> run_and_score(host::OverlayHost& host,
+                                     const std::vector<host::OverlayHandle>& overlays,
+                                     Score score, const RunOptions& options) {
+  const int total = options.warmup_epochs + options.sample_epochs;
+
+  struct Accumulator {
+    std::vector<double> sums;
+    std::vector<int> counts;
+    int rewirings = 0;
+    int epoch = 0;  ///< epochs seen by this run (not the overlay's lifetime)
+  };
+  std::vector<Accumulator> accs(overlays.size());
+  for (auto& acc : accs) {
+    acc.sums.assign(host.size(), 0.0);
+    acc.counts.assign(host.size(), 0);
   }
-  std::vector<double> sums(net.size(), 0.0);
-  std::vector<int> counts(net.size(), 0);
-  int rewirings = 0;
-  for (int e = 0; e < options.sample_epochs; ++e) {
-    env.advance(options.epoch_seconds);
-    rewirings += net.run_epoch();
-    const auto online = net.online_nodes();
-    const auto scores = sample_scores();
-    for (std::size_t i = 0; i < online.size(); ++i) {
-      sums[static_cast<std::size_t>(online[i])] += scores[i];
-      counts[static_cast<std::size_t>(online[i])] += 1;
+
+  std::vector<host::SubscriptionId> subscriptions;
+  subscriptions.reserve(overlays.size());
+  for (std::size_t i = 0; i < overlays.size(); ++i) {
+    subscriptions.push_back(host.on_epoch_end(
+        overlays[i], [&host, &accs, &options, total, score,
+                      i](const host::EpochEvent& event) {
+          auto& acc = accs[i];
+          ++acc.epoch;
+          // Warmup epochs are discarded; epochs beyond the sampling window
+          // (possible when concurrent overlays are driven past this one's
+          // target) are ignored.
+          if (acc.epoch <= options.warmup_epochs || acc.epoch > total) return;
+          acc.rewirings += event.rewired;
+          const auto snapshot = host.snapshot(event.overlay);
+          const auto& online = snapshot.online_nodes();
+          const auto scores = snapshot_scores(snapshot, score);
+          for (std::size_t j = 0; j < online.size(); ++j) {
+            acc.sums[static_cast<std::size_t>(online[j])] += scores[j];
+            acc.counts[static_cast<std::size_t>(online[j])] += 1;
+          }
+        }));
+  }
+
+  // Each overlay runs `total` epochs beyond its state at call time; the
+  // subscription counts epochs locally, so earlier host activity does not
+  // shift the sampling window. Driving one overlay advances the others at
+  // the same timestamps, so later iterations only mop up stragglers.
+  for (std::size_t i = 0; i < overlays.size(); ++i) {
+    if (accs[i].epoch < total) host.run_epochs(overlays[i], total - accs[i].epoch);
+  }
+  for (const auto id : subscriptions) host.unsubscribe(id);
+
+  std::vector<RunResult> results;
+  results.reserve(overlays.size());
+  for (const auto& acc : accs) {
+    RunResult result;
+    for (std::size_t v = 0; v < acc.sums.size(); ++v) {
+      if (acc.counts[v] > 0) {
+        result.node_means.push_back(acc.sums[v] / acc.counts[v]);
+      }
     }
+    result.summary = util::Summary::of(result.node_means);
+    result.rewirings_per_epoch =
+        options.sample_epochs > 0
+            ? static_cast<double>(acc.rewirings) / options.sample_epochs
+            : 0.0;
+    results.push_back(std::move(result));
   }
-  RunResult result;
-  for (std::size_t v = 0; v < sums.size(); ++v) {
-    if (counts[v] > 0) result.node_means.push_back(sums[v] / counts[v]);
-  }
-  result.summary = util::Summary::of(result.node_means);
-  result.rewirings_per_epoch =
-      options.sample_epochs > 0
-          ? static_cast<double>(rewirings) / options.sample_epochs
-          : 0.0;
-  return result;
+  return results;
+}
+
+RunResult run_and_score(host::OverlayHost& host, host::OverlayHandle overlay,
+                        Score score, const RunOptions& options) {
+  return run_and_score(host, std::vector<host::OverlayHandle>{overlay}, score,
+                       options)
+      .front();
+}
+
+RunResult run_single(std::size_t n, std::uint64_t env_seed,
+                     const overlay::OverlayConfig& config, Score score,
+                     const RunOptions& options) {
+  host::OverlayHost host(n, env_seed);
+  const auto overlay = host.deploy(
+      host::OverlaySpec(config).epoch_period(options.epoch_seconds));
+  return run_and_score(host, overlay, score, options);
 }
 
 CommonArgs CommonArgs::parse(const ParamReader& params) {

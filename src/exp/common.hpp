@@ -1,19 +1,20 @@
-// Shared measurement loop for the figure experiments.
+// Shared measurement loop for the figure experiments, on the OverlayHost
+// API.
 //
 // Each figure experiment reconstructs one figure of the paper: it deploys
-// one overlay per policy on a shared Environment, runs wiring epochs with
-// the substrate advancing in between, samples the per-node scores over the
-// tail of the run (the paper averages over long PlanetLab runs), and
-// emits the same normalized series the figure shows. This used to live in
-// bench/common/; it moved here when the benches became thin wrappers over
-// the scenario driver.
+// one overlay per policy on a shared host (one substrate, per-overlay
+// measurement planes — the paper's concurrent per-policy PlanetLab
+// agents), drives wiring epochs through the host's event loop, samples the
+// per-node scores over the tail of the run through epoch-end subscriptions
+// and WiringSnapshots, and emits the same normalized series the figure
+// shows.
 #pragma once
 
 #include <string>
 #include <vector>
 
 #include "exp/params.hpp"
-#include "overlay/network.hpp"
+#include "host/overlay_host.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
@@ -38,10 +39,29 @@ struct RunResult {
   double rewirings_per_epoch = 0.0;
 };
 
-/// Runs `net` for warmup + sample epochs, advancing `env` by epoch_seconds
-/// before each epoch, and collects the chosen score.
-RunResult run_and_score(overlay::Environment& env, overlay::EgoistNetwork& net,
+/// Reads `score` out of an epoch-end snapshot (scores are ordered like
+/// snapshot.online_nodes()).
+std::vector<double> snapshot_scores(const host::WiringSnapshot& snapshot,
+                                    Score score);
+
+/// Drives every overlay in `overlays` for warmup + sample more epochs on
+/// `host` (concurrent overlays advance together on the shared clock) and
+/// collects the chosen score over the sampled tail, one RunResult per
+/// overlay. The overlays must have been deployed with
+/// epoch_period == options.epoch_seconds.
+std::vector<RunResult> run_and_score(host::OverlayHost& host,
+                                     const std::vector<host::OverlayHandle>& overlays,
+                                     Score score, const RunOptions& options);
+
+/// Single-overlay convenience overload.
+RunResult run_and_score(host::OverlayHost& host, host::OverlayHandle overlay,
                         Score score, const RunOptions& options);
+
+/// The classic one-shot deployment: a fresh single-overlay host (substrate
+/// seeded with `env_seed`), one overlay from `config`, run and scored.
+RunResult run_single(std::size_t n, std::uint64_t env_seed,
+                     const overlay::OverlayConfig& config, Score score,
+                     const RunOptions& options);
 
 /// Standard knobs shared by the figure experiments.
 struct CommonArgs {

@@ -21,15 +21,17 @@ ChurnReplayResult run_churny(const CommonArgs& args,
   churn_config.mean_on_s = mean_on_s;
   churn_config.mean_off_s = mean_on_s / 3.0;
   churn_config.initial_on_fraction = 0.75;
-  const churn::ChurnTrace trace(args.n, epochs * 60.0, args.seed ^ 0xAB1u,
-                                churn_config);
-  overlay::Environment env(args.n, args.seed);
-  overlay::EgoistNetwork net(env, config);
+  churn::ChurnTrace trace(args.n, epochs * 60.0, args.seed ^ 0xAB1u,
+                          churn_config);
+  host::OverlayHost host(args.n, args.seed);
+  const auto overlay = host.deploy(host::OverlaySpec(config)
+                                       .epoch_period(60.0)
+                                       .staggered(args.seed ^ 0xAB2u)
+                                       .churn(std::move(trace)));
   ChurnReplayOptions replay;
   replay.epochs = epochs;
   replay.warmup_epochs = 5;
-  replay.order_seed = args.seed ^ 0xAB2u;
-  return replay_churn(env, net, trace, replay);
+  return replay_churn(host, overlay, replay);
 }
 
 }  // namespace
@@ -99,15 +101,13 @@ void run_ablation_design_choices(const ParamReader& params, ResultSink& sink) {
   {
     util::Table table({"audits", "mean cost (ms)"});
     for (bool audits : {false, true}) {
-      overlay::Environment env(args.n, args.seed);
       auto config = base;
       config.policy = overlay::Policy::kBestResponse;
       config.cheaters = {3};
       config.cheat_factor = 4.0;
       config.enable_audits = audits;
-      overlay::EgoistNetwork net(env, config);
-      const auto result =
-          run_and_score(env, net, Score::kRoutingCost, args.run_options());
+      const auto result = run_single(args.n, args.seed, config,
+                                     Score::kRoutingCost, args.run_options());
       table.add_row({audits ? "on" : "off",
                      util::Table::format(result.summary.mean, 2)});
     }

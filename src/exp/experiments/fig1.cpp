@@ -35,31 +35,36 @@ void run_fig1_panel(overlay::Metric metric, bool with_mesh,
   util::Table table(columns);
 
   for (int k = args.k_min; k <= args.k_max; ++k) {
-    // A fresh but identically-seeded environment per policy: every policy
-    // sees the same substrate realization, mirroring the paper's
-    // concurrently deployed per-policy agents.
-    auto run_policy = [&](overlay::Policy policy, std::size_t use_k) {
-      overlay::Environment env(args.n, args.seed);
-      overlay::EgoistNetwork net(
-          env, policy_config(policy, use_k, metric, args.seed ^ use_k));
-      return run_and_score(env, net, score, args.run_options());
+    // One host per k: every policy's overlay runs concurrently on the
+    // shared substrate through its own identically-seeded measurement
+    // plane, mirroring the paper's concurrently deployed per-policy
+    // agents — each policy sees the same substrate realization.
+    host::OverlayHost host(args.n, args.seed);
+    const auto options = args.run_options();
+    auto deploy = [&](overlay::Policy policy, std::size_t use_k) {
+      return host.deploy(host::OverlaySpec(policy_config(
+                             policy, use_k, metric, args.seed ^ use_k))
+                             .epoch_period(options.epoch_seconds));
     };
 
-    const auto br = run_policy(overlay::Policy::kBestResponse,
-                               static_cast<std::size_t>(k));
+    std::vector<host::OverlayHandle> handles{
+        deploy(overlay::Policy::kBestResponse, static_cast<std::size_t>(k)),
+        deploy(overlay::Policy::kRandom, static_cast<std::size_t>(k)),
+        deploy(overlay::Policy::kRegular, static_cast<std::size_t>(k)),
+        deploy(overlay::Policy::kClosest, static_cast<std::size_t>(k))};
+    if (with_mesh) handles.push_back(deploy(overlay::Policy::kFullMesh, args.n - 1));
+
+    const auto results = run_and_score(host, handles, score, options);
+    const auto& br = results[0];
     auto normalized = [&](const RunResult& r) {
       // Cost metrics: policy/BR (>= 1). Bandwidth: policy/BR (<= 1).
       return r.summary.mean / br.summary.mean;
     };
 
-    std::vector<double> row{
-        static_cast<double>(k), br.summary.mean,
-        normalized(run_policy(overlay::Policy::kRandom, static_cast<std::size_t>(k))),
-        normalized(run_policy(overlay::Policy::kRegular, static_cast<std::size_t>(k))),
-        normalized(run_policy(overlay::Policy::kClosest, static_cast<std::size_t>(k)))};
-    if (with_mesh) {
-      row.push_back(normalized(run_policy(overlay::Policy::kFullMesh, args.n - 1)));
-    }
+    std::vector<double> row{static_cast<double>(k), br.summary.mean,
+                            normalized(results[1]), normalized(results[2]),
+                            normalized(results[3])};
+    if (with_mesh) row.push_back(normalized(results[4]));
     table.add_numeric_row(row, 3);
   }
   sink.table("cost_vs_k", table);

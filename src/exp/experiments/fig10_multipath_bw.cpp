@@ -29,27 +29,26 @@ void run_fig10_multipath_bw(const ParamReader& params, ResultSink& sink) {
 
   util::Table table({"k", "parallel gain", "ci95", "max-flow gain", "ci95"});
   for (int k = args.k_min; k <= args.k_max; ++k) {
-    overlay::Environment env(args.n, args.seed);
     overlay::OverlayConfig config;
     config.policy = overlay::Policy::kBestResponse;
     config.metric = overlay::Metric::kBandwidth;
     config.k = static_cast<std::size_t>(k);
     config.seed = args.seed ^ static_cast<std::uint64_t>(k);
-    overlay::EgoistNetwork net(env, config);
-    for (int e = 0; e < args.warmup; ++e) {
-      env.advance(60.0);
-      net.run_epoch();
-    }
-    const auto overlay_bw = net.true_bandwidth_graph();
+    host::OverlayHost deployment(args.n, args.seed);
+    const auto overlay = deployment.deploy(host::OverlaySpec(config));
+    deployment.run_epochs(overlay, args.warmup);
+    const auto snapshot = deployment.snapshot(overlay);
+    const auto& overlay_bw = snapshot.true_bandwidth_graph();
+    const auto& bw = deployment.environment(overlay).bandwidth();
 
     std::vector<double> parallel_gains, maxflow_gains;
     for (int src = 0; src < static_cast<int>(args.n); ++src) {
       for (int dst = 0; dst < static_cast<int>(args.n); ++dst) {
         if (src == dst) continue;
-        const double ip = apps::ip_path_rate(env.bandwidth(), peering, src, dst);
+        const double ip = apps::ip_path_rate(bw, peering, src, dst);
         if (ip <= 0.0) continue;
         const auto parallel =
-            apps::parallel_transfer(overlay_bw, env.bandwidth(), peering, src, dst);
+            apps::parallel_transfer(overlay_bw, bw, peering, src, dst);
         parallel_gains.push_back(parallel.total_rate / ip);
         maxflow_gains.push_back(apps::maxflow_rate(overlay_bw, peering, src, dst) /
                                 ip);

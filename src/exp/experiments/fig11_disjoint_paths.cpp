@@ -24,18 +24,16 @@ void run_fig11_disjoint_paths(const ParamReader& params, ResultSink& sink) {
   util::Table table({"k", "disjoint paths", "ci95", "delivery ratio"});
   util::Rng pair_rng(args.seed ^ 0xD15u);
   for (int k = args.k_min; k <= args.k_max; ++k) {
-    overlay::Environment env(args.n, args.seed);
     overlay::OverlayConfig config;
     config.policy = overlay::Policy::kBestResponse;
     config.metric = overlay::Metric::kDelayPing;
     config.k = static_cast<std::size_t>(k);
     config.seed = args.seed ^ static_cast<std::uint64_t>(k * 13);
-    overlay::EgoistNetwork net(env, config);
-    for (int e = 0; e < args.warmup; ++e) {
-      env.advance(60.0);
-      net.run_epoch();
-    }
-    const auto g = net.true_cost_graph();
+    host::OverlayHost deployment(args.n, args.seed);
+    const auto overlay = deployment.deploy(host::OverlaySpec(config));
+    deployment.run_epochs(overlay, args.warmup);
+    const auto snapshot = deployment.snapshot(overlay);
+    const auto& g = snapshot.true_cost_graph();
 
     std::vector<double> counts;
     util::OnlineStats delivery;

@@ -7,7 +7,11 @@
 //
 // Efficiency replaces routing cost because churn can partition the overlay;
 // eps_i = mean over reachable targets of 1/d and 0 for unreachable ones.
+// All five policies run concurrently on one OverlayHost per table row —
+// the staggered T/n scheduling and the trace replay are the host's
+// staggered mode.
 #include <algorithm>
+#include <memory>
 
 #include "exp/churn_replay.hpp"
 #include "exp/common.hpp"
@@ -17,31 +21,43 @@ namespace egoist::exp {
 
 namespace {
 
-struct ChurnRun {
-  double mean_efficiency = 0.0;
-  double measured_churn = 0.0;
-};
+const std::vector<overlay::Policy> kComparedPolicies{
+    overlay::Policy::kRandom, overlay::Policy::kRegular,
+    overlay::Policy::kClosest, overlay::Policy::kHybridBR};
 
-/// Runs one policy under the given churn trace, sampling efficiency each
-/// epoch after warmup (the staggered scheduling lives in replay_churn).
-ChurnRun run_under_churn(const CommonArgs& args, overlay::Policy policy,
-                         std::size_t k, const churn::ChurnTrace& trace,
-                         int epochs, int warmup) {
-  overlay::Environment env(args.n, args.seed);
-  overlay::OverlayConfig config;
-  config.policy = policy;
-  config.k = k;
-  config.metric = overlay::Metric::kDelayPing;
-  config.seed = args.seed ^ (k * 7919);
-  if (policy == overlay::Policy::kHybridBR) config.donated_links = 2;
-  overlay::EgoistNetwork net(env, config);
+/// Runs BR plus the compared policies under the given churn trace on one
+/// shared host and returns their mean tail efficiencies: [BR, k-Random,
+/// k-Regular, k-Closest, HybridBR].
+std::vector<double> run_under_churn(
+    const CommonArgs& args, std::size_t k,
+    const std::shared_ptr<const churn::ChurnTrace>& trace, int epochs,
+    int warmup) {
+  host::OverlayHost host(args.n, args.seed);
+  auto deploy = [&](overlay::Policy policy) {
+    overlay::OverlayConfig config;
+    config.policy = policy;
+    config.k = k;
+    config.metric = overlay::Metric::kDelayPing;
+    config.seed = args.seed ^ (k * 7919);
+    if (policy == overlay::Policy::kHybridBR) config.donated_links = 2;
+    return host.deploy(host::OverlaySpec(config)
+                           .epoch_period(60.0)
+                           .staggered(args.seed ^ 0x0BDEu)
+                           .churn(trace));
+  };
+
+  std::vector<host::OverlayHandle> handles{deploy(overlay::Policy::kBestResponse)};
+  for (const auto policy : kComparedPolicies) handles.push_back(deploy(policy));
 
   ChurnReplayOptions replay;
   replay.epochs = epochs;
   replay.warmup_epochs = warmup;
-  replay.order_seed = args.seed ^ 0x0BDEu;
-  const auto result = replay_churn(env, net, trace, replay);
-  return ChurnRun{result.mean_efficiency, trace.churn_rate()};
+  const auto results = replay_churn(host, handles, replay);
+
+  std::vector<double> efficiencies;
+  efficiencies.reserve(results.size());
+  for (const auto& r : results) efficiencies.push_back(r.mean_efficiency);
+  return efficiencies;
 }
 
 churn::ChurnConfig trace_config(double mean_on_s) {
@@ -60,9 +76,6 @@ void run_fig2_churn(const ParamReader& params, ResultSink& sink) {
   const int warmup = params.get_int("churn-warmup", 10);
 
   const double horizon = epochs * 60.0;
-  const std::vector<overlay::Policy> policies{
-      overlay::Policy::kRandom, overlay::Policy::kRegular,
-      overlay::Policy::kClosest, overlay::Policy::kHybridBR};
 
   // --- Left panel: trace-driven churn, efficiency vs k ---
   sink.section(
@@ -72,21 +85,17 @@ void run_fig2_churn(const ParamReader& params, ResultSink& sink) {
   {
     util::Table table({"k", "BR(abs eff)", "k-Random", "k-Regular", "k-Closest",
                        "HybridBR", "churn"});
-    const churn::ChurnTrace trace(args.n, horizon, args.seed ^ 0xC4u,
-                                  trace_config(3600.0));
+    const auto trace = std::make_shared<const churn::ChurnTrace>(
+        args.n, horizon, args.seed ^ 0xC4u, trace_config(3600.0));
     for (int k = std::max(args.k_min, 3); k <= args.k_max; ++k) {
-      const auto br = run_under_churn(args, overlay::Policy::kBestResponse,
-                                      static_cast<std::size_t>(k), trace, epochs,
-                                      warmup);
-      std::vector<double> row{static_cast<double>(k), br.mean_efficiency};
-      for (const auto policy : policies) {
-        const auto r = run_under_churn(args, policy, static_cast<std::size_t>(k),
-                                       trace, epochs, warmup);
-        row.push_back(br.mean_efficiency > 0.0
-                          ? r.mean_efficiency / br.mean_efficiency
-                          : 0.0);
+      const auto eff = run_under_churn(args, static_cast<std::size_t>(k), trace,
+                                       epochs, warmup);
+      const double br = eff[0];
+      std::vector<double> row{static_cast<double>(k), br};
+      for (std::size_t p = 1; p < eff.size(); ++p) {
+        row.push_back(br > 0.0 ? eff[p] / br : 0.0);
       }
-      row.push_back(br.measured_churn);
+      row.push_back(trace->churn_rate());
       table.add_numeric_row(row, 4);
     }
     sink.table("trace_driven", table);
@@ -104,16 +113,13 @@ void run_fig2_churn(const ParamReader& params, ResultSink& sink) {
                        "k-Regular", "k-Closest", "HybridBR"});
     for (const double target : {1e-5, 1e-4, 1e-3, 1e-2, 0.05, 0.1}) {
       // churn ~ 2 / mean_on for 75% availability (see churn.hpp).
-      const churn::ChurnTrace trace(args.n, horizon, args.seed ^ 0xC8u,
-                                    trace_config(2.0 / target));
-      const auto br = run_under_churn(args, overlay::Policy::kBestResponse, 5,
-                                      trace, epochs, warmup);
-      std::vector<double> row{target, br.measured_churn, br.mean_efficiency};
-      for (const auto policy : policies) {
-        const auto r = run_under_churn(args, policy, 5, trace, epochs, warmup);
-        row.push_back(br.mean_efficiency > 0.0
-                          ? r.mean_efficiency / br.mean_efficiency
-                          : 0.0);
+      const auto trace = std::make_shared<const churn::ChurnTrace>(
+          args.n, horizon, args.seed ^ 0xC8u, trace_config(2.0 / target));
+      const auto eff = run_under_churn(args, 5, trace, epochs, warmup);
+      const double br = eff[0];
+      std::vector<double> row{target, trace->churn_rate(), br};
+      for (std::size_t p = 1; p < eff.size(); ++p) {
+        row.push_back(br > 0.0 ? eff[p] / br : 0.0);
       }
       table.add_numeric_row(row, 4);
     }

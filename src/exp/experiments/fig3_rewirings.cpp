@@ -6,8 +6,6 @@
 // per epoch vs k — more links buy little cost but cost more re-wiring.
 // Right: the same with BR(eps = 0.1), which slashes re-wirings at marginal
 // cost impact.
-#include <memory>
-
 #include "exp/common.hpp"
 #include "exp/experiments/experiments.hpp"
 
@@ -32,10 +30,9 @@ struct SteadyState {
 };
 
 SteadyState steady_state(const CommonArgs& args, std::size_t k, double epsilon) {
-  overlay::Environment env(args.n, args.seed);
-  overlay::EgoistNetwork net(env, br_config(k, epsilon, args.seed ^ k));
   const auto result =
-      run_and_score(env, net, Score::kRoutingCost, args.run_options());
+      run_single(args.n, args.seed, br_config(k, epsilon, args.seed ^ k),
+                 Score::kRoutingCost, args.run_options());
   return SteadyState{result.summary.mean, result.rewirings_per_epoch};
 }
 
@@ -50,22 +47,32 @@ void run_fig3_rewirings(const ParamReader& params, ResultSink& sink) {
                "Total re-wirings in the overlay per one-minute epoch; "
                "columns are k = 2, 3, 4, 5, 8 as in the paper.");
   {
+    // One BR overlay per k, all on one host; the per-epoch counts stream
+    // out of the epoch-end subscriptions while the host drives everything.
     const std::vector<std::size_t> ks{2, 3, 4, 5, 8};
-    std::vector<std::unique_ptr<overlay::Environment>> envs;
-    std::vector<std::unique_ptr<overlay::EgoistNetwork>> nets;
-    for (std::size_t k : ks) {
-      envs.push_back(std::make_unique<overlay::Environment>(args.n, args.seed));
-      nets.push_back(std::make_unique<overlay::EgoistNetwork>(
-          *envs.back(), br_config(k, 0.0, args.seed ^ k)));
+    host::OverlayHost host(args.n, args.seed);
+    std::vector<std::vector<int>> rewires_per_epoch(ks.size());
+    std::vector<host::SubscriptionId> subscriptions;
+    for (std::size_t i = 0; i < ks.size(); ++i) {
+      const auto handle = host.deploy(
+          host::OverlaySpec(br_config(ks[i], 0.0, args.seed ^ ks[i])));
+      subscriptions.push_back(host.on_epoch_end(
+          handle, [&rewires_per_epoch, i](const host::EpochEvent& event) {
+            rewires_per_epoch[i].push_back(event.rewired);
+          }));
     }
+    host.run_epochs(timeline_epochs);
+    for (const auto id : subscriptions) host.unsubscribe(id);
+
     util::Table table({"minute", "k=2", "k=3", "k=4", "k=5", "k=8"});
     for (int e = 0; e < timeline_epochs; ++e) {
+      if (!(e < 10 || (e + 1) % 5 == 0)) continue;
       std::vector<double> row{static_cast<double>(e + 1)};
       for (std::size_t i = 0; i < ks.size(); ++i) {
-        envs[i]->advance(60.0);
-        row.push_back(static_cast<double>(nets[i]->run_epoch()));
+        row.push_back(
+            static_cast<double>(rewires_per_epoch[i][static_cast<std::size_t>(e)]));
       }
-      if (e < 10 || (e + 1) % 5 == 0) table.add_numeric_row(row, 0);
+      table.add_numeric_row(row, 0);
     }
     sink.table("timeline", table);
   }
@@ -76,14 +83,13 @@ void run_fig3_rewirings(const ParamReader& params, ResultSink& sink) {
     sink.text("\n");
     sink.section(title, caption);
     // Full-mesh reference cost for normalization.
-    overlay::Environment mesh_env(args.n, args.seed);
     overlay::OverlayConfig mesh_config;
     mesh_config.policy = overlay::Policy::kFullMesh;
     mesh_config.k = args.n - 1;
     mesh_config.seed = args.seed;
-    overlay::EgoistNetwork mesh(mesh_env, mesh_config);
     const double mesh_cost =
-        run_and_score(mesh_env, mesh, Score::kRoutingCost, args.run_options())
+        run_single(args.n, args.seed, mesh_config, Score::kRoutingCost,
+                   args.run_options())
             .summary.mean;
 
     util::Table table({"k", "cost/full-mesh", "re-wirings/epoch"});

@@ -24,7 +24,6 @@ struct SplitCosts {
 /// honest baseline uses the same split so ratios compare the same nodes).
 SplitCosts run_split(const CommonArgs& args, std::size_t k,
                      const std::vector<int>& riders, bool lie) {
-  overlay::Environment env(args.n, args.seed);
   overlay::OverlayConfig config;
   config.policy = overlay::Policy::kBestResponse;
   config.k = k;
@@ -32,9 +31,8 @@ SplitCosts run_split(const CommonArgs& args, std::size_t k,
   config.seed = args.seed ^ (k * 31);
   if (lie) config.cheaters = riders;
   config.cheat_factor = 2.0;
-  overlay::EgoistNetwork net(env, config);
-  const auto result =
-      run_and_score(env, net, Score::kRoutingCost, args.run_options());
+  const auto result = run_single(args.n, args.seed, config, Score::kRoutingCost,
+                                 args.run_options());
 
   SplitCosts split;
   util::OnlineStats cheat_stats, honest_stats;

@@ -87,12 +87,14 @@ Measurement measure(overlay::Policy policy, std::size_t n,
   config.path_backend = spec.backend;
   config.path_workers = spec.workers;
 
-  overlay::Environment env(n, seed);
-  overlay::EgoistNetwork net(env, config);
-  for (int e = 0; e < warmup; ++e) {
-    env.advance(60.0);
-    net.run_epoch();
-  }
+  host::OverlayHost deployment(n, seed);
+  const auto handle = deployment.deploy(host::OverlaySpec(config));
+  deployment.run_epochs(handle, warmup);
+  // Timing loop: drive the engine directly through the host's escape
+  // hatch so the clock covers run_epoch() only — substrate advancement and
+  // event dispatch stay outside the measurement.
+  auto& env = deployment.environment(handle);
+  auto& net = deployment.network(handle);
 
   Measurement m;
   m.policy = overlay::to_string(policy);

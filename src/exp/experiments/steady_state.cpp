@@ -51,9 +51,7 @@ void run_steady_state(const ParamReader& params, ResultSink& sink) {
                                 "' (want cost, bandwidth, efficiency)");
   }
 
-  overlay::Environment env(n, config.seed);
-  overlay::EgoistNetwork net(env, config);
-  const auto result = run_and_score(env, net, score, options);
+  const auto result = run_single(n, config.seed, config, score, options);
 
   sink.section(
       "steady state: " + std::string(overlay::to_string(config.policy)) +

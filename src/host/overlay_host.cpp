@@ -1,0 +1,406 @@
+#include "host/overlay_host.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace egoist::host {
+
+OverlayHost::OverlayHost(std::size_t n, std::uint64_t seed,
+                         overlay::EnvironmentConfig env_config)
+    : substrate_(std::make_shared<overlay::Substrate>(n, seed, env_config)),
+      seed_(seed) {}
+
+OverlayHandle OverlayHost::deploy(const OverlaySpec& spec) {
+  if (spec.get_epoch_period() <= 0.0) {
+    throw std::invalid_argument("epoch_period must be positive");
+  }
+  if (spec.get_churn() && spec.get_churn()->node_count() != size()) {
+    throw std::invalid_argument("churn trace node count != host size");
+  }
+
+  auto m = std::make_unique<Managed>();
+  m->handle = OverlayHandle{next_overlay_id_++};
+  m->spec = spec;
+  // Fresh measurement plane over the shared substrate, seeded from the
+  // host seed: every overlay sees the same noise realization a solo
+  // deployment with this seed would.
+  m->env = std::make_unique<overlay::Environment>(substrate_, seed_);
+  m->net = std::make_unique<overlay::EgoistNetwork>(*m->env, spec.config());
+  m->order_rng = util::Rng(spec.get_order_seed());
+
+  // Apply the churn trace's initial ON/OFF state before observers attach:
+  // deployment is t = 0 setup, not events. Re-wirings it triggers (e.g.
+  // immediate repairs) are setup too — the epoch accounting baseline
+  // starts after them.
+  if (const auto& trace = spec.get_churn()) {
+    for (std::size_t v = 0; v < size(); ++v) {
+      if (!trace->initial_on()[v]) m->net->set_online(static_cast<int>(v), false);
+    }
+  }
+  m->rewire_mark = m->net->total_rewirings();
+
+  // The driver: one event per epoch (synchronized) or per T/n evaluation
+  // slot (staggered), first firing one interval after now.
+  Managed* raw = m.get();
+  const double interval =
+      spec.get_mode() == EpochMode::kSynchronized
+          ? spec.get_epoch_period()
+          : spec.get_epoch_period() / static_cast<double>(size());
+  m->driver = std::make_unique<sim::PeriodicTask>(
+      sim_, sim_.now() + interval, interval,
+      [this, raw](double) { tick(*raw); }, spec.get_jitter());
+
+  const OverlayHandle handle = m->handle;
+  purge_retired();
+  overlays_.emplace(handle.id, std::move(m));
+  return handle;
+}
+
+void OverlayHost::tick(Managed& m) {
+  // Depth counters make reentrancy safe: retire() (from a subscription
+  // callback, say) parks engines instead of destroying the closures
+  // executing this event, and hook refreshes defer past any stack frame
+  // that could be running the hook being replaced. Callbacks re-entering
+  // the event loop (run_epochs from a subscriber) just deepen the count.
+  ++tick_depth_;
+  ++m.tick_depth;
+  // A deferred hook refresh is safe to apply at this overlay's outermost
+  // tick boundary: none of its hooks can be on the stack here.
+  if (m.tick_depth == 1 && m.hooks_dirty) {
+    m.hooks_dirty = false;
+    apply_hooks(m);
+  }
+  if (m.spec.get_mode() == EpochMode::kSynchronized) {
+    tick_synchronized(m);
+  } else {
+    tick_staggered(m);
+  }
+  --m.tick_depth;
+  --tick_depth_;
+  if (m.tick_depth == 0 && m.hooks_dirty && alive(m.handle)) {
+    m.hooks_dirty = false;
+    apply_hooks(m);
+  }
+  // Deliberately no purge_retired() here: a retired-mid-tick engine owns
+  // the PeriodicTask closure still on the stack. The next safe point
+  // (the driving loops, deploy, or an idle retire) destroys it.
+}
+
+void OverlayHost::purge_retired() {
+  if (tick_depth_ == 0) retired_.clear();
+}
+
+void OverlayHost::retire(OverlayHandle handle) {
+  const auto it = overlays_.find(handle.id);
+  if (it == overlays_.end()) {
+    throw std::invalid_argument("unknown overlay handle");
+  }
+  it->second->driver->stop();  // cancels the armed next occurrence
+  retired_.push_back(std::move(it->second));
+  overlays_.erase(it);
+  subscriptions_.erase(
+      std::remove_if(subscriptions_.begin(), subscriptions_.end(),
+                     [&](const Subscription& s) { return s.overlay == handle.id; }),
+      subscriptions_.end());
+  purge_retired();  // immediate when idle, deferred when mid-tick
+}
+
+std::vector<OverlayHandle> OverlayHost::overlays() const {
+  std::vector<OverlayHandle> out;
+  out.reserve(overlays_.size());
+  for (const auto& [id, m] : overlays_) out.push_back(m->handle);
+  return out;
+}
+
+bool OverlayHost::alive(OverlayHandle handle) const {
+  return overlays_.count(handle.id) != 0;
+}
+
+OverlayHost::Managed& OverlayHost::managed(OverlayHandle handle) {
+  const auto it = overlays_.find(handle.id);
+  if (it == overlays_.end()) {
+    throw std::invalid_argument("unknown overlay handle");
+  }
+  return *it->second;
+}
+
+const OverlayHost::Managed& OverlayHost::managed(OverlayHandle handle) const {
+  const auto it = overlays_.find(handle.id);
+  if (it == overlays_.end()) {
+    throw std::invalid_argument("unknown overlay handle");
+  }
+  return *it->second;
+}
+
+void OverlayHost::run_epochs(OverlayHandle handle, int epochs) {
+  if (epochs < 0) throw std::invalid_argument("epochs must be >= 0");
+  purge_retired();
+  const int target = managed(handle).epochs + epochs;
+  while (alive(handle) && managed(handle).epochs < target) {
+    if (!sim_.step()) {
+      throw std::logic_error("simulator queue drained before the epoch target");
+    }
+    purge_retired();
+  }
+}
+
+void OverlayHost::run_epochs(int epochs) {
+  if (epochs < 0) throw std::invalid_argument("epochs must be >= 0");
+  purge_retired();
+  std::map<std::uint32_t, int> targets;
+  for (const auto& [id, m] : overlays_) targets[id] = m->epochs + epochs;
+  auto all_reached = [&] {
+    for (const auto& [id, target] : targets) {
+      const auto it = overlays_.find(id);
+      if (it != overlays_.end() && it->second->epochs < target) return false;
+    }
+    return true;
+  };
+  while (!all_reached()) {
+    if (!sim_.step()) {
+      throw std::logic_error("simulator queue drained before the epoch target");
+    }
+    purge_retired();
+  }
+}
+
+void OverlayHost::run_for(double seconds) {
+  purge_retired();
+  sim_.run_for(seconds);
+  purge_retired();
+}
+
+void OverlayHost::run_until(double until) {
+  purge_retired();
+  sim_.run_until(until);
+  purge_retired();
+}
+
+void OverlayHost::apply_churn(Managed& m, double t) {
+  const auto& trace = m.spec.get_churn();
+  if (!trace) return;
+  const auto& events = trace->events();
+  while (m.churn_cursor < events.size() && events[m.churn_cursor].time <= t) {
+    const auto& ev = events[m.churn_cursor];
+    m.net->set_online(ev.node, ev.on);
+    ++m.churn_cursor;
+  }
+}
+
+void OverlayHost::tick_synchronized(Managed& m) {
+  const double period = m.spec.get_epoch_period();
+  // Nominal epoch boundary, derived from the integer epoch count so jitter
+  // (which shifts fire times, not the grid) cannot perturb churn replay.
+  const double t = static_cast<double>(m.epochs + 1) * period;
+  apply_churn(m, t);
+  m.env->advance(period);
+  m.net->run_epoch();
+  // Count via the lifetime delta, not run_epoch's return: churn-triggered
+  // immediate repairs belong to this epoch too, matching the RewireEvents
+  // a subscriber saw and the staggered mode's accounting.
+  finish_epoch(m, static_cast<int>(m.net->total_rewirings() - m.rewire_mark));
+}
+
+void OverlayHost::tick_staggered(Managed& m) {
+  const std::size_t n = size();
+  const std::uint64_t e = m.slots / n;
+  const std::size_t s = static_cast<std::size_t>(m.slots % n);
+  const double period = m.spec.get_epoch_period();
+  const double slot = period / static_cast<double>(n);
+  if (s == 0) {
+    // New epoch: shuffle this epoch's evaluation order over the currently
+    // online nodes (exactly exp::replay_churn's loop).
+    m.order = m.net->online_nodes();
+    m.order_rng.shuffle(m.order);
+    m.turn = 0;
+  }
+  const double t = static_cast<double>(e) * period +
+                   static_cast<double>(s + 1) * slot;
+  apply_churn(m, t);
+  m.env->advance(slot);
+  if (m.turn < m.order.size() && m.net->online_count() >= 2) {
+    if (m.net->is_online(m.order[m.turn])) m.net->run_node(m.order[m.turn]);
+    ++m.turn;
+  }
+  ++m.slots;
+  if (s + 1 == n) {
+    const int rewired =
+        static_cast<int>(m.net->total_rewirings() - m.rewire_mark);
+    finish_epoch(m, rewired);
+  }
+}
+
+void OverlayHost::finish_epoch(Managed& m, int rewired) {
+  ++m.epochs;
+  m.rewire_mark = m.net->total_rewirings();
+  EpochEvent event;
+  event.overlay = m.handle;
+  event.time = sim_.now();
+  event.epoch = m.epochs;
+  event.rewired = rewired;
+  event.online_count = m.net->online_count();
+  event.total_rewirings = m.net->total_rewirings();
+  dispatch(m.handle.id, event, &Subscription::epoch);
+}
+
+void OverlayHost::refresh_hooks(std::uint32_t overlay_id) {
+  const auto it = overlays_.find(overlay_id);
+  if (it == overlays_.end()) return;  // retired while subscribed; nothing to do
+  Managed* raw = it->second.get();
+  if (raw->tick_depth > 0) {
+    // One of this overlay's hooks may be on the stack right now (the
+    // subscribe/unsubscribe reaching here can be inside a hook-dispatched
+    // callback); replacing it mid-execution would destroy a running
+    // closure. Defer to the tick boundary.
+    raw->hooks_dirty = true;
+    return;
+  }
+  apply_hooks(*raw);
+}
+
+void OverlayHost::apply_hooks(Managed& m) {
+  Managed* raw = &m;
+  bool wants_rewire = false;
+  bool wants_membership = false;
+  for (const auto& sub : subscriptions_) {
+    if (sub.overlay != raw->handle.id) continue;
+    wants_rewire |= static_cast<bool>(sub.rewire);
+    wants_membership |= static_cast<bool>(sub.membership);
+  }
+
+  // Hooks are installed only while someone listens: an unobserved engine
+  // pays nothing for the event layer (no wiring copies per rewire, no
+  // event construction per membership flip).
+  overlay::NetworkHooks hooks;
+  if (wants_rewire) {
+    hooks.on_rewire = [this, raw](int node, const std::vector<NodeId>& old_wiring,
+                                  const std::vector<NodeId>& new_wiring) {
+      RewireEvent event;
+      event.overlay = raw->handle;
+      event.time = sim_.now();
+      event.epoch = raw->epochs + 1;
+      event.node = node;
+      event.old_wiring = old_wiring;
+      event.new_wiring = new_wiring;
+      dispatch(raw->handle.id, event, &Subscription::rewire);
+    };
+  }
+  if (wants_membership) {
+    hooks.on_membership = [this, raw](int node, bool online) {
+      MembershipEvent event;
+      event.overlay = raw->handle;
+      event.time = sim_.now();
+      event.epoch = raw->epochs + 1;
+      event.node = node;
+      event.online = online;
+      dispatch(raw->handle.id, event, &Subscription::membership);
+    };
+  }
+  raw->net->set_hooks(std::move(hooks));
+}
+
+template <typename Event, typename Member>
+void OverlayHost::dispatch(std::uint32_t overlay, const Event& event,
+                           Member member) const {
+  // Callbacks fire in subscription order. The copies are what make a
+  // callback that unsubscribes or retires (itself included) safe: the
+  // iteration never touches subscriptions_ again.
+  std::vector<std::function<void(const Event&)>> fns;
+  for (const auto& sub : subscriptions_) {
+    if (sub.overlay == overlay && sub.*member) fns.push_back(sub.*member);
+  }
+  for (const auto& fn : fns) fn(event);
+}
+
+SubscriptionId OverlayHost::on_rewire(OverlayHandle handle,
+                                      std::function<void(const RewireEvent&)> fn) {
+  if (!fn) throw std::invalid_argument("callback must be set");
+  managed(handle);  // validate
+  Subscription sub;
+  sub.id = next_subscription_id_++;
+  sub.overlay = handle.id;
+  sub.rewire = std::move(fn);
+  subscriptions_.push_back(std::move(sub));
+  refresh_hooks(handle.id);
+  return subscriptions_.back().id;
+}
+
+SubscriptionId OverlayHost::on_epoch_end(OverlayHandle handle,
+                                         std::function<void(const EpochEvent&)> fn) {
+  if (!fn) throw std::invalid_argument("callback must be set");
+  managed(handle);  // validate
+  Subscription sub;
+  sub.id = next_subscription_id_++;
+  sub.overlay = handle.id;
+  sub.epoch = std::move(fn);
+  subscriptions_.push_back(std::move(sub));
+  return subscriptions_.back().id;
+}
+
+SubscriptionId OverlayHost::on_membership_change(
+    OverlayHandle handle, std::function<void(const MembershipEvent&)> fn) {
+  if (!fn) throw std::invalid_argument("callback must be set");
+  managed(handle);  // validate
+  Subscription sub;
+  sub.id = next_subscription_id_++;
+  sub.overlay = handle.id;
+  sub.membership = std::move(fn);
+  subscriptions_.push_back(std::move(sub));
+  refresh_hooks(handle.id);
+  return subscriptions_.back().id;
+}
+
+void OverlayHost::unsubscribe(SubscriptionId id) {
+  std::uint32_t overlay = 0;
+  subscriptions_.erase(
+      std::remove_if(subscriptions_.begin(), subscriptions_.end(),
+                     [&](const Subscription& s) {
+                       if (s.id != id) return false;
+                       overlay = s.overlay;
+                       return true;
+                     }),
+      subscriptions_.end());
+  if (overlay != 0) refresh_hooks(overlay);
+}
+
+WiringSnapshot OverlayHost::snapshot(OverlayHandle handle) const {
+  const Managed& m = managed(handle);
+  auto state = std::make_shared<WiringSnapshot::State>();
+  state->time = sim_.now();
+  state->epoch = m.epochs;
+  state->total_rewirings = m.net->total_rewirings();
+  const std::size_t n = size();
+  state->online.resize(n);
+  state->wiring.resize(n);
+  state->donated.resize(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    const int node = static_cast<int>(v);
+    state->online[v] = m.net->is_online(node);
+    state->wiring[v] = m.net->wiring(node);
+    state->donated[v] = m.net->donated(node);
+  }
+  state->targets = m.net->online_nodes();
+  state->announced = m.net->announced_graph();
+  state->true_cost = m.net->true_cost_graph();
+  state->true_bandwidth = m.net->true_bandwidth_graph();
+  state->preferences = m.net->score_preferences();
+  return WiringSnapshot(std::move(state));
+}
+
+int OverlayHost::epochs_run(OverlayHandle handle) const {
+  return managed(handle).epochs;
+}
+
+std::uint64_t OverlayHost::total_rewirings(OverlayHandle handle) const {
+  return managed(handle).net->total_rewirings();
+}
+
+overlay::Environment& OverlayHost::environment(OverlayHandle handle) {
+  return *managed(handle).env;
+}
+
+overlay::EgoistNetwork& OverlayHost::network(OverlayHandle handle) {
+  return *managed(handle).net;
+}
+
+}  // namespace egoist::host

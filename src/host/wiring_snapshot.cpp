@@ -1,0 +1,53 @@
+#include "host/wiring_snapshot.hpp"
+
+#include <stdexcept>
+
+#include "overlay/scoring.hpp"
+
+namespace egoist::host {
+
+const WiringSnapshot::State& WiringSnapshot::state() const {
+  if (!state_) throw std::logic_error("empty WiringSnapshot");
+  return *state_;
+}
+
+bool WiringSnapshot::is_online(int node) const {
+  const auto& s = state();
+  if (node < 0 || static_cast<std::size_t>(node) >= s.online.size()) {
+    throw std::out_of_range("node id out of range");
+  }
+  return s.online[static_cast<std::size_t>(node)];
+}
+
+const std::vector<NodeId>& WiringSnapshot::wiring(int node) const {
+  const auto& s = state();
+  if (node < 0 || static_cast<std::size_t>(node) >= s.wiring.size()) {
+    throw std::out_of_range("node id out of range");
+  }
+  return s.wiring[static_cast<std::size_t>(node)];
+}
+
+const std::vector<NodeId>& WiringSnapshot::donated(int node) const {
+  const auto& s = state();
+  if (node < 0 || static_cast<std::size_t>(node) >= s.donated.size()) {
+    throw std::out_of_range("node id out of range");
+  }
+  return s.donated[static_cast<std::size_t>(node)];
+}
+
+std::vector<double> WiringSnapshot::node_costs() const {
+  const auto& s = state();
+  return overlay::score_node_costs(s.true_cost, s.targets, s.preferences);
+}
+
+std::vector<double> WiringSnapshot::node_efficiencies() const {
+  const auto& s = state();
+  return overlay::score_node_efficiencies(s.true_cost, s.targets);
+}
+
+std::vector<double> WiringSnapshot::node_bandwidth_scores() const {
+  const auto& s = state();
+  return overlay::score_node_bandwidth(s.true_bandwidth, s.targets);
+}
+
+}  // namespace egoist::host

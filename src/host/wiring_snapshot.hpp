@@ -1,0 +1,91 @@
+// WiringSnapshot — an immutable, cheaply-copyable view of one overlay's
+// state at a point in virtual time.
+//
+// The host's mutation path (epoch events, staggered evaluations, churn)
+// never hands out references into the live engine; readers take snapshots
+// instead. A snapshot captures the wiring, the announced graph, and the
+// true-cost / true-bandwidth graphs at capture time and is then fully
+// detached: run the overlay another hundred epochs and the snapshot still
+// reports the state it froze. Copies share one immutable payload
+// (shared_ptr), so passing snapshots around — across threads included — is
+// pointer-cheap.
+//
+// Scores (node_costs / node_efficiencies / node_bandwidth_scores) are pure
+// functions of the captured graphs (overlay/scoring.hpp), computed on
+// demand, and bit-identical to what the live EgoistNetwork would have
+// reported at capture time.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace egoist::host {
+
+using graph::NodeId;
+
+class WiringSnapshot {
+ public:
+  /// The frozen payload. Built by OverlayHost::snapshot(); immutable once
+  /// wrapped.
+  struct State {
+    double time = 0.0;                  ///< virtual time of the capture
+    int epoch = 0;                      ///< completed epochs at capture
+    std::uint64_t total_rewirings = 0;
+    std::vector<bool> online;
+    std::vector<NodeId> targets;        ///< online node ids, ascending
+    std::vector<std::vector<NodeId>> wiring;
+    std::vector<std::vector<NodeId>> donated;
+    graph::Digraph announced{0};
+    graph::Digraph true_cost{0};
+    graph::Digraph true_bandwidth{0};
+    /// Empty = uniform preferences; see EgoistNetwork::score_preferences.
+    std::vector<std::vector<double>> preferences;
+  };
+
+  WiringSnapshot() = default;
+  explicit WiringSnapshot(std::shared_ptr<const State> state)
+      : state_(std::move(state)) {}
+
+  /// False for a default-constructed (empty) snapshot.
+  bool valid() const { return state_ != nullptr; }
+
+  double time() const { return state().time; }
+  int epoch() const { return state().epoch; }
+  std::uint64_t total_rewirings() const { return state().total_rewirings; }
+
+  std::size_t size() const { return state().online.size(); }
+  bool is_online(int node) const;
+  std::size_t online_count() const { return state().targets.size(); }
+  const std::vector<NodeId>& online_nodes() const { return state().targets; }
+
+  const std::vector<NodeId>& wiring(int node) const;
+  const std::vector<NodeId>& donated(int node) const;
+
+  /// Wiring with announced costs (what the link-state protocol carried at
+  /// capture time).
+  const graph::Digraph& announced_graph() const { return state().announced; }
+
+  /// Wiring with true, instantaneous metric costs at capture time.
+  const graph::Digraph& true_cost_graph() const { return state().true_cost; }
+
+  /// Wiring with true available bandwidth as weights at capture time.
+  const graph::Digraph& true_bandwidth_graph() const {
+    return state().true_bandwidth;
+  }
+
+  /// --- Scores over the captured graphs (online nodes only, in
+  /// online_nodes() order) ---
+  std::vector<double> node_costs() const;
+  std::vector<double> node_efficiencies() const;
+  std::vector<double> node_bandwidth_scores() const;
+
+ private:
+  const State& state() const;
+
+  std::shared_ptr<const State> state_;
+};
+
+}  // namespace egoist::host

@@ -6,40 +6,82 @@
 
 namespace egoist::overlay {
 
-Environment::Environment(std::size_t n, std::uint64_t seed,
-                         EnvironmentConfig config)
+Substrate::Substrate(std::size_t n, std::uint64_t seed, EnvironmentConfig config)
     : delays_(net::make_planetlab_like(n, seed, config.geo)),
       bandwidth_(n, seed ^ 0xB00Bull, config.bandwidth),
       load_(n, seed ^ 0x10ADull, config.load),
       coords_(delays_, seed ^ 0xC00Dull, config.vivaldi),
-      bw_probe_(bandwidth_, seed ^ 0xBEEFull, config.bw_probe_error),
-      env_config_(config),
-      rng_(seed ^ 0xE417ull) {
+      config_(config),
+      seed_(seed) {
   coords_.converge(config.coord_warmup_rounds);
-  ping_smoothed_.assign(n * n, std::numeric_limits<double>::quiet_NaN());
-  delay_drift_.assign(n * n, 0.0);
-  load_estimators_.reserve(n);
-  for (std::size_t v = 0; v < n; ++v) {
-    load_estimators_.emplace_back(60.0);
-    load_estimators_.back().observe(load_.load(static_cast<int>(v)), 0.0);
+}
+
+void Substrate::advance_step(double dt, double to) {
+  if (to <= now_) return;  // another plane already pulled us here
+  bandwidth_.advance(dt);
+  load_.advance(dt);
+  coords_.tick();  // one coordinate-maintenance round per advance
+  now_ = to;
+}
+
+namespace {
+
+/// Shared plane initialization: seeds and state exactly as the historic
+/// single-owner Environment constructor laid them out, so an owning plane
+/// and a fork over a shared substrate draw identical noise streams.
+struct PlaneInit {
+  std::vector<net::LoadEstimator> load_estimators;
+  std::vector<double> ping_smoothed;
+  std::vector<double> delay_drift;
+
+  explicit PlaneInit(const Substrate& substrate) {
+    const std::size_t n = substrate.size();
+    ping_smoothed.assign(n * n, std::numeric_limits<double>::quiet_NaN());
+    delay_drift.assign(n * n, 0.0);
+    load_estimators.reserve(n);
+    for (std::size_t v = 0; v < n; ++v) {
+      load_estimators.emplace_back(60.0);
+      load_estimators.back().observe(substrate.load().load(static_cast<int>(v)),
+                                     0.0);
+    }
   }
+};
+
+}  // namespace
+
+Environment::Environment(std::size_t n, std::uint64_t seed,
+                         EnvironmentConfig config)
+    : Environment(std::make_shared<Substrate>(n, seed, config), seed) {}
+
+Environment::Environment(std::shared_ptr<Substrate> substrate,
+                         std::uint64_t seed)
+    : substrate_(std::move(substrate)),
+      bw_probe_(substrate_->bandwidth(), seed ^ 0xBEEFull,
+                substrate_->config().bw_probe_error),
+      rng_(seed ^ 0xE417ull),
+      now_(substrate_->now()) {
+  PlaneInit init(*substrate_);
+  load_estimators_ = std::move(init.load_estimators);
+  ping_smoothed_ = std::move(init.ping_smoothed);
+  delay_drift_ = std::move(init.delay_drift);
 }
 
 double Environment::true_delay(int i, int j) const {
-  const double base = delays_.delay(i, j);
+  const double base = substrate_->delays().delay(i, j);
   const double drift = delay_drift_[static_cast<std::size_t>(i) * size() +
                                     static_cast<std::size_t>(j)];
   return base * (1.0 + drift);
 }
 
 double Environment::measure_delay_ping(int i, int j) {
+  const auto& config = substrate_->config();
   // RTT/2 averaged over ping_samples probes; queueing noise only adds.
   const double rtt = true_delay(i, j) + true_delay(j, i);
   double sum = 0.0;
-  for (int s = 0; s < env_config_.ping_samples; ++s) {
-    sum += rtt + std::abs(rng_.normal(0.0, env_config_.ping_jitter_ms));
+  for (int s = 0; s < config.ping_samples; ++s) {
+    sum += rtt + std::abs(rng_.normal(0.0, config.ping_jitter_ms));
   }
-  const double sample = sum / env_config_.ping_samples / 2.0;
+  const double sample = sum / config.ping_samples / 2.0;
 
   double& smoothed =
       ping_smoothed_[static_cast<std::size_t>(i) * size() +
@@ -62,18 +104,18 @@ double Environment::measure_load(int node) const {
 
 void Environment::advance(double dt) {
   now_ += dt;
-  bandwidth_.advance(dt);
-  load_.advance(dt);
-  coords_.tick();  // one coordinate-maintenance round per advance
+  substrate_->advance_step(dt, now_);
   for (std::size_t v = 0; v < load_estimators_.size(); ++v) {
-    load_estimators_[v].observe(load_.load(static_cast<int>(v)), now_);
+    load_estimators_[v].observe(substrate_->load().load(static_cast<int>(v)),
+                                now_);
   }
   // Mean-reverting relative delay drift per directed pair.
-  const double pull = std::min(1.0, env_config_.delay_drift_reversion * dt);
-  const double noise = env_config_.delay_drift_volatility * std::sqrt(dt);
+  const auto& config = substrate_->config();
+  const double pull = std::min(1.0, config.delay_drift_reversion * dt);
+  const double noise = config.delay_drift_volatility * std::sqrt(dt);
   for (double& d : delay_drift_) {
     d = (1.0 - pull) * d + noise * rng_.normal(0.0, 1.0);
-    d = std::clamp(d, -env_config_.delay_drift_cap, env_config_.delay_drift_cap);
+    d = std::clamp(d, -config.delay_drift_cap, config.delay_drift_cap);
   }
 }
 

@@ -4,7 +4,8 @@
 //
 // The paper neutralizes extrinsic variability by running all policies
 // concurrently on the same nodes; we reproduce that by constructing one
-// Environment and evaluating every policy's overlay against it.
+// Substrate and evaluating every policy's overlay against it through its
+// own Environment (one measurement plane per overlay).
 #pragma once
 
 #include <cstdint>
@@ -36,23 +37,78 @@ struct EnvironmentConfig {
   double delay_drift_cap = 0.3;           ///< |drift| bound
 };
 
-/// Owns all substrate models for an n-node deployment.
-class Environment {
+/// The dynamic processes every overlay on one deployment shares: the delay
+/// space, cross-traffic bandwidth, node load, and the Vivaldi coordinate
+/// system. Advanced at most once per point in time — concurrent overlays
+/// whose measurement planes advance in lockstep see one substrate
+/// trajectory, identical to the trajectory a single overlay would see.
+class Substrate {
  public:
-  Environment(std::size_t n, std::uint64_t seed, EnvironmentConfig config = {});
+  Substrate(std::size_t n, std::uint64_t seed, EnvironmentConfig config = {});
 
   std::size_t size() const { return delays_.size(); }
+  std::uint64_t seed() const { return seed_; }
+  const EnvironmentConfig& config() const { return config_; }
 
   const net::DelaySpace& delays() const { return delays_; }
   const net::BandwidthModel& bandwidth() const { return bandwidth_; }
   const net::LoadModel& load() const { return load_; }
   const coord::VivaldiSystem& coords() const { return coords_; }
 
+  double now() const { return now_; }
+
+  /// Advances the dynamic processes by `dt` seconds, landing on plane time
+  /// `to`. A no-op when the substrate already reached `to` — that is how N
+  /// lockstep measurement planes share one substrate without advancing it
+  /// N times per step. (Planes whose advance schedules differ each pull the
+  /// substrate forward by their own dt; determinism always holds, but
+  /// equivalence with a solo run needs matching schedules.)
+  void advance_step(double dt, double to);
+
+ private:
+  net::DelaySpace delays_;
+  net::BandwidthModel bandwidth_;
+  net::LoadModel load_;
+  coord::VivaldiSystem coords_;
+  EnvironmentConfig config_;
+  std::uint64_t seed_;
+  double now_ = 0.0;
+};
+
+/// One overlay's view of a Substrate: the true (oracle) quantities used for
+/// scoring, plus the noisy measurement plane the overlay's nodes decide on
+/// (ping EWMAs, bandwidth probe state, per-pair delay drift, load
+/// estimators, and the measurement noise stream).
+///
+/// The owning constructor builds a private Substrate, which is the classic
+/// single-overlay deployment. The sharing constructor attaches a fresh,
+/// identically-seeded plane to an existing Substrate — the multi-overlay
+/// host path: every plane seeded alike sees the same noise realization, so
+/// concurrent overlays are compared under identical conditions exactly like
+/// the paper's per-policy PlanetLab agents.
+class Environment {
+ public:
+  Environment(std::size_t n, std::uint64_t seed, EnvironmentConfig config = {});
+
+  /// Measurement-plane fork over a shared substrate; `seed` seeds this
+  /// plane's noise streams the same way the owning constructor would.
+  Environment(std::shared_ptr<Substrate> substrate, std::uint64_t seed);
+
+  std::size_t size() const { return substrate_->size(); }
+
+  const net::DelaySpace& delays() const { return substrate_->delays(); }
+  const net::BandwidthModel& bandwidth() const { return substrate_->bandwidth(); }
+  const net::LoadModel& load() const { return substrate_->load(); }
+  const coord::VivaldiSystem& coords() const { return substrate_->coords(); }
+  const std::shared_ptr<Substrate>& substrate() const { return substrate_; }
+
   /// --- True (oracle) per-link quantities, used to score overlays ---
   /// Base delay modulated by the current drift state.
   double true_delay(int i, int j) const;
-  double true_load(int node) const { return load_.load(node); }
-  double true_avail_bw(int i, int j) const { return bandwidth_.avail_bw(i, j); }
+  double true_load(int node) const { return substrate_->load().load(node); }
+  double true_avail_bw(int i, int j) const {
+    return substrate_->bandwidth().avail_bw(i, j);
+  }
 
   /// --- Measured quantities, used by nodes to decide ---
   /// Ping estimates are smoothed across calls (EWMA, alpha = 0.3): nodes
@@ -60,28 +116,25 @@ class Environment {
   /// average rather than trusting a single epoch's probe.
   double measure_delay_ping(int i, int j);
   double measure_delay_coords(int i, int j) const {
-    return coords_.estimate_one_way(i, j);
+    return substrate_->coords().estimate_one_way(i, j);
   }
   /// EWMA-smoothed load as the node itself reports it.
   double measure_load(int node) const;
   double measure_avail_bw(int i, int j) { return bw_probe_.estimate(i, j); }
 
-  /// Advances the dynamic processes by dt seconds (bandwidth cross
-  /// traffic, node load, one coordinate-maintenance round, load EWMAs).
+  /// Advances this plane (and, when it is the first plane to reach the new
+  /// time, the shared substrate) by dt seconds: bandwidth cross traffic,
+  /// node load, one coordinate-maintenance round, load EWMAs, delay drift.
   void advance(double dt);
 
   double now() const { return now_; }
 
  private:
-  net::DelaySpace delays_;
-  net::BandwidthModel bandwidth_;
-  net::LoadModel load_;
-  coord::VivaldiSystem coords_;
+  std::shared_ptr<Substrate> substrate_;
   net::BandwidthProber bw_probe_;
   std::vector<net::LoadEstimator> load_estimators_;
   std::vector<double> ping_smoothed_;  ///< per-pair EWMA; NaN = no sample yet
   std::vector<double> delay_drift_;    ///< per-pair relative drift state
-  EnvironmentConfig env_config_;
   util::Rng rng_;
   double now_ = 0.0;
 };

@@ -11,6 +11,7 @@
 #include "graph/mst.hpp"
 #include "graph/shortest_path.hpp"
 #include "graph/widest_path.hpp"
+#include "overlay/scoring.hpp"
 
 namespace egoist::overlay {
 
@@ -98,6 +99,7 @@ void EgoistNetwork::set_online(int node, bool online) {
   if (online_[static_cast<std::size_t>(node)] == online) return;
   online_[static_cast<std::size_t>(node)] = online;
   announced_.set_active(node, online);
+  if (hooks_.on_membership) hooks_.on_membership(node, online);
   if (!online) {
     // The node vanishes: its announcements age out of everyone's database.
     announced_.clear_out_edges(node);
@@ -459,7 +461,12 @@ bool EgoistNetwork::evaluate_node(int node) {
       apply_wiring(node, std::move(proposed), direct);
       return false;
     }
+    const std::vector<NodeId> old_wiring =
+        hooks_.on_rewire ? current : std::vector<NodeId>{};
     apply_wiring(node, std::move(proposed), direct);
+    if (hooks_.on_rewire) {
+      hooks_.on_rewire(node, old_wiring, wiring_[static_cast<std::size_t>(node)]);
+    }
     return true;
   }
 
@@ -492,7 +499,12 @@ bool EgoistNetwork::evaluate_node(int node) {
     apply_wiring(node, std::vector<NodeId>(current), direct);
     return false;
   }
+  const std::vector<NodeId> old_wiring =
+      hooks_.on_rewire ? current : std::vector<NodeId>{};
   apply_wiring(node, std::move(proposed), direct);
+  if (hooks_.on_rewire) {
+    hooks_.on_rewire(node, old_wiring, wiring_[static_cast<std::size_t>(node)]);
+  }
   return true;
 }
 
@@ -601,51 +613,24 @@ graph::Digraph EgoistNetwork::true_bandwidth_graph() const {
 }
 
 std::vector<double> EgoistNetwork::node_costs() const {
-  const auto g = true_cost_graph();
-  const auto targets = online_nodes();
-  const double penalty = core::default_unreachable_penalty(g);
-  std::vector<double> costs;
-  costs.reserve(targets.size());
-  for (NodeId v : targets) {
-    const auto tree = graph::dijkstra(g, v);
-    if (base_preference_.empty()) {
-      costs.push_back(graph::uniform_routing_cost(tree.dist, v, targets, penalty));
-    } else {
-      costs.push_back(graph::routing_cost(tree.dist, preference_of(v), v, penalty));
-    }
-  }
-  return costs;
+  return score_node_costs(true_cost_graph(), online_nodes(), score_preferences());
 }
 
 std::vector<double> EgoistNetwork::node_efficiencies() const {
-  const auto g = true_cost_graph();
-  const auto targets = online_nodes();
-  std::vector<double> eff;
-  eff.reserve(targets.size());
-  for (NodeId v : targets) {
-    const auto tree = graph::dijkstra(g, v);
-    eff.push_back(graph::node_efficiency(tree.dist, v, targets));
-  }
-  return eff;
+  return score_node_efficiencies(true_cost_graph(), online_nodes());
 }
 
 std::vector<double> EgoistNetwork::node_bandwidth_scores() const {
-  const auto g = true_bandwidth_graph();
-  const auto targets = online_nodes();
-  std::vector<double> scores;
-  scores.reserve(targets.size());
-  for (NodeId v : targets) {
-    const auto tree = graph::widest_paths(g, v);
-    double sum = 0.0;
-    std::size_t count = 0;
-    for (NodeId j : targets) {
-      if (j == v) continue;
-      sum += tree.bottleneck[static_cast<std::size_t>(j)];
-      ++count;
-    }
-    scores.push_back(count == 0 ? 0.0 : sum / static_cast<double>(count));
+  return score_node_bandwidth(true_bandwidth_graph(), online_nodes());
+}
+
+std::vector<std::vector<double>> EgoistNetwork::score_preferences() const {
+  if (base_preference_.empty()) return {};
+  std::vector<std::vector<double>> prefs(online_.size());
+  for (NodeId v : online_nodes()) {
+    prefs[static_cast<std::size_t>(v)] = preference_of(v);
   }
-  return scores;
+  return prefs;
 }
 
 }  // namespace egoist::overlay

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -30,6 +31,22 @@
 namespace egoist::overlay {
 
 using graph::NodeId;
+
+/// Observation hooks the hosting layer installs to mirror engine activity
+/// as typed events (host::OverlayHost's subscription API). Both optional;
+/// neither influences the trajectory — the engine behaves identically with
+/// or without observers.
+struct NetworkHooks {
+  /// A node adopted a new wiring (counted in total_rewirings). Backbone
+  /// splices and announcement refreshes are maintenance, not re-wirings,
+  /// and do not fire this.
+  std::function<void(int node, const std::vector<NodeId>& old_wiring,
+                     const std::vector<NodeId>& new_wiring)>
+      on_rewire;
+  /// A node went online/offline (fired before any resulting backbone
+  /// splice or immediate repair re-wirings).
+  std::function<void(int node, bool online)> on_membership;
+};
 
 class EgoistNetwork {
  public:
@@ -87,6 +104,16 @@ class EgoistNetwork {
 
   /// Mean bottleneck bandwidth to all destinations per online node.
   std::vector<double> node_bandwidth_scores() const;
+
+  /// Per-node normalized routing preferences for scoring: empty when
+  /// preferences are uniform (zipf exponent 0), otherwise indexed by node
+  /// id with entries populated for the online nodes. This is the
+  /// `preferences` input of overlay/scoring.hpp, also captured by
+  /// host::WiringSnapshot so detached reads score identically.
+  std::vector<std::vector<double>> score_preferences() const;
+
+  /// Installs (or clears, with default-constructed hooks) the observers.
+  void set_hooks(NetworkHooks hooks) { hooks_ = std::move(hooks); }
 
  private:
   /// Bootstrap wiring for a node joining (or re-joining) the overlay.
@@ -148,6 +175,7 @@ class EgoistNetwork {
 
   Environment& env_;
   OverlayConfig config_;
+  NetworkHooks hooks_;
   util::Rng rng_;
   std::vector<std::vector<double>> base_preference_;  ///< unnormalized Zipf weights
   std::vector<bool> online_;

@@ -1,0 +1,58 @@
+#include "overlay/scoring.hpp"
+
+#include "core/residual.hpp"
+#include "graph/metrics.hpp"
+#include "graph/shortest_path.hpp"
+#include "graph/widest_path.hpp"
+
+namespace egoist::overlay {
+
+std::vector<double> score_node_costs(
+    const graph::Digraph& true_cost_graph, const std::vector<NodeId>& targets,
+    const std::vector<std::vector<double>>& preferences) {
+  const double penalty = core::default_unreachable_penalty(true_cost_graph);
+  std::vector<double> costs;
+  costs.reserve(targets.size());
+  for (NodeId v : targets) {
+    const auto tree = graph::dijkstra(true_cost_graph, v);
+    if (preferences.empty()) {
+      costs.push_back(graph::uniform_routing_cost(tree.dist, v, targets, penalty));
+    } else {
+      costs.push_back(graph::routing_cost(
+          tree.dist, preferences[static_cast<std::size_t>(v)], v, penalty));
+    }
+  }
+  return costs;
+}
+
+std::vector<double> score_node_efficiencies(const graph::Digraph& true_cost_graph,
+                                            const std::vector<NodeId>& targets) {
+  std::vector<double> eff;
+  eff.reserve(targets.size());
+  for (NodeId v : targets) {
+    const auto tree = graph::dijkstra(true_cost_graph, v);
+    eff.push_back(graph::node_efficiency(tree.dist, v, targets));
+  }
+  return eff;
+}
+
+std::vector<double> score_node_bandwidth(
+    const graph::Digraph& true_bandwidth_graph,
+    const std::vector<NodeId>& targets) {
+  std::vector<double> scores;
+  scores.reserve(targets.size());
+  for (NodeId v : targets) {
+    const auto tree = graph::widest_paths(true_bandwidth_graph, v);
+    double sum = 0.0;
+    std::size_t count = 0;
+    for (NodeId j : targets) {
+      if (j == v) continue;
+      sum += tree.bottleneck[static_cast<std::size_t>(j)];
+      ++count;
+    }
+    scores.push_back(count == 0 ? 0.0 : sum / static_cast<double>(count));
+  }
+  return scores;
+}
+
+}  // namespace egoist::overlay

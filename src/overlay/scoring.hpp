@@ -1,0 +1,36 @@
+// Overlay scoring primitives, shared by the live EgoistNetwork accessors
+// and by host::WiringSnapshot.
+//
+// Scores are pure functions of a true-cost (or true-bandwidth) graph plus
+// the online target set — keeping them free functions is what lets an
+// immutable snapshot reproduce exactly the numbers the live overlay would
+// report, bit for bit, without reaching back into the mutating engine.
+#pragma once
+
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace egoist::overlay {
+
+using graph::NodeId;
+
+/// Uniform (or preference-weighted) routing cost per target node, computed
+/// on true costs. `preferences` is indexed by node id and may be empty
+/// (uniform preference, the paper's conservative default); a non-empty
+/// entry is the node's normalized preference over all destinations.
+std::vector<double> score_node_costs(
+    const graph::Digraph& true_cost_graph, const std::vector<NodeId>& targets,
+    const std::vector<std::vector<double>>& preferences);
+
+/// Efficiency (mean of 1/d over reachable targets, 0 when disconnected)
+/// per target node.
+std::vector<double> score_node_efficiencies(const graph::Digraph& true_cost_graph,
+                                            const std::vector<NodeId>& targets);
+
+/// Mean bottleneck bandwidth to all other targets per target node.
+std::vector<double> score_node_bandwidth(
+    const graph::Digraph& true_bandwidth_graph,
+    const std::vector<NodeId>& targets);
+
+}  // namespace egoist::overlay

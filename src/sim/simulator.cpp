@@ -12,13 +12,18 @@ EventId Simulator::schedule_at(double when, Callback fn) {
   if (!fn) throw std::invalid_argument("callback must be set");
   const EventId id = next_id_++;
   queue_.push(Event{when, id, std::move(fn)});
+  live_.insert(id);
   return id;
 }
 
 bool Simulator::cancel(EventId id) {
-  if (id == 0 || id >= next_id_) return false;
+  // Only events still awaiting execution can be cancelled; ids that already
+  // ran, were cancelled before, or were never issued report false without
+  // touching any bookkeeping.
+  if (live_.erase(id) == 0) return false;
   // Lazy cancellation: the event stays queued but is skipped when popped.
-  return cancelled_.insert(id).second;
+  cancelled_.insert(id);
+  return true;
 }
 
 bool Simulator::step() {
@@ -26,6 +31,7 @@ bool Simulator::step() {
     Event ev = queue_.top();
     queue_.pop();
     if (cancelled_.erase(ev.id) > 0) continue;
+    live_.erase(ev.id);
     now_ = ev.when;
     ++executed_;
     ev.fn();
@@ -54,8 +60,9 @@ void Simulator::run_for(double duration) {
 }
 
 PeriodicTask::PeriodicTask(Simulator& sim, double start, double period,
-                           std::function<void(double)> fn)
-    : sim_(sim), period_(period), fn_(std::move(fn)) {
+                           std::function<void(double)> fn, JitterFn jitter_fn)
+    : sim_(sim), period_(period), fn_(std::move(fn)),
+      jitter_fn_(std::move(jitter_fn)) {
   if (period <= 0.0) throw std::invalid_argument("period must be positive");
   if (!fn_) throw std::invalid_argument("callback must be set");
   arm(start < sim_.now() ? sim_.now() : start);
@@ -63,10 +70,16 @@ PeriodicTask::PeriodicTask(Simulator& sim, double start, double period,
 
 PeriodicTask::~PeriodicTask() { stop(); }
 
-void PeriodicTask::arm(double when) {
-  pending_ = sim_.schedule_at(when, [this] {
+void PeriodicTask::arm(double nominal) {
+  double when = nominal;
+  if (jitter_fn_) {
+    when += jitter_fn_(occurrence_);
+    if (when < sim_.now()) when = sim_.now();
+  }
+  pending_ = sim_.schedule_at(when, [this, nominal] {
     const double fired_at = sim_.now();
-    arm(fired_at + period_);
+    ++occurrence_;
+    arm(nominal + period_);
     fn_(fired_at);
   });
 }

@@ -31,8 +31,8 @@ class Simulator {
   /// Schedules `fn` at absolute time `when` (>= now()).
   EventId schedule_at(double when, Callback fn);
 
-  /// Cancels a pending event; returns false if it already ran or was
-  /// cancelled before.
+  /// Cancels a pending event; returns false if it already ran, was
+  /// cancelled before, or was never scheduled.
   bool cancel(EventId id);
 
   /// Runs events until the queue empties or the clock passes `until`.
@@ -50,7 +50,9 @@ class Simulator {
   /// Number of events executed so far.
   std::uint64_t executed() const { return executed_; }
 
-  std::size_t pending() const { return queue_.size() - cancelled_.size(); }
+  /// Number of scheduled events that are still due to run (cancelled
+  /// events are excluded the moment they are cancelled).
+  std::size_t pending() const { return live_.size(); }
 
  private:
   struct Event {
@@ -67,6 +69,11 @@ class Simulator {
   EventId next_id_ = 1;
   std::uint64_t executed_ = 0;
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  /// Ids scheduled but neither executed nor cancelled. Queue membership is
+  /// what makes cancel() exact: cancelling an id that already ran (or was
+  /// never scheduled) is a no-op instead of poisoning the cancelled set.
+  std::unordered_set<EventId> live_;
+  /// Ids cancelled but still sitting in the queue (lazy removal).
   std::unordered_set<EventId> cancelled_;
 };
 
@@ -75,10 +82,19 @@ class Simulator {
 /// first occurrence (cancelling only stops the not-yet-run occurrence).
 class PeriodicTask {
  public:
-  /// `jitter_fn` (optional) returns an offset added to each period, letting
-  /// callers desynchronize node epochs as real deployments are.
+  /// Per-occurrence scheduling offset: called with the occurrence index
+  /// (0 for the `start` firing, 1 for start + period, ...) and returning
+  /// seconds added to that occurrence's nominal time. The nominal grid
+  /// start + i * period is unaffected — offsets do not accumulate — which
+  /// is what callers desynchronizing node epochs (§4.2) want: each firing
+  /// wanders around its slot without drifting the slot itself. Fire times
+  /// are clamped to not precede the simulator clock.
+  using JitterFn = std::function<double(std::uint64_t occurrence)>;
+
+  /// `jitter_fn` (optional) returns an offset added to each occurrence,
+  /// letting callers desynchronize node epochs as real deployments are.
   PeriodicTask(Simulator& sim, double start, double period,
-               std::function<void(double now)> fn);
+               std::function<void(double now)> fn, JitterFn jitter_fn = {});
   PeriodicTask(const PeriodicTask&) = delete;
   PeriodicTask& operator=(const PeriodicTask&) = delete;
   ~PeriodicTask();
@@ -88,12 +104,14 @@ class PeriodicTask {
   bool running() const { return running_; }
 
  private:
-  void arm(double when);
+  void arm(double nominal);
 
   Simulator& sim_;
   double period_;
   std::function<void(double)> fn_;
+  JitterFn jitter_fn_;
   EventId pending_ = 0;
+  std::uint64_t occurrence_ = 0;  ///< index of the next (not-yet-run) firing
   bool running_ = true;
 };
 

@@ -1,8 +1,9 @@
-// The staggered epoch scheduler (exp::replay_churn) is the one scheduling
-// loop behind the churn experiments (Fig 2, the ablations): one node
-// evaluates every T/n seconds with churn events applied in time order in
-// between. These tests pin its semantics directly instead of only through
-// the figure outputs.
+// The staggered epoch scheduler is now host::OverlayHost's staggered mode;
+// exp::replay_churn is the measurement convention (tail-efficiency
+// sampling through epoch-end subscriptions) the churn experiments share.
+// These tests pin the combined semantics directly instead of only through
+// the figure outputs — in particular, the host-driven replay must walk the
+// exact trajectory of the historic hand-rolled staggered loop.
 #include "exp/churn_replay.hpp"
 
 #include <gtest/gtest.h>
@@ -32,12 +33,14 @@ TEST(ChurnReplayTest, DeterministicForFixedInputs) {
   ChurnReplayOptions options;
   options.epochs = 6;
   options.warmup_epochs = 2;
-  options.order_seed = 17;
 
   auto run_once = [&] {
-    overlay::Environment env(kNodes, 3);
-    overlay::EgoistNetwork net(env, small_config(9));
-    return replay_churn(env, net, trace, options);
+    host::OverlayHost host(kNodes, 3);
+    const auto overlay = host.deploy(host::OverlaySpec(small_config(9))
+                                         .epoch_period(60.0)
+                                         .staggered(17)
+                                         .churn(trace));
+    return replay_churn(host, overlay, options);
   };
   const auto a = run_once();
   const auto b = run_once();
@@ -47,8 +50,9 @@ TEST(ChurnReplayTest, DeterministicForFixedInputs) {
 }
 
 TEST(ChurnReplayTest, MatchesHandRolledStaggeredLoop) {
-  // The exact loop fig2_churn used before the extraction; replay_churn must
-  // walk the identical trajectory.
+  // The exact loop fig2_churn used before the host existed; the host's
+  // staggered driver + subscription sampling must walk the identical
+  // trajectory against the engine run directly.
   constexpr std::size_t kNodes = 10;
   constexpr int kEpochs = 5;
   constexpr int kWarmup = 1;
@@ -59,13 +63,15 @@ TEST(ChurnReplayTest, MatchesHandRolledStaggeredLoop) {
   churn_config.initial_on_fraction = 0.8;
   const churn::ChurnTrace trace(kNodes, kEpochs * 60.0, 21, churn_config);
 
-  overlay::Environment env_a(kNodes, 4);
-  overlay::EgoistNetwork net_a(env_a, small_config(6));
+  host::OverlayHost host_a(kNodes, 4);
+  const auto overlay_a = host_a.deploy(host::OverlaySpec(small_config(6))
+                                           .epoch_period(60.0)
+                                           .staggered(kOrderSeed)
+                                           .churn(trace));
   ChurnReplayOptions options;
   options.epochs = kEpochs;
   options.warmup_epochs = kWarmup;
-  options.order_seed = kOrderSeed;
-  const auto extracted = replay_churn(env_a, net_a, trace, options);
+  const auto hosted = replay_churn(host_a, overlay_a, options);
 
   overlay::Environment env_b(kNodes, 4);
   overlay::EgoistNetwork net_b(env_b, small_config(6));
@@ -97,51 +103,55 @@ TEST(ChurnReplayTest, MatchesHandRolledStaggeredLoop) {
     for (double eff : net_b.node_efficiencies()) efficiency.add(eff);
   }
 
-  EXPECT_DOUBLE_EQ(extracted.mean_efficiency, efficiency.mean());
-  EXPECT_EQ(extracted.total_rewirings, net_b.total_rewirings());
+  EXPECT_DOUBLE_EQ(hosted.mean_efficiency, efficiency.mean());
+  EXPECT_EQ(hosted.total_rewirings, net_b.total_rewirings());
 }
 
 TEST(ChurnReplayTest, AppliesInitialStateAndEventsInTimeOrder) {
-  // A hand-built trace: node 0 leaves mid-epoch 0, node 1 rejoins in epoch 1.
   constexpr std::size_t kNodes = 6;
-  overlay::Environment env(kNodes, 2);
-  overlay::EgoistNetwork net(env, small_config(2));
-
-  // Build a trace via the synthesizer, then check replay leaves the overlay
-  // in the state the event sequence dictates.
   churn::ChurnConfig churn_config;
   churn_config.mean_on_s = 50.0;
   churn_config.mean_off_s = 50.0;
   const churn::ChurnTrace trace(kNodes, 3 * 60.0, 13, churn_config);
+
+  host::OverlayHost host(kNodes, 2);
+  const auto overlay = host.deploy(host::OverlaySpec(small_config(2))
+                                       .epoch_period(60.0)
+                                       .staggered(1)
+                                       .churn(trace));
   ChurnReplayOptions options;
   options.epochs = 3;
   options.warmup_epochs = 0;
-  options.order_seed = 1;
-  replay_churn(env, net, trace, options);
+  replay_churn(host, overlay, options);
 
   std::vector<bool> expected = trace.initial_on();
   for (const auto& ev : trace.events()) {
-    // replay_churn applies events with time <= 3 * 60 (all of them).
+    // The replay applies events with time <= 3 * 60 (all of them).
     expected[static_cast<std::size_t>(ev.node)] = ev.on;
   }
+  const auto snapshot = host.snapshot(overlay);
   for (std::size_t v = 0; v < kNodes; ++v) {
-    EXPECT_EQ(net.is_online(static_cast<int>(v)), expected[v]) << "node " << v;
+    EXPECT_EQ(snapshot.is_online(static_cast<int>(v)), expected[v])
+        << "node " << v;
   }
 }
 
 TEST(ChurnReplayTest, Rejections) {
-  overlay::Environment env(6, 1);
-  overlay::EgoistNetwork net(env, small_config(1));
+  host::OverlayHost host(6, 1);
+  // A mismatched trace is rejected at deploy time.
   const churn::ChurnTrace mismatched(5, 60.0, 1);
-  ChurnReplayOptions options;
-  EXPECT_THROW(replay_churn(env, net, mismatched, options),
+  EXPECT_THROW(host.deploy(host::OverlaySpec(small_config(1))
+                               .staggered(1)
+                               .churn(mismatched)),
                std::invalid_argument);
-  const churn::ChurnTrace ok(6, 60.0, 1);
+  // A non-positive epoch period is rejected at deploy time.
+  EXPECT_THROW(host.deploy(host::OverlaySpec(small_config(1)).epoch_period(0.0)),
+               std::invalid_argument);
+  // Negative epoch counts are rejected by the replay.
+  const auto overlay = host.deploy(host::OverlaySpec(small_config(1)).staggered(1));
+  ChurnReplayOptions options;
   options.epochs = -1;
-  EXPECT_THROW(replay_churn(env, net, ok, options), std::invalid_argument);
-  options.epochs = 1;
-  options.epoch_seconds = 0.0;
-  EXPECT_THROW(replay_churn(env, net, ok, options), std::invalid_argument);
+  EXPECT_THROW(replay_churn(host, overlay, options), std::invalid_argument);
 }
 
 }  // namespace

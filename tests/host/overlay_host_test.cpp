@@ -1,0 +1,371 @@
+// OverlayHost contract tests: the multi-overlay determinism guarantee
+// (N overlays on one host == N solo hosts, score for score), snapshot
+// immutability across epoch execution, subscription ordering determinism,
+// event/engine agreement, and handle lifecycle.
+#include "host/overlay_host.hpp"
+
+#include <gtest/gtest.h>
+
+#include "churn/churn.hpp"
+#include "exp/common.hpp"
+
+namespace egoist::host {
+namespace {
+
+constexpr std::size_t kNodes = 12;
+constexpr std::uint64_t kSeed = 11;
+
+OverlaySpec br_spec(std::uint64_t seed) {
+  return OverlaySpec()
+      .policy(overlay::Policy::kBestResponse)
+      .metric(overlay::Metric::kDelayPing)
+      .k(3)
+      .seed(seed);
+}
+
+OverlaySpec closest_spec(std::uint64_t seed) {
+  return OverlaySpec()
+      .policy(overlay::Policy::kClosest)
+      .metric(overlay::Metric::kDelayPing)
+      .k(3)
+      .seed(seed);
+}
+
+TEST(OverlayHostTest, MultiOverlayMatchesSoloRunsScoreForScore) {
+  // Two overlays sharing one host (one substrate, two measurement planes)
+  // must walk exactly the trajectories they walk when each runs alone on
+  // its own host — the paper's "identical conditions" comparison, and the
+  // property that makes concurrent deployment a fair experiment.
+  constexpr int kEpochs = 4;
+
+  OverlayHost solo_a(kNodes, kSeed);
+  const auto a = solo_a.deploy(br_spec(5));
+  solo_a.run_epochs(a, kEpochs);
+
+  OverlayHost solo_b(kNodes, kSeed);
+  const auto b = solo_b.deploy(closest_spec(6));
+  solo_b.run_epochs(b, kEpochs);
+
+  OverlayHost shared(kNodes, kSeed);
+  const auto sa = shared.deploy(br_spec(5));
+  const auto sb = shared.deploy(closest_spec(6));
+  shared.run_epochs(kEpochs);
+
+  const auto solo_a_snap = solo_a.snapshot(a);
+  const auto solo_b_snap = solo_b.snapshot(b);
+  const auto shared_a_snap = shared.snapshot(sa);
+  const auto shared_b_snap = shared.snapshot(sb);
+
+  // Identical wiring, bit for bit identical scores.
+  for (std::size_t v = 0; v < kNodes; ++v) {
+    EXPECT_EQ(shared_a_snap.wiring(static_cast<int>(v)),
+              solo_a_snap.wiring(static_cast<int>(v)));
+    EXPECT_EQ(shared_b_snap.wiring(static_cast<int>(v)),
+              solo_b_snap.wiring(static_cast<int>(v)));
+  }
+  EXPECT_EQ(shared_a_snap.node_costs(), solo_a_snap.node_costs());
+  EXPECT_EQ(shared_b_snap.node_costs(), solo_b_snap.node_costs());
+  EXPECT_EQ(shared_a_snap.total_rewirings(), solo_a_snap.total_rewirings());
+  EXPECT_EQ(shared_b_snap.total_rewirings(), solo_b_snap.total_rewirings());
+}
+
+TEST(OverlayHostTest, MultiOverlayStaggeredChurnMatchesSoloRuns) {
+  // The same lockstep property under the staggered T/n scheduler with a
+  // churn trace (the Fig 2 configuration).
+  constexpr int kEpochs = 3;
+  churn::ChurnConfig churn_config;
+  churn_config.mean_on_s = 150.0;
+  churn_config.mean_off_s = 50.0;
+  churn_config.initial_on_fraction = 0.8;
+  const churn::ChurnTrace trace(kNodes, kEpochs * 60.0, 77, churn_config);
+
+  auto staggered = [&](OverlaySpec spec) {
+    return spec.epoch_period(60.0).staggered(kSeed ^ 0xBDu).churn(trace);
+  };
+
+  OverlayHost solo_a(kNodes, kSeed);
+  const auto a = solo_a.deploy(staggered(br_spec(5)));
+  solo_a.run_epochs(a, kEpochs);
+
+  OverlayHost solo_b(kNodes, kSeed);
+  const auto b = solo_b.deploy(staggered(closest_spec(6)));
+  solo_b.run_epochs(b, kEpochs);
+
+  OverlayHost shared(kNodes, kSeed);
+  const auto sa = shared.deploy(staggered(br_spec(5)));
+  const auto sb = shared.deploy(staggered(closest_spec(6)));
+  shared.run_epochs(kEpochs);
+
+  EXPECT_EQ(shared.snapshot(sa).node_efficiencies(),
+            solo_a.snapshot(a).node_efficiencies());
+  EXPECT_EQ(shared.snapshot(sb).node_efficiencies(),
+            solo_b.snapshot(b).node_efficiencies());
+  EXPECT_EQ(shared.snapshot(sa).online_nodes(), solo_a.snapshot(a).online_nodes());
+  EXPECT_EQ(shared.total_rewirings(sa), solo_a.total_rewirings(a));
+  EXPECT_EQ(shared.total_rewirings(sb), solo_b.total_rewirings(b));
+}
+
+TEST(OverlayHostTest, SnapshotsAreImmutableAcrossEpochExecution) {
+  OverlayHost host(kNodes, kSeed);
+  const auto overlay = host.deploy(br_spec(5));
+  host.run_epochs(overlay, 1);
+
+  const auto before = host.snapshot(overlay);
+  const auto costs_before = before.node_costs();
+  const auto wiring_before = before.wiring(0);
+  const double time_before = before.time();
+
+  host.run_epochs(overlay, 5);
+
+  // The captured state did not move with the overlay...
+  EXPECT_EQ(before.epoch(), 1);
+  EXPECT_EQ(before.time(), time_before);
+  EXPECT_EQ(before.wiring(0), wiring_before);
+  EXPECT_EQ(before.node_costs(), costs_before);
+
+  // ...while the live overlay did (and a fresh snapshot shows it).
+  const auto after = host.snapshot(overlay);
+  EXPECT_EQ(after.epoch(), 6);
+  EXPECT_GT(after.time(), time_before);
+  EXPECT_NE(after.node_costs(), costs_before);
+
+  // Copies share the same immutable payload.
+  const WiringSnapshot copy = before;  // NOLINT(performance-unnecessary-copy-initialization)
+  EXPECT_EQ(copy.node_costs(), costs_before);
+  EXPECT_EQ(&copy.announced_graph(), &before.announced_graph());
+}
+
+TEST(OverlayHostTest, SubscriptionsFireInSubscriptionOrder) {
+  OverlayHost host(kNodes, kSeed);
+  const auto overlay = host.deploy(br_spec(5));
+
+  std::vector<int> order;
+  host.on_epoch_end(overlay, [&](const EpochEvent&) { order.push_back(1); });
+  const auto middle =
+      host.on_epoch_end(overlay, [&](const EpochEvent&) { order.push_back(2); });
+  host.on_epoch_end(overlay, [&](const EpochEvent&) { order.push_back(3); });
+
+  host.run_epochs(overlay, 2);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 1, 2, 3}));
+
+  order.clear();
+  host.unsubscribe(middle);
+  host.run_epochs(overlay, 1);
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(OverlayHostTest, RewireEventsAgreeWithEpochAccounting) {
+  OverlayHost host(kNodes, kSeed);
+  const auto overlay = host.deploy(br_spec(5));
+
+  std::vector<int> rewires_by_epoch;
+  std::vector<int> reported_by_epoch;
+  host.on_rewire(overlay, [&](const RewireEvent& event) {
+    EXPECT_NE(event.old_wiring, event.new_wiring);
+    rewires_by_epoch.resize(static_cast<std::size_t>(event.epoch), 0);
+    ++rewires_by_epoch[static_cast<std::size_t>(event.epoch - 1)];
+  });
+  host.on_epoch_end(overlay, [&](const EpochEvent& event) {
+    reported_by_epoch.push_back(event.rewired);
+  });
+
+  host.run_epochs(overlay, 4);
+  rewires_by_epoch.resize(4, 0);
+  ASSERT_EQ(reported_by_epoch.size(), 4u);
+  for (int e = 0; e < 4; ++e) {
+    EXPECT_EQ(rewires_by_epoch[static_cast<std::size_t>(e)],
+              reported_by_epoch[static_cast<std::size_t>(e)])
+        << "epoch " << e + 1;
+  }
+  const int total = rewires_by_epoch[0] + rewires_by_epoch[1] +
+                    rewires_by_epoch[2] + rewires_by_epoch[3];
+  EXPECT_EQ(static_cast<std::uint64_t>(total), host.total_rewirings(overlay));
+}
+
+TEST(OverlayHostTest, MembershipEventsFollowTheChurnTrace) {
+  constexpr int kEpochs = 3;
+  churn::ChurnConfig churn_config;
+  churn_config.mean_on_s = 100.0;
+  churn_config.mean_off_s = 40.0;
+  const churn::ChurnTrace trace(kNodes, kEpochs * 60.0, 31, churn_config);
+
+  OverlayHost host(kNodes, kSeed);
+  const auto overlay = host.deploy(
+      br_spec(5).epoch_period(60.0).staggered(3).churn(trace));
+
+  std::vector<std::pair<int, bool>> observed;
+  host.on_membership_change(overlay, [&](const MembershipEvent& event) {
+    observed.emplace_back(event.node, event.online);
+  });
+  host.run_epochs(overlay, kEpochs);
+
+  // Every trace event within the replayed horizon surfaced, in order.
+  // (The initial ON/OFF state is deploy-time setup, not events.)
+  std::vector<std::pair<int, bool>> expected;
+  for (const auto& ev : trace.events()) {
+    if (ev.time <= kEpochs * 60.0) expected.emplace_back(ev.node, ev.on);
+  }
+  EXPECT_EQ(observed, expected);
+}
+
+TEST(OverlayHostTest, RunEpochsTargetsTheGivenHandle) {
+  OverlayHost host(kNodes, kSeed);
+  const auto fast = host.deploy(br_spec(5).epoch_period(30.0));
+  const auto slow = host.deploy(closest_spec(6).epoch_period(60.0));
+
+  host.run_epochs(fast, 4);  // 4 x 30s
+  EXPECT_EQ(host.epochs_run(fast), 4);
+  EXPECT_EQ(host.epochs_run(slow), 2);  // advanced on the shared clock
+
+  host.run_epochs(slow, 2);
+  EXPECT_EQ(host.epochs_run(slow), 4);
+}
+
+TEST(OverlayHostTest, RetireStopsDrivingAndInvalidatesTheHandle) {
+  OverlayHost host(kNodes, kSeed);
+  // Deployed first, so its events fire before keep's at shared timestamps
+  // (FIFO) and run_epochs(keep, ...) leaves it fully caught up.
+  const auto gone = host.deploy(closest_spec(6));
+  const auto keep = host.deploy(br_spec(5));
+
+  int gone_epochs = 0;
+  host.on_epoch_end(gone, [&](const EpochEvent&) { ++gone_epochs; });
+  host.run_epochs(keep, 2);
+  EXPECT_EQ(gone_epochs, 2);
+
+  const auto last = host.snapshot(gone);  // outlives the overlay
+  host.retire(gone);
+  EXPECT_FALSE(host.alive(gone));
+  EXPECT_TRUE(host.alive(keep));
+  ASSERT_EQ(host.overlays().size(), 1u);
+  EXPECT_EQ(host.overlays().front(), keep);
+
+  host.run_epochs(keep, 2);
+  EXPECT_EQ(gone_epochs, 2);  // no further events after retirement
+  EXPECT_EQ(last.epoch(), 2);  // the snapshot still reads fine
+
+  EXPECT_THROW(host.snapshot(gone), std::invalid_argument);
+  EXPECT_THROW(host.run_epochs(gone, 1), std::invalid_argument);
+  EXPECT_THROW(host.retire(gone), std::invalid_argument);
+  EXPECT_THROW(host.on_epoch_end(gone, [](const EpochEvent&) {}),
+               std::invalid_argument);
+}
+
+TEST(OverlayHostTest, RetireFromInsideACallbackIsSafe) {
+  // The "stop when converged" pattern: a subscriber retires the overlay
+  // whose event it is handling. The in-flight tick must complete on live
+  // storage (the ASan CI job guards this) and the handle must be gone
+  // afterwards.
+  OverlayHost host(kNodes, kSeed);
+  const auto stopping = host.deploy(br_spec(5));
+  const auto running = host.deploy(closest_spec(6));
+
+  host.on_epoch_end(stopping, [&](const EpochEvent& event) {
+    if (event.epoch == 2) host.retire(event.overlay);
+  });
+  host.run_epochs(running, 4);
+
+  EXPECT_FALSE(host.alive(stopping));
+  EXPECT_TRUE(host.alive(running));
+  EXPECT_EQ(host.epochs_run(running), 4);
+}
+
+TEST(OverlayHostTest, SynchronizedChurnCountsImmediateRepairsInEpochEvents) {
+  // With aggressive churn and immediate re-wiring, repairs triggered by a
+  // departure (outside run_epoch) still belong to the epoch: the
+  // EpochEvent.rewired count must equal the RewireEvents a subscriber saw,
+  // in both scheduling modes.
+  churn::ChurnConfig churn_config;
+  churn_config.mean_on_s = 120.0;
+  churn_config.mean_off_s = 40.0;
+  churn_config.initial_on_fraction = 0.9;
+  const churn::ChurnTrace trace(kNodes, 4 * 60.0, 91, churn_config);
+
+  OverlayHost host(kNodes, kSeed);
+  const auto overlay =
+      host.deploy(br_spec(5).rewire_mode(overlay::RewireMode::kImmediate)
+                      .epoch_period(60.0)
+                      .churn(trace));
+
+  int observed = 0;
+  int reported = 0;
+  std::uint64_t last_total = 0;
+  host.on_rewire(overlay, [&](const RewireEvent&) { ++observed; });
+  host.on_epoch_end(overlay, [&](const EpochEvent& event) {
+    reported += event.rewired;
+    last_total = event.total_rewirings;
+  });
+  host.run_epochs(overlay, 4);
+
+  EXPECT_EQ(observed, reported);
+  EXPECT_GT(reported, 0);
+  // total_rewirings is the engine's lifetime count; it may additionally
+  // include deploy-time setup repairs from the trace's initial OFF state,
+  // which are neither events nor epoch activity.
+  EXPECT_EQ(last_total, host.total_rewirings(overlay));
+  EXPECT_GE(last_total, static_cast<std::uint64_t>(reported));
+}
+
+TEST(OverlayHostTest, EpochJitterDesynchronizesWithoutDriftingTheGrid) {
+  OverlayHost host(kNodes, kSeed);
+  const auto plain = host.deploy(br_spec(5));
+  const auto jittered = host.deploy(
+      br_spec(5).epoch_jitter([](std::uint64_t occurrence) {
+        return occurrence % 2 == 0 ? 1.5 : -1.5;
+      }));
+
+  std::vector<double> plain_times, jittered_times;
+  host.on_epoch_end(plain, [&](const EpochEvent& event) {
+    plain_times.push_back(event.time);
+  });
+  host.on_epoch_end(jittered, [&](const EpochEvent& event) {
+    jittered_times.push_back(event.time);
+  });
+
+  host.run_epochs(3);
+  EXPECT_EQ(plain_times, (std::vector<double>{60.0, 120.0, 180.0}));
+  EXPECT_EQ(jittered_times, (std::vector<double>{61.5, 118.5, 181.5}));
+  // Jitter moves event times, not results: both overlays share the spec
+  // seed, so their trajectories stay identical.
+  EXPECT_EQ(host.snapshot(plain).node_costs(),
+            host.snapshot(jittered).node_costs());
+}
+
+TEST(OverlayHostTest, RunAndScoreMatchesPerOverlaySoloRuns) {
+  // The exp::run_and_score helper on a two-overlay host reproduces the
+  // solo numbers as well (it is the porting surface for the figure
+  // experiments, so this is the contract the byte-identical figures rest
+  // on).
+  exp::RunOptions options;
+  options.warmup_epochs = 2;
+  options.sample_epochs = 2;
+
+  OverlayHost shared(kNodes, kSeed);
+  const auto sa = shared.deploy(br_spec(5));
+  const auto sb = shared.deploy(closest_spec(6));
+  const auto both = exp::run_and_score(shared, {sa, sb},
+                                       exp::Score::kRoutingCost, options);
+
+  const auto solo = exp::run_single(kNodes, kSeed, br_spec(5).config(),
+                                    exp::Score::kRoutingCost, options);
+  EXPECT_EQ(both[0].node_means, solo.node_means);
+  EXPECT_EQ(both[0].rewirings_per_epoch, solo.rewirings_per_epoch);
+
+  const auto solo_b = exp::run_single(kNodes, kSeed, closest_spec(6).config(),
+                                      exp::Score::kRoutingCost, options);
+  EXPECT_EQ(both[1].node_means, solo_b.node_means);
+}
+
+TEST(OverlayHostTest, DeployValidation) {
+  OverlayHost host(kNodes, kSeed);
+  EXPECT_THROW(host.deploy(br_spec(5).epoch_period(-1.0)), std::invalid_argument);
+  const churn::ChurnTrace mismatched(kNodes + 1, 60.0, 1);
+  EXPECT_THROW(host.deploy(br_spec(5).churn(mismatched)), std::invalid_argument);
+  // Engine config validation still applies at deploy (k >= n).
+  EXPECT_THROW(host.deploy(br_spec(5).k(kNodes)), std::invalid_argument);
+  // Invalid handles are rejected everywhere.
+  EXPECT_THROW(host.snapshot(OverlayHandle{}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace egoist::host

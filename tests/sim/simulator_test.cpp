@@ -73,6 +73,34 @@ TEST(SimulatorTest, CancelUnknownIdReturnsFalse) {
   EXPECT_FALSE(sim.cancel(999));
 }
 
+TEST(SimulatorTest, CancelAfterExecutionReturnsFalse) {
+  // Regression: cancelling an id that already ran used to report success
+  // and permanently park the id in the cancelled set, skewing pending().
+  Simulator sim;
+  const EventId ran = sim.schedule_at(1.0, [] {});
+  sim.schedule_at(2.0, [] {});
+  sim.run_until(1.0);
+  EXPECT_FALSE(sim.cancel(ran));
+  EXPECT_EQ(sim.pending(), 1u);  // only the t=2 event remains
+  sim.run_until(3.0);
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_EQ(sim.executed(), 2u);
+}
+
+TEST(SimulatorTest, PendingExcludesCancelledEventsImmediately) {
+  Simulator sim;
+  sim.schedule_at(1.0, [] {});
+  const EventId id = sim.schedule_at(2.0, [] {});
+  EXPECT_EQ(sim.pending(), 2u);
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_EQ(sim.pending(), 1u);  // cancelled event no longer counts
+  EXPECT_FALSE(sim.cancel(id));  // and double cancel cannot double-discount
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run_until(5.0);
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_EQ(sim.executed(), 1u);
+}
+
 TEST(SimulatorTest, RejectsPastAndNegative) {
   Simulator sim;
   sim.schedule_at(5.0, [] {});
@@ -166,6 +194,44 @@ TEST(PeriodicTaskTest, TaskCanStopItself) {
   });
   sim.run_until(10.0);
   EXPECT_EQ(count, 2);
+}
+
+TEST(PeriodicTaskTest, JitterOffsetsEachOccurrenceWithoutDriftingTheGrid) {
+  // jitter_fn shifts individual firings off their nominal slot; the slot
+  // grid start + i * period itself must not accumulate the offsets.
+  Simulator sim;
+  std::vector<double> times;
+  PeriodicTask task(
+      sim, 10.0, 5.0, [&](double now) { times.push_back(now); },
+      [](std::uint64_t occurrence) { return occurrence % 2 == 1 ? 0.4 : 0.0; });
+  sim.run_until(26.0);
+  EXPECT_EQ(times, (std::vector<double>{10.0, 15.4, 20.0, 25.4}));
+}
+
+TEST(PeriodicTaskTest, JitterReceivesOccurrenceIndices) {
+  Simulator sim;
+  std::vector<std::uint64_t> indices;
+  PeriodicTask task(
+      sim, 0.0, 1.0, [](double) {},
+      [&](std::uint64_t occurrence) {
+        indices.push_back(occurrence);
+        return 0.0;
+      });
+  sim.run_until(3.0);
+  // Occurrence 0 arms at construction; each firing arms the next.
+  EXPECT_EQ(indices, (std::vector<std::uint64_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(PeriodicTaskTest, NegativeJitterClampsToTheClock) {
+  Simulator sim;
+  std::vector<double> times;
+  PeriodicTask task(
+      sim, 5.0, 5.0, [&](double now) { times.push_back(now); },
+      [](std::uint64_t occurrence) { return occurrence == 0 ? -100.0 : 0.0; });
+  sim.run_until(11.0);
+  // Occurrence 0 (nominal 5) is pulled far into the past and clamps to the
+  // clock (0); the grid is unaffected, so the next firings stay nominal.
+  EXPECT_EQ(times, (std::vector<double>{0.0, 10.0}));
 }
 
 TEST(PeriodicTaskTest, RejectsBadArguments) {
