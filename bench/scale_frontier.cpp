@@ -1,0 +1,12 @@
+// §5 scale regime: BR epochs at n up to 20k on the procedural underlay
+// with sampled candidates, landmark objectives, and memory telemetry.
+// Thin wrapper over the scenario driver (scenarios/scale_frontier.scn).
+#include "exp/cli.hpp"
+
+int main(int argc, char** argv) {
+  return egoist::exp::run_scenario_main(
+      "scale_frontier", argc, argv,
+      "Scale frontier: one BR/HybridBR overlay in sampled scale mode per n "
+      "in n-list, on the procedural O(n)-memory underlay, reporting epoch "
+      "wall time plus substrate/measurement-plane memory telemetry.");
+}

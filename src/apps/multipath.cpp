@@ -9,7 +9,7 @@
 
 namespace egoist::apps {
 
-double ip_path_rate(const net::BandwidthModel& bw, const net::PeeringModel& peering,
+double ip_path_rate(const net::BandwidthField& bw, const net::PeeringModel& peering,
                     NodeId src, NodeId dst) {
   if (src == dst) throw std::invalid_argument("src == dst");
   const int point = peering.egress_point(src, dst);
@@ -17,7 +17,7 @@ double ip_path_rate(const net::BandwidthModel& bw, const net::PeeringModel& peer
 }
 
 MultipathResult parallel_transfer(const graph::Digraph& overlay,
-                                  const net::BandwidthModel& bw,
+                                  const net::BandwidthField& bw,
                                   const net::PeeringModel& peering, NodeId src,
                                   NodeId dst) {
   overlay.check_node(src);

@@ -25,7 +25,7 @@ using graph::NodeId;
 
 /// Rate achieved by a single session src -> dst over the native IP path:
 /// bounded by the peering-point session cap and the IP path's bandwidth.
-double ip_path_rate(const net::BandwidthModel& bw, const net::PeeringModel& peering,
+double ip_path_rate(const net::BandwidthField& bw, const net::PeeringModel& peering,
                     NodeId src, NodeId dst);
 
 /// Breakdown of a multipath transfer through the overlay.
@@ -42,7 +42,7 @@ struct MultipathResult {
 /// from the neighbor to dst). Sessions sharing an egress point share its
 /// cap (the paper's point: same peering point => same rate limit).
 MultipathResult parallel_transfer(const graph::Digraph& overlay,
-                                  const net::BandwidthModel& bw,
+                                  const net::BandwidthField& bw,
                                   const net::PeeringModel& peering, NodeId src,
                                   NodeId dst);
 

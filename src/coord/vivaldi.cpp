@@ -18,7 +18,7 @@ double Coordinate::distance_to(const Coordinate& other) const {
   return std::sqrt(sq) + height + other.height;
 }
 
-VivaldiSystem::VivaldiSystem(const net::DelaySpace& delays, std::uint64_t seed,
+VivaldiSystem::VivaldiSystem(const net::DelayField& delays, std::uint64_t seed,
                              VivaldiConfig config)
     : delays_(delays), config_(config), rng_(seed) {
   if (delays.size() < 2) throw std::invalid_argument("need >= 2 nodes");

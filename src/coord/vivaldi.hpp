@@ -16,7 +16,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "net/delay_space.hpp"
+#include "net/fields.hpp"
 #include "util/rng.hpp"
 
 namespace egoist::coord {
@@ -47,7 +47,9 @@ struct VivaldiConfig {
 /// than ping, as the paper notes.
 class VivaldiSystem {
  public:
-  VivaldiSystem(const net::DelaySpace& delays, std::uint64_t seed,
+  /// `delays` may be any DelayField (dense matrix or procedural backend);
+  /// the system only ever samples pairwise RTTs through it.
+  VivaldiSystem(const net::DelayField& delays, std::uint64_t seed,
                 VivaldiConfig config = {});
 
   std::size_t size() const { return delays_.size(); }
@@ -71,7 +73,7 @@ class VivaldiSystem {
  private:
   void update(int node, int peer, double measured_rtt);
 
-  const net::DelaySpace& delays_;
+  const net::DelayField& delays_;
   VivaldiConfig config_;
   util::Rng rng_;
   std::vector<Coordinate> coords_;

@@ -243,4 +243,87 @@ double BandwidthObjective::bandwidth_to(std::span<const NodeId> wiring,
   return best;
 }
 
+LandmarkObjective::LandmarkObjective(NodeId self, std::vector<NodeId> candidates,
+                                     std::vector<double> direct,
+                                     const graph::DistanceMatrix* landmark_dist,
+                                     const std::vector<std::int32_t>* landmark_col,
+                                     std::vector<NodeId> targets, bool maximize,
+                                     double unreachable_penalty)
+    : self_(self),
+      candidates_(std::move(candidates)),
+      direct_(std::move(direct)),
+      dist_(landmark_dist),
+      col_(landmark_col),
+      targets_(std::move(targets)),
+      maximize_(maximize),
+      unreachable_penalty_(unreachable_penalty) {
+  if (dist_ == nullptr || col_ == nullptr) {
+    throw std::invalid_argument("landmark state may not be null");
+  }
+  const std::size_t n = dist_->rows();
+  if (col_->size() != n || direct_.size() != n) {
+    throw std::invalid_argument("landmark state size mismatch");
+  }
+  auto in_range = [n](NodeId v) {
+    return v >= 0 && static_cast<std::size_t>(v) < n;
+  };
+  if (!in_range(self_)) throw std::out_of_range("self out of range");
+  for (NodeId v : candidates_) {
+    if (!in_range(v)) throw std::out_of_range("candidate out of range");
+    if (v == self_) throw std::invalid_argument("self cannot be a candidate");
+  }
+  for (NodeId j : targets_) {
+    if (!in_range(j) || (*col_)[static_cast<std::size_t>(j)] < 0 ||
+        static_cast<std::size_t>((*col_)[static_cast<std::size_t>(j)]) >=
+            dist_->cols()) {
+      throw std::invalid_argument("target is not a landmark");
+    }
+  }
+  if (unreachable_penalty_ < 0.0) {
+    throw std::invalid_argument("penalty must be non-negative");
+  }
+}
+
+double LandmarkObjective::value_at(NodeId v, std::size_t col,
+                                   double direct) const {
+  const double through = (*dist_)(static_cast<std::size_t>(v), col);
+  if (maximize_) return std::min(direct, through);
+  if (through == graph::kUnreachable || direct == graph::kUnreachable) {
+    return graph::kUnreachable;
+  }
+  return direct + through;
+}
+
+double LandmarkObjective::link_value(NodeId v, NodeId j) const {
+  const double direct = direct_[static_cast<std::size_t>(v)];
+  if (v == j) return direct;
+  return value_at(v, static_cast<std::size_t>((*col_)[static_cast<std::size_t>(j)]),
+                  direct);
+}
+
+void LandmarkObjective::fill_link_values(std::span<const NodeId> sources,
+                                         std::span<const NodeId> targets,
+                                         std::span<double> out) const {
+  if (out.size() != sources.size() * targets.size()) {
+    throw std::invalid_argument("link value buffer size mismatch");
+  }
+  std::size_t i = 0;
+  for (const NodeId v : sources) {
+    const double direct = direct_[static_cast<std::size_t>(v)];
+    for (const NodeId j : targets) {
+      out[i++] = v == j
+                     ? direct
+                     : value_at(v,
+                                static_cast<std::size_t>(
+                                    (*col_)[static_cast<std::size_t>(j)]),
+                                direct);
+    }
+  }
+}
+
+double LandmarkObjective::fold(double best_value) const {
+  if (maximize_) return -best_value;
+  return best_value == graph::kUnreachable ? unreachable_penalty_ : best_value;
+}
+
 }  // namespace egoist::core

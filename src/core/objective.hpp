@@ -204,4 +204,62 @@ class BandwidthObjective final : public WiringObjective {
   std::vector<NodeId> targets_;
 };
 
+/// Sampled-scale objective (§5): scores candidate wirings against a small
+/// set of epoch-shared landmark destinations instead of all n targets.
+/// The landmark distance matrix is (n rows x L columns): row v holds the
+/// distance (shortest) or bottleneck (widest) from node v to each
+/// landmark, computed once per epoch by L reverse traversals of the
+/// announced overlay and shared by every node's evaluation — so a BR
+/// evaluation touches O(|candidates| x L) state and nothing O(n^2).
+///
+/// Semantics match DelayObjective/BandwidthObjective per landmark:
+///   minimize: value(v, l) = direct[v] + dist(v, l)  (kUnreachable-clamped)
+///   maximize: value(v, l) = min(direct[v], bottleneck(v, l))
+/// Landmark distances are taken on the full announced graph (no G_{-self}
+/// exclusion): at scale, paths through the evaluating node's own out-edges
+/// are a vanishing fraction of any landmark tree, and the residual
+/// exclusion would cost a per-node traversal — this is the documented
+/// approximation of the scale regime, not of the dense reference path.
+class LandmarkObjective final : public WiringObjective {
+ public:
+  /// direct[v]: measured direct cost/value of the link self -> v.
+  /// landmark_dist: n x |landmark_col range| matrix described above.
+  /// landmark_col: node id -> column of landmark_dist (-1 = not a
+  ///   landmark); sized n. Both referenced objects must outlive the
+  ///   objective (they are the epoch-shared state).
+  /// targets: the landmark ids this node scores against (self excluded).
+  LandmarkObjective(NodeId self, std::vector<NodeId> candidates,
+                    std::vector<double> direct,
+                    const graph::DistanceMatrix* landmark_dist,
+                    const std::vector<std::int32_t>* landmark_col,
+                    std::vector<NodeId> targets, bool maximize,
+                    double unreachable_penalty);
+
+  const std::vector<NodeId>& candidates() const override { return candidates_; }
+  NodeId self() const override { return self_; }
+  const std::vector<NodeId>& targets() const override { return targets_; }
+  double target_weight(NodeId) const override { return 1.0; }
+  double link_value(NodeId v, NodeId j) const override;
+  void fill_link_values(std::span<const NodeId> sources,
+                        std::span<const NodeId> targets,
+                        std::span<double> out) const override;
+  bool maximize_link_value() const override { return maximize_; }
+  double fold(double best_value) const override;
+  double fold_penalty() const override {
+    return maximize_ ? 0.0 : unreachable_penalty_;
+  }
+
+ private:
+  double value_at(NodeId v, std::size_t col, double direct) const;
+
+  NodeId self_;
+  std::vector<NodeId> candidates_;
+  std::vector<double> direct_;
+  const graph::DistanceMatrix* dist_;
+  const std::vector<std::int32_t>* col_;
+  std::vector<NodeId> targets_;
+  bool maximize_;
+  double unreachable_penalty_;
+};
+
 }  // namespace egoist::core

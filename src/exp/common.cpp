@@ -92,10 +92,25 @@ RunResult run_and_score(host::OverlayHost& host, host::OverlayHandle overlay,
 RunResult run_single(std::size_t n, std::uint64_t env_seed,
                      const overlay::OverlayConfig& config, Score score,
                      const RunOptions& options) {
-  host::OverlayHost host(n, env_seed);
+  return run_single(n, env_seed, overlay::EnvironmentConfig{}, config, score,
+                    options);
+}
+
+RunResult run_single(std::size_t n, std::uint64_t env_seed,
+                     const overlay::EnvironmentConfig& env_config,
+                     const overlay::OverlayConfig& config, Score score,
+                     const RunOptions& options) {
+  host::OverlayHost host(n, env_seed, env_config);
   const auto overlay = host.deploy(
       host::OverlaySpec(config).epoch_period(options.epoch_seconds));
   return run_and_score(host, overlay, score, options);
+}
+
+overlay::EnvironmentConfig parse_underlay(const ParamReader& params) {
+  overlay::EnvironmentConfig env;
+  env.underlay =
+      net::parse_underlay_kind(params.get_string("underlay", "dense"));
+  return env;
 }
 
 CommonArgs CommonArgs::parse(const ParamReader& params) {

@@ -63,6 +63,18 @@ RunResult run_single(std::size_t n, std::uint64_t env_seed,
                      const overlay::OverlayConfig& config, Score score,
                      const RunOptions& options);
 
+/// As above, on an explicit substrate configuration (underlay backend,
+/// sparse-plane threshold, generator knobs).
+RunResult run_single(std::size_t n, std::uint64_t env_seed,
+                     const overlay::EnvironmentConfig& env_config,
+                     const overlay::OverlayConfig& config, Score score,
+                     const RunOptions& options);
+
+/// Reads the shared substrate knob `underlay` (dense | procedural) into an
+/// EnvironmentConfig. dense is the default, so experiments that parse this
+/// knob keep byte-identical default outputs.
+overlay::EnvironmentConfig parse_underlay(const ParamReader& params);
+
 /// Standard knobs shared by the figure experiments.
 struct CommonArgs {
   std::size_t n = 50;

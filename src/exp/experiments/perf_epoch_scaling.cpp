@@ -47,6 +47,8 @@ struct Measurement {
   double epoch_ms_min = 0.0;
   int rewirings = 0;       ///< total over the timed epochs (trajectory check)
   double speedup = 0.0;    ///< vs. legacy at same (policy, n); 0 = n/a
+  std::size_t substrate_bytes = 0;  ///< substrate storage at this n
+  std::size_t peak_rss_bytes = 0;   ///< process peak RSS after the run
 };
 
 std::vector<std::size_t> parse_n_list(const std::string& csv) {
@@ -77,7 +79,8 @@ std::vector<overlay::Policy> parse_policies(const std::string& csv) {
 
 Measurement measure(overlay::Policy policy, std::size_t n,
                     const BackendSpec& spec, std::size_t k, int warmup,
-                    int epochs, std::uint64_t seed) {
+                    int epochs, std::uint64_t seed,
+                    const overlay::EnvironmentConfig& env_config) {
   overlay::OverlayConfig config;
   config.policy = policy;
   config.metric = overlay::Metric::kDelayPing;
@@ -87,7 +90,7 @@ Measurement measure(overlay::Policy policy, std::size_t n,
   config.path_backend = spec.backend;
   config.path_workers = spec.workers;
 
-  host::OverlayHost deployment(n, seed);
+  host::OverlayHost deployment(n, seed, env_config);
   const auto handle = deployment.deploy(host::OverlaySpec(config));
   deployment.run_epochs(handle, warmup);
   // Timing loop: drive the engine directly through the host's escape
@@ -113,6 +116,8 @@ Measurement measure(overlay::Policy policy, std::size_t n,
     m.epoch_ms_min = std::min(m.epoch_ms_min, ms);
   }
   m.epoch_ms_mean /= epochs;
+  m.substrate_bytes = deployment.substrate()->memory_bytes();
+  m.peak_rss_bytes = util::peak_rss_bytes();
   return m;
 }
 
@@ -130,7 +135,9 @@ std::string json_report(const std::vector<Measurement>& results, std::size_t k,
         << ",\"backend\":\"" << m.backend << "\",\"workers\":" << m.workers
         << ",\"epoch_ms_mean\":" << m.epoch_ms_mean
         << ",\"epoch_ms_min\":" << m.epoch_ms_min
-        << ",\"rewirings\":" << m.rewirings;
+        << ",\"rewirings\":" << m.rewirings
+        << ",\"substrate_bytes\":" << m.substrate_bytes
+        << ",\"peak_rss_bytes\":" << m.peak_rss_bytes;
     if (m.speedup > 0.0) out << ",\"speedup_vs_legacy\":" << m.speedup;
     out << "}";
   }
@@ -140,7 +147,7 @@ std::string json_report(const std::vector<Measurement>& results, std::size_t k,
 
 const std::vector<std::string> kRowColumns{
     "policy", "n", "backend", "workers", "epoch_ms_mean", "epoch_ms_min",
-    "rewirings", "speedup_vs_legacy"};
+    "rewirings", "speedup_vs_legacy", "substrate_bytes", "peak_rss_bytes"};
 
 std::vector<std::string> row_cells(const Measurement& m) {
   std::ostringstream mean_ms, min_ms, speedup;
@@ -153,7 +160,9 @@ std::vector<std::string> row_cells(const Measurement& m) {
   }
   return {m.policy,     std::to_string(m.n), m.backend,
           std::to_string(m.workers),          mean_ms.str(),
-          min_ms.str(), std::to_string(m.rewirings), speedup.str()};
+          min_ms.str(), std::to_string(m.rewirings), speedup.str(),
+          std::to_string(m.substrate_bytes),
+          std::to_string(m.peak_rss_bytes)};
 }
 
 }  // namespace
@@ -171,6 +180,7 @@ void run_perf_epoch_scaling(const ParamReader& params, ResultSink& sink) {
   const int workers = params.get_int("workers", 0);
   const int legacy_max_n = params.get_int("legacy-max-n", 400);
   const std::string json_path = params.get_string("json", "");
+  const auto env_config = parse_underlay(params);
 
   sink.section(
       "perf: epoch scaling",
@@ -204,7 +214,7 @@ void run_perf_epoch_scaling(const ParamReader& params, ResultSink& sink) {
             n > static_cast<std::size_t>(legacy_max_n)) {
           continue;
         }
-        auto m = measure(policy, n, spec, k, warmup, epochs, seed);
+        auto m = measure(policy, n, spec, k, warmup, epochs, seed, env_config);
         if (spec.name == "legacy") {
           legacy_ms = m.epoch_ms_mean;
           legacy_rewirings = m.rewirings;

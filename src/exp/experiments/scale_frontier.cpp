@@ -1,0 +1,198 @@
+// scale_frontier: how far the substrate seam pushes n (§5 scale regime).
+//
+// For each n in n-list, builds an OverlayHost on the chosen underlay
+// backend (procedural by default — O(n) substrate state, O(1) advance),
+// deploys one BR/HybridBR overlay in §5 scale mode (sampled candidates x
+// epoch-shared landmark destinations — no O(n^2) residual state), runs the
+// requested BR epochs, and reports wall time alongside the memory
+// telemetry that proves the O(n k + probed-pairs) claim: substrate bytes,
+// measurement-plane bytes, probed-pair count, and process peak RSS.
+//
+// Quality is tracked by a sampled oracle: shortest-path routing cost over
+// the true-cost overlay graph from score-sources random online sources
+// (full all-pairs scoring would itself be O(n^2) and is exactly what this
+// experiment exists to avoid).
+#include <algorithm>
+#include <chrono>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "exp/common.hpp"
+#include "exp/experiments/experiments.hpp"
+#include "graph/shortest_path.hpp"
+
+namespace egoist::exp {
+
+namespace {
+
+struct FrontierRow {
+  std::size_t n = 0;
+  std::string underlay;
+  double build_ms = 0.0;       ///< host construction + deploy (bootstrap)
+  double epoch_ms_mean = 0.0;
+  double epoch_ms_min = 0.0;
+  int rewirings = 0;
+  double mean_cost = 0.0;      ///< sampled-source mean routing cost (ms)
+  std::size_t unreachable = 0; ///< unreachable sampled pairs
+  std::size_t substrate_bytes = 0;
+  std::size_t plane_bytes = 0;
+  std::size_t probed_pairs = 0;
+  std::size_t peak_rss_bytes = 0;
+};
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+void run_scale_frontier(const ParamReader& params, ResultSink& sink) {
+  std::vector<std::size_t> n_list;
+  for (const auto& item :
+       split_csv(params.get_string("n-list", "1000,2000,5000,10000,20000"))) {
+    const int v = std::stoi(item);
+    if (v < 8) throw std::invalid_argument("n must be >= 8");
+    n_list.push_back(static_cast<std::size_t>(v));
+  }
+  if (n_list.empty()) throw std::invalid_argument("empty n-list");
+
+  overlay::OverlayConfig config;
+  config.policy = overlay::parse_policy(params.get_string("policy", "BR"));
+  config.metric =
+      overlay::parse_metric(params.get_string("metric", "delay(ping)"));
+  config.k = static_cast<std::size_t>(params.get_int("k", 10));
+  config.seed = params.get_seed("seed", 42);
+  config.br_sample =
+      static_cast<std::size_t>(params.get_int("br-sample", 32));
+  config.br_landmarks =
+      static_cast<std::size_t>(params.get_int("br-landmarks", 64));
+  if (config.br_sample == 0) {
+    throw std::invalid_argument("scale_frontier requires br-sample > 0");
+  }
+
+  auto env_config = parse_underlay(params);
+  // The whole point of this experiment is the scale regime; default to the
+  // procedural backend unless the scenario explicitly asks for dense.
+  if (params.spec().find("underlay") == nullptr) {
+    env_config.underlay = net::UnderlayKind::kProcedural;
+  }
+  env_config.coord_warmup_rounds =
+      params.get_int("coord-warmup", env_config.coord_warmup_rounds);
+
+  const int warmup = params.get_int("warmup", 0);
+  const int epochs = params.get_int("epochs", 1);
+  if (warmup < 0 || epochs < 1) {
+    throw std::invalid_argument("need warmup >= 0 and epochs >= 1");
+  }
+  const double epoch_s = params.get_double("epoch-seconds", 60.0);
+  const int score_sources = params.get_int("score-sources", 16);
+
+  sink.section(
+      "scale frontier: " +
+          std::string(overlay::to_string(config.policy)) + " on " +
+          overlay::to_string(config.metric) + ", " +
+          net::to_string(env_config.underlay) + " underlay",
+      "One overlay in scale mode (sample=" +
+          std::to_string(config.br_sample) +
+          ", landmarks=" + std::to_string(config.br_landmarks) +
+          ", k=" + std::to_string(config.k) + "); " + std::to_string(epochs) +
+          " timed BR epoch(s) per n after " + std::to_string(warmup) +
+          " warmup. Memory columns are the O(n k + probed-pairs) evidence.");
+
+  const std::vector<std::string> kColumns{
+      "n",           "underlay",        "build_ms",    "epoch_ms_mean",
+      "epoch_ms_min", "rewirings",      "mean_cost",   "unreachable",
+      "substrate_bytes", "plane_bytes", "probed_pairs", "peak_rss_bytes"};
+  util::Table table(kColumns);
+
+  for (const std::size_t n : n_list) {
+    FrontierRow row;
+    row.n = n;
+    row.underlay = net::to_string(env_config.underlay);
+
+    const auto build_start = std::chrono::steady_clock::now();
+    host::OverlayHost deployment(n, config.seed, env_config);
+    const auto handle =
+        deployment.deploy(host::OverlaySpec(config).epoch_period(epoch_s));
+    row.build_ms = ms_since(build_start);
+
+    if (warmup > 0) deployment.run_epochs(handle, warmup);
+
+    // Time run_epoch() only, via the escape hatch (substrate advancement
+    // and event dispatch outside the clock), as perf_epoch_scaling does.
+    auto& env = deployment.environment(handle);
+    auto& net = deployment.network(handle);
+    row.epoch_ms_min = std::numeric_limits<double>::infinity();
+    for (int e = 0; e < epochs; ++e) {
+      env.advance(epoch_s);
+      const auto start = std::chrono::steady_clock::now();
+      row.rewirings += net.run_epoch();
+      const double ms = ms_since(start);
+      row.epoch_ms_mean += ms;
+      row.epoch_ms_min = std::min(row.epoch_ms_min, ms);
+    }
+    row.epoch_ms_mean /= epochs;
+
+    // Sampled oracle score: routing cost from a few true-cost sources.
+    if (score_sources > 0 && config.metric != overlay::Metric::kBandwidth) {
+      const auto true_graph = net.true_cost_graph();
+      const auto online = net.online_nodes();
+      util::Rng source_rng(config.seed ^ (0x5CA1Eull + n));
+      const auto sources = source_rng.sample_without_replacement(
+          std::span<const overlay::NodeId>(online),
+          std::min<std::size_t>(static_cast<std::size_t>(score_sources),
+                                online.size()));
+      double total = 0.0;
+      std::size_t reachable = 0;
+      for (const auto src : sources) {
+        const auto tree = graph::dijkstra(true_graph, src);
+        for (const auto dst : online) {
+          if (dst == src) continue;
+          const double d = tree.dist[static_cast<std::size_t>(dst)];
+          if (d == graph::kUnreachable) {
+            ++row.unreachable;
+          } else {
+            total += d;
+            ++reachable;
+          }
+        }
+      }
+      row.mean_cost = reachable > 0 ? total / static_cast<double>(reachable) : 0.0;
+    }
+
+    row.substrate_bytes = deployment.substrate()->memory_bytes();
+    row.plane_bytes = env.plane_memory_bytes();
+    row.probed_pairs = env.probed_pairs();
+    row.peak_rss_bytes = util::peak_rss_bytes();
+
+    std::ostringstream build_ms, mean_ms, min_ms, cost;
+    build_ms << std::fixed << std::setprecision(1) << row.build_ms;
+    mean_ms << std::fixed << std::setprecision(1) << row.epoch_ms_mean;
+    min_ms << std::fixed << std::setprecision(1) << row.epoch_ms_min;
+    cost << std::fixed << std::setprecision(3) << row.mean_cost;
+    const std::vector<std::string> cells{
+        std::to_string(row.n),
+        row.underlay,
+        build_ms.str(),
+        mean_ms.str(),
+        min_ms.str(),
+        std::to_string(row.rewirings),
+        cost.str(),
+        std::to_string(row.unreachable),
+        std::to_string(row.substrate_bytes),
+        std::to_string(row.plane_bytes),
+        std::to_string(row.probed_pairs),
+        std::to_string(row.peak_rss_bytes)};
+    table.add_row(cells);
+  }
+
+  // One emission only: JsonLinesSink expands the table into one structured
+  // row per n.
+  sink.table("scale_frontier", table);
+}
+
+}  // namespace egoist::exp

@@ -29,6 +29,13 @@ void run_steady_state(const ParamReader& params, ResultSink& sink) {
   config.preference_zipf_exponent =
       params.get_double("zipf", config.preference_zipf_exponent);
   if (config.policy == overlay::Policy::kFullMesh) config.k = n - 1;
+  // Substrate backend (dense default keeps outputs byte-identical) and the
+  // optional §5 scale-mode sampling knobs.
+  const auto env_config = parse_underlay(params);
+  config.br_sample =
+      static_cast<std::size_t>(params.get_int("br-sample", 0));
+  config.br_landmarks = static_cast<std::size_t>(
+      params.get_int("br-landmarks", static_cast<int>(config.br_landmarks)));
 
   RunOptions options;
   options.warmup_epochs = params.get_int("warmup", 20);
@@ -51,7 +58,8 @@ void run_steady_state(const ParamReader& params, ResultSink& sink) {
                                 "' (want cost, bandwidth, efficiency)");
   }
 
-  const auto result = run_single(n, config.seed, config, score, options);
+  const auto result =
+      run_single(n, config.seed, env_config, config, score, options);
 
   sink.section(
       "steady state: " + std::string(overlay::to_string(config.policy)) +

@@ -61,6 +61,11 @@ const std::vector<Experiment>& experiments() {
        "generic sweep cell: one policy on one metric at one (n, k, seed) "
        "point, reporting the tail-epoch score",
        &run_steady_state},
+      {"scale_frontier",
+       "section 5 scale regime: BR epochs at n up to 20k on the procedural "
+       "underlay with sampled candidates, landmark objectives and memory "
+       "telemetry",
+       &run_scale_frontier},
   };
   return kExperiments;
 }

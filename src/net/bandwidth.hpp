@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "net/fields.hpp"
 #include "util/rng.hpp"
 
 namespace egoist::net {
@@ -31,18 +32,19 @@ struct BandwidthConfig {
   double revert_rate = 0.05;     ///< mean reversion per second
 };
 
-/// Time-varying true available bandwidth per directed pair.
-class BandwidthModel {
+/// Time-varying true available bandwidth per directed pair (the dense
+/// stateful implementation of net::BandwidthField).
+class BandwidthModel final : public BandwidthField {
  public:
   BandwidthModel(std::size_t n, std::uint64_t seed, BandwidthConfig config = {});
 
-  std::size_t size() const { return n_; }
+  std::size_t size() const override { return n_; }
 
   /// True available bandwidth i -> j (Mbps) at the current model time.
-  double avail_bw(int i, int j) const;
+  double avail_bw(int i, int j) const override;
 
   /// Static capacity (no cross traffic) of the i -> j pair.
-  double capacity(int i, int j) const;
+  double capacity(int i, int j) const override;
 
   /// Advances the cross-traffic processes by dt seconds.
   void advance(double dt);

@@ -5,26 +5,33 @@
 
 namespace egoist::net {
 
-DelaySpace::DelaySpace(std::vector<std::vector<double>> delays)
+DelaySpace::DelaySpace(graph::DistanceMatrix delays, int)
     : delays_(std::move(delays)) {
-  const std::size_t n = delays_.size();
+  const std::size_t n = delays_.rows();
+  if (delays_.cols() != n) {
+    throw std::invalid_argument("delay matrix must be square");
+  }
   for (std::size_t i = 0; i < n; ++i) {
-    if (delays_[i].size() != n) {
-      throw std::invalid_argument("delay matrix must be square");
-    }
-    if (delays_[i][i] != 0.0) {
+    if (delays_(i, i) != 0.0) {
       throw std::invalid_argument("delay matrix diagonal must be zero");
     }
     for (std::size_t j = 0; j < n; ++j) {
-      if (delays_[i][j] < 0.0) {
+      if (delays_(i, j) < 0.0) {
         throw std::invalid_argument("delays must be non-negative");
       }
     }
   }
 }
 
+DelaySpace DelaySpace::from_matrix(graph::DistanceMatrix delays) {
+  return DelaySpace(std::move(delays), 0);
+}
+
+DelaySpace::DelaySpace(const std::vector<std::vector<double>>& delays)
+    : DelaySpace(graph::DistanceMatrix::from_nested(delays), 0) {}
+
 std::size_t DelaySpace::check(int v) const {
-  if (v < 0 || static_cast<std::size_t>(v) >= delays_.size()) {
+  if (v < 0 || static_cast<std::size_t>(v) >= delays_.rows()) {
     throw std::out_of_range("node id out of range");
   }
   return static_cast<std::size_t>(v);
@@ -104,7 +111,7 @@ DelaySpace make_planetlab_like(std::size_t n, std::uint64_t seed,
     access[i] = rng.pareto(config.access_penalty_ms, 1.5);
   }
 
-  std::vector<std::vector<double>> d(n, std::vector<double>(n, 0.0));
+  graph::DistanceMatrix d(n, n, 0.0);
   const double sigma_j = std::sqrt(std::log1p(config.jitter * config.jitter));
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = i + 1; j < n; ++j) {
@@ -122,11 +129,11 @@ DelaySpace make_planetlab_like(std::size_t n, std::uint64_t seed,
           rng.chance(config.violation_fraction) ? config.violation_factor : 1.0;
       // Mild directed asymmetry (routing is not symmetric on the Internet).
       const double skew = 1.0 + config.asymmetry * rng.uniform(-1.0, 1.0);
-      d[i][j] = pair * inflated * skew;
-      d[j][i] = pair * inflated / skew;
+      d(i, j) = pair * inflated * skew;
+      d(j, i) = pair * inflated / skew;
     }
   }
-  return DelaySpace(std::move(d));
+  return DelaySpace::from_matrix(std::move(d));
 }
 
 }  // namespace egoist::net

@@ -15,30 +15,41 @@
 #include <string>
 #include <vector>
 
+#include "graph/distance_matrix.hpp"
+#include "net/fields.hpp"
 #include "util/rng.hpp"
 
 namespace egoist::net {
 
-/// Immutable matrix of true one-way underlay delays (milliseconds).
-class DelaySpace {
+/// Immutable matrix of true one-way underlay delays (milliseconds), stored
+/// as one flat row-major block (graph::DistanceMatrix) — the last nested
+/// vector<vector<double>> in the net layer is gone; the nested-vector
+/// constructor remains as a compatible conversion for existing callers.
+class DelaySpace final : public DelayField {
  public:
-  /// Wraps an explicit matrix. Requires a square matrix with zero diagonal
-  /// and non-negative entries.
-  explicit DelaySpace(std::vector<std::vector<double>> delays);
+  /// Wraps an explicit flat matrix. Requires a square matrix with zero
+  /// diagonal and non-negative entries. (Named factory rather than a
+  /// constructor so nested-list construction stays unambiguous.)
+  static DelaySpace from_matrix(graph::DistanceMatrix delays);
 
-  std::size_t size() const { return delays_.size(); }
+  /// Legacy nested-matrix conversion (same validation, compatible
+  /// accessor for existing callers).
+  explicit DelaySpace(const std::vector<std::vector<double>>& delays);
+
+  std::size_t size() const override { return delays_.rows(); }
 
   /// True one-way delay i -> j in milliseconds.
-  double delay(int i, int j) const { return delays_[check(i)][check(j)]; }
+  double delay(int i, int j) const override {
+    return delays_(check(i), check(j));
+  }
 
-  /// Round-trip time i <-> j (sum of the two directed delays).
-  double rtt(int i, int j) const { return delay(i, j) + delay(j, i); }
-
-  const std::vector<std::vector<double>>& matrix() const { return delays_; }
+  const graph::DistanceMatrix& matrix() const { return delays_; }
 
  private:
+  explicit DelaySpace(graph::DistanceMatrix delays, int);
+
   std::size_t check(int v) const;
-  std::vector<std::vector<double>> delays_;
+  graph::DistanceMatrix delays_;
 };
 
 /// Knobs for the PlanetLab-like generator.

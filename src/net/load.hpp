@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "net/fields.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 
@@ -26,15 +27,16 @@ struct LoadConfig {
   double spike_decay = 1.0 / 120.0; ///< spike decay rate per second
 };
 
-/// Time-varying true load per node (arbitrary loadavg-like units, > 0).
-class LoadModel {
+/// Time-varying true load per node (arbitrary loadavg-like units, > 0; the
+/// dense stateful implementation of net::LoadField).
+class LoadModel final : public LoadField {
  public:
   LoadModel(std::size_t n, std::uint64_t seed, LoadConfig config = {});
 
-  std::size_t size() const { return n_; }
+  std::size_t size() const override { return n_; }
 
   /// Instantaneous true load of the node.
-  double load(int node) const;
+  double load(int node) const override;
 
   /// Advances all load processes by dt seconds.
   void advance(double dt);

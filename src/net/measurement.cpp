@@ -5,7 +5,7 @@
 
 namespace egoist::net {
 
-PingProber::PingProber(const DelaySpace& delays, std::uint64_t seed,
+PingProber::PingProber(const DelayField& delays, std::uint64_t seed,
                        double jitter_ms, int samples)
     : delays_(delays), rng_(seed), jitter_ms_(jitter_ms), samples_(samples) {
   if (samples < 1) throw std::invalid_argument("need >= 1 sample");
@@ -28,12 +28,15 @@ double PingProber::bits_per_estimate() const {
 
 double PingProber::ping_load_bps(std::size_t n, std::size_t k, double epoch_s) {
   if (epoch_s <= 0.0) throw std::invalid_argument("epoch must be positive");
-  if (n < k + 1) throw std::invalid_argument("need n > k");
+  // Degenerate overlays (n <= k + 1): every other node is already a
+  // neighbor, so there is nothing to re-probe. Clamp instead of letting the
+  // unsigned (n - k - 1) underflow.
+  if (n <= k + 1) return 0.0;
   return static_cast<double>(n - k - 1) * OverheadConstants::kPingMessageBits /
          epoch_s;
 }
 
-BandwidthProber::BandwidthProber(const BandwidthModel& bw, std::uint64_t seed,
+BandwidthProber::BandwidthProber(const BandwidthField& bw, std::uint64_t seed,
                                  double relative_error)
     : bw_(bw), rng_(seed), relative_error_(relative_error) {
   if (relative_error < 0.0 || relative_error >= 1.0) {

@@ -13,8 +13,7 @@
 
 #include <cstdint>
 
-#include "net/bandwidth.hpp"
-#include "net/delay_space.hpp"
+#include "net/fields.hpp"
 #include "util/rng.hpp"
 
 namespace egoist::net {
@@ -28,12 +27,13 @@ struct OverheadConstants {
   static constexpr double kLsaPerNeighborBits = 32.0;     ///< per-neighbor payload
 };
 
-/// Simulated ping-based one-way delay estimator.
+/// Simulated ping-based one-way delay estimator. Works against any
+/// DelayField (dense matrix or procedural backend).
 class PingProber {
  public:
   /// jitter_ms: per-sample measurement noise; samples: RTT samples averaged
   /// per estimate (the paper averages "over enough samples").
-  PingProber(const DelaySpace& delays, std::uint64_t seed, double jitter_ms = 2.0,
+  PingProber(const DelayField& delays, std::uint64_t seed, double jitter_ms = 2.0,
              int samples = 5);
 
   /// Estimated one-way delay i -> j (ms): mean(RTT samples) / 2.
@@ -44,19 +44,22 @@ class PingProber {
 
   /// §4.3 formula: active measurement load for a node re-probing the
   /// (n - k - 1) non-neighbors once per wiring epoch T (bits/sec).
+  /// Degenerate overlays with n <= k + 1 have no non-neighbors to probe
+  /// and clamp to 0 instead of underflowing the (n - k - 1) term.
   static double ping_load_bps(std::size_t n, std::size_t k, double epoch_s);
 
  private:
-  const DelaySpace& delays_;
+  const DelayField& delays_;
   util::Rng rng_;
   double jitter_ms_;
   int samples_;
 };
 
-/// Simulated pathChirp-like available-bandwidth prober.
+/// Simulated pathChirp-like available-bandwidth prober. Works against any
+/// BandwidthField.
 class BandwidthProber {
  public:
-  BandwidthProber(const BandwidthModel& bw, std::uint64_t seed,
+  BandwidthProber(const BandwidthField& bw, std::uint64_t seed,
                   double relative_error = 0.05);
 
   /// Estimated available bandwidth i -> j (Mbps).
@@ -67,7 +70,7 @@ class BandwidthProber {
   static constexpr double kProbeFraction = 0.02;
 
  private:
-  const BandwidthModel& bw_;
+  const BandwidthField& bw_;
   util::Rng rng_;
   double relative_error_;
 };

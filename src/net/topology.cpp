@@ -161,8 +161,7 @@ DelaySpace delay_space_from_underlay(const Underlay& underlay,
   const auto attach = rng.sample_without_replacement(
       std::span<const graph::NodeId>(all), overlay_nodes);
 
-  std::vector<std::vector<double>> d(overlay_nodes,
-                                     std::vector<double>(overlay_nodes, 0.0));
+  graph::DistanceMatrix d(overlay_nodes, overlay_nodes, 0.0);
   for (std::size_t i = 0; i < overlay_nodes; ++i) {
     const auto tree = graph::dijkstra(underlay.routers, attach[i]);
     for (std::size_t j = 0; j < overlay_nodes; ++j) {
@@ -172,10 +171,10 @@ DelaySpace delay_space_from_underlay(const Underlay& underlay,
         throw std::logic_error("underlay must be connected");
       }
       const double skew = 1.0 + asymmetry * rng.uniform(-1.0, 1.0);
-      d[i][j] = base * skew;
+      d(i, j) = base * skew;
     }
   }
-  return DelaySpace(std::move(d));
+  return DelaySpace::from_matrix(std::move(d));
 }
 
 }  // namespace egoist::net

@@ -109,6 +109,21 @@ struct OverlayConfig {
   /// backend parallelizes.
   int path_workers = 1;
 
+  /// §5 scale mode: when > 0, BR/HybridBR nodes evaluate a per-node random
+  /// sample of this many candidates (plus their current and donated links)
+  /// against `br_landmarks` epoch-shared landmark destinations instead of
+  /// running the full-residual objective over all n-1 nodes. Measurement
+  /// cost per node drops from O(n) pings to O(sample), and no O(n^2)
+  /// residual state is ever materialized — the regime the scale_frontier
+  /// experiment sweeps. 0 (the default) is the exact dense path,
+  /// bit-identical to the pre-scale-mode code. BR/HybridBR only; requires
+  /// uniform preferences (zipf 0) and audits off.
+  std::size_t br_sample = 0;
+
+  /// Scale mode: number of epoch-shared landmark destinations the sampled
+  /// objective scores against (ignored when br_sample == 0).
+  std::size_t br_landmarks = 64;
+
   /// Routing-preference skew (footnote 8): each node weights destinations
   /// by a Zipf law with this exponent over a node-specific random ranking
   /// (0 = uniform preference, the paper's conservative default). BR

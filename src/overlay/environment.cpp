@@ -7,10 +7,9 @@
 namespace egoist::overlay {
 
 Substrate::Substrate(std::size_t n, std::uint64_t seed, EnvironmentConfig config)
-    : delays_(net::make_planetlab_like(n, seed, config.geo)),
-      bandwidth_(n, seed ^ 0xB00Bull, config.bandwidth),
-      load_(n, seed ^ 0x10ADull, config.load),
-      coords_(delays_, seed ^ 0xC00Dull, config.vivaldi),
+    : backend_(net::make_underlay(config.underlay, n, seed, config.geo,
+                                  config.bandwidth, config.load)),
+      coords_(backend_->delays(), seed ^ 0xC00Dull, config.vivaldi),
       config_(config),
       seed_(seed) {
   coords_.converge(config.coord_warmup_rounds);
@@ -18,34 +17,25 @@ Substrate::Substrate(std::size_t n, std::uint64_t seed, EnvironmentConfig config
 
 void Substrate::advance_step(double dt, double to) {
   if (to <= now_) return;  // another plane already pulled us here
-  bandwidth_.advance(dt);
-  load_.advance(dt);
+  backend_->advance(dt);
   coords_.tick();  // one coordinate-maintenance round per advance
   now_ = to;
 }
 
+std::size_t Substrate::memory_bytes() const {
+  // Vivaldi: one coordinate (position + height) and one error term per node.
+  const std::size_t coords =
+      size() * (sizeof(coord::Coordinate) + sizeof(double));
+  return backend_->memory_bytes() + coords;
+}
+
 namespace {
 
-/// Shared plane initialization: seeds and state exactly as the historic
-/// single-owner Environment constructor laid them out, so an owning plane
-/// and a fork over a shared substrate draw identical noise streams.
-struct PlaneInit {
-  std::vector<net::LoadEstimator> load_estimators;
-  std::vector<double> ping_smoothed;
-  std::vector<double> delay_drift;
-
-  explicit PlaneInit(const Substrate& substrate) {
-    const std::size_t n = substrate.size();
-    ping_smoothed.assign(n * n, std::numeric_limits<double>::quiet_NaN());
-    delay_drift.assign(n * n, 0.0);
-    load_estimators.reserve(n);
-    for (std::size_t v = 0; v < n; ++v) {
-      load_estimators.emplace_back(60.0);
-      load_estimators.back().observe(substrate.load().load(static_cast<int>(v)),
-                                     0.0);
-    }
-  }
-};
+/// Packs a directed pair into one sparse-plane key.
+inline std::uint64_t pair_key(int i, int j) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(i)) << 32) |
+         static_cast<std::uint32_t>(j);
+}
 
 }  // namespace
 
@@ -60,17 +50,52 @@ Environment::Environment(std::shared_ptr<Substrate> substrate,
                 substrate_->config().bw_probe_error),
       rng_(seed ^ 0xE417ull),
       now_(substrate_->now()) {
-  PlaneInit init(*substrate_);
-  load_estimators_ = std::move(init.load_estimators);
-  ping_smoothed_ = std::move(init.ping_smoothed);
-  delay_drift_ = std::move(init.delay_drift);
+  const auto& config = substrate_->config();
+  const std::size_t n = substrate_->size();
+  sparse_plane_ = config.underlay == net::UnderlayKind::kProcedural ||
+                  n >= config.sparse_plane_threshold;
+  if (!sparse_plane_) {
+    // Historical dense plane: state laid out exactly as the pre-backend
+    // Environment did, so fixed-seed figure runs stay byte-identical.
+    ping_smoothed_.assign(n * n, std::numeric_limits<double>::quiet_NaN());
+    delay_drift_.assign(n * n, 0.0);
+  } else {
+    // Sparse plane: ping EWMAs materialize per probed pair; drift is the
+    // procedural hash stream below (stationary moments calibrated to the
+    // dense OU process), so advance() needs no per-pair sweep.
+    drift_seed_ = seed ^ 0xD21F7ull;
+    drift_tau_ = config.delay_drift_reversion > 0.0
+                     ? 1.0 / config.delay_drift_reversion
+                     : 1.0;
+    drift_amp_ = config.delay_drift_reversion > 0.0
+                     ? config.delay_drift_volatility /
+                           std::sqrt(2.0 * config.delay_drift_reversion)
+                     : 0.0;
+  }
+  load_estimators_.reserve(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    load_estimators_.emplace_back(60.0);
+    load_estimators_.back().observe(substrate_->load().load(static_cast<int>(v)),
+                                    0.0);
+  }
+}
+
+double Environment::drift(int i, int j) const {
+  if (!sparse_plane_) {
+    return delay_drift_[static_cast<std::size_t>(i) * size() +
+                        static_cast<std::size_t>(j)];
+  }
+  const auto& config = substrate_->config();
+  const double d = drift_amp_ * net::ou_noise(drift_seed_,
+                                              static_cast<std::uint64_t>(i),
+                                              static_cast<std::uint64_t>(j),
+                                              now_, drift_tau_);
+  return std::clamp(d, -config.delay_drift_cap, config.delay_drift_cap);
 }
 
 double Environment::true_delay(int i, int j) const {
   const double base = substrate_->delays().delay(i, j);
-  const double drift = delay_drift_[static_cast<std::size_t>(i) * size() +
-                                    static_cast<std::size_t>(j)];
-  return base * (1.0 + drift);
+  return base * (1.0 + drift(i, j));
 }
 
 double Environment::measure_delay_ping(int i, int j) {
@@ -84,8 +109,13 @@ double Environment::measure_delay_ping(int i, int j) {
   const double sample = sum / config.ping_samples / 2.0;
 
   double& smoothed =
-      ping_smoothed_[static_cast<std::size_t>(i) * size() +
-                     static_cast<std::size_t>(j)];
+      sparse_plane_
+          ? ping_sparse_
+                .try_emplace(pair_key(i, j),
+                             std::numeric_limits<double>::quiet_NaN())
+                .first->second
+          : ping_smoothed_[static_cast<std::size_t>(i) * size() +
+                           static_cast<std::size_t>(j)];
   if (std::isnan(smoothed)) {
     smoothed = sample;
   } else {
@@ -109,6 +139,7 @@ void Environment::advance(double dt) {
     load_estimators_[v].observe(substrate_->load().load(static_cast<int>(v)),
                                 now_);
   }
+  if (sparse_plane_) return;  // drift is procedural: nothing to sweep
   // Mean-reverting relative delay drift per directed pair.
   const auto& config = substrate_->config();
   const double pull = std::min(1.0, config.delay_drift_reversion * dt);
@@ -117,6 +148,25 @@ void Environment::advance(double dt) {
     d = (1.0 - pull) * d + noise * rng_.normal(0.0, 1.0);
     d = std::clamp(d, -config.delay_drift_cap, config.delay_drift_cap);
   }
+}
+
+std::size_t Environment::probed_pairs() const {
+  if (sparse_plane_) return ping_sparse_.size();
+  std::size_t probed = 0;
+  for (const double v : ping_smoothed_) {
+    if (!std::isnan(v)) ++probed;
+  }
+  return probed;
+}
+
+std::size_t Environment::plane_memory_bytes() const {
+  if (!sparse_plane_) {
+    return (ping_smoothed_.size() + delay_drift_.size()) * sizeof(double);
+  }
+  // unordered_map node: key + value + next pointer, plus the bucket array.
+  return ping_sparse_.size() *
+             (sizeof(std::uint64_t) + sizeof(double) + sizeof(void*)) +
+         ping_sparse_.bucket_count() * sizeof(void*);
 }
 
 }  // namespace egoist::overlay

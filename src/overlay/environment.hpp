@@ -6,16 +6,26 @@
 // concurrently on the same nodes; we reproduce that by constructing one
 // Substrate and evaluating every policy's overlay against it through its
 // own Environment (one measurement plane per overlay).
+//
+// Substrates are backed by a pluggable net::UnderlayBackend: the dense
+// stateful models (the default — every fixed-seed figure stays
+// byte-identical) or the procedural O(n)-memory substrate that opens the
+// §5 scale regime. Measurement planes follow suit: below
+// sparse_plane_threshold nodes on a dense backend they keep the historical
+// dense per-pair arrays (bit-exact); at scale, or on the procedural
+// backend, they hold sparse pair state keyed by the pairs actually probed
+// and derive per-pair delay drift procedurally — O(probed pairs), not
+// O(n^2).
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <unordered_map>
 
 #include "coord/vivaldi.hpp"
-#include "net/bandwidth.hpp"
-#include "net/delay_space.hpp"
 #include "net/load.hpp"
 #include "net/measurement.hpp"
+#include "net/underlay.hpp"
 
 namespace egoist::overlay {
 
@@ -35,25 +45,42 @@ struct EnvironmentConfig {
   double delay_drift_volatility = 0.004;  ///< innovation per sqrt(second)
   double delay_drift_reversion = 0.01;    ///< pull toward 0 per second
   double delay_drift_cap = 0.3;           ///< |drift| bound
+
+  /// Which substrate backend to construct (dense = the historical models).
+  net::UnderlayKind underlay = net::UnderlayKind::kDense;
+
+  /// Measurement planes switch from the historical dense per-pair arrays
+  /// to sparse probed-pair state at this node count (and always on the
+  /// procedural backend). Dense planes below the threshold are bit-exact
+  /// with the pre-backend code; sparse planes draw their delay drift from
+  /// a procedural hash stream instead of a stateful O(n^2) sweep.
+  std::size_t sparse_plane_threshold = 512;
 };
 
-/// The dynamic processes every overlay on one deployment shares: the delay
-/// space, cross-traffic bandwidth, node load, and the Vivaldi coordinate
-/// system. Advanced at most once per point in time — concurrent overlays
-/// whose measurement planes advance in lockstep see one substrate
+/// The dynamic processes every overlay on one deployment shares: the
+/// underlay backend (delay/bandwidth/load fields) and the Vivaldi
+/// coordinate system. Advanced at most once per point in time — concurrent
+/// overlays whose measurement planes advance in lockstep see one substrate
 /// trajectory, identical to the trajectory a single overlay would see.
 class Substrate {
  public:
   Substrate(std::size_t n, std::uint64_t seed, EnvironmentConfig config = {});
 
-  std::size_t size() const { return delays_.size(); }
+  std::size_t size() const { return backend_->size(); }
   std::uint64_t seed() const { return seed_; }
   const EnvironmentConfig& config() const { return config_; }
 
-  const net::DelaySpace& delays() const { return delays_; }
-  const net::BandwidthModel& bandwidth() const { return bandwidth_; }
-  const net::LoadModel& load() const { return load_; }
+  const net::UnderlayBackend& backend() const { return *backend_; }
+  net::UnderlayKind underlay_kind() const { return backend_->kind(); }
+
+  const net::DelayField& delays() const { return backend_->delays(); }
+  const net::BandwidthField& bandwidth() const { return backend_->bandwidth(); }
+  const net::LoadField& load() const { return backend_->load(); }
   const coord::VivaldiSystem& coords() const { return coords_; }
+
+  /// Substrate storage footprint: backend state plus the O(n) coordinate
+  /// system (telemetry for the scale experiments).
+  std::size_t memory_bytes() const;
 
   double now() const { return now_; }
 
@@ -66,9 +93,7 @@ class Substrate {
   void advance_step(double dt, double to);
 
  private:
-  net::DelaySpace delays_;
-  net::BandwidthModel bandwidth_;
-  net::LoadModel load_;
+  std::unique_ptr<net::UnderlayBackend> backend_;
   coord::VivaldiSystem coords_;
   EnvironmentConfig config_;
   std::uint64_t seed_;
@@ -96,9 +121,9 @@ class Environment {
 
   std::size_t size() const { return substrate_->size(); }
 
-  const net::DelaySpace& delays() const { return substrate_->delays(); }
-  const net::BandwidthModel& bandwidth() const { return substrate_->bandwidth(); }
-  const net::LoadModel& load() const { return substrate_->load(); }
+  const net::DelayField& delays() const { return substrate_->delays(); }
+  const net::BandwidthField& bandwidth() const { return substrate_->bandwidth(); }
+  const net::LoadField& load() const { return substrate_->load(); }
   const coord::VivaldiSystem& coords() const { return substrate_->coords(); }
   const std::shared_ptr<Substrate>& substrate() const { return substrate_; }
 
@@ -129,12 +154,36 @@ class Environment {
 
   double now() const { return now_; }
 
+  /// --- Plane telemetry (scale experiments) ---
+  /// True when this plane holds sparse probed-pair state instead of the
+  /// dense n^2 arrays.
+  bool sparse_plane() const { return sparse_plane_; }
+
+  /// Directed pairs this plane has pinged at least once.
+  std::size_t probed_pairs() const;
+
+  /// Approximate bytes of per-pair measurement state (ping EWMAs + drift).
+  std::size_t plane_memory_bytes() const;
+
  private:
+  double drift(int i, int j) const;
+
   std::shared_ptr<Substrate> substrate_;
   net::BandwidthProber bw_probe_;
   std::vector<net::LoadEstimator> load_estimators_;
+  bool sparse_plane_ = false;
+
+  /// Dense plane (historical layout; bit-exact below the threshold).
   std::vector<double> ping_smoothed_;  ///< per-pair EWMA; NaN = no sample yet
   std::vector<double> delay_drift_;    ///< per-pair relative drift state
+
+  /// Sparse plane: EWMA state only for pairs actually probed; drift is a
+  /// pure function of (plane drift seed, i, j, time) — no per-pair state.
+  std::unordered_map<std::uint64_t, double> ping_sparse_;
+  std::uint64_t drift_seed_ = 0;
+  double drift_amp_ = 0.0;
+  double drift_tau_ = 1.0;
+
   util::Rng rng_;
   double now_ = 0.0;
 };

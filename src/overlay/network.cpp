@@ -55,6 +55,24 @@ EgoistNetwork::EgoistNetwork(Environment& env, OverlayConfig config)
   if (config_.preference_zipf_exponent < 0.0) {
     throw std::invalid_argument("zipf exponent must be >= 0");
   }
+  if (config_.br_sample > 0) {
+    // §5 scale mode is a BR mechanism; it deliberately refuses to combine
+    // with features that require O(n^2) state (Zipf preference tables) or
+    // per-node graph rewrites (audits).
+    if (config_.policy != Policy::kBestResponse &&
+        config_.policy != Policy::kHybridBR) {
+      throw std::invalid_argument("br_sample requires BR or HybridBR");
+    }
+    if (config_.br_landmarks == 0) {
+      throw std::invalid_argument("scale mode needs br_landmarks >= 1");
+    }
+    if (config_.preference_zipf_exponent > 0.0) {
+      throw std::invalid_argument("scale mode requires uniform preferences");
+    }
+    if (config_.enable_audits) {
+      throw std::invalid_argument("scale mode does not support audits");
+    }
+  }
   if (config_.preference_zipf_exponent > 0.0) {
     // Per-node Zipf preference over a node-specific random destination
     // ranking: p_ij proportional to 1 / rank_i(j)^s.
@@ -99,6 +117,9 @@ void EgoistNetwork::set_online(int node, bool online) {
   if (online_[static_cast<std::size_t>(node)] == online) return;
   online_[static_cast<std::size_t>(node)] = online;
   announced_.set_active(node, online);
+  // Membership changes void the scale-mode landmark cache: a departed
+  // landmark's rows must not anchor further evaluations.
+  landmark_state_.valid = false;
   if (hooks_.on_membership) hooks_.on_membership(node, online);
   if (!online) {
     // The node vanishes: its announcements age out of everyone's database.
@@ -117,7 +138,9 @@ void EgoistNetwork::set_online(int node, bool online) {
     if (!others.empty()) {
       const NodeId bootstrap = others[static_cast<std::size_t>(
           rng_.uniform_int(0, static_cast<std::int64_t>(others.size()) - 1))];
-      const auto direct = measure_direct(node);
+      const auto direct = scale_mode()
+                              ? measure_pool(node, {bootstrap})
+                              : measure_direct(node);
       apply_wiring(node, {bootstrap}, direct);
     }
   }
@@ -166,30 +189,204 @@ const std::vector<NodeId>& EgoistNetwork::donated(int node) const {
 }
 
 std::vector<double> EgoistNetwork::measure_direct(int node) {
+  // Probing everyone is the dense-mode behavior; the ascending online set
+  // walks the same pairs in the same order as the historical per-id loop,
+  // so the measurement-noise streams are untouched.
+  return measure_pool(node, online_nodes());
+}
+
+std::vector<double> EgoistNetwork::measure_pool(int node,
+                                                const std::vector<NodeId>& pool) {
   const std::size_t n = online_.size();
   std::vector<double> direct(
       n, config_.metric == Metric::kBandwidth ? 0.0 : graph::kUnreachable);
-  for (std::size_t v = 0; v < n; ++v) {
-    if (!online_[v] || static_cast<int>(v) == node) continue;
-    const int j = static_cast<int>(v);
+  for (NodeId v : pool) {
+    if (!online_[static_cast<std::size_t>(v)] || v == node) continue;
     switch (config_.metric) {
       case Metric::kDelayPing:
-        direct[v] = env_.measure_delay_ping(node, j);
+        direct[static_cast<std::size_t>(v)] = env_.measure_delay_ping(node, v);
         break;
       case Metric::kDelayCoords:
-        direct[v] = env_.measure_delay_coords(node, j);
+        direct[static_cast<std::size_t>(v)] = env_.measure_delay_coords(node, v);
         break;
       case Metric::kNodeLoad:
         // All outgoing links of a node carry the node's own measured load
         // (§4.1), so the direct cost does not depend on the target.
-        direct[v] = env_.measure_load(node);
+        direct[static_cast<std::size_t>(v)] = env_.measure_load(node);
         break;
       case Metric::kBandwidth:
-        direct[v] = env_.measure_avail_bw(node, j);
+        direct[static_cast<std::size_t>(v)] = env_.measure_avail_bw(node, v);
         break;
     }
   }
   return direct;
+}
+
+std::vector<NodeId> EgoistNetwork::sample_pool(int node) {
+  // The node always re-measures its committed links (current wiring and
+  // donated backbone — the sticky search needs their fresh costs), plus a
+  // fresh random sample of br_sample other online nodes.
+  std::vector<NodeId> pool;
+  auto add = [&](NodeId v) {
+    if (v == node || !online_[static_cast<std::size_t>(v)]) return;
+    if (std::find(pool.begin(), pool.end(), v) == pool.end()) pool.push_back(v);
+  };
+  for (NodeId v : wiring_[static_cast<std::size_t>(node)]) add(v);
+  for (NodeId v : donated_[static_cast<std::size_t>(node)]) add(v);
+
+  std::vector<NodeId> others;
+  for (NodeId v : online_nodes()) {
+    if (v != node &&
+        std::find(pool.begin(), pool.end(), v) == pool.end()) {
+      others.push_back(v);
+    }
+  }
+  const std::size_t m = std::min(config_.br_sample, others.size());
+  for (NodeId v : rng_.sample_without_replacement(
+           std::span<const NodeId>(others), m)) {
+    pool.push_back(v);
+  }
+  std::sort(pool.begin(), pool.end());
+  return pool;
+}
+
+void EgoistNetwork::refresh_landmarks() {
+  const auto online = online_nodes();
+  const std::size_t t = std::min(config_.br_landmarks, online.size());
+  auto landmarks = rng_.sample_without_replacement(
+      std::span<const NodeId>(online), t);
+  std::sort(landmarks.begin(), landmarks.end());
+
+  landmark_state_.landmarks = std::move(landmarks);
+  landmark_state_.column.assign(online_.size(), -1);
+  for (std::size_t c = 0; c < landmark_state_.landmarks.size(); ++c) {
+    landmark_state_.column[static_cast<std::size_t>(
+        landmark_state_.landmarks[c])] = static_cast<std::int32_t>(c);
+  }
+
+  // One reverse traversal of the announced overlay per landmark: distances
+  // *to* a landmark are distances *from* it in the reversed graph, so L
+  // traversals serve every node's evaluation this epoch.
+  graph::Digraph reversed(online_.size());
+  for (std::size_t u = 0; u < online_.size(); ++u) {
+    reversed.set_active(static_cast<NodeId>(u), online_[u]);
+  }
+  for (std::size_t u = 0; u < online_.size(); ++u) {
+    if (!online_[u]) continue;
+    for (const auto& e : announced_.out_edges(static_cast<NodeId>(u))) {
+      reversed.set_edge(e.to, static_cast<NodeId>(u), e.weight);
+    }
+  }
+
+  const std::size_t n = online_.size();
+  const bool widest = config_.metric == Metric::kBandwidth;
+  landmark_state_.dist.reshape(n, landmark_state_.landmarks.size());
+  for (std::size_t c = 0; c < landmark_state_.landmarks.size(); ++c) {
+    const NodeId l = landmark_state_.landmarks[c];
+    if (widest) {
+      const auto tree = graph::widest_paths(reversed, l);
+      for (std::size_t v = 0; v < n; ++v) {
+        landmark_state_.dist(v, c) = tree.bottleneck[v];
+      }
+    } else {
+      const auto tree = graph::dijkstra(reversed, l);
+      for (std::size_t v = 0; v < n; ++v) {
+        landmark_state_.dist(v, c) = tree.dist[v];
+      }
+    }
+  }
+  landmark_state_.valid = true;
+  landmark_state_.evals_left = online_count();
+}
+
+void EgoistNetwork::join_sampled(int node) {
+  // Scale-mode bootstrap: a joiner cannot measure everyone, so it wires to
+  // the best of a fresh sample (closest for delay/load, widest for
+  // bandwidth); BR epochs refine from there. HybridBR's donated backbone
+  // links come first, as in the dense path.
+  if (config_.policy == Policy::kHybridBR) {
+    donated_[static_cast<std::size_t>(node)] = backbone_links(node);
+  }
+  const auto pool = sample_pool(node);
+  auto direct = measure_pool(node, pool);
+
+  const auto& donated = donated_[static_cast<std::size_t>(node)];
+  std::vector<NodeId> free_pool;
+  for (NodeId v : pool) {
+    if (std::find(donated.begin(), donated.end(), v) == donated.end()) {
+      free_pool.push_back(v);
+    }
+  }
+  const std::size_t free_k =
+      config_.k > donated.size() ? config_.k - donated.size() : 0;
+  std::vector<NodeId> wiring = donated;
+  const auto picked =
+      config_.metric == Metric::kBandwidth
+          ? core::select_k_widest(free_pool, direct, free_k)
+          : core::select_k_closest(free_pool, direct, free_k);
+  wiring.insert(wiring.end(), picked.begin(), picked.end());
+  apply_wiring(node, std::move(wiring), direct);
+}
+
+bool EgoistNetwork::evaluate_node_sampled(int node) {
+  // The landmark state serves one epoch-equivalent of evaluations (see
+  // LandmarkState): inside run_epoch it was refreshed at the boundary;
+  // on the staggered/run_node path it refreshes here once the budget of
+  // online_count() evaluations is spent.
+  if (!landmark_state_.valid || landmark_state_.evals_left == 0) {
+    refresh_landmarks();
+  }
+  if (landmark_state_.evals_left > 0) --landmark_state_.evals_left;
+
+  const auto pool = sample_pool(node);
+  auto direct = measure_pool(node, pool);
+  const auto& current = wiring_[static_cast<std::size_t>(node)];
+
+  std::vector<NodeId> targets;
+  targets.reserve(landmark_state_.landmarks.size());
+  for (NodeId l : landmark_state_.landmarks) {
+    if (l != node) targets.push_back(l);
+  }
+
+  const bool maximize = config_.metric == Metric::kBandwidth;
+  const double penalty = maximize ? 0.0 : unreachable_penalty(announced_);
+  const core::LandmarkObjective objective(
+      node, pool, direct, &landmark_state_.dist, &landmark_state_.column,
+      std::move(targets), maximize, penalty);
+
+  core::BestResponseOptions options = config_.search;
+  options.scratch = &br_scratch_;
+  options.seed_wiring = current;
+  options.exact_budget = 0;
+  std::size_t free_k = std::min(config_.k, online_count() - 1);
+  if (config_.policy == Policy::kHybridBR) {
+    options.fixed_links = donated_[static_cast<std::size_t>(node)];
+    free_k = free_k > options.fixed_links.size()
+                 ? free_k - options.fixed_links.size()
+                 : 0;
+  }
+  const double current_cost = objective.cost(current);
+  core::BestResponseResult br = core::best_response(objective, free_k, options);
+  std::vector<NodeId> proposed = options.fixed_links;
+  proposed.insert(proposed.end(), br.wiring.begin(), br.wiring.end());
+
+  const double improvement = current_cost - br.cost;
+  const double fraction =
+      config_.epsilon > 0.0 ? config_.epsilon : config_.noise_floor;
+  const double threshold = fraction * std::abs(current_cost);
+  // Both the kept and the proposed wiring are subsets of the measured pool
+  // (fixed links included), so `direct` covers every announced cost.
+  if (improvement <= threshold || same_set(current, proposed)) {
+    apply_wiring(node, std::vector<NodeId>(current), direct);
+    return false;
+  }
+  const std::vector<NodeId> old_wiring =
+      hooks_.on_rewire ? current : std::vector<NodeId>{};
+  apply_wiring(node, std::move(proposed), direct);
+  if (hooks_.on_rewire) {
+    hooks_.on_rewire(node, old_wiring, wiring_[static_cast<std::size_t>(node)]);
+  }
+  return true;
 }
 
 double EgoistNetwork::announced_cost(int node, double measured) const {
@@ -317,7 +514,8 @@ void EgoistNetwork::refresh_backbone() {
         combined.push_back(w);
       }
     }
-    const auto direct = measure_direct(v);
+    const auto direct =
+        scale_mode() ? measure_pool(v, combined) : measure_direct(v);
     apply_wiring(v, std::move(combined), direct);
   }
 }
@@ -441,6 +639,10 @@ core::BestResponseResult EgoistNetwork::run_best_response(
 }
 
 void EgoistNetwork::join(int node) {
+  if (scale_mode()) {
+    join_sampled(node);
+    return;
+  }
   auto direct = measure_direct(node);
   if (config_.policy == Policy::kHybridBR) {
     donated_[static_cast<std::size_t>(node)] = backbone_links(node);
@@ -449,6 +651,7 @@ void EgoistNetwork::join(int node) {
 }
 
 bool EgoistNetwork::evaluate_node(int node) {
+  if (scale_mode()) return evaluate_node_sampled(node);
   const auto direct = measure_direct(node);
   const auto& current = wiring_[static_cast<std::size_t>(node)];
 
@@ -533,7 +736,12 @@ int EgoistNetwork::run_epoch() {
   const bool audited = config_.enable_audits &&
                        (config_.metric == Metric::kDelayPing ||
                         config_.metric == Metric::kDelayCoords);
-  if (is_br && !audited && config_.path_backend == PathBackend::kCsrEngine) {
+  if (scale_mode()) {
+    // Epoch-shared landmark state instead of epoch-shared base trees: the
+    // whole epoch evaluates against the boundary announced graph.
+    refresh_landmarks();
+  } else if (is_br && !audited &&
+             config_.path_backend == PathBackend::kCsrEngine) {
     engine_.rebuild(announced_);
     engine_synced_ = true;
   }
@@ -546,6 +754,7 @@ int EgoistNetwork::run_epoch() {
   }
   engine_synced_ = false;
   epoch_penalty_.reset();
+  landmark_state_.valid = false;
   // k-Random / k-Closest enforce a cycle if the wiring got disconnected
   // (§3.2); the cycle replaces each node's last link to respect degree k.
   if (config_.policy == Policy::kRandom || config_.policy == Policy::kClosest) {

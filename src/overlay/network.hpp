@@ -157,6 +157,29 @@ class EgoistNetwork {
   /// Per-policy choice of new wiring. `direct` comes from measure_direct.
   std::vector<NodeId> choose_wiring(int node, const std::vector<double>& direct);
 
+  /// --- §5 scale mode (config_.br_sample > 0) ---
+  bool scale_mode() const { return config_.br_sample > 0; }
+
+  /// Candidate pool for a scale-mode evaluation: the node's current wiring
+  /// and donated links plus a fresh random sample of br_sample others.
+  std::vector<NodeId> sample_pool(int node);
+
+  /// Direct measurement restricted to `pool` (the only pairs the node
+  /// probes — what keeps the sparse measurement plane at O(probed pairs)).
+  std::vector<double> measure_pool(int node, const std::vector<NodeId>& pool);
+
+  /// (Re)computes the epoch-shared landmark state: samples br_landmarks
+  /// online destinations and runs one reverse traversal of the announced
+  /// graph per landmark (shortest for delay/load, widest for bandwidth).
+  void refresh_landmarks();
+
+  /// Scale-mode node evaluation (sampled candidates x landmark targets);
+  /// same BR(eps) adoption rule and hooks as the dense path.
+  bool evaluate_node_sampled(int node);
+
+  /// Scale-mode bootstrap wiring: k closest/widest of a fresh sample.
+  void join_sampled(int node);
+
   /// Builds the metric-appropriate residual objective over the decision
   /// graph — through the shared CSR engine or the legacy residual-copy
   /// path, per config — and runs the BR search. When `current_for_cost`
@@ -212,6 +235,24 @@ class EgoistNetwork {
   /// graph: set for the duration of run_epoch, empty outside it (join and
   /// immediate-rewire paths compute a fresh value, as the seed did).
   std::optional<double> epoch_penalty_;
+
+  /// Scale-mode landmark state: distance/bottleneck from every node to each
+  /// landmark (n x L, epoch-shared), the landmark ids, and the id -> column
+  /// map. Nodes decide on the announced graph as of the last refresh, like
+  /// agents acting on the last flooded link state. A refresh serves one
+  /// epoch-equivalent of evaluations: run_epoch refreshes at its boundary;
+  /// the staggered/run_node path decrements `evals_left` and refreshes
+  /// after online_count() evaluations, so both schedules recompute the L
+  /// reverse traversals once per epoch, not once per node. Membership
+  /// changes invalidate the state (landmarks may have left).
+  struct LandmarkState {
+    bool valid = false;
+    std::size_t evals_left = 0;
+    std::vector<NodeId> landmarks;
+    std::vector<std::int32_t> column;  ///< node id -> column; -1 = none
+    graph::DistanceMatrix dist;
+  };
+  LandmarkState landmark_state_;
 
   int epochs_ = 0;
   std::uint64_t total_rewirings_ = 0;

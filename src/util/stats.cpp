@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <stdexcept>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 namespace egoist::util {
 
 Summary Summary::of(const std::vector<double>& values) {
@@ -60,6 +64,20 @@ void Ewma::update(double value, double now) {
   const double decay = std::exp2(-dt / half_life_);
   value_ = decay * value_ + (1.0 - decay) * value;
   last_time_ = now;
+}
+
+std::size_t peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::size_t>(usage.ru_maxrss);  // bytes on macOS
+#else
+  return static_cast<std::size_t>(usage.ru_maxrss) * 1024;  // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
 }
 
 }  // namespace egoist::util

@@ -31,6 +31,10 @@ struct Summary {
 /// Throws std::invalid_argument on an empty sample or p outside [0,100].
 double percentile(std::vector<double> values, double p);
 
+/// Peak resident set size of this process in bytes (memory telemetry for
+/// the scale experiments). 0 when the platform does not expose it.
+std::size_t peak_rss_bytes();
+
 /// Streaming mean/variance accumulator (Welford's algorithm).
 class OnlineStats {
  public:

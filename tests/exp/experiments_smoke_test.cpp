@@ -48,6 +48,9 @@ const std::map<std::string, Params>& smoke_overrides() {
        {{"n-list", "8"}, {"epochs", "1"}, {"warmup", "0"}, {"legacy-max-n", "8"}}},
       {"steady_state",
        {{"n", "10"}, {"warmup", "1"}, {"sample", "1"}, {"k", "2"}}},
+      {"scale_frontier",
+       {{"n-list", "64"}, {"k", "4"}, {"br-sample", "8"}, {"br-landmarks", "8"},
+        {"epochs", "1"}, {"score-sources", "4"}, {"coord-warmup", "10"}}},
   };
   return kOverrides;
 }

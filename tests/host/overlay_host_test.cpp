@@ -105,6 +105,83 @@ TEST(OverlayHostTest, MultiOverlayStaggeredChurnMatchesSoloRuns) {
   EXPECT_EQ(shared.total_rewirings(sb), solo_b.total_rewirings(b));
 }
 
+TEST(OverlayHostTest, MultiOverlayMatchesSoloRunsOnProceduralBackend) {
+  // The lockstep guarantee re-proven on the procedural underlay: sparse
+  // measurement planes with hash-derived drift must fork identically per
+  // overlay, so N overlays on one host still equal N solo runs.
+  constexpr int kEpochs = 4;
+  overlay::EnvironmentConfig env;
+  env.underlay = net::UnderlayKind::kProcedural;
+  env.coord_warmup_rounds = 10;
+
+  OverlayHost solo_a(kNodes, kSeed, env);
+  const auto a = solo_a.deploy(br_spec(5));
+  solo_a.run_epochs(a, kEpochs);
+
+  OverlayHost solo_b(kNodes, kSeed, env);
+  const auto b = solo_b.deploy(closest_spec(6));
+  solo_b.run_epochs(b, kEpochs);
+
+  OverlayHost shared(kNodes, kSeed, env);
+  const auto sa = shared.deploy(br_spec(5));
+  const auto sb = shared.deploy(closest_spec(6));
+  shared.run_epochs(kEpochs);
+
+  const auto solo_a_snap = solo_a.snapshot(a);
+  const auto solo_b_snap = solo_b.snapshot(b);
+  const auto shared_a_snap = shared.snapshot(sa);
+  const auto shared_b_snap = shared.snapshot(sb);
+  for (std::size_t v = 0; v < kNodes; ++v) {
+    EXPECT_EQ(shared_a_snap.wiring(static_cast<int>(v)),
+              solo_a_snap.wiring(static_cast<int>(v)));
+    EXPECT_EQ(shared_b_snap.wiring(static_cast<int>(v)),
+              solo_b_snap.wiring(static_cast<int>(v)));
+  }
+  EXPECT_EQ(shared_a_snap.node_costs(), solo_a_snap.node_costs());
+  EXPECT_EQ(shared_b_snap.node_costs(), solo_b_snap.node_costs());
+  EXPECT_EQ(shared_a_snap.total_rewirings(), solo_a_snap.total_rewirings());
+  EXPECT_EQ(shared_b_snap.total_rewirings(), solo_b_snap.total_rewirings());
+}
+
+TEST(OverlayHostTest, MultiOverlayStaggeredChurnMatchesSoloRunsOnProceduralBackend) {
+  // The staggered T/n + churn lockstep property on the procedural backend.
+  constexpr int kEpochs = 3;
+  overlay::EnvironmentConfig env;
+  env.underlay = net::UnderlayKind::kProcedural;
+  env.coord_warmup_rounds = 10;
+
+  churn::ChurnConfig churn_config;
+  churn_config.mean_on_s = 150.0;
+  churn_config.mean_off_s = 50.0;
+  churn_config.initial_on_fraction = 0.8;
+  const churn::ChurnTrace trace(kNodes, kEpochs * 60.0, 77, churn_config);
+
+  auto staggered = [&](OverlaySpec spec) {
+    return spec.epoch_period(60.0).staggered(kSeed ^ 0xBDu).churn(trace);
+  };
+
+  OverlayHost solo_a(kNodes, kSeed, env);
+  const auto a = solo_a.deploy(staggered(br_spec(5)));
+  solo_a.run_epochs(a, kEpochs);
+
+  OverlayHost solo_b(kNodes, kSeed, env);
+  const auto b = solo_b.deploy(staggered(closest_spec(6)));
+  solo_b.run_epochs(b, kEpochs);
+
+  OverlayHost shared(kNodes, kSeed, env);
+  const auto sa = shared.deploy(staggered(br_spec(5)));
+  const auto sb = shared.deploy(staggered(closest_spec(6)));
+  shared.run_epochs(kEpochs);
+
+  EXPECT_EQ(shared.snapshot(sa).node_efficiencies(),
+            solo_a.snapshot(a).node_efficiencies());
+  EXPECT_EQ(shared.snapshot(sb).node_efficiencies(),
+            solo_b.snapshot(b).node_efficiencies());
+  EXPECT_EQ(shared.snapshot(sa).online_nodes(), solo_a.snapshot(a).online_nodes());
+  EXPECT_EQ(shared.total_rewirings(sa), solo_a.total_rewirings(a));
+  EXPECT_EQ(shared.total_rewirings(sb), solo_b.total_rewirings(b));
+}
+
 TEST(OverlayHostTest, SnapshotsAreImmutableAcrossEpochExecution) {
   OverlayHost host(kNodes, kSeed);
   const auto overlay = host.deploy(br_spec(5));

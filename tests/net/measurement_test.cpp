@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "net/bandwidth.hpp"
 #include "net/delay_space.hpp"
 #include "util/stats.hpp"
 
@@ -58,7 +59,20 @@ TEST(PingProberTest, Rejections) {
   EXPECT_THROW(PingProber(d, 1, -1.0), std::invalid_argument);
   EXPECT_THROW(PingProber(d, 1, 1.0, 0), std::invalid_argument);
   EXPECT_THROW(PingProber::ping_load_bps(50, 5, 0.0), std::invalid_argument);
-  EXPECT_THROW(PingProber::ping_load_bps(3, 5, 60.0), std::invalid_argument);
+}
+
+TEST(PingProberTest, LoadFormulaClampsDegenerateOverlays) {
+  // Regression: n <= k + 1 means every other node is already a neighbor;
+  // the (n - k - 1) term used to underflow (std::size_t) and the guard
+  // threw. Degenerate overlays now report zero re-probing load.
+  EXPECT_DOUBLE_EQ(PingProber::ping_load_bps(3, 5, 60.0), 0.0);
+  EXPECT_DOUBLE_EQ(PingProber::ping_load_bps(6, 5, 60.0), 0.0);  // n == k + 1
+  EXPECT_DOUBLE_EQ(PingProber::ping_load_bps(5, 5, 60.0), 0.0);
+  // First non-degenerate point: exactly one non-neighbor to probe.
+  EXPECT_NEAR(PingProber::ping_load_bps(7, 5, 60.0), 320.0 / 60.0, 1e-12);
+  // Monotone in n beyond the clamp.
+  EXPECT_LT(PingProber::ping_load_bps(7, 5, 60.0),
+            PingProber::ping_load_bps(8, 5, 60.0));
 }
 
 TEST(BandwidthProberTest, ZeroErrorIsExact) {

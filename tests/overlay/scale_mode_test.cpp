@@ -1,0 +1,142 @@
+// §5 scale-mode contract tests: sampled BR epochs are deterministic,
+// respect k, keep the measurement plane at O(probed pairs), work on both
+// backends and in the staggered host mode, and the config guards reject
+// unsupported combinations.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "host/overlay_host.hpp"
+
+namespace egoist::overlay {
+namespace {
+
+EnvironmentConfig scale_env(net::UnderlayKind kind) {
+  EnvironmentConfig config;
+  config.underlay = kind;
+  config.sparse_plane_threshold = 0;
+  config.coord_warmup_rounds = 5;
+  return config;
+}
+
+OverlayConfig scale_config(Policy policy = Policy::kBestResponse,
+                           Metric metric = Metric::kDelayPing) {
+  OverlayConfig config;
+  config.policy = policy;
+  config.metric = metric;
+  config.k = 4;
+  config.seed = 5;
+  config.br_sample = 8;
+  config.br_landmarks = 12;
+  return config;
+}
+
+TEST(ScaleModeTest, RejectsUnsupportedCombinations) {
+  Environment env(16, 1, scale_env(net::UnderlayKind::kDense));
+  auto bad = scale_config(Policy::kClosest);
+  EXPECT_THROW(EgoistNetwork(env, bad), std::invalid_argument);
+  bad = scale_config();
+  bad.br_landmarks = 0;
+  EXPECT_THROW(EgoistNetwork(env, bad), std::invalid_argument);
+  bad = scale_config();
+  bad.preference_zipf_exponent = 1.0;
+  EXPECT_THROW(EgoistNetwork(env, bad), std::invalid_argument);
+  bad = scale_config();
+  bad.enable_audits = true;
+  EXPECT_THROW(EgoistNetwork(env, bad), std::invalid_argument);
+}
+
+TEST(ScaleModeTest, EpochsAreDeterministicAndRespectK) {
+  for (const auto kind :
+       {net::UnderlayKind::kDense, net::UnderlayKind::kProcedural}) {
+    auto run = [&](int epochs) {
+      Environment env(40, 7, scale_env(kind));
+      EgoistNetwork net(env, scale_config());
+      for (int e = 0; e < epochs; ++e) {
+        env.advance(60.0);
+        net.run_epoch();
+      }
+      std::vector<std::vector<NodeId>> wirings;
+      for (int v = 0; v < 40; ++v) wirings.push_back(net.wiring(v));
+      return std::make_pair(wirings, net.total_rewirings());
+    };
+    const auto [wirings_a, rewired_a] = run(3);
+    const auto [wirings_b, rewired_b] = run(3);
+    EXPECT_EQ(wirings_a, wirings_b);
+    EXPECT_EQ(rewired_a, rewired_b);
+    for (const auto& wiring : wirings_a) {
+      EXPECT_LE(wiring.size(), 4u);
+      EXPECT_FALSE(wiring.empty());
+    }
+  }
+}
+
+TEST(ScaleModeTest, MeasurementStaysWithinSampledPairs) {
+  // Every node probes at most its pool (sample + committed links) per
+  // evaluation: the sparse plane must stay far below n^2.
+  constexpr std::size_t kN = 120;
+  Environment env(kN, 11, scale_env(net::UnderlayKind::kProcedural));
+  auto config = scale_config();
+  EgoistNetwork net(env, config);
+  env.advance(60.0);
+  net.run_epoch();
+  ASSERT_TRUE(env.sparse_plane());
+  // Bootstrap (two join passes) + one epoch: <= ~3 pools per node, each
+  // pool at most sample + k links (plus their reverse probes is not a
+  // thing — pings are directed).
+  const std::size_t per_node_budget = 3 * (config.br_sample + config.k + 1);
+  EXPECT_LT(env.probed_pairs(), kN * per_node_budget);
+  EXPECT_LT(env.probed_pairs(), kN * (kN - 1) / 2);
+}
+
+TEST(ScaleModeTest, HybridBRKeepsDonatedBackboneLinks) {
+  Environment env(30, 3, scale_env(net::UnderlayKind::kProcedural));
+  auto config = scale_config(Policy::kHybridBR);
+  config.donated_links = 2;
+  EgoistNetwork net(env, config);
+  env.advance(60.0);
+  net.run_epoch();
+  for (int v = 0; v < 30; ++v) {
+    EXPECT_EQ(net.donated(v).size(), 2u);
+    for (const NodeId d : net.donated(v)) {
+      const auto& wiring = net.wiring(v);
+      EXPECT_NE(std::find(wiring.begin(), wiring.end(), d), wiring.end())
+          << "donated link " << d << " missing from node " << v;
+    }
+  }
+}
+
+TEST(ScaleModeTest, BandwidthMetricRunsOnWidestLandmarks) {
+  Environment env(24, 13, scale_env(net::UnderlayKind::kProcedural));
+  EgoistNetwork net(env, scale_config(Policy::kBestResponse,
+                                      Metric::kBandwidth));
+  env.advance(60.0);
+  EXPECT_NO_THROW(net.run_epoch());
+  for (int v = 0; v < 24; ++v) EXPECT_FALSE(net.wiring(v).empty());
+}
+
+TEST(ScaleModeTest, RunNodeWorksOutsideEpochs) {
+  Environment env(24, 17, scale_env(net::UnderlayKind::kProcedural));
+  EgoistNetwork net(env, scale_config());
+  env.advance(60.0);
+  EXPECT_NO_THROW(net.run_node(5));
+  // Churn paths (set_online + immediate repair) stay functional.
+  net.set_online(5, false);
+  net.set_online(5, true);
+  EXPECT_TRUE(net.is_online(5));
+}
+
+TEST(ScaleModeTest, StaggeredHostDriverCompletesEpochs) {
+  host::OverlayHost host(20, 23, scale_env(net::UnderlayKind::kProcedural));
+  auto spec = host::OverlaySpec(scale_config())
+                  .epoch_period(60.0)
+                  .staggered(/*order_seed=*/3);
+  const auto overlay = host.deploy(spec);
+  host.run_epochs(overlay, 2);
+  EXPECT_EQ(host.epochs_run(overlay), 2);
+  const auto snapshot = host.snapshot(overlay);
+  for (int v = 0; v < 20; ++v) EXPECT_FALSE(snapshot.wiring(v).empty());
+}
+
+}  // namespace
+}  // namespace egoist::overlay

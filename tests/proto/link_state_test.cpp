@@ -61,6 +61,70 @@ TEST(TopologyDbTest, BuildGraphSkipsMalformedEntries) {
   EXPECT_DOUBLE_EQ(g.edge_weight(0, 1), 3.0);
 }
 
+TEST(TopologyDbTest, PurgeBoundariesAndEmptyDb) {
+  TopologyDb db;
+  EXPECT_EQ(db.purge_older_than(100.0), 0u);  // empty database: no-op
+
+  db.update(Announcement{0, 1, {}}, 10.0);
+  db.update(Announcement{1, 1, {}}, 20.0);
+  db.update(Announcement{2, 1, {}}, 30.0);
+  // Aging is strict: an entry accepted exactly at the cutoff survives.
+  EXPECT_EQ(db.purge_older_than(20.0), 1u);
+  EXPECT_EQ(db.lookup(0), nullptr);
+  EXPECT_NE(db.lookup(1), nullptr);
+  EXPECT_EQ(db.size(), 2u);
+  // A refresh (fresher seq) renews the acceptance time and dodges aging.
+  db.update(Announcement{1, 2, {}}, 50.0);
+  EXPECT_EQ(db.purge_older_than(40.0), 1u);  // node 2 ages out, 1 stays
+  EXPECT_NE(db.lookup(1), nullptr);
+  EXPECT_EQ(db.accepted_at(1), std::optional<double>(50.0));
+  // Cutoff beyond everything empties the database.
+  EXPECT_EQ(db.purge_older_than(1e9), 1u);
+  EXPECT_EQ(db.size(), 0u);
+}
+
+TEST(TopologyDbTest, EraseRemovesOnlyTheNamedOrigin) {
+  TopologyDb db;
+  db.update(Announcement{0, 5, {{1, 1.0}}}, 0.0);
+  db.update(Announcement{1, 3, {{0, 2.0}}}, 0.0);
+  EXPECT_TRUE(db.erase(0));
+  EXPECT_EQ(db.lookup(0), nullptr);
+  EXPECT_EQ(db.accepted_at(0), std::nullopt);
+  EXPECT_NE(db.lookup(1), nullptr);
+  EXPECT_FALSE(db.erase(0));   // already gone
+  EXPECT_FALSE(db.erase(42));  // never present
+  EXPECT_EQ(db.size(), 1u);
+  // A re-learned announcement from an erased origin is accepted afresh,
+  // whatever its sequence number (the old state is really gone).
+  EXPECT_TRUE(db.update(Announcement{0, 1, {{1, 9.0}}}, 5.0));
+  EXPECT_DOUBLE_EQ(db.lookup(0)->links[0].cost, 9.0);
+}
+
+TEST(TopologyDbTest, BuildGraphWithMissingOriginsAndDanglingTargets) {
+  TopologyDb db;
+  // Node 1 never announced (missing origin) but is a link target; node 0's
+  // announcement also carries a dangling target (id beyond node_count) and
+  // an out-of-range origin sits in the database (origin 7 with
+  // node_count 4).
+  db.update(Announcement{0, 1, {{1, 2.0}, {9, 1.0}}}, 0.0);
+  db.update(Announcement{2, 1, {{1, 4.0}, {3, 5.0}}}, 0.0);
+  db.update(Announcement{7, 1, {{0, 1.0}}}, 0.0);
+  const auto g = db.build_graph(4);
+  // Missing origins still exist as link targets, with no out-edges.
+  EXPECT_EQ(g.node_count(), 4u);
+  EXPECT_EQ(g.out_degree(1), 0u);
+  EXPECT_DOUBLE_EQ(g.edge_weight(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(g.edge_weight(2, 1), 4.0);
+  EXPECT_DOUBLE_EQ(g.edge_weight(2, 3), 5.0);
+  // Dangling targets and out-of-range origins contribute nothing.
+  EXPECT_EQ(g.edge_count(), 3u);
+  EXPECT_FALSE(g.has_edge(0, 3));
+  // Shrinking node_count turns previously valid links dangling too.
+  const auto small = db.build_graph(2);
+  EXPECT_EQ(small.edge_count(), 1u);
+  EXPECT_DOUBLE_EQ(small.edge_weight(0, 1), 2.0);
+}
+
 // Ring of n nodes; every node links to the next.
 LinkStateProtocol make_ring(sim::Simulator& sim, std::size_t n) {
   LinkStateProtocol proto(sim, n, constant_delay());
