@@ -131,6 +131,32 @@ DelayObjective make_delay_objective(graph::PathEngine& engine, NodeId self,
                         std::move(targets), penalty);
 }
 
+DelayObjective make_delay_objective(const graph::PathEngine& engine,
+                                    graph::PathEngine::QueryScratch& query,
+                                    NodeId self,
+                                    const std::vector<double>& direct_cost,
+                                    std::optional<std::vector<double>> preference,
+                                    std::optional<double> unreachable_penalty,
+                                    graph::DistanceMatrix* scratch) {
+  check_active_self(engine.csr(), self);
+  auto candidates = others(engine.csr(), self);
+  auto targets = candidates;
+  auto pref = resolve_preference(std::move(preference), engine.node_count(),
+                                 targets);
+  const double penalty =
+      unreachable_penalty.value_or(default_unreachable_penalty(engine.csr()));
+  if (scratch != nullptr) {
+    engine.all_shortest(self, *scratch, query);
+    return DelayObjective(self, std::move(candidates), direct_cost, scratch,
+                          std::move(pref), std::move(targets), penalty);
+  }
+  graph::DistanceMatrix dist;
+  engine.all_shortest(self, dist, query);
+  return DelayObjective(self, std::move(candidates), direct_cost,
+                        std::move(dist), std::move(pref), std::move(targets),
+                        penalty);
+}
+
 BandwidthObjective make_bandwidth_objective(const graph::Digraph& overlay,
                                             NodeId self,
                                             const std::vector<double>& direct_bw) {
@@ -161,6 +187,24 @@ BandwidthObjective make_bandwidth_objective(graph::PathEngine& engine,
   }
   return BandwidthObjective(self, std::move(candidates), direct_bw,
                             engine.all_widest(self), std::move(targets));
+}
+
+BandwidthObjective make_bandwidth_objective(
+    const graph::PathEngine& engine, graph::PathEngine::QueryScratch& query,
+    NodeId self, const std::vector<double>& direct_bw,
+    graph::DistanceMatrix* scratch) {
+  check_active_self(engine.csr(), self);
+  auto candidates = others(engine.csr(), self);
+  auto targets = candidates;
+  if (scratch != nullptr) {
+    engine.all_widest(self, *scratch, query);
+    return BandwidthObjective(self, std::move(candidates), direct_bw, scratch,
+                              std::move(targets));
+  }
+  graph::DistanceMatrix bw;
+  engine.all_widest(self, bw, query);
+  return BandwidthObjective(self, std::move(candidates), direct_bw,
+                            std::move(bw), std::move(targets));
 }
 
 DelayObjective make_sampled_delay_objective(
@@ -206,6 +250,29 @@ DelayObjective make_sampled_delay_objective(
   for (NodeId v : sample) {
     if (!csr.is_active(v)) continue;
     engine.shortest_from(v, self, dist.row(static_cast<std::size_t>(v)));
+  }
+  return DelayObjective(
+      self, sample, direct_cost, std::move(dist),
+      uniform_preference(n, sample), sample,
+      unreachable_penalty.value_or(default_unreachable_penalty(csr)));
+}
+
+DelayObjective make_sampled_delay_objective(
+    const graph::PathEngine& engine, graph::PathEngine::QueryScratch& query,
+    NodeId self, const std::vector<double>& direct_cost,
+    const std::vector<NodeId>& sample,
+    std::optional<double> unreachable_penalty) {
+  const auto& csr = engine.csr();
+  check_active_self(csr, self);
+  for (NodeId v : sample) {
+    csr.check_node(v);
+    if (v == self) throw std::invalid_argument("sample may not contain self");
+  }
+  const std::size_t n = engine.node_count();
+  graph::DistanceMatrix dist(n, n, graph::kUnreachable);
+  for (NodeId v : sample) {
+    if (!csr.is_active(v)) continue;
+    engine.shortest_from(v, self, dist.row(static_cast<std::size_t>(v)), query);
   }
   return DelayObjective(
       self, sample, direct_cost, std::move(dist),

@@ -64,6 +64,17 @@ DelayObjective make_delay_objective(
     std::optional<double> unreachable_penalty = std::nullopt,
     graph::DistanceMatrix* scratch = nullptr);
 
+/// Const-engine variant for worker threads: all mutable query state lives
+/// in the caller-owned `query` scratch, so any number of workers can build
+/// objectives concurrently against one prepared engine (see
+/// PathEngine::prepare_shortest). `scratch` semantics as above.
+DelayObjective make_delay_objective(
+    const graph::PathEngine& engine, graph::PathEngine::QueryScratch& query,
+    NodeId self, const std::vector<double>& direct_cost,
+    std::optional<std::vector<double>> preference = std::nullopt,
+    std::optional<double> unreachable_penalty = std::nullopt,
+    graph::DistanceMatrix* scratch = nullptr);
+
 /// Builds a bandwidth objective for `self` (edge weights = available
 /// bandwidth; residual computation = all-pairs widest paths).
 BandwidthObjective make_bandwidth_objective(const graph::Digraph& overlay,
@@ -75,6 +86,12 @@ BandwidthObjective make_bandwidth_objective(graph::PathEngine& engine,
                                             NodeId self,
                                             const std::vector<double>& direct_bw,
                                             graph::DistanceMatrix* scratch = nullptr);
+
+/// Const-engine variant (see the delay twin; prepare_widest first).
+BandwidthObjective make_bandwidth_objective(
+    const graph::PathEngine& engine, graph::PathEngine::QueryScratch& query,
+    NodeId self, const std::vector<double>& direct_bw,
+    graph::DistanceMatrix* scratch = nullptr);
 
 /// Restricted variants for the sampling policies of §5: candidates and
 /// targets are limited to `sample` (the newcomer only measures and reasons
@@ -89,6 +106,13 @@ DelayObjective make_sampled_delay_objective(
 DelayObjective make_sampled_delay_objective(
     graph::PathEngine& engine, NodeId self,
     const std::vector<double>& direct_cost, const std::vector<NodeId>& sample,
+    std::optional<double> unreachable_penalty = std::nullopt);
+
+/// Const-engine sampled variant for worker threads.
+DelayObjective make_sampled_delay_objective(
+    const graph::PathEngine& engine, graph::PathEngine::QueryScratch& query,
+    NodeId self, const std::vector<double>& direct_cost,
+    const std::vector<NodeId>& sample,
     std::optional<double> unreachable_penalty = std::nullopt);
 
 }  // namespace egoist::core

@@ -1,22 +1,36 @@
-// Epoch wall-time scaling of the BR hot path (ISSUE 2 acceptance bench).
+// Epoch wall-time scaling of the BR hot path (ISSUE 2 acceptance bench,
+// extended with the parallel epoch pipeline in ISSUE 6).
 //
 // Measures EgoistNetwork::run_epoch() wall time for BR / HybridBR overlays
-// at growing n, on three residual-path backends:
+// at growing n, on four variants:
 //
-//   legacy     residual Digraph copy + all-pairs per node (the seed's path)
-//   engine     graph::PathEngine, serial (CSR snapshot + reused workspace)
-//   engine-mt  graph::PathEngine with the per-source worker pool
+//   legacy      residual Digraph copy + all-pairs per node (the seed's path)
+//   engine      graph::PathEngine, serial (CSR snapshot + reused workspace)
+//   engine-mt   graph::PathEngine with the per-source worker pool
+//   engine-par  the parallel epoch pipeline (snapshot -> parallel evaluate
+//               -> deterministic merge), at epoch_workers = 1 and at the
+//               resolved `workers` knob
 //
-// All backends produce bit-identical distances, so for a fixed seed every
-// variant walks the *same* wiring trajectory — the re-wiring counts printed
-// per row double as a correctness cross-check (they must match, and the
-// run fails when they do not). Timings cover run_epoch() only; substrate
-// advancement runs outside the clock.
+// legacy / engine / engine-mt run the sequential epoch and produce
+// bit-identical distances, so they walk the *same* wiring trajectory for a
+// fixed seed — their re-wiring counts double as a correctness cross-check
+// (they must match, and the run fails when they do not). engine-par runs
+// the pipeline semantics (every node evaluates against the epoch-start
+// snapshot), a *different* deterministic trajectory: its cross-check is
+// internal — every engine-par row must re-wire exactly like the
+// engine-par workers=1 baseline, at any worker count.
+//
+// The `workers` knob (0 = auto) is resolved to a concrete pool size via
+// util::WorkerPool::resolve up front, and every row reports that actual
+// count — a row claiming workers=0 is a reporting bug and aborts the run.
+// `profile = true` enables the in-process profiler around the timed epochs
+// and emits per-phase rows ("profile" panel; see docs/EXPERIMENTS.md).
 //
 // Emits a machine-readable JSON report (console, and the `json` knob names
 // a file) so CI can track the perf trajectory, plus per-measurement rows
 // through the structured sink. Timings are wall-clock and thus not
-// deterministic; rewiring counts and trajectories are.
+// deterministic; rewiring counts and trajectories are. The report carries
+// `host_cpus` so speedups are read against the hardware that produced them.
 #include <algorithm>
 #include <chrono>
 #include <fstream>
@@ -24,9 +38,12 @@
 #include <limits>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 
 #include "exp/common.hpp"
 #include "exp/experiments/experiments.hpp"
+#include "util/profiler.hpp"
+#include "util/worker_pool.hpp"
 
 namespace egoist::exp {
 
@@ -35,18 +52,20 @@ namespace {
 struct BackendSpec {
   std::string name;
   overlay::PathBackend backend;
-  int workers;
+  int path_workers;   ///< per-source tree builds inside one evaluation
+  int epoch_workers;  ///< 0 = sequential epoch; >= 1 = parallel pipeline
 };
 
 struct Measurement {
   std::string policy;
   std::size_t n = 0;
   std::string backend;
-  int workers = 1;
+  int workers = 1;         ///< actual pool size driving this row (never 0)
   double epoch_ms_mean = 0.0;
   double epoch_ms_min = 0.0;
   int rewirings = 0;       ///< total over the timed epochs (trajectory check)
-  double speedup = 0.0;    ///< vs. legacy at same (policy, n); 0 = n/a
+  double speedup = 0.0;    ///< vs. `baseline` at same (policy, n); 0 = n/a
+  std::string baseline;    ///< what `speedup` is relative to ("" = n/a)
   std::size_t substrate_bytes = 0;  ///< substrate storage at this n
   std::size_t peak_rss_bytes = 0;   ///< process peak RSS after the run
 };
@@ -80,7 +99,8 @@ std::vector<overlay::Policy> parse_policies(const std::string& csv) {
 Measurement measure(overlay::Policy policy, std::size_t n,
                     const BackendSpec& spec, std::size_t k, int warmup,
                     int epochs, std::uint64_t seed,
-                    const overlay::EnvironmentConfig& env_config) {
+                    const overlay::EnvironmentConfig& env_config,
+                    bool profile) {
   overlay::OverlayConfig config;
   config.policy = policy;
   config.metric = overlay::Metric::kDelayPing;
@@ -88,7 +108,8 @@ Measurement measure(overlay::Policy policy, std::size_t n,
   config.donated_links = 2;
   config.seed = seed;
   config.path_backend = spec.backend;
-  config.path_workers = spec.workers;
+  config.path_workers = spec.path_workers;
+  config.epoch_workers = spec.epoch_workers;
 
   host::OverlayHost deployment(n, seed, env_config);
   const auto handle = deployment.deploy(host::OverlaySpec(config));
@@ -103,7 +124,13 @@ Measurement measure(overlay::Policy policy, std::size_t n,
   m.policy = overlay::to_string(policy);
   m.n = n;
   m.backend = spec.name;
-  m.workers = spec.workers;
+  m.workers = spec.epoch_workers > 0 ? spec.epoch_workers : spec.path_workers;
+  if (m.workers <= 0) {
+    throw std::runtime_error("refusing to report a workers=0 row for " +
+                             spec.name + " (resolve the pool size first)");
+  }
+  // Profile the timed epochs only: drop whatever warmup recorded.
+  if (profile) util::Profiler::instance().reset();
   m.epoch_ms_min = std::numeric_limits<double>::infinity();
   for (int e = 0; e < epochs; ++e) {
     env.advance(60.0);
@@ -127,7 +154,9 @@ std::string json_report(const std::vector<Measurement>& results, std::size_t k,
   out << std::fixed << std::setprecision(3);
   out << "{\"bench\":\"perf_epoch_scaling\",\"metric\":\"delay(ping)\","
       << "\"k\":" << k << ",\"warmup\":" << warmup << ",\"epochs\":" << epochs
-      << ",\"seed\":" << seed << ",\"results\":[";
+      << ",\"seed\":" << seed
+      << ",\"host_cpus\":" << std::thread::hardware_concurrency()
+      << ",\"results\":[";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const auto& m = results[i];
     if (i > 0) out << ",";
@@ -138,7 +167,10 @@ std::string json_report(const std::vector<Measurement>& results, std::size_t k,
         << ",\"rewirings\":" << m.rewirings
         << ",\"substrate_bytes\":" << m.substrate_bytes
         << ",\"peak_rss_bytes\":" << m.peak_rss_bytes;
-    if (m.speedup > 0.0) out << ",\"speedup_vs_legacy\":" << m.speedup;
+    if (m.speedup > 0.0) {
+      out << ",\"speedup\":" << m.speedup << ",\"baseline\":\"" << m.baseline
+          << "\"";
+    }
     out << "}";
   }
   out << "]}";
@@ -147,7 +179,7 @@ std::string json_report(const std::vector<Measurement>& results, std::size_t k,
 
 const std::vector<std::string> kRowColumns{
     "policy", "n", "backend", "workers", "epoch_ms_mean", "epoch_ms_min",
-    "rewirings", "speedup_vs_legacy", "substrate_bytes", "peak_rss_bytes"};
+    "rewirings", "speedup", "baseline", "substrate_bytes", "peak_rss_bytes"};
 
 std::vector<std::string> row_cells(const Measurement& m) {
   std::ostringstream mean_ms, min_ms, speedup;
@@ -161,8 +193,27 @@ std::vector<std::string> row_cells(const Measurement& m) {
   return {m.policy,     std::to_string(m.n), m.backend,
           std::to_string(m.workers),          mean_ms.str(),
           min_ms.str(), std::to_string(m.rewirings), speedup.str(),
+          m.baseline.empty() ? "-" : m.baseline,
           std::to_string(m.substrate_bytes),
           std::to_string(m.peak_rss_bytes)};
+}
+
+std::vector<std::string> profile_row_columns() {
+  std::vector<std::string> columns{"policy", "n", "backend", "workers"};
+  const auto& phase_columns = util::profile_columns();
+  columns.insert(columns.end(), phase_columns.begin(), phase_columns.end());
+  return columns;
+}
+
+void emit_profile_rows(ResultSink& sink, const Measurement& m) {
+  const auto columns = profile_row_columns();
+  for (const auto& phase : util::Profiler::instance().report()) {
+    std::vector<std::string> cells{m.policy, std::to_string(m.n), m.backend,
+                                   std::to_string(m.workers)};
+    const auto phase_cells = util::phase_cells(phase);
+    cells.insert(cells.end(), phase_cells.begin(), phase_cells.end());
+    sink.row("profile", columns, cells);
+  }
 }
 
 }  // namespace
@@ -177,30 +228,43 @@ void run_perf_epoch_scaling(const ParamReader& params, ResultSink& sink) {
     throw std::invalid_argument("need warmup >= 0 and epochs >= 1");
   }
   const std::uint64_t seed = params.get_seed("seed", 42);
-  const int workers = params.get_int("workers", 0);
+  // Resolve the 0 = auto knob to the actual pool size once, up front, and
+  // thread the concrete count everywhere: the BENCH_5 `workers:0` rows were
+  // a reporting bug (the config default leaked into the report while the
+  // engine sized its pool internally).
+  const int workers = util::WorkerPool::resolve(params.get_int("workers", 0));
+  const bool profile = params.get_bool("profile", false);
   const int legacy_max_n = params.get_int("legacy-max-n", 400);
   const std::string json_path = params.get_string("json", "");
   const auto env_config = parse_underlay(params);
 
   sink.section(
       "perf: epoch scaling",
-      "run_epoch() wall time per backend; rewiring counts must agree across\n"
-      "backends (bit-identical trajectories for a fixed seed).");
+      "run_epoch() wall time per backend; rewiring counts must agree within\n"
+      "each semantics family (sequential backends vs legacy, engine-par vs\n"
+      "its workers=1 baseline) — bit-identical trajectories for a fixed\n"
+      "seed.");
 
-  const std::vector<BackendSpec> specs{
-      {"legacy", overlay::PathBackend::kLegacy, 1},
-      {"engine", overlay::PathBackend::kCsrEngine, 1},
-      {"engine-mt", overlay::PathBackend::kCsrEngine, workers},
+  std::vector<BackendSpec> specs{
+      {"legacy", overlay::PathBackend::kLegacy, 1, 0},
+      {"engine", overlay::PathBackend::kCsrEngine, 1, 0},
+      {"engine-mt", overlay::PathBackend::kCsrEngine, workers, 0},
+      {"engine-par", overlay::PathBackend::kCsrEngine, 1, 1},
   };
+  if (workers > 1) {
+    specs.push_back({"engine-par", overlay::PathBackend::kCsrEngine, 1, workers});
+  }
+
+  util::ProfileSession profile_session(profile);
 
   std::vector<Measurement> results;
   {
     std::ostringstream head;
     head << std::left << std::setw(10) << "policy" << std::setw(7) << "n"
-         << std::setw(11) << "backend" << std::setw(9) << "workers"
+         << std::setw(12) << "backend" << std::setw(9) << "workers"
          << std::setw(14) << "epoch ms" << std::setw(14) << "min ms"
          << std::setw(10) << "rewires" << "speedup\n";
-    head << std::string(78, '-') << "\n";
+    head << std::string(80, '-') << "\n";
     sink.text(head.str());
   }
   int trajectory_mismatches = 0;
@@ -209,44 +273,65 @@ void run_perf_epoch_scaling(const ParamReader& params, ResultSink& sink) {
     for (const std::size_t n : n_list) {
       double legacy_ms = 0.0;
       int legacy_rewirings = -1;
+      double par1_ms = 0.0;
+      int par1_rewirings = -1;
       for (const auto& spec : specs) {
         if (spec.name == "legacy" &&
             n > static_cast<std::size_t>(legacy_max_n)) {
           continue;
         }
-        auto m = measure(policy, n, spec, k, warmup, epochs, seed, env_config);
+        auto m = measure(policy, n, spec, k, warmup, epochs, seed, env_config,
+                         profile);
+        const bool pipeline = spec.epoch_workers > 0;
         if (spec.name == "legacy") {
           legacy_ms = m.epoch_ms_mean;
           legacy_rewirings = m.rewirings;
-        } else {
+        } else if (pipeline && spec.epoch_workers == 1) {
+          // The pipeline's own single-thread baseline: later engine-par
+          // rows check their trajectory and speedup against this row.
+          par1_ms = m.epoch_ms_mean;
+          par1_rewirings = m.rewirings;
           if (legacy_ms > 0.0 && m.epoch_ms_mean > 0.0) {
             m.speedup = legacy_ms / m.epoch_ms_mean;
+            m.baseline = "legacy";
           }
-          // Enforce the trajectory cross-check the banner promises: all
-          // backends must walk the same wiring sequence for a fixed seed.
-          if (legacy_rewirings >= 0 && m.rewirings != legacy_rewirings) {
+        } else {
+          const double base_ms = pipeline ? par1_ms : legacy_ms;
+          if (base_ms > 0.0 && m.epoch_ms_mean > 0.0) {
+            m.speedup = base_ms / m.epoch_ms_mean;
+            m.baseline = pipeline ? "engine-par@1" : "legacy";
+          }
+          // Enforce the trajectory cross-check the banner promises, within
+          // each semantics family: sequential backends must re-wire like
+          // legacy; every engine-par row must re-wire like engine-par@1
+          // (the bit-identical-at-any-worker-count contract).
+          const int expected = pipeline ? par1_rewirings : legacy_rewirings;
+          const std::string reference = pipeline ? "engine-par@1" : "legacy";
+          if (expected >= 0 && m.rewirings != expected) {
             ++trajectory_mismatches;
             mismatch_report += "TRAJECTORY MISMATCH: " + m.policy +
                                " n=" + std::to_string(n) + " " + m.backend +
+                               " workers=" + std::to_string(m.workers) +
                                " rewired " + std::to_string(m.rewirings) +
-                               " vs legacy " + std::to_string(legacy_rewirings) +
-                               "\n";
+                               " vs " + reference + " " +
+                               std::to_string(expected) + "\n";
           }
         }
         std::ostringstream line;
         line << std::left << std::setw(10) << m.policy << std::setw(7) << m.n
-             << std::setw(11) << m.backend << std::setw(9) << m.workers
+             << std::setw(12) << m.backend << std::setw(9) << m.workers
              << std::setw(14) << std::fixed << std::setprecision(2)
              << m.epoch_ms_mean << std::setw(14) << m.epoch_ms_min
              << std::setw(10) << m.rewirings;
         if (m.speedup > 0.0) {
-          line << std::setprecision(2) << m.speedup << "x";
+          line << std::setprecision(2) << m.speedup << "x vs " << m.baseline;
         } else {
           line << "-";
         }
         line << "\n";
         sink.text(line.str());
         sink.row("scaling", kRowColumns, row_cells(m));
+        if (profile) emit_profile_rows(sink, m);
         results.push_back(std::move(m));
       }
     }
@@ -263,7 +348,7 @@ void run_perf_epoch_scaling(const ParamReader& params, ResultSink& sink) {
   if (trajectory_mismatches > 0) {
     throw std::runtime_error(
         mismatch_report + "error: " + std::to_string(trajectory_mismatches) +
-        " backend(s) diverged from the legacy trajectory");
+        " row(s) diverged from their reference trajectory");
   }
 }
 

@@ -12,6 +12,11 @@
 // the true-cost overlay graph from score-sources random online sources
 // (full all-pairs scoring would itself be O(n^2) and is exactly what this
 // experiment exists to avoid).
+//
+// `workers = N` (default 0) runs the BR epochs through the parallel epoch
+// pipeline with N workers (0 keeps the sequential epoch); `profile = true`
+// enables the in-process profiler around the timed epochs and emits
+// per-phase rows ("profile" panel; see docs/EXPERIMENTS.md).
 #include <algorithm>
 #include <chrono>
 #include <iomanip>
@@ -22,6 +27,7 @@
 #include "exp/common.hpp"
 #include "exp/experiments/experiments.hpp"
 #include "graph/shortest_path.hpp"
+#include "util/profiler.hpp"
 
 namespace egoist::exp {
 
@@ -73,6 +79,10 @@ void run_scale_frontier(const ParamReader& params, ResultSink& sink) {
   if (config.br_sample == 0) {
     throw std::invalid_argument("scale_frontier requires br-sample > 0");
   }
+  // 0 keeps the sequential epoch; >= 1 switches to the parallel pipeline
+  // (bit-identical trajectory at any positive count). Negatives are
+  // rejected by the overlay config validation.
+  config.epoch_workers = params.get_int("workers", 0);
 
   auto env_config = parse_underlay(params);
   // The whole point of this experiment is the scale regime; default to the
@@ -90,6 +100,8 @@ void run_scale_frontier(const ParamReader& params, ResultSink& sink) {
   }
   const double epoch_s = params.get_double("epoch-seconds", 60.0);
   const int score_sources = params.get_int("score-sources", 16);
+  const bool profile = params.get_bool("profile", false);
+  util::ProfileSession profile_session(profile);
 
   sink.section(
       "scale frontier: " +
@@ -104,9 +116,10 @@ void run_scale_frontier(const ParamReader& params, ResultSink& sink) {
           " warmup. Memory columns are the O(n k + probed-pairs) evidence.");
 
   const std::vector<std::string> kColumns{
-      "n",           "underlay",        "build_ms",    "epoch_ms_mean",
-      "epoch_ms_min", "rewirings",      "mean_cost",   "unreachable",
-      "substrate_bytes", "plane_bytes", "probed_pairs", "peak_rss_bytes"};
+      "n",           "underlay",        "workers",     "build_ms",
+      "epoch_ms_mean", "epoch_ms_min",  "rewirings",   "mean_cost",
+      "unreachable", "substrate_bytes", "plane_bytes", "probed_pairs",
+      "peak_rss_bytes"};
   util::Table table(kColumns);
 
   for (const std::size_t n : n_list) {
@@ -126,6 +139,9 @@ void run_scale_frontier(const ParamReader& params, ResultSink& sink) {
     // and event dispatch outside the clock), as perf_epoch_scaling does.
     auto& env = deployment.environment(handle);
     auto& net = deployment.network(handle);
+    // Profile the timed epochs only: drop whatever bootstrap and warmup
+    // recorded.
+    if (profile) util::Profiler::instance().reset();
     row.epoch_ms_min = std::numeric_limits<double>::infinity();
     for (int e = 0; e < epochs; ++e) {
       env.advance(epoch_s);
@@ -136,6 +152,20 @@ void run_scale_frontier(const ParamReader& params, ResultSink& sink) {
       row.epoch_ms_min = std::min(row.epoch_ms_min, ms);
     }
     row.epoch_ms_mean /= epochs;
+
+    if (profile) {
+      std::vector<std::string> columns{"n", "workers"};
+      const auto& phase_columns = util::profile_columns();
+      columns.insert(columns.end(), phase_columns.begin(),
+                     phase_columns.end());
+      for (const auto& phase : util::Profiler::instance().report()) {
+        std::vector<std::string> cells{
+            std::to_string(n), std::to_string(config.epoch_workers)};
+        const auto phase_cells = util::phase_cells(phase);
+        cells.insert(cells.end(), phase_cells.begin(), phase_cells.end());
+        sink.row("profile", columns, cells);
+      }
+    }
 
     // Sampled oracle score: routing cost from a few true-cost sources.
     if (score_sources > 0 && config.metric != overlay::Metric::kBandwidth) {
@@ -177,6 +207,7 @@ void run_scale_frontier(const ParamReader& params, ResultSink& sink) {
     const std::vector<std::string> cells{
         std::to_string(row.n),
         row.underlay,
+        std::to_string(config.epoch_workers),
         build_ms.str(),
         mean_ms.str(),
         min_ms.str(),

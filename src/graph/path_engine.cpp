@@ -153,8 +153,6 @@ void PathEngine::rebuild(const Digraph& g) {
   csr_.rebuild(g);
   shortest_base_.valid = false;
   widest_base_.valid = false;
-  affected_mark_.assign(csr_.node_count(), 0);
-  mark_epoch_ = 0;
 }
 
 void PathEngine::update_out_edges(NodeId u, const Digraph& g) {
@@ -191,13 +189,13 @@ void PathEngine::update_out_edges(NodeId u, const Digraph& g) {
   }
 }
 
-PathEngine::Workspace& PathEngine::workspace(std::size_t i) {
+PathEngine::QueryScratch& PathEngine::workspace(std::size_t i) {
   if (workspaces_.size() <= i) workspaces_.resize(i + 1);
   return workspaces_[i];
 }
 
 template <bool kWidest>
-void PathEngine::run(Workspace& ws, NodeId src, NodeId exclude,
+void PathEngine::run(QueryScratch& qs, NodeId src, NodeId exclude,
                      std::span<double> out, NodeId* parent_row) const {
   const double init = init_value<kWidest>();
   std::fill(out.begin(), out.end(), init);
@@ -208,7 +206,7 @@ void PathEngine::run(Workspace& ws, NodeId src, NodeId exclude,
   out[static_cast<std::size_t>(src)] = source_value<kWidest>();
 
   const auto better = make_better(std::bool_constant<kWidest>{});
-  auto& heap = ws.heap;
+  auto& heap = qs.heap;
   heap.clear();
   heap.push_back({out[static_cast<std::size_t>(src)], src});
   while (!heap.empty()) {
@@ -280,11 +278,12 @@ void PathEngine::ensure_base(BaseTrees& base) {
   base.valid = true;
 }
 
-std::size_t PathEngine::collect_descendants(const NodeId* parent_row,
+std::size_t PathEngine::collect_descendants(QueryScratch& qs,
+                                            const NodeId* parent_row,
                                             const std::int32_t* child_count_row,
-                                            NodeId u, std::uint64_t mark) {
+                                            NodeId u, std::uint64_t mark) const {
   const std::size_t n = csr_.node_count();
-  desc_buf_.clear();
+  qs.desc_buf.clear();
   // Leaf (or unreached) in this tree: nothing below it, skip the scans.
   if (child_count_row[static_cast<std::size_t>(u)] == 0) return 0;
   // Level scans: each sweep admits nodes whose tree parent is u or already
@@ -292,56 +291,58 @@ std::size_t PathEngine::collect_descendants(const NodeId* parent_row,
   // of O(n) integer scans beats building explicit child lists.
   constexpr int kMaxScans = 16;
   for (int scan = 0; scan < kMaxScans; ++scan) {
-    const std::size_t before = desc_buf_.size();
+    const std::size_t before = qs.desc_buf.size();
     for (std::size_t j = 0; j < n; ++j) {
-      if (affected_mark_[j] == mark) continue;
+      if (qs.affected_mark[j] == mark) continue;
       const NodeId p = parent_row[j];
       if (p < 0) continue;
-      if (p == u || affected_mark_[static_cast<std::size_t>(p)] == mark) {
-        affected_mark_[j] = mark;
-        desc_buf_.push_back(static_cast<NodeId>(j));
+      if (p == u || qs.affected_mark[static_cast<std::size_t>(p)] == mark) {
+        qs.affected_mark[j] = mark;
+        qs.desc_buf.push_back(static_cast<NodeId>(j));
       }
     }
-    if (desc_buf_.size() == before) return desc_buf_.size();
+    if (qs.desc_buf.size() == before) return qs.desc_buf.size();
   }
 
   // Deep subtree: finish with explicit child lists + DFS (same mark, so
   // already-collected nodes are kept and not revisited).
-  child_offset_.assign(n + 1, 0);
+  qs.child_offset.assign(n + 1, 0);
   for (std::size_t j = 0; j < n; ++j) {
     if (parent_row[j] >= 0) {
-      ++child_offset_[static_cast<std::size_t>(parent_row[j]) + 1];
+      ++qs.child_offset[static_cast<std::size_t>(parent_row[j]) + 1];
     }
   }
-  for (std::size_t v = 0; v < n; ++v) child_offset_[v + 1] += child_offset_[v];
-  child_cursor_.assign(child_offset_.begin(), child_offset_.end() - 1);
-  child_.resize(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    qs.child_offset[v + 1] += qs.child_offset[v];
+  }
+  qs.child_cursor.assign(qs.child_offset.begin(), qs.child_offset.end() - 1);
+  qs.child.resize(n);
   for (std::size_t j = 0; j < n; ++j) {
     if (parent_row[j] >= 0) {
-      child_[child_cursor_[static_cast<std::size_t>(parent_row[j])]++] =
+      qs.child[qs.child_cursor[static_cast<std::size_t>(parent_row[j])]++] =
           static_cast<NodeId>(j);
     }
   }
-  desc_stack_.clear();
-  desc_stack_.push_back(u);
-  for (NodeId d : desc_buf_) desc_stack_.push_back(d);
-  while (!desc_stack_.empty()) {
-    const auto x = static_cast<std::size_t>(desc_stack_.back());
-    desc_stack_.pop_back();
-    for (std::size_t c = child_offset_[x]; c < child_offset_[x + 1]; ++c) {
-      const NodeId ch = child_[c];
-      if (affected_mark_[static_cast<std::size_t>(ch)] == mark) continue;
-      affected_mark_[static_cast<std::size_t>(ch)] = mark;
-      desc_buf_.push_back(ch);
-      desc_stack_.push_back(ch);
+  qs.desc_stack.clear();
+  qs.desc_stack.push_back(u);
+  for (NodeId d : qs.desc_buf) qs.desc_stack.push_back(d);
+  while (!qs.desc_stack.empty()) {
+    const auto x = static_cast<std::size_t>(qs.desc_stack.back());
+    qs.desc_stack.pop_back();
+    for (std::size_t c = qs.child_offset[x]; c < qs.child_offset[x + 1]; ++c) {
+      const NodeId ch = qs.child[c];
+      if (qs.affected_mark[static_cast<std::size_t>(ch)] == mark) continue;
+      qs.affected_mark[static_cast<std::size_t>(ch)] = mark;
+      qs.desc_buf.push_back(ch);
+      qs.desc_stack.push_back(ch);
     }
   }
-  return desc_buf_.size();
+  return qs.desc_buf.size();
 }
 
 template <bool kWidest>
-void PathEngine::repair_row(const BaseTrees& base, NodeId src, NodeId exclude,
-                            std::span<double> out) {
+void PathEngine::repair_row(QueryScratch& qs, const BaseTrees& base, NodeId src,
+                            NodeId exclude, std::span<double> out) const {
   const std::size_t s = static_cast<std::size_t>(src);
   const double init = init_value<kWidest>();
 
@@ -366,23 +367,26 @@ void PathEngine::repair_row(const BaseTrees& base, NodeId src, NodeId exclude,
   const std::size_t n = csr_.node_count();
   const NodeId* parent_row = base.parent.data() + s * n;
   const std::int32_t* count_row = base.child_count.data() + s * n;
-  const std::uint64_t mark = ++mark_epoch_;
-  if (collect_descendants(parent_row, count_row, exclude, mark) == 0) return;
+  if (qs.affected_mark.size() < n) qs.affected_mark.resize(n, 0);
+  const std::uint64_t mark = ++qs.mark_epoch;
+  if (collect_descendants(qs, parent_row, count_row, exclude, mark) == 0) {
+    return;
+  }
 
   const auto better = make_better(std::bool_constant<kWidest>{});
-  auto& heap = workspace(0).heap;
+  auto& heap = qs.heap;
   heap.clear();
-  for (const NodeId a : desc_buf_) out[static_cast<std::size_t>(a)] = init;
+  for (const NodeId a : qs.desc_buf) out[static_cast<std::size_t>(a)] = init;
   // Seed each affected node from edges entering the set (never from
   // `exclude` itself), then run Dijkstra restricted to the set: values
   // outside it are final, because removing edges cannot improve them.
-  for (const NodeId a : desc_buf_) {
+  for (const NodeId a : qs.desc_buf) {
     const auto sources = csr_.in_sources(a);
     const auto weights = csr_.in_weights(a);
     double best = init;
     for (std::size_t i = 0; i < sources.size(); ++i) {
       const auto w = static_cast<std::size_t>(sources[i]);
-      if (sources[i] == exclude || affected_mark_[w] == mark) continue;
+      if (sources[i] == exclude || qs.affected_mark[w] == mark) continue;
       const double dw = out[w];
       if (dw == init) continue;
       const double candidate = combine<kWidest>(dw, weights[i]);
@@ -405,7 +409,7 @@ void PathEngine::repair_row(const BaseTrees& base, NodeId src, NodeId exclude,
     const auto weights = csr_.out_weights(top.node);
     for (std::size_t i = 0; i < targets.size(); ++i) {
       const auto v = static_cast<std::size_t>(targets[i]);
-      if (affected_mark_[v] != mark) continue;  // outside values are final
+      if (qs.affected_mark[v] != mark) continue;  // outside values are final
       const double candidate = combine<kWidest>(top.key, weights[i]);
       if (better(candidate, out[v])) {
         out[v] = candidate;
@@ -424,9 +428,10 @@ void PathEngine::update_tree(BaseTrees& base, NodeId src, NodeId u) {
   const auto out = base.dist.row(s);
   NodeId* parent_row = base.parent.data() + s * n;
   std::int32_t* count_row = base.child_count.data() + s * n;
+  QueryScratch& qs = workspace(0);
   if (src == u) {
     // Every distance from u runs over u's own (replaced) out-edges.
-    run<kWidest>(workspace(0), src, kNoExclude, out, parent_row);
+    run<kWidest>(qs, src, kNoExclude, out, parent_row);
     std::fill(count_row, count_row + n, 0);
     for (std::size_t j = 0; j < n; ++j) {
       if (parent_row[j] >= 0) ++count_row[static_cast<std::size_t>(parent_row[j])];
@@ -435,8 +440,9 @@ void PathEngine::update_tree(BaseTrees& base, NodeId src, NodeId u) {
   }
   const double init = init_value<kWidest>();
   const auto better = make_better(std::bool_constant<kWidest>{});
-  const std::uint64_t mark = ++mark_epoch_;
-  collect_descendants(parent_row, count_row, u, mark);
+  if (qs.affected_mark.size() < n) qs.affected_mark.resize(n, 0);
+  const std::uint64_t mark = ++qs.mark_epoch;
+  collect_descendants(qs, parent_row, count_row, u, mark);
 
   // Child counts track every parent change below.
   auto set_parent = [&](std::size_t t, NodeId p) {
@@ -447,22 +453,22 @@ void PathEngine::update_tree(BaseTrees& base, NodeId src, NodeId u) {
     parent_row[t] = p;
   };
 
-  auto& heap = workspace(0).heap;
+  auto& heap = qs.heap;
   heap.clear();
-  for (const NodeId a : desc_buf_) {
+  for (const NodeId a : qs.desc_buf) {
     out[static_cast<std::size_t>(a)] = init;
     set_parent(static_cast<std::size_t>(a), -1);
   }
   // Reseed the invalidated descendants from edges entering the set —
   // including edges out of u, at their *new* weights.
-  for (const NodeId a : desc_buf_) {
+  for (const NodeId a : qs.desc_buf) {
     const auto sources = csr_.in_sources(a);
     const auto weights = csr_.in_weights(a);
     double best = init;
     NodeId best_parent = -1;
     for (std::size_t i = 0; i < sources.size(); ++i) {
       const auto w = static_cast<std::size_t>(sources[i]);
-      if (affected_mark_[w] == mark) continue;
+      if (qs.affected_mark[w] == mark) continue;
       const double dw = out[w];
       if (dw == init) continue;
       const double candidate = combine<kWidest>(dw, weights[i]);
@@ -486,7 +492,7 @@ void PathEngine::update_tree(BaseTrees& base, NodeId src, NodeId u) {
     const auto weights = csr_.out_weights(u);
     for (std::size_t i = 0; i < targets.size(); ++i) {
       const auto t = static_cast<std::size_t>(targets[i]);
-      if (affected_mark_[t] == mark) continue;  // seeded above
+      if (qs.affected_mark[t] == mark) continue;  // seeded above
       const double candidate = combine<kWidest>(du, weights[i]);
       if (better(candidate, out[t])) {
         out[t] = candidate;
@@ -521,52 +527,86 @@ void PathEngine::update_tree(BaseTrees& base, NodeId src, NodeId u) {
   }
 }
 
+void PathEngine::prepare_shortest() { ensure_base<false>(shortest_base_); }
+
+void PathEngine::prepare_widest() { ensure_base<true>(widest_base_); }
+
 void PathEngine::shortest_from(NodeId src, NodeId exclude,
-                               std::span<double> dist_out) {
+                               std::span<double> dist_out,
+                               QueryScratch& qs) const {
   csr_.check_node(src);
   if (exclude != kNoExclude) csr_.check_node(exclude);
   if (dist_out.size() != csr_.node_count()) {
     throw std::invalid_argument("output row size mismatch");
   }
   if (shortest_base_.valid) {
-    repair_row<false>(shortest_base_, src, exclude, dist_out);
+    repair_row<false>(qs, shortest_base_, src, exclude, dist_out);
   } else {
-    run<false>(workspace(0), src, exclude, dist_out, nullptr);
+    run<false>(qs, src, exclude, dist_out, nullptr);
   }
 }
 
 void PathEngine::widest_from(NodeId src, NodeId exclude,
-                             std::span<double> bottleneck_out) {
+                             std::span<double> bottleneck_out,
+                             QueryScratch& qs) const {
   csr_.check_node(src);
   if (exclude != kNoExclude) csr_.check_node(exclude);
   if (bottleneck_out.size() != csr_.node_count()) {
     throw std::invalid_argument("output row size mismatch");
   }
   if (widest_base_.valid) {
-    repair_row<true>(widest_base_, src, exclude, bottleneck_out);
+    repair_row<true>(qs, widest_base_, src, exclude, bottleneck_out);
   } else {
-    run<true>(workspace(0), src, exclude, bottleneck_out, nullptr);
+    run<true>(qs, src, exclude, bottleneck_out, nullptr);
   }
 }
 
 template <bool kWidest>
-void PathEngine::all_rows(NodeId exclude, DistanceMatrix& out) {
+void PathEngine::all_rows(QueryScratch& qs, NodeId exclude,
+                          DistanceMatrix& out) const {
   if (exclude != kNoExclude) csr_.check_node(exclude);
   const std::size_t n = csr_.node_count();
-  BaseTrees& base = kWidest ? widest_base_ : shortest_base_;
-  ensure_base<kWidest>(base);
+  const BaseTrees& base = kWidest ? widest_base_ : shortest_base_;
   out.reshape(n, n);
   for (std::size_t src = 0; src < n; ++src) {
-    repair_row<kWidest>(base, static_cast<NodeId>(src), exclude, out.row(src));
+    if (base.valid) {
+      repair_row<kWidest>(qs, base, static_cast<NodeId>(src), exclude,
+                          out.row(src));
+    } else {
+      run<kWidest>(qs, static_cast<NodeId>(src), exclude, out.row(src),
+                   nullptr);
+    }
   }
 }
 
+void PathEngine::all_shortest(NodeId exclude, DistanceMatrix& out,
+                              QueryScratch& qs) const {
+  all_rows<false>(qs, exclude, out);
+}
+
+void PathEngine::all_widest(NodeId exclude, DistanceMatrix& out,
+                            QueryScratch& qs) const {
+  all_rows<true>(qs, exclude, out);
+}
+
+void PathEngine::shortest_from(NodeId src, NodeId exclude,
+                               std::span<double> dist_out) {
+  shortest_from(src, exclude, dist_out, workspace(0));
+}
+
+void PathEngine::widest_from(NodeId src, NodeId exclude,
+                             std::span<double> bottleneck_out) {
+  widest_from(src, exclude, bottleneck_out, workspace(0));
+}
+
 void PathEngine::all_shortest(NodeId exclude, DistanceMatrix& out) {
-  all_rows<false>(exclude, out);
+  prepare_shortest();
+  all_rows<false>(workspace(0), exclude, out);
 }
 
 void PathEngine::all_widest(NodeId exclude, DistanceMatrix& out) {
-  all_rows<true>(exclude, out);
+  prepare_widest();
+  all_rows<true>(workspace(0), exclude, out);
 }
 
 }  // namespace egoist::graph

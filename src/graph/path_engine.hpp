@@ -128,10 +128,39 @@ class CsrGraph {
   double max_weight_ = 0.0;
 };
 
-/// Reusable residual-path solver over a CsrGraph snapshot. Not thread-safe
-/// across calls; the internal base-build worker fan-out is.
+/// Reusable residual-path solver over a CsrGraph snapshot.
+///
+/// Thread model: every mutation (rebuild, update_out_edges, prepare_*, the
+/// legacy non-scratch query overloads, which may build base trees lazily)
+/// requires exclusive access. The QueryScratch overloads are const and
+/// touch only caller-owned scratch, so once the base trees are prepared —
+/// or with no base trees at all (they fall back to direct SSSP) — any
+/// number of threads may query concurrently, one QueryScratch per thread.
 class PathEngine {
+  struct HeapItem {
+    double key;
+    NodeId node;
+  };
+
  public:
+  /// Caller-owned mutable state for the const query overloads: the 4-ary
+  /// heap plus the descendant-repair scratch (epoch-stamped membership
+  /// marks, collected-descendant lists). One per querying thread; reusable
+  /// across queries, snapshots, and engines (stale marks can never collide
+  /// because the stamp is bumped per query and never reset).
+  class QueryScratch {
+   private:
+    friend class PathEngine;
+    std::vector<HeapItem> heap;
+    std::vector<std::uint64_t> affected_mark;  ///< epoch-stamped membership
+    std::uint64_t mark_epoch = 0;
+    std::vector<NodeId> desc_buf;              ///< collected descendants
+    std::vector<std::size_t> child_offset;     ///< deep-subtree DFS scratch
+    std::vector<std::size_t> child_cursor;
+    std::vector<NodeId> child;
+    std::vector<NodeId> desc_stack;
+  };
+
   PathEngine() = default;
   /// workers: parallelism for the per-source base-tree build (the one
   /// O(n * SSSP) pass per snapshot). 1 = serial, 0 = auto (min(4,
@@ -161,24 +190,46 @@ class PathEngine {
   const CsrGraph& csr() const { return csr_; }
   std::size_t node_count() const { return csr_.node_count(); }
 
+  /// Builds the shared base trees for one semiring now instead of lazily
+  /// on the first all-pairs query. The parallel epoch engine calls this in
+  /// its snapshot phase, after which the const query overloads below are
+  /// safe to fan out across worker threads.
+  void prepare_shortest();
+  void prepare_widest();
+  bool shortest_prepared() const { return shortest_base_.valid; }
+  bool widest_prepared() const { return widest_base_.valid; }
+
   /// Shortest-path distances from src with exclude's out-edge range
   /// skipped (kNoExclude = none). Writes the full row: kUnreachable for
   /// unreached nodes, and the whole row when src is inactive (mirroring
   /// all_pairs_shortest_paths, which leaves inactive rows unreachable).
-  /// Served from the shared base trees when a prior all-pairs query built
-  /// them; runs a direct SSSP otherwise. dist_out.size() must be
-  /// node_count().
+  /// Served from the shared base trees when prepared (or previously built
+  /// by a lazy all-pairs query); runs a direct SSSP otherwise. The results
+  /// are bit-identical either way. dist_out.size() must be node_count().
   void shortest_from(NodeId src, NodeId exclude_out_edges_of,
-                     std::span<double> dist_out);
+                     std::span<double> dist_out, QueryScratch& scratch) const;
 
   /// Widest-path (max-min) bottlenecks from src; 0 for unreached nodes,
   /// +infinity at an active source's own entry.
   void widest_from(NodeId src, NodeId exclude_out_edges_of,
-                   std::span<double> bottleneck_out);
+                   std::span<double> bottleneck_out,
+                   QueryScratch& scratch) const;
 
-  /// All-pairs into a flat matrix: out(v, j) = d_{G - exclude}(v, j).
-  /// Builds the shared base trees on first use per snapshot, then serves
-  /// every source row by descendant repair.
+  /// All-pairs into a flat matrix: out(v, j) = d_{G - exclude}(v, j),
+  /// served row-by-row from the base trees (or direct SSSPs when they are
+  /// not prepared).
+  void all_shortest(NodeId exclude_out_edges_of, DistanceMatrix& out,
+                    QueryScratch& scratch) const;
+  void all_widest(NodeId exclude_out_edges_of, DistanceMatrix& out,
+                  QueryScratch& scratch) const;
+
+  /// Single-caller conveniences over the scratch overloads: use the
+  /// engine-owned scratch, and build the base trees lazily on the first
+  /// all-pairs query (hence non-const).
+  void shortest_from(NodeId src, NodeId exclude_out_edges_of,
+                     std::span<double> dist_out);
+  void widest_from(NodeId src, NodeId exclude_out_edges_of,
+                   std::span<double> bottleneck_out);
   void all_shortest(NodeId exclude_out_edges_of, DistanceMatrix& out);
   void all_widest(NodeId exclude_out_edges_of, DistanceMatrix& out);
 
@@ -194,17 +245,6 @@ class PathEngine {
   }
 
  private:
-  struct HeapItem {
-    double key;
-    NodeId node;
-  };
-  /// Per-worker scratch: a preallocated 4-ary heap. Query rows are written
-  /// directly into the caller's output span, so a run allocates nothing
-  /// once the buffers have grown to the graph's working size.
-  struct Workspace {
-    std::vector<HeapItem> heap;
-  };
-
   /// Shared per-snapshot base trees for one semiring (shortest or widest):
   /// one dist row and parent array per source. The proper descendants of u
   /// in tree v — found by level scans over the parent array — are the only
@@ -221,27 +261,27 @@ class PathEngine {
   };
 
   template <bool kWidest>
-  void run(Workspace& ws, NodeId src, NodeId exclude, std::span<double> out,
+  void run(QueryScratch& qs, NodeId src, NodeId exclude, std::span<double> out,
            NodeId* parent_row) const;
 
   template <bool kWidest>
   void ensure_base(BaseTrees& base);
 
   /// Collects the proper descendants of u in the tree given by
-  /// `parent_row` into desc_buf_, marking each with `mark` in
-  /// affected_mark_. `child_count_row` short-circuits leaf nodes.
+  /// `parent_row` into qs.desc_buf, marking each with `mark` in
+  /// qs.affected_mark. `child_count_row` short-circuits leaf nodes.
   /// Returns the number collected.
-  std::size_t collect_descendants(const NodeId* parent_row,
+  std::size_t collect_descendants(QueryScratch& qs, const NodeId* parent_row,
                                   const std::int32_t* child_count_row,
-                                  NodeId u, std::uint64_t mark);
+                                  NodeId u, std::uint64_t mark) const;
 
   /// Copies tree src's base row into `out`, then recomputes the proper
   /// descendants of `exclude` in that tree by a Dijkstra seeded from the
   /// edges entering the affected set (relaxation stays inside the set:
   /// removing out-edges cannot improve any distance).
   template <bool kWidest>
-  void repair_row(const BaseTrees& base, NodeId src, NodeId exclude,
-                  std::span<double> out);
+  void repair_row(QueryScratch& qs, const BaseTrees& base, NodeId src,
+                  NodeId exclude, std::span<double> out) const;
 
   /// Patches tree src in place after u's out-edge row changed: invalidate
   /// u's old descendants, reseed them from the new snapshot, and let the
@@ -251,22 +291,18 @@ class PathEngine {
   void update_tree(BaseTrees& base, NodeId src, NodeId u);
 
   template <bool kWidest>
-  void all_rows(NodeId exclude, DistanceMatrix& out);
+  void all_rows(QueryScratch& qs, NodeId exclude, DistanceMatrix& out) const;
 
-  Workspace& workspace(std::size_t i);
+  QueryScratch& workspace(std::size_t i);
 
   CsrGraph csr_;
   int workers_ = 1;
-  std::vector<Workspace> workspaces_;
+  /// workspace(0) doubles as the engine-owned scratch behind the legacy
+  /// overloads and the in-place tree updates; the rest are the base-build
+  /// workers' heaps.
+  std::vector<QueryScratch> workspaces_;
   BaseTrees shortest_base_;
   BaseTrees widest_base_;
-  std::vector<std::uint64_t> affected_mark_;  ///< epoch-stamped membership
-  std::uint64_t mark_epoch_ = 0;
-  std::vector<NodeId> desc_buf_;              ///< scratch descendant list
-  std::vector<std::size_t> child_offset_;     ///< scratch (deep-subtree DFS)
-  std::vector<std::size_t> child_cursor_;
-  std::vector<NodeId> child_;
-  std::vector<NodeId> desc_stack_;
   std::vector<std::uint8_t> active_before_;   ///< update_out_edges guard
 };
 

@@ -376,8 +376,10 @@ WiringSnapshot OverlayHost::snapshot(OverlayHandle handle) const {
   for (std::size_t v = 0; v < n; ++v) {
     const int node = static_cast<int>(v);
     state->online[v] = m.net->is_online(node);
-    state->wiring[v] = m.net->wiring(node);
-    state->donated[v] = m.net->donated(node);
+    const auto wiring = m.net->wiring(node);
+    state->wiring[v].assign(wiring.begin(), wiring.end());
+    const auto donated = m.net->donated(node);
+    state->donated[v].assign(donated.begin(), donated.end());
   }
   state->targets = m.net->online_nodes();
   state->announced = m.net->announced_graph();

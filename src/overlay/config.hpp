@@ -109,6 +109,18 @@ struct OverlayConfig {
   /// backend parallelizes.
   int path_workers = 1;
 
+  /// Worker threads for the wiring epoch itself (BR/HybridBR only; the
+  /// other policies are trivial and ignore this). 0 (the default) keeps the
+  /// legacy sequential epoch: nodes evaluate in a shuffled order and each
+  /// sees the re-wirings of the nodes before it — byte-identical to the
+  /// historical trajectories. >= 1 switches run_epoch to the snapshot ->
+  /// parallel evaluate -> deterministic merge pipeline
+  /// (overlay/epoch_engine.hpp): every node best-responds to the immutable
+  /// epoch-boundary state and adopted re-wirings merge in ascending node
+  /// order, so the trajectory is bit-identical at ANY worker count — 1 vs N
+  /// only changes wall-clock time. Negative values throw.
+  int epoch_workers = 0;
+
   /// §5 scale mode: when > 0, BR/HybridBR nodes evaluate a per-node random
   /// sample of this many candidates (plus their current and donated links)
   /// against `br_landmarks` epoch-shared landmark destinations instead of

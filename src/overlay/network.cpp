@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 #include "core/residual.hpp"
 #include "core/sampling.hpp"
@@ -11,7 +12,9 @@
 #include "graph/mst.hpp"
 #include "graph/shortest_path.hpp"
 #include "graph/widest_path.hpp"
+#include "overlay/epoch_engine.hpp"
 #include "overlay/scoring.hpp"
+#include "util/profiler.hpp"
 
 namespace egoist::overlay {
 
@@ -23,21 +26,36 @@ bool same_set(std::vector<NodeId> a, std::vector<NodeId> b) {
   return a == b;
 }
 
+/// Per-node wiring capacity of the SoA store: the degree budget k, except
+/// for the full mesh which wires to everyone.
+std::size_t wiring_capacity(const OverlayConfig& config, std::size_t n) {
+  const std::size_t max_degree = n > 0 ? n - 1 : 0;
+  if (config.policy == Policy::kFullMesh) return max_degree;
+  return std::min(config.k, max_degree);
+}
+
+std::size_t donated_capacity(const OverlayConfig& config, std::size_t n) {
+  if (config.policy != Policy::kHybridBR) return 0;
+  return std::min(config.donated_links, n);
+}
+
 }  // namespace
 
 EgoistNetwork::EgoistNetwork(Environment& env, OverlayConfig config)
     : env_(env),
       config_(config),
       rng_(config.seed),
-      online_(env.size(), true),
-      wiring_(env.size()),
-      donated_(env.size()),
+      store_(env.size(), wiring_capacity(config, env.size()),
+             donated_capacity(config, env.size())),
       announced_(env.size()),
       audited_(0) {
   if (config_.k == 0 || config_.k >= env.size()) {
     throw std::invalid_argument("need 0 < k < n");
   }
   engine_.set_workers(config_.path_workers);  // throws on negative
+  if (config_.epoch_workers < 0) {
+    throw std::invalid_argument("epoch_workers must be >= 0");
+  }
   if (config_.policy == Policy::kHybridBR) {
     if (config_.donated_links % 2 != 0 || config_.donated_links == 0 ||
         config_.donated_links >= config_.k) {
@@ -93,9 +111,8 @@ EgoistNetwork::EgoistNetwork(Environment& env, OverlayConfig config)
   }
   // Incremental bootstrap: nodes join one at a time (id order), each wiring
   // itself against the overlay built so far...
-  std::fill(online_.begin(), online_.end(), false);
   for (std::size_t v = 0; v < env.size(); ++v) {
-    online_[v] = true;
+    store_.set_online(v, true);
     announced_.set_active(static_cast<NodeId>(v), true);
     join(static_cast<int>(v));
   }
@@ -107,6 +124,8 @@ EgoistNetwork::EgoistNetwork(Environment& env, OverlayConfig config)
   for (std::size_t v = 0; v < env.size(); ++v) join(static_cast<int>(v));
 }
 
+EgoistNetwork::~EgoistNetwork() = default;
+
 bool EgoistNetwork::is_cheater(int node) const {
   return std::find(config_.cheaters.begin(), config_.cheaters.end(), node) !=
          config_.cheaters.end();
@@ -114,8 +133,9 @@ bool EgoistNetwork::is_cheater(int node) const {
 
 void EgoistNetwork::set_online(int node, bool online) {
   announced_.check_node(node);
-  if (online_[static_cast<std::size_t>(node)] == online) return;
-  online_[static_cast<std::size_t>(node)] = online;
+  const auto v = static_cast<std::size_t>(node);
+  if (store_.is_online(v) == online) return;
+  store_.set_online(v, online);
   announced_.set_active(node, online);
   // Membership changes void the scale-mode landmark cache: a departed
   // landmark's rows must not anchor further evaluations.
@@ -124,16 +144,16 @@ void EgoistNetwork::set_online(int node, bool online) {
   if (!online) {
     // The node vanishes: its announcements age out of everyone's database.
     announced_.clear_out_edges(node);
-    wiring_[static_cast<std::size_t>(node)].clear();
-    donated_[static_cast<std::size_t>(node)].clear();
+    store_.clear_wiring(v);
+    store_.clear_donated(v);
   } else {
     // A (re)joining node first connects to a bootstrap node only (§3.1);
     // its full policy wiring is computed at its next wiring-epoch turn.
     // HybridBR additionally receives its donated backbone links right away
     // (the backbone is maintained aggressively, below).
     std::vector<NodeId> others;
-    for (NodeId v : online_nodes()) {
-      if (v != node) others.push_back(v);
+    for (NodeId u : online_nodes()) {
+      if (u != node) others.push_back(u);
     }
     if (!others.empty()) {
       const NodeId bootstrap = others[static_cast<std::size_t>(
@@ -152,7 +172,7 @@ void EgoistNetwork::set_online(int node, bool online) {
   // applied to every link).
   if (!online && config_.rewire_mode == RewireMode::kImmediate) {
     for (NodeId u : online_nodes()) {
-      const auto& w = wiring_[static_cast<std::size_t>(u)];
+      const auto w = store_.wiring(static_cast<std::size_t>(u));
       if (std::find(w.begin(), w.end(), static_cast<NodeId>(node)) != w.end()) {
         if (evaluate_node(u)) ++total_rewirings_;
       }
@@ -162,30 +182,25 @@ void EgoistNetwork::set_online(int node, bool online) {
 
 bool EgoistNetwork::is_online(int node) const {
   announced_.check_node(node);
-  return online_[static_cast<std::size_t>(node)];
+  return store_.is_online(static_cast<std::size_t>(node));
 }
 
 std::size_t EgoistNetwork::online_count() const {
-  return static_cast<std::size_t>(
-      std::count(online_.begin(), online_.end(), true));
+  return store_.online_count();
 }
 
 std::vector<NodeId> EgoistNetwork::online_nodes() const {
-  std::vector<NodeId> out;
-  for (std::size_t v = 0; v < online_.size(); ++v) {
-    if (online_[v]) out.push_back(static_cast<NodeId>(v));
-  }
-  return out;
+  return store_.online_nodes();
 }
 
-const std::vector<NodeId>& EgoistNetwork::wiring(int node) const {
+std::span<const NodeId> EgoistNetwork::wiring(int node) const {
   announced_.check_node(node);
-  return wiring_[static_cast<std::size_t>(node)];
+  return store_.wiring(static_cast<std::size_t>(node));
 }
 
-const std::vector<NodeId>& EgoistNetwork::donated(int node) const {
+std::span<const NodeId> EgoistNetwork::donated(int node) const {
   announced_.check_node(node);
-  return donated_[static_cast<std::size_t>(node)];
+  return store_.donated(static_cast<std::size_t>(node));
 }
 
 std::vector<double> EgoistNetwork::measure_direct(int node) {
@@ -197,11 +212,11 @@ std::vector<double> EgoistNetwork::measure_direct(int node) {
 
 std::vector<double> EgoistNetwork::measure_pool(int node,
                                                 const std::vector<NodeId>& pool) {
-  const std::size_t n = online_.size();
+  const std::size_t n = store_.size();
   std::vector<double> direct(
       n, config_.metric == Metric::kBandwidth ? 0.0 : graph::kUnreachable);
   for (NodeId v : pool) {
-    if (!online_[static_cast<std::size_t>(v)] || v == node) continue;
+    if (!store_.is_online(static_cast<std::size_t>(v)) || v == node) continue;
     switch (config_.metric) {
       case Metric::kDelayPing:
         direct[static_cast<std::size_t>(v)] = env_.measure_delay_ping(node, v);
@@ -228,11 +243,11 @@ std::vector<NodeId> EgoistNetwork::sample_pool(int node) {
   // fresh random sample of br_sample other online nodes.
   std::vector<NodeId> pool;
   auto add = [&](NodeId v) {
-    if (v == node || !online_[static_cast<std::size_t>(v)]) return;
+    if (v == node || !store_.is_online(static_cast<std::size_t>(v))) return;
     if (std::find(pool.begin(), pool.end(), v) == pool.end()) pool.push_back(v);
   };
-  for (NodeId v : wiring_[static_cast<std::size_t>(node)]) add(v);
-  for (NodeId v : donated_[static_cast<std::size_t>(node)]) add(v);
+  for (NodeId v : store_.wiring(static_cast<std::size_t>(node))) add(v);
+  for (NodeId v : store_.donated(static_cast<std::size_t>(node))) add(v);
 
   std::vector<NodeId> others;
   for (NodeId v : online_nodes()) {
@@ -258,7 +273,7 @@ void EgoistNetwork::refresh_landmarks() {
   std::sort(landmarks.begin(), landmarks.end());
 
   landmark_state_.landmarks = std::move(landmarks);
-  landmark_state_.column.assign(online_.size(), -1);
+  landmark_state_.column.assign(store_.size(), -1);
   for (std::size_t c = 0; c < landmark_state_.landmarks.size(); ++c) {
     landmark_state_.column[static_cast<std::size_t>(
         landmark_state_.landmarks[c])] = static_cast<std::int32_t>(c);
@@ -267,18 +282,18 @@ void EgoistNetwork::refresh_landmarks() {
   // One reverse traversal of the announced overlay per landmark: distances
   // *to* a landmark are distances *from* it in the reversed graph, so L
   // traversals serve every node's evaluation this epoch.
-  graph::Digraph reversed(online_.size());
-  for (std::size_t u = 0; u < online_.size(); ++u) {
-    reversed.set_active(static_cast<NodeId>(u), online_[u]);
+  const std::size_t n = store_.size();
+  graph::Digraph reversed(n);
+  for (std::size_t u = 0; u < n; ++u) {
+    reversed.set_active(static_cast<NodeId>(u), store_.is_online(u));
   }
-  for (std::size_t u = 0; u < online_.size(); ++u) {
-    if (!online_[u]) continue;
+  for (std::size_t u = 0; u < n; ++u) {
+    if (!store_.is_online(u)) continue;
     for (const auto& e : announced_.out_edges(static_cast<NodeId>(u))) {
       reversed.set_edge(e.to, static_cast<NodeId>(u), e.weight);
     }
   }
 
-  const std::size_t n = online_.size();
   const bool widest = config_.metric == Metric::kBandwidth;
   landmark_state_.dist.reshape(n, landmark_state_.landmarks.size());
   for (std::size_t c = 0; c < landmark_state_.landmarks.size(); ++c) {
@@ -305,12 +320,13 @@ void EgoistNetwork::join_sampled(int node) {
   // bandwidth); BR epochs refine from there. HybridBR's donated backbone
   // links come first, as in the dense path.
   if (config_.policy == Policy::kHybridBR) {
-    donated_[static_cast<std::size_t>(node)] = backbone_links(node);
+    const auto backbone = backbone_links(node);
+    store_.set_donated(static_cast<std::size_t>(node), backbone);
   }
   const auto pool = sample_pool(node);
   auto direct = measure_pool(node, pool);
 
-  const auto& donated = donated_[static_cast<std::size_t>(node)];
+  const auto donated = store_.donated_vec(static_cast<std::size_t>(node));
   std::vector<NodeId> free_pool;
   for (NodeId v : pool) {
     if (std::find(donated.begin(), donated.end(), v) == donated.end()) {
@@ -340,7 +356,7 @@ bool EgoistNetwork::evaluate_node_sampled(int node) {
 
   const auto pool = sample_pool(node);
   auto direct = measure_pool(node, pool);
-  const auto& current = wiring_[static_cast<std::size_t>(node)];
+  const auto current = store_.wiring_vec(static_cast<std::size_t>(node));
 
   std::vector<NodeId> targets;
   targets.reserve(landmark_state_.landmarks.size());
@@ -360,7 +376,7 @@ bool EgoistNetwork::evaluate_node_sampled(int node) {
   options.exact_budget = 0;
   std::size_t free_k = std::min(config_.k, online_count() - 1);
   if (config_.policy == Policy::kHybridBR) {
-    options.fixed_links = donated_[static_cast<std::size_t>(node)];
+    options.fixed_links = store_.donated_vec(static_cast<std::size_t>(node));
     free_k = free_k > options.fixed_links.size()
                  ? free_k - options.fixed_links.size()
                  : 0;
@@ -380,11 +396,10 @@ bool EgoistNetwork::evaluate_node_sampled(int node) {
     apply_wiring(node, std::vector<NodeId>(current), direct);
     return false;
   }
-  const std::vector<NodeId> old_wiring =
-      hooks_.on_rewire ? current : std::vector<NodeId>{};
   apply_wiring(node, std::move(proposed), direct);
   if (hooks_.on_rewire) {
-    hooks_.on_rewire(node, old_wiring, wiring_[static_cast<std::size_t>(node)]);
+    hooks_.on_rewire(node, current,
+                     store_.wiring_vec(static_cast<std::size_t>(node)));
   }
   return true;
 }
@@ -399,10 +414,10 @@ double EgoistNetwork::announced_cost(int node, double measured) const {
 }
 
 std::vector<double> EgoistNetwork::preference_of(int node) const {
-  std::vector<double> pref(online_.size(), 0.0);
+  std::vector<double> pref(store_.size(), 0.0);
   double total = 0.0;
-  for (std::size_t j = 0; j < online_.size(); ++j) {
-    if (!online_[j] || static_cast<int>(j) == node) continue;
+  for (std::size_t j = 0; j < store_.size(); ++j) {
+    if (!store_.is_online(j) || static_cast<int>(j) == node) continue;
     const double w = base_preference_.empty()
                          ? 1.0
                          : base_preference_[static_cast<std::size_t>(node)][j];
@@ -419,10 +434,10 @@ const graph::Digraph& EgoistNetwork::decision_graph() {
   const bool delay_metric = config_.metric == Metric::kDelayPing ||
                             config_.metric == Metric::kDelayCoords;
   if (!config_.enable_audits || !delay_metric) return announced_;
-  graph::Digraph audited(online_.size());
-  for (std::size_t u = 0; u < online_.size(); ++u) {
+  graph::Digraph audited(store_.size());
+  for (std::size_t u = 0; u < store_.size(); ++u) {
     const auto uid = static_cast<NodeId>(u);
-    audited.set_active(uid, online_[u]);
+    audited.set_active(uid, store_.is_online(u));
     for (const auto& e : announced_.out_edges(uid)) {
       const double estimate =
           env_.measure_delay_coords(static_cast<int>(u), e.to);
@@ -442,14 +457,14 @@ double EgoistNetwork::unreachable_penalty(const graph::Digraph& decision) const 
 }
 
 void EgoistNetwork::apply_wiring(int node, std::vector<NodeId> wiring,
-                                 const std::vector<double>& direct) {
+                                 std::span<const double> direct) {
   std::sort(wiring.begin(), wiring.end());
   announced_.clear_out_edges(node);
   for (NodeId v : wiring) {
     announced_.set_edge(node, v,
                         announced_cost(node, direct[static_cast<std::size_t>(v)]));
   }
-  wiring_[static_cast<std::size_t>(node)] = std::move(wiring);
+  store_.set_wiring(static_cast<std::size_t>(node), wiring);
   // Keep the epoch-shared engine snapshot in lockstep: only this node's
   // out-edge row changed, so its base trees are patched, not rebuilt.
   if (engine_synced_) engine_.update_out_edges(node, announced_);
@@ -469,7 +484,7 @@ std::vector<NodeId> EgoistNetwork::backbone_links(int node) const {
     // its donated budget; high-degree tree nodes are truncated).
     const auto tree = graph::minimum_spanning_tree(
         ring, [this](NodeId a, NodeId b) { return env_.true_delay(a, b); });
-    const auto adjacency = tree_adjacency(online_.size(), tree);
+    const auto adjacency = tree_adjacency(store_.size(), tree);
     for (NodeId v : adjacency[static_cast<std::size_t>(node)]) {
       if (links.size() >= config_.donated_links) break;
       links.push_back(v);
@@ -496,18 +511,17 @@ std::vector<NodeId> EgoistNetwork::backbone_links(int node) const {
 void EgoistNetwork::refresh_backbone() {
   for (NodeId v : online_nodes()) {
     auto fresh = backbone_links(v);
-    auto& donated = donated_[static_cast<std::size_t>(v)];
+    const auto donated = store_.donated_vec(static_cast<std::size_t>(v));
     if (same_set(donated, fresh)) continue;
     // Splice: replace old donated links, keep the BR links intact.
-    auto& wiring = wiring_[static_cast<std::size_t>(v)];
     std::vector<NodeId> free_links;
-    for (NodeId w : wiring) {
+    for (NodeId w : store_.wiring(static_cast<std::size_t>(v))) {
       if (std::find(donated.begin(), donated.end(), w) == donated.end()) {
         free_links.push_back(w);
       }
     }
-    donated = std::move(fresh);
-    std::vector<NodeId> combined = donated;
+    std::vector<NodeId> combined = fresh;
+    store_.set_donated(static_cast<std::size_t>(v), fresh);
     for (NodeId w : free_links) {
       if (std::find(combined.begin(), combined.end(), w) == combined.end() &&
           combined.size() < config_.k) {
@@ -534,8 +548,8 @@ std::vector<NodeId> EgoistNetwork::choose_wiring(int node,
       // Keep the existing wiring; only replace links to departed nodes
       // (k-Random re-wires only under churn, §4.2).
       std::vector<NodeId> keep;
-      for (NodeId v : wiring_[static_cast<std::size_t>(node)]) {
-        if (online_[static_cast<std::size_t>(v)]) keep.push_back(v);
+      for (NodeId v : store_.wiring(static_cast<std::size_t>(node))) {
+        if (store_.is_online(static_cast<std::size_t>(v))) keep.push_back(v);
       }
       std::vector<NodeId> pool;
       for (NodeId v : candidates) {
@@ -559,7 +573,7 @@ std::vector<NodeId> EgoistNetwork::choose_wiring(int node,
         // advertised load — the myopic choice the paper describes: it sees
         // the immediate neighbor's load but nothing beyond it, and herds
         // onto currently-idle hosts.
-        std::vector<double> candidate_load(online_.size(), 0.0);
+        std::vector<double> candidate_load(store_.size(), 0.0);
         for (NodeId v : candidates) {
           candidate_load[static_cast<std::size_t>(v)] = env_.measure_load(v);
         }
@@ -592,7 +606,7 @@ std::vector<NodeId> EgoistNetwork::choose_wiring(int node,
       options.scratch = &br_scratch_;
       std::size_t free_k = k;
       if (config_.policy == Policy::kHybridBR) {
-        options.fixed_links = donated_[static_cast<std::size_t>(node)];
+        options.fixed_links = store_.donated_vec(static_cast<std::size_t>(node));
         free_k = k > options.fixed_links.size() ? k - options.fixed_links.size() : 0;
       }
       // Adoption decision happens in evaluate_node; here return combined.
@@ -645,7 +659,8 @@ void EgoistNetwork::join(int node) {
   }
   auto direct = measure_direct(node);
   if (config_.policy == Policy::kHybridBR) {
-    donated_[static_cast<std::size_t>(node)] = backbone_links(node);
+    const auto backbone = backbone_links(node);
+    store_.set_donated(static_cast<std::size_t>(node), backbone);
   }
   apply_wiring(node, choose_wiring(node, direct), direct);
 }
@@ -653,7 +668,7 @@ void EgoistNetwork::join(int node) {
 bool EgoistNetwork::evaluate_node(int node) {
   if (scale_mode()) return evaluate_node_sampled(node);
   const auto direct = measure_direct(node);
-  const auto& current = wiring_[static_cast<std::size_t>(node)];
+  const auto current = store_.wiring_vec(static_cast<std::size_t>(node));
 
   const bool is_br = config_.policy == Policy::kBestResponse ||
                      config_.policy == Policy::kHybridBR;
@@ -664,11 +679,10 @@ bool EgoistNetwork::evaluate_node(int node) {
       apply_wiring(node, std::move(proposed), direct);
       return false;
     }
-    const std::vector<NodeId> old_wiring =
-        hooks_.on_rewire ? current : std::vector<NodeId>{};
     apply_wiring(node, std::move(proposed), direct);
     if (hooks_.on_rewire) {
-      hooks_.on_rewire(node, old_wiring, wiring_[static_cast<std::size_t>(node)]);
+      hooks_.on_rewire(node, current,
+                       store_.wiring_vec(static_cast<std::size_t>(node)));
     }
     return true;
   }
@@ -682,7 +696,7 @@ bool EgoistNetwork::evaluate_node(int node) {
   options.exact_budget = 0;       // exhaustive search is not seedable
   std::size_t free_k = std::min(config_.k, online_count() - 1);
   if (config_.policy == Policy::kHybridBR) {
-    options.fixed_links = donated_[static_cast<std::size_t>(node)];
+    options.fixed_links = store_.donated_vec(static_cast<std::size_t>(node));
     free_k = free_k > options.fixed_links.size()
                  ? free_k - options.fixed_links.size()
                  : 0;
@@ -702,24 +716,234 @@ bool EgoistNetwork::evaluate_node(int node) {
     apply_wiring(node, std::vector<NodeId>(current), direct);
     return false;
   }
-  const std::vector<NodeId> old_wiring =
-      hooks_.on_rewire ? current : std::vector<NodeId>{};
   apply_wiring(node, std::move(proposed), direct);
   if (hooks_.on_rewire) {
-    hooks_.on_rewire(node, old_wiring, wiring_[static_cast<std::size_t>(node)]);
+    hooks_.on_rewire(node, current,
+                     store_.wiring_vec(static_cast<std::size_t>(node)));
   }
   return true;
 }
 
 bool EgoistNetwork::run_node(int node) {
   announced_.check_node(node);
-  if (!online_[static_cast<std::size_t>(node)]) return false;
+  if (!store_.is_online(static_cast<std::size_t>(node))) return false;
   const bool rewired = evaluate_node(node);
   if (rewired) ++total_rewirings_;
   return rewired;
 }
 
+bool EgoistNetwork::use_pipeline() const {
+  return config_.epoch_workers >= 1 &&
+         (config_.policy == Policy::kBestResponse ||
+          config_.policy == Policy::kHybridBR);
+}
+
+EpochEngine& EgoistNetwork::epoch_engine() {
+  if (!epoch_engine_ || epoch_engine_->workers() != config_.epoch_workers) {
+    epoch_engine_ = std::make_unique<EpochEngine>(config_.epoch_workers);
+  }
+  return *epoch_engine_;
+}
+
+void EgoistNetwork::evaluate_proposal(NodeId v, EpochWorkspace& ws,
+                                      const graph::Digraph& decision,
+                                      double penalty,
+                                      std::size_t base_free_k) {
+  const auto node = static_cast<std::size_t>(v);
+  const std::size_t n = store_.size();
+  const bool maximize = config_.metric == Metric::kBandwidth;
+  const std::vector<NodeId> current = store_.wiring_vec(node);
+
+  core::BestResponseOptions options = config_.search;
+  options.scratch = &ws.br;
+  options.seed_wiring = current;  // sticky search: move only on improvement
+  options.exact_budget = 0;       // exhaustive search is not seedable
+  std::size_t free_k = base_free_k;
+  if (config_.policy == Policy::kHybridBR) {
+    options.fixed_links = store_.donated_vec(node);
+    free_k = free_k > options.fixed_links.size()
+                 ? free_k - options.fixed_links.size()
+                 : 0;
+  }
+
+  double current_cost = 0.0;
+  core::BestResponseResult br;
+  if (scale_mode()) {
+    const auto ids = epoch_store_.pool_ids(node);
+    const auto values = epoch_store_.pool_values(node);
+    // Rebuild the node's sparse measurement row in the full-size workspace
+    // buffer, restore after the search: O(pool) per node, not O(n).
+    const double unmeasured = maximize ? 0.0 : graph::kUnreachable;
+    if (ws.direct.size() != n) ws.direct.assign(n, unmeasured);
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      ws.direct[static_cast<std::size_t>(ids[i])] = values[i];
+    }
+    std::vector<NodeId> targets;
+    targets.reserve(landmark_state_.landmarks.size());
+    for (NodeId l : landmark_state_.landmarks) {
+      if (l != v) targets.push_back(l);
+    }
+    const core::LandmarkObjective objective(
+        v, std::vector<NodeId>(ids.begin(), ids.end()), ws.direct,
+        &landmark_state_.dist, &landmark_state_.column, std::move(targets),
+        maximize, maximize ? 0.0 : penalty);
+    current_cost = objective.cost(current);
+    br = core::best_response(objective, free_k, options);
+    for (NodeId id : ids) {
+      ws.direct[static_cast<std::size_t>(id)] = unmeasured;
+    }
+  } else {
+    const auto& snapshot = std::as_const(epoch_store_);
+    const auto row = snapshot.direct_row(node);
+    ws.direct.assign(row.begin(), row.end());
+    const bool use_engine = config_.path_backend == PathBackend::kCsrEngine;
+    const graph::PathEngine& engine = engine_;  // const: scratch-based queries
+    auto search = [&](const core::WiringObjective& objective) {
+      current_cost = objective.cost(current);
+      br = core::best_response(objective, free_k, options);
+    };
+    if (maximize) {
+      if (use_engine) {
+        search(core::make_bandwidth_objective(engine, ws.query, v, ws.direct,
+                                              &ws.residual));
+      } else {
+        search(core::make_bandwidth_objective(decision, v, ws.direct));
+      }
+    } else {
+      if (use_engine) {
+        search(core::make_delay_objective(engine, ws.query, v, ws.direct,
+                                          preference_of(v), penalty,
+                                          &ws.residual));
+      } else {
+        search(core::make_delay_objective(decision, v, ws.direct,
+                                          preference_of(v), penalty));
+      }
+    }
+  }
+
+  std::vector<NodeId> proposed = options.fixed_links;
+  proposed.insert(proposed.end(), br.wiring.begin(), br.wiring.end());
+  const double improvement = current_cost - br.cost;
+  const double fraction =
+      config_.epsilon > 0.0 ? config_.epsilon : config_.noise_floor;
+  const double threshold = fraction * std::abs(current_cost);
+  const bool adopt =
+      !(improvement <= threshold || same_set(current, proposed));
+  std::sort(proposed.begin(), proposed.end());
+  epoch_store_.set_proposal(node, proposed, adopt);
+}
+
+int EgoistNetwork::run_epoch_pipeline() {
+  EGOIST_PROFILE_SCOPE("epoch");
+  ++epochs_;
+  const std::size_t n = store_.size();
+  const auto online = store_.online_nodes();  // ascending: the merge order
+  const bool maximize = config_.metric == Metric::kBandwidth;
+  const bool use_engine = config_.path_backend == PathBackend::kCsrEngine;
+  EpochEngine& engine = epoch_engine();
+
+  // --- Snapshot (sequential, ascending node order) ---
+  // Everything stateful lives here: RNG draws (sample pools, landmarks) and
+  // measurement streams (ping EWMAs, noise) advance exactly once, in a
+  // worker-count-independent order. The decision graph is frozen at the
+  // boundary — in audit mode it is audited once here, not once per node.
+  const graph::Digraph* decision = nullptr;
+  {
+    EGOIST_PROFILE_SCOPE("snapshot");
+    decision = &decision_graph();
+    if (!maximize) {
+      epoch_penalty_ = core::default_unreachable_penalty(*decision);
+    }
+    if (scale_mode()) {
+      refresh_landmarks();
+      epoch_store_.begin_sparse(n, store_.wiring_capacity());
+      std::vector<double> values;
+      for (NodeId v : online) {
+        const auto pool = sample_pool(v);
+        const auto direct = measure_pool(v, pool);
+        values.clear();
+        for (NodeId p : pool) {
+          values.push_back(direct[static_cast<std::size_t>(p)]);
+        }
+        epoch_store_.add_pool(static_cast<std::size_t>(v), pool, values);
+      }
+    } else {
+      epoch_store_.begin_dense(n, store_.wiring_capacity());
+      for (NodeId v : online) {
+        const auto direct = measure_direct(v);
+        const auto row = epoch_store_.direct_row(static_cast<std::size_t>(v));
+        std::copy(direct.begin(), direct.end(), row.begin());
+      }
+      if (use_engine) {
+        // One shared snapshot + eager base trees; the evaluate phase only
+        // issues const scratch-based queries against it.
+        engine_.rebuild(*decision);
+        if (maximize) {
+          engine_.prepare_widest();
+        } else {
+          engine_.prepare_shortest();
+        }
+      }
+    }
+  }
+
+  // --- Evaluate (parallel, pure per-node) ---
+  const std::size_t base_free_k =
+      online.empty() ? 0 : std::min(config_.k, online.size() - 1);
+  const double penalty = maximize ? 0.0 : *epoch_penalty_;
+  {
+    EGOIST_PROFILE_SCOPE("evaluate");
+    engine.run(online.size(), [&](std::size_t i, EpochWorkspace& ws) {
+      evaluate_proposal(online[i], ws, *decision, penalty, base_free_k);
+    });
+  }
+
+  // --- Merge (sequential, ascending node order) ---
+  int rewired = 0;
+  {
+    EGOIST_PROFILE_SCOPE("merge");
+    const double unmeasured = maximize ? 0.0 : graph::kUnreachable;
+    std::vector<double> sparse_direct;
+    for (NodeId v : online) {
+      const auto node = static_cast<std::size_t>(v);
+      std::span<const double> direct;
+      if (epoch_store_.dense()) {
+        direct = std::as_const(epoch_store_).direct_row(node);
+      } else {
+        // Reconstruct the sparse measurement row; every announced link is a
+        // pool member (kept and proposed wirings are pool subsets).
+        sparse_direct.assign(n, unmeasured);
+        const auto ids = epoch_store_.pool_ids(node);
+        const auto values = epoch_store_.pool_values(node);
+        for (std::size_t i = 0; i < ids.size(); ++i) {
+          sparse_direct[static_cast<std::size_t>(ids[i])] = values[i];
+        }
+        direct = sparse_direct;
+      }
+      if (epoch_store_.adopted(node)) {
+        const std::vector<NodeId> old_wiring = store_.wiring_vec(node);
+        const auto proposal = epoch_store_.proposal(node);
+        apply_wiring(v, {proposal.begin(), proposal.end()}, direct);
+        if (hooks_.on_rewire) {
+          hooks_.on_rewire(v, old_wiring, store_.wiring_vec(node));
+        }
+        ++rewired;
+      } else {
+        // Keep the wiring but refresh the announced costs.
+        apply_wiring(v, store_.wiring_vec(node), direct);
+      }
+    }
+  }
+
+  epoch_penalty_.reset();
+  landmark_state_.valid = false;
+  total_rewirings_ += static_cast<std::uint64_t>(rewired);
+  return rewired;
+}
+
 int EgoistNetwork::run_epoch() {
+  if (use_pipeline()) return run_epoch_pipeline();
+  EGOIST_PROFILE_SCOPE("epoch");
   ++epochs_;
   // Cache the unreachable-fold penalty for this epoch (bandwidth's fold
   // has none): one edge scan instead of one per node.
@@ -748,9 +972,12 @@ int EgoistNetwork::run_epoch() {
   auto order = online_nodes();
   rng_.shuffle(order);
   int rewired = 0;
-  for (NodeId v : order) {
-    if (!online_[static_cast<std::size_t>(v)]) continue;
-    if (evaluate_node(v)) ++rewired;
+  {
+    EGOIST_PROFILE_SCOPE("evaluate");
+    for (NodeId v : order) {
+      if (!store_.is_online(static_cast<std::size_t>(v))) continue;
+      if (evaluate_node(v)) ++rewired;
+    }
   }
   engine_synced_ = false;
   epoch_penalty_.reset();
@@ -764,7 +991,7 @@ int EgoistNetwork::run_epoch() {
         const NodeId u = ring[i];
         const NodeId next = ring[(i + 1) % ring.size()];
         if (u == next || announced_.has_edge(u, next)) continue;
-        auto& wiring = wiring_[static_cast<std::size_t>(u)];
+        auto wiring = store_.wiring_vec(static_cast<std::size_t>(u));
         const auto direct = measure_direct(u);
         if (wiring.size() >= config_.k && !wiring.empty()) {
           announced_.remove_edge(u, wiring.back());
@@ -774,6 +1001,7 @@ int EgoistNetwork::run_epoch() {
         announced_.set_edge(u, next,
                             announced_cost(u, direct[static_cast<std::size_t>(next)]));
         std::sort(wiring.begin(), wiring.end());
+        store_.set_wiring(static_cast<std::size_t>(u), wiring);
       }
     }
   }
@@ -782,12 +1010,12 @@ int EgoistNetwork::run_epoch() {
 }
 
 graph::Digraph EgoistNetwork::true_cost_graph() const {
-  graph::Digraph g(online_.size());
-  for (std::size_t u = 0; u < online_.size(); ++u) {
-    g.set_active(static_cast<NodeId>(u), online_[u]);
-    if (!online_[u]) continue;
-    for (NodeId v : wiring_[u]) {
-      if (!online_[static_cast<std::size_t>(v)]) continue;
+  graph::Digraph g(store_.size());
+  for (std::size_t u = 0; u < store_.size(); ++u) {
+    g.set_active(static_cast<NodeId>(u), store_.is_online(u));
+    if (!store_.is_online(u)) continue;
+    for (NodeId v : store_.wiring(u)) {
+      if (!store_.is_online(static_cast<std::size_t>(v))) continue;
       double cost = 0.0;
       switch (config_.metric) {
         case Metric::kDelayPing:
@@ -808,12 +1036,12 @@ graph::Digraph EgoistNetwork::true_cost_graph() const {
 }
 
 graph::Digraph EgoistNetwork::true_bandwidth_graph() const {
-  graph::Digraph g(online_.size());
-  for (std::size_t u = 0; u < online_.size(); ++u) {
-    g.set_active(static_cast<NodeId>(u), online_[u]);
-    if (!online_[u]) continue;
-    for (NodeId v : wiring_[u]) {
-      if (!online_[static_cast<std::size_t>(v)]) continue;
+  graph::Digraph g(store_.size());
+  for (std::size_t u = 0; u < store_.size(); ++u) {
+    g.set_active(static_cast<NodeId>(u), store_.is_online(u));
+    if (!store_.is_online(u)) continue;
+    for (NodeId v : store_.wiring(u)) {
+      if (!store_.is_online(static_cast<std::size_t>(v))) continue;
       g.set_edge(static_cast<NodeId>(u), v,
                  env_.true_avail_bw(static_cast<int>(u), v));
     }
@@ -835,7 +1063,7 @@ std::vector<double> EgoistNetwork::node_bandwidth_scores() const {
 
 std::vector<std::vector<double>> EgoistNetwork::score_preferences() const {
   if (base_preference_.empty()) return {};
-  std::vector<std::vector<double>> prefs(online_.size());
+  std::vector<std::vector<double>> prefs(store_.size());
   for (NodeId v : online_nodes()) {
     prefs[static_cast<std::size_t>(v)] = preference_of(v);
   }

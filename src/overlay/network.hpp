@@ -18,7 +18,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "core/objective.hpp"
@@ -26,11 +28,15 @@
 #include "graph/path_engine.hpp"
 #include "overlay/config.hpp"
 #include "overlay/environment.hpp"
+#include "overlay/node_store.hpp"
 #include "util/rng.hpp"
 
 namespace egoist::overlay {
 
 using graph::NodeId;
+
+class EpochEngine;
+struct EpochWorkspace;
 
 /// Observation hooks the hosting layer installs to mirror engine activity
 /// as typed events (host::OverlayHost's subscription API). Both optional;
@@ -53,8 +59,9 @@ class EgoistNetwork {
   /// All nodes join (in id order) at construction; use set_online to model
   /// churn afterwards.
   EgoistNetwork(Environment& env, OverlayConfig config);
+  ~EgoistNetwork();
 
-  std::size_t size() const { return online_.size(); }
+  std::size_t size() const { return store_.size(); }
   const OverlayConfig& config() const { return config_; }
 
   /// --- Membership (churn hooks) ---
@@ -64,9 +71,17 @@ class EgoistNetwork {
   std::vector<NodeId> online_nodes() const;
 
   /// --- Protocol dynamics ---
-  /// One wiring epoch: every online node re-evaluates its wiring, in a
-  /// freshly shuffled order (nodes are not synchronized, §4.2). Returns the
-  /// number of nodes that changed their wiring this epoch.
+  /// One wiring epoch. With config.epoch_workers == 0 (the default), every
+  /// online node re-evaluates its wiring in a freshly shuffled order, each
+  /// seeing the re-wirings of the nodes before it (nodes are not
+  /// synchronized, §4.2). With epoch_workers >= 1 and a BR/HybridBR policy,
+  /// the epoch runs as the deterministic parallel pipeline instead:
+  /// snapshot (sequential — all measurements and RNG draws, ascending node
+  /// order), evaluate (parallel — every node best-responds to the immutable
+  /// epoch-start state), merge (sequential — adopted re-wirings applied and
+  /// hooks fired in ascending node order). The pipeline trajectory is
+  /// bit-identical at any worker count. Returns the number of nodes that
+  /// changed their wiring this epoch.
   int run_epoch();
 
   /// Evaluates a single node's wiring (the staggered, unsynchronized mode:
@@ -78,10 +93,13 @@ class EgoistNetwork {
   std::uint64_t total_rewirings() const { return total_rewirings_; }
 
   /// Current wiring (chosen neighbors, including donated links) of a node.
-  const std::vector<NodeId>& wiring(int node) const;
+  /// A view into the SoA node store; invalidated by the next mutation of
+  /// the node's row (epoch, churn, backbone splice).
+  std::span<const NodeId> wiring(int node) const;
 
-  /// HybridBR's donated backbone links of a node (empty for other policies).
-  const std::vector<NodeId>& donated(int node) const;
+  /// HybridBR's donated backbone links of a node (empty for other
+  /// policies). Same view semantics as wiring().
+  std::span<const NodeId> donated(int node) const;
 
   /// --- Graph views ---
   /// Wiring with announced costs (what the link-state protocol carries).
@@ -135,9 +153,10 @@ class EgoistNetwork {
   /// immediately, unlike lazy BR links).
   void refresh_backbone();
 
-  /// Installs a wiring and re-announces the node's links.
+  /// Installs a wiring and re-announces the node's links. `direct` is
+  /// indexed by node id and must cover every wiring entry.
   void apply_wiring(int node, std::vector<NodeId> wiring,
-                    const std::vector<double>& direct);
+                    std::span<const double> direct);
 
   /// Announced cost of link node -> v given its measured value.
   double announced_cost(int node, double measured) const;
@@ -196,14 +215,40 @@ class EgoistNetwork {
   /// over the currently online targets; offline entries zeroed).
   std::vector<double> preference_of(int node) const;
 
+  /// --- Deterministic parallel epoch pipeline (config_.epoch_workers >= 1,
+  /// BR/HybridBR; see run_epoch) ---
+  bool use_pipeline() const;
+  int run_epoch_pipeline();
+
+  /// The lazily built worker pool + per-worker workspaces (rebuilt when the
+  /// knob changes).
+  EpochEngine& epoch_engine();
+
+  /// Evaluate-phase body: computes node v's best response against the epoch
+  /// snapshot and writes its proposal slot. Runs concurrently for distinct
+  /// nodes — reads only frozen state and `ws`, writes only v's disjoint
+  /// EpochStore slot.
+  void evaluate_proposal(NodeId v, EpochWorkspace& ws,
+                         const graph::Digraph& decision, double penalty,
+                         std::size_t base_free_k);
+
   Environment& env_;
   OverlayConfig config_;
   NetworkHooks hooks_;
   util::Rng rng_;
   std::vector<std::vector<double>> base_preference_;  ///< unnormalized Zipf weights
-  std::vector<bool> online_;
-  std::vector<std::vector<NodeId>> wiring_;
-  std::vector<std::vector<NodeId>> donated_;
+
+  /// SoA component store for per-node overlay state (membership, wiring
+  /// rows, donated rows) — flat slabs instead of one heap vector per node.
+  NodeStore store_;
+
+  /// Epoch-scoped planes of the parallel pipeline: the measurement
+  /// snapshot (dense rows or scale-mode pools) and the proposal slots.
+  EpochStore epoch_store_;
+
+  /// Worker pool + workspaces for the evaluate phase (pipeline mode only).
+  std::unique_ptr<EpochEngine> epoch_engine_;
+
   graph::Digraph announced_;
 
   /// Shared CSR path engine (PathBackend::kCsrEngine): re-snapshots the

@@ -1,0 +1,172 @@
+#include "util/profiler.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <map>
+
+namespace egoist::util {
+
+struct ProfilerNode {
+  std::string name;
+  int parent = -1;
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+  std::vector<int> children;
+};
+
+namespace {
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+struct OpenFrame {
+  int node;
+  std::uint64_t start_ns;
+};
+
+}  // namespace
+
+/// Per-thread scope log. Node 0 is the root sentinel; real scopes hang off
+/// it. On thread exit the log's tree is retired into the global profiler so
+/// short-lived worker threads still show up in the report.
+struct ProfilerThreadLog {
+  explicit ProfilerThreadLog(Profiler& owner) : owner(owner) {
+    nodes.emplace_back();  // root sentinel
+    std::lock_guard<std::mutex> lock(owner.mutex_);
+    owner.logs_.push_back(this);
+  }
+
+  ~ProfilerThreadLog() {
+    std::lock_guard<std::mutex> lock(owner.mutex_);
+    if (nodes.size() > 1) owner.retired_.push_back(std::move(nodes));
+    owner.logs_.erase(std::find(owner.logs_.begin(), owner.logs_.end(), this));
+  }
+
+  int child(int parent, const char* name) {
+    for (int c : nodes[parent].children) {
+      if (nodes[c].name == name) return c;
+    }
+    const int id = static_cast<int>(nodes.size());
+    nodes.emplace_back();
+    nodes[id].name = name;
+    nodes[id].parent = parent;
+    nodes[parent].children.push_back(id);
+    return id;
+  }
+
+  void clear() {
+    nodes.resize(1);
+    nodes[0].children.clear();
+    stack.clear();
+  }
+
+  Profiler& owner;
+  std::vector<ProfilerNode> nodes;
+  std::vector<OpenFrame> stack;
+};
+
+namespace {
+
+ProfilerThreadLog& thread_log() {
+  thread_local ProfilerThreadLog log(Profiler::instance());
+  return log;
+}
+
+void merge_tree(const std::vector<ProfilerNode>& nodes, int node,
+                const std::string& prefix,
+                std::map<std::string, Profiler::Phase>& out) {
+  for (int c : nodes[node].children) {
+    const ProfilerNode& n = nodes[c];
+    const std::string path = prefix.empty() ? n.name : prefix + "/" + n.name;
+    Profiler::Phase& p = out[path];
+    p.path = path;
+    p.count += n.count;
+    p.total_ns += n.total_ns;
+    std::uint64_t child_ns = 0;
+    for (int gc : n.children) child_ns += nodes[gc].total_ns;
+    p.self_ns += n.total_ns - std::min(n.total_ns, child_ns);
+    merge_tree(nodes, c, path, out);
+  }
+}
+
+std::string format_ms(std::uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(ns) / 1e6);
+  return buf;
+}
+
+}  // namespace
+
+Profiler& Profiler::instance() {
+  static Profiler profiler;
+  return profiler;
+}
+
+void Profiler::set_clock(ClockFn clock) {
+  clock_.store(clock, std::memory_order_relaxed);
+}
+
+bool Profiler::begin(const char* name) {
+  if (!enabled()) return false;
+  const ClockFn clock = clock_.load(std::memory_order_relaxed);
+  ProfilerThreadLog& log = thread_log();
+  const int parent = log.stack.empty() ? 0 : log.stack.back().node;
+  const int node = log.child(parent, name);
+  log.stack.push_back({node, clock ? clock() : steady_now_ns()});
+  return true;
+}
+
+void Profiler::end() {
+  const ClockFn clock = clock_.load(std::memory_order_relaxed);
+  ProfilerThreadLog& log = thread_log();
+  const OpenFrame frame = log.stack.back();
+  log.stack.pop_back();
+  const std::uint64_t now = clock ? clock() : steady_now_ns();
+  ProfilerNode& n = log.nodes[frame.node];
+  ++n.count;
+  n.total_ns += now - std::min(now, frame.start_ns);
+}
+
+std::vector<Profiler::Phase> Profiler::report() const {
+  std::map<std::string, Phase> merged;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const ProfilerThreadLog* log : logs_) {
+    merge_tree(log->nodes, 0, "", merged);
+  }
+  for (const auto& nodes : retired_) merge_tree(nodes, 0, "", merged);
+  std::vector<Phase> out;
+  out.reserve(merged.size());
+  for (auto& [path, phase] : merged) out.push_back(std::move(phase));
+  return out;  // std::map iteration is already path-sorted
+}
+
+void Profiler::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (ProfilerThreadLog* log : logs_) log->clear();
+  retired_.clear();
+}
+
+const std::vector<std::string>& profile_columns() {
+  static const std::vector<std::string> columns = {"phase", "count", "total_ms",
+                                                   "mean_us", "self_ms"};
+  return columns;
+}
+
+std::vector<std::string> phase_cells(const Profiler::Phase& phase) {
+  char mean[32];
+  const double mean_us =
+      phase.count == 0
+          ? 0.0
+          : static_cast<double>(phase.total_ns) /
+                (1e3 * static_cast<double>(phase.count));
+  std::snprintf(mean, sizeof(mean), "%.1f", mean_us);
+  return {phase.path, std::to_string(phase.count), format_ms(phase.total_ns),
+          mean, format_ms(phase.self_ns)};
+}
+
+}  // namespace egoist::util

@@ -1,0 +1,135 @@
+// In-process hierarchical profiler.
+//
+// Usage: drop EGOIST_PROFILE_SCOPE("phase") at the top of a block. Scopes
+// nest: a scope opened while another is active becomes its child, and the
+// report keys phases by the '/'-joined path ("epoch/evaluate"). Each thread
+// keeps its own log (no synchronization on the hot path beyond one relaxed
+// atomic load); report() merges all thread logs under a mutex, so it must
+// only be called while no scopes are being opened or closed.
+//
+// The clock is injectable (set_clock) so tests can assert exact durations
+// and golden-file the emitted rows. Compiling with EGOIST_PROFILE_DISABLE
+// turns the macro into `(void)0` — the no-overhead escape hatch for builds
+// that must not pay even the enabled-flag branch.
+//
+// Report rows feed the experiment sinks as a "profile" panel using the
+// stable columns from profile_columns() / phase_cells(); that JSONL shape
+// is documented in docs/EXPERIMENTS.md and golden-tested.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace egoist::util {
+
+class Profiler {
+ public:
+  /// Nanosecond clock; injectable for deterministic tests.
+  using ClockFn = std::uint64_t (*)();
+
+  static Profiler& instance();
+
+  /// Profiling is off by default; experiments flip it on for profiled runs.
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// nullptr restores the steady-clock default.
+  void set_clock(ClockFn clock);
+
+  /// Opens a scope on the calling thread. Returns whether the scope was
+  /// recorded (false when disabled), so ProfileScope stays balanced even if
+  /// the enabled flag flips mid-scope.
+  bool begin(const char* name);
+  void end();
+
+  struct Phase {
+    std::string path;        ///< '/'-joined scope names, e.g. "epoch/evaluate"
+    std::uint64_t count = 0;
+    std::uint64_t total_ns = 0;
+    std::uint64_t self_ns = 0;  ///< total minus time inside child scopes
+  };
+
+  /// Merged per-phase aggregates across every thread that ever profiled,
+  /// sorted by path. Call only while no scopes are open or being recorded.
+  std::vector<Phase> report() const;
+
+  /// Drops all recorded data (live and retired thread logs). Same
+  /// quiescence requirement as report().
+  void reset();
+
+ private:
+  friend struct ProfilerThreadLog;
+
+  Profiler() = default;
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<ClockFn> clock_{nullptr};  ///< nullptr = steady clock
+
+  mutable std::mutex mutex_;
+  std::vector<struct ProfilerThreadLog*> logs_;        ///< live threads
+  std::vector<std::vector<struct ProfilerNode>> retired_;  ///< exited threads
+};
+
+/// Stable column names of the "profile" report panel.
+const std::vector<std::string>& profile_columns();
+
+/// Formats one phase as the cell vector matching profile_columns().
+std::vector<std::string> phase_cells(const Profiler::Phase& phase);
+
+/// RAII for a profiled run: enables the profiler when `on`, and on
+/// destruction restores the off-by-default state and drops the recorded
+/// data. Experiments wrap profiled sections in one of these so an error
+/// thrown mid-run cannot leak an enabled profiler into later runs.
+class ProfileSession {
+ public:
+  explicit ProfileSession(bool on) : on_(on) {
+    if (on_) Profiler::instance().set_enabled(true);
+  }
+  ~ProfileSession() {
+    if (on_) {
+      Profiler::instance().set_enabled(false);
+      Profiler::instance().reset();
+    }
+  }
+
+  ProfileSession(const ProfileSession&) = delete;
+  ProfileSession& operator=(const ProfileSession&) = delete;
+
+ private:
+  bool on_;
+};
+
+/// RAII helper behind EGOIST_PROFILE_SCOPE; usable directly when the scope
+/// name is computed at runtime.
+class ProfileScope {
+ public:
+  explicit ProfileScope(const char* name)
+      : active_(Profiler::instance().begin(name)) {}
+  ~ProfileScope() {
+    if (active_) Profiler::instance().end();
+  }
+
+  ProfileScope(const ProfileScope&) = delete;
+  ProfileScope& operator=(const ProfileScope&) = delete;
+
+ private:
+  bool active_;
+};
+
+}  // namespace egoist::util
+
+#define EGOIST_PROFILE_CAT2(a, b) a##b
+#define EGOIST_PROFILE_CAT(a, b) EGOIST_PROFILE_CAT2(a, b)
+
+#ifdef EGOIST_PROFILE_DISABLE
+#define EGOIST_PROFILE_SCOPE(name) static_cast<void>(0)
+#else
+#define EGOIST_PROFILE_SCOPE(name) \
+  ::egoist::util::ProfileScope EGOIST_PROFILE_CAT(egoist_profile_scope_, \
+                                                  __LINE__)(name)
+#endif

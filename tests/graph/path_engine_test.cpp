@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <limits>
+#include <thread>
+#include <vector>
 
 #include "graph/shortest_path.hpp"
 #include "graph/widest_path.hpp"
@@ -309,6 +311,92 @@ TEST(PathEngineTest, AutoWorkersResolveToAtLeastOne) {
   EXPECT_GE(engine.workers(), 1);
   EXPECT_LE(engine.workers(), 4);
   EXPECT_THROW(engine.set_workers(-1), std::invalid_argument);
+}
+
+/// Const concurrent queries against a prepared engine: every worker owns a
+/// QueryScratch and fans out over sources; rows must be bit-identical to
+/// the single-threaded engine-owned-scratch path.
+TEST(PathEngineConstQueryTest, ConcurrentScratchQueriesMatchSequential) {
+  util::Rng rng(31);
+  const auto g = random_overlay(rng, 30, 4, 0.1);
+  const std::size_t n = 30;
+
+  PathEngine reference(g);
+  DistanceMatrix want;
+  reference.all_shortest(5, want);
+
+  PathEngine engine(g);
+  engine.prepare_shortest();
+  ASSERT_TRUE(engine.shortest_prepared());
+  const PathEngine& const_engine = engine;
+
+  DistanceMatrix got(n, n, kUnreachable);
+  constexpr std::size_t kThreads = 4;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      PathEngine::QueryScratch scratch;
+      for (std::size_t src = t; src < n; src += kThreads) {
+        const_engine.shortest_from(static_cast<NodeId>(src), 5, got.row(src),
+                                   scratch);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t j = 0; j < n; ++j) {
+      ASSERT_EQ(got(u, j), want(u, j)) << u << " -> " << j;
+    }
+  }
+}
+
+/// Without prepared base trees the const overloads fall back to a direct
+/// SSSP — same bits, no mutation of the engine.
+TEST(PathEngineConstQueryTest, UnpreparedConstQueryRunsDirectSssp) {
+  util::Rng rng(32);
+  const auto g = random_overlay(rng, 20, 3, 0.0);
+  PathEngine engine(g);
+  ASSERT_FALSE(engine.shortest_prepared());
+  const PathEngine& const_engine = engine;
+  PathEngine::QueryScratch scratch;
+
+  std::vector<double> row(20);
+  const_engine.shortest_from(3, 7, row, scratch);
+  EXPECT_FALSE(engine.shortest_prepared());  // still untouched
+  const auto reference = dijkstra(residual_copy(g, 7), 3).dist;
+  for (std::size_t j = 0; j < 20; ++j) EXPECT_EQ(row[j], reference[j]) << j;
+
+  const_engine.widest_from(3, 7, row, scratch);
+  const auto ref_bw = widest_paths(residual_copy(g, 7), 3).bottleneck;
+  for (std::size_t j = 0; j < 20; ++j) EXPECT_EQ(row[j], ref_bw[j]) << j;
+}
+
+/// One QueryScratch survives snapshot rebuilds and engine swaps: the
+/// epoch-stamped marks can never produce a false descendant match.
+TEST(PathEngineConstQueryTest, ScratchIsReusableAcrossSnapshotsAndEngines) {
+  util::Rng rng(33);
+  PathEngine::QueryScratch scratch;
+  for (int trial = 0; trial < 4; ++trial) {
+    const std::size_t n = 8 + static_cast<std::size_t>(rng.uniform_int(0, 12));
+    const auto g = random_overlay(rng, n, 3, 0.1);
+    PathEngine engine(g);
+    engine.prepare_shortest();
+    engine.prepare_widest();
+    PathEngine legacy(g);
+    DistanceMatrix want_d, want_b;
+    legacy.all_shortest(2, want_d);
+    legacy.all_widest(2, want_b);
+    DistanceMatrix got_d, got_b;
+    static_cast<const PathEngine&>(engine).all_shortest(2, got_d, scratch);
+    static_cast<const PathEngine&>(engine).all_widest(2, got_b, scratch);
+    for (std::size_t u = 0; u < n; ++u) {
+      for (std::size_t j = 0; j < n; ++j) {
+        ASSERT_EQ(got_d(u, j), want_d(u, j)) << trial << ": " << u << "," << j;
+        ASSERT_EQ(got_b(u, j), want_b(u, j)) << trial << ": " << u << "," << j;
+      }
+    }
+  }
 }
 
 TEST(PathEngineTest, RebuildTracksGraphMutations) {

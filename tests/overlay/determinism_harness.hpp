@@ -1,0 +1,91 @@
+// Shared trajectory-determinism harness.
+//
+// Several suites prove the same property from different angles: two runs
+// that should be indistinguishable (different path backend, different
+// epoch worker count, shared vs solo host) must produce bit-identical
+// wiring trajectories and scores. This harness is the common vocabulary:
+// describe a deployment as a DeterminismCase, record its full Trajectory
+// (per-epoch wirings, scores, re-wiring counts), and compare records with
+// expect_same_trajectory for a field-by-field diagnostic on divergence.
+//
+// Recording drives the deployment through host::OverlayHost epoch by
+// epoch, so synchronized, staggered-T/n, and churned schedules all replay
+// exactly as the experiment layer runs them.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "churn/churn.hpp"
+#include "host/overlay_host.hpp"
+
+namespace egoist::testing {
+
+/// One reproducible deployment: a spec on a host with a fixed substrate.
+struct DeterminismCase {
+  std::size_t nodes = 14;
+  std::uint64_t host_seed = 11;
+  overlay::EnvironmentConfig env;
+  host::OverlaySpec spec;
+  int epochs = 5;
+};
+
+/// Everything observable about a run, epoch by epoch.
+struct Trajectory {
+  /// wirings[e][v] = node v's wiring after epoch e (offline nodes empty).
+  std::vector<std::vector<std::vector<graph::NodeId>>> wirings;
+  /// online[e] = the online set after epoch e.
+  std::vector<std::vector<graph::NodeId>> online;
+  /// costs[e] = per-node scores after epoch e (routing cost, bit-exact).
+  std::vector<std::vector<double>> costs;
+  /// rewirings[e] = cumulative engine re-wiring count after epoch e.
+  std::vector<std::uint64_t> rewirings;
+};
+
+inline Trajectory record_trajectory(const DeterminismCase& c) {
+  host::OverlayHost host(c.nodes, c.host_seed, c.env);
+  const auto handle = host.deploy(c.spec);
+  Trajectory out;
+  for (int epoch = 0; epoch < c.epochs; ++epoch) {
+    host.run_epochs(handle, 1);
+    const auto snap = host.snapshot(handle);
+    std::vector<std::vector<graph::NodeId>> wirings;
+    wirings.reserve(c.nodes);
+    for (std::size_t v = 0; v < c.nodes; ++v) {
+      wirings.push_back(snap.wiring(static_cast<int>(v)));
+    }
+    out.wirings.push_back(std::move(wirings));
+    out.online.push_back(snap.online_nodes());
+    out.costs.push_back(c.spec.config().metric == overlay::Metric::kBandwidth
+                            ? snap.node_bandwidth_scores()
+                            : snap.node_costs());
+    out.rewirings.push_back(snap.total_rewirings());
+  }
+  return out;
+}
+
+/// Bit-identical comparison with a per-epoch, per-node diagnostic.
+inline void expect_same_trajectory(const Trajectory& expected,
+                                   const Trajectory& actual,
+                                   const std::string& label) {
+  ASSERT_EQ(expected.wirings.size(), actual.wirings.size())
+      << label << ": epoch count";
+  for (std::size_t e = 0; e < expected.wirings.size(); ++e) {
+    ASSERT_EQ(expected.online[e], actual.online[e])
+        << label << ": online set diverged at epoch " << e;
+    ASSERT_EQ(expected.wirings[e].size(), actual.wirings[e].size());
+    for (std::size_t v = 0; v < expected.wirings[e].size(); ++v) {
+      ASSERT_EQ(expected.wirings[e][v], actual.wirings[e][v])
+          << label << ": wiring of node " << v << " diverged at epoch " << e;
+    }
+    ASSERT_EQ(expected.costs[e], actual.costs[e])
+        << label << ": scores diverged at epoch " << e;
+    ASSERT_EQ(expected.rewirings[e], actual.rewirings[e])
+        << label << ": re-wiring count diverged at epoch " << e;
+  }
+}
+
+}  // namespace egoist::testing

@@ -8,6 +8,7 @@
 
 #include <sstream>
 
+#include "determinism_harness.hpp"
 #include "overlay/network.hpp"
 
 namespace egoist::overlay {
@@ -86,8 +87,10 @@ void expect_lockstep(OverlayConfig base, const std::string& label,
     EXPECT_EQ(rewired_engine, rewired_legacy)
         << label << " rewire count diverged at epoch " << epoch;
     for (std::size_t v = 0; v < n; ++v) {
-      ASSERT_EQ(engine.net.wiring(static_cast<int>(v)),
-                legacy.net.wiring(static_cast<int>(v)))
+      const auto engine_wiring = engine.net.wiring(static_cast<int>(v));
+      const auto legacy_wiring = legacy.net.wiring(static_cast<int>(v));
+      ASSERT_EQ(std::vector<NodeId>(engine_wiring.begin(), engine_wiring.end()),
+                std::vector<NodeId>(legacy_wiring.begin(), legacy_wiring.end()))
           << label << " wiring of node " << v << " diverged at epoch " << epoch;
     }
     ASSERT_TRUE(same_graph(engine.net.announced_graph(),
@@ -143,6 +146,40 @@ TEST(PathBackendEquivalenceTest, ImmediateRewireMode) {
   auto config = make_config(Policy::kHybridBR, Metric::kDelayPing);
   config.rewire_mode = RewireMode::kImmediate;
   expect_lockstep(config, "HybridBR immediate rewire");
+}
+
+TEST(PathBackendEquivalenceTest, BackendsAgreeAcrossHostSchedules) {
+  // The same equivalence re-proven through the shared trajectory harness:
+  // engine vs legacy under the host's synchronized, parallel-pipeline, and
+  // staggered-with-churn schedules.
+  using egoist::testing::DeterminismCase;
+  using egoist::testing::expect_same_trajectory;
+  using egoist::testing::record_trajectory;
+
+  churn::ChurnConfig churn_config;
+  churn_config.mean_on_s = 150.0;
+  churn_config.mean_off_s = 50.0;
+  churn_config.initial_on_fraction = 0.8;
+  const churn::ChurnTrace trace(14, 3 * 60.0, 77, churn_config);
+
+  const auto schedules = {std::string("synchronized"), std::string("pipeline"),
+                          std::string("staggered")};
+  for (const auto& schedule : schedules) {
+    DeterminismCase engine_case;
+    engine_case.epochs = 3;
+    engine_case.spec = host::OverlaySpec(
+        make_config(Policy::kBestResponse, Metric::kDelayPing));
+    if (schedule == "pipeline") engine_case.spec.workers(2);
+    if (schedule == "staggered") {
+      engine_case.spec.epoch_period(60.0).staggered(0xBDu).churn(trace);
+    }
+    DeterminismCase legacy_case = engine_case;
+    engine_case.spec.path_backend(PathBackend::kCsrEngine);
+    legacy_case.spec.path_backend(PathBackend::kLegacy);
+    expect_same_trajectory(record_trajectory(engine_case),
+                           record_trajectory(legacy_case),
+                           "backend equivalence / " + schedule);
+  }
 }
 
 TEST(PathBackendEquivalenceTest, ScoresIdenticalAcrossBackends) {

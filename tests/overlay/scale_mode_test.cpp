@@ -57,7 +57,10 @@ TEST(ScaleModeTest, EpochsAreDeterministicAndRespectK) {
         net.run_epoch();
       }
       std::vector<std::vector<NodeId>> wirings;
-      for (int v = 0; v < 40; ++v) wirings.push_back(net.wiring(v));
+      for (int v = 0; v < 40; ++v) {
+        const auto wiring = net.wiring(v);
+        wirings.emplace_back(wiring.begin(), wiring.end());
+      }
       return std::make_pair(wirings, net.total_rewirings());
     };
     const auto [wirings_a, rewired_a] = run(3);

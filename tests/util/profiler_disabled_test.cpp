@@ -1,0 +1,31 @@
+// Compiled with EGOIST_PROFILE_DISABLE: the scope macro must be a true
+// compile-time no-op — no ProfileScope object, nothing recorded even with
+// the profiler runtime-enabled.
+#define EGOIST_PROFILE_DISABLE
+#include "util/profiler.hpp"
+
+#include <gtest/gtest.h>
+
+namespace egoist::util {
+namespace {
+
+TEST(ProfilerDisabledTest, MacroCompilesToNothingAndRecordsNothing) {
+  Profiler::instance().reset();
+  Profiler::instance().set_enabled(true);
+  {
+    EGOIST_PROFILE_SCOPE("epoch");
+    { EGOIST_PROFILE_SCOPE("evaluate"); }
+  }
+  EXPECT_TRUE(Profiler::instance().report().empty());
+  Profiler::instance().set_enabled(false);
+}
+
+TEST(ProfilerDisabledTest, MacroIsAnExpressionStatement) {
+  // The no-op expansion must still parse as a single statement so it can sit
+  // in an unbraced if/else without changing control flow.
+  if (false) EGOIST_PROFILE_SCOPE("never");
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace egoist::util

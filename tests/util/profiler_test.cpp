@@ -1,0 +1,222 @@
+#include "util/profiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace egoist::util {
+namespace {
+
+std::uint64_t g_fake_now_ns = 0;
+std::uint64_t fake_clock() { return g_fake_now_ns; }
+
+constexpr std::uint64_t kMs = 1'000'000;  // fake-clock unit: 1 ms in ns
+
+class ProfilerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    g_fake_now_ns = 0;
+    Profiler::instance().reset();
+    Profiler::instance().set_clock(&fake_clock);
+    Profiler::instance().set_enabled(true);
+  }
+
+  void TearDown() override {
+    Profiler::instance().set_enabled(false);
+    Profiler::instance().set_clock(nullptr);
+    Profiler::instance().reset();
+  }
+};
+
+// The deterministic session the golden file captures: a 100 ms epoch with a
+// 20 ms snapshot, a 40 ms evaluate containing two 10 ms path queries, and a
+// 10 ms merge.
+void record_epoch_session() {
+  Profiler& p = Profiler::instance();
+  g_fake_now_ns = 0;
+  p.begin("epoch");
+  g_fake_now_ns = 10 * kMs;
+  p.begin("snapshot");
+  g_fake_now_ns = 30 * kMs;
+  p.end();
+  g_fake_now_ns = 40 * kMs;
+  p.begin("evaluate");
+  g_fake_now_ns = 45 * kMs;
+  p.begin("path_query");
+  g_fake_now_ns = 55 * kMs;
+  p.end();
+  g_fake_now_ns = 60 * kMs;
+  p.begin("path_query");
+  g_fake_now_ns = 70 * kMs;
+  p.end();
+  g_fake_now_ns = 80 * kMs;
+  p.end();
+  g_fake_now_ns = 85 * kMs;
+  p.begin("merge");
+  g_fake_now_ns = 95 * kMs;
+  p.end();
+  g_fake_now_ns = 100 * kMs;
+  p.end();
+}
+
+TEST_F(ProfilerTest, NestedScopesAggregateByPath) {
+  record_epoch_session();
+  const auto phases = Profiler::instance().report();
+  ASSERT_EQ(phases.size(), 5u);
+
+  EXPECT_EQ(phases[0].path, "epoch");
+  EXPECT_EQ(phases[0].count, 1u);
+  EXPECT_EQ(phases[0].total_ns, 100 * kMs);
+  EXPECT_EQ(phases[0].self_ns, 30 * kMs);  // 100 - (20 + 40 + 10)
+
+  EXPECT_EQ(phases[1].path, "epoch/evaluate");
+  EXPECT_EQ(phases[1].total_ns, 40 * kMs);
+  EXPECT_EQ(phases[1].self_ns, 20 * kMs);
+
+  EXPECT_EQ(phases[2].path, "epoch/evaluate/path_query");
+  EXPECT_EQ(phases[2].count, 2u);
+  EXPECT_EQ(phases[2].total_ns, 20 * kMs);
+  EXPECT_EQ(phases[2].self_ns, 20 * kMs);
+
+  EXPECT_EQ(phases[3].path, "epoch/merge");
+  EXPECT_EQ(phases[4].path, "epoch/snapshot");
+}
+
+TEST_F(ProfilerTest, RepeatedSessionsAccumulate) {
+  record_epoch_session();
+  record_epoch_session();
+  const auto phases = Profiler::instance().report();
+  ASSERT_EQ(phases.size(), 5u);
+  EXPECT_EQ(phases[0].count, 2u);
+  EXPECT_EQ(phases[0].total_ns, 200 * kMs);
+  EXPECT_EQ(phases[2].count, 4u);
+}
+
+TEST_F(ProfilerTest, MacroRecordsLexicalNesting) {
+  {
+    EGOIST_PROFILE_SCOPE("outer");
+    { EGOIST_PROFILE_SCOPE("inner"); }
+    { EGOIST_PROFILE_SCOPE("inner"); }
+  }
+  const auto phases = Profiler::instance().report();
+  ASSERT_EQ(phases.size(), 2u);
+  EXPECT_EQ(phases[0].path, "outer");
+  EXPECT_EQ(phases[0].count, 1u);
+  EXPECT_EQ(phases[1].path, "outer/inner");
+  EXPECT_EQ(phases[1].count, 2u);
+}
+
+TEST_F(ProfilerTest, DisabledProfilerRecordsNothing) {
+  Profiler::instance().set_enabled(false);
+  { EGOIST_PROFILE_SCOPE("ghost"); }
+  EXPECT_TRUE(Profiler::instance().report().empty());
+}
+
+TEST_F(ProfilerTest, EnablingMidScopeStaysBalanced) {
+  Profiler::instance().set_enabled(false);
+  {
+    EGOIST_PROFILE_SCOPE("ghost");
+    Profiler::instance().set_enabled(true);
+  }  // the scope never began, so it must not call end()
+  EXPECT_TRUE(Profiler::instance().report().empty());
+  { EGOIST_PROFILE_SCOPE("real"); }
+  ASSERT_EQ(Profiler::instance().report().size(), 1u);
+}
+
+TEST_F(ProfilerTest, ResetDropsEverything) {
+  record_epoch_session();
+  Profiler::instance().reset();
+  EXPECT_TRUE(Profiler::instance().report().empty());
+  record_epoch_session();
+  EXPECT_EQ(Profiler::instance().report().size(), 5u);
+}
+
+TEST_F(ProfilerTest, ExitedThreadsAreRetainedInTheReport) {
+  std::thread t([] {
+    Profiler& p = Profiler::instance();
+    g_fake_now_ns = 0;
+    p.begin("worker_phase");
+    g_fake_now_ns = 7 * kMs;
+    p.end();
+  });
+  t.join();
+  const auto phases = Profiler::instance().report();
+  ASSERT_EQ(phases.size(), 1u);
+  EXPECT_EQ(phases[0].path, "worker_phase");
+  EXPECT_EQ(phases[0].total_ns, 7 * kMs);
+}
+
+TEST_F(ProfilerTest, ThreadsMergeByPath) {
+  {
+    EGOIST_PROFILE_SCOPE("shared");
+  }
+  std::thread t([] {
+    Profiler& p = Profiler::instance();
+    p.begin("shared");
+    p.end();
+  });
+  t.join();
+  const auto phases = Profiler::instance().report();
+  ASSERT_EQ(phases.size(), 1u);
+  EXPECT_EQ(phases[0].count, 2u);
+}
+
+TEST_F(ProfilerTest, ColumnSchemaIsStable) {
+  const std::vector<std::string> expected = {"phase", "count", "total_ms",
+                                             "mean_us", "self_ms"};
+  EXPECT_EQ(profile_columns(), expected);
+}
+
+TEST_F(ProfilerTest, PhaseCellsFormatIsStable) {
+  Profiler::Phase phase;
+  phase.path = "epoch/evaluate";
+  phase.count = 2;
+  phase.total_ns = 20 * kMs;
+  phase.self_ns = 5 * kMs;
+  const std::vector<std::string> expected = {"epoch/evaluate", "2", "20.000",
+                                             "10000.0", "5.000"};
+  EXPECT_EQ(phase_cells(phase), expected);
+}
+
+TEST_F(ProfilerTest, ZeroCountPhaseFormatsWithoutDividing) {
+  Profiler::Phase phase;
+  phase.path = "open";
+  const std::vector<std::string> expected = {"open", "0", "0.000", "0.0",
+                                             "0.000"};
+  EXPECT_EQ(phase_cells(phase), expected);
+}
+
+TEST_F(ProfilerTest, EmittedRowsMatchGoldenFile) {
+  record_epoch_session();
+  std::ostringstream got;
+  const auto& columns = profile_columns();
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    got << (i ? " | " : "") << columns[i];
+  }
+  got << "\n";
+  for (const auto& phase : Profiler::instance().report()) {
+    const auto cells = phase_cells(phase);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      got << (i ? " | " : "") << cells[i];
+    }
+    got << "\n";
+  }
+
+  const std::filesystem::path golden =
+      std::filesystem::path(__FILE__).parent_path() / "golden" /
+      "profile_rows.txt";
+  std::ifstream in(golden);
+  ASSERT_TRUE(in.is_open()) << "missing golden file " << golden;
+  std::stringstream want;
+  want << in.rdbuf();
+  EXPECT_EQ(got.str(), want.str());
+}
+
+}  // namespace
+}  // namespace egoist::util
