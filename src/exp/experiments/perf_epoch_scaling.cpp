@@ -10,6 +10,12 @@
 //   engine-par  the parallel epoch pipeline (snapshot -> parallel evaluate
 //               -> deterministic merge), at epoch_workers = 1 and at the
 //               resolved `workers` knob
+//   full-quiet  sequential full recompute on a quiet measurement plane
+//               (ping jitter / drift zeroed) after `inc-warmup` epochs —
+//               the steady-state baseline for the incremental row
+//   incremental dirty-set epochs (ISSUE 7; tau = 0 exact mode) on the same
+//               quiet deployment — must re-wire identically to full-quiet
+//               and reports evaluated / skipped / dirty_frac
 //
 // legacy / engine / engine-mt run the sequential epoch and produce
 // bit-identical distances, so they walk the *same* wiring trajectory for a
@@ -54,6 +60,8 @@ struct BackendSpec {
   overlay::PathBackend backend;
   int path_workers;   ///< per-source tree builds inside one evaluation
   int epoch_workers;  ///< 0 = sequential epoch; >= 1 = parallel pipeline
+  bool incremental = false;  ///< dirty-set epochs (exact mode, tau = 0)
+  bool quiet = false;        ///< quiet measurement plane (no jitter/drift)
 };
 
 struct Measurement {
@@ -67,7 +75,15 @@ struct Measurement {
   double speedup = 0.0;    ///< vs. `baseline` at same (policy, n); 0 = n/a
   std::string baseline;    ///< what `speedup` is relative to ("" = n/a)
   std::size_t substrate_bytes = 0;  ///< substrate storage at this n
-  std::size_t peak_rss_bytes = 0;   ///< process peak RSS after the run
+  /// Process-wide peak RSS high-water mark when the row finished. RSS is
+  /// monotonic across the whole process, so rows within one run can only
+  /// report a non-decreasing value (the BENCH_6 HybridBR rows all froze at
+  /// the BR n-max's peak); read rss_delta_bytes for a per-row figure.
+  std::size_t peak_rss_bytes = 0;
+  std::size_t rss_delta_bytes = 0;  ///< peak-RSS growth during this row
+  std::uint64_t evaluated = 0;      ///< node evaluations in the timed epochs
+  std::uint64_t skipped = 0;        ///< evaluations skipped (incremental)
+  double dirty_frac = 1.0;          ///< evaluated / (evaluated + skipped)
 };
 
 std::vector<std::size_t> parse_n_list(const std::string& csv) {
@@ -110,7 +126,9 @@ Measurement measure(overlay::Policy policy, std::size_t n,
   config.path_backend = spec.backend;
   config.path_workers = spec.path_workers;
   config.epoch_workers = spec.epoch_workers;
+  config.incremental = spec.incremental;  // tau = 0: exact dirty-set mode
 
+  const std::size_t rss_before = util::peak_rss_bytes();
   host::OverlayHost deployment(n, seed, env_config);
   const auto handle = deployment.deploy(host::OverlaySpec(config));
   deployment.run_epochs(handle, warmup);
@@ -131,6 +149,8 @@ Measurement measure(overlay::Policy policy, std::size_t n,
   }
   // Profile the timed epochs only: drop whatever warmup recorded.
   if (profile) util::Profiler::instance().reset();
+  const std::uint64_t evals_mark = net.total_evaluations();
+  const std::uint64_t skips_mark = net.total_skipped_evals();
   m.epoch_ms_min = std::numeric_limits<double>::infinity();
   for (int e = 0; e < epochs; ++e) {
     env.advance(60.0);
@@ -143,8 +163,13 @@ Measurement measure(overlay::Policy policy, std::size_t n,
     m.epoch_ms_min = std::min(m.epoch_ms_min, ms);
   }
   m.epoch_ms_mean /= epochs;
+  m.evaluated = net.total_evaluations() - evals_mark;
+  m.skipped = net.total_skipped_evals() - skips_mark;
+  const double total = static_cast<double>(m.evaluated + m.skipped);
+  m.dirty_frac = total > 0.0 ? static_cast<double>(m.evaluated) / total : 1.0;
   m.substrate_bytes = deployment.substrate()->memory_bytes();
   m.peak_rss_bytes = util::peak_rss_bytes();
+  m.rss_delta_bytes = m.peak_rss_bytes - rss_before;
   return m;
 }
 
@@ -156,6 +181,10 @@ std::string json_report(const std::vector<Measurement>& results, std::size_t k,
       << "\"k\":" << k << ",\"warmup\":" << warmup << ",\"epochs\":" << epochs
       << ",\"seed\":" << seed
       << ",\"host_cpus\":" << std::thread::hardware_concurrency()
+      << ",\"peak_rss_note\":\"peak_rss_bytes is the process-wide monotonic "
+         "high-water mark at row completion (later rows can only repeat or "
+         "raise it); rss_delta_bytes is the high-water growth attributable "
+         "to the row itself\""
       << ",\"results\":[";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const auto& m = results[i];
@@ -165,8 +194,11 @@ std::string json_report(const std::vector<Measurement>& results, std::size_t k,
         << ",\"epoch_ms_mean\":" << m.epoch_ms_mean
         << ",\"epoch_ms_min\":" << m.epoch_ms_min
         << ",\"rewirings\":" << m.rewirings
+        << ",\"evaluated\":" << m.evaluated << ",\"skipped\":" << m.skipped
+        << ",\"dirty_frac\":" << m.dirty_frac
         << ",\"substrate_bytes\":" << m.substrate_bytes
-        << ",\"peak_rss_bytes\":" << m.peak_rss_bytes;
+        << ",\"peak_rss_bytes\":" << m.peak_rss_bytes
+        << ",\"rss_delta_bytes\":" << m.rss_delta_bytes;
     if (m.speedup > 0.0) {
       out << ",\"speedup\":" << m.speedup << ",\"baseline\":\"" << m.baseline
           << "\"";
@@ -179,12 +211,14 @@ std::string json_report(const std::vector<Measurement>& results, std::size_t k,
 
 const std::vector<std::string> kRowColumns{
     "policy", "n", "backend", "workers", "epoch_ms_mean", "epoch_ms_min",
-    "rewirings", "speedup", "baseline", "substrate_bytes", "peak_rss_bytes"};
+    "rewirings", "evaluated", "skipped", "dirty_frac", "speedup", "baseline",
+    "substrate_bytes", "peak_rss_bytes", "rss_delta_bytes"};
 
 std::vector<std::string> row_cells(const Measurement& m) {
-  std::ostringstream mean_ms, min_ms, speedup;
+  std::ostringstream mean_ms, min_ms, dirty_frac, speedup;
   mean_ms << std::fixed << std::setprecision(3) << m.epoch_ms_mean;
   min_ms << std::fixed << std::setprecision(3) << m.epoch_ms_min;
+  dirty_frac << std::fixed << std::setprecision(3) << m.dirty_frac;
   if (m.speedup > 0.0) {
     speedup << std::fixed << std::setprecision(3) << m.speedup;
   } else {
@@ -192,10 +226,13 @@ std::vector<std::string> row_cells(const Measurement& m) {
   }
   return {m.policy,     std::to_string(m.n), m.backend,
           std::to_string(m.workers),          mean_ms.str(),
-          min_ms.str(), std::to_string(m.rewirings), speedup.str(),
+          min_ms.str(), std::to_string(m.rewirings),
+          std::to_string(m.evaluated), std::to_string(m.skipped),
+          dirty_frac.str(), speedup.str(),
           m.baseline.empty() ? "-" : m.baseline,
           std::to_string(m.substrate_bytes),
-          std::to_string(m.peak_rss_bytes)};
+          std::to_string(m.peak_rss_bytes),
+          std::to_string(m.rss_delta_bytes)};
 }
 
 std::vector<std::string> profile_row_columns() {
@@ -223,9 +260,13 @@ void run_perf_epoch_scaling(const ParamReader& params, ResultSink& sink) {
   const auto policies = parse_policies(params.get_string("policies", "BR,HybridBR"));
   const auto k = static_cast<std::size_t>(params.get_int("k", 5));
   const int warmup = params.get_int("warmup", 1);
+  // The quiet-plane rows (full-quiet / incremental) measure the steady
+  // state: by default they warm up long enough for the overlay to converge
+  // and the dirty set to drain, so the timed epochs are post-warmup.
+  const int inc_warmup = params.get_int("inc-warmup", 6);
   const int epochs = params.get_int("epochs", 3);
-  if (warmup < 0 || epochs < 1) {
-    throw std::invalid_argument("need warmup >= 0 and epochs >= 1");
+  if (warmup < 0 || inc_warmup < 0 || epochs < 1) {
+    throw std::invalid_argument("need warmup >= 0, inc-warmup >= 0, epochs >= 1");
   }
   const std::uint64_t seed = params.get_seed("seed", 42);
   // Resolve the 0 = auto knob to the actual pool size once, up front, and
@@ -254,6 +295,18 @@ void run_perf_epoch_scaling(const ParamReader& params, ResultSink& sink) {
   if (workers > 1) {
     specs.push_back({"engine-par", overlay::PathBackend::kCsrEngine, 1, workers});
   }
+  // Incremental dirty-set rows run on a quiet measurement plane (no ping
+  // jitter, no drift), where the overlay converges and the dirty set can
+  // drain; full-quiet is the sequential full recompute of the *same*
+  // deployment and the incremental row's baseline and trajectory
+  // reference — exact mode must re-wire identically, or the run fails.
+  specs.push_back({"full-quiet", overlay::PathBackend::kCsrEngine, 1, 0,
+                   /*incremental=*/false, /*quiet=*/true});
+  specs.push_back({"incremental", overlay::PathBackend::kCsrEngine, 1, 0,
+                   /*incremental=*/true, /*quiet=*/true});
+  auto quiet_env = env_config;
+  quiet_env.ping_jitter_ms = 0.0;
+  quiet_env.delay_drift_volatility = 0.0;
 
   util::ProfileSession profile_session(profile);
 
@@ -275,17 +328,41 @@ void run_perf_epoch_scaling(const ParamReader& params, ResultSink& sink) {
       int legacy_rewirings = -1;
       double par1_ms = 0.0;
       int par1_rewirings = -1;
+      double fullq_ms = 0.0;
+      int fullq_rewirings = -1;
       for (const auto& spec : specs) {
         if (spec.name == "legacy" &&
             n > static_cast<std::size_t>(legacy_max_n)) {
           continue;
         }
-        auto m = measure(policy, n, spec, k, warmup, epochs, seed, env_config,
+        auto m = measure(policy, n, spec, k, spec.quiet ? inc_warmup : warmup,
+                         epochs, seed, spec.quiet ? quiet_env : env_config,
                          profile);
         const bool pipeline = spec.epoch_workers > 0;
         if (spec.name == "legacy") {
           legacy_ms = m.epoch_ms_mean;
           legacy_rewirings = m.rewirings;
+        } else if (spec.name == "full-quiet") {
+          // Quiet plane, sequential full recompute: the incremental row's
+          // baseline. Different environment, so no legacy cross-check.
+          fullq_ms = m.epoch_ms_mean;
+          fullq_rewirings = m.rewirings;
+        } else if (spec.name == "incremental") {
+          if (fullq_ms > 0.0 && m.epoch_ms_mean > 0.0) {
+            m.speedup = fullq_ms / m.epoch_ms_mean;
+            m.baseline = "full-quiet";
+          }
+          // Exact mode (tau = 0): the dirty-set run must walk the very
+          // same trajectory as the full recompute, bit for bit.
+          if (fullq_rewirings >= 0 && m.rewirings != fullq_rewirings) {
+            ++trajectory_mismatches;
+            mismatch_report += "TRAJECTORY MISMATCH: " + m.policy +
+                               " n=" + std::to_string(n) +
+                               " incremental rewired " +
+                               std::to_string(m.rewirings) +
+                               " vs full-quiet " +
+                               std::to_string(fullq_rewirings) + "\n";
+          }
         } else if (pipeline && spec.epoch_workers == 1) {
           // The pipeline's own single-thread baseline: later engine-par
           // rows check their trajectory and speedup against this row.

@@ -153,6 +153,8 @@ void PathEngine::rebuild(const Digraph& g) {
   csr_.rebuild(g);
   shortest_base_.valid = false;
   widest_base_.valid = false;
+  last_update_rebuilt_ = true;
+  last_update_invalidated_.clear();
 }
 
 void PathEngine::update_out_edges(NodeId u, const Digraph& g) {
@@ -174,17 +176,31 @@ void PathEngine::update_out_edges(NodeId u, const Digraph& g) {
       // Membership changed: the one-row contract is void, start over.
       shortest_base_.valid = false;
       widest_base_.valid = false;
+      last_update_rebuilt_ = true;
+      last_update_invalidated_.clear();
       return;
     }
   }
+  last_update_rebuilt_ = false;
+  last_update_invalidated_.clear();
+  update_changed_mark_.assign(n, 0);
   if (had_shortest) {
     for (std::size_t src = 0; src < n; ++src) {
-      update_tree<false>(shortest_base_, static_cast<NodeId>(src), u);
+      if (update_tree<false>(shortest_base_, static_cast<NodeId>(src), u)) {
+        update_changed_mark_[src] = 1;
+      }
     }
   }
   if (had_widest) {
     for (std::size_t src = 0; src < n; ++src) {
-      update_tree<true>(widest_base_, static_cast<NodeId>(src), u);
+      if (update_tree<true>(widest_base_, static_cast<NodeId>(src), u)) {
+        update_changed_mark_[src] = 1;
+      }
+    }
+  }
+  for (std::size_t src = 0; src < n; ++src) {
+    if (update_changed_mark_[src] != 0) {
+      last_update_invalidated_.push_back(static_cast<NodeId>(src));
     }
   }
 }
@@ -421,8 +437,8 @@ void PathEngine::repair_row(QueryScratch& qs, const BaseTrees& base, NodeId src,
 }
 
 template <bool kWidest>
-void PathEngine::update_tree(BaseTrees& base, NodeId src, NodeId u) {
-  if (!csr_.is_active(src)) return;  // row stays all-unreached
+bool PathEngine::update_tree(BaseTrees& base, NodeId src, NodeId u) {
+  if (!csr_.is_active(src)) return false;  // row stays all-unreached
   const std::size_t n = csr_.node_count();
   const std::size_t s = static_cast<std::size_t>(src);
   const auto out = base.dist.row(s);
@@ -431,18 +447,30 @@ void PathEngine::update_tree(BaseTrees& base, NodeId src, NodeId u) {
   QueryScratch& qs = workspace(0);
   if (src == u) {
     // Every distance from u runs over u's own (replaced) out-edges.
+    update_row_before_.assign(out.begin(), out.end());
     run<kWidest>(qs, src, kNoExclude, out, parent_row);
     std::fill(count_row, count_row + n, 0);
     for (std::size_t j = 0; j < n; ++j) {
       if (parent_row[j] >= 0) ++count_row[static_cast<std::size_t>(parent_row[j])];
     }
-    return;
+    return !std::equal(update_row_before_.begin(), update_row_before_.end(),
+                       out.begin());
   }
   const double init = init_value<kWidest>();
   const auto better = make_better(std::bool_constant<kWidest>{});
   if (qs.affected_mark.size() < n) qs.affected_mark.resize(n, 0);
   const std::uint64_t mark = ++qs.mark_epoch;
   collect_descendants(qs, parent_row, count_row, u, mark);
+
+  // Change detection: the only values the patch can touch are the
+  // invalidated descendants (saved here, compared at the end) and nodes
+  // the improvement relaxation escapes to (any such write is a change by
+  // construction — `better` only ever overwrites with a different value).
+  update_row_before_.clear();
+  for (const NodeId a : qs.desc_buf) {
+    update_row_before_.push_back(out[static_cast<std::size_t>(a)]);
+  }
+  bool escaped_write = false;
 
   // Child counts track every parent change below.
   auto set_parent = [&](std::size_t t, NodeId p) {
@@ -496,6 +524,7 @@ void PathEngine::update_tree(BaseTrees& base, NodeId src, NodeId u) {
       const double candidate = combine<kWidest>(du, weights[i]);
       if (better(candidate, out[t])) {
         out[t] = candidate;
+        escaped_write = true;
         set_parent(t, u);
         heap.push_back({candidate, targets[i]});
         sift_up(heap, heap.size() - 1, better);
@@ -519,12 +548,19 @@ void PathEngine::update_tree(BaseTrees& base, NodeId src, NodeId u) {
       const double candidate = combine<kWidest>(top.key, weights[i]);
       if (better(candidate, out[t])) {
         out[t] = candidate;
+        if (qs.affected_mark[t] != mark) escaped_write = true;
         set_parent(t, top.node);
         heap.push_back({candidate, targets[i]});
         sift_up(heap, heap.size() - 1, better);
       }
     }
   }
+  if (escaped_write) return true;
+  for (std::size_t i = 0; i < qs.desc_buf.size(); ++i) {
+    const auto a = static_cast<std::size_t>(qs.desc_buf[i]);
+    if (out[a] != update_row_before_[i]) return true;
+  }
+  return false;
 }
 
 void PathEngine::prepare_shortest() { ensure_base<false>(shortest_base_); }

@@ -187,6 +187,22 @@ class PathEngine {
   /// back to a full invalidation, other rows are the caller's contract.
   void update_out_edges(NodeId u, const Digraph& g);
 
+  /// Sources whose base-tree dist rows the most recent update_out_edges
+  /// patch actually changed (value-level detection across both prepared
+  /// semirings, deduplicated, ascending). A source absent here kept every
+  /// base distance bit-identical, so any consumer caching per-source
+  /// results — the overlay's dirty tracker marks exactly these nodes —
+  /// need not revisit it. Meaningless (and empty) when
+  /// last_update_rebuilt() is true.
+  std::span<const NodeId> last_update_invalidated() const {
+    return last_update_invalidated_;
+  }
+
+  /// True when the most recent update_out_edges (or rebuild) call fell
+  /// back to a full invalidation — size change, no valid base trees, or an
+  /// activity flip — so *every* source row must be treated as changed.
+  bool last_update_rebuilt() const { return last_update_rebuilt_; }
+
   const CsrGraph& csr() const { return csr_; }
   std::size_t node_count() const { return csr_.node_count(); }
 
@@ -287,8 +303,10 @@ class PathEngine {
   /// u's old descendants, reseed them from the new snapshot, and let the
   /// relaxation escape the set to propagate improvements the new row
   /// enables.
+  /// Returns true when the patch changed any value of tree src's dist row
+  /// (the signal behind last_update_invalidated()).
   template <bool kWidest>
-  void update_tree(BaseTrees& base, NodeId src, NodeId u);
+  bool update_tree(BaseTrees& base, NodeId src, NodeId u);
 
   template <bool kWidest>
   void all_rows(QueryScratch& qs, NodeId exclude, DistanceMatrix& out) const;
@@ -304,6 +322,12 @@ class PathEngine {
   BaseTrees shortest_base_;
   BaseTrees widest_base_;
   std::vector<std::uint8_t> active_before_;   ///< update_out_edges guard
+
+  /// last_update_* bookkeeping (see the public accessors).
+  std::vector<NodeId> last_update_invalidated_;
+  bool last_update_rebuilt_ = true;
+  std::vector<double> update_row_before_;        ///< update_tree compare scratch
+  std::vector<std::uint8_t> update_changed_mark_;  ///< dedup across semirings
 };
 
 }  // namespace egoist::graph

@@ -240,6 +240,11 @@ void OverlayHost::finish_epoch(Managed& m, int rewired) {
   event.rewired = rewired;
   event.online_count = m.net->online_count();
   event.total_rewirings = m.net->total_rewirings();
+  event.evaluated = m.net->total_evaluations() - m.eval_mark;
+  event.skipped = m.net->total_skipped_evals() - m.skip_mark;
+  event.dirty_nodes = m.net->dirty_count();
+  m.eval_mark = m.net->total_evaluations();
+  m.skip_mark = m.net->total_skipped_evals();
   dispatch(m.handle.id, event, &Subscription::epoch);
 }
 
@@ -369,6 +374,9 @@ WiringSnapshot OverlayHost::snapshot(OverlayHandle handle) const {
   state->time = sim_.now();
   state->epoch = m.epochs;
   state->total_rewirings = m.net->total_rewirings();
+  state->total_evaluations = m.net->total_evaluations();
+  state->total_skipped_evals = m.net->total_skipped_evals();
+  state->dirty_nodes = m.net->dirty_count();
   const std::size_t n = size();
   state->online.resize(n);
   state->wiring.resize(n);

@@ -98,6 +98,15 @@ class OverlaySpec {
     config_.preference_zipf_exponent = exponent;
     return *this;
   }
+  /// Incremental dirty-set epochs (overlay::OverlayConfig::incremental):
+  /// only invalidated nodes re-evaluate. drift_threshold 0 = exact mode
+  /// (bit-identical trajectories to the full recompute), > 0 = tolerance
+  /// mode (selective marking + per-link drift probes).
+  OverlaySpec& incremental(bool enable, double drift_threshold = 0.0) {
+    config_.incremental = enable;
+    config_.drift_threshold = drift_threshold;
+    return *this;
+  }
 
   /// Wiring-epoch length T in virtual seconds (default 60, the deployed
   /// system's default).
@@ -186,6 +195,13 @@ struct EpochEvent {
   int rewired = 0;    ///< re-wirings during this epoch
   std::size_t online_count = 0;
   std::uint64_t total_rewirings = 0;
+  /// Node evaluations performed / skipped during this epoch (skipped is
+  /// nonzero only for overlays deployed with OverlaySpec::incremental).
+  std::uint64_t evaluated = 0;
+  std::uint64_t skipped = 0;
+  /// Nodes still marked for re-evaluation at the epoch boundary (n for
+  /// non-incremental overlays).
+  std::size_t dirty_nodes = 0;
 };
 
 /// A node joined or left (churn).
@@ -295,6 +311,8 @@ class OverlayHost {
     std::size_t churn_cursor = 0;    ///< next unapplied trace event
     int epochs = 0;                  ///< completed epochs
     std::uint64_t rewire_mark = 0;   ///< total_rewirings at last epoch end
+    std::uint64_t eval_mark = 0;     ///< total_evaluations at last epoch end
+    std::uint64_t skip_mark = 0;     ///< total_skipped_evals at last epoch end
     int tick_depth = 0;              ///< this overlay's ticks on the stack
     bool hooks_dirty = false;        ///< engine hooks need a refresh
   };

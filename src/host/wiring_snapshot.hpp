@@ -34,6 +34,13 @@ class WiringSnapshot {
     double time = 0.0;                  ///< virtual time of the capture
     int epoch = 0;                      ///< completed epochs at capture
     std::uint64_t total_rewirings = 0;
+    /// Cumulative node evaluations performed / skipped (incremental-epoch
+    /// telemetry; skipped stays 0 for non-incremental overlays).
+    std::uint64_t total_evaluations = 0;
+    std::uint64_t total_skipped_evals = 0;
+    /// Nodes marked for re-evaluation at capture time (n when the overlay
+    /// is not incremental).
+    std::size_t dirty_nodes = 0;
     std::vector<bool> online;
     std::vector<NodeId> targets;        ///< online node ids, ascending
     std::vector<std::vector<NodeId>> wiring;
@@ -55,6 +62,11 @@ class WiringSnapshot {
   double time() const { return state().time; }
   int epoch() const { return state().epoch; }
   std::uint64_t total_rewirings() const { return state().total_rewirings; }
+  std::uint64_t total_evaluations() const { return state().total_evaluations; }
+  std::uint64_t total_skipped_evals() const {
+    return state().total_skipped_evals;
+  }
+  std::size_t dirty_nodes() const { return state().dirty_nodes; }
 
   std::size_t size() const { return state().online.size(); }
   bool is_online(int node) const;

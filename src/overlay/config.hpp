@@ -143,6 +143,27 @@ struct OverlayConfig {
   /// talks to — while the heuristics cannot.
   double preference_zipf_exponent = 0.0;
 
+  /// Incremental dirty-set epochs (BR/HybridBR only; requires audits off).
+  /// When on, run_epoch — sequential and pipeline alike — evaluates only
+  /// nodes whose last best response may have been invalidated (a
+  /// neighbor's significant re-announce, a candidate-set churn event,
+  /// measurement drift past drift_threshold, or a path-engine row their
+  /// base tree lost to an accepted proposal), skipping the rest entirely:
+  /// no measurement, no announcement refresh, no BR search. The first
+  /// epoch and any structural reset seed the full set. Off (the default)
+  /// keeps every figure output byte-identical to the full recompute.
+  bool incremental = false;
+
+  /// Relative per-link drift tolerance for incremental mode. 0 (the
+  /// default) is exact mode: marking is conservative — any announce delta
+  /// or membership change dirties every node — which makes the incremental
+  /// trajectory bit-identical to the full recompute. > 0 is tolerance
+  /// mode: only deltas beyond this fraction mark, and clean nodes are
+  /// drift-probed against the link baseline captured at their last
+  /// evaluation; scores then stay within a (tested) tolerance band rather
+  /// than being bit-exact. Negative values throw.
+  double drift_threshold = 0.0;
+
   std::uint64_t seed = 1;  ///< policy randomness (k-Random draws, tie noise)
 };
 

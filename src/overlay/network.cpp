@@ -91,6 +91,23 @@ EgoistNetwork::EgoistNetwork(Environment& env, OverlayConfig config)
       throw std::invalid_argument("scale mode does not support audits");
     }
   }
+  if (config_.drift_threshold < 0.0) {
+    throw std::invalid_argument("drift_threshold must be >= 0");
+  }
+  if (config_.incremental) {
+    // The dirty tracker reasons about best-response inputs; the trivial
+    // policies re-wire for other reasons (ring repair, churn-only), and
+    // audit mode rewrites the decision graph per node, voiding the
+    // "unchanged announce => unchanged input" argument.
+    if (config_.policy != Policy::kBestResponse &&
+        config_.policy != Policy::kHybridBR) {
+      throw std::invalid_argument("incremental requires BR or HybridBR");
+    }
+    if (config_.enable_audits) {
+      throw std::invalid_argument("incremental does not support audits");
+    }
+    dirty_.reset(env.size(), config_.drift_threshold);
+  }
   if (config_.preference_zipf_exponent > 0.0) {
     // Per-node Zipf preference over a node-specific random destination
     // ranking: p_ij proportional to 1 / rank_i(j)^s.
@@ -140,6 +157,14 @@ void EgoistNetwork::set_online(int node, bool online) {
   // Membership changes void the scale-mode landmark cache: a departed
   // landmark's rows must not anchor further evaluations.
   landmark_state_.valid = false;
+  if (config_.incremental) {
+    // Dense candidate sets are global (everyone considers everyone), so a
+    // join/leave invalidates every node; scale-mode tolerance marking can
+    // restrict to the churned node and its current holders.
+    holder_scratch_.clear();
+    if (!dirty_.exact() && scale_mode()) collect_holders(node, holder_scratch_);
+    dirty_.on_membership(v, !scale_mode(), holder_scratch_);
+  }
   if (hooks_.on_membership) hooks_.on_membership(node, online);
   if (!online) {
     // The node vanishes: its announcements age out of everyone's database.
@@ -458,6 +483,15 @@ double EgoistNetwork::unreachable_penalty(const graph::Digraph& decision) const 
 
 void EgoistNetwork::apply_wiring(int node, std::vector<NodeId> wiring,
                                  std::span<const double> direct) {
+  // With everyone already dirty, no mark can add information — skip the
+  // old-row copy and the delta test (this keeps the noisy-env and
+  // bootstrap paths at zero tracking overhead).
+  const bool track =
+      config_.incremental && dirty_.dirty_count() < dirty_.size();
+  if (track) {
+    const auto old = announced_.out_edges(node);
+    old_row_scratch_.assign(old.begin(), old.end());
+  }
   std::sort(wiring.begin(), wiring.end());
   announced_.clear_out_edges(node);
   for (NodeId v : wiring) {
@@ -468,6 +502,70 @@ void EgoistNetwork::apply_wiring(int node, std::vector<NodeId> wiring,
   // Keep the epoch-shared engine snapshot in lockstep: only this node's
   // out-edge row changed, so its base trees are patched, not rebuilt.
   if (engine_synced_) engine_.update_out_edges(node, announced_);
+  if (track) note_announce(node, old_row_scratch_);
+  if (config_.incremental && !dirty_.exact()) {
+    // Tolerance mode: the announced costs just became current, so they are
+    // the drift baseline the node's future probes compare against.
+    dirty_.set_baseline(static_cast<std::size_t>(node),
+                        store_.wiring(static_cast<std::size_t>(node)), direct);
+  }
+}
+
+void EgoistNetwork::note_announce(int node,
+                                  std::span<const graph::Edge> old_row) {
+  const auto new_row = announced_.out_edges(node);
+  if (!dirty_.announce_delta_significant(old_row, new_row)) return;
+  if (dirty_.exact()) {
+    // Conservative global mark: any changed announcement can, through the
+    // decision graph and the fold penalty, shift anyone's best response.
+    dirty_.mark_all();
+    return;
+  }
+  // Tolerance mode: the nodes routing over this announcer. Direct holders
+  // always; plus, when the epoch-shared engine just patched its base trees,
+  // exactly the sources whose dist rows the patch changed. Without a synced
+  // engine (run_node, pipeline merge) the holder scan is the approximation
+  // tolerance mode accepts.
+  holder_scratch_.clear();
+  collect_holders(node, holder_scratch_);
+  for (NodeId h : holder_scratch_) dirty_.mark(static_cast<std::size_t>(h));
+  dirty_.mark(static_cast<std::size_t>(node));
+  if (engine_synced_) {
+    if (engine_.last_update_rebuilt()) {
+      dirty_.mark_all();  // per-row signal lost; fall back to everyone
+    } else {
+      for (NodeId s : engine_.last_update_invalidated()) {
+        dirty_.mark(static_cast<std::size_t>(s));
+      }
+    }
+  }
+}
+
+void EgoistNetwork::collect_holders(int node, std::vector<NodeId>& out) const {
+  for (std::size_t u = 0; u < store_.size(); ++u) {
+    if (!store_.is_online(u) || static_cast<int>(u) == node) continue;
+    const auto w = store_.wiring(u);
+    if (std::find(w.begin(), w.end(), static_cast<NodeId>(node)) != w.end()) {
+      out.push_back(static_cast<NodeId>(u));
+      continue;
+    }
+    const auto d = store_.donated(u);
+    if (std::find(d.begin(), d.end(), static_cast<NodeId>(node)) != d.end()) {
+      out.push_back(static_cast<NodeId>(u));
+    }
+  }
+}
+
+bool EgoistNetwork::node_needs_evaluation(int node) {
+  if (dirty_.is_dirty(static_cast<std::size_t>(node))) return true;
+  if (dirty_.exact()) return false;
+  // Tolerance mode: probe the node's own wiring links (O(k), the links it
+  // actually routes over) and compare against its last-evaluation baseline.
+  const auto links = store_.wiring(static_cast<std::size_t>(node));
+  if (links.empty()) return false;
+  drift_links_scratch_.assign(links.begin(), links.end());
+  const auto fresh = measure_pool(node, drift_links_scratch_);
+  return dirty_.drift_exceeded(static_cast<std::size_t>(node), links, fresh);
 }
 
 std::vector<NodeId> EgoistNetwork::backbone_links(int node) const {
@@ -727,6 +825,16 @@ bool EgoistNetwork::evaluate_node(int node) {
 bool EgoistNetwork::run_node(int node) {
   announced_.check_node(node);
   if (!store_.is_online(static_cast<std::size_t>(node))) return false;
+  if (config_.incremental) {
+    if (!node_needs_evaluation(node)) {
+      ++total_skipped_evals_;
+      return false;
+    }
+    // Clear before evaluating: the node's own announce delta may re-mark
+    // it, which is exactly the "keep chasing a moving world" semantics.
+    dirty_.clear(static_cast<std::size_t>(node));
+  }
+  ++total_evaluations_;
   const bool rewired = evaluate_node(node);
   if (rewired) ++total_rewirings_;
   return rewired;
@@ -842,11 +950,34 @@ int EgoistNetwork::run_epoch_pipeline() {
   const bool use_engine = config_.path_backend == PathBackend::kCsrEngine;
   EpochEngine& engine = epoch_engine();
 
+  // Incremental mode: freeze the dirty set into this epoch's active list
+  // (ascending, like the merge order). Drift probes — tolerance mode's
+  // stateful measurements — run here, sequentially, keeping the evaluate
+  // phase pure. Marks raised during the merge apply from the next epoch:
+  // the pipeline's synchronized-agents semantics, unlike the sequential
+  // epoch's immediate mid-epoch marks.
+  std::vector<NodeId> active;
+  if (config_.incremental) {
+    for (NodeId v : online) {
+      if (node_needs_evaluation(v)) {
+        active.push_back(v);
+      } else {
+        ++total_skipped_evals_;
+      }
+    }
+    for (NodeId v : active) dirty_.clear(static_cast<std::size_t>(v));
+  } else {
+    active = online;
+  }
+  total_evaluations_ += active.size();
+
   // --- Snapshot (sequential, ascending node order) ---
   // Everything stateful lives here: RNG draws (sample pools, landmarks) and
   // measurement streams (ping EWMAs, noise) advance exactly once, in a
   // worker-count-independent order. The decision graph is frozen at the
   // boundary — in audit mode it is audited once here, not once per node.
+  // With nothing active, the epoch planes, landmark refresh, and engine
+  // snapshot are all skipped — an all-clean epoch costs O(n).
   const graph::Digraph* decision = nullptr;
   {
     EGOIST_PROFILE_SCOPE("snapshot");
@@ -855,21 +986,23 @@ int EgoistNetwork::run_epoch_pipeline() {
       epoch_penalty_ = core::default_unreachable_penalty(*decision);
     }
     if (scale_mode()) {
-      refresh_landmarks();
-      epoch_store_.begin_sparse(n, store_.wiring_capacity());
-      std::vector<double> values;
-      for (NodeId v : online) {
-        const auto pool = sample_pool(v);
-        const auto direct = measure_pool(v, pool);
-        values.clear();
-        for (NodeId p : pool) {
-          values.push_back(direct[static_cast<std::size_t>(p)]);
+      if (!active.empty()) {
+        refresh_landmarks();
+        epoch_store_.begin_sparse(n, store_.wiring_capacity());
+        std::vector<double> values;
+        for (NodeId v : active) {
+          const auto pool = sample_pool(v);
+          const auto direct = measure_pool(v, pool);
+          values.clear();
+          for (NodeId p : pool) {
+            values.push_back(direct[static_cast<std::size_t>(p)]);
+          }
+          epoch_store_.add_pool(static_cast<std::size_t>(v), pool, values);
         }
-        epoch_store_.add_pool(static_cast<std::size_t>(v), pool, values);
       }
-    } else {
+    } else if (!active.empty()) {
       epoch_store_.begin_dense(n, store_.wiring_capacity());
-      for (NodeId v : online) {
+      for (NodeId v : active) {
         const auto direct = measure_direct(v);
         const auto row = epoch_store_.direct_row(static_cast<std::size_t>(v));
         std::copy(direct.begin(), direct.end(), row.begin());
@@ -893,8 +1026,8 @@ int EgoistNetwork::run_epoch_pipeline() {
   const double penalty = maximize ? 0.0 : *epoch_penalty_;
   {
     EGOIST_PROFILE_SCOPE("evaluate");
-    engine.run(online.size(), [&](std::size_t i, EpochWorkspace& ws) {
-      evaluate_proposal(online[i], ws, *decision, penalty, base_free_k);
+    engine.run(active.size(), [&](std::size_t i, EpochWorkspace& ws) {
+      evaluate_proposal(active[i], ws, *decision, penalty, base_free_k);
     });
   }
 
@@ -904,7 +1037,7 @@ int EgoistNetwork::run_epoch_pipeline() {
     EGOIST_PROFILE_SCOPE("merge");
     const double unmeasured = maximize ? 0.0 : graph::kUnreachable;
     std::vector<double> sparse_direct;
-    for (NodeId v : online) {
+    for (NodeId v : active) {
       const auto node = static_cast<std::size_t>(v);
       std::span<const double> direct;
       if (epoch_store_.dense()) {
@@ -976,6 +1109,17 @@ int EgoistNetwork::run_epoch() {
     EGOIST_PROFILE_SCOPE("evaluate");
     for (NodeId v : order) {
       if (!store_.is_online(static_cast<std::size_t>(v))) continue;
+      if (config_.incremental) {
+        // The dirty check happens at the node's turn, so marks from nodes
+        // earlier in this epoch's order take effect immediately — the same
+        // unsynchronized-agents semantics as the full sequential epoch.
+        if (!node_needs_evaluation(v)) {
+          ++total_skipped_evals_;
+          continue;
+        }
+        dirty_.clear(static_cast<std::size_t>(v));
+      }
+      ++total_evaluations_;
       if (evaluate_node(v)) ++rewired;
     }
   }

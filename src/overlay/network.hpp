@@ -27,6 +27,7 @@
 #include "graph/digraph.hpp"
 #include "graph/path_engine.hpp"
 #include "overlay/config.hpp"
+#include "overlay/dirty_tracker.hpp"
 #include "overlay/environment.hpp"
 #include "overlay/node_store.hpp"
 #include "util/rng.hpp"
@@ -91,6 +92,19 @@ class EgoistNetwork {
 
   int epochs_run() const { return epochs_; }
   std::uint64_t total_rewirings() const { return total_rewirings_; }
+
+  /// --- Incremental-epoch telemetry (meaningful in every mode; with
+  /// incremental off, skipped is always 0) ---
+  /// Node evaluations actually performed by run_epoch / run_node.
+  std::uint64_t total_evaluations() const { return total_evaluations_; }
+  /// Online-node turns skipped because the node's dirty bit was clear (and,
+  /// in tolerance mode, its drift probe stayed under the threshold).
+  std::uint64_t total_skipped_evals() const { return total_skipped_evals_; }
+  /// Nodes currently marked for re-evaluation (n with incremental off —
+  /// the tracker then just mirrors "everyone always re-evaluates").
+  std::size_t dirty_count() const {
+    return config_.incremental ? dirty_.dirty_count() : store_.size();
+  }
 
   /// Current wiring (chosen neighbors, including donated links) of a node.
   /// A view into the SoA node store; invalidated by the next mutation of
@@ -232,6 +246,23 @@ class EgoistNetwork {
                          const graph::Digraph& decision, double penalty,
                          std::size_t base_free_k);
 
+  /// --- Incremental dirty-set epochs (config_.incremental) ---
+  /// The epoch-turn skip decision: the node's dirty bit, or — tolerance
+  /// mode only — an O(k) drift probe of its own wiring links against the
+  /// baseline captured at its last evaluation.
+  bool node_needs_evaluation(int node);
+
+  /// Post-announce marking, called from apply_wiring with the node's
+  /// previous announced out-edge row: exact mode marks everyone on any
+  /// delta; tolerance mode marks the announcer's holders plus the sources
+  /// whose base-tree rows the engine's incremental patch invalidated.
+  void note_announce(int node, std::span<const graph::Edge> old_row);
+
+  /// Online nodes whose wiring or donated links contain `node` (the
+  /// announced graph has no reverse index; rows are k-bounded so the scan
+  /// is O(n * k)).
+  void collect_holders(int node, std::vector<NodeId>& out) const;
+
   Environment& env_;
   OverlayConfig config_;
   NetworkHooks hooks_;
@@ -299,8 +330,17 @@ class EgoistNetwork {
   };
   LandmarkState landmark_state_;
 
+  /// Per-node invalidation state for incremental epochs (only reset — and
+  /// only consulted — when config_.incremental is on).
+  DirtyTracker dirty_;
+  std::vector<graph::Edge> old_row_scratch_;  ///< apply_wiring announce delta
+  std::vector<NodeId> holder_scratch_;        ///< tolerance-mode marking
+  std::vector<NodeId> drift_links_scratch_;   ///< drift-probe link list
+
   int epochs_ = 0;
   std::uint64_t total_rewirings_ = 0;
+  std::uint64_t total_evaluations_ = 0;
+  std::uint64_t total_skipped_evals_ = 0;
 };
 
 }  // namespace egoist::overlay

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <limits>
 #include <thread>
 #include <vector>
@@ -286,6 +287,87 @@ TEST(PathEngineTest, UpdateWithActivityChangeFallsBackToRebuild) {
       ASSERT_EQ(dist(a, b), ref[a][b]) << a << " -> " << b;
     }
   }
+}
+
+/// The invalidation report consumed by the incremental dirty-set epochs:
+/// after a successful one-row update, every source absent from
+/// last_update_invalidated() must have bit-identical base rows in both
+/// semirings — the list is allowed to be conservative (escape-relaxation
+/// writes count as changed), never to miss a changed row.
+TEST(PathEngineTest, UpdateReportsInvalidatedSourceRows) {
+  util::Rng rng(0x11BAu);
+  for (int trial = 0; trial < 4; ++trial) {
+    const std::size_t n = 10 + static_cast<std::size_t>(rng.uniform_int(0, 8));
+    auto g = random_overlay(rng, n, 3, 0.0);
+    PathEngine engine(g);
+    for (int step = 0; step < 8; ++step) {
+      const auto before_dist = engine.all_shortest(kNoExclude);
+      const auto before_bw = engine.all_widest(kNoExclude);
+      const auto u = static_cast<NodeId>(
+          rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+      g.clear_out_edges(u);
+      const auto degree = static_cast<std::size_t>(rng.uniform_int(0, 4));
+      for (std::size_t d = 0; d < degree; ++d) {
+        const auto v = static_cast<NodeId>(
+            rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+        if (v != u) g.set_edge(u, v, rng.uniform(0.1, 50.0));
+      }
+      engine.update_out_edges(u, g);
+      ASSERT_FALSE(engine.last_update_rebuilt())
+          << "trial " << trial << " step " << step;
+      const auto invalidated = engine.last_update_invalidated();
+      // Ascending and deduplicated: consumers index per-source caches.
+      for (std::size_t i = 1; i < invalidated.size(); ++i) {
+        ASSERT_LT(invalidated[i - 1], invalidated[i]);
+      }
+      const auto after_dist = engine.all_shortest(kNoExclude);
+      const auto after_bw = engine.all_widest(kNoExclude);
+      for (std::size_t src = 0; src < n; ++src) {
+        const bool listed =
+            std::find(invalidated.begin(), invalidated.end(),
+                      static_cast<NodeId>(src)) != invalidated.end();
+        if (listed) continue;
+        for (std::size_t b = 0; b < n; ++b) {
+          ASSERT_EQ(before_dist(src, b), after_dist(src, b))
+              << "unlisted source " << src << " changed (shortest), trial "
+              << trial << " step " << step;
+          ASSERT_EQ(before_bw(src, b), after_bw(src, b))
+              << "unlisted source " << src << " changed (widest), trial "
+              << trial << " step " << step;
+        }
+      }
+    }
+  }
+}
+
+TEST(PathEngineTest, NoOpUpdateInvalidatesNothing) {
+  util::Rng rng(21);
+  auto g = random_overlay(rng, 12, 3, 0.0);
+  PathEngine engine(g);
+  engine.all_shortest(kNoExclude);
+  engine.all_widest(kNoExclude);
+  engine.update_out_edges(3, g);  // row unchanged: announce refresh
+  EXPECT_FALSE(engine.last_update_rebuilt());
+  EXPECT_TRUE(engine.last_update_invalidated().empty());
+}
+
+TEST(PathEngineTest, RebuildAndFallbackReportFullRefresh) {
+  util::Rng rng(22);
+  auto g = random_overlay(rng, 12, 3, 0.0);
+  PathEngine engine(g);
+  // Construction is a rebuild: every cached row is void.
+  EXPECT_TRUE(engine.last_update_rebuilt());
+  engine.all_shortest(kNoExclude);
+  g.set_edge(0, 5, 1.0);
+  engine.update_out_edges(0, g);
+  EXPECT_FALSE(engine.last_update_rebuilt());
+  g.set_active(4, false);  // voids the one-row contract
+  engine.update_out_edges(0, g);
+  EXPECT_TRUE(engine.last_update_rebuilt());
+  EXPECT_TRUE(engine.last_update_invalidated().empty());
+  g.set_active(4, true);
+  engine.rebuild(g);
+  EXPECT_TRUE(engine.last_update_rebuilt());
 }
 
 TEST(PathEngineEquivalenceTest, ParallelWorkersMatchSerial) {
