@@ -1,0 +1,14 @@
+// Concurrent snapshot-serving load generator: reader threads replay route
+// lookups against a host::RouteService while churned BR epochs publish
+// fresh snapshots. Thin wrapper over the scenario driver
+// (scenarios/serve_load.scn).
+#include "exp/cli.hpp"
+
+int main(int argc, char** argv) {
+  return egoist::exp::run_scenario_main(
+      "serve_load", argc, argv,
+      "Serve load: M reader threads replay route lookups (zipf and uniform "
+      "destination mixes, hot source pool) against a RouteService over a "
+      "churning BR overlay, reporting queries/sec, p50/p99/p999 latency "
+      "and the service's publication telemetry.");
+}

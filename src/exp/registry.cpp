@@ -66,6 +66,11 @@ const std::vector<Experiment>& experiments() {
        "underlay with sampled candidates, landmark objectives and memory "
        "telemetry",
        &run_scale_frontier},
+      {"serve_load",
+       "concurrent snapshot serving: reader threads replay route lookups "
+       "against a RouteService while churned BR epochs publish snapshots, "
+       "reporting qps and p50/p99/p999 latency",
+       &run_serve_load},
   };
   return kExperiments;
 }

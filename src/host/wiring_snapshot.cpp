@@ -1,10 +1,38 @@
 #include "host/wiring_snapshot.hpp"
 
+#include <bit>
+#include <limits>
 #include <stdexcept>
 
 #include "overlay/scoring.hpp"
 
 namespace egoist::host {
+
+namespace {
+
+/// FNV-1a accumulator; fold() feeds one 64-bit word.
+struct Digest {
+  std::uint64_t hash = 0xCBF29CE484222325ull;
+  void fold(std::uint64_t word) {
+    hash ^= word;
+    hash *= 0x100000001B3ull;
+  }
+  void fold_double(double value) { fold(std::bit_cast<std::uint64_t>(value)); }
+  void fold_graph(const graph::Digraph& g) {
+    fold(g.node_count());
+    fold(g.edge_count());
+    for (std::size_t u = 0; u < g.node_count(); ++u) {
+      const auto node = static_cast<graph::NodeId>(u);
+      fold(g.is_active(node) ? 1 : 0);
+      for (const auto& edge : g.out_edges(node)) {
+        fold(static_cast<std::uint64_t>(edge.to));
+        fold_double(edge.weight);
+      }
+    }
+  }
+};
+
+}  // namespace
 
 const WiringSnapshot::State& WiringSnapshot::state() const {
   if (!state_) throw std::logic_error("empty WiringSnapshot");
@@ -48,6 +76,42 @@ std::vector<double> WiringSnapshot::node_efficiencies() const {
 std::vector<double> WiringSnapshot::node_bandwidth_scores() const {
   const auto& s = state();
   return overlay::score_node_bandwidth(s.true_bandwidth, s.targets);
+}
+
+double WiringSnapshot::node_cost(int node) const {
+  if (!is_online(node)) return std::numeric_limits<double>::quiet_NaN();
+  const auto& s = state();
+  return overlay::score_node_cost(s.true_cost, s.targets, s.preferences, node);
+}
+
+std::uint64_t WiringSnapshot::payload_checksum() const {
+  const auto& s = state();
+  Digest d;
+  d.fold_double(s.time);
+  d.fold(static_cast<std::uint64_t>(s.epoch));
+  d.fold(s.total_rewirings);
+  d.fold(s.total_evaluations);
+  d.fold(s.total_skipped_evals);
+  d.fold(s.dirty_nodes);
+  for (const bool on : s.online) d.fold(on ? 1 : 0);
+  for (const NodeId v : s.targets) d.fold(static_cast<std::uint64_t>(v));
+  for (const auto& row : s.wiring) {
+    d.fold(row.size());
+    for (const NodeId v : row) d.fold(static_cast<std::uint64_t>(v));
+  }
+  for (const auto& row : s.donated) {
+    d.fold(row.size());
+    for (const NodeId v : row) d.fold(static_cast<std::uint64_t>(v));
+  }
+  d.fold_graph(s.announced);
+  d.fold_graph(s.true_cost);
+  d.fold_graph(s.true_bandwidth);
+  d.fold(s.preferences.size());
+  for (const auto& row : s.preferences) {
+    d.fold(row.size());
+    for (const double p : row) d.fold_double(p);
+  }
+  return d.hash;
 }
 
 }  // namespace egoist::host

@@ -94,6 +94,21 @@ class WiringSnapshot {
   std::vector<double> node_efficiencies() const;
   std::vector<double> node_bandwidth_scores() const;
 
+  /// Single-node routing-cost score: one Dijkstra instead of the full
+  /// node_costs() sweep (point queries — RouteService::score). NaN for an
+  /// offline node; bit-identical to the matching node_costs() entry
+  /// otherwise.
+  double node_cost(int node) const;
+
+  /// Write-seal over the shared payload: a deterministic digest of every
+  /// field (wirings, graphs, counters, preferences). The payload is
+  /// immutable by contract — copies share it — but nothing in the type
+  /// system stops a buggy writer holding the pre-publication State from
+  /// scribbling on it. Publishers (host::RouteService) record the checksum
+  /// at publication and re-verify it when the last reader releases the
+  /// snapshot; any divergence means the contract was violated.
+  std::uint64_t payload_checksum() const;
+
  private:
   const State& state() const;
 

@@ -7,6 +7,23 @@
 
 namespace egoist::overlay {
 
+namespace {
+
+double node_cost_with_penalty(
+    const graph::Digraph& true_cost_graph, const std::vector<NodeId>& targets,
+    const std::vector<std::vector<double>>& preferences, NodeId v,
+    double penalty) {
+  const auto tree = graph::dijkstra(true_cost_graph, v);
+  if (preferences.empty()) {
+    return graph::uniform_routing_cost(tree.dist, v, targets, penalty);
+  }
+  return graph::routing_cost(tree.dist,
+                             preferences[static_cast<std::size_t>(v)], v,
+                             penalty);
+}
+
+}  // namespace
+
 std::vector<double> score_node_costs(
     const graph::Digraph& true_cost_graph, const std::vector<NodeId>& targets,
     const std::vector<std::vector<double>>& preferences) {
@@ -14,15 +31,18 @@ std::vector<double> score_node_costs(
   std::vector<double> costs;
   costs.reserve(targets.size());
   for (NodeId v : targets) {
-    const auto tree = graph::dijkstra(true_cost_graph, v);
-    if (preferences.empty()) {
-      costs.push_back(graph::uniform_routing_cost(tree.dist, v, targets, penalty));
-    } else {
-      costs.push_back(graph::routing_cost(
-          tree.dist, preferences[static_cast<std::size_t>(v)], v, penalty));
-    }
+    costs.push_back(
+        node_cost_with_penalty(true_cost_graph, targets, preferences, v, penalty));
   }
   return costs;
+}
+
+double score_node_cost(const graph::Digraph& true_cost_graph,
+                       const std::vector<NodeId>& targets,
+                       const std::vector<std::vector<double>>& preferences,
+                       NodeId node) {
+  return node_cost_with_penalty(true_cost_graph, targets, preferences, node,
+                                core::default_unreachable_penalty(true_cost_graph));
 }
 
 std::vector<double> score_node_efficiencies(const graph::Digraph& true_cost_graph,

@@ -23,6 +23,15 @@ std::vector<double> score_node_costs(
     const graph::Digraph& true_cost_graph, const std::vector<NodeId>& targets,
     const std::vector<std::vector<double>>& preferences);
 
+/// Single-node variant of score_node_costs: the routing cost of `node`
+/// alone (one Dijkstra instead of |targets|). Bit-identical to the
+/// matching entry of score_node_costs. Point queries (RouteService::score)
+/// use this so a per-node read never pays the full scoring sweep.
+double score_node_cost(const graph::Digraph& true_cost_graph,
+                       const std::vector<NodeId>& targets,
+                       const std::vector<std::vector<double>>& preferences,
+                       NodeId node);
+
 /// Efficiency (mean of 1/d over reachable targets, 0 when disconnected)
 /// per target node.
 std::vector<double> score_node_efficiencies(const graph::Digraph& true_cost_graph,

@@ -1,0 +1,96 @@
+#include "util/latency_histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace egoist::util {
+
+namespace {
+
+// Shift applied to values in bucket block `b` (block 0 = the exact
+// buckets, block b >= 1 covers [kSubCount << (b-1), kSubCount << b)).
+constexpr int block_shift(std::size_t block) {
+  return block == 0 ? 0 : static_cast<int>(block) - 1;
+}
+
+}  // namespace
+
+LatencyHistogram::LatencyHistogram() : buckets_(bucket_count(), 0) {}
+
+std::size_t LatencyHistogram::bucket_count() {
+  // Blocks: one exact block of kSubCount buckets, then one block of
+  // kSubCount per doubling up to kMaxValue.
+  const int max_shift = 40 - kSubBits;  // kMaxValue = 2^40
+  return static_cast<std::size_t>(max_shift + 1) * kSubCount;
+}
+
+std::size_t LatencyHistogram::bucket_of(std::uint64_t value) {
+  if (value >= kMaxValue) return bucket_count() - 1;
+  if (value < kSubCount) return static_cast<std::size_t>(value);
+  const int exponent = std::bit_width(value) - 1;  // >= kSubBits
+  const int shift = exponent - kSubBits;
+  const std::uint64_t sub = (value >> shift) - kSubCount;  // [0, kSubCount)
+  return (static_cast<std::size_t>(shift) + 1) * kSubCount +
+         static_cast<std::size_t>(sub);
+}
+
+std::uint64_t LatencyHistogram::bucket_lower(std::size_t index) {
+  const std::size_t block = index / kSubCount;
+  const std::uint64_t sub = index % kSubCount;
+  if (block == 0) return sub;
+  return (kSubCount + sub) << block_shift(block);
+}
+
+std::uint64_t LatencyHistogram::bucket_width(std::size_t index) {
+  const std::size_t block = index / kSubCount;
+  return 1ull << block_shift(block);
+}
+
+void LatencyHistogram::record(std::uint64_t value) {
+  ++buckets_[bucket_of(value)];
+  ++count_;
+  sum_ += value;
+  max_recorded_ = std::max(max_recorded_, value);
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  max_recorded_ = std::max(max_recorded_, other.max_recorded_);
+}
+
+double LatencyHistogram::mean() const {
+  return count_ == 0 ? 0.0
+                     : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+double LatencyHistogram::percentile(double p) const {
+  if (count_ == 0) throw std::invalid_argument("empty histogram");
+  if (p < 0.0 || p > 100.0) throw std::invalid_argument("p outside [0, 100]");
+  // Rank of the requested sample, 1-based, clamped into [1, count].
+  const double target = p / 100.0 * static_cast<double>(count_);
+  std::uint64_t rank = static_cast<std::uint64_t>(target);
+  if (static_cast<double>(rank) < target) ++rank;
+  rank = std::max<std::uint64_t>(rank, 1);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    seen += buckets_[i];
+    if (seen >= rank) {
+      // Interpolate inside the bucket by the rank's position among the
+      // bucket's samples.
+      const std::uint64_t before = seen - buckets_[i];
+      const double within = static_cast<double>(rank - before) /
+                            static_cast<double>(buckets_[i]);
+      return static_cast<double>(bucket_lower(i)) +
+             within * static_cast<double>(bucket_width(i));
+    }
+  }
+  return static_cast<double>(max_recorded_);  // unreachable
+}
+
+}  // namespace egoist::util

@@ -1,0 +1,275 @@
+// Concurrency battery for host::RouteService (the TSan CI job runs this
+// suite): reader threads hammer queries while epochs rewire and churn the
+// overlay on the host thread. The assertions pin the RCU contract:
+//
+//  - every answered query is internally consistent with SOME published
+//    snapshot (path edges exist in that snapshot's announced graph and sum
+//    to the reported cost — a torn read could not produce that),
+//  - retired snapshots drain to zero once readers release them (no leak,
+//    no use-after-free; ASan/TSan jobs double-check the latter),
+//  - service counters reconcile exactly with reader-side tallies,
+//  - epoch-end publication ordering: subscribers registered after the
+//    service observe the fresh epoch's publication from their callback,
+//  - serve-while-epoching determinism: trajectories with an active
+//    RouteService under reader load are bit-identical to trajectories with
+//    no readers, across workers {0,2,4} x incremental on/off.
+#include "host/route_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "../overlay/determinism_harness.hpp"
+#include "churn/churn.hpp"
+#include "host/overlay_host.hpp"
+#include "util/rng.hpp"
+
+namespace egoist {
+namespace {
+
+using testing::DeterminismCase;
+using testing::expect_same_trajectory;
+using testing::record_trajectory;
+
+host::OverlaySpec br_spec(std::uint64_t seed) {
+  overlay::OverlayConfig config;
+  config.policy = overlay::Policy::kBestResponse;
+  config.metric = overlay::Metric::kDelayPing;
+  config.k = 3;
+  config.seed = seed;
+  return host::OverlaySpec(config);
+}
+
+/// Validates one path answer against the snapshot that produced it:
+/// consecutive edges must exist in that snapshot's announced graph and
+/// their weights must sum to the reported cost. Any torn read (mixing two
+/// publications) breaks one of these with overwhelming probability.
+bool internally_consistent(const host::ServedSnapshot& pinned,
+                           const host::PathAnswer& answer,
+                           graph::NodeId src, graph::NodeId dst) {
+  const auto& announced = pinned.snapshot().announced_graph();
+  if (!answer.reachable) {
+    return answer.nodes.empty() && answer.cost == graph::kUnreachable;
+  }
+  if (answer.nodes.front() != src || answer.nodes.back() != dst) return false;
+  double total = 0.0;
+  for (std::size_t i = 0; i + 1 < answer.nodes.size(); ++i) {
+    if (!announced.has_edge(answer.nodes[i], answer.nodes[i + 1])) return false;
+    total += announced.edge_weight(answer.nodes[i], answer.nodes[i + 1]);
+  }
+  return std::abs(total - answer.cost) <= 1e-9 * (1.0 + answer.cost);
+}
+
+TEST(RouteServiceConcurrency, HammeredQueriesStayConsistentUnderChurn) {
+  constexpr std::size_t kNodes = 32;
+  constexpr int kReaders = 4;
+  constexpr int kEpochs = 10;
+
+  host::OverlayHost host(kNodes, 77);
+  churn::ChurnConfig churn_config;
+  churn_config.timescale = 0.05;  // accelerate: real joins/leaves in 10 epochs
+  churn_config.initial_on_fraction = 0.9;
+  churn::ChurnTrace trace(kNodes, kEpochs * 60.0, 99, churn_config);
+  const auto handle =
+      host.deploy(br_spec(7).epoch_period(60.0).staggered(5).churn(trace));
+  host::RouteService service(host, handle);
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> inconsistent{0};
+  std::vector<std::uint64_t> route_tallies(kReaders, 0);
+  std::vector<std::uint64_t> path_tallies(kReaders, 0);
+  std::vector<std::uint64_t> score_tallies(kReaders, 0);
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      util::Rng rng(1000 + static_cast<std::uint64_t>(r));
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto src = static_cast<graph::NodeId>(
+            rng.uniform_int(0, static_cast<std::int64_t>(kNodes) - 1));
+        const auto dst = static_cast<graph::NodeId>(
+            rng.uniform_int(0, static_cast<std::int64_t>(kNodes) - 1));
+        const auto pinned = service.acquire();
+        const auto route = pinned.route(src, dst);
+        ++route_tallies[static_cast<std::size_t>(r)];
+        const auto path = pinned.path(src, dst);
+        ++path_tallies[static_cast<std::size_t>(r)];
+        if (!internally_consistent(pinned, path, src, dst)) {
+          inconsistent.fetch_add(1, std::memory_order_relaxed);
+        }
+        // route and path answer from the same pinned view: they must agree.
+        if (route.reachable != path.reachable ||
+            (route.reachable && route.cost != path.cost) ||
+            (route.reachable && path.nodes.size() > 1 &&
+             route.next_hop != path.nodes[1])) {
+          inconsistent.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (rng.chance(0.05)) {
+          const double s = pinned.score(src);
+          ++score_tallies[static_cast<std::size_t>(r)];
+          if (pinned.snapshot().is_online(src)) {
+            if (!(s >= 0.0)) inconsistent.fetch_add(1, std::memory_order_relaxed);
+          } else if (!std::isnan(s)) {
+            inconsistent.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+
+  host.run_epochs(handle, kEpochs);
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& reader : readers) reader.join();
+
+  EXPECT_EQ(inconsistent.load(), 0u);
+
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.swaps, static_cast<std::uint64_t>(kEpochs));
+  EXPECT_EQ(stats.published_epoch, kEpochs);
+  EXPECT_EQ(stats.seal_violations, 0u);
+
+  // Counters reconcile exactly with the reader-side tallies.
+  std::uint64_t route_total = 0, path_total = 0, score_total = 0;
+  for (int r = 0; r < kReaders; ++r) {
+    route_total += route_tallies[static_cast<std::size_t>(r)];
+    path_total += path_tallies[static_cast<std::size_t>(r)];
+    score_total += score_tallies[static_cast<std::size_t>(r)];
+  }
+  EXPECT_EQ(stats.queries_route, route_total);
+  EXPECT_EQ(stats.queries_path, path_total);
+  EXPECT_EQ(stats.queries_score, score_total);
+  EXPECT_GT(stats.queries_served(), 0u);
+
+  // Grace period: with every reader joined, one reclaim drains the
+  // retired list to zero.
+  service.reclaim();
+  EXPECT_EQ(service.retired_pending(), 0u);
+}
+
+TEST(RouteServiceConcurrency, RetiredViewsDrainOnlyAfterReadersRelease) {
+  host::OverlayHost host(12, 3);
+  const auto handle = host.deploy(br_spec(11));
+  host::RouteService service(host, handle);
+
+  // Pin the initial publication, then swap it out twice.
+  auto pinned = std::make_unique<host::ServedSnapshot>(service.acquire());
+  host.run_epochs(handle, 2);
+  EXPECT_EQ(service.stats().swaps, 2u);
+
+  // The pinned view cannot be reclaimed while the reader holds it. (The
+  // intermediate epoch-1 view has already drained: publish() sweeps.)
+  service.reclaim();
+  EXPECT_EQ(service.retired_pending(), 1u);
+  EXPECT_EQ(pinned->publish_seq(), 1u);
+
+  // Queries through the superseded view still answer, and count as stale.
+  const auto before = service.stats().stale_served;
+  (void)pinned->route(0, 1);
+  EXPECT_GT(service.stats().stale_served, before);
+
+  // Release + reclaim: refcount drains to the retired list, view freed.
+  pinned.reset();
+  EXPECT_EQ(service.reclaim(), 1u);
+  EXPECT_EQ(service.retired_pending(), 0u);
+}
+
+TEST(RouteServiceConcurrency, FreshQueriesAreNotStale) {
+  host::OverlayHost host(12, 3);
+  const auto handle = host.deploy(br_spec(11));
+  host::RouteService service(host, handle);
+  host.run_epochs(handle, 3);
+  (void)service.route(0, 1);
+  (void)service.path(1, 2);
+  EXPECT_EQ(service.stats().stale_served, 0u);
+}
+
+TEST(RouteServiceConcurrency, EpochEndSubscribersAfterServiceSeeFreshPublication) {
+  host::OverlayHost host(12, 5);
+  const auto handle = host.deploy(br_spec(21));
+  host::RouteService service(host, handle);
+
+  // Dispatch fires callbacks in subscription order, and the service
+  // subscribed first: by the time any later epoch-end observer runs, the
+  // service has already swapped in the epoch's snapshot.
+  int observed = 0;
+  host.on_epoch_end(handle, [&](const host::EpochEvent& event) {
+    const auto pinned = service.acquire();
+    EXPECT_EQ(pinned.epoch(), event.epoch);
+    EXPECT_EQ(pinned.snapshot().total_rewirings(), event.total_rewirings);
+    ++observed;
+  });
+  host.run_epochs(handle, 4);
+  EXPECT_EQ(observed, 4);
+}
+
+TEST(RouteServiceConcurrency, AcquireIsValidBeforeAnyEpoch) {
+  host::OverlayHost host(12, 9);
+  const auto handle = host.deploy(br_spec(13));
+  host::RouteService service(host, handle);
+  const auto pinned = service.acquire();
+  ASSERT_TRUE(pinned.valid());
+  EXPECT_EQ(pinned.epoch(), 0);
+  EXPECT_EQ(pinned.publish_seq(), 1u);
+  EXPECT_EQ(service.stats().swaps, 0u);
+  // The bootstrap wiring is already queryable.
+  const auto answer = pinned.route(0, 1);
+  EXPECT_EQ(answer.epoch, 0);
+}
+
+TEST(RouteServiceConcurrency, RowCacheCapFallsBackToTransientRows) {
+  host::OverlayHost host(16, 9);
+  const auto handle = host.deploy(br_spec(13));
+  host::RouteService::Options options;
+  options.max_cached_sources = 2;
+  host::RouteService service(host, handle, options);
+  host.run_epochs(handle, 1);
+  for (graph::NodeId src = 0; src < 16; ++src) {
+    (void)service.route(src, (src + 1) % 16);
+  }
+  const auto stats = service.stats();
+  EXPECT_LE(stats.rows_built, 3u);  // soft cap: single thread stays exact +1
+  EXPECT_GT(stats.uncached_queries, 0u);
+  // Transient answers equal cached answers.
+  const auto a = service.route(0, 5);
+  const auto b = service.route(3, 5);
+  EXPECT_EQ(a.reachable, true);
+  EXPECT_EQ(b.reachable, true);
+}
+
+// --- Serve-while-epoching determinism (the lockstep satellite) ---
+
+class ServeDeterminism : public ::testing::TestWithParam<std::tuple<int, bool>> {};
+
+TEST_P(ServeDeterminism, TrajectoriesIdenticalWithAndWithoutReaders) {
+  const auto [workers, incremental] = GetParam();
+  DeterminismCase c;
+  c.nodes = 14;
+  c.host_seed = 11;
+  c.epochs = 5;
+  overlay::OverlayConfig config;
+  config.policy = overlay::Policy::kBestResponse;
+  config.metric = overlay::Metric::kDelayPing;
+  config.k = 3;
+  config.seed = 29;
+  config.epoch_workers = workers;
+  config.incremental = incremental;
+  c.spec = host::OverlaySpec(config);
+
+  const auto baseline = record_trajectory(c);
+  const auto served = record_trajectory(c, /*serve_readers=*/2);
+  expect_same_trajectory(baseline, served,
+                         "workers=" + std::to_string(workers) +
+                             " incremental=" + std::to_string(incremental));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WorkersByIncremental, ServeDeterminism,
+    ::testing::Combine(::testing::Values(0, 2, 4),
+                       ::testing::Values(false, true)));
+
+}  // namespace
+}  // namespace egoist

@@ -1,0 +1,116 @@
+// Write-sealing regression: WiringSnapshot::payload_checksum is recorded by
+// RouteService at publication and re-verified when the last reader releases
+// the view. These tests mutate a published payload behind the service's
+// back (const_cast — exactly the write the seal exists to catch) and assert
+// reclaim detects it; plus direct checksum determinism/sensitivity checks.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "graph/digraph.hpp"
+#include "host/overlay_host.hpp"
+#include "host/route_service.hpp"
+#include "host/wiring_snapshot.hpp"
+
+namespace egoist {
+namespace {
+
+host::OverlaySpec br_spec(std::uint64_t seed) {
+  overlay::OverlayConfig config;
+  config.policy = overlay::Policy::kBestResponse;
+  config.k = 3;
+  config.seed = seed;
+  return host::OverlaySpec(config);
+}
+
+/// Bumps the weight of some announced edge in the snapshot's payload —
+/// a forbidden write to a published (immutable-by-contract) snapshot.
+void corrupt_announced_edge(const host::WiringSnapshot& snap) {
+  auto& announced = const_cast<graph::Digraph&>(snap.announced_graph());
+  for (const auto src : snap.online_nodes()) {
+    const auto edges = announced.out_edges(src);
+    if (edges.empty()) continue;
+    announced.set_edge(src, edges[0].to, edges[0].weight + 1.0);
+    return;
+  }
+  FAIL() << "no announced edge to corrupt";
+}
+
+TEST(WiringSnapshotSeal, ChecksumIsDeterministicAndPayloadSensitive) {
+  host::OverlayHost host(12, 5);
+  const auto handle = host.deploy(br_spec(17));
+  host.run_epochs(handle, 1);
+
+  const auto snap = host.snapshot(handle);
+  const auto seal = snap.payload_checksum();
+  EXPECT_EQ(snap.payload_checksum(), seal);  // deterministic
+  const auto copy = snap;                    // shares the payload
+  EXPECT_EQ(copy.payload_checksum(), seal);
+
+  host.run_epochs(handle, 1);
+  EXPECT_NE(host.snapshot(handle).payload_checksum(), seal);
+
+  corrupt_announced_edge(snap);  // a single edge-weight flip is caught
+  EXPECT_NE(snap.payload_checksum(), seal);
+}
+
+TEST(WiringSnapshotSeal, MutatedPayloadIsCaughtAtReaderRelease) {
+  host::OverlayHost host(16, 3);
+  const auto handle = host.deploy(br_spec(23));
+  host::RouteService service(host, handle);  // verify_seals defaults on
+
+  // Pin the initial publication, then let an epoch supersede it.
+  auto pinned = std::make_unique<host::ServedSnapshot>(service.acquire());
+  host.run_epochs(handle, 1);
+  ASSERT_EQ(service.retired_pending(), 1u);
+
+  corrupt_announced_edge(pinned->snapshot());
+  pinned.reset();  // last reader releases -> seal re-verified on reclaim
+  EXPECT_THROW((void)service.reclaim(), std::logic_error);
+  EXPECT_EQ(service.stats().seal_violations, 1u);
+  // The violating view is still freed; the retired list does not wedge.
+  EXPECT_EQ(service.retired_pending(), 0u);
+}
+
+TEST(WiringSnapshotSeal, UntouchedPayloadPassesAtReaderRelease) {
+  host::OverlayHost host(16, 3);
+  const auto handle = host.deploy(br_spec(23));
+  host::RouteService service(host, handle);
+  auto pinned = std::make_unique<host::ServedSnapshot>(service.acquire());
+  host.run_epochs(handle, 1);
+  pinned.reset();
+  EXPECT_EQ(service.reclaim(), 1u);
+  EXPECT_EQ(service.stats().seal_violations, 0u);
+}
+
+TEST(WiringSnapshotSeal, SealingDisabledSkipsVerification) {
+  host::OverlayHost host(16, 3);
+  const auto handle = host.deploy(br_spec(23));
+  host::RouteService::Options options;
+  options.verify_seals = false;
+  host::RouteService service(host, handle, options);
+
+  auto pinned = std::make_unique<host::ServedSnapshot>(service.acquire());
+  host.run_epochs(handle, 1);
+  corrupt_announced_edge(pinned->snapshot());
+  pinned.reset();
+  EXPECT_EQ(service.reclaim(), 1u);  // mutation goes unnoticed by design
+  EXPECT_EQ(service.stats().seal_violations, 0u);
+}
+
+TEST(WiringSnapshotSeal, DestructionSwallowsSealViolations) {
+  host::OverlayHost host(16, 3);
+  const auto handle = host.deploy(br_spec(23));
+  auto service = std::make_unique<host::RouteService>(host, handle);
+  {
+    const auto pinned = service->acquire();
+    host.run_epochs(handle, 1);
+    corrupt_announced_edge(pinned.snapshot());
+  }  // released: the retired view is drained but corrupt
+  // The destructor's final sweep must not throw.
+  EXPECT_NO_THROW(service.reset());
+}
+
+}  // namespace
+}  // namespace egoist

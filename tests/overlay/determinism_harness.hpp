@@ -15,12 +15,17 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "churn/churn.hpp"
 #include "host/overlay_host.hpp"
+#include "host/route_service.hpp"
+#include "util/rng.hpp"
 
 namespace egoist::testing {
 
@@ -45,9 +50,37 @@ struct Trajectory {
   std::vector<std::uint64_t> rewirings;
 };
 
-inline Trajectory record_trajectory(const DeterminismCase& c) {
+/// Records the deployment's trajectory. With `serve_readers > 0`, a
+/// host::RouteService is attached and that many reader threads hammer
+/// route/path/score queries for the whole run — the serve-while-epoching
+/// lockstep check: queries are pure reads over published snapshots, so the
+/// recorded trajectory must be bit-identical to a run with no readers.
+inline Trajectory record_trajectory(const DeterminismCase& c,
+                                    int serve_readers = 0) {
   host::OverlayHost host(c.nodes, c.host_seed, c.env);
   const auto handle = host.deploy(c.spec);
+
+  std::unique_ptr<host::RouteService> service;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  if (serve_readers > 0) {
+    service = std::make_unique<host::RouteService>(host, handle);
+    for (int r = 0; r < serve_readers; ++r) {
+      readers.emplace_back([&, r] {
+        util::Rng rng(0xD15E4Dull + static_cast<std::uint64_t>(r));
+        const auto n = static_cast<std::int64_t>(c.nodes);
+        while (!stop.load(std::memory_order_relaxed)) {
+          const auto src = static_cast<graph::NodeId>(rng.uniform_int(0, n - 1));
+          const auto dst = static_cast<graph::NodeId>(rng.uniform_int(0, n - 1));
+          const auto pinned = service->acquire();
+          (void)pinned.route(src, dst);
+          (void)pinned.path(src, dst);
+          (void)pinned.score(src);
+        }
+      });
+    }
+  }
+
   Trajectory out;
   for (int epoch = 0; epoch < c.epochs; ++epoch) {
     host.run_epochs(handle, 1);
@@ -63,6 +96,12 @@ inline Trajectory record_trajectory(const DeterminismCase& c) {
                             ? snap.node_bandwidth_scores()
                             : snap.node_costs());
     out.rewirings.push_back(snap.total_rewirings());
+  }
+
+  if (serve_readers > 0) {
+    stop.store(true, std::memory_order_relaxed);
+    for (auto& reader : readers) reader.join();
+    service.reset();  // unsubscribes + final reclaim before the host dies
   }
   return out;
 }

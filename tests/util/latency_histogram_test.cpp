@@ -1,0 +1,213 @@
+#include "util/latency_histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace egoist {
+namespace {
+
+using util::LatencyHistogram;
+
+// --- Bucket geometry ---
+
+TEST(LatencyHistogramBuckets, BucketsTileTheRangeContiguously) {
+  const std::size_t buckets = LatencyHistogram::bucket_count();
+  ASSERT_GT(buckets, 0u);
+  EXPECT_EQ(LatencyHistogram::bucket_lower(0), 0u);
+  for (std::size_t i = 0; i + 1 < buckets; ++i) {
+    const auto lower = LatencyHistogram::bucket_lower(i);
+    const auto width = LatencyHistogram::bucket_width(i);
+    // Every bucket's first and last value map back to it, and the next
+    // bucket starts exactly where this one ends.
+    EXPECT_EQ(LatencyHistogram::bucket_of(lower), i);
+    EXPECT_EQ(LatencyHistogram::bucket_of(lower + width - 1), i);
+    EXPECT_EQ(LatencyHistogram::bucket_lower(i + 1), lower + width);
+  }
+  // The last bucket ends at kMaxValue and absorbs everything above it.
+  const std::size_t last = buckets - 1;
+  EXPECT_EQ(LatencyHistogram::bucket_lower(last) +
+                LatencyHistogram::bucket_width(last),
+            LatencyHistogram::kMaxValue);
+  EXPECT_EQ(LatencyHistogram::bucket_of(LatencyHistogram::kMaxValue), last);
+  EXPECT_EQ(
+      LatencyHistogram::bucket_of(std::numeric_limits<std::uint64_t>::max()),
+      last);
+}
+
+TEST(LatencyHistogramBuckets, SmallValuesGetExactBuckets) {
+  // Blocks 0 and 1 (values below 2 * kSubCount) have width-1 buckets:
+  // small latencies are recorded exactly.
+  for (std::uint64_t v = 0; v < 2 * LatencyHistogram::kSubCount; ++v) {
+    const auto i = LatencyHistogram::bucket_of(v);
+    EXPECT_EQ(LatencyHistogram::bucket_lower(i), v);
+    EXPECT_EQ(LatencyHistogram::bucket_width(i), 1u);
+  }
+}
+
+TEST(LatencyHistogramBuckets, RelativeQuantizationErrorIsBounded) {
+  // Above the exact range the bucket width never exceeds lower/kSubCount:
+  // any percentile is within 1/kSubCount of the true sample value.
+  util::Rng rng(7);
+  for (int trial = 0; trial < 10000; ++trial) {
+    const auto v = static_cast<std::uint64_t>(rng.uniform_int(
+        static_cast<std::int64_t>(2 * LatencyHistogram::kSubCount),
+        static_cast<std::int64_t>(LatencyHistogram::kMaxValue - 1)));
+    const auto i = LatencyHistogram::bucket_of(v);
+    const auto lower = LatencyHistogram::bucket_lower(i);
+    const auto width = LatencyHistogram::bucket_width(i);
+    ASSERT_LE(lower, v);
+    ASSERT_LT(v, lower + width);
+    EXPECT_LE(width * LatencyHistogram::kSubCount, lower)
+        << "value " << v << " bucket " << i;
+  }
+}
+
+// --- Recording and percentiles ---
+
+TEST(LatencyHistogram, CountSumMaxAndMean) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  h.record(10);
+  h.record(20);
+  h.record(90);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 120u);
+  EXPECT_EQ(h.max_recorded(), 90u);
+  EXPECT_DOUBLE_EQ(h.mean(), 40.0);
+}
+
+TEST(LatencyHistogram, PercentilesOnUniformRampAreWithinOneBucket) {
+  // 1..1000 once each: the true p-th percentile is ceil(10 * p); the
+  // histogram answer must land within the containing bucket (upper edge
+  // inclusive, since interpolation walks to the bucket's end).
+  LatencyHistogram h;
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.record(v);
+  const auto check = [&](double p, std::uint64_t truth) {
+    const auto i = LatencyHistogram::bucket_of(truth);
+    const double lo = static_cast<double>(LatencyHistogram::bucket_lower(i));
+    const double hi = lo + static_cast<double>(LatencyHistogram::bucket_width(i));
+    const double got = h.percentile(p);
+    EXPECT_GE(got, lo) << "p" << p;
+    EXPECT_LE(got, hi) << "p" << p;
+  };
+  check(50.0, 500);
+  check(99.0, 990);
+  check(99.9, 999);
+  check(100.0, 1000);
+}
+
+TEST(LatencyHistogram, PercentilesOnBimodalDistribution) {
+  // 900 fast queries at ~100ns, 100 slow at ~10us: p50 sits in the fast
+  // mode, p99 and p999 in the slow mode, each within 1/kSubCount relative.
+  LatencyHistogram h;
+  for (int i = 0; i < 900; ++i) h.record(100);
+  for (int i = 0; i < 100; ++i) h.record(10000);
+  const double rel = 1.0 / static_cast<double>(LatencyHistogram::kSubCount);
+  EXPECT_NEAR(h.p50(), 100.0, 100.0 * rel + 1.0);
+  EXPECT_NEAR(h.p99(), 10000.0, 10000.0 * rel + 1.0);
+  EXPECT_NEAR(h.p999(), 10000.0, 10000.0 * rel + 1.0);
+  EXPECT_EQ(h.max_recorded(), 10000u);
+}
+
+TEST(LatencyHistogram, SmallExactValuesGiveExactPercentileBounds) {
+  LatencyHistogram h;
+  for (std::uint64_t v = 1; v <= 50; ++v) h.record(v);  // all exact buckets
+  // rank(p50) = 25 -> bucket [25, 26); interpolation reports the upper edge.
+  EXPECT_DOUBLE_EQ(h.p50(), 26.0);
+  // p0 clamps to rank 1 -> first occupied bucket.
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 51.0);
+}
+
+TEST(LatencyHistogram, PercentileValidation) {
+  LatencyHistogram h;
+  EXPECT_THROW((void)h.p50(), std::invalid_argument);
+  h.record(5);
+  EXPECT_THROW((void)h.percentile(-0.1), std::invalid_argument);
+  EXPECT_THROW((void)h.percentile(100.1), std::invalid_argument);
+  EXPECT_NO_THROW((void)h.percentile(0.0));
+  EXPECT_NO_THROW((void)h.percentile(100.0));
+}
+
+TEST(LatencyHistogram, OverflowValuesClampIntoLastBucket) {
+  LatencyHistogram h;
+  h.record(std::numeric_limits<std::uint64_t>::max());
+  h.record(LatencyHistogram::kMaxValue);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.buckets().back(), 2u);
+  EXPECT_LE(h.p50(), static_cast<double>(LatencyHistogram::kMaxValue));
+}
+
+// --- Merge ---
+
+LatencyHistogram random_histogram(std::uint64_t seed, int samples) {
+  util::Rng rng(seed);
+  LatencyHistogram h;
+  for (int i = 0; i < samples; ++i) {
+    // Mix of magnitudes across several blocks.
+    const auto magnitude = rng.uniform_int(0, 30);
+    h.record(static_cast<std::uint64_t>(
+        rng.uniform_int(0, (std::int64_t{1} << magnitude))));
+  }
+  return h;
+}
+
+void expect_identical(const LatencyHistogram& a, const LatencyHistogram& b) {
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_EQ(a.sum(), b.sum());
+  EXPECT_EQ(a.max_recorded(), b.max_recorded());
+  EXPECT_EQ(a.buckets(), b.buckets());
+}
+
+TEST(LatencyHistogramMerge, MergeIsAssociativeAndCommutative) {
+  const auto a = random_histogram(1, 4000);
+  const auto b = random_histogram(2, 3000);
+  const auto c = random_histogram(3, 2000);
+
+  LatencyHistogram ab_c = a;   // (a + b) + c
+  ab_c.merge(b);
+  ab_c.merge(c);
+  LatencyHistogram a_bc = b;   // a + (b + c), built commuted
+  a_bc.merge(c);
+  a_bc.merge(a);
+  expect_identical(ab_c, a_bc);
+}
+
+TEST(LatencyHistogramMerge, MergeEqualsConcatenatedStream) {
+  // Per-thread histograms merged after join must equal one histogram fed
+  // the concatenated sample stream — the property the bench relies on.
+  LatencyHistogram merged;
+  LatencyHistogram concatenated;
+  for (std::uint64_t t = 0; t < 4; ++t) {
+    const auto part = random_histogram(100 + t, 2500);
+    merged.merge(part);
+    util::Rng rng(100 + t);  // replay the same stream
+    for (int i = 0; i < 2500; ++i) {
+      const auto magnitude = rng.uniform_int(0, 30);
+      concatenated.record(static_cast<std::uint64_t>(
+          rng.uniform_int(0, (std::int64_t{1} << magnitude))));
+    }
+  }
+  expect_identical(merged, concatenated);
+  EXPECT_DOUBLE_EQ(merged.p99(), concatenated.p99());
+}
+
+TEST(LatencyHistogramMerge, MergeWithEmptyIsIdentity) {
+  const auto a = random_histogram(9, 1000);
+  LatencyHistogram merged = a;
+  merged.merge(LatencyHistogram{});
+  expect_identical(merged, a);
+  LatencyHistogram other;
+  other.merge(a);
+  expect_identical(other, a);
+}
+
+}  // namespace
+}  // namespace egoist
