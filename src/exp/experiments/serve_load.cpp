@@ -1,4 +1,5 @@
-// serve_load: the concurrent snapshot-serving bench (RouteService).
+// serve_load: the concurrent snapshot-serving bench (RouteService) — the
+// IN-PROCESS leg of the serving stack (serve_remote is the socket leg).
 //
 // Deploys one BR overlay at n (procedural underlay by default, §5 scale
 // mode) and attaches a host::RouteService. `readers` threads then replay
@@ -16,73 +17,23 @@
 // emits one row per destination mix. The host loop always completes at
 // least one epoch per window — swap count > 0 by construction — and then
 // keeps going until `duration` wall seconds have elapsed (or `max-epochs`
-// epochs ran, whichever is first).
-#include <algorithm>
-#include <atomic>
-#include <chrono>
-#include <cmath>
-#include <cstdint>
+// epochs ran, whichever is first). The deployment builder and window loop
+// live in exp/serve_workload.{hpp,cpp}, shared with serve_remote so the
+// two legs measure exactly the same workload.
 #include <iomanip>
-#include <span>
 #include <sstream>
 #include <stdexcept>
-#include <thread>
 #include <vector>
 
-#include "churn/churn.hpp"
 #include "exp/common.hpp"
 #include "exp/experiments/experiments.hpp"
+#include "exp/serve_workload.hpp"
 #include "host/route_service.hpp"
-#include "util/latency_histogram.hpp"
+#include "util/stats.hpp"
 
 namespace egoist::exp {
 
-namespace {
-
-/// Zipf sampler over ranks [0, n): P(rank r) ~ (r + 1)^-s. Destination id
-/// == rank; with s ~ 1 a handful of nodes absorb most lookups, the classic
-/// hot-content skew.
-class ZipfSampler {
- public:
-  ZipfSampler(std::size_t n, double exponent) : cdf_(n) {
-    double total = 0.0;
-    for (std::size_t r = 0; r < n; ++r) {
-      total += 1.0 / std::pow(static_cast<double>(r + 1), exponent);
-      cdf_[r] = total;
-    }
-    for (auto& c : cdf_) c /= total;
-  }
-
-  overlay::NodeId draw(util::Rng& rng) const {
-    const auto it =
-        std::upper_bound(cdf_.begin(), cdf_.end(), rng.uniform());
-    return static_cast<overlay::NodeId>(
-        std::min<std::size_t>(static_cast<std::size_t>(it - cdf_.begin()),
-                              cdf_.size() - 1));
-  }
-
- private:
-  std::vector<double> cdf_;
-};
-
-struct ReaderTally {
-  util::LatencyHistogram latency;  ///< nanoseconds per route() call
-  std::uint64_t queries = 0;
-  std::uint64_t unreachable = 0;
-};
-
-double seconds_since(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                       start)
-      .count();
-}
-
-}  // namespace
-
 void run_serve_load(const ParamReader& params, ResultSink& sink) {
-  const int n_param = params.get_int("n", 10000);
-  if (n_param < 8) throw std::invalid_argument("n must be >= 8");
-  const std::size_t n = static_cast<std::size_t>(n_param);
   const int readers = params.get_int("readers", 4);
   if (readers < 1) throw std::invalid_argument("readers must be >= 1");
   const double duration_s = params.get_double("duration", 6.0);
@@ -99,60 +50,19 @@ void run_serve_load(const ParamReader& params, ResultSink& sink) {
   if (sources < 1) throw std::invalid_argument("sources must be >= 1");
   const int max_epochs = params.get_int("max-epochs", 64);
   if (max_epochs < 1) throw std::invalid_argument("max-epochs must be >= 1");
-  const int warmup = params.get_int("warmup", 2);
-  if (warmup < 0) throw std::invalid_argument("warmup must be >= 0");
-  const double epoch_s = params.get_double("epoch-seconds", 60.0);
 
-  overlay::OverlayConfig config;
-  config.policy = overlay::parse_policy(params.get_string("policy", "BR"));
-  config.metric =
-      overlay::parse_metric(params.get_string("metric", "delay(ping)"));
-  config.k = static_cast<std::size_t>(params.get_int("k", 10));
-  config.seed = params.get_seed("seed", 42);
-  config.br_sample = static_cast<std::size_t>(params.get_int("br-sample", 32));
-  config.br_landmarks =
-      static_cast<std::size_t>(params.get_int("br-landmarks", 64));
-  config.epoch_workers = params.get_int("workers", 0);
-  config.incremental = params.get_bool("incremental", false);
-  if (config.incremental) {
-    config.drift_threshold = params.get_double("drift-threshold", 0.05);
-  }
-
-  auto env_config = parse_underlay(params);
-  // Serving is a scale-regime workload; default to the O(n) substrate.
-  if (params.spec().find("underlay") == nullptr) {
-    env_config.underlay = net::UnderlayKind::kProcedural;
-  }
-  env_config.coord_warmup_rounds =
-      params.get_int("coord-warmup", env_config.coord_warmup_rounds);
-
-  host::RouteService::Options service_options;
-  service_options.max_cached_sources =
-      static_cast<std::size_t>(params.get_int("max-cached-sources", 256));
-  service_options.verify_seals = params.get_bool("verify-seals", true);
-
-  host::OverlaySpec spec(config);
-  spec.epoch_period(epoch_s);
-  const double churn_timescale = params.get_double("churn-timescale", 1.0);
-  if (params.get_bool("churn", true)) {
-    // The trace must cover warmup plus every serving window's worst case.
-    churn::ChurnConfig churn_config;
-    churn_config.timescale = churn_timescale;
-    churn_config.initial_on_fraction = 0.9;
-    const double horizon =
-        (warmup + static_cast<double>(mixes.size()) * max_epochs) * epoch_s;
-    spec.churn(churn::ChurnTrace(n, horizon, config.seed ^ 0xC0FFEEull,
-                                 churn_config));
-  }
-
-  host::OverlayHost host(n, config.seed, env_config);
-  const auto handle = host.deploy(spec);
-  if (warmup > 0) host.run_epochs(handle, warmup);
+  const auto deployment = read_serve_deployment(
+      params, static_cast<double>(mixes.size()) * max_epochs);
+  const std::size_t n = deployment.n;
+  auto serving = deploy_serving_overlay(deployment);
+  host::OverlayHost& host = *serving.host;
+  const auto handle = serving.handle;
 
   sink.section(
-      "serve load: " + std::string(overlay::to_string(config.policy)) +
+      "serve load: " +
+          std::string(overlay::to_string(deployment.config.policy)) +
           " n=" + std::to_string(n) + " on " +
-          net::to_string(env_config.underlay) + " underlay",
+          net::to_string(deployment.env.underlay) + " underlay",
       std::to_string(readers) + " reader thread(s) replaying route lookups "
           "against a RouteService (hot pool of " + std::to_string(sources) +
           " sources, " + params.get_string("mix", "zipf,uniform") +
@@ -172,72 +82,18 @@ void run_serve_load(const ParamReader& params, ResultSink& sink) {
 
   for (std::size_t m = 0; m < mixes.size(); ++m) {
     const std::string& mix = mixes[m];
-    const bool zipf = mix == "zipf";
-    const ZipfSampler zipf_sampler(zipf ? n : 1, zipf_exponent);
+    const auto pool =
+        hot_source_pool(host.snapshot(handle), deployment.config.seed, m,
+                        static_cast<std::size_t>(sources));
 
-    // Hot source pool: drawn from the currently online set, so the row
-    // cache covers the whole pool and queries stay O(1) after the first
-    // touch per publication.
-    util::Rng pool_rng(config.seed ^ (0x5E47Eull + m));
-    const auto online = host.snapshot(handle).online_nodes();
-    const auto pool = pool_rng.sample_without_replacement(
-        std::span<const overlay::NodeId>(online),
-        std::min<std::size_t>(static_cast<std::size_t>(sources),
-                              online.size()));
-
-    host::RouteService service(host, handle, service_options);
+    host::RouteService service(host, handle, deployment.service_options);
     const std::uint64_t rewirings_mark =
         host.snapshot(handle).total_rewirings();
 
-    std::atomic<bool> stop{false};
-    std::vector<ReaderTally> tallies(static_cast<std::size_t>(readers));
-    std::vector<std::thread> threads;
-    threads.reserve(static_cast<std::size_t>(readers));
-    for (int r = 0; r < readers; ++r) {
-      threads.emplace_back([&, r] {
-        auto& tally = tallies[static_cast<std::size_t>(r)];
-        util::Rng rng(config.seed ^ (m * 1000 + 17 * r + 1));
-        const auto n_id = static_cast<std::int64_t>(n);
-        while (!stop.load(std::memory_order_relaxed)) {
-          const auto src = pool[static_cast<std::size_t>(rng.uniform_int(
-              0, static_cast<std::int64_t>(pool.size()) - 1))];
-          const auto dst = zipf
-                               ? zipf_sampler.draw(rng)
-                               : static_cast<overlay::NodeId>(
-                                     rng.uniform_int(0, n_id - 1));
-          const auto start = std::chrono::steady_clock::now();
-          const auto answer = service.route(src, dst);
-          const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
-                              std::chrono::steady_clock::now() - start)
-                              .count();
-          tally.latency.record(static_cast<std::uint64_t>(ns));
-          ++tally.queries;
-          if (!answer.reachable) ++tally.unreachable;
-        }
-      });
-    }
+    const auto window = run_inproc_window(
+        host, handle, service, pool, mix == "zipf", zipf_exponent, n, readers,
+        duration_s, max_epochs, deployment.config.seed, m);
 
-    // The serving window: epochs churn and publish under the readers. The
-    // do-while guarantees at least one swap per window.
-    const auto serve_start = std::chrono::steady_clock::now();
-    int epochs_run = 0;
-    do {
-      host.run_epochs(handle, 1);
-      ++epochs_run;
-    } while (seconds_since(serve_start) < duration_s &&
-             epochs_run < max_epochs);
-    stop.store(true, std::memory_order_relaxed);
-    for (auto& thread : threads) thread.join();
-    const double elapsed = seconds_since(serve_start);
-
-    util::LatencyHistogram merged;
-    std::uint64_t queries = 0;
-    std::uint64_t unreachable = 0;
-    for (const auto& tally : tallies) {
-      merged.merge(tally.latency);
-      queries += tally.queries;
-      unreachable += tally.unreachable;
-    }
     service.reclaim();
     const auto stats = service.stats();
     const std::uint64_t rewirings =
@@ -249,25 +105,25 @@ void run_serve_load(const ParamReader& params, ResultSink& sink) {
       return out.str();
     };
     std::ostringstream elapsed_str, qps_str;
-    elapsed_str << std::fixed << std::setprecision(2) << elapsed;
+    elapsed_str << std::fixed << std::setprecision(2) << window.elapsed_s;
     qps_str << std::fixed << std::setprecision(0)
-            << static_cast<double>(queries) / elapsed;
+            << static_cast<double>(window.queries) / window.elapsed_s;
     table.add_row({std::to_string(n),
-                   net::to_string(env_config.underlay),
+                   net::to_string(deployment.env.underlay),
                    std::to_string(readers),
                    std::to_string(pool.size()),
                    mix,
                    elapsed_str.str(),
-                   std::to_string(epochs_run),
+                   std::to_string(window.epochs),
                    std::to_string(stats.swaps),
                    std::to_string(rewirings),
-                   std::to_string(queries),
+                   std::to_string(window.queries),
                    qps_str.str(),
-                   us(merged.count() ? merged.p50() : 0.0),
-                   us(merged.count() ? merged.p99() : 0.0),
-                   us(merged.count() ? merged.p999() : 0.0),
-                   us(static_cast<double>(merged.max_recorded())),
-                   std::to_string(unreachable),
+                   us(window.latency.count() ? window.latency.p50() : 0.0),
+                   us(window.latency.count() ? window.latency.p99() : 0.0),
+                   us(window.latency.count() ? window.latency.p999() : 0.0),
+                   us(static_cast<double>(window.latency.max_recorded())),
+                   std::to_string(window.unreachable),
                    std::to_string(stats.stale_served),
                    std::to_string(stats.rows_built),
                    std::to_string(stats.rows_discarded),

@@ -1,0 +1,495 @@
+// serve_remote: the out-of-process serving bench — spawns egoistd and
+// hammers it over loopback TCP and a Unix-domain socket.
+//
+// One daemon process is forked (the egoistd binary next to this one, or
+// knob `egoistd-bin`), configured with exactly the deployment knobs this
+// scenario carries — the deployment builder is shared
+// (exp/serve_workload.hpp), so the daemon's overlay is bit-identical to
+// the local comparison overlay this process deploys. After the daemon's
+// "EGOISTD READY" handshake, each (transport × mix) pair gets one serving
+// window: `readers` client threads, each with its own pipelined
+// rpc::Client (depth `pipeline-depth`), replay the serve_load workload —
+// hot source pool, zipf or uniform destinations — while the daemon keeps
+// churning epochs on its side of the socket. Per-request latency is
+// stamped at flush() and measured at each take_*() (the honest pipelined
+// number: full round trip including queueing behind the batch).
+//
+// After the remote windows, the same workload runs in-process against the
+// local overlay (`inproc-compare`) — serve_load's exact inner loop — so
+// every mix gets a socket row and an in-process row side by side: the cost
+// of the wire. The daemon is then SIGTERMed and must exit 0 after proving
+// RouteService::drain — the "daemon" table carries its exit code, drain
+// flag and transport counters, which CI gates on (qps floor,
+// decode_errors == 0, seal_violations == 0, clean exit).
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "exp/common.hpp"
+#include "exp/experiments/experiments.hpp"
+#include "exp/serve_workload.hpp"
+#include "host/route_service.hpp"
+#include "rpc/client.hpp"
+#include "util/stats.hpp"
+
+namespace egoist::exp {
+
+namespace {
+
+/// The spawned daemon: pid plus the read end of its stdout.
+struct Daemon {
+  pid_t pid = -1;
+  int out_fd = -1;
+  int tcp_port = -1;
+  std::string uds_path;
+};
+
+std::string self_dir() {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) return ".";
+  buf[n] = '\0';
+  std::string path(buf);
+  const auto slash = path.rfind('/');
+  return slash == std::string::npos ? "." : path.substr(0, slash);
+}
+
+Daemon spawn_daemon(const std::string& binary,
+                    const std::vector<std::string>& args) {
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) {
+    throw std::runtime_error("pipe failed: " + std::string(strerror(errno)));
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    throw std::runtime_error("fork failed: " + std::string(strerror(errno)));
+  }
+  if (pid == 0) {
+    ::dup2(pipe_fds[1], STDOUT_FILENO);
+    ::close(pipe_fds[0]);
+    ::close(pipe_fds[1]);
+    std::vector<char*> argv;
+    argv.push_back(const_cast<char*>(binary.c_str()));
+    for (const auto& arg : args) argv.push_back(const_cast<char*>(arg.c_str()));
+    argv.push_back(nullptr);
+    ::execv(binary.c_str(), argv.data());
+    // exec failed; the parent sees EOF before READY and reports it.
+    ::perror("execv egoistd");
+    ::_exit(127);
+  }
+  ::close(pipe_fds[1]);
+  // Nonblocking read end: read_line polls with a deadline instead of
+  // hanging forever on a silent daemon.
+  ::fcntl(pipe_fds[0], F_SETFL,
+          ::fcntl(pipe_fds[0], F_GETFL, 0) | O_NONBLOCK);
+  Daemon daemon;
+  daemon.pid = pid;
+  daemon.out_fd = pipe_fds[0];
+  return daemon;
+}
+
+/// Reads one '\n'-terminated line from the daemon's stdout, waiting up to
+/// the deadline. Returns false on EOF (daemon died).
+bool read_line(int fd, std::string& line,
+               std::chrono::steady_clock::time_point deadline) {
+  line.clear();
+  char c;
+  for (;;) {
+    const ssize_t n = ::read(fd, &c, 1);
+    if (n == 1) {
+      if (c == '\n') return true;
+      line.push_back(c);
+      continue;
+    }
+    if (n == 0) return false;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= deadline) {
+        throw std::runtime_error("timed out waiting for egoistd output");
+      }
+      struct pollfd pfd = {fd, POLLIN, 0};
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - now);
+      ::poll(&pfd, 1, static_cast<int>(std::min<long long>(
+                          left.count(), 1000)));
+      continue;
+    }
+    throw std::runtime_error("reading egoistd output: " +
+                             std::string(strerror(errno)));
+  }
+}
+
+/// "key=value" token scan over a daemon status line.
+std::string line_field(const std::string& line, const std::string& key) {
+  std::istringstream in(line);
+  std::string token;
+  while (in >> token) {
+    if (token.size() > key.size() + 1 &&
+        token.compare(0, key.size(), key) == 0 && token[key.size()] == '=') {
+      return token.substr(key.size() + 1);
+    }
+  }
+  return "";
+}
+
+/// One remote serving window: `readers` threads of pipelined ROUTE calls.
+WindowResult run_remote_window(const std::string& transport,
+                               const std::string& host, int tcp_port,
+                               const std::string& uds_path,
+                               std::span<const overlay::NodeId> pool,
+                               bool zipf, double zipf_exponent, std::size_t n,
+                               int readers, int depth, double duration_s,
+                               std::uint64_t seed, std::size_t window) {
+  const ZipfSampler zipf_sampler(zipf ? n : 1, zipf_exponent);
+
+  struct ClientTally {
+    util::LatencyHistogram latency;
+    std::uint64_t queries = 0;
+    std::uint64_t unreachable = 0;
+    std::string error;
+  };
+
+  std::atomic<bool> stop{false};
+  std::vector<ClientTally> tallies(static_cast<std::size_t>(readers));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(readers));
+  for (int r = 0; r < readers; ++r) {
+    threads.emplace_back([&, r] {
+      auto& tally = tallies[static_cast<std::size_t>(r)];
+      try {
+        rpc::Client client =
+            transport == "uds" ? rpc::Client::connect_uds(uds_path)
+                               : rpc::Client::connect_tcp(host, tcp_port);
+        util::Rng rng(seed ^ (window * 1000 +
+                              17 * static_cast<std::size_t>(r) + 1));
+        const auto n_id = static_cast<std::int64_t>(n);
+        while (!stop.load(std::memory_order_relaxed)) {
+          for (int i = 0; i < depth; ++i) {
+            const auto src = pool[static_cast<std::size_t>(rng.uniform_int(
+                0, static_cast<std::int64_t>(pool.size()) - 1))];
+            const auto dst =
+                zipf ? zipf_sampler.draw(rng)
+                     : static_cast<overlay::NodeId>(
+                           rng.uniform_int(0, n_id - 1));
+            client.post_route(src, dst);
+          }
+          client.flush();
+          // Every request in the batch left the socket at flush time, so
+          // each take measures its full pipelined round trip.
+          const auto sent = std::chrono::steady_clock::now();
+          for (int i = 0; i < depth; ++i) {
+            const auto resp = client.take_route();
+            const auto ns =
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - sent)
+                    .count();
+            tally.latency.record(static_cast<std::uint64_t>(ns));
+            ++tally.queries;
+            if (!resp.reachable) ++tally.unreachable;
+          }
+        }
+      } catch (const std::exception& e) {
+        tally.error = e.what();
+        stop.store(true, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  while (std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+                 .count() < duration_s &&
+         !stop.load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& thread : threads) thread.join();
+
+  WindowResult result;
+  result.elapsed_s = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+  for (const auto& tally : tallies) {
+    if (!tally.error.empty()) {
+      throw std::runtime_error("remote window (" + transport +
+                               "): " + tally.error);
+    }
+    result.latency.merge(tally.latency);
+    result.queries += tally.queries;
+    result.unreachable += tally.unreachable;
+  }
+  return result;
+}
+
+std::string format_us(double nanos) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(2) << nanos / 1000.0;
+  return out.str();
+}
+
+std::string format_fixed(double value, int precision) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << value;
+  return out.str();
+}
+
+}  // namespace
+
+void run_serve_remote(const ParamReader& params, ResultSink& sink) {
+  const int readers = params.get_int("readers", 4);
+  if (readers < 1) throw std::invalid_argument("readers must be >= 1");
+  const double duration_s = params.get_double("duration", 2.0);
+  if (duration_s <= 0.0) throw std::invalid_argument("duration must be > 0");
+  const auto mixes = split_csv(params.get_string("mix", "zipf,uniform"));
+  for (const auto& mix : mixes) {
+    if (mix != "zipf" && mix != "uniform") {
+      throw std::invalid_argument("mix must be zipf or uniform, got " + mix);
+    }
+  }
+  const auto transports = split_csv(params.get_string("transports", "uds,tcp"));
+  for (const auto& transport : transports) {
+    if (transport != "uds" && transport != "tcp") {
+      throw std::invalid_argument("transports must be uds or tcp, got " +
+                                  transport);
+    }
+  }
+  if (mixes.empty() || transports.empty()) {
+    throw std::invalid_argument("empty mix or transports list");
+  }
+  const double zipf_exponent = params.get_double("zipf-exponent", 0.9);
+  const int sources = params.get_int("sources", 8);
+  if (sources < 1) throw std::invalid_argument("sources must be >= 1");
+  const int max_epochs = params.get_int("max-epochs", 64);
+  if (max_epochs < 1) throw std::invalid_argument("max-epochs must be >= 1");
+  const int depth = params.get_int("pipeline-depth", 16);
+  if (depth < 1) throw std::invalid_argument("pipeline-depth must be >= 1");
+  const bool inproc_compare = params.get_bool("inproc-compare", true);
+  const double ready_timeout_s = params.get_double("ready-timeout", 300.0);
+  std::string egoistd_bin = params.get_string("egoistd-bin", "");
+  if (egoistd_bin.empty()) {
+    // Beside this binary (the bench layout), else the sibling bench/
+    // directory (in-process callers like the registry smoke test).
+    egoistd_bin = self_dir() + "/egoistd";
+    if (::access(egoistd_bin.c_str(), X_OK) != 0) {
+      const auto sibling = self_dir() + "/../bench/egoistd";
+      if (::access(sibling.c_str(), X_OK) == 0) egoistd_bin = sibling;
+    }
+  }
+
+  // The daemon keeps churning across every remote window, so its churn
+  // trace must cover the worst case; the local comparison overlay runs at
+  // most one window per mix.
+  const int total_windows =
+      static_cast<int>(transports.size() * mixes.size()) +
+      static_cast<int>(inproc_compare ? mixes.size() : 0);
+  const auto deployment =
+      read_serve_deployment(params, static_cast<double>(total_windows) *
+                                        max_epochs);
+  const std::size_t n = deployment.n;
+
+  // Daemon args: listeners + epoch bound + the forwarded deployment knobs.
+  const std::string uds_path =
+      "/tmp/egoistd-" + std::to_string(::getpid()) + ".sock";
+  std::vector<std::string> args{
+      "--listen", "127.0.0.1:0", "--uds", uds_path, "--max-epochs",
+      std::to_string(total_windows * max_epochs)};
+  for (const char* key : serve_deployment_keys()) {
+    if (const auto* value = params.spec().find(key)) {
+      args.push_back("--" + std::string(key) + "=" + *value);
+    }
+  }
+
+  // Spawn first (fork while this process is still small), then deploy the
+  // local comparison overlay while the daemon warms up its own.
+  Daemon daemon = spawn_daemon(egoistd_bin, args);
+  ServingOverlay serving;
+  std::string ready_error;
+  try {
+    serving = deploy_serving_overlay(deployment);
+
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(ready_timeout_s));
+    std::string line;
+    for (;;) {
+      if (!read_line(daemon.out_fd, line, deadline)) {
+        throw std::runtime_error("egoistd exited before READY (" +
+                                 egoistd_bin + ")");
+      }
+      if (line.rfind("EGOISTD READY", 0) == 0) break;
+    }
+    daemon.tcp_port = std::stoi(line_field(line, "tcp"));
+    daemon.uds_path = line_field(line, "uds");
+    if (line_field(line, "n") != std::to_string(n)) {
+      throw std::runtime_error("egoistd deployed a different n: " + line);
+    }
+  } catch (...) {
+    ::kill(daemon.pid, SIGKILL);
+    ::waitpid(daemon.pid, nullptr, 0);
+    ::close(daemon.out_fd);
+    throw;
+  }
+
+  host::OverlayHost& local_host = *serving.host;
+  const auto handle = serving.handle;
+
+  sink.section(
+      "serve remote: egoistd n=" + std::to_string(n) + " over " +
+          params.get_string("transports", "uds,tcp"),
+      std::to_string(readers) + " client thread(s), pipeline depth " +
+          std::to_string(depth) + ", hammer a spawned egoistd daemon with "
+          "the serve_load workload (hot pool of " + std::to_string(sources) +
+          " sources, " + params.get_string("mix", "zipf,uniform") +
+          " destination mix) while it churns epochs behind the socket; "
+          "latency is the full pipelined round trip in microseconds. The "
+          "inproc rows replay the identical workload against an in-process "
+          "RouteService on a bit-identical local overlay — the cost of the "
+          "wire.");
+
+  util::Table table({"transport", "mix", "n", "clients", "depth",
+                     "duration_s", "epochs", "queries", "qps", "p50_us",
+                     "p99_us", "p999_us", "max_us", "unreachable",
+                     "decode_errors", "error_responses", "seal_violations"});
+
+  const auto add_row = [&](const std::string& transport,
+                           const std::string& mix, int row_depth,
+                           const WindowResult& window, std::uint64_t epochs,
+                           std::uint64_t decode_errors,
+                           std::uint64_t error_responses,
+                           std::uint64_t seal_violations) {
+    table.add_row(
+        {transport, mix, std::to_string(n), std::to_string(readers),
+         std::to_string(row_depth), format_fixed(window.elapsed_s, 2),
+         std::to_string(epochs), std::to_string(window.queries),
+         format_fixed(static_cast<double>(window.queries) / window.elapsed_s,
+                      0),
+         format_us(window.latency.count() ? window.latency.p50() : 0.0),
+         format_us(window.latency.count() ? window.latency.p99() : 0.0),
+         format_us(window.latency.count() ? window.latency.p999() : 0.0),
+         format_us(static_cast<double>(window.latency.max_recorded())),
+         std::to_string(window.unreachable), std::to_string(decode_errors),
+         std::to_string(error_responses), std::to_string(seal_violations)});
+  };
+
+  std::size_t window_index = 0;
+  wire::StatsResponse final_stats;
+  int exit_code = -1;
+  std::string exit_line;
+  try {
+    // Control client for the daemon's counters (UDS when available).
+    rpc::Client control =
+        !daemon.uds_path.empty() && daemon.uds_path != "-"
+            ? rpc::Client::connect_uds(daemon.uds_path)
+            : rpc::Client::connect_tcp("127.0.0.1", daemon.tcp_port);
+
+    for (const auto& transport : transports) {
+      for (const auto& mix : mixes) {
+        const auto pool =
+            hot_source_pool(local_host.snapshot(handle),
+                            deployment.config.seed, window_index,
+                            static_cast<std::size_t>(sources));
+        const auto before = control.stats();
+        const auto window = run_remote_window(
+            transport, "127.0.0.1", daemon.tcp_port, daemon.uds_path, pool,
+            mix == "zipf", zipf_exponent, n, readers, depth, duration_s,
+            deployment.config.seed, window_index);
+        const auto after = control.stats();
+        add_row(transport, mix, depth, window,
+                after.publish_seq - before.publish_seq,
+                after.decode_errors - before.decode_errors,
+                after.error_responses - before.error_responses,
+                after.seal_violations);
+        ++window_index;
+      }
+    }
+    final_stats = control.stats();
+  } catch (...) {
+    ::kill(daemon.pid, SIGKILL);
+    ::waitpid(daemon.pid, nullptr, 0);
+    ::close(daemon.out_fd);
+    throw;
+  }
+
+  // Graceful shutdown: SIGTERM, then the EXIT line and the exit status.
+  ::kill(daemon.pid, SIGTERM);
+  {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(60);
+    std::string line;
+    try {
+      while (read_line(daemon.out_fd, line, deadline)) {
+        if (line.rfind("EGOISTD EXIT", 0) == 0) exit_line = line;
+      }
+    } catch (const std::exception&) {
+      // Timeout reading EXIT: fall through to waitpid, report exit code.
+    }
+  }
+  ::close(daemon.out_fd);
+  int status = 0;
+  ::waitpid(daemon.pid, &status, 0);
+  exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : 128 + WTERMSIG(status);
+
+  // The in-process comparison leg: serve_load's exact inner loop on the
+  // bit-identical local overlay.
+  if (inproc_compare) {
+    for (const auto& mix : mixes) {
+      const auto pool =
+          hot_source_pool(local_host.snapshot(handle), deployment.config.seed,
+                          window_index, static_cast<std::size_t>(sources));
+      host::RouteService service(local_host, handle,
+                                 deployment.service_options);
+      const auto window = run_inproc_window(
+          local_host, handle, service, pool, mix == "zipf", zipf_exponent, n,
+          readers, duration_s, max_epochs, deployment.config.seed,
+          window_index);
+      service.reclaim();
+      const auto stats = service.stats();
+      add_row("inproc", mix, 0, window,
+              static_cast<std::uint64_t>(window.epochs), 0, 0,
+              stats.seal_violations);
+      ++window_index;
+    }
+  }
+
+  sink.table("serve_remote", table);
+
+  util::Table daemon_table(
+      {"exit_code", "drained", "epochs", "connections_accepted", "frames_in",
+       "frames_out", "batches", "bytes_in", "bytes_out", "decode_errors",
+       "error_responses", "idle_closed", "seal_violations"});
+  const auto exit_field = [&](const std::string& key) {
+    const auto value = line_field(exit_line, key);
+    return value.empty() ? std::string("-1") : value;  // EXIT line missing
+  };
+  daemon_table.add_row({std::to_string(exit_code),
+                        exit_field("drained"),
+                        exit_field("epochs"),
+                        std::to_string(final_stats.connections_accepted),
+                        std::to_string(final_stats.frames_in),
+                        std::to_string(final_stats.frames_out),
+                        std::to_string(final_stats.batches),
+                        std::to_string(final_stats.bytes_in),
+                        std::to_string(final_stats.bytes_out),
+                        std::to_string(final_stats.decode_errors),
+                        std::to_string(final_stats.error_responses),
+                        std::to_string(final_stats.idle_closed),
+                        std::to_string(final_stats.seal_violations)});
+  sink.table("daemon", daemon_table);
+}
+
+}  // namespace egoist::exp

@@ -71,6 +71,11 @@ const std::vector<Experiment>& experiments() {
        "against a RouteService while churned BR epochs publish snapshots, "
        "reporting qps and p50/p99/p999 latency",
        &run_serve_load},
+      {"serve_remote",
+       "out-of-process serving: spawns the egoistd daemon and hammers it "
+       "over loopback TCP and a Unix-domain socket with pipelined "
+       "wire-protocol clients, side by side with the in-process leg",
+       &run_serve_remote},
   };
   return kExperiments;
 }

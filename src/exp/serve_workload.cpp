@@ -1,0 +1,191 @@
+#include "exp/serve_workload.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+#include <thread>
+
+#include "churn/churn.hpp"
+#include "exp/common.hpp"
+
+namespace egoist::exp {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+ZipfSampler::ZipfSampler(std::size_t n, double exponent) : cdf_(n) {
+  double total = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r + 1), exponent);
+    cdf_[r] = total;
+  }
+  for (auto& c : cdf_) c /= total;
+}
+
+overlay::NodeId ZipfSampler::draw(util::Rng& rng) const {
+  const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), rng.uniform());
+  return static_cast<overlay::NodeId>(
+      std::min<std::size_t>(static_cast<std::size_t>(it - cdf_.begin()),
+                            cdf_.size() - 1));
+}
+
+ServeDeployment read_serve_deployment(const ParamReader& params,
+                                      double horizon_epochs) {
+  ServeDeployment d;
+  const int n_param = params.get_int("n", 10000);
+  if (n_param < 8) throw std::invalid_argument("n must be >= 8");
+  d.n = static_cast<std::size_t>(n_param);
+
+  d.config.policy = overlay::parse_policy(params.get_string("policy", "BR"));
+  d.config.metric =
+      overlay::parse_metric(params.get_string("metric", "delay(ping)"));
+  d.config.k = static_cast<std::size_t>(params.get_int("k", 10));
+  d.config.seed = params.get_seed("seed", 42);
+  d.config.br_sample =
+      static_cast<std::size_t>(params.get_int("br-sample", 32));
+  d.config.br_landmarks =
+      static_cast<std::size_t>(params.get_int("br-landmarks", 64));
+  d.config.epoch_workers = params.get_int("workers", 0);
+  d.config.incremental = params.get_bool("incremental", false);
+  if (d.config.incremental) {
+    d.config.drift_threshold = params.get_double("drift-threshold", 0.05);
+  }
+
+  d.env = parse_underlay(params);
+  // Serving is a scale-regime workload; default to the O(n) substrate.
+  if (params.spec().find("underlay") == nullptr) {
+    d.env.underlay = net::UnderlayKind::kProcedural;
+  }
+  d.env.coord_warmup_rounds =
+      params.get_int("coord-warmup", d.env.coord_warmup_rounds);
+
+  d.warmup = params.get_int("warmup", 2);
+  if (d.warmup < 0) throw std::invalid_argument("warmup must be >= 0");
+  d.epoch_seconds = params.get_double("epoch-seconds", 60.0);
+  d.churn = params.get_bool("churn", true);
+  d.churn_timescale = params.get_double("churn-timescale", 1.0);
+  d.churn_horizon_s = (d.warmup + horizon_epochs) * d.epoch_seconds;
+
+  d.service_options.max_cached_sources =
+      static_cast<std::size_t>(params.get_int("max-cached-sources", 256));
+  d.service_options.verify_seals = params.get_bool("verify-seals", true);
+  return d;
+}
+
+std::span<const char* const> serve_deployment_keys() {
+  static constexpr const char* kKeys[] = {
+      "n",           "policy",          "metric",
+      "k",           "seed",            "br-sample",
+      "br-landmarks", "workers",        "incremental",
+      "drift-threshold", "underlay",    "coord-warmup",
+      "warmup",      "epoch-seconds",   "churn",
+      "churn-timescale", "max-cached-sources", "verify-seals"};
+  return std::span<const char* const>(kKeys);
+}
+
+ServingOverlay deploy_serving_overlay(const ServeDeployment& deployment) {
+  host::OverlaySpec spec(deployment.config);
+  spec.epoch_period(deployment.epoch_seconds);
+  if (deployment.churn) {
+    churn::ChurnConfig churn_config;
+    churn_config.timescale = deployment.churn_timescale;
+    churn_config.initial_on_fraction = 0.9;
+    spec.churn(churn::ChurnTrace(deployment.n, deployment.churn_horizon_s,
+                                 deployment.config.seed ^ 0xC0FFEEull,
+                                 churn_config));
+  }
+  ServingOverlay out;
+  out.host = std::make_unique<host::OverlayHost>(
+      deployment.n, deployment.config.seed, deployment.env);
+  out.handle = out.host->deploy(spec);
+  if (deployment.warmup > 0) {
+    out.host->run_epochs(out.handle, deployment.warmup);
+  }
+  return out;
+}
+
+std::vector<overlay::NodeId> hot_source_pool(const host::WiringSnapshot& snap,
+                                             std::uint64_t seed,
+                                             std::size_t window,
+                                             std::size_t sources) {
+  util::Rng pool_rng(seed ^ (0x5E47Eull + window));
+  const auto& online = snap.online_nodes();
+  return pool_rng.sample_without_replacement(
+      std::span<const overlay::NodeId>(online),
+      std::min<std::size_t>(sources, online.size()));
+}
+
+WindowResult run_inproc_window(host::OverlayHost& host,
+                               host::OverlayHandle handle,
+                               host::RouteService& service,
+                               std::span<const overlay::NodeId> pool,
+                               bool zipf, double zipf_exponent, std::size_t n,
+                               int readers, double duration_s, int max_epochs,
+                               std::uint64_t seed, std::size_t window) {
+  const ZipfSampler zipf_sampler(zipf ? n : 1, zipf_exponent);
+
+  struct ReaderTally {
+    util::LatencyHistogram latency;
+    std::uint64_t queries = 0;
+    std::uint64_t unreachable = 0;
+  };
+
+  std::atomic<bool> stop{false};
+  std::vector<ReaderTally> tallies(static_cast<std::size_t>(readers));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(readers));
+  for (int r = 0; r < readers; ++r) {
+    threads.emplace_back([&, r] {
+      auto& tally = tallies[static_cast<std::size_t>(r)];
+      util::Rng rng(seed ^ (window * 1000 + 17 * static_cast<std::size_t>(r) +
+                            1));
+      const auto n_id = static_cast<std::int64_t>(n);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto src = pool[static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(pool.size()) - 1))];
+        const auto dst =
+            zipf ? zipf_sampler.draw(rng)
+                 : static_cast<overlay::NodeId>(rng.uniform_int(0, n_id - 1));
+        const auto start = std::chrono::steady_clock::now();
+        const auto answer = service.route(src, dst);
+        const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+        tally.latency.record(static_cast<std::uint64_t>(ns));
+        ++tally.queries;
+        if (!answer.reachable) ++tally.unreachable;
+      }
+    });
+  }
+
+  // The serving window: epochs churn and publish under the readers. The
+  // do-while guarantees at least one swap per window.
+  const auto serve_start = std::chrono::steady_clock::now();
+  WindowResult result;
+  do {
+    host.run_epochs(handle, 1);
+    ++result.epochs;
+  } while (seconds_since(serve_start) < duration_s &&
+           result.epochs < max_epochs);
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& thread : threads) thread.join();
+  result.elapsed_s = seconds_since(serve_start);
+
+  for (const auto& tally : tallies) {
+    result.latency.merge(tally.latency);
+    result.queries += tally.queries;
+    result.unreachable += tally.unreachable;
+  }
+  return result;
+}
+
+}  // namespace egoist::exp

@@ -1,7 +1,9 @@
 #include "host/route_service.hpp"
 
+#include <chrono>
 #include <limits>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 namespace egoist::host {
@@ -279,6 +281,30 @@ ServedSnapshot RouteService::acquire() const {
     view = current_;
   }
   return ServedSnapshot(std::move(view), counters_);
+}
+
+bool RouteService::drain(double timeout_s) {
+  const auto start = std::chrono::steady_clock::now();
+  for (;;) {
+    reclaim_impl(/*nothrow=*/false);
+    bool quiesced = retired_pending() == 0;
+    if (quiesced) {
+      // The published slot must be the snapshot's only owner: any extra
+      // use_count is a live ServedSnapshot still pinning the current view.
+      // Once readers stop acquiring, the count is monotone non-increasing,
+      // so observing 1 under the lock is a stable quiesce proof.
+      std::lock_guard<std::mutex> lock(slot_mutex_);
+      quiesced = current_.use_count() == 1;
+    }
+    if (quiesced) return true;
+    if (timeout_s >= 0.0 &&
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+                .count() > timeout_s) {
+      return false;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
 }
 
 std::size_t RouteService::retired_pending() const {

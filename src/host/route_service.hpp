@@ -247,6 +247,19 @@ class RouteService {
   /// Retired views still pinned by at least one reader.
   std::size_t retired_pending() const;
 
+  /// Quiesce: blocks until every pinned reader view has been released and
+  /// every retired snapshot reclaimed (seal-verified) — i.e. the only
+  /// remaining snapshot reference is the service's own published slot.
+  /// This is the shutdown proof egoistd runs after stopping its socket
+  /// server: drain() returning true means no ServedSnapshot leaked.
+  ///
+  /// Host thread only (it sweeps reclaim()). Callers must have stopped
+  /// issuing NEW acquires first — drain() waits for in-flight readers, it
+  /// cannot outwait a reader that keeps re-pinning. `timeout_s < 0` waits
+  /// forever; otherwise returns false if the deadline passes with a view
+  /// still pinned. Throws like reclaim() on a seal violation.
+  bool drain(double timeout_s = -1.0);
+
   Stats stats() const;
 
  private:

@@ -1,0 +1,63 @@
+// Per-connection byte ring for the rpc layer.
+//
+// Each connection owns two of these: an inbound queue the event loop
+// appends socket reads into (frames are decoded off the front), and an
+// outbound queue encoded responses are appended to (flushed to the socket
+// from the front). The storage is one contiguous vector with a head
+// cursor; readable bytes are always contiguous (so frame decoding works on
+// a plain span, no wrap-around seam), and the head space is compacted away
+// once it dominates the buffer — amortized O(1) per byte.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace egoist::rpc {
+
+class ByteQueue {
+ public:
+  void append(const std::uint8_t* data, std::size_t len) {
+    buf_.insert(buf_.end(), data, data + len);
+  }
+
+  void append(std::span<const std::uint8_t> bytes) {
+    append(bytes.data(), bytes.size());
+  }
+
+  /// The readable bytes, contiguous, front of queue first.
+  std::span<const std::uint8_t> readable() const {
+    return {buf_.data() + head_, buf_.size() - head_};
+  }
+
+  /// Drops `n` bytes off the front (n <= size()).
+  void consume(std::size_t n) {
+    head_ += n;
+    if (head_ == buf_.size()) {
+      buf_.clear();
+      head_ = 0;
+    } else if (head_ > buf_.size() / 2 && head_ >= 4096) {
+      buf_.erase(buf_.begin(),
+                 buf_.begin() + static_cast<std::ptrdiff_t>(head_));
+      head_ = 0;
+    }
+  }
+
+  std::size_t size() const { return buf_.size() - head_; }
+  bool empty() const { return size() == 0; }
+
+  void clear() {
+    buf_.clear();
+    head_ = 0;
+  }
+
+  /// Appendable scratch access for encoders that write frames in place.
+  std::vector<std::uint8_t>& tail() { return buf_; }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  std::size_t head_ = 0;
+};
+
+}  // namespace egoist::rpc

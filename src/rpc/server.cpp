@@ -1,0 +1,504 @@
+#include "rpc/server.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+namespace egoist::rpc {
+
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error("rpc::Server: " + what + ": " +
+                           std::strerror(errno));
+}
+
+int make_tcp_listener(const std::string& host, int port, int backlog,
+                      int& bound_port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket(AF_INET)");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw std::runtime_error("rpc::Server: bad TCP host " + host);
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    throw_errno("bind(" + host + ":" + std::to_string(port) + ")");
+  }
+  if (::listen(fd, backlog) != 0) {
+    ::close(fd);
+    throw_errno("listen");
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    bound_port = ntohs(bound.sin_port);
+  }
+  set_nonblocking(fd);
+  return fd;
+}
+
+int make_uds_listener(const std::string& path, int backlog) {
+  sockaddr_un addr{};
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("rpc::Server: UDS path too long: " + path);
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket(AF_UNIX)");
+  ::unlink(path.c_str());  // stale socket from a crashed daemon
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    throw_errno("bind(" + path + ")");
+  }
+  if (::listen(fd, backlog) != 0) {
+    ::close(fd);
+    throw_errno("listen(" + path + ")");
+  }
+  set_nonblocking(fd);
+  return fd;
+}
+
+}  // namespace
+
+Server::Server(host::RouteService& service, ServerOptions options)
+    : service_(&service), options_(std::move(options)) {
+  if (options_.tcp_port < 0 && options_.uds_path.empty()) {
+    throw std::runtime_error(
+        "rpc::Server: no listener configured (need tcp_port >= 0 or a "
+        "uds_path)");
+  }
+  options_.max_frame = std::min(options_.max_frame, wire::kMaxFrameLimit);
+  if (options_.tcp_port >= 0) {
+    tcp_listen_fd_ = make_tcp_listener(options_.tcp_host, options_.tcp_port,
+                                       options_.max_connections,
+                                       bound_tcp_port_);
+  }
+  if (!options_.uds_path.empty()) {
+    uds_listen_fd_ =
+        make_uds_listener(options_.uds_path, options_.max_connections);
+  }
+  if (::pipe(wake_fds_) != 0) throw_errno("pipe");
+  set_nonblocking(wake_fds_[0]);
+  set_nonblocking(wake_fds_[1]);
+}
+
+Server::~Server() {
+  stop();
+  for (const int fd : {tcp_listen_fd_, uds_listen_fd_, wake_fds_[0],
+                       wake_fds_[1]}) {
+    if (fd >= 0) ::close(fd);
+  }
+  if (!options_.uds_path.empty()) ::unlink(options_.uds_path.c_str());
+}
+
+void Server::start() {
+  std::lock_guard<std::mutex> lock(stop_mutex_);
+  if (thread_.joinable() || stopped_) return;
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { loop(); });
+}
+
+void Server::stop() {
+  std::lock_guard<std::mutex> lock(stop_mutex_);
+  if (stopped_) return;
+  stopped_ = true;
+  stop_requested_.store(true, std::memory_order_release);
+  const char byte = 1;
+  [[maybe_unused]] const auto n = ::write(wake_fds_[1], &byte, 1);
+  if (thread_.joinable()) thread_.join();
+  running_.store(false, std::memory_order_release);
+}
+
+ServerStats Server::stats() const {
+  ServerStats s;
+  s.connections_accepted =
+      counters_.connections_accepted.load(std::memory_order_relaxed);
+  s.connections_active =
+      counters_.connections_active.load(std::memory_order_relaxed);
+  s.frames_in = counters_.frames_in.load(std::memory_order_relaxed);
+  s.frames_out = counters_.frames_out.load(std::memory_order_relaxed);
+  s.decode_errors = counters_.decode_errors.load(std::memory_order_relaxed);
+  s.error_responses =
+      counters_.error_responses.load(std::memory_order_relaxed);
+  s.idle_closed = counters_.idle_closed.load(std::memory_order_relaxed);
+  s.bytes_in = counters_.bytes_in.load(std::memory_order_relaxed);
+  s.bytes_out = counters_.bytes_out.load(std::memory_order_relaxed);
+  s.batches = counters_.batches.load(std::memory_order_relaxed);
+  return s;
+}
+
+void Server::accept_ready(int listen_fd) {
+  for (;;) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+      return;  // transient accept failure; the listener stays armed
+    }
+    if (conns_.size() >=
+        static_cast<std::size_t>(std::max(1, options_.max_connections))) {
+      ::close(fd);
+      continue;
+    }
+    set_nonblocking(fd);
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    Conn conn;
+    conn.fd = fd;
+    conn.last_activity = std::chrono::steady_clock::now();
+    conns_.push_back(std::move(conn));
+    counters_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+    counters_.connections_active.store(conns_.size(),
+                                       std::memory_order_relaxed);
+  }
+}
+
+bool Server::read_ready(Conn& conn) {
+  std::uint8_t chunk[65536];
+  for (;;) {
+    const ssize_t n = ::read(conn.fd, chunk, sizeof(chunk));
+    if (n > 0) {
+      conn.in.append(chunk, static_cast<std::size_t>(n));
+      counters_.bytes_in.fetch_add(static_cast<std::uint64_t>(n),
+                                   std::memory_order_relaxed);
+      conn.last_activity = std::chrono::steady_clock::now();
+      if (static_cast<std::size_t>(n) < sizeof(chunk)) return true;
+      // Socket may hold more; cap one connection's share of the loop so a
+      // firehose peer cannot starve the rest.
+      if (conn.in.size() > options_.max_frame + (1u << 20)) return true;
+      continue;
+    }
+    if (n == 0) return false;  // peer closed
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+    if (errno == EINTR) continue;
+    return false;
+  }
+}
+
+void Server::dispatch(Conn& conn) {
+  if (conn.closing) return;
+  // Collect every complete frame first, then answer the batch off ONE
+  // pinned snapshot — the pipelining contract: a client that stuffs K
+  // requests into one write gets K answers that are mutually consistent
+  // (same publication) for the cost of a single acquire().
+  struct Pending {
+    std::uint64_t id;
+    wire::Request request;
+  };
+  std::vector<Pending> batch;
+  for (;;) {
+    const auto bytes = conn.in.readable();
+    const auto hd = wire::decode_header(bytes, options_.max_frame);
+    if (hd.status == wire::DecodeStatus::kNeedMore) break;
+    if (hd.status != wire::DecodeStatus::kOk) {
+      // Header-level garbage: framing is lost, answer once and hang up.
+      counters_.decode_errors.fetch_add(1, std::memory_order_relaxed);
+      counters_.error_responses.fetch_add(1, std::memory_order_relaxed);
+      wire::ErrorResponse err;
+      err.code = static_cast<std::uint16_t>(wire::ErrorCode::kMalformedFrame);
+      err.message = std::string("malformed frame: ") + to_string(hd.status);
+      wire::encode_error_response(conn.out.tail(), hd.header.request_id, err);
+      counters_.frames_out.fetch_add(1, std::memory_order_relaxed);
+      conn.in.clear();
+      conn.closing = true;
+      break;
+    }
+    const std::size_t frame_len = wire::kHeaderSize + hd.header.payload_len;
+    if (bytes.size() < frame_len) break;  // payload still in flight
+    const auto payload = bytes.subspan(wire::kHeaderSize,
+                                       hd.header.payload_len);
+    auto decoded = wire::decode_request(hd.header, payload);
+    if (decoded.status != wire::DecodeStatus::kOk) {
+      // Payload-level breakage: framing is intact, the connection lives.
+      counters_.decode_errors.fetch_add(1, std::memory_order_relaxed);
+      counters_.error_responses.fetch_add(1, std::memory_order_relaxed);
+      wire::ErrorResponse err;
+      err.code = static_cast<std::uint16_t>(wire::ErrorCode::kBadRequest);
+      err.message =
+          std::string("bad request payload: ") + to_string(decoded.status);
+      wire::encode_error_response(conn.out.tail(), hd.header.request_id, err);
+      counters_.frames_out.fetch_add(1, std::memory_order_relaxed);
+      conn.in.consume(frame_len);
+      continue;
+    }
+    counters_.frames_in.fetch_add(1, std::memory_order_relaxed);
+    batch.push_back({hd.header.request_id, std::move(decoded.request)});
+    conn.in.consume(frame_len);
+  }
+  if (batch.empty()) return;
+
+  counters_.batches.fetch_add(1, std::memory_order_relaxed);
+  const host::ServedSnapshot pinned = service_->acquire();
+  const auto& snap = pinned.snapshot();
+  const std::int32_t n = static_cast<std::int32_t>(snap.size());
+  const auto in_range = [n](std::int32_t id) { return id >= 0 && id < n; };
+  auto& out = conn.out.tail();
+
+  for (const auto& pending : batch) {
+    const std::uint64_t id = pending.id;
+    std::visit(
+        [&](const auto& req) {
+          using T = std::decay_t<decltype(req)>;
+          if constexpr (std::is_same_v<T, wire::PingRequest>) {
+            wire::PingResponse resp;
+            resp.node_count = static_cast<std::uint32_t>(snap.size());
+            resp.epoch = snap.epoch();
+            resp.publish_seq = pinned.publish_seq();
+            wire::encode_ping_response(out, id, resp);
+          } else if constexpr (std::is_same_v<T, wire::RouteRequest>) {
+            if (!in_range(req.src) || !in_range(req.dst)) {
+              counters_.error_responses.fetch_add(1,
+                                                  std::memory_order_relaxed);
+              wire::encode_error_response(
+                  out, id,
+                  {static_cast<std::uint16_t>(wire::ErrorCode::kOutOfRange),
+                   "node id out of range"});
+              return;
+            }
+            const auto answer = pinned.route(req.src, req.dst);
+            wire::RouteResponse resp;
+            resp.reachable = answer.reachable ? 1 : 0;
+            resp.next_hop = answer.next_hop;
+            resp.cost = answer.cost;
+            resp.epoch = answer.epoch;
+            resp.publish_seq = answer.publish_seq;
+            wire::encode_route_response(out, id, resp);
+          } else if constexpr (std::is_same_v<T, wire::PathRequest>) {
+            if (!in_range(req.src) || !in_range(req.dst)) {
+              counters_.error_responses.fetch_add(1,
+                                                  std::memory_order_relaxed);
+              wire::encode_error_response(
+                  out, id,
+                  {static_cast<std::uint16_t>(wire::ErrorCode::kOutOfRange),
+                   "node id out of range"});
+              return;
+            }
+            const auto answer = pinned.path(req.src, req.dst);
+            wire::PathResponse resp;
+            resp.reachable = answer.reachable ? 1 : 0;
+            resp.cost = answer.cost;
+            resp.epoch = answer.epoch;
+            resp.publish_seq = answer.publish_seq;
+            resp.hops.assign(answer.nodes.begin(), answer.nodes.end());
+            wire::encode_path_response(out, id, resp);
+          } else if constexpr (std::is_same_v<T, wire::ScoreRequest>) {
+            if (!in_range(req.node)) {
+              counters_.error_responses.fetch_add(1,
+                                                  std::memory_order_relaxed);
+              wire::encode_error_response(
+                  out, id,
+                  {static_cast<std::uint16_t>(wire::ErrorCode::kOutOfRange),
+                   "node id out of range"});
+              return;
+            }
+            wire::ScoreResponse resp;
+            resp.score = pinned.score(req.node);
+            resp.epoch = pinned.epoch();
+            resp.publish_seq = pinned.publish_seq();
+            wire::encode_score_response(out, id, resp);
+          } else if constexpr (std::is_same_v<T, wire::StatsRequest>) {
+            const auto service = service_->stats();
+            const auto server = stats();
+            wire::StatsResponse resp;
+            resp.node_count = static_cast<std::uint32_t>(snap.size());
+            resp.published_epoch = service.published_epoch;
+            resp.publish_seq = pinned.publish_seq();
+            resp.queries_route = service.queries_route;
+            resp.queries_path = service.queries_path;
+            resp.queries_score = service.queries_score;
+            resp.stale_served = service.stale_served;
+            resp.rows_built = service.rows_built;
+            resp.rows_discarded = service.rows_discarded;
+            resp.uncached_queries = service.uncached_queries;
+            resp.seal_violations = service.seal_violations;
+            resp.retired_pending = service.retired_pending;
+            resp.connections_accepted = server.connections_accepted;
+            resp.connections_active = server.connections_active;
+            resp.frames_in = server.frames_in;
+            resp.frames_out = server.frames_out;
+            resp.decode_errors = server.decode_errors;
+            resp.error_responses = server.error_responses;
+            resp.idle_closed = server.idle_closed;
+            resp.bytes_in = server.bytes_in;
+            resp.bytes_out = server.bytes_out;
+            resp.batches = server.batches;
+            wire::encode_stats_response(out, id, resp);
+          }
+        },
+        pending.request);
+    counters_.frames_out.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+bool Server::write_ready(Conn& conn) {
+  while (!conn.out.empty()) {
+    const auto bytes = conn.out.readable();
+    // MSG_NOSIGNAL: a client that vanished mid-response must surface as
+    // EPIPE (we close the connection), not kill the daemon with SIGPIPE.
+    const ssize_t n =
+        ::send(conn.fd, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.out.consume(static_cast<std::size_t>(n));
+      counters_.bytes_out.fetch_add(static_cast<std::uint64_t>(n),
+                                    std::memory_order_relaxed);
+      conn.last_activity = std::chrono::steady_clock::now();
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+void Server::close_conn(std::size_t index) {
+  ::close(conns_[index].fd);
+  conns_.erase(conns_.begin() + static_cast<std::ptrdiff_t>(index));
+  counters_.connections_active.store(conns_.size(),
+                                     std::memory_order_relaxed);
+}
+
+void Server::drain_and_close_all() {
+  // Stop reading, keep flushing: every response already queued gets its
+  // chance to leave under the deadline. poll() only watches writability.
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(
+              std::max(0.0, options_.drain_deadline_s)));
+  for (;;) {
+    std::vector<pollfd> fds;
+    for (const auto& conn : conns_) {
+      if (!conn.out.empty()) {
+        fds.push_back({conn.fd, POLLOUT, 0});
+      }
+    }
+    if (fds.empty()) break;
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) break;
+    const int timeout_ms = static_cast<int>(std::min<std::int64_t>(
+        100, std::chrono::duration_cast<std::chrono::milliseconds>(deadline -
+                                                                   now)
+                 .count()));
+    const int ready = ::poll(fds.data(), fds.size(),
+                             std::max(1, timeout_ms));
+    if (ready < 0 && errno != EINTR) break;
+    for (std::size_t i = conns_.size(); i-- > 0;) {
+      if (!conns_[i].out.empty() && !write_ready(conns_[i])) {
+        close_conn(i);
+      }
+    }
+  }
+  for (std::size_t i = conns_.size(); i-- > 0;) close_conn(i);
+}
+
+void Server::loop() {
+  std::vector<pollfd> fds;
+  // Index map rebuilt every iteration: fds[0] = wake pipe, then the
+  // listeners, then one entry per connection.
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    fds.clear();
+    fds.push_back({wake_fds_[0], POLLIN, 0});
+    std::size_t tcp_at = SIZE_MAX;
+    std::size_t uds_at = SIZE_MAX;
+    if (tcp_listen_fd_ >= 0) {
+      tcp_at = fds.size();
+      fds.push_back({tcp_listen_fd_, POLLIN, 0});
+    }
+    if (uds_listen_fd_ >= 0) {
+      uds_at = fds.size();
+      fds.push_back({uds_listen_fd_, POLLIN, 0});
+    }
+    const std::size_t conn_base = fds.size();
+    for (const auto& conn : conns_) {
+      short events = 0;
+      if (!conn.closing) events |= POLLIN;
+      if (!conn.out.empty()) events |= POLLOUT;
+      fds.push_back({conn.fd, events, 0});
+    }
+
+    // Wake at least every 100 ms for the idle sweep.
+    const int ready = ::poll(fds.data(), fds.size(), 100);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+
+    if (fds[0].revents & POLLIN) {
+      char scratch[64];
+      while (::read(wake_fds_[0], scratch, sizeof(scratch)) > 0) {
+      }
+    }
+    if (tcp_at != SIZE_MAX && (fds[tcp_at].revents & POLLIN)) {
+      accept_ready(tcp_listen_fd_);
+    }
+    if (uds_at != SIZE_MAX && (fds[uds_at].revents & POLLIN)) {
+      accept_ready(uds_listen_fd_);
+    }
+
+    const auto now = std::chrono::steady_clock::now();
+    // Sweep only the connections that were polled this iteration —
+    // accept_ready above may have appended fresh ones with no fds entry
+    // (they get their first turn next iteration). Downward iteration keeps
+    // index i aligned with fds even as close_conn erases.
+    const std::size_t polled = fds.size() - conn_base;
+    for (std::size_t i = polled; i-- > 0;) {
+      auto& conn = conns_[i];
+      const auto revents = fds[conn_base + i].revents;
+      bool alive = true;
+      if (revents & (POLLERR | POLLHUP | POLLNVAL)) {
+        alive = false;  // peer already hung up; nothing left to flush to
+      } else {
+        if (alive && (revents & POLLIN)) {
+          alive = read_ready(conn);
+          if (alive) dispatch(conn);
+        }
+        if (alive && !conn.out.empty()) {
+          alive = write_ready(conn);
+        }
+        if (alive && conn.closing && conn.out.empty()) alive = false;
+        if (alive && options_.idle_timeout_s > 0.0 &&
+            std::chrono::duration<double>(now - conn.last_activity).count() >
+                options_.idle_timeout_s) {
+          counters_.idle_closed.fetch_add(1, std::memory_order_relaxed);
+          alive = false;
+        }
+      }
+      if (!alive) close_conn(i);
+    }
+  }
+
+  if (tcp_listen_fd_ >= 0) {
+    ::close(tcp_listen_fd_);
+    tcp_listen_fd_ = -1;
+  }
+  if (uds_listen_fd_ >= 0) {
+    ::close(uds_listen_fd_);
+    uds_listen_fd_ = -1;
+  }
+  drain_and_close_all();
+}
+
+}  // namespace egoist::rpc

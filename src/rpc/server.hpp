@@ -1,0 +1,155 @@
+// rpc::Server — the socket front end of the serving stack.
+//
+// One poll(2)-driven event loop thread accepts TCP (loopback by default)
+// and Unix-domain connections and answers wire-protocol frames from a
+// host::RouteService. The loop is the only thread that touches connection
+// state; RouteService::acquire()/route()/path()/score() are safe from any
+// thread by contract, so the loop serves concurrently with the host thread
+// driving epochs — exactly the deployment egoistd runs.
+//
+// Per connection: nonblocking fd, an inbound ByteQueue socket reads drain
+// into, an outbound ByteQueue responses are encoded into, and a
+// last-activity stamp for the idle timeout. Dispatch is pipelined: every
+// complete frame buffered on a connection is decoded in one batch, ONE
+// ServedSnapshot is pinned for the whole batch (one refcount round-trip
+// however deep the client pipelines), every answer is encoded back-to-back
+// into the outbound queue, and the flush writes them with as few
+// syscalls as the socket accepts.
+//
+// Malformed input follows the codec's two severity levels: a payload that
+// fails to decode for a valid header gets an ERROR(kBadRequest) response
+// and the connection lives on (framing is intact); header-level garbage
+// (bad magic/version/type/flags/oversized length) gets a best-effort
+// ERROR(kMalformedFrame) and the connection is closed after the flush —
+// resynchronizing a corrupt byte stream is guesswork. Both count toward
+// decode_errors.
+//
+// Shutdown is graceful: stop() (thread-safe, idempotent) wakes the loop,
+// which closes the listeners, keeps flushing already-queued responses
+// until they drain or Options::drain_deadline expires, closes every
+// connection, and exits. egoistd follows with RouteService::drain() to
+// prove no snapshot leaked.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "host/route_service.hpp"
+#include "rpc/byte_queue.hpp"
+#include "wire/protocol.hpp"
+
+namespace egoist::rpc {
+
+struct ServerOptions {
+  /// TCP listener; port 0 binds an ephemeral port (read it back via
+  /// tcp_port()), port < 0 disables TCP.
+  std::string tcp_host = "127.0.0.1";
+  int tcp_port = -1;
+  /// Unix-domain listener; empty disables. The path is unlinked first
+  /// (stale socket files from a crashed daemon) and again on shutdown.
+  std::string uds_path;
+  /// Per-frame payload bound enforced before any payload is buffered.
+  std::size_t max_frame = wire::kDefaultMaxFrame;
+  /// Connections idle longer than this are closed; <= 0 disables.
+  double idle_timeout_s = 60.0;
+  /// How long stop() keeps flushing queued responses before closing.
+  double drain_deadline_s = 2.0;
+  /// Accept backlog and connection cap (excess accepts are closed).
+  int max_connections = 512;
+};
+
+/// Event-loop counters, readable from any thread while the loop runs.
+struct ServerStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_active = 0;
+  std::uint64_t frames_in = 0;
+  std::uint64_t frames_out = 0;
+  std::uint64_t decode_errors = 0;
+  std::uint64_t error_responses = 0;
+  std::uint64_t idle_closed = 0;
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  std::uint64_t batches = 0;  ///< dispatch batches == snapshot pins
+};
+
+class Server {
+ public:
+  /// Binds the listeners immediately (so tcp_port() is valid before
+  /// start()) but serves nothing until start(). Throws std::runtime_error
+  /// when neither listener is configured or a bind fails.
+  Server(host::RouteService& service, ServerOptions options);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Spawns the event-loop thread. Idempotent.
+  void start();
+
+  /// Graceful shutdown: stop accepting, drain queued responses under the
+  /// deadline, close everything, join the loop thread. Idempotent; safe
+  /// from any thread (including a signal-watcher thread, NOT a handler).
+  void stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// The bound TCP port (after construction), or -1 when TCP is disabled.
+  int tcp_port() const { return bound_tcp_port_; }
+  const std::string& uds_path() const { return options_.uds_path; }
+
+  ServerStats stats() const;
+
+ private:
+  struct Conn {
+    int fd = -1;
+    ByteQueue in;
+    ByteQueue out;
+    std::chrono::steady_clock::time_point last_activity;
+    bool closing = false;  ///< close once `out` drains (framing corrupt)
+  };
+
+  void loop();
+  void accept_ready(int listen_fd);
+  /// Reads everything available; returns false when the peer closed or a
+  /// fatal error occurred.
+  bool read_ready(Conn& conn);
+  /// Decodes + answers every complete frame in conn.in (one snapshot pin).
+  void dispatch(Conn& conn);
+  /// Writes as much of conn.out as the socket accepts; false on fatal error.
+  bool write_ready(Conn& conn);
+  void close_conn(std::size_t index);
+  void drain_and_close_all();
+
+  host::RouteService* service_;
+  ServerOptions options_;
+  int tcp_listen_fd_ = -1;
+  int uds_listen_fd_ = -1;
+  int bound_tcp_port_ = -1;
+  int wake_fds_[2] = {-1, -1};  ///< self-pipe: stop() wakes poll()
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+  bool stopped_ = false;  ///< guarded by stop_mutex_
+  std::mutex stop_mutex_;
+  std::vector<Conn> conns_;
+
+  struct AtomicStats {
+    std::atomic<std::uint64_t> connections_accepted{0};
+    std::atomic<std::uint64_t> connections_active{0};
+    std::atomic<std::uint64_t> frames_in{0};
+    std::atomic<std::uint64_t> frames_out{0};
+    std::atomic<std::uint64_t> decode_errors{0};
+    std::atomic<std::uint64_t> error_responses{0};
+    std::atomic<std::uint64_t> idle_closed{0};
+    std::atomic<std::uint64_t> bytes_in{0};
+    std::atomic<std::uint64_t> bytes_out{0};
+    std::atomic<std::uint64_t> batches{0};
+  } counters_;
+};
+
+}  // namespace egoist::rpc

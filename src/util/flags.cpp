@@ -1,6 +1,8 @@
 #include "util/flags.hpp"
 
 #include <algorithm>
+#include <cctype>
+#include <cmath>
 #include <cstdint>
 #include <cstdlib>
 #include <iostream>
@@ -126,6 +128,106 @@ std::uint64_t Flags::get_seed(const std::string& name, std::uint64_t def) const 
     return std::stoull(*v);
   } catch (const std::exception&) {
     throw std::invalid_argument("flag --" + name + " expects a seed, got '" + *v + "'");
+  }
+}
+
+double parse_duration_seconds(const std::string& text) {
+  const auto fail = [&]() -> double {
+    throw std::invalid_argument("bad duration '" + text +
+                                "' (expected e.g. 250ms, 5s, 2m, 1h)");
+  };
+  if (text.empty()) return fail();
+  // Split off the longest trailing run of letters as the unit.
+  std::size_t unit_at = text.size();
+  while (unit_at > 0 && std::isalpha(static_cast<unsigned char>(
+                            text[unit_at - 1]))) {
+    --unit_at;
+  }
+  const std::string number = text.substr(0, unit_at);
+  const std::string unit = text.substr(unit_at);
+  if (number.empty()) return fail();
+  double value = 0.0;
+  std::size_t used = 0;
+  try {
+    value = std::stod(number, &used);
+  } catch (const std::exception&) {
+    return fail();
+  }
+  if (used != number.size() || value < 0.0 || !std::isfinite(value)) {
+    return fail();
+  }
+  if (unit.empty() || unit == "s") return value;
+  if (unit == "ms") return value * 1e-3;
+  if (unit == "us") return value * 1e-6;
+  if (unit == "ns") return value * 1e-9;
+  if (unit == "m" || unit == "min") return value * 60.0;
+  if (unit == "h") return value * 3600.0;
+  return fail();
+}
+
+std::uint64_t parse_size_bytes(const std::string& text) {
+  const auto fail = [&]() -> std::uint64_t {
+    throw std::invalid_argument("bad size '" + text +
+                                "' (expected e.g. 4096, 64K, 8M, 1G)");
+  };
+  if (text.empty()) return fail();
+  std::size_t unit_at = text.size();
+  while (unit_at > 0 && std::isalpha(static_cast<unsigned char>(
+                            text[unit_at - 1]))) {
+    --unit_at;
+  }
+  const std::string number = text.substr(0, unit_at);
+  std::string unit = text.substr(unit_at);
+  for (auto& c : unit) c = static_cast<char>(std::tolower(
+                               static_cast<unsigned char>(c)));
+  if (!unit.empty() && unit.back() == 'b') unit.pop_back();  // "64KB"
+  if (number.empty()) return fail();
+  std::uint64_t multiplier = 1;
+  if (unit == "k") {
+    multiplier = 1ull << 10;
+  } else if (unit == "m") {
+    multiplier = 1ull << 20;
+  } else if (unit == "g") {
+    multiplier = 1ull << 30;
+  } else if (!unit.empty()) {
+    return fail();
+  }
+  // The count may be fractional only if the product is whole ("1.5M" ok,
+  // "1.5" bytes not). Parse as double, demand an integral byte count.
+  double value = 0.0;
+  std::size_t used = 0;
+  try {
+    value = std::stod(number, &used);
+  } catch (const std::exception&) {
+    return fail();
+  }
+  if (used != number.size() || value < 0.0 || !std::isfinite(value)) {
+    return fail();
+  }
+  const double bytes = value * static_cast<double>(multiplier);
+  if (bytes > 9.2e18 || bytes != std::floor(bytes)) return fail();
+  return static_cast<std::uint64_t>(bytes);
+}
+
+double Flags::get_duration(const std::string& name,
+                           const std::string& def) const {
+  defaults_.emplace(name, def);
+  const auto v = get(name);
+  try {
+    return parse_duration_seconds(v.value_or(def));
+  } catch (const std::invalid_argument& e) {
+    throw std::invalid_argument("flag --" + name + ": " + e.what());
+  }
+}
+
+std::uint64_t Flags::get_size(const std::string& name,
+                              const std::string& def) const {
+  defaults_.emplace(name, def);
+  const auto v = get(name);
+  try {
+    return parse_size_bytes(v.value_or(def));
+  } catch (const std::invalid_argument& e) {
+    throw std::invalid_argument("flag --" + name + ": " + e.what());
   }
 }
 

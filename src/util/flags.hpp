@@ -29,6 +29,16 @@ class Flags {
   bool get_bool(const std::string& name, bool def = false) const;
   std::uint64_t get_seed(const std::string& name, std::uint64_t def) const;
 
+  /// Duration flag in seconds. Accepts suffixed values ("250ms", "5s",
+  /// "2m", "1h", "10us") or a bare number of seconds; `def` is itself
+  /// suffixed text so --help shows the idiomatic form (e.g. "30s").
+  double get_duration(const std::string& name, const std::string& def) const;
+
+  /// Size flag in bytes. Accepts binary suffixes ("64K", "8M", "1G",
+  /// optionally with a trailing B: "64KB") or a bare byte count; `def` is
+  /// suffixed text (e.g. "1M").
+  std::uint64_t get_size(const std::string& name, const std::string& def) const;
+
   /// Flags seen on the command line that were never queried; used by
   /// binaries to reject typos after all get_* calls are done.
   std::vector<std::string> unqueried() const;
@@ -63,5 +73,16 @@ class Flags {
 /// "did you mean" hint.
 std::optional<std::string> closest_name(const std::string& name,
                                         const std::vector<std::string>& candidates);
+
+/// Parses a human duration into seconds: "250ms" -> 0.25, "5s" -> 5,
+/// "2m" -> 120, "1.5h" -> 5400, "10us" -> 1e-5; a bare number is seconds.
+/// Throws std::invalid_argument on anything else (including negatives).
+double parse_duration_seconds(const std::string& text);
+
+/// Parses a human size into bytes with binary (1024) suffixes:
+/// "64K" -> 65536, "8M", "1G", optional trailing 'B' ("64KB"), case
+/// insensitive; a bare integer is bytes. Throws std::invalid_argument on
+/// anything else (including negatives and fractional byte counts).
+std::uint64_t parse_size_bytes(const std::string& text);
 
 }  // namespace egoist::util

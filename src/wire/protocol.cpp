@@ -1,0 +1,475 @@
+#include "wire/protocol.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace egoist::wire {
+
+namespace {
+
+// Byte-at-a-time little-endian primitives: endian-independent, no
+// alignment or aliasing traps, and the compiler folds them into single
+// moves on LE targets.
+
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) {
+  out.push_back(v);
+}
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_i32(std::vector<std::uint8_t>& out, std::int32_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+}
+
+void put_f64(std::vector<std::uint8_t>& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+/// Bounds-checked cursor over one frame's bytes. Every read_* returns
+/// false (and leaves the output untouched) instead of reading past the
+/// end, so a truncated payload can never over-read.
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  std::size_t remaining() const { return bytes_.size() - pos_; }
+  bool exhausted() const { return pos_ == bytes_.size(); }
+
+  bool read_u8(std::uint8_t& v) {
+    if (remaining() < 1) return false;
+    v = bytes_[pos_++];
+    return true;
+  }
+
+  bool read_u16(std::uint16_t& v) {
+    if (remaining() < 2) return false;
+    v = static_cast<std::uint16_t>(bytes_[pos_] |
+                                   (std::uint16_t{bytes_[pos_ + 1]} << 8));
+    pos_ += 2;
+    return true;
+  }
+
+  bool read_u32(std::uint32_t& v) {
+    if (remaining() < 4) return false;
+    v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= std::uint32_t{bytes_[pos_ + static_cast<std::size_t>(i)]} << (8 * i);
+    }
+    pos_ += 4;
+    return true;
+  }
+
+  bool read_u64(std::uint64_t& v) {
+    if (remaining() < 8) return false;
+    v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= std::uint64_t{bytes_[pos_ + static_cast<std::size_t>(i)]} << (8 * i);
+    }
+    pos_ += 8;
+    return true;
+  }
+
+  bool read_i32(std::int32_t& v) {
+    std::uint32_t raw = 0;
+    if (!read_u32(raw)) return false;
+    v = static_cast<std::int32_t>(raw);
+    return true;
+  }
+
+  bool read_f64(double& v) {
+    std::uint64_t raw = 0;
+    if (!read_u64(raw)) return false;
+    v = std::bit_cast<double>(raw);
+    return true;
+  }
+
+  bool read_bytes(std::size_t len, std::span<const std::uint8_t>& out) {
+    if (remaining() < len) return false;
+    out = std::span<const std::uint8_t>(bytes_.data() + pos_, len);
+    pos_ += len;
+    return true;
+  }
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+void put_header(std::vector<std::uint8_t>& out, MsgType type, bool response,
+                std::uint64_t id, std::uint32_t payload_len) {
+  put_u32(out, kMagic);
+  put_u8(out, kVersion);
+  put_u8(out, static_cast<std::uint8_t>(type));
+  put_u16(out, response ? 1 : 0);
+  put_u64(out, id);
+  put_u32(out, payload_len);
+}
+
+/// Appends header + payload; the payload length is patched in after the
+/// body writer ran, so encoders never pre-compute sizes.
+template <typename BodyFn>
+void encode_frame(std::vector<std::uint8_t>& out, MsgType type, bool response,
+                  std::uint64_t id, BodyFn&& body) {
+  const std::size_t header_at = out.size();
+  put_header(out, type, response, id, 0);
+  const std::size_t payload_at = out.size();
+  body(out);
+  const std::uint32_t payload_len =
+      static_cast<std::uint32_t>(out.size() - payload_at);
+  // Patch payload_len (last 4 header bytes), little-endian.
+  for (int i = 0; i < 4; ++i) {
+    out[header_at + kHeaderSize - 4 + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(payload_len >> (8 * i));
+  }
+}
+
+}  // namespace
+
+bool is_known_type(std::uint8_t raw) {
+  return raw >= static_cast<std::uint8_t>(MsgType::kPing) &&
+         raw <= static_cast<std::uint8_t>(MsgType::kError);
+}
+
+const char* to_string(DecodeStatus status) {
+  switch (status) {
+    case DecodeStatus::kOk: return "ok";
+    case DecodeStatus::kNeedMore: return "need-more";
+    case DecodeStatus::kBadMagic: return "bad-magic";
+    case DecodeStatus::kBadVersion: return "bad-version";
+    case DecodeStatus::kBadType: return "bad-type";
+    case DecodeStatus::kBadFlags: return "bad-flags";
+    case DecodeStatus::kOversized: return "oversized";
+    case DecodeStatus::kBadPayload: return "bad-payload";
+  }
+  return "unknown";
+}
+
+// --- Encoders -------------------------------------------------------------
+
+void encode_ping_request(std::vector<std::uint8_t>& out, std::uint64_t id) {
+  encode_frame(out, MsgType::kPing, false, id, [](auto&) {});
+}
+
+void encode_route_request(std::vector<std::uint8_t>& out, std::uint64_t id,
+                          const RouteRequest& req) {
+  encode_frame(out, MsgType::kRoute, false, id, [&](auto& o) {
+    put_i32(o, req.src);
+    put_i32(o, req.dst);
+  });
+}
+
+void encode_path_request(std::vector<std::uint8_t>& out, std::uint64_t id,
+                         const PathRequest& req) {
+  encode_frame(out, MsgType::kPath, false, id, [&](auto& o) {
+    put_i32(o, req.src);
+    put_i32(o, req.dst);
+  });
+}
+
+void encode_score_request(std::vector<std::uint8_t>& out, std::uint64_t id,
+                          const ScoreRequest& req) {
+  encode_frame(out, MsgType::kScore, false, id,
+               [&](auto& o) { put_i32(o, req.node); });
+}
+
+void encode_stats_request(std::vector<std::uint8_t>& out, std::uint64_t id) {
+  encode_frame(out, MsgType::kStats, false, id, [](auto&) {});
+}
+
+void encode_ping_response(std::vector<std::uint8_t>& out, std::uint64_t id,
+                          const PingResponse& resp) {
+  encode_frame(out, MsgType::kPing, true, id, [&](auto& o) {
+    put_u32(o, resp.node_count);
+    put_i32(o, resp.epoch);
+    put_u64(o, resp.publish_seq);
+  });
+}
+
+void encode_route_response(std::vector<std::uint8_t>& out, std::uint64_t id,
+                           const RouteResponse& resp) {
+  encode_frame(out, MsgType::kRoute, true, id, [&](auto& o) {
+    put_u8(o, resp.reachable);
+    put_i32(o, resp.next_hop);
+    put_f64(o, resp.cost);
+    put_i32(o, resp.epoch);
+    put_u64(o, resp.publish_seq);
+  });
+}
+
+void encode_path_response(std::vector<std::uint8_t>& out, std::uint64_t id,
+                          const PathResponse& resp) {
+  encode_frame(out, MsgType::kPath, true, id, [&](auto& o) {
+    put_u8(o, resp.reachable);
+    put_f64(o, resp.cost);
+    put_i32(o, resp.epoch);
+    put_u64(o, resp.publish_seq);
+    put_u32(o, static_cast<std::uint32_t>(resp.hops.size()));
+    for (const std::int32_t hop : resp.hops) put_i32(o, hop);
+  });
+}
+
+void encode_score_response(std::vector<std::uint8_t>& out, std::uint64_t id,
+                           const ScoreResponse& resp) {
+  encode_frame(out, MsgType::kScore, true, id, [&](auto& o) {
+    put_f64(o, resp.score);
+    put_i32(o, resp.epoch);
+    put_u64(o, resp.publish_seq);
+  });
+}
+
+void encode_stats_response(std::vector<std::uint8_t>& out, std::uint64_t id,
+                           const StatsResponse& resp) {
+  encode_frame(out, MsgType::kStats, true, id, [&](auto& o) {
+    put_u32(o, resp.node_count);
+    put_i32(o, resp.published_epoch);
+    put_u64(o, resp.publish_seq);
+    put_u64(o, resp.queries_route);
+    put_u64(o, resp.queries_path);
+    put_u64(o, resp.queries_score);
+    put_u64(o, resp.stale_served);
+    put_u64(o, resp.rows_built);
+    put_u64(o, resp.rows_discarded);
+    put_u64(o, resp.uncached_queries);
+    put_u64(o, resp.seal_violations);
+    put_u64(o, resp.retired_pending);
+    put_u64(o, resp.connections_accepted);
+    put_u64(o, resp.connections_active);
+    put_u64(o, resp.frames_in);
+    put_u64(o, resp.frames_out);
+    put_u64(o, resp.decode_errors);
+    put_u64(o, resp.error_responses);
+    put_u64(o, resp.idle_closed);
+    put_u64(o, resp.bytes_in);
+    put_u64(o, resp.bytes_out);
+    put_u64(o, resp.batches);
+  });
+}
+
+void encode_error_response(std::vector<std::uint8_t>& out, std::uint64_t id,
+                           const ErrorResponse& resp) {
+  encode_frame(out, MsgType::kError, true, id, [&](auto& o) {
+    put_u16(o, resp.code);
+    put_u32(o, static_cast<std::uint32_t>(resp.message.size()));
+    for (const char c : resp.message) {
+      put_u8(o, static_cast<std::uint8_t>(c));
+    }
+  });
+}
+
+// --- Decoders -------------------------------------------------------------
+
+HeaderDecode decode_header(std::span<const std::uint8_t> bytes,
+                           std::size_t max_frame) {
+  HeaderDecode out;
+  if (bytes.size() < kHeaderSize) {
+    out.status = DecodeStatus::kNeedMore;
+    return out;
+  }
+  Reader r(bytes.first(kHeaderSize));
+  std::uint32_t magic = 0;
+  std::uint8_t version = 0;
+  std::uint8_t type = 0;
+  std::uint16_t flags = 0;
+  r.read_u32(magic);
+  r.read_u8(version);
+  r.read_u8(type);
+  r.read_u16(flags);
+  r.read_u64(out.header.request_id);
+  r.read_u32(out.header.payload_len);
+  if (magic != kMagic) {
+    out.status = DecodeStatus::kBadMagic;
+    return out;
+  }
+  if (version != kVersion) {
+    out.status = DecodeStatus::kBadVersion;
+    return out;
+  }
+  if (!is_known_type(type)) {
+    out.status = DecodeStatus::kBadType;
+    return out;
+  }
+  if ((flags & ~std::uint16_t{1}) != 0) {
+    out.status = DecodeStatus::kBadFlags;
+    return out;
+  }
+  const std::size_t bound = std::min(max_frame, kMaxFrameLimit);
+  if (out.header.payload_len > bound) {
+    out.status = DecodeStatus::kOversized;
+    return out;
+  }
+  out.header.version = version;
+  out.header.type = static_cast<MsgType>(type);
+  out.header.response = (flags & 1) != 0;
+  out.status = DecodeStatus::kOk;
+  return out;
+}
+
+RequestDecode decode_request(const FrameHeader& header,
+                             std::span<const std::uint8_t> payload) {
+  RequestDecode out;
+  if (header.response || header.type == MsgType::kError) {
+    out.status = DecodeStatus::kBadType;
+    return out;
+  }
+  if (payload.size() != header.payload_len) {
+    out.status = DecodeStatus::kBadPayload;
+    return out;
+  }
+  Reader r(payload);
+  switch (header.type) {
+    case MsgType::kPing: {
+      if (!r.exhausted()) return out;
+      out.request = PingRequest{};
+      break;
+    }
+    case MsgType::kRoute: {
+      RouteRequest req;
+      if (!r.read_i32(req.src) || !r.read_i32(req.dst) || !r.exhausted()) {
+        return out;
+      }
+      out.request = req;
+      break;
+    }
+    case MsgType::kPath: {
+      PathRequest req;
+      if (!r.read_i32(req.src) || !r.read_i32(req.dst) || !r.exhausted()) {
+        return out;
+      }
+      out.request = req;
+      break;
+    }
+    case MsgType::kScore: {
+      ScoreRequest req;
+      if (!r.read_i32(req.node) || !r.exhausted()) return out;
+      out.request = req;
+      break;
+    }
+    case MsgType::kStats: {
+      if (!r.exhausted()) return out;
+      out.request = StatsRequest{};
+      break;
+    }
+    case MsgType::kError:
+      return out;  // unreachable (rejected above)
+  }
+  out.status = DecodeStatus::kOk;
+  return out;
+}
+
+ResponseDecode decode_response(const FrameHeader& header,
+                               std::span<const std::uint8_t> payload) {
+  ResponseDecode out;
+  if (!header.response) {
+    out.status = DecodeStatus::kBadType;
+    return out;
+  }
+  if (payload.size() != header.payload_len) {
+    out.status = DecodeStatus::kBadPayload;
+    return out;
+  }
+  Reader r(payload);
+  switch (header.type) {
+    case MsgType::kPing: {
+      PingResponse resp;
+      if (!r.read_u32(resp.node_count) || !r.read_i32(resp.epoch) ||
+          !r.read_u64(resp.publish_seq) || !r.exhausted()) {
+        return out;
+      }
+      out.response = resp;
+      break;
+    }
+    case MsgType::kRoute: {
+      RouteResponse resp;
+      if (!r.read_u8(resp.reachable) || !r.read_i32(resp.next_hop) ||
+          !r.read_f64(resp.cost) || !r.read_i32(resp.epoch) ||
+          !r.read_u64(resp.publish_seq) || !r.exhausted()) {
+        return out;
+      }
+      out.response = resp;
+      break;
+    }
+    case MsgType::kPath: {
+      PathResponse resp;
+      std::uint32_t hop_count = 0;
+      if (!r.read_u8(resp.reachable) || !r.read_f64(resp.cost) ||
+          !r.read_i32(resp.epoch) || !r.read_u64(resp.publish_seq) ||
+          !r.read_u32(hop_count)) {
+        return out;
+      }
+      // Hop list length must tile the remaining payload exactly; the
+      // remaining() check also caps the reserve, so a hostile hop_count
+      // cannot force an allocation beyond the (already bounded) frame.
+      if (r.remaining() != std::size_t{hop_count} * 4) return out;
+      resp.hops.reserve(hop_count);
+      for (std::uint32_t i = 0; i < hop_count; ++i) {
+        std::int32_t hop = 0;
+        if (!r.read_i32(hop)) return out;
+        resp.hops.push_back(hop);
+      }
+      if (!r.exhausted()) return out;
+      out.response = std::move(resp);
+      break;
+    }
+    case MsgType::kScore: {
+      ScoreResponse resp;
+      if (!r.read_f64(resp.score) || !r.read_i32(resp.epoch) ||
+          !r.read_u64(resp.publish_seq) || !r.exhausted()) {
+        return out;
+      }
+      out.response = resp;
+      break;
+    }
+    case MsgType::kStats: {
+      StatsResponse resp;
+      if (!r.read_u32(resp.node_count) || !r.read_i32(resp.published_epoch) ||
+          !r.read_u64(resp.publish_seq) || !r.read_u64(resp.queries_route) ||
+          !r.read_u64(resp.queries_path) || !r.read_u64(resp.queries_score) ||
+          !r.read_u64(resp.stale_served) || !r.read_u64(resp.rows_built) ||
+          !r.read_u64(resp.rows_discarded) ||
+          !r.read_u64(resp.uncached_queries) ||
+          !r.read_u64(resp.seal_violations) ||
+          !r.read_u64(resp.retired_pending) ||
+          !r.read_u64(resp.connections_accepted) ||
+          !r.read_u64(resp.connections_active) ||
+          !r.read_u64(resp.frames_in) || !r.read_u64(resp.frames_out) ||
+          !r.read_u64(resp.decode_errors) ||
+          !r.read_u64(resp.error_responses) || !r.read_u64(resp.idle_closed) ||
+          !r.read_u64(resp.bytes_in) || !r.read_u64(resp.bytes_out) ||
+          !r.read_u64(resp.batches) || !r.exhausted()) {
+        return out;
+      }
+      out.response = resp;
+      break;
+    }
+    case MsgType::kError: {
+      ErrorResponse resp;
+      std::uint32_t len = 0;
+      if (!r.read_u16(resp.code) || !r.read_u32(len)) return out;
+      std::span<const std::uint8_t> text;
+      if (!r.read_bytes(len, text) || !r.exhausted()) return out;
+      resp.message.assign(reinterpret_cast<const char*>(text.data()),
+                          text.size());
+      out.response = std::move(resp);
+      break;
+    }
+  }
+  out.status = DecodeStatus::kOk;
+  return out;
+}
+
+}  // namespace egoist::wire

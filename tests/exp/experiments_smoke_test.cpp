@@ -55,6 +55,12 @@ const std::map<std::string, Params>& smoke_overrides() {
        {{"n", "64"}, {"k", "4"}, {"br-sample", "8"}, {"br-landmarks", "8"},
         {"readers", "2"}, {"sources", "4"}, {"duration", "0.2"},
         {"max-epochs", "2"}, {"warmup", "1"}, {"coord-warmup", "10"}}},
+      {"serve_remote",
+       {{"n", "64"}, {"k", "4"}, {"br-sample", "8"}, {"br-landmarks", "8"},
+        {"readers", "2"}, {"sources", "4"}, {"duration", "0.2"},
+        {"max-epochs", "2"}, {"warmup", "1"}, {"coord-warmup", "10"},
+        {"pipeline-depth", "4"}, {"transports", "uds"},
+        {"inproc-compare", "false"}}},
   };
   return kOverrides;
 }

@@ -18,6 +18,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <memory>
 #include <thread>
@@ -175,6 +176,53 @@ TEST(RouteServiceConcurrency, RetiredViewsDrainOnlyAfterReadersRelease) {
   pinned.reset();
   EXPECT_EQ(service.reclaim(), 1u);
   EXPECT_EQ(service.retired_pending(), 0u);
+}
+
+TEST(RouteServiceConcurrency, DrainQuiescesWhenNoReaderPinsAView) {
+  host::OverlayHost host(12, 3);
+  const auto handle = host.deploy(br_spec(11));
+  host::RouteService service(host, handle);
+  host.run_epochs(handle, 3);
+  (void)service.route(0, 1);  // transient pin, released before drain
+  EXPECT_TRUE(service.drain(5.0));
+  EXPECT_EQ(service.retired_pending(), 0u);
+}
+
+TEST(RouteServiceConcurrency, DrainWaitsForPinnedReadersAndTimesOut) {
+  host::OverlayHost host(12, 3);
+  const auto handle = host.deploy(br_spec(11));
+  host::RouteService service(host, handle);
+
+  // A reader pins the current publication, then it is superseded: drain
+  // cannot finish while the pin lives.
+  auto pinned = std::make_unique<host::ServedSnapshot>(service.acquire());
+  host.run_epochs(handle, 1);
+  EXPECT_FALSE(service.drain(0.05));
+  EXPECT_EQ(service.retired_pending(), 1u);
+
+  // A releasing reader unblocks a waiting drain.
+  std::thread releaser([&pinned] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    pinned.reset();
+  });
+  EXPECT_TRUE(service.drain(10.0));
+  releaser.join();
+  EXPECT_EQ(service.retired_pending(), 0u);
+
+  // Quiesced is a stable state: an immediate re-drain is instant.
+  EXPECT_TRUE(service.drain(0.0));
+}
+
+TEST(RouteServiceConcurrency, DrainAlsoWaitsOutPinsOfTheCurrentView) {
+  host::OverlayHost host(12, 3);
+  const auto handle = host.deploy(br_spec(11));
+  host::RouteService service(host, handle);
+  // No swap ever happened — the pin is on the CURRENT view, and drain
+  // still must wait for it (a dangling reader is a leak either way).
+  auto pinned = std::make_unique<host::ServedSnapshot>(service.acquire());
+  EXPECT_FALSE(service.drain(0.05));
+  pinned.reset();
+  EXPECT_TRUE(service.drain(5.0));
 }
 
 TEST(RouteServiceConcurrency, FreshQueriesAreNotStale) {

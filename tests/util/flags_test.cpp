@@ -41,6 +41,80 @@ TEST(FlagsTest, DefaultsWhenAbsent) {
   EXPECT_EQ(f.get_seed("seed", 99u), 99u);
 }
 
+TEST(ParseDurationTest, SuffixedForms) {
+  EXPECT_DOUBLE_EQ(parse_duration_seconds("5s"), 5.0);
+  EXPECT_DOUBLE_EQ(parse_duration_seconds("250ms"), 0.25);
+  EXPECT_DOUBLE_EQ(parse_duration_seconds("10us"), 1e-5);
+  EXPECT_DOUBLE_EQ(parse_duration_seconds("100ns"), 1e-7);
+  EXPECT_DOUBLE_EQ(parse_duration_seconds("2m"), 120.0);
+  EXPECT_DOUBLE_EQ(parse_duration_seconds("2min"), 120.0);
+  EXPECT_DOUBLE_EQ(parse_duration_seconds("1.5h"), 5400.0);
+  EXPECT_DOUBLE_EQ(parse_duration_seconds("3"), 3.0);     // bare = seconds
+  EXPECT_DOUBLE_EQ(parse_duration_seconds("0.5"), 0.5);
+  EXPECT_DOUBLE_EQ(parse_duration_seconds("0s"), 0.0);
+}
+
+TEST(ParseDurationTest, RejectsMalformed) {
+  for (const char* bad : {"", "s", "5x", "5 s", "-1s", "1.2.3s", "ms",
+                          "nan", "infs", "5sms"}) {
+    EXPECT_THROW(parse_duration_seconds(bad), std::invalid_argument) << bad;
+  }
+}
+
+TEST(ParseSizeTest, SuffixedForms) {
+  EXPECT_EQ(parse_size_bytes("4096"), 4096u);
+  EXPECT_EQ(parse_size_bytes("64K"), 64u * 1024u);
+  EXPECT_EQ(parse_size_bytes("64KB"), 64u * 1024u);
+  EXPECT_EQ(parse_size_bytes("64k"), 64u * 1024u);
+  EXPECT_EQ(parse_size_bytes("8M"), 8u << 20);
+  EXPECT_EQ(parse_size_bytes("1G"), 1u << 30);
+  EXPECT_EQ(parse_size_bytes("1.5M"), (1u << 20) + (1u << 19));
+  EXPECT_EQ(parse_size_bytes("0"), 0u);
+}
+
+TEST(ParseSizeTest, RejectsMalformed) {
+  // Fractional byte counts only pass when the product is whole.
+  for (const char* bad : {"", "K", "1.5", "64Q", "-1K", "1e30G", "64 K"}) {
+    EXPECT_THROW(parse_size_bytes(bad), std::invalid_argument) << bad;
+  }
+}
+
+TEST(FlagsTest, DurationAndSizeAccessors) {
+  const auto f = make({"--idle-timeout=250ms", "--max-frame", "64K"});
+  EXPECT_DOUBLE_EQ(f.get_duration("idle-timeout", "60s"), 0.25);
+  EXPECT_DOUBLE_EQ(f.get_duration("drain-deadline", "2s"), 2.0);  // default
+  EXPECT_EQ(f.get_size("max-frame", "1M"), 64u * 1024u);
+  EXPECT_EQ(f.get_size("buffer", "1M"), 1u << 20);  // default
+  // Both appear in usage() with their suffixed defaults, like any flag.
+  const auto usage = f.usage();
+  EXPECT_NE(usage.find("--idle-timeout  (default: 60s)"), std::string::npos);
+  EXPECT_NE(usage.find("--max-frame  (default: 1M)"), std::string::npos);
+}
+
+TEST(FlagsTest, DurationAndSizeErrorsNameTheFlag) {
+  const auto f = make({"--idle-timeout=5x"});
+  try {
+    (void)f.get_duration("idle-timeout", "60s");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("--idle-timeout"),
+              std::string::npos);
+  }
+  const auto g = make({"--max-frame=64Q"});
+  EXPECT_THROW((void)g.get_size("max-frame", "1M"), std::invalid_argument);
+}
+
+TEST(FlagsTest, DurationAndSizeFlagsStillGetTypoHints) {
+  const auto f = make({"--idle-timeuot=5s"});
+  (void)f.get_duration("idle-timeout", "60s");
+  try {
+    f.finish();
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("idle-timeout"), std::string::npos);
+  }
+}
+
 TEST(FlagsTest, RejectsPositionalArgument) {
   EXPECT_THROW(make({"oops"}), std::invalid_argument);
 }

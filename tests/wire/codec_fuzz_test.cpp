@@ -1,0 +1,187 @@
+// Malformed-input battery for the wire codec (the ASan/UBSan CI job runs
+// this suite): randomized truncations, bit flips, length patches and pure
+// garbage over every message type. The codec's contract under attack is
+// narrow and absolute — decoding returns a typed DecodeStatus, never
+// throws, never over-reads the span it was handed, and never lets a
+// hostile length force an allocation. The assertions here are therefore
+// mostly "it returned SOME status and the process is still alive" — the
+// sanitizers turn any over-read or overflow into a hard failure.
+//
+// Deterministic seeds: failures reproduce byte for byte.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "wire/protocol.hpp"
+
+namespace egoist::wire {
+namespace {
+
+/// One valid encoded frame of each request/response type, ids 1..N.
+std::vector<std::vector<std::uint8_t>> corpus() {
+  std::vector<std::vector<std::uint8_t>> frames;
+  const auto add = [&](auto encode) {
+    frames.emplace_back();
+    encode(frames.back());
+  };
+  std::uint64_t id = 0;
+  add([&](auto& o) { encode_ping_request(o, ++id); });
+  add([&](auto& o) { encode_route_request(o, ++id, {3, 9}); });
+  add([&](auto& o) { encode_path_request(o, ++id, {0, 7}); });
+  add([&](auto& o) { encode_score_request(o, ++id, {5}); });
+  add([&](auto& o) { encode_stats_request(o, ++id); });
+  add([&](auto& o) { encode_ping_response(o, ++id, {100, 3, 4}); });
+  add([&](auto& o) {
+    RouteResponse resp;
+    resp.reachable = 1;
+    resp.next_hop = 2;
+    resp.cost = 1.5;
+    encode_route_response(o, ++id, resp);
+  });
+  add([&](auto& o) {
+    PathResponse resp;
+    resp.reachable = 1;
+    resp.cost = 4.5;
+    resp.hops = {0, 3, 5, 7};
+    encode_path_response(o, ++id, resp);
+  });
+  add([&](auto& o) { encode_score_response(o, ++id, {2.5, 1, 2}); });
+  add([&](auto& o) { encode_stats_response(o, ++id, StatsResponse{}); });
+  add([&](auto& o) {
+    encode_error_response(o, ++id, {2, "bad request payload"});
+  });
+  return frames;
+}
+
+/// Runs the full streaming-receiver decode path over `bytes` exactly like
+/// rpc code does: header first (bounded), then the payload decoder for
+/// whichever direction the flags claim. Every status is acceptable; what
+/// must not happen is a crash, a throw, or a sanitizer report.
+void decode_anything(const std::vector<std::uint8_t>& bytes,
+                     std::size_t max_frame = kDefaultMaxFrame) {
+  const auto hd = decode_header(bytes, max_frame);
+  if (hd.status != DecodeStatus::kOk) return;
+  if (bytes.size() < kHeaderSize + hd.header.payload_len) return;  // kNeedMore
+  const auto payload = std::span<const std::uint8_t>(bytes).subspan(
+      kHeaderSize, hd.header.payload_len);
+  if (hd.header.response) {
+    (void)decode_response(hd.header, payload);
+  } else {
+    (void)decode_request(hd.header, payload);
+  }
+}
+
+TEST(WireCodecFuzz, EveryTruncationOfEveryFrameIsRejectedCleanly) {
+  for (const auto& frame : corpus()) {
+    for (std::size_t len = 0; len <= frame.size(); ++len) {
+      std::vector<std::uint8_t> cut(frame.begin(),
+                                    frame.begin() + static_cast<long>(len));
+      ASSERT_NO_THROW(decode_anything(cut));
+      // A truncated payload handed AS IF complete must fail typed, not
+      // over-read: lie about the length by shrinking payload_len to match.
+      if (len >= kHeaderSize && len < frame.size()) {
+        cut[16] = static_cast<std::uint8_t>(len - kHeaderSize);
+        cut[17] = static_cast<std::uint8_t>((len - kHeaderSize) >> 8);
+        cut[18] = 0;
+        cut[19] = 0;
+        ASSERT_NO_THROW(decode_anything(cut));
+      }
+    }
+  }
+}
+
+TEST(WireCodecFuzz, SingleBitFlipsNeverCrashTheDecoder) {
+  for (const auto& frame : corpus()) {
+    for (std::size_t byte = 0; byte < frame.size(); ++byte) {
+      for (int bit = 0; bit < 8; ++bit) {
+        auto mutated = frame;
+        mutated[byte] ^= static_cast<std::uint8_t>(1u << bit);
+        ASSERT_NO_THROW(decode_anything(mutated));
+      }
+    }
+  }
+}
+
+TEST(WireCodecFuzz, RandomMutationsNeverCrashTheDecoder) {
+  util::Rng rng(0xF0220000u);
+  const auto frames = corpus();
+  for (int round = 0; round < 20000; ++round) {
+    auto mutated = frames[static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(frames.size()) - 1))];
+    const int mutations = static_cast<int>(rng.uniform_int(1, 8));
+    for (int i = 0; i < mutations; ++i) {
+      switch (rng.uniform_int(0, 3)) {
+        case 0:  // flip a random byte
+          if (!mutated.empty()) {
+            mutated[static_cast<std::size_t>(rng.uniform_int(
+                0, static_cast<std::int64_t>(mutated.size()) - 1))] =
+                static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+          }
+          break;
+        case 1:  // truncate
+          if (!mutated.empty()) {
+            mutated.resize(static_cast<std::size_t>(rng.uniform_int(
+                0, static_cast<std::int64_t>(mutated.size()) - 1)));
+          }
+          break;
+        case 2:  // append garbage
+          for (int j = rng.uniform_int(1, 32); j-- > 0;) {
+            mutated.push_back(
+                static_cast<std::uint8_t>(rng.uniform_int(0, 255)));
+          }
+          break;
+        default:  // patch the length field with a hostile value
+          if (mutated.size() >= kHeaderSize) {
+            const auto lie = static_cast<std::uint32_t>(
+                rng.uniform_int(0, std::int64_t{1} << 32));
+            mutated[16] = static_cast<std::uint8_t>(lie);
+            mutated[17] = static_cast<std::uint8_t>(lie >> 8);
+            mutated[18] = static_cast<std::uint8_t>(lie >> 16);
+            mutated[19] = static_cast<std::uint8_t>(lie >> 24);
+          }
+          break;
+      }
+    }
+    ASSERT_NO_THROW(decode_anything(mutated));
+  }
+}
+
+TEST(WireCodecFuzz, PureGarbageStreamsAreRejected) {
+  util::Rng rng(0xBAD5EEDu);
+  for (int round = 0; round < 5000; ++round) {
+    std::vector<std::uint8_t> garbage(static_cast<std::size_t>(
+        rng.uniform_int(0, 256)));
+    for (auto& b : garbage) {
+      b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    }
+    const auto hd = decode_header(garbage);
+    // Random bytes essentially never spell "EGOR" + version 1 + valid
+    // type + valid flags; a passing header here would be suspicious.
+    if (garbage.size() >= kHeaderSize) {
+      EXPECT_NE(hd.status, DecodeStatus::kNeedMore);
+    } else {
+      EXPECT_EQ(hd.status, DecodeStatus::kNeedMore);
+    }
+    ASSERT_NO_THROW(decode_anything(garbage));
+  }
+}
+
+TEST(WireCodecFuzz, HostileLengthsNeverAllocate) {
+  // Every frame type with payload_len patched to the receiver bound + 1:
+  // rejected at the header, before any payload buffering or allocation.
+  for (const auto& frame : corpus()) {
+    auto mutated = frame;
+    const std::uint32_t lie = (1u << 20) + 1;
+    mutated[16] = static_cast<std::uint8_t>(lie);
+    mutated[17] = static_cast<std::uint8_t>(lie >> 8);
+    mutated[18] = static_cast<std::uint8_t>(lie >> 16);
+    mutated[19] = static_cast<std::uint8_t>(lie >> 24);
+    EXPECT_EQ(decode_header(mutated, 1u << 20).status,
+              DecodeStatus::kOversized);
+  }
+}
+
+}  // namespace
+}  // namespace egoist::wire

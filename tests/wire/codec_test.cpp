@@ -1,0 +1,348 @@
+// Wire-protocol codec: encode/decode round trips for every message type,
+// header validation (magic / version / type / flags / size bound), and the
+// exact-consumption payload contract. The adversarial battery lives in
+// codec_fuzz_test.cpp; these are the deterministic contracts.
+#include "wire/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+namespace egoist::wire {
+namespace {
+
+/// Splits one encoded frame into (validated header, payload span) or fails
+/// the test.
+struct SplitFrame {
+  FrameHeader header;
+  std::span<const std::uint8_t> payload;
+};
+
+SplitFrame split(const std::vector<std::uint8_t>& bytes,
+                 std::size_t max_frame = kDefaultMaxFrame) {
+  const auto hd = decode_header(bytes, max_frame);
+  EXPECT_EQ(hd.status, DecodeStatus::kOk);
+  EXPECT_EQ(bytes.size(), kHeaderSize + hd.header.payload_len)
+      << "encoder produced trailing bytes";
+  return {hd.header,
+          std::span<const std::uint8_t>(bytes).subspan(kHeaderSize)};
+}
+
+TEST(WireCodec, PingRoundTrip) {
+  std::vector<std::uint8_t> bytes;
+  encode_ping_request(bytes, 7);
+  const auto f = split(bytes);
+  EXPECT_EQ(f.header.type, MsgType::kPing);
+  EXPECT_FALSE(f.header.response);
+  EXPECT_EQ(f.header.request_id, 7u);
+  EXPECT_EQ(f.header.payload_len, 0u);
+  const auto decoded = decode_request(f.header, f.payload);
+  ASSERT_EQ(decoded.status, DecodeStatus::kOk);
+  EXPECT_TRUE(std::holds_alternative<PingRequest>(decoded.request));
+
+  PingResponse resp;
+  resp.node_count = 10000;
+  resp.epoch = 42;
+  resp.publish_seq = 99;
+  bytes.clear();
+  encode_ping_response(bytes, 7, resp);
+  const auto rf = split(bytes);
+  EXPECT_TRUE(rf.header.response);
+  const auto rd = decode_response(rf.header, rf.payload);
+  ASSERT_EQ(rd.status, DecodeStatus::kOk);
+  const auto& out = std::get<PingResponse>(rd.response);
+  EXPECT_EQ(out.node_count, 10000u);
+  EXPECT_EQ(out.epoch, 42);
+  EXPECT_EQ(out.publish_seq, 99u);
+}
+
+TEST(WireCodec, RouteRoundTrip) {
+  std::vector<std::uint8_t> bytes;
+  encode_route_request(bytes, 1, {123, -1});
+  const auto f = split(bytes);
+  const auto decoded = decode_request(f.header, f.payload);
+  ASSERT_EQ(decoded.status, DecodeStatus::kOk);
+  const auto& req = std::get<RouteRequest>(decoded.request);
+  EXPECT_EQ(req.src, 123);
+  EXPECT_EQ(req.dst, -1);
+
+  RouteResponse resp;
+  resp.reachable = 1;
+  resp.next_hop = 17;
+  resp.cost = 3.25;
+  resp.epoch = -2;
+  resp.publish_seq = 1ull << 40;
+  bytes.clear();
+  encode_route_response(bytes, 1, resp);
+  const auto rf = split(bytes);
+  const auto rd = decode_response(rf.header, rf.payload);
+  ASSERT_EQ(rd.status, DecodeStatus::kOk);
+  const auto& out = std::get<RouteResponse>(rd.response);
+  EXPECT_EQ(out.reachable, 1);
+  EXPECT_EQ(out.next_hop, 17);
+  EXPECT_DOUBLE_EQ(out.cost, 3.25);
+  EXPECT_EQ(out.epoch, -2);
+  EXPECT_EQ(out.publish_seq, 1ull << 40);
+}
+
+TEST(WireCodec, RouteResponseInfinityAndScoreNaNSurvive) {
+  RouteResponse resp;
+  resp.cost = std::numeric_limits<double>::infinity();
+  std::vector<std::uint8_t> bytes;
+  encode_route_response(bytes, 2, resp);
+  auto f = split(bytes);
+  auto rd = decode_response(f.header, f.payload);
+  ASSERT_EQ(rd.status, DecodeStatus::kOk);
+  EXPECT_TRUE(std::isinf(std::get<RouteResponse>(rd.response).cost));
+
+  ScoreResponse score;
+  score.score = std::numeric_limits<double>::quiet_NaN();
+  bytes.clear();
+  encode_score_response(bytes, 3, score);
+  f = split(bytes);
+  rd = decode_response(f.header, f.payload);
+  ASSERT_EQ(rd.status, DecodeStatus::kOk);
+  EXPECT_TRUE(std::isnan(std::get<ScoreResponse>(rd.response).score));
+}
+
+TEST(WireCodec, PathRoundTripWithAndWithoutHops) {
+  PathResponse resp;
+  resp.reachable = 1;
+  resp.cost = 12.5;
+  resp.epoch = 3;
+  resp.publish_seq = 8;
+  resp.hops = {0, 5, 2, 9};
+  std::vector<std::uint8_t> bytes;
+  encode_path_response(bytes, 4, resp);
+  auto f = split(bytes);
+  auto rd = decode_response(f.header, f.payload);
+  ASSERT_EQ(rd.status, DecodeStatus::kOk);
+  EXPECT_EQ(std::get<PathResponse>(rd.response).hops,
+            (std::vector<std::int32_t>{0, 5, 2, 9}));
+
+  resp.hops.clear();
+  resp.reachable = 0;
+  bytes.clear();
+  encode_path_response(bytes, 5, resp);
+  f = split(bytes);
+  rd = decode_response(f.header, f.payload);
+  ASSERT_EQ(rd.status, DecodeStatus::kOk);
+  EXPECT_TRUE(std::get<PathResponse>(rd.response).hops.empty());
+}
+
+TEST(WireCodec, StatsRoundTripCarriesEveryCounter) {
+  StatsResponse resp;
+  resp.node_count = 2000;
+  resp.published_epoch = 64;
+  resp.publish_seq = 66;
+  resp.queries_route = 1;
+  resp.queries_path = 2;
+  resp.queries_score = 3;
+  resp.stale_served = 4;
+  resp.rows_built = 5;
+  resp.rows_discarded = 6;
+  resp.uncached_queries = 7;
+  resp.seal_violations = 8;
+  resp.retired_pending = 9;
+  resp.connections_accepted = 10;
+  resp.connections_active = 11;
+  resp.frames_in = 12;
+  resp.frames_out = 13;
+  resp.decode_errors = 14;
+  resp.error_responses = 15;
+  resp.idle_closed = 16;
+  resp.bytes_in = 17;
+  resp.bytes_out = 18;
+  resp.batches = 19;
+  std::vector<std::uint8_t> bytes;
+  encode_stats_response(bytes, 6, resp);
+  const auto f = split(bytes);
+  const auto rd = decode_response(f.header, f.payload);
+  ASSERT_EQ(rd.status, DecodeStatus::kOk);
+  const auto& out = std::get<StatsResponse>(rd.response);
+  EXPECT_EQ(out.node_count, 2000u);
+  EXPECT_EQ(out.published_epoch, 64);
+  EXPECT_EQ(out.publish_seq, 66u);
+  EXPECT_EQ(out.queries_route, 1u);
+  EXPECT_EQ(out.queries_path, 2u);
+  EXPECT_EQ(out.queries_score, 3u);
+  EXPECT_EQ(out.stale_served, 4u);
+  EXPECT_EQ(out.rows_built, 5u);
+  EXPECT_EQ(out.rows_discarded, 6u);
+  EXPECT_EQ(out.uncached_queries, 7u);
+  EXPECT_EQ(out.seal_violations, 8u);
+  EXPECT_EQ(out.retired_pending, 9u);
+  EXPECT_EQ(out.connections_accepted, 10u);
+  EXPECT_EQ(out.connections_active, 11u);
+  EXPECT_EQ(out.frames_in, 12u);
+  EXPECT_EQ(out.frames_out, 13u);
+  EXPECT_EQ(out.decode_errors, 14u);
+  EXPECT_EQ(out.error_responses, 15u);
+  EXPECT_EQ(out.idle_closed, 16u);
+  EXPECT_EQ(out.bytes_in, 17u);
+  EXPECT_EQ(out.bytes_out, 18u);
+  EXPECT_EQ(out.batches, 19u);
+}
+
+TEST(WireCodec, ErrorRoundTrip) {
+  ErrorResponse resp;
+  resp.code = static_cast<std::uint16_t>(ErrorCode::kOutOfRange);
+  resp.message = "node id out of range";
+  std::vector<std::uint8_t> bytes;
+  encode_error_response(bytes, 9, resp);
+  const auto f = split(bytes);
+  EXPECT_EQ(f.header.type, MsgType::kError);
+  EXPECT_TRUE(f.header.response);
+  const auto rd = decode_response(f.header, f.payload);
+  ASSERT_EQ(rd.status, DecodeStatus::kOk);
+  const auto& out = std::get<ErrorResponse>(rd.response);
+  EXPECT_EQ(out.code, static_cast<std::uint16_t>(ErrorCode::kOutOfRange));
+  EXPECT_EQ(out.message, "node id out of range");
+}
+
+// --- Header validation ----------------------------------------------------
+
+std::vector<std::uint8_t> valid_frame() {
+  std::vector<std::uint8_t> bytes;
+  encode_route_request(bytes, 77, {1, 2});
+  return bytes;
+}
+
+TEST(WireHeader, NeedMoreOnShortHeader) {
+  const auto bytes = valid_frame();
+  for (std::size_t len = 0; len < kHeaderSize; ++len) {
+    const auto hd = decode_header(
+        std::span<const std::uint8_t>(bytes.data(), len));
+    EXPECT_EQ(hd.status, DecodeStatus::kNeedMore) << "len=" << len;
+  }
+}
+
+TEST(WireHeader, BadMagicRejected) {
+  auto bytes = valid_frame();
+  bytes[0] ^= 0xFF;
+  EXPECT_EQ(decode_header(bytes).status, DecodeStatus::kBadMagic);
+}
+
+TEST(WireHeader, BadVersionRejected) {
+  auto bytes = valid_frame();
+  bytes[4] = kVersion + 1;
+  EXPECT_EQ(decode_header(bytes).status, DecodeStatus::kBadVersion);
+}
+
+TEST(WireHeader, UnknownTypeRejected) {
+  auto bytes = valid_frame();
+  bytes[5] = 0;
+  EXPECT_EQ(decode_header(bytes).status, DecodeStatus::kBadType);
+  bytes[5] = 200;
+  EXPECT_EQ(decode_header(bytes).status, DecodeStatus::kBadType);
+}
+
+TEST(WireHeader, ReservedFlagBitsRejected) {
+  auto bytes = valid_frame();
+  bytes[6] |= 0x02;  // any bit beyond bit 0
+  EXPECT_EQ(decode_header(bytes).status, DecodeStatus::kBadFlags);
+}
+
+TEST(WireHeader, OversizedPayloadRejectedBeforeBuffering) {
+  auto bytes = valid_frame();
+  // Patch payload_len (offset 16, u32 LE) to 32 MiB - 1 — beyond both the
+  // default bound and the 16 MiB hard limit.
+  bytes[16] = 0xFF;
+  bytes[17] = 0xFF;
+  bytes[18] = 0xFF;
+  bytes[19] = 0x01;
+  EXPECT_EQ(decode_header(bytes).status, DecodeStatus::kOversized);
+  // A tighter receiver bound rejects smaller frames too.
+  const auto small = valid_frame();
+  EXPECT_EQ(decode_header(small, /*max_frame=*/4).status,
+            DecodeStatus::kOversized);
+  // And nothing may raise the bound above kMaxFrameLimit.
+  EXPECT_EQ(decode_header(bytes, /*max_frame=*/1ull << 40).status,
+            DecodeStatus::kOversized);
+}
+
+// --- Payload contract -----------------------------------------------------
+
+TEST(WirePayload, TruncatedPayloadRejected) {
+  const auto bytes = valid_frame();
+  const auto f = split(bytes);
+  for (std::size_t len = 0; len < f.payload.size(); ++len) {
+    const auto rd = decode_request(f.header, f.payload.subspan(0, len));
+    EXPECT_EQ(rd.status, DecodeStatus::kBadPayload) << "len=" << len;
+  }
+}
+
+TEST(WirePayload, TrailingBytesRejected) {
+  auto bytes = valid_frame();
+  bytes.push_back(0);
+  const auto hd = decode_header(bytes);
+  ASSERT_EQ(hd.status, DecodeStatus::kOk);
+  // Hand the decoder one byte more than payload_len claims.
+  const auto rd = decode_request(
+      hd.header, std::span<const std::uint8_t>(bytes).subspan(kHeaderSize));
+  EXPECT_EQ(rd.status, DecodeStatus::kBadPayload);
+}
+
+TEST(WirePayload, RequestDecoderRejectsResponses) {
+  std::vector<std::uint8_t> bytes;
+  encode_route_response(bytes, 1, RouteResponse{});
+  const auto f = split(bytes);
+  EXPECT_EQ(decode_request(f.header, f.payload).status,
+            DecodeStatus::kBadType);
+}
+
+TEST(WirePayload, ErrorIsResponseOnly) {
+  std::vector<std::uint8_t> bytes;
+  encode_error_response(bytes, 1, {1, "x"});
+  auto hd = decode_header(bytes);
+  ASSERT_EQ(hd.status, DecodeStatus::kOk);
+  hd.header.response = false;  // forge a request-direction ERROR
+  EXPECT_EQ(decode_request(hd.header,
+                           std::span<const std::uint8_t>(bytes).subspan(
+                               kHeaderSize))
+                .status,
+            DecodeStatus::kBadType);
+}
+
+TEST(WirePayload, HostileHopCountCannotForceAllocation) {
+  // A PATH response whose hop_count claims 2^30 entries but whose payload
+  // carries none: the decoder must reject before reserving anything.
+  PathResponse resp;
+  resp.reachable = 1;
+  std::vector<std::uint8_t> bytes;
+  encode_path_response(bytes, 1, resp);
+  // hop_count is the last u32 of the fixed part; empty hops follow. Patch
+  // it to a huge value without appending hop data.
+  const std::size_t hop_count_at = bytes.size() - 4;
+  bytes[hop_count_at] = 0x00;
+  bytes[hop_count_at + 1] = 0x00;
+  bytes[hop_count_at + 2] = 0x00;
+  bytes[hop_count_at + 3] = 0x40;  // 2^30
+  const auto hd = decode_header(bytes);
+  ASSERT_EQ(hd.status, DecodeStatus::kOk);
+  const auto rd = decode_response(
+      hd.header, std::span<const std::uint8_t>(bytes).subspan(kHeaderSize));
+  EXPECT_EQ(rd.status, DecodeStatus::kBadPayload);
+}
+
+TEST(WireCodec, EncodersAppendWithoutClobbering) {
+  // Encoders append — back-to-back frames in one buffer is the pipelined
+  // server's write path.
+  std::vector<std::uint8_t> bytes;
+  encode_route_request(bytes, 1, {0, 1});
+  const auto first_len = bytes.size();
+  encode_ping_request(bytes, 2);
+  const auto hd1 = decode_header(bytes);
+  ASSERT_EQ(hd1.status, DecodeStatus::kOk);
+  EXPECT_EQ(kHeaderSize + hd1.header.payload_len, first_len);
+  const auto hd2 = decode_header(
+      std::span<const std::uint8_t>(bytes).subspan(first_len));
+  ASSERT_EQ(hd2.status, DecodeStatus::kOk);
+  EXPECT_EQ(hd2.header.request_id, 2u);
+}
+
+}  // namespace
+}  // namespace egoist::wire
