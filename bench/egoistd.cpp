@@ -16,7 +16,7 @@
 // Startup handshake: once the listeners are live the daemon prints ONE
 // line to stdout —
 //
-//   EGOISTD READY pid=<pid> n=<n> tcp=<port|-1> uds=<path|->
+//   EGOISTD READY pid=<pid> n=<n> tcp=<port|-1> uds=<path|-> loops=<count>
 //
 // — and a spawner may connect. Shutdown: SIGTERM/SIGINT stop the epoch
 // loop, the server drains queued responses and closes (rpc::Server::stop),
@@ -52,7 +52,7 @@ bool is_daemon_flag(const std::string& name) {
          name == "max-frame" || name == "idle-timeout" ||
          name == "drain-deadline" || name == "drain-timeout" ||
          name == "max-connections" || name == "max-epochs" ||
-         name == "epoch-interval" || name == "help";
+         name == "epoch-interval" || name == "loops" || name == "help";
 }
 
 /// "--listen PORT" or "--listen HOST:PORT"; empty disables TCP.
@@ -87,6 +87,7 @@ int run(int argc, char** argv) {
   server_options.idle_timeout_s = flags.get_duration("idle-timeout", "60s");
   server_options.drain_deadline_s = flags.get_duration("drain-deadline", "2s");
   server_options.max_connections = flags.get_int("max-connections", 512);
+  server_options.loops = flags.get_int("loops", 1);
   const int max_epochs = flags.get_int("max-epochs", 512);
   const double epoch_interval_s = flags.get_duration("epoch-interval", "0s");
   const double drain_timeout_s = flags.get_duration("drain-timeout", "5s");
@@ -143,7 +144,7 @@ int run(int argc, char** argv) {
             << " tcp=" << server.tcp_port() << " uds="
             << (server_options.uds_path.empty() ? "-"
                                                 : server_options.uds_path)
-            << std::endl;
+            << " loops=" << server.loops() << std::endl;
 
   // The serving loop: churned epochs publish snapshots under the event
   // loop until a signal arrives (or max-epochs ran; then idle-serve).

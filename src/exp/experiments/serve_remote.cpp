@@ -1,26 +1,35 @@
 // serve_remote: the out-of-process serving bench — spawns egoistd and
 // hammers it over loopback TCP and a Unix-domain socket.
 //
-// One daemon process is forked (the egoistd binary next to this one, or
-// knob `egoistd-bin`), configured with exactly the deployment knobs this
-// scenario carries — the deployment builder is shared
-// (exp/serve_workload.hpp), so the daemon's overlay is bit-identical to
-// the local comparison overlay this process deploys. After the daemon's
-// "EGOISTD READY" handshake, each (transport × mix) pair gets one serving
-// window: `readers` client threads, each with its own pipelined
-// rpc::Client (depth `pipeline-depth`), replay the serve_load workload —
-// hot source pool, zipf or uniform destinations — while the daemon keeps
-// churning epochs on its side of the socket. Per-request latency is
-// stamped at flush() and measured at each take_*() (the honest pipelined
-// number: full round trip including queueing behind the batch).
+// One daemon process per `loops` value is forked (the egoistd binary next
+// to this one, or knob `egoistd-bin`), configured with exactly the
+// deployment knobs this scenario carries — the deployment builder is
+// shared (exp/serve_workload.hpp), so each daemon's overlay is
+// bit-identical to the local comparison overlay this process deploys.
+// After a daemon's "EGOISTD READY" handshake, each (transport × mix ×
+// mode) triple gets one serving window: `readers` client threads, each
+// with its own rpc::Client, replay the serve_load workload — hot source
+// pool, zipf or uniform destinations — while the daemon keeps churning
+// epochs on its side of the socket. Mode `pipeline` posts `pipeline-depth`
+// single ROUTE frames per burst; mode `batch` (knob `batch`) ships the
+// same depth as ONE BATCH_ROUTE frame — one header decode and one send
+// per direction instead of depth of each. Per-request latency is stamped
+// at flush() and measured at each take_*() (the honest pipelined number:
+// full round trip including queueing behind the batch).
+//
+// The per_loop_qps column splits a window's answer rate across the
+// daemon's event loops (per-loop frames_out deltas from the v2 STATS
+// breakdown, scaled by depth for batch windows) — the direct read on
+// whether SO_REUSEPORT / the UDS round-robin actually spread the load.
 //
 // After the remote windows, the same workload runs in-process against the
 // local overlay (`inproc-compare`) — serve_load's exact inner loop — so
-// every mix gets a socket row and an in-process row side by side: the cost
-// of the wire. The daemon is then SIGTERMed and must exit 0 after proving
-// RouteService::drain — the "daemon" table carries its exit code, drain
-// flag and transport counters, which CI gates on (qps floor,
-// decode_errors == 0, seal_violations == 0, clean exit).
+// every mix gets socket rows and an in-process row side by side: the cost
+// of the wire. Each daemon is then SIGTERMed and must exit 0 after
+// proving RouteService::drain — the "daemon" table carries one row per
+// daemon (loops, host_cpus, exit code, drain flag, transport counters),
+// which CI gates on (qps floor, loop scaling, decode_errors == 0,
+// seal_violations == 0, clean exit).
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -55,6 +64,7 @@ struct Daemon {
   int out_fd = -1;
   int tcp_port = -1;
   std::string uds_path;
+  int loops = 1;
 };
 
 std::string self_dir() {
@@ -99,6 +109,14 @@ Daemon spawn_daemon(const std::string& binary,
   daemon.pid = pid;
   daemon.out_fd = pipe_fds[0];
   return daemon;
+}
+
+void kill_daemon(Daemon& daemon) {
+  if (daemon.pid < 0) return;
+  ::kill(daemon.pid, SIGKILL);
+  ::waitpid(daemon.pid, nullptr, 0);
+  ::close(daemon.out_fd);
+  daemon.pid = -1;
 }
 
 /// Reads one '\n'-terminated line from the daemon's stdout, waiting up to
@@ -146,14 +164,17 @@ std::string line_field(const std::string& line, const std::string& key) {
   return "";
 }
 
-/// One remote serving window: `readers` threads of pipelined ROUTE calls.
+/// One remote serving window: `readers` threads of ROUTE lookups — depth
+/// pipelined single frames per burst, or one BATCH_ROUTE frame carrying
+/// the depth when batch_mode is set.
 WindowResult run_remote_window(const std::string& transport,
                                const std::string& host, int tcp_port,
                                const std::string& uds_path,
                                std::span<const overlay::NodeId> pool,
                                bool zipf, double zipf_exponent, std::size_t n,
-                               int readers, int depth, double duration_s,
-                               std::uint64_t seed, std::size_t window) {
+                               int readers, int depth, bool batch_mode,
+                               double duration_s, std::uint64_t seed,
+                               std::size_t window) {
   const ZipfSampler zipf_sampler(zipf ? n : 1, zipf_exponent);
 
   struct ClientTally {
@@ -177,29 +198,55 @@ WindowResult run_remote_window(const std::string& transport,
         util::Rng rng(seed ^ (window * 1000 +
                               17 * static_cast<std::size_t>(r) + 1));
         const auto n_id = static_cast<std::int64_t>(n);
+        const auto draw_src = [&] {
+          return pool[static_cast<std::size_t>(rng.uniform_int(
+              0, static_cast<std::int64_t>(pool.size()) - 1))];
+        };
+        const auto draw_dst = [&] {
+          return zipf ? zipf_sampler.draw(rng)
+                      : static_cast<overlay::NodeId>(
+                            rng.uniform_int(0, n_id - 1));
+        };
+        std::vector<wire::BatchRoutePair> pairs;
         while (!stop.load(std::memory_order_relaxed)) {
-          for (int i = 0; i < depth; ++i) {
-            const auto src = pool[static_cast<std::size_t>(rng.uniform_int(
-                0, static_cast<std::int64_t>(pool.size()) - 1))];
-            const auto dst =
-                zipf ? zipf_sampler.draw(rng)
-                     : static_cast<overlay::NodeId>(
-                           rng.uniform_int(0, n_id - 1));
-            client.post_route(src, dst);
-          }
-          client.flush();
-          // Every request in the batch left the socket at flush time, so
-          // each take measures its full pipelined round trip.
-          const auto sent = std::chrono::steady_clock::now();
-          for (int i = 0; i < depth; ++i) {
-            const auto resp = client.take_route();
+          if (batch_mode) {
+            pairs.clear();
+            for (int i = 0; i < depth; ++i) {
+              pairs.push_back({draw_src(), draw_dst()});
+            }
+            client.post_route_batch(pairs);
+            client.flush();
+            const auto sent = std::chrono::steady_clock::now();
+            const auto resp = client.take_route_batch();
+            // One frame answered the whole burst; every lookup in it paid
+            // the same round trip.
             const auto ns =
                 std::chrono::duration_cast<std::chrono::nanoseconds>(
                     std::chrono::steady_clock::now() - sent)
                     .count();
-            tally.latency.record(static_cast<std::uint64_t>(ns));
-            ++tally.queries;
-            if (!resp.reachable) ++tally.unreachable;
+            for (const auto& entry : resp.entries) {
+              tally.latency.record(static_cast<std::uint64_t>(ns));
+              ++tally.queries;
+              if (!entry.reachable) ++tally.unreachable;
+            }
+          } else {
+            for (int i = 0; i < depth; ++i) {
+              client.post_route(draw_src(), draw_dst());
+            }
+            client.flush();
+            // Every request in the batch left the socket at flush time,
+            // so each take measures its full pipelined round trip.
+            const auto sent = std::chrono::steady_clock::now();
+            for (int i = 0; i < depth; ++i) {
+              const auto resp = client.take_route();
+              const auto ns =
+                  std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now() - sent)
+                      .count();
+              tally.latency.record(static_cast<std::uint64_t>(ns));
+              ++tally.queries;
+              if (!resp.reachable) ++tally.unreachable;
+            }
           }
         }
       } catch (const std::exception& e) {
@@ -247,6 +294,29 @@ std::string format_fixed(double value, int precision) {
   return out.str();
 }
 
+/// "qps0/qps1/..." — the window's answer rate split across the daemon's
+/// loops, from the v2 per-loop frames_out deltas. Batch windows answer
+/// `depth` lookups per frame, hence the scale factor. Approximate by a
+/// couple of frames (the control client's own STATS traffic lands on one
+/// loop) — telemetry, not an invariant.
+std::string per_loop_qps_column(const wire::StatsResponse& before,
+                                const wire::StatsResponse& after,
+                                std::uint64_t per_frame, double elapsed_s) {
+  if (after.per_loop.empty() ||
+      after.per_loop.size() != before.per_loop.size() || elapsed_s <= 0.0) {
+    return "-";
+  }
+  std::string out;
+  for (std::size_t i = 0; i < after.per_loop.size(); ++i) {
+    const std::uint64_t frames =
+        after.per_loop[i].frames_out - before.per_loop[i].frames_out;
+    if (i > 0) out += "/";
+    out += format_fixed(
+        static_cast<double>(frames * per_frame) / elapsed_s, 0);
+  }
+  return out;
+}
+
 }  // namespace
 
 void run_serve_remote(const ParamReader& params, ResultSink& sink) {
@@ -270,6 +340,23 @@ void run_serve_remote(const ParamReader& params, ResultSink& sink) {
   if (mixes.empty() || transports.empty()) {
     throw std::invalid_argument("empty mix or transports list");
   }
+  std::vector<int> loops_list;
+  for (const auto& text : split_csv(params.get_string("loops", "1"))) {
+    int value = 0;
+    try {
+      value = std::stoi(text);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("bad loops value: " + text);
+    }
+    if (value < 0 || value > 64) {
+      throw std::invalid_argument("loops must be in [0, 64], got " + text);
+    }
+    loops_list.push_back(value);
+  }
+  if (loops_list.empty()) throw std::invalid_argument("empty loops list");
+  const bool batch = params.get_bool("batch", true);
+  std::vector<std::string> modes{"pipeline"};
+  if (batch) modes.push_back("batch");
   const double zipf_exponent = params.get_double("zipf-exponent", 0.9);
   const int sources = params.get_int("sources", 8);
   if (sources < 1) throw std::invalid_argument("sources must be >= 1");
@@ -290,58 +377,49 @@ void run_serve_remote(const ParamReader& params, ResultSink& sink) {
     }
   }
 
-  // The daemon keeps churning across every remote window, so its churn
-  // trace must cover the worst case; the local comparison overlay runs at
-  // most one window per mix.
-  const int total_windows =
-      static_cast<int>(transports.size() * mixes.size()) +
+  // Each daemon keeps churning across every one of its remote windows, so
+  // its churn trace must cover the worst case; the local comparison
+  // overlay runs at most one window per mix on top.
+  const int windows_per_daemon =
+      static_cast<int>(transports.size() * mixes.size() * modes.size());
+  const int inproc_windows =
       static_cast<int>(inproc_compare ? mixes.size() : 0);
-  const auto deployment =
-      read_serve_deployment(params, static_cast<double>(total_windows) *
-                                        max_epochs);
+  const auto deployment = read_serve_deployment(
+      params,
+      static_cast<double>(windows_per_daemon + inproc_windows) * max_epochs);
   const std::size_t n = deployment.n;
 
-  // Daemon args: listeners + epoch bound + the forwarded deployment knobs.
-  const std::string uds_path =
-      "/tmp/egoistd-" + std::to_string(::getpid()) + ".sock";
-  std::vector<std::string> args{
-      "--listen", "127.0.0.1:0", "--uds", uds_path, "--max-epochs",
-      std::to_string(total_windows * max_epochs)};
+  // Daemon args: listeners + epoch bound + the forwarded deployment
+  // knobs; --loops is per daemon, appended at spawn.
+  std::vector<std::string> base_args{
+      "--listen", "127.0.0.1:0", "--max-epochs",
+      std::to_string(windows_per_daemon * max_epochs)};
   for (const char* key : serve_deployment_keys()) {
     if (const auto* value = params.spec().find(key)) {
-      args.push_back("--" + std::string(key) + "=" + *value);
+      base_args.push_back("--" + std::string(key) + "=" + *value);
     }
   }
 
-  // Spawn first (fork while this process is still small), then deploy the
-  // local comparison overlay while the daemon warms up its own.
-  Daemon daemon = spawn_daemon(egoistd_bin, args);
+  // Spawn every daemon first (fork while this process is still small, and
+  // the warmups overlap), then deploy the local comparison overlay while
+  // they build theirs.
+  std::vector<Daemon> daemons;
   ServingOverlay serving;
-  std::string ready_error;
   try {
+    for (std::size_t d = 0; d < loops_list.size(); ++d) {
+      const std::string uds_path = "/tmp/egoistd-" +
+                                   std::to_string(::getpid()) + "-l" +
+                                   std::to_string(loops_list[d]) + ".sock";
+      auto args = base_args;
+      args.push_back("--uds");
+      args.push_back(uds_path);
+      args.push_back("--loops");
+      args.push_back(std::to_string(loops_list[d]));
+      daemons.push_back(spawn_daemon(egoistd_bin, args));
+    }
     serving = deploy_serving_overlay(deployment);
-
-    const auto deadline =
-        std::chrono::steady_clock::now() +
-        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-            std::chrono::duration<double>(ready_timeout_s));
-    std::string line;
-    for (;;) {
-      if (!read_line(daemon.out_fd, line, deadline)) {
-        throw std::runtime_error("egoistd exited before READY (" +
-                                 egoistd_bin + ")");
-      }
-      if (line.rfind("EGOISTD READY", 0) == 0) break;
-    }
-    daemon.tcp_port = std::stoi(line_field(line, "tcp"));
-    daemon.uds_path = line_field(line, "uds");
-    if (line_field(line, "n") != std::to_string(n)) {
-      throw std::runtime_error("egoistd deployed a different n: " + line);
-    }
   } catch (...) {
-    ::kill(daemon.pid, SIGKILL);
-    ::waitpid(daemon.pid, nullptr, 0);
-    ::close(daemon.out_fd);
+    for (auto& daemon : daemons) kill_daemon(daemon);
     throw;
   }
 
@@ -350,34 +428,43 @@ void run_serve_remote(const ParamReader& params, ResultSink& sink) {
 
   sink.section(
       "serve remote: egoistd n=" + std::to_string(n) + " over " +
-          params.get_string("transports", "uds,tcp"),
-      std::to_string(readers) + " client thread(s), pipeline depth " +
-          std::to_string(depth) + ", hammer a spawned egoistd daemon with "
-          "the serve_load workload (hot pool of " + std::to_string(sources) +
-          " sources, " + params.get_string("mix", "zipf,uniform") +
-          " destination mix) while it churns epochs behind the socket; "
-          "latency is the full pipelined round trip in microseconds. The "
-          "inproc rows replay the identical workload against an in-process "
-          "RouteService on a bit-identical local overlay — the cost of the "
-          "wire.");
+          params.get_string("transports", "uds,tcp") + ", loops " +
+          params.get_string("loops", "1"),
+      std::to_string(readers) + " client thread(s), depth " +
+          std::to_string(depth) + ", hammer one spawned egoistd daemon per "
+          "loops value with the serve_load workload (hot pool of " +
+          std::to_string(sources) + " sources, " +
+          params.get_string("mix", "zipf,uniform") + " destination mix) "
+          "while it churns epochs behind the socket; mode pipeline posts "
+          "depth single ROUTE frames per burst, mode batch ships the same "
+          "depth as one BATCH_ROUTE frame. Latency is the full round trip "
+          "in microseconds; per_loop_qps splits the answer rate across the "
+          "daemon's event loops. The inproc rows replay the identical "
+          "workload against an in-process RouteService on a bit-identical "
+          "local overlay — the cost of the wire.");
 
-  util::Table table({"transport", "mix", "n", "clients", "depth",
-                     "duration_s", "epochs", "queries", "qps", "p50_us",
-                     "p99_us", "p999_us", "max_us", "unreachable",
-                     "decode_errors", "error_responses", "seal_violations"});
+  util::Table table({"transport", "mix", "loops", "mode", "n", "clients",
+                     "depth", "duration_s", "epochs", "queries", "qps",
+                     "per_loop_qps", "p50_us", "p99_us", "p999_us", "max_us",
+                     "unreachable", "decode_errors", "error_responses",
+                     "seal_violations"});
 
   const auto add_row = [&](const std::string& transport,
-                           const std::string& mix, int row_depth,
-                           const WindowResult& window, std::uint64_t epochs,
-                           std::uint64_t decode_errors,
+                           const std::string& mix, const std::string& loops,
+                           const std::string& mode, int row_depth,
+                           const WindowResult& window,
+                           const std::string& per_loop_qps,
+                           std::uint64_t epochs, std::uint64_t decode_errors,
                            std::uint64_t error_responses,
                            std::uint64_t seal_violations) {
     table.add_row(
-        {transport, mix, std::to_string(n), std::to_string(readers),
-         std::to_string(row_depth), format_fixed(window.elapsed_s, 2),
-         std::to_string(epochs), std::to_string(window.queries),
+        {transport, mix, loops, mode, std::to_string(n),
+         std::to_string(readers), std::to_string(row_depth),
+         format_fixed(window.elapsed_s, 2), std::to_string(epochs),
+         std::to_string(window.queries),
          format_fixed(static_cast<double>(window.queries) / window.elapsed_s,
                       0),
+         per_loop_qps,
          format_us(window.latency.count() ? window.latency.p50() : 0.0),
          format_us(window.latency.count() ? window.latency.p99() : 0.0),
          format_us(window.latency.count() ? window.latency.p999() : 0.0),
@@ -386,63 +473,119 @@ void run_serve_remote(const ParamReader& params, ResultSink& sink) {
          std::to_string(error_responses), std::to_string(seal_violations)});
   };
 
-  std::size_t window_index = 0;
-  wire::StatsResponse final_stats;
-  int exit_code = -1;
-  std::string exit_line;
-  try {
-    // Control client for the daemon's counters (UDS when available).
-    rpc::Client control =
-        !daemon.uds_path.empty() && daemon.uds_path != "-"
-            ? rpc::Client::connect_uds(daemon.uds_path)
-            : rpc::Client::connect_tcp("127.0.0.1", daemon.tcp_port);
+  util::Table daemon_table(
+      {"loops", "host_cpus", "exit_code", "drained", "epochs",
+       "connections_accepted", "frames_in", "frames_out", "batches",
+       "bytes_in", "bytes_out", "decode_errors", "error_responses",
+       "idle_closed", "seal_violations"});
+  const unsigned host_cpus = std::thread::hardware_concurrency();
 
-    for (const auto& transport : transports) {
-      for (const auto& mix : mixes) {
-        const auto pool =
-            hot_source_pool(local_host.snapshot(handle),
-                            deployment.config.seed, window_index,
-                            static_cast<std::size_t>(sources));
-        const auto before = control.stats();
-        const auto window = run_remote_window(
-            transport, "127.0.0.1", daemon.tcp_port, daemon.uds_path, pool,
-            mix == "zipf", zipf_exponent, n, readers, depth, duration_s,
-            deployment.config.seed, window_index);
-        const auto after = control.stats();
-        add_row(transport, mix, depth, window,
-                after.publish_seq - before.publish_seq,
-                after.decode_errors - before.decode_errors,
-                after.error_responses - before.error_responses,
-                after.seal_violations);
-        ++window_index;
+  std::size_t window_index = 0;
+  try {
+    for (auto& daemon : daemons) {
+      // READY handshake: the daemon's overlay is warmed and listeners live.
+      const auto deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(ready_timeout_s));
+      std::string line;
+      for (;;) {
+        if (!read_line(daemon.out_fd, line, deadline)) {
+          throw std::runtime_error("egoistd exited before READY (" +
+                                   egoistd_bin + ")");
+        }
+        if (line.rfind("EGOISTD READY", 0) == 0) break;
       }
+      daemon.tcp_port = std::stoi(line_field(line, "tcp"));
+      daemon.uds_path = line_field(line, "uds");
+      daemon.loops = std::stoi(line_field(line, "loops"));
+      if (line_field(line, "n") != std::to_string(n)) {
+        throw std::runtime_error("egoistd deployed a different n: " + line);
+      }
+      const std::string loops_text = std::to_string(daemon.loops);
+
+      // Control client for the daemon's counters (UDS when available).
+      rpc::Client control =
+          !daemon.uds_path.empty() && daemon.uds_path != "-"
+              ? rpc::Client::connect_uds(daemon.uds_path)
+              : rpc::Client::connect_tcp("127.0.0.1", daemon.tcp_port);
+
+      for (const auto& transport : transports) {
+        for (const auto& mix : mixes) {
+          for (const auto& mode : modes) {
+            const auto pool =
+                hot_source_pool(local_host.snapshot(handle),
+                                deployment.config.seed, window_index,
+                                static_cast<std::size_t>(sources));
+            const bool batch_mode = mode == "batch";
+            const auto before = control.stats();
+            const auto window = run_remote_window(
+                transport, "127.0.0.1", daemon.tcp_port, daemon.uds_path,
+                pool, mix == "zipf", zipf_exponent, n, readers, depth,
+                batch_mode, duration_s, deployment.config.seed,
+                window_index);
+            const auto after = control.stats();
+            add_row(transport, mix, loops_text, mode, depth, window,
+                    per_loop_qps_column(
+                        before, after,
+                        batch_mode ? static_cast<std::uint64_t>(depth) : 1,
+                        window.elapsed_s),
+                    after.publish_seq - before.publish_seq,
+                    after.decode_errors - before.decode_errors,
+                    after.error_responses - before.error_responses,
+                    after.seal_violations);
+            ++window_index;
+          }
+        }
+      }
+      const auto final_stats = control.stats();
+
+      // Graceful shutdown: SIGTERM, then the EXIT line and exit status.
+      ::kill(daemon.pid, SIGTERM);
+      std::string exit_line;
+      {
+        const auto exit_deadline = std::chrono::steady_clock::now() +
+                                   std::chrono::seconds(60);
+        std::string exit_scan;
+        try {
+          while (read_line(daemon.out_fd, exit_scan, exit_deadline)) {
+            if (exit_scan.rfind("EGOISTD EXIT", 0) == 0) {
+              exit_line = exit_scan;
+            }
+          }
+        } catch (const std::exception&) {
+          // Timeout reading EXIT: fall through to waitpid, report status.
+        }
+      }
+      ::close(daemon.out_fd);
+      int status = 0;
+      ::waitpid(daemon.pid, &status, 0);
+      const int exit_code =
+          WIFEXITED(status) ? WEXITSTATUS(status) : 128 + WTERMSIG(status);
+      daemon.pid = -1;
+
+      const auto exit_field = [&](const std::string& key) {
+        const auto value = line_field(exit_line, key);
+        return value.empty() ? std::string("-1") : value;  // line missing
+      };
+      daemon_table.add_row(
+          {loops_text, std::to_string(host_cpus), std::to_string(exit_code),
+           exit_field("drained"), exit_field("epochs"),
+           std::to_string(final_stats.connections_accepted),
+           std::to_string(final_stats.frames_in),
+           std::to_string(final_stats.frames_out),
+           std::to_string(final_stats.batches),
+           std::to_string(final_stats.bytes_in),
+           std::to_string(final_stats.bytes_out),
+           std::to_string(final_stats.decode_errors),
+           std::to_string(final_stats.error_responses),
+           std::to_string(final_stats.idle_closed),
+           std::to_string(final_stats.seal_violations)});
     }
-    final_stats = control.stats();
   } catch (...) {
-    ::kill(daemon.pid, SIGKILL);
-    ::waitpid(daemon.pid, nullptr, 0);
-    ::close(daemon.out_fd);
+    for (auto& daemon : daemons) kill_daemon(daemon);
     throw;
   }
-
-  // Graceful shutdown: SIGTERM, then the EXIT line and the exit status.
-  ::kill(daemon.pid, SIGTERM);
-  {
-    const auto deadline = std::chrono::steady_clock::now() +
-                          std::chrono::seconds(60);
-    std::string line;
-    try {
-      while (read_line(daemon.out_fd, line, deadline)) {
-        if (line.rfind("EGOISTD EXIT", 0) == 0) exit_line = line;
-      }
-    } catch (const std::exception&) {
-      // Timeout reading EXIT: fall through to waitpid, report exit code.
-    }
-  }
-  ::close(daemon.out_fd);
-  int status = 0;
-  ::waitpid(daemon.pid, &status, 0);
-  exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : 128 + WTERMSIG(status);
 
   // The in-process comparison leg: serve_load's exact inner loop on the
   // bit-identical local overlay.
@@ -459,7 +602,7 @@ void run_serve_remote(const ParamReader& params, ResultSink& sink) {
           window_index);
       service.reclaim();
       const auto stats = service.stats();
-      add_row("inproc", mix, 0, window,
+      add_row("inproc", mix, "0", "inproc", 0, window, "-",
               static_cast<std::uint64_t>(window.epochs), 0, 0,
               stats.seal_violations);
       ++window_index;
@@ -467,28 +610,6 @@ void run_serve_remote(const ParamReader& params, ResultSink& sink) {
   }
 
   sink.table("serve_remote", table);
-
-  util::Table daemon_table(
-      {"exit_code", "drained", "epochs", "connections_accepted", "frames_in",
-       "frames_out", "batches", "bytes_in", "bytes_out", "decode_errors",
-       "error_responses", "idle_closed", "seal_violations"});
-  const auto exit_field = [&](const std::string& key) {
-    const auto value = line_field(exit_line, key);
-    return value.empty() ? std::string("-1") : value;  // EXIT line missing
-  };
-  daemon_table.add_row({std::to_string(exit_code),
-                        exit_field("drained"),
-                        exit_field("epochs"),
-                        std::to_string(final_stats.connections_accepted),
-                        std::to_string(final_stats.frames_in),
-                        std::to_string(final_stats.frames_out),
-                        std::to_string(final_stats.batches),
-                        std::to_string(final_stats.bytes_in),
-                        std::to_string(final_stats.bytes_out),
-                        std::to_string(final_stats.decode_errors),
-                        std::to_string(final_stats.error_responses),
-                        std::to_string(final_stats.idle_closed),
-                        std::to_string(final_stats.seal_violations)});
   sink.table("daemon", daemon_table);
 }
 

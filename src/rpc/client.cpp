@@ -272,6 +272,15 @@ wire::StatsResponse Client::stats() {
       call(wire::MsgType::kStats, frame, id));
 }
 
+wire::BatchRouteResponse Client::route_batch(
+    const std::vector<wire::BatchRoutePair>& pairs) {
+  const std::uint64_t id = next_id_++;
+  std::vector<std::uint8_t> frame;
+  wire::encode_batch_route_request(frame, id, {pairs});
+  return std::get<wire::BatchRouteResponse>(
+      call(wire::MsgType::kBatchRoute, frame, id));
+}
+
 void Client::post_route(std::int32_t src, std::int32_t dst) {
   const std::uint64_t id = next_id_++;
   wire::encode_route_request(out_, id, {src, dst});
@@ -287,6 +296,12 @@ void Client::post_path(std::int32_t src, std::int32_t dst) {
 void Client::post_score(std::int32_t node) {
   const std::uint64_t id = next_id_++;
   wire::encode_score_request(out_, id, {node});
+  pending_ids_.push_back(id);
+}
+
+void Client::post_route_batch(const std::vector<wire::BatchRoutePair>& pairs) {
+  const std::uint64_t id = next_id_++;
+  wire::encode_batch_route_request(out_, id, {pairs});
   pending_ids_.push_back(id);
 }
 
@@ -335,6 +350,10 @@ wire::PathResponse Client::take_path() {
 
 wire::ScoreResponse Client::take_score() {
   return std::get<wire::ScoreResponse>(take(wire::MsgType::kScore));
+}
+
+wire::BatchRouteResponse Client::take_route_batch() {
+  return std::get<wire::BatchRouteResponse>(take(wire::MsgType::kBatchRoute));
 }
 
 }  // namespace egoist::rpc

@@ -82,12 +82,17 @@ class Client {
   wire::PathResponse path(std::int32_t src, std::int32_t dst);
   wire::ScoreResponse score(std::int32_t node);
   wire::StatsResponse stats();
+  /// Many ROUTE lookups in one frame: one header decode and one send on
+  /// each side however many pairs ride along (wire v2, BATCH_ROUTE).
+  wire::BatchRouteResponse route_batch(
+      const std::vector<wire::BatchRoutePair>& pairs);
 
   // --- pipelined calls ---
   /// Queues a request frame without writing to the socket yet.
   void post_route(std::int32_t src, std::int32_t dst);
   void post_path(std::int32_t src, std::int32_t dst);
   void post_score(std::int32_t node);
+  void post_route_batch(const std::vector<wire::BatchRoutePair>& pairs);
   /// Writes every queued frame to the socket (one burst).
   void flush();
   /// Blocking read of the next pipelined response, which must be of the
@@ -95,6 +100,7 @@ class Client {
   wire::RouteResponse take_route();
   wire::PathResponse take_path();
   wire::ScoreResponse take_score();
+  wire::BatchRouteResponse take_route_batch();
   /// Requests posted (or sent) whose responses have not been taken yet.
   std::size_t outstanding() const { return pending_ids_.size(); }
 

@@ -29,12 +29,21 @@ void set_nonblocking(int fd) {
                            std::strerror(errno));
 }
 
+/// One TCP listener. With SO_REUSEPORT every loop binds its own socket on
+/// the same port and the kernel load-balances accepts across them; the
+/// option must be set before bind(). The first listener may bind port 0
+/// (ephemeral) — the caller reads the resolved port back through
+/// bound_port and hands it to the remaining loops.
 int make_tcp_listener(const std::string& host, int port, int backlog,
                       int& bound_port) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) throw_errno("socket(AF_INET)");
   const int one = 1;
   ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) != 0) {
+    ::close(fd);
+    throw_errno("setsockopt(SO_REUSEPORT)");
+  }
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(static_cast<std::uint16_t>(port));
@@ -91,34 +100,60 @@ Server::Server(host::RouteService& service, ServerOptions options)
         "uds_path)");
   }
   options_.max_frame = std::min(options_.max_frame, wire::kMaxFrameLimit);
+  int loop_count = options_.loops;
+  if (loop_count == 0) {
+    loop_count = static_cast<int>(std::thread::hardware_concurrency());
+  }
+  loop_count = std::clamp(loop_count, 1, 64);
+
+  loops_.reserve(static_cast<std::size_t>(loop_count));
+  for (int i = 0; i < loop_count; ++i) {
+    auto loop = std::make_unique<Loop>();
+    loop->index = static_cast<std::size_t>(i);
+    loops_.push_back(std::move(loop));
+  }
   if (options_.tcp_port >= 0) {
-    tcp_listen_fd_ = make_tcp_listener(options_.tcp_host, options_.tcp_port,
-                                       options_.max_connections,
-                                       bound_tcp_port_);
+    // Loop 0 resolves the port (possibly ephemeral); the rest join it.
+    loops_[0]->tcp_listen_fd =
+        make_tcp_listener(options_.tcp_host, options_.tcp_port,
+                          options_.max_connections, bound_tcp_port_);
+    for (std::size_t i = 1; i < loops_.size(); ++i) {
+      int ignored = -1;
+      loops_[i]->tcp_listen_fd =
+          make_tcp_listener(options_.tcp_host, bound_tcp_port_,
+                            options_.max_connections, ignored);
+    }
   }
   if (!options_.uds_path.empty()) {
-    uds_listen_fd_ =
+    loops_[0]->uds_listen_fd =
         make_uds_listener(options_.uds_path, options_.max_connections);
   }
-  if (::pipe(wake_fds_) != 0) throw_errno("pipe");
-  set_nonblocking(wake_fds_[0]);
-  set_nonblocking(wake_fds_[1]);
+  for (auto& loop : loops_) {
+    if (::pipe(loop->wake_fds) != 0) throw_errno("pipe");
+    set_nonblocking(loop->wake_fds[0]);
+    set_nonblocking(loop->wake_fds[1]);
+  }
 }
 
 Server::~Server() {
   stop();
-  for (const int fd : {tcp_listen_fd_, uds_listen_fd_, wake_fds_[0],
-                       wake_fds_[1]}) {
-    if (fd >= 0) ::close(fd);
+  for (auto& loop : loops_) {
+    for (const int fd : {loop->tcp_listen_fd, loop->uds_listen_fd,
+                         loop->wake_fds[0], loop->wake_fds[1]}) {
+      if (fd >= 0) ::close(fd);
+    }
   }
   if (!options_.uds_path.empty()) ::unlink(options_.uds_path.c_str());
 }
 
 void Server::start() {
   std::lock_guard<std::mutex> lock(stop_mutex_);
-  if (thread_.joinable() || stopped_) return;
+  if (loops_[0]->thread.joinable() || stopped_) return;
   running_.store(true, std::memory_order_release);
-  thread_ = std::thread([this] { loop(); });
+  for (auto& loop : loops_) {
+    Loop* raw = loop.get();
+    loop->thread = std::thread([this, raw] { loop_run(*raw); });
+  }
 }
 
 void Server::stop() {
@@ -126,63 +161,143 @@ void Server::stop() {
   if (stopped_) return;
   stopped_ = true;
   stop_requested_.store(true, std::memory_order_release);
-  const char byte = 1;
-  [[maybe_unused]] const auto n = ::write(wake_fds_[1], &byte, 1);
-  if (thread_.joinable()) thread_.join();
+  for (auto& loop : loops_) wake(*loop);
+  for (auto& loop : loops_) {
+    if (loop->thread.joinable()) loop->thread.join();
+  }
+  // Loop 0 may have parked a UDS handoff in an inbox right before its
+  // target observed the stop flag; with every thread joined, whatever is
+  // left can only be closed here.
+  for (auto& loop : loops_) {
+    std::lock_guard<std::mutex> inbox_lock(loop->inbox_mutex);
+    for (const int fd : loop->inbox) ::close(fd);
+    loop->inbox.clear();
+  }
   running_.store(false, std::memory_order_release);
 }
 
-ServerStats Server::stats() const {
-  ServerStats s;
-  s.connections_accepted =
-      counters_.connections_accepted.load(std::memory_order_relaxed);
-  s.connections_active =
-      counters_.connections_active.load(std::memory_order_relaxed);
-  s.frames_in = counters_.frames_in.load(std::memory_order_relaxed);
-  s.frames_out = counters_.frames_out.load(std::memory_order_relaxed);
-  s.decode_errors = counters_.decode_errors.load(std::memory_order_relaxed);
-  s.error_responses =
-      counters_.error_responses.load(std::memory_order_relaxed);
-  s.idle_closed = counters_.idle_closed.load(std::memory_order_relaxed);
-  s.bytes_in = counters_.bytes_in.load(std::memory_order_relaxed);
-  s.bytes_out = counters_.bytes_out.load(std::memory_order_relaxed);
-  s.batches = counters_.batches.load(std::memory_order_relaxed);
-  return s;
+void Server::wake(Loop& loop) {
+  const char byte = 1;
+  [[maybe_unused]] const auto n = ::write(loop.wake_fds[1], &byte, 1);
 }
 
-void Server::accept_ready(int listen_fd) {
+ServerStats Server::stats() const {
+  // Acquire loads pair with the (relaxed) increments' position in each
+  // loop thread's program order at join time: after stop() the sums are
+  // exact, while serving they are a consistent monotonic lower bound.
+  ServerStats total;
+  for (const auto& loop : loops_) {
+    const auto& c = loop->counters;
+    total.connections_accepted +=
+        c.connections_accepted.load(std::memory_order_acquire);
+    total.connections_active +=
+        c.connections_active.load(std::memory_order_acquire);
+    total.frames_in += c.frames_in.load(std::memory_order_acquire);
+    total.frames_out += c.frames_out.load(std::memory_order_acquire);
+    total.decode_errors += c.decode_errors.load(std::memory_order_acquire);
+    total.error_responses +=
+        c.error_responses.load(std::memory_order_acquire);
+    total.idle_closed += c.idle_closed.load(std::memory_order_acquire);
+    total.bytes_in += c.bytes_in.load(std::memory_order_acquire);
+    total.bytes_out += c.bytes_out.load(std::memory_order_acquire);
+    total.batches += c.batches.load(std::memory_order_acquire);
+  }
+  return total;
+}
+
+std::vector<ServerStats> Server::per_loop_stats() const {
+  std::vector<ServerStats> out;
+  out.reserve(loops_.size());
+  for (const auto& loop : loops_) {
+    const auto& c = loop->counters;
+    ServerStats s;
+    s.connections_accepted =
+        c.connections_accepted.load(std::memory_order_acquire);
+    s.connections_active =
+        c.connections_active.load(std::memory_order_acquire);
+    s.frames_in = c.frames_in.load(std::memory_order_acquire);
+    s.frames_out = c.frames_out.load(std::memory_order_acquire);
+    s.decode_errors = c.decode_errors.load(std::memory_order_acquire);
+    s.error_responses = c.error_responses.load(std::memory_order_acquire);
+    s.idle_closed = c.idle_closed.load(std::memory_order_acquire);
+    s.bytes_in = c.bytes_in.load(std::memory_order_acquire);
+    s.bytes_out = c.bytes_out.load(std::memory_order_acquire);
+    s.batches = c.batches.load(std::memory_order_acquire);
+    out.push_back(s);
+  }
+  return out;
+}
+
+std::size_t Server::per_loop_conn_cap() const {
+  const auto cap = static_cast<std::size_t>(
+      std::max(1, options_.max_connections));
+  return std::max<std::size_t>(1, cap / loops_.size());
+}
+
+void Server::adopt_conn(Loop& loop, int fd) {
+  if (loop.conns.size() >= per_loop_conn_cap()) {
+    ::close(fd);
+    return;
+  }
+  set_nonblocking(fd);
+  const int one = 1;
+  // No-op (ENOTSUP/EOPNOTSUPP) on UDS fds; essential on TCP so small
+  // pipelined frames never park behind Nagle.
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  Conn conn;
+  conn.fd = fd;
+  conn.last_activity = std::chrono::steady_clock::now();
+  loop.conns.push_back(std::move(conn));
+  loop.counters.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+  loop.counters.connections_active.store(loop.conns.size(),
+                                         std::memory_order_relaxed);
+}
+
+void Server::accept_ready(Loop& loop, int listen_fd) {
+  const bool distribute =
+      listen_fd == loop.uds_listen_fd && loops_.size() > 1;
   for (;;) {
     const int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
       return;  // transient accept failure; the listener stays armed
     }
-    if (conns_.size() >=
-        static_cast<std::size_t>(std::max(1, options_.max_connections))) {
-      ::close(fd);
-      continue;
+    if (distribute) {
+      // The kernel balances TCP accepts across SO_REUSEPORT listeners;
+      // the single UDS listener balances by hand — round-robin the fd to
+      // a peer loop's inbox and wake it.
+      const std::size_t target = uds_rr_++ % loops_.size();
+      if (target != loop.index) {
+        Loop& peer = *loops_[target];
+        {
+          std::lock_guard<std::mutex> inbox_lock(peer.inbox_mutex);
+          peer.inbox.push_back(fd);
+        }
+        wake(peer);
+        continue;
+      }
     }
-    set_nonblocking(fd);
-    const int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    Conn conn;
-    conn.fd = fd;
-    conn.last_activity = std::chrono::steady_clock::now();
-    conns_.push_back(std::move(conn));
-    counters_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
-    counters_.connections_active.store(conns_.size(),
-                                       std::memory_order_relaxed);
+    adopt_conn(loop, fd);
   }
 }
 
-bool Server::read_ready(Conn& conn) {
+void Server::drain_inbox(Loop& loop) {
+  std::vector<int> handoff;
+  {
+    std::lock_guard<std::mutex> inbox_lock(loop.inbox_mutex);
+    handoff.swap(loop.inbox);
+  }
+  for (const int fd : handoff) adopt_conn(loop, fd);
+}
+
+bool Server::read_ready(Loop& loop, Conn& conn) {
   std::uint8_t chunk[65536];
   for (;;) {
     const ssize_t n = ::read(conn.fd, chunk, sizeof(chunk));
     if (n > 0) {
       conn.in.append(chunk, static_cast<std::size_t>(n));
-      counters_.bytes_in.fetch_add(static_cast<std::uint64_t>(n),
-                                   std::memory_order_relaxed);
+      loop.counters.bytes_in.fetch_add(static_cast<std::uint64_t>(n),
+                                       std::memory_order_relaxed);
       conn.last_activity = std::chrono::steady_clock::now();
       if (static_cast<std::size_t>(n) < sizeof(chunk)) return true;
       // Socket may hold more; cap one connection's share of the loop so a
@@ -197,8 +312,8 @@ bool Server::read_ready(Conn& conn) {
   }
 }
 
-void Server::dispatch(Conn& conn) {
-  if (conn.closing) return;
+bool Server::dispatch(Loop& loop, Conn& conn) {
+  if (conn.closing) return true;
   // Collect every complete frame first, then answer the batch off ONE
   // pinned snapshot — the pipelining contract: a client that stuffs K
   // requests into one write gets K answers that are mutually consistent
@@ -214,13 +329,13 @@ void Server::dispatch(Conn& conn) {
     if (hd.status == wire::DecodeStatus::kNeedMore) break;
     if (hd.status != wire::DecodeStatus::kOk) {
       // Header-level garbage: framing is lost, answer once and hang up.
-      counters_.decode_errors.fetch_add(1, std::memory_order_relaxed);
-      counters_.error_responses.fetch_add(1, std::memory_order_relaxed);
+      loop.counters.decode_errors.fetch_add(1, std::memory_order_relaxed);
+      loop.counters.error_responses.fetch_add(1, std::memory_order_relaxed);
       wire::ErrorResponse err;
       err.code = static_cast<std::uint16_t>(wire::ErrorCode::kMalformedFrame);
       err.message = std::string("malformed frame: ") + to_string(hd.status);
       wire::encode_error_response(conn.out.tail(), hd.header.request_id, err);
-      counters_.frames_out.fetch_add(1, std::memory_order_relaxed);
+      loop.counters.frames_out.fetch_add(1, std::memory_order_relaxed);
       conn.in.clear();
       conn.closing = true;
       break;
@@ -232,29 +347,34 @@ void Server::dispatch(Conn& conn) {
     auto decoded = wire::decode_request(hd.header, payload);
     if (decoded.status != wire::DecodeStatus::kOk) {
       // Payload-level breakage: framing is intact, the connection lives.
-      counters_.decode_errors.fetch_add(1, std::memory_order_relaxed);
-      counters_.error_responses.fetch_add(1, std::memory_order_relaxed);
+      loop.counters.decode_errors.fetch_add(1, std::memory_order_relaxed);
+      loop.counters.error_responses.fetch_add(1, std::memory_order_relaxed);
       wire::ErrorResponse err;
       err.code = static_cast<std::uint16_t>(wire::ErrorCode::kBadRequest);
       err.message =
           std::string("bad request payload: ") + to_string(decoded.status);
       wire::encode_error_response(conn.out.tail(), hd.header.request_id, err);
-      counters_.frames_out.fetch_add(1, std::memory_order_relaxed);
+      loop.counters.frames_out.fetch_add(1, std::memory_order_relaxed);
       conn.in.consume(frame_len);
       continue;
     }
-    counters_.frames_in.fetch_add(1, std::memory_order_relaxed);
+    loop.counters.frames_in.fetch_add(1, std::memory_order_relaxed);
     batch.push_back({hd.header.request_id, std::move(decoded.request)});
     conn.in.consume(frame_len);
   }
-  if (batch.empty()) return;
+  if (batch.empty()) return true;
 
-  counters_.batches.fetch_add(1, std::memory_order_relaxed);
+  loop.counters.batches.fetch_add(1, std::memory_order_relaxed);
   const host::ServedSnapshot pinned = service_->acquire();
   const auto& snap = pinned.snapshot();
   const std::int32_t n = static_cast<std::int32_t>(snap.size());
   const auto in_range = [n](std::int32_t id) { return id >= 0 && id < n; };
-  auto& out = conn.out.tail();
+  // Answers land in the loop's scratch arena (errors discovered during
+  // the scan above are already in conn.out, ahead of them — the same
+  // ordering the single-buffer dispatch produced); the flush below
+  // gathers [conn.out backlog, scratch] through one sendmsg.
+  auto& out = loop.scratch;
+  out.clear();
 
   for (const auto& pending : batch) {
     const std::uint64_t id = pending.id;
@@ -269,8 +389,8 @@ void Server::dispatch(Conn& conn) {
             wire::encode_ping_response(out, id, resp);
           } else if constexpr (std::is_same_v<T, wire::RouteRequest>) {
             if (!in_range(req.src) || !in_range(req.dst)) {
-              counters_.error_responses.fetch_add(1,
-                                                  std::memory_order_relaxed);
+              loop.counters.error_responses.fetch_add(
+                  1, std::memory_order_relaxed);
               wire::encode_error_response(
                   out, id,
                   {static_cast<std::uint16_t>(wire::ErrorCode::kOutOfRange),
@@ -285,10 +405,50 @@ void Server::dispatch(Conn& conn) {
             resp.epoch = answer.epoch;
             resp.publish_seq = answer.publish_seq;
             wire::encode_route_response(out, id, resp);
+          } else if constexpr (std::is_same_v<T, wire::BatchRouteRequest>) {
+            // All-or-nothing range check: a partial answer would misalign
+            // the packed entries with the request's pair order.
+            for (const auto& pair : req.pairs) {
+              if (!in_range(pair.src) || !in_range(pair.dst)) {
+                loop.counters.error_responses.fetch_add(
+                    1, std::memory_order_relaxed);
+                wire::encode_error_response(
+                    out, id,
+                    {static_cast<std::uint16_t>(wire::ErrorCode::kOutOfRange),
+                     "node id out of range in batch"});
+                return;
+              }
+            }
+            // The response must itself fit in a frame the peer will
+            // accept: 16 fixed bytes + 13 per entry against max_frame.
+            const std::uint64_t response_payload =
+                16 + std::uint64_t{req.pairs.size()} * 13;
+            if (response_payload > options_.max_frame) {
+              loop.counters.error_responses.fetch_add(
+                  1, std::memory_order_relaxed);
+              wire::encode_error_response(
+                  out, id,
+                  {static_cast<std::uint16_t>(wire::ErrorCode::kBadRequest),
+                   "batch response would exceed max frame"});
+              return;
+            }
+            wire::BatchRouteResponse resp;
+            resp.epoch = pinned.epoch();
+            resp.publish_seq = pinned.publish_seq();
+            resp.entries.reserve(req.pairs.size());
+            for (const auto& pair : req.pairs) {
+              const auto answer = pinned.route(pair.src, pair.dst);
+              wire::BatchRouteEntry entry;
+              entry.reachable = answer.reachable ? 1 : 0;
+              entry.next_hop = answer.next_hop;
+              entry.cost = answer.cost;
+              resp.entries.push_back(entry);
+            }
+            wire::encode_batch_route_response(out, id, resp);
           } else if constexpr (std::is_same_v<T, wire::PathRequest>) {
             if (!in_range(req.src) || !in_range(req.dst)) {
-              counters_.error_responses.fetch_add(1,
-                                                  std::memory_order_relaxed);
+              loop.counters.error_responses.fetch_add(
+                  1, std::memory_order_relaxed);
               wire::encode_error_response(
                   out, id,
                   {static_cast<std::uint16_t>(wire::ErrorCode::kOutOfRange),
@@ -305,8 +465,8 @@ void Server::dispatch(Conn& conn) {
             wire::encode_path_response(out, id, resp);
           } else if constexpr (std::is_same_v<T, wire::ScoreRequest>) {
             if (!in_range(req.node)) {
-              counters_.error_responses.fetch_add(1,
-                                                  std::memory_order_relaxed);
+              loop.counters.error_responses.fetch_add(
+                  1, std::memory_order_relaxed);
               wire::encode_error_response(
                   out, id,
                   {static_cast<std::uint16_t>(wire::ErrorCode::kOutOfRange),
@@ -344,15 +504,75 @@ void Server::dispatch(Conn& conn) {
             resp.bytes_in = server.bytes_in;
             resp.bytes_out = server.bytes_out;
             resp.batches = server.batches;
+            for (const auto& per : per_loop_stats()) {
+              wire::PerLoopStats wire_loop;
+              wire_loop.connections_accepted = per.connections_accepted;
+              wire_loop.connections_active = per.connections_active;
+              wire_loop.frames_in = per.frames_in;
+              wire_loop.frames_out = per.frames_out;
+              wire_loop.bytes_in = per.bytes_in;
+              wire_loop.bytes_out = per.bytes_out;
+              wire_loop.batches = per.batches;
+              resp.per_loop.push_back(wire_loop);
+            }
             wire::encode_stats_response(out, id, resp);
           }
         },
         pending.request);
-    counters_.frames_out.fetch_add(1, std::memory_order_relaxed);
+    loop.counters.frames_out.fetch_add(1, std::memory_order_relaxed);
+  }
+  return flush_gather(loop, conn, loop.scratch);
+}
+
+bool Server::flush_gather(Loop& loop, Conn& conn,
+                          std::span<const std::uint8_t> extra) {
+  std::size_t extra_off = 0;
+  for (;;) {
+    const auto head = conn.out.readable();
+    iovec iov[2];
+    int iov_count = 0;
+    if (!head.empty()) {
+      iov[iov_count].iov_base = const_cast<std::uint8_t*>(head.data());
+      iov[iov_count].iov_len = head.size();
+      ++iov_count;
+    }
+    if (extra_off < extra.size()) {
+      iov[iov_count].iov_base =
+          const_cast<std::uint8_t*>(extra.data() + extra_off);
+      iov[iov_count].iov_len = extra.size() - extra_off;
+      ++iov_count;
+    }
+    if (iov_count == 0) return true;
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = static_cast<std::size_t>(iov_count);
+    // sendmsg == writev + flags; MSG_NOSIGNAL keeps a vanished client an
+    // EPIPE (we close the connection), not a process-killing SIGPIPE.
+    const ssize_t n = ::sendmsg(conn.fd, &msg, MSG_NOSIGNAL);
+    if (n > 0) {
+      loop.counters.bytes_out.fetch_add(static_cast<std::uint64_t>(n),
+                                        std::memory_order_relaxed);
+      conn.last_activity = std::chrono::steady_clock::now();
+      std::size_t left = static_cast<std::size_t>(n);
+      const std::size_t from_head = std::min(left, head.size());
+      if (from_head > 0) conn.out.consume(from_head);
+      extra_off += left - from_head;
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Socket is full: park the unsent answers behind the backlog; the
+      // loop's POLLOUT pass finishes the job.
+      if (extra_off < extra.size()) {
+        conn.out.append(extra.data() + extra_off, extra.size() - extra_off);
+      }
+      return true;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
   }
 }
 
-bool Server::write_ready(Conn& conn) {
+bool Server::write_ready(Loop& loop, Conn& conn) {
   while (!conn.out.empty()) {
     const auto bytes = conn.out.readable();
     // MSG_NOSIGNAL: a client that vanished mid-response must surface as
@@ -361,8 +581,8 @@ bool Server::write_ready(Conn& conn) {
         ::send(conn.fd, bytes.data(), bytes.size(), MSG_NOSIGNAL);
     if (n > 0) {
       conn.out.consume(static_cast<std::size_t>(n));
-      counters_.bytes_out.fetch_add(static_cast<std::uint64_t>(n),
-                                    std::memory_order_relaxed);
+      loop.counters.bytes_out.fetch_add(static_cast<std::uint64_t>(n),
+                                        std::memory_order_relaxed);
       conn.last_activity = std::chrono::steady_clock::now();
       continue;
     }
@@ -373,14 +593,14 @@ bool Server::write_ready(Conn& conn) {
   return true;
 }
 
-void Server::close_conn(std::size_t index) {
-  ::close(conns_[index].fd);
-  conns_.erase(conns_.begin() + static_cast<std::ptrdiff_t>(index));
-  counters_.connections_active.store(conns_.size(),
-                                     std::memory_order_relaxed);
+void Server::close_conn(Loop& loop, std::size_t index) {
+  ::close(loop.conns[index].fd);
+  loop.conns.erase(loop.conns.begin() + static_cast<std::ptrdiff_t>(index));
+  loop.counters.connections_active.store(loop.conns.size(),
+                                         std::memory_order_relaxed);
 }
 
-void Server::drain_and_close_all() {
+void Server::drain_and_close_all(Loop& loop) {
   // Stop reading, keep flushing: every response already queued gets its
   // chance to leave under the deadline. poll() only watches writability.
   const auto deadline =
@@ -390,7 +610,7 @@ void Server::drain_and_close_all() {
               std::max(0.0, options_.drain_deadline_s)));
   for (;;) {
     std::vector<pollfd> fds;
-    for (const auto& conn : conns_) {
+    for (const auto& conn : loop.conns) {
       if (!conn.out.empty()) {
         fds.push_back({conn.fd, POLLOUT, 0});
       }
@@ -405,34 +625,34 @@ void Server::drain_and_close_all() {
     const int ready = ::poll(fds.data(), fds.size(),
                              std::max(1, timeout_ms));
     if (ready < 0 && errno != EINTR) break;
-    for (std::size_t i = conns_.size(); i-- > 0;) {
-      if (!conns_[i].out.empty() && !write_ready(conns_[i])) {
-        close_conn(i);
+    for (std::size_t i = loop.conns.size(); i-- > 0;) {
+      if (!loop.conns[i].out.empty() && !write_ready(loop, loop.conns[i])) {
+        close_conn(loop, i);
       }
     }
   }
-  for (std::size_t i = conns_.size(); i-- > 0;) close_conn(i);
+  for (std::size_t i = loop.conns.size(); i-- > 0;) close_conn(loop, i);
 }
 
-void Server::loop() {
+void Server::loop_run(Loop& loop) {
   std::vector<pollfd> fds;
-  // Index map rebuilt every iteration: fds[0] = wake pipe, then the
-  // listeners, then one entry per connection.
+  // Index map rebuilt every iteration: fds[0] = wake pipe, then this
+  // loop's listeners, then one entry per connection.
   while (!stop_requested_.load(std::memory_order_acquire)) {
     fds.clear();
-    fds.push_back({wake_fds_[0], POLLIN, 0});
+    fds.push_back({loop.wake_fds[0], POLLIN, 0});
     std::size_t tcp_at = SIZE_MAX;
     std::size_t uds_at = SIZE_MAX;
-    if (tcp_listen_fd_ >= 0) {
+    if (loop.tcp_listen_fd >= 0) {
       tcp_at = fds.size();
-      fds.push_back({tcp_listen_fd_, POLLIN, 0});
+      fds.push_back({loop.tcp_listen_fd, POLLIN, 0});
     }
-    if (uds_listen_fd_ >= 0) {
+    if (loop.uds_listen_fd >= 0) {
       uds_at = fds.size();
-      fds.push_back({uds_listen_fd_, POLLIN, 0});
+      fds.push_back({loop.uds_listen_fd, POLLIN, 0});
     }
     const std::size_t conn_base = fds.size();
-    for (const auto& conn : conns_) {
+    for (const auto& conn : loop.conns) {
       short events = 0;
       if (!conn.closing) events |= POLLIN;
       if (!conn.out.empty()) events |= POLLOUT;
@@ -448,57 +668,60 @@ void Server::loop() {
 
     if (fds[0].revents & POLLIN) {
       char scratch[64];
-      while (::read(wake_fds_[0], scratch, sizeof(scratch)) > 0) {
+      while (::read(loop.wake_fds[0], scratch, sizeof(scratch)) > 0) {
       }
+      // A wake is either stop() (checked at the top) or a UDS handoff
+      // from loop 0 — adopt whatever is parked in the inbox.
+      drain_inbox(loop);
     }
     if (tcp_at != SIZE_MAX && (fds[tcp_at].revents & POLLIN)) {
-      accept_ready(tcp_listen_fd_);
+      accept_ready(loop, loop.tcp_listen_fd);
     }
     if (uds_at != SIZE_MAX && (fds[uds_at].revents & POLLIN)) {
-      accept_ready(uds_listen_fd_);
+      accept_ready(loop, loop.uds_listen_fd);
     }
 
     const auto now = std::chrono::steady_clock::now();
     // Sweep only the connections that were polled this iteration —
-    // accept_ready above may have appended fresh ones with no fds entry
-    // (they get their first turn next iteration). Downward iteration keeps
-    // index i aligned with fds even as close_conn erases.
+    // accept_ready/drain_inbox above may have appended fresh ones with no
+    // fds entry (they get their first turn next iteration). Downward
+    // iteration keeps index i aligned with fds even as close_conn erases.
     const std::size_t polled = fds.size() - conn_base;
     for (std::size_t i = polled; i-- > 0;) {
-      auto& conn = conns_[i];
+      auto& conn = loop.conns[i];
       const auto revents = fds[conn_base + i].revents;
       bool alive = true;
       if (revents & (POLLERR | POLLHUP | POLLNVAL)) {
         alive = false;  // peer already hung up; nothing left to flush to
       } else {
         if (alive && (revents & POLLIN)) {
-          alive = read_ready(conn);
-          if (alive) dispatch(conn);
+          alive = read_ready(loop, conn);
+          if (alive) alive = dispatch(loop, conn);
         }
         if (alive && !conn.out.empty()) {
-          alive = write_ready(conn);
+          alive = write_ready(loop, conn);
         }
         if (alive && conn.closing && conn.out.empty()) alive = false;
         if (alive && options_.idle_timeout_s > 0.0 &&
             std::chrono::duration<double>(now - conn.last_activity).count() >
                 options_.idle_timeout_s) {
-          counters_.idle_closed.fetch_add(1, std::memory_order_relaxed);
+          loop.counters.idle_closed.fetch_add(1, std::memory_order_relaxed);
           alive = false;
         }
       }
-      if (!alive) close_conn(i);
+      if (!alive) close_conn(loop, i);
     }
   }
 
-  if (tcp_listen_fd_ >= 0) {
-    ::close(tcp_listen_fd_);
-    tcp_listen_fd_ = -1;
+  if (loop.tcp_listen_fd >= 0) {
+    ::close(loop.tcp_listen_fd);
+    loop.tcp_listen_fd = -1;
   }
-  if (uds_listen_fd_ >= 0) {
-    ::close(uds_listen_fd_);
-    uds_listen_fd_ = -1;
+  if (loop.uds_listen_fd >= 0) {
+    ::close(loop.uds_listen_fd);
+    loop.uds_listen_fd = -1;
   }
-  drain_and_close_all();
+  drain_and_close_all(loop);
 }
 
 }  // namespace egoist::rpc

@@ -1,10 +1,15 @@
 // rpc::Server — the socket front end of the serving stack.
 //
-// One poll(2)-driven event loop thread accepts TCP (loopback by default)
-// and Unix-domain connections and answers wire-protocol frames from a
-// host::RouteService. The loop is the only thread that touches connection
-// state; RouteService::acquire()/route()/path()/score() are safe from any
-// thread by contract, so the loop serves concurrently with the host thread
+// N independent poll(2)-driven event loops (Options::loops) share one
+// host::RouteService. Each loop owns its thread, pollfd set, connection
+// table, and counters — loops never touch each other's connections, so
+// there is no cross-loop locking on the hot path. TCP scaling comes from
+// the kernel: every loop binds its own SO_REUSEPORT listener on the same
+// port and the kernel load-balances accepts across them. The single UDS
+// listener lives on loop 0, which round-robins accepted fds to the other
+// loops through a mutex-guarded inbox plus each loop's self-pipe wakeup.
+// RouteService::acquire()/route()/path()/score() are safe from any thread
+// by contract, so all loops serve concurrently with the host thread
 // driving epochs — exactly the deployment egoistd runs.
 //
 // Per connection: nonblocking fd, an inbound ByteQueue socket reads drain
@@ -12,9 +17,11 @@
 // last-activity stamp for the idle timeout. Dispatch is pipelined: every
 // complete frame buffered on a connection is decoded in one batch, ONE
 // ServedSnapshot is pinned for the whole batch (one refcount round-trip
-// however deep the client pipelines), every answer is encoded back-to-back
-// into the outbound queue, and the flush writes them with as few
-// syscalls as the socket accepts.
+// however deep the client pipelines), answers are encoded back-to-back
+// into a per-loop scratch arena, and the flush gathers [outbound backlog,
+// fresh answers] through one sendmsg (writev with MSG_NOSIGNAL) — a
+// BATCH_ROUTE frame therefore costs one header decode and one syscall
+// regardless of how many lookups it carries.
 //
 // Malformed input follows the codec's two severity levels: a payload that
 // fails to decode for a valid header gets an ERROR(kBadRequest) response
@@ -24,11 +31,17 @@
 // resynchronizing a corrupt byte stream is guesswork. Both count toward
 // decode_errors.
 //
-// Shutdown is graceful: stop() (thread-safe, idempotent) wakes the loop,
-// which closes the listeners, keeps flushing already-queued responses
-// until they drain or Options::drain_deadline expires, closes every
-// connection, and exits. egoistd follows with RouteService::drain() to
-// prove no snapshot leaked.
+// Stats are per-loop atomics; stats() sums them with acquire loads, so
+// the aggregate is exact once the loops have joined and a monotonic lower
+// bound while they run. STATS responses carry both the aggregate (the
+// frozen 22-field prefix v1 clients parse) and the per-loop breakdown
+// appended by wire v2.
+//
+// Shutdown is graceful: stop() (thread-safe, idempotent) wakes every
+// loop; each closes its listeners, keeps flushing already-queued
+// responses until they drain or Options::drain_deadline expires, closes
+// its connections, and exits. egoistd follows with RouteService::drain()
+// to prove no snapshot leaked.
 #pragma once
 
 #include <atomic>
@@ -36,6 +49,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
@@ -60,11 +74,17 @@ struct ServerOptions {
   double idle_timeout_s = 60.0;
   /// How long stop() keeps flushing queued responses before closing.
   double drain_deadline_s = 2.0;
-  /// Accept backlog and connection cap (excess accepts are closed).
+  /// Connection cap, split evenly across loops (excess accepts are
+  /// closed).
   int max_connections = 512;
+  /// Event loops. 1 = the classic single loop; 0 = one per hardware
+  /// thread; clamped to [1, 64].
+  int loops = 1;
 };
 
-/// Event-loop counters, readable from any thread while the loop runs.
+/// Event-loop counters, readable from any thread while the loops run.
+/// Aggregates are exact after stop(); while serving they are a monotonic
+/// lower bound (each loop's counters advance independently).
 struct ServerStats {
   std::uint64_t connections_accepted = 0;
   std::uint64_t connections_active = 0;
@@ -88,21 +108,28 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Spawns the event-loop thread. Idempotent.
+  /// Spawns one event-loop thread per configured loop. Idempotent.
   void start();
 
   /// Graceful shutdown: stop accepting, drain queued responses under the
-  /// deadline, close everything, join the loop thread. Idempotent; safe
+  /// deadline, close everything, join every loop thread. Idempotent; safe
   /// from any thread (including a signal-watcher thread, NOT a handler).
   void stop();
 
   bool running() const { return running_.load(std::memory_order_acquire); }
 
   /// The bound TCP port (after construction), or -1 when TCP is disabled.
+  /// With loops > 1 every loop's SO_REUSEPORT listener shares this port.
   int tcp_port() const { return bound_tcp_port_; }
   const std::string& uds_path() const { return options_.uds_path; }
 
+  /// Resolved loop count (Options::loops after the 0 = auto expansion).
+  int loops() const { return static_cast<int>(loops_.size()); }
+
+  /// Aggregate across all loops (acquire loads, summed).
   ServerStats stats() const;
+  /// One entry per loop, in loop order.
+  std::vector<ServerStats> per_loop_stats() const;
 
  private:
   struct Conn {
@@ -112,31 +139,6 @@ class Server {
     std::chrono::steady_clock::time_point last_activity;
     bool closing = false;  ///< close once `out` drains (framing corrupt)
   };
-
-  void loop();
-  void accept_ready(int listen_fd);
-  /// Reads everything available; returns false when the peer closed or a
-  /// fatal error occurred.
-  bool read_ready(Conn& conn);
-  /// Decodes + answers every complete frame in conn.in (one snapshot pin).
-  void dispatch(Conn& conn);
-  /// Writes as much of conn.out as the socket accepts; false on fatal error.
-  bool write_ready(Conn& conn);
-  void close_conn(std::size_t index);
-  void drain_and_close_all();
-
-  host::RouteService* service_;
-  ServerOptions options_;
-  int tcp_listen_fd_ = -1;
-  int uds_listen_fd_ = -1;
-  int bound_tcp_port_ = -1;
-  int wake_fds_[2] = {-1, -1};  ///< self-pipe: stop() wakes poll()
-  std::thread thread_;
-  std::atomic<bool> running_{false};
-  std::atomic<bool> stop_requested_{false};
-  bool stopped_ = false;  ///< guarded by stop_mutex_
-  std::mutex stop_mutex_;
-  std::vector<Conn> conns_;
 
   struct AtomicStats {
     std::atomic<std::uint64_t> connections_accepted{0};
@@ -149,7 +151,58 @@ class Server {
     std::atomic<std::uint64_t> bytes_in{0};
     std::atomic<std::uint64_t> bytes_out{0};
     std::atomic<std::uint64_t> batches{0};
-  } counters_;
+  };
+
+  /// Everything one event loop owns. Loops are heap-pinned (unique_ptr)
+  /// because they hold atomics, a mutex, and a thread.
+  struct Loop {
+    std::size_t index = 0;
+    int tcp_listen_fd = -1;  ///< own SO_REUSEPORT listener (or -1)
+    int uds_listen_fd = -1;  ///< loop 0 only; others receive via inbox
+    int wake_fds[2] = {-1, -1};  ///< self-pipe: stop()/handoffs wake poll
+    std::thread thread;
+    std::vector<Conn> conns;
+    std::mutex inbox_mutex;
+    std::vector<int> inbox;  ///< UDS fds handed off by loop 0
+    AtomicStats counters;
+    std::vector<std::uint8_t> scratch;  ///< batch answers, sendmsg-gathered
+  };
+
+  void loop_run(Loop& loop);
+  void wake(Loop& loop);
+  /// Takes ownership of a freshly-accepted fd on this loop (cap check,
+  /// nonblocking + TCP_NODELAY, counter bump).
+  void adopt_conn(Loop& loop, int fd);
+  void accept_ready(Loop& loop, int listen_fd);
+  /// Moves fds parked in the inbox into this loop's connection table.
+  void drain_inbox(Loop& loop);
+  /// Reads everything available; returns false when the peer closed or a
+  /// fatal error occurred.
+  bool read_ready(Loop& loop, Conn& conn);
+  /// Decodes + answers every complete frame in conn.in (one snapshot
+  /// pin), then flushes backlog + answers in one gathered sendmsg.
+  /// Returns false on fatal write error.
+  bool dispatch(Loop& loop, Conn& conn);
+  /// Writes conn.out, then `extra`, with one sendmsg per round; unsent
+  /// `extra` bytes are queued onto conn.out. False on fatal error.
+  bool flush_gather(Loop& loop, Conn& conn,
+                    std::span<const std::uint8_t> extra);
+  /// Writes as much of conn.out as the socket accepts; false on fatal
+  /// error.
+  bool write_ready(Loop& loop, Conn& conn);
+  void close_conn(Loop& loop, std::size_t index);
+  void drain_and_close_all(Loop& loop);
+  std::size_t per_loop_conn_cap() const;
+
+  host::RouteService* service_;
+  ServerOptions options_;
+  int bound_tcp_port_ = -1;
+  std::vector<std::unique_ptr<Loop>> loops_;
+  std::size_t uds_rr_ = 0;  ///< round-robin cursor; loop 0's thread only
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+  bool stopped_ = false;  ///< guarded by stop_mutex_
+  std::mutex stop_mutex_;
 };
 
 }  // namespace egoist::rpc

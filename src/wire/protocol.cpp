@@ -142,7 +142,7 @@ void encode_frame(std::vector<std::uint8_t>& out, MsgType type, bool response,
 
 bool is_known_type(std::uint8_t raw) {
   return raw >= static_cast<std::uint8_t>(MsgType::kPing) &&
-         raw <= static_cast<std::uint8_t>(MsgType::kError);
+         raw <= static_cast<std::uint8_t>(MsgType::kBatchRoute);
 }
 
 const char* to_string(DecodeStatus status) {
@@ -189,6 +189,18 @@ void encode_score_request(std::vector<std::uint8_t>& out, std::uint64_t id,
 
 void encode_stats_request(std::vector<std::uint8_t>& out, std::uint64_t id) {
   encode_frame(out, MsgType::kStats, false, id, [](auto&) {});
+}
+
+void encode_batch_route_request(std::vector<std::uint8_t>& out,
+                                std::uint64_t id,
+                                const BatchRouteRequest& req) {
+  encode_frame(out, MsgType::kBatchRoute, false, id, [&](auto& o) {
+    put_u32(o, static_cast<std::uint32_t>(req.pairs.size()));
+    for (const auto& pair : req.pairs) {
+      put_i32(o, pair.src);
+      put_i32(o, pair.dst);
+    }
+  });
 }
 
 void encode_ping_response(std::vector<std::uint8_t>& out, std::uint64_t id,
@@ -257,6 +269,17 @@ void encode_stats_response(std::vector<std::uint8_t>& out, std::uint64_t id,
     put_u64(o, resp.bytes_in);
     put_u64(o, resp.bytes_out);
     put_u64(o, resp.batches);
+    // v2 appendix: the per-loop breakdown after the frozen 22-field prefix.
+    put_u32(o, static_cast<std::uint32_t>(resp.per_loop.size()));
+    for (const auto& loop : resp.per_loop) {
+      put_u64(o, loop.connections_accepted);
+      put_u64(o, loop.connections_active);
+      put_u64(o, loop.frames_in);
+      put_u64(o, loop.frames_out);
+      put_u64(o, loop.bytes_in);
+      put_u64(o, loop.bytes_out);
+      put_u64(o, loop.batches);
+    }
   });
 }
 
@@ -267,6 +290,21 @@ void encode_error_response(std::vector<std::uint8_t>& out, std::uint64_t id,
     put_u32(o, static_cast<std::uint32_t>(resp.message.size()));
     for (const char c : resp.message) {
       put_u8(o, static_cast<std::uint8_t>(c));
+    }
+  });
+}
+
+void encode_batch_route_response(std::vector<std::uint8_t>& out,
+                                 std::uint64_t id,
+                                 const BatchRouteResponse& resp) {
+  encode_frame(out, MsgType::kBatchRoute, true, id, [&](auto& o) {
+    put_i32(o, resp.epoch);
+    put_u64(o, resp.publish_seq);
+    put_u32(o, static_cast<std::uint32_t>(resp.entries.size()));
+    for (const auto& entry : resp.entries) {
+      put_u8(o, entry.reachable);
+      put_i32(o, entry.next_hop);
+      put_f64(o, entry.cost);
     }
   });
 }
@@ -295,11 +333,17 @@ HeaderDecode decode_header(std::span<const std::uint8_t> bytes,
     out.status = DecodeStatus::kBadMagic;
     return out;
   }
-  if (version != kVersion) {
+  if (version < kMinVersion || version > kVersion) {
     out.status = DecodeStatus::kBadVersion;
     return out;
   }
   if (!is_known_type(type)) {
+    out.status = DecodeStatus::kBadType;
+    return out;
+  }
+  // BATCH_ROUTE is a v2 addition: a v1 peer that never learned the type
+  // gets the same kBadType it would produce itself.
+  if (static_cast<MsgType>(type) == MsgType::kBatchRoute && version < 2) {
     out.status = DecodeStatus::kBadType;
     return out;
   }
@@ -362,6 +406,27 @@ RequestDecode decode_request(const FrameHeader& header,
     case MsgType::kStats: {
       if (!r.exhausted()) return out;
       out.request = StatsRequest{};
+      break;
+    }
+    case MsgType::kBatchRoute: {
+      BatchRouteRequest req;
+      std::uint32_t count = 0;
+      if (!r.read_u32(count)) return out;
+      // Reject empty batches and require the pair list to tile the
+      // remaining payload exactly. The count is widened to u64 before the
+      // multiply so a hostile count near UINT32_MAX cannot wrap to a small
+      // product; the remaining() equality also bounds the reserve by the
+      // (already size-capped) frame, mirroring the PATH hop-list proof.
+      if (count == 0) return out;
+      if (r.remaining() != std::uint64_t{count} * 8) return out;
+      req.pairs.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        BatchRoutePair pair;
+        if (!r.read_i32(pair.src) || !r.read_i32(pair.dst)) return out;
+        req.pairs.push_back(pair);
+      }
+      if (!r.exhausted()) return out;
+      out.request = std::move(req);
       break;
     }
     case MsgType::kError:
@@ -450,10 +515,30 @@ ResponseDecode decode_response(const FrameHeader& header,
           !r.read_u64(resp.decode_errors) ||
           !r.read_u64(resp.error_responses) || !r.read_u64(resp.idle_closed) ||
           !r.read_u64(resp.bytes_in) || !r.read_u64(resp.bytes_out) ||
-          !r.read_u64(resp.batches) || !r.exhausted()) {
+          !r.read_u64(resp.batches)) {
         return out;
       }
-      out.response = resp;
+      // v1 frames stop at the frozen 22-field prefix; v2 appends the
+      // per-loop breakdown (u32 loop count + 7 u64 per loop).
+      if (header.version >= 2) {
+        std::uint32_t loop_count = 0;
+        if (!r.read_u32(loop_count)) return out;
+        if (r.remaining() != std::uint64_t{loop_count} * 56) return out;
+        resp.per_loop.reserve(loop_count);
+        for (std::uint32_t i = 0; i < loop_count; ++i) {
+          PerLoopStats loop;
+          if (!r.read_u64(loop.connections_accepted) ||
+              !r.read_u64(loop.connections_active) ||
+              !r.read_u64(loop.frames_in) || !r.read_u64(loop.frames_out) ||
+              !r.read_u64(loop.bytes_in) || !r.read_u64(loop.bytes_out) ||
+              !r.read_u64(loop.batches)) {
+            return out;
+          }
+          resp.per_loop.push_back(loop);
+        }
+      }
+      if (!r.exhausted()) return out;
+      out.response = std::move(resp);
       break;
     }
     case MsgType::kError: {
@@ -464,6 +549,31 @@ ResponseDecode decode_response(const FrameHeader& header,
       if (!r.read_bytes(len, text) || !r.exhausted()) return out;
       resp.message.assign(reinterpret_cast<const char*>(text.data()),
                           text.size());
+      out.response = std::move(resp);
+      break;
+    }
+    case MsgType::kBatchRoute: {
+      BatchRouteResponse resp;
+      std::uint32_t count = 0;
+      if (!r.read_i32(resp.epoch) || !r.read_u64(resp.publish_seq) ||
+          !r.read_u32(count)) {
+        return out;
+      }
+      // Same hostile-count discipline as the request side: widen before
+      // multiplying (13-byte entries) and demand exact tiling so the
+      // reserve stays bounded by the frame size.
+      if (count == 0) return out;
+      if (r.remaining() != std::uint64_t{count} * 13) return out;
+      resp.entries.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        BatchRouteEntry entry;
+        if (!r.read_u8(entry.reachable) || !r.read_i32(entry.next_hop) ||
+            !r.read_f64(entry.cost)) {
+          return out;
+        }
+        resp.entries.push_back(entry);
+      }
+      if (!r.exhausted()) return out;
       out.response = std::move(resp);
       break;
     }

@@ -6,9 +6,9 @@
 //
 //   offset  size  field
 //        0     4  magic        "EGOR" (0x45 0x47 0x4F 0x52 on the wire)
-//        4     1  version      kVersion (1); other values are rejected
+//        4     1  version      kMinVersion..kVersion; others are rejected
 //        5     1  type         MsgType (PING / ROUTE / PATH / SCORE /
-//                              STATS / ERROR)
+//                              STATS / ERROR / BATCH_ROUTE)
 //        6     2  flags        bit 0: response; all other bits must be 0
 //        8     8  request_id   echoed verbatim in the matching response
 //       16     4  payload_len  bytes that follow; bounded by max_frame
@@ -26,10 +26,16 @@
 // error — it tells a streaming caller to buffer more bytes.
 //
 // Versioning rule: the header layout (magic through payload_len) is frozen
-// forever; bumping kVersion is reserved for payload-format changes, and a
-// receiver rejects frames whose version it does not speak (kBadVersion)
-// rather than guessing. New message types extend the enum without a
-// version bump; unknown types are rejected (kBadType).
+// forever; bumping kVersion is reserved for payload-format changes. A
+// receiver speaks the half-open range [kMinVersion, kVersion]: frames
+// carrying any version it speaks are accepted (the decoded FrameHeader
+// records which one), anything else is rejected (kBadVersion) rather than
+// guessed at. Version 2 appended the per-loop breakdown to the STATS
+// response — the 22 shared fields are a frozen prefix, so a v2 receiver
+// still parses a v1 STATS frame (empty per_loop) — and introduced
+// BATCH_ROUTE, which is rejected (kBadType) on a v1 frame. New message
+// types extend the enum without a version bump; unknown types are
+// rejected (kBadType).
 #pragma once
 
 #include <cstddef>
@@ -42,7 +48,8 @@
 namespace egoist::wire {
 
 inline constexpr std::uint32_t kMagic = 0x524F4745u;  // "EGOR" little-endian
-inline constexpr std::uint8_t kVersion = 1;
+inline constexpr std::uint8_t kVersion = 2;     ///< what encoders emit
+inline constexpr std::uint8_t kMinVersion = 1;  ///< oldest version accepted
 inline constexpr std::size_t kHeaderSize = 20;
 
 /// Default per-frame payload bound; servers and clients may lower it, and
@@ -57,6 +64,7 @@ enum class MsgType : std::uint8_t {
   kScore = 4,  ///< single-node routing-cost score (NaN when offline)
   kStats = 5,  ///< service + server counters
   kError = 6,  ///< response-only: typed failure for one request
+  kBatchRoute = 7,  ///< many ROUTE lookups in one frame (v2+)
 };
 
 /// True for values that name a known message type.
@@ -123,6 +131,39 @@ struct ScoreRequest {
   std::int32_t node = -1;
 };
 
+/// One (src, dst) lookup inside a BATCH_ROUTE frame.
+struct BatchRoutePair {
+  std::int32_t src = -1;
+  std::int32_t dst = -1;
+};
+
+/// BATCH_ROUTE request: one header, u32 count, then `count` packed
+/// src/dst pairs (8 bytes each). A pipelined client that used to send
+/// depth-16 ROUTE frames (16 header decodes, 16 response sends) sends one
+/// frame and gets one response frame back. count == 0 is rejected
+/// (kBadPayload) — an empty batch is always a framing bug — and count must
+/// tile the payload exactly, so a hostile count can neither over-read nor
+/// force an allocation beyond the (already bounded) frame.
+struct BatchRouteRequest {
+  std::vector<BatchRoutePair> pairs;
+};
+
+/// One answer slot of a BATCH_ROUTE response (13 bytes packed).
+struct BatchRouteEntry {
+  std::uint8_t reachable = 0;
+  std::int32_t next_hop = -1;
+  double cost = 0.0;  ///< +inf when unreachable
+};
+
+/// BATCH_ROUTE response: epoch + publish_seq once (the whole batch is
+/// answered off ONE pinned snapshot, so they are shared by construction),
+/// then `count` packed entries in request order.
+struct BatchRouteResponse {
+  std::int32_t epoch = 0;
+  std::uint64_t publish_seq = 0;
+  std::vector<BatchRouteEntry> entries;
+};
+
 struct ScoreResponse {
   double score = 0.0;             ///< NaN for an offline node
   std::int32_t epoch = 0;
@@ -131,8 +172,25 @@ struct ScoreResponse {
 
 struct StatsRequest {};
 
+/// Per-event-loop slice of the server's transport counters (v2+). The
+/// shared StatsResponse fields hold the exact aggregate; these are the
+/// per-loop break-down a multi-loop server serves from.
+struct PerLoopStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_active = 0;
+  std::uint64_t frames_in = 0;
+  std::uint64_t frames_out = 0;
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  std::uint64_t batches = 0;
+};
+
 /// One coherent sample of the daemon's counters: the RouteService's
 /// publication/query telemetry plus the rpc::Server's transport counters.
+/// The 22 fields up to `batches` are a frozen prefix shared with wire
+/// version 1; version 2 appends the per-loop breakdown, and a v1 frame
+/// decodes with `per_loop` empty — old clients still parse the shared
+/// fields, old frames still satisfy new receivers.
 struct StatsResponse {
   std::uint32_t node_count = 0;
   std::int32_t published_epoch = 0;
@@ -158,6 +216,8 @@ struct StatsResponse {
   std::uint64_t bytes_in = 0;
   std::uint64_t bytes_out = 0;
   std::uint64_t batches = 0;        ///< dispatch batches == snapshot pins
+  // v2+: per-event-loop breakdown (empty when decoded from a v1 frame).
+  std::vector<PerLoopStats> per_loop;
 };
 
 enum class ErrorCode : std::uint16_t {
@@ -173,9 +233,10 @@ struct ErrorResponse {
 };
 
 using Request = std::variant<PingRequest, RouteRequest, PathRequest,
-                             ScoreRequest, StatsRequest>;
-using Response = std::variant<PingResponse, RouteResponse, PathResponse,
-                              ScoreResponse, StatsResponse, ErrorResponse>;
+                             ScoreRequest, StatsRequest, BatchRouteRequest>;
+using Response =
+    std::variant<PingResponse, RouteResponse, PathResponse, ScoreResponse,
+                 StatsResponse, ErrorResponse, BatchRouteResponse>;
 
 // --- Encoding -------------------------------------------------------------
 // Every encoder appends one complete frame (header + payload) to `out`.
@@ -188,6 +249,9 @@ void encode_path_request(std::vector<std::uint8_t>& out, std::uint64_t id,
 void encode_score_request(std::vector<std::uint8_t>& out, std::uint64_t id,
                           const ScoreRequest& req);
 void encode_stats_request(std::vector<std::uint8_t>& out, std::uint64_t id);
+void encode_batch_route_request(std::vector<std::uint8_t>& out,
+                                std::uint64_t id,
+                                const BatchRouteRequest& req);
 
 void encode_ping_response(std::vector<std::uint8_t>& out, std::uint64_t id,
                           const PingResponse& resp);
@@ -201,6 +265,9 @@ void encode_stats_response(std::vector<std::uint8_t>& out, std::uint64_t id,
                            const StatsResponse& resp);
 void encode_error_response(std::vector<std::uint8_t>& out, std::uint64_t id,
                            const ErrorResponse& resp);
+void encode_batch_route_response(std::vector<std::uint8_t>& out,
+                                 std::uint64_t id,
+                                 const BatchRouteResponse& resp);
 
 // --- Decoding -------------------------------------------------------------
 

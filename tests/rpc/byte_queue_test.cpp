@@ -1,0 +1,167 @@
+// rpc::ByteQueue — the per-connection byte ring both sides of the wire
+// build on. The contract under test: readable() is always the exact bytes
+// appended minus the bytes consumed, in order, contiguous; consume()
+// compaction (clear-when-empty, erase-when-head-dominates) never moves
+// unread bytes out from under the reader; tail() appends land behind
+// whatever is still unread, across reallocation.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "rpc/byte_queue.hpp"
+
+namespace egoist::rpc {
+namespace {
+
+std::vector<std::uint8_t> pattern(std::size_t len, std::uint8_t seed = 0) {
+  std::vector<std::uint8_t> bytes(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    bytes[i] = static_cast<std::uint8_t>(seed + i * 31 + (i >> 8));
+  }
+  return bytes;
+}
+
+std::vector<std::uint8_t> snapshot(const ByteQueue& queue) {
+  const auto view = queue.readable();
+  return {view.begin(), view.end()};
+}
+
+TEST(ByteQueue, StartsEmpty) {
+  ByteQueue queue;
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(queue.size(), 0u);
+  EXPECT_TRUE(queue.readable().empty());
+}
+
+TEST(ByteQueue, AppendThenReadBackIsIdentity) {
+  ByteQueue queue;
+  const auto bytes = pattern(1000);
+  queue.append(bytes.data(), bytes.size());
+  EXPECT_EQ(queue.size(), bytes.size());
+  EXPECT_EQ(snapshot(queue), bytes);
+}
+
+TEST(ByteQueue, SpanAppendMatchesPointerAppend) {
+  ByteQueue a;
+  ByteQueue b;
+  const auto bytes = pattern(257);
+  a.append(bytes.data(), bytes.size());
+  b.append(std::span<const std::uint8_t>(bytes));
+  EXPECT_EQ(snapshot(a), snapshot(b));
+}
+
+TEST(ByteQueue, ConsumeAdvancesTheFront) {
+  ByteQueue queue;
+  const auto bytes = pattern(100);
+  queue.append(bytes.data(), bytes.size());
+  queue.consume(37);
+  EXPECT_EQ(queue.size(), 63u);
+  EXPECT_EQ(snapshot(queue),
+            std::vector<std::uint8_t>(bytes.begin() + 37, bytes.end()));
+}
+
+TEST(ByteQueue, ConsumeToExactlyEmptyResetsStorage) {
+  ByteQueue queue;
+  const auto bytes = pattern(100);
+  queue.append(bytes.data(), bytes.size());
+  queue.consume(100);
+  EXPECT_TRUE(queue.empty());
+  // The cleared queue must accept fresh bytes from offset zero.
+  const auto fresh = pattern(10, 99);
+  queue.append(fresh.data(), fresh.size());
+  EXPECT_EQ(snapshot(queue), fresh);
+}
+
+TEST(ByteQueue, ByteAtATimeConsumeAcrossCompactionBoundary) {
+  // Walk the head cursor one byte at a time through the compaction
+  // threshold (head > size/2 && head >= 4096): whatever the internal
+  // storage does, the readable window must stay exactly the unread tail.
+  ByteQueue queue;
+  const auto bytes = pattern(10000);
+  queue.append(bytes.data(), bytes.size());
+  for (std::size_t consumed = 0; consumed < bytes.size(); ++consumed) {
+    ASSERT_EQ(queue.size(), bytes.size() - consumed);
+    const auto view = queue.readable();
+    ASSERT_EQ(view.size(), bytes.size() - consumed);
+    ASSERT_EQ(view.front(), bytes[consumed]);
+    ASSERT_EQ(view.back(), bytes.back());
+    queue.consume(1);
+  }
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(ByteQueue, PartialConsumeAcrossReallocation) {
+  // Append enough, in small slices, to force repeated vector growth while
+  // the head sits mid-buffer; interleave consumes so head and tail both
+  // move. The queue's contents must always equal the reference deque.
+  ByteQueue queue;
+  std::vector<std::uint8_t> reference;
+  std::uint8_t seed = 0;
+  for (int round = 0; round < 200; ++round) {
+    const auto slice = pattern(123 + (round % 7) * 61, seed++);
+    queue.append(slice.data(), slice.size());
+    reference.insert(reference.end(), slice.begin(), slice.end());
+    const std::size_t eat = (round % 3 == 0) ? reference.size() / 2
+                                             : (round % 5) * 40 + 1;
+    const std::size_t actual = std::min(eat, reference.size());
+    queue.consume(actual);
+    reference.erase(reference.begin(),
+                    reference.begin() + static_cast<std::ptrdiff_t>(actual));
+    ASSERT_EQ(queue.size(), reference.size()) << "round " << round;
+    ASSERT_EQ(snapshot(queue), reference) << "round " << round;
+  }
+}
+
+TEST(ByteQueue, TailAppendsLandBehindUnreadBytes) {
+  // tail() is how encoders write frames in place: bytes pushed onto it
+  // must queue behind the unread remainder, even after prior consumes.
+  ByteQueue queue;
+  const auto first = pattern(5000, 1);
+  queue.append(first.data(), first.size());
+  queue.consume(4800);  // head is large; compaction may or may not fire
+  std::vector<std::uint8_t> expect(first.begin() + 4800, first.end());
+  const auto encoded = pattern(64, 7);
+  queue.tail().insert(queue.tail().end(), encoded.begin(), encoded.end());
+  expect.insert(expect.end(), encoded.begin(), encoded.end());
+  EXPECT_EQ(snapshot(queue), expect);
+  queue.consume(expect.size() - 3);
+  EXPECT_EQ(snapshot(queue), std::vector<std::uint8_t>(expect.end() - 3,
+                                                       expect.end()));
+}
+
+TEST(ByteQueue, ClearDropsEverything) {
+  ByteQueue queue;
+  const auto bytes = pattern(1234);
+  queue.append(bytes.data(), bytes.size());
+  queue.consume(7);
+  queue.clear();
+  EXPECT_TRUE(queue.empty());
+  EXPECT_TRUE(queue.readable().empty());
+  const auto fresh = pattern(9, 42);
+  queue.append(fresh.data(), fresh.size());
+  EXPECT_EQ(snapshot(queue), fresh);
+}
+
+TEST(ByteQueue, LargeHeadSmallTailCompactionKeepsTail) {
+  // The erase-compaction case specifically: head >= 4096 AND more than
+  // half the buffer consumed, with a short unread tail that must survive
+  // the memmove byte for byte.
+  ByteQueue queue;
+  const auto bytes = pattern(8192, 3);
+  queue.append(bytes.data(), bytes.size());
+  queue.consume(8000);
+  EXPECT_EQ(queue.size(), 192u);
+  EXPECT_EQ(snapshot(queue),
+            std::vector<std::uint8_t>(bytes.begin() + 8000, bytes.end()));
+  // And the compacted queue keeps accepting appends coherently.
+  const auto more = pattern(100, 9);
+  queue.append(more.data(), more.size());
+  std::vector<std::uint8_t> expect(bytes.begin() + 8000, bytes.end());
+  expect.insert(expect.end(), more.begin(), more.end());
+  EXPECT_EQ(snapshot(queue), expect);
+}
+
+}  // namespace
+}  // namespace egoist::rpc

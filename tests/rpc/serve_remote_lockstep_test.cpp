@@ -57,9 +57,11 @@ DeterminismCase churned_br_case(int workers, bool incremental) {
 
 /// record_trajectory's socket twin: same epoch-by-epoch recording, but the
 /// reader load arrives through a live rpc::Server — TCP and UDS clients in
-/// their own threads, pipelined and simple calls mixed.
+/// their own threads, pipelined, simple, and BATCH_ROUTE calls mixed.
+/// `loops` picks the server's event-loop count: the multi-loop fan-out must
+/// be just as invisible to the simulation as the single loop.
 Trajectory record_trajectory_with_server(const DeterminismCase& c,
-                                         int remote_clients) {
+                                         int remote_clients, int loops = 1) {
   host::OverlayHost host(c.nodes, c.host_seed, c.env);
   const auto handle = host.deploy(c.spec);
   host::RouteService service(host, handle);
@@ -68,6 +70,7 @@ Trajectory record_trajectory_with_server(const DeterminismCase& c,
   options.tcp_port = 0;
   options.uds_path = "/tmp/egoist_lockstep_" + std::to_string(::getpid()) +
                      ".sock";
+  options.loops = loops;
   rpc::Server server(service, options);
   server.start();
 
@@ -87,10 +90,12 @@ Trajectory record_trajectory_with_server(const DeterminismCase& c,
         client.post_route(src, dst);
         client.post_path(src, dst);
         client.post_score(src);
+        client.post_route_batch({{src, dst}, {dst, src}});
         client.flush();
         (void)client.take_route();
         (void)client.take_path();
         (void)client.take_score();
+        (void)client.take_route_batch();
       }
     });
   }
@@ -122,21 +127,26 @@ TEST(ServeRemoteLockstep, SocketServingLeavesTrajectoriesBitIdentical) {
   for (const int workers : {0, 2}) {
     for (const bool incremental : {false, true}) {
       const auto c = churned_br_case(workers, incremental);
-      const auto label = "workers=" + std::to_string(workers) +
-                         " incremental=" + (incremental ? "on" : "off");
+      const auto base_label = "workers=" + std::to_string(workers) +
+                              " incremental=" + (incremental ? "on" : "off");
       const auto quiet = record_trajectory(c);
-      const auto served = record_trajectory_with_server(c, 4);
-      expect_same_trajectory(quiet, served, label + " [rpc::Server attached]");
+      for (const int loops : {1, 4}) {
+        const auto served = record_trajectory_with_server(c, 4, loops);
+        expect_same_trajectory(quiet, served,
+                               base_label + " loops=" + std::to_string(loops) +
+                                   " [rpc::Server attached]");
+      }
     }
   }
 }
 
 TEST(ServeRemoteLockstep, ServedRunsAreRepeatable) {
   // Two socket-served runs of the same case agree with each other too —
-  // the socket layer adds no run-to-run jitter to the simulation.
+  // the socket layer adds no run-to-run jitter to the simulation, even
+  // with the multi-loop fan-out handing UDS connections across threads.
   const auto c = churned_br_case(2, true);
-  const auto first = record_trajectory_with_server(c, 2);
-  const auto second = record_trajectory_with_server(c, 2);
+  const auto first = record_trajectory_with_server(c, 2, 4);
+  const auto second = record_trajectory_with_server(c, 2, 4);
   expect_same_trajectory(first, second, "repeat [rpc::Server attached]");
 }
 

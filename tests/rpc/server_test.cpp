@@ -126,6 +126,216 @@ TEST(RpcServer, PipelinedBatchAnswersInOrderOffOneSnapshot) {
   EXPECT_EQ(stats.frames_in, 3u * kDepth);
 }
 
+TEST(RpcServer, BatchRouteMatchesSingleRouteAnswers) {
+  Stack stack;
+  auto client = stack.uds();
+  std::vector<wire::BatchRoutePair> pairs;
+  for (std::int32_t src = 0; src < 16; ++src) {
+    for (std::int32_t dst = 0; dst < 16; ++dst) {
+      pairs.push_back({src, dst});
+    }
+  }
+  const auto batch = client.route_batch(pairs);
+  ASSERT_EQ(batch.entries.size(), pairs.size());
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    const auto single = stack.service->route(pairs[i].src, pairs[i].dst);
+    EXPECT_EQ(batch.entries[i].reachable, single.reachable ? 1 : 0)
+        << pairs[i].src << "->" << pairs[i].dst;
+    EXPECT_EQ(batch.entries[i].next_hop, single.next_hop);
+    if (single.reachable) {
+      EXPECT_DOUBLE_EQ(batch.entries[i].cost, single.cost);
+    }
+  }
+  // The whole batch was answered off one pinned snapshot; its stamp is a
+  // real publication.
+  EXPECT_EQ(batch.publish_seq, client.ping().publish_seq);
+  // One frame in, one frame out, however many lookups rode along.
+  const auto stats = stack.server->stats();
+  EXPECT_EQ(stats.frames_in, 2u);  // the batch + the ping
+}
+
+TEST(RpcServer, BatchRouteInterleavesWithPipelinedSingles) {
+  Stack stack;
+  auto client = stack.tcp();
+  client.post_route(0, 5);
+  client.post_route_batch({{1, 2}, {3, 4}, {5, 6}});
+  client.post_route(7, 8);
+  client.flush();
+  const auto first = client.take_route();
+  const auto batch = client.take_route_batch();
+  const auto last = client.take_route();
+  // One flush burst == one dispatch batch == one snapshot: every answer,
+  // batched or single, carries the same publication stamp.
+  EXPECT_EQ(batch.publish_seq, first.publish_seq);
+  EXPECT_EQ(last.publish_seq, first.publish_seq);
+  ASSERT_EQ(batch.entries.size(), 3u);
+  const auto expect = stack.service->route(3, 4);
+  EXPECT_EQ(batch.entries[1].next_hop, expect.next_hop);
+}
+
+TEST(RpcServer, BatchRouteOutOfRangeIsAllOrNothing) {
+  Stack stack;
+  auto client = stack.uds();
+  // One bad id poisons the whole batch — a partial answer would misalign
+  // the packed entries against the request's pair order.
+  try {
+    (void)client.route_batch({{0, 1}, {2, 16}, {3, 4}});  // 16 out of range
+    FAIL() << "expected RemoteError";
+  } catch (const RemoteError& e) {
+    EXPECT_EQ(e.code(),
+              static_cast<std::uint16_t>(wire::ErrorCode::kOutOfRange));
+  }
+  // The connection lives, and valid batches still answer on it.
+  const auto ok = client.route_batch({{0, 1}});
+  EXPECT_EQ(ok.entries.size(), 1u);
+  EXPECT_EQ(stack.server->stats().error_responses, 1u);
+  EXPECT_EQ(stack.server->stats().decode_errors, 0u);
+}
+
+TEST(RpcServer, BatchWhoseResponseWouldOverflowMaxFrameIsRejected) {
+  // The response stride (13B) outruns the request stride (8B), so there is
+  // a count window where the request decodes fine but the response would
+  // bust the frame bound. The server must refuse it up front instead of
+  // emitting a frame its peers reject at the header.
+  ServerOptions options;
+  options.max_frame = 1024;
+  Stack stack(16, options);
+  auto client = stack.uds();
+  std::vector<wire::BatchRoutePair> pairs(100, {0, 1});
+  // request payload 4 + 100*8 = 804 <= 1024; response 16 + 100*13 = 1316.
+  try {
+    (void)client.route_batch(pairs);
+    FAIL() << "expected RemoteError";
+  } catch (const RemoteError& e) {
+    EXPECT_EQ(e.code(),
+              static_cast<std::uint16_t>(wire::ErrorCode::kBadRequest));
+  }
+  // A batch whose response fits still answers on the live connection.
+  pairs.resize(70);  // 16 + 70*13 = 926 <= 1024
+  EXPECT_EQ(client.route_batch(pairs).entries.size(), 70u);
+}
+
+TEST(RpcServer, MultiLoopServesBothTransportsAndAggregatesExactly) {
+  ServerOptions options;
+  options.loops = 4;
+  Stack stack(24, options);
+  EXPECT_EQ(stack.server->loops(), 4);
+
+  // 4 UDS + 4 TCP clients hammering concurrently: the UDS round-robin
+  // guarantees every loop owns at least one connection.
+  constexpr int kClientsPerTransport = 4;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < 2 * kClientsPerTransport; ++c) {
+    threads.emplace_back([&, c] {
+      try {
+        auto client = c % 2 == 0 ? stack.uds() : stack.tcp();
+        for (int round = 0; round < 50; ++round) {
+          const auto src = static_cast<std::int32_t>((c + round) % 24);
+          const auto dst = static_cast<std::int32_t>((c * 7 + round) % 24);
+          const auto route = client.route(src, dst);
+          const auto batch = client.route_batch({{src, dst}, {dst, src}});
+          if (batch.entries[0].next_hop != route.next_hop &&
+              batch.publish_seq == route.publish_seq) {
+            failures.fetch_add(1);
+          }
+        }
+      } catch (const std::exception&) {
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // The v2 STATS frame carries the per-loop breakdown.
+  auto control = stack.uds();
+  const auto remote = control.stats();
+  ASSERT_EQ(remote.per_loop.size(), 4u);
+  std::uint64_t remote_accepted = 0;
+  for (const auto& loop : remote.per_loop) {
+    remote_accepted += loop.connections_accepted;
+  }
+  EXPECT_EQ(remote_accepted, remote.connections_accepted);
+  control.close();
+
+  // After stop() the loops have joined, so the per-loop counters sum to
+  // the aggregate EXACTLY, field by field.
+  stack.server->stop();
+  const auto agg = stack.server->stats();
+  const auto per_loop = stack.server->per_loop_stats();
+  ASSERT_EQ(per_loop.size(), 4u);
+  ServerStats sum;
+  for (const auto& loop : per_loop) {
+    sum.connections_accepted += loop.connections_accepted;
+    sum.connections_active += loop.connections_active;
+    sum.frames_in += loop.frames_in;
+    sum.frames_out += loop.frames_out;
+    sum.decode_errors += loop.decode_errors;
+    sum.error_responses += loop.error_responses;
+    sum.idle_closed += loop.idle_closed;
+    sum.bytes_in += loop.bytes_in;
+    sum.bytes_out += loop.bytes_out;
+    sum.batches += loop.batches;
+  }
+  EXPECT_EQ(sum.connections_accepted, agg.connections_accepted);
+  EXPECT_EQ(sum.connections_active, agg.connections_active);
+  EXPECT_EQ(sum.frames_in, agg.frames_in);
+  EXPECT_EQ(sum.frames_out, agg.frames_out);
+  EXPECT_EQ(sum.decode_errors, agg.decode_errors);
+  EXPECT_EQ(sum.error_responses, agg.error_responses);
+  EXPECT_EQ(sum.idle_closed, agg.idle_closed);
+  EXPECT_EQ(sum.bytes_in, agg.bytes_in);
+  EXPECT_EQ(sum.bytes_out, agg.bytes_out);
+  EXPECT_EQ(sum.batches, agg.batches);
+
+  // 9 UDS connections round-robined over 4 loops: every loop served.
+  EXPECT_EQ(agg.connections_accepted, 9u);
+  for (std::size_t i = 0; i < per_loop.size(); ++i) {
+    EXPECT_GE(per_loop[i].connections_accepted, 1u) << "loop " << i;
+  }
+  EXPECT_EQ(agg.decode_errors, 0u);
+  EXPECT_EQ(agg.error_responses, 0u);
+  EXPECT_TRUE(stack.service->drain(5.0));
+}
+
+TEST(RpcServer, MultiLoopShutdownDrainsEveryLoop) {
+  ServerOptions options;
+  options.loops = 3;
+  Stack stack(16, options);
+  std::vector<Client> clients;
+  for (int i = 0; i < 6; ++i) {
+    clients.push_back(i % 2 == 0 ? stack.uds() : stack.tcp());
+    EXPECT_EQ(clients.back().ping().node_count, 16u);
+  }
+  stack.server->stop();
+  for (auto& client : clients) {
+    EXPECT_THROW((void)client.ping(), RpcError);
+  }
+  EXPECT_TRUE(stack.service->drain(5.0));
+  EXPECT_EQ(stack.service->retired_pending(), 0u);
+  EXPECT_EQ(stack.server->stats().connections_active, 0u);
+}
+
+TEST(RpcServer, TcpNodelaySendsSmallFramesWithoutCoalescingDelay) {
+  // 100 strictly sequential request/response round-trips over loopback
+  // TCP. With TCP_NODELAY unset, Nagle + delayed ACK turns this pattern
+  // into ~40ms per round trip (4+ seconds total); with it set on both the
+  // accepted and connecting sockets the whole exchange is comfortably
+  // sub-second. The 2s bound keeps the assertion meaningful on a loaded
+  // CI runner while still catching a missing NODELAY by a wide margin.
+  Stack stack;
+  auto client = stack.tcp();
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < 100; ++i) {
+    (void)client.ping();
+  }
+  const auto elapsed = std::chrono::duration<double>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_LT(elapsed.count(), 2.0) << "sequential round-trips stalled — "
+                                     "TCP_NODELAY regression?";
+}
+
 TEST(RpcServer, MixedPipelinedTypesComeBackInPostOrder) {
   Stack stack;
   auto client = stack.tcp();

@@ -50,7 +50,25 @@ std::vector<std::vector<std::uint8_t>> corpus() {
   add([&](auto& o) { encode_score_response(o, ++id, {2.5, 1, 2}); });
   add([&](auto& o) { encode_stats_response(o, ++id, StatsResponse{}); });
   add([&](auto& o) {
+    StatsResponse resp;
+    resp.per_loop.resize(3);
+    resp.per_loop[1].frames_out = 42;
+    encode_stats_response(o, ++id, resp);
+  });
+  add([&](auto& o) {
     encode_error_response(o, ++id, {2, "bad request payload"});
+  });
+  add([&](auto& o) {
+    BatchRouteRequest req;
+    req.pairs = {{0, 1}, {2, 3}, {4, 5}};
+    encode_batch_route_request(o, ++id, req);
+  });
+  add([&](auto& o) {
+    BatchRouteResponse resp;
+    resp.epoch = 7;
+    resp.publish_seq = 11;
+    resp.entries = {{1, 2, 1.5}, {0, -1, 0.0}};
+    encode_batch_route_response(o, ++id, resp);
   });
   return frames;
 }
@@ -165,6 +183,73 @@ TEST(WireCodecFuzz, PureGarbageStreamsAreRejected) {
       EXPECT_EQ(hd.status, DecodeStatus::kNeedMore);
     }
     ASSERT_NO_THROW(decode_anything(garbage));
+  }
+}
+
+TEST(WireCodecFuzz, HostileBatchCountsAreRejectedWithoutAllocating) {
+  // BATCH_ROUTE carries an explicit element count; the decoder's exact-
+  // tiling rule (remaining == count * stride, multiplied in u64) is what
+  // keeps a hostile count from forcing a reserve. Patch the count field
+  // of valid frames with every attack class and require a typed reject.
+  BatchRouteRequest req;
+  req.pairs = {{0, 1}, {2, 3}, {4, 5}, {6, 7}};
+  std::vector<std::uint8_t> request_frame;
+  encode_batch_route_request(request_frame, 1, req);
+  BatchRouteResponse resp;
+  resp.entries = {{1, 2, 1.5}, {0, -1, 0.0}, {1, 0, 3.0}, {1, 9, 0.25}};
+  std::vector<std::uint8_t> response_frame;
+  encode_batch_route_response(response_frame, 2, resp);
+
+  // Count sits right after the header in a request, after epoch (4) +
+  // publish_seq (8) in a response.
+  const auto patch_count = [](std::vector<std::uint8_t> frame,
+                              std::size_t at, std::uint32_t count) {
+    frame[at] = static_cast<std::uint8_t>(count);
+    frame[at + 1] = static_cast<std::uint8_t>(count >> 8);
+    frame[at + 2] = static_cast<std::uint8_t>(count >> 16);
+    frame[at + 3] = static_cast<std::uint8_t>(count >> 24);
+    return frame;
+  };
+  const auto decode_patched = [](const std::vector<std::uint8_t>& frame) {
+    const auto hd = decode_header(frame);
+    EXPECT_EQ(hd.status, DecodeStatus::kOk);
+    const auto payload = std::span<const std::uint8_t>(frame).subspan(
+        kHeaderSize, hd.header.payload_len);
+    return hd.header.response ? decode_response(hd.header, payload).status
+                              : decode_request(hd.header, payload).status;
+  };
+
+  const std::uint32_t hostile_counts[] = {
+      0,           // zero-count batches are meaningless, rejected outright
+      1, 3, 5,     // count disagrees with the actual payload tiling
+      0x20000000,  // count * 8 == 2^32: a u32 multiply would wrap to 0
+      0x13B13B14,  // count * 13 just past 2^32 for the response stride
+      0xFFFFFFFF,  // worst case: full-range count on a tiny payload
+  };
+  for (const std::uint32_t count : hostile_counts) {
+    EXPECT_EQ(decode_patched(patch_count(request_frame, kHeaderSize, count)),
+              DecodeStatus::kBadPayload)
+        << "request count " << count;
+    EXPECT_EQ(
+        decode_patched(patch_count(response_frame, kHeaderSize + 12, count)),
+        DecodeStatus::kBadPayload)
+        << "response count " << count;
+  }
+
+  // The count field can also claim more elements than the (valid-length)
+  // payload holds after a truncation that fixes up payload_len — the
+  // "count larger than payload" attack. Exact tiling rejects it too.
+  for (std::size_t cut = kHeaderSize; cut < request_frame.size(); ++cut) {
+    auto short_frame = std::vector<std::uint8_t>(request_frame.begin(),
+                                                 request_frame.begin() +
+                                                     static_cast<long>(cut));
+    const auto payload_len = static_cast<std::uint32_t>(cut - kHeaderSize);
+    short_frame[16] = static_cast<std::uint8_t>(payload_len);
+    short_frame[17] = static_cast<std::uint8_t>(payload_len >> 8);
+    short_frame[18] = 0;
+    short_frame[19] = 0;
+    EXPECT_NE(decode_patched(short_frame), DecodeStatus::kOk)
+        << "cut " << cut;
   }
 }
 

@@ -187,6 +187,121 @@ TEST(WireCodec, StatsRoundTripCarriesEveryCounter) {
   EXPECT_EQ(out.batches, 19u);
 }
 
+TEST(WireCodec, BatchRouteRoundTrip) {
+  BatchRouteRequest req;
+  req.pairs = {{0, 9999}, {42, -0}, {7, 7}};
+  std::vector<std::uint8_t> bytes;
+  encode_batch_route_request(bytes, 11, req);
+  const auto f = split(bytes);
+  EXPECT_EQ(f.header.type, MsgType::kBatchRoute);
+  EXPECT_FALSE(f.header.response);
+  EXPECT_EQ(f.header.payload_len, 4u + 3u * 8u);
+  const auto decoded = decode_request(f.header, f.payload);
+  ASSERT_EQ(decoded.status, DecodeStatus::kOk);
+  const auto& out_req = std::get<BatchRouteRequest>(decoded.request);
+  ASSERT_EQ(out_req.pairs.size(), 3u);
+  EXPECT_EQ(out_req.pairs[0].src, 0);
+  EXPECT_EQ(out_req.pairs[0].dst, 9999);
+  EXPECT_EQ(out_req.pairs[1].src, 42);
+  EXPECT_EQ(out_req.pairs[2].dst, 7);
+
+  BatchRouteResponse resp;
+  resp.epoch = -3;
+  resp.publish_seq = 1ull << 33;
+  resp.entries = {{1, 17, 3.25}, {0, -1, 0.0}, {1, 0, 0.5}};
+  bytes.clear();
+  encode_batch_route_response(bytes, 11, resp);
+  const auto rf = split(bytes);
+  EXPECT_TRUE(rf.header.response);
+  EXPECT_EQ(rf.header.payload_len, 4u + 8u + 4u + 3u * 13u);
+  const auto rd = decode_response(rf.header, rf.payload);
+  ASSERT_EQ(rd.status, DecodeStatus::kOk);
+  const auto& out = std::get<BatchRouteResponse>(rd.response);
+  EXPECT_EQ(out.epoch, -3);
+  EXPECT_EQ(out.publish_seq, 1ull << 33);
+  ASSERT_EQ(out.entries.size(), 3u);
+  EXPECT_EQ(out.entries[0].reachable, 1);
+  EXPECT_EQ(out.entries[0].next_hop, 17);
+  EXPECT_DOUBLE_EQ(out.entries[0].cost, 3.25);
+  EXPECT_EQ(out.entries[1].reachable, 0);
+  EXPECT_EQ(out.entries[1].next_hop, -1);
+}
+
+TEST(WireCodec, EmptyBatchRouteRejectedBothDirections) {
+  std::vector<std::uint8_t> bytes;
+  encode_batch_route_request(bytes, 1, BatchRouteRequest{});
+  const auto f = split(bytes);
+  EXPECT_EQ(decode_request(f.header, f.payload).status,
+            DecodeStatus::kBadPayload);
+  bytes.clear();
+  encode_batch_route_response(bytes, 1, BatchRouteResponse{});
+  const auto rf = split(bytes);
+  EXPECT_EQ(decode_response(rf.header, rf.payload).status,
+            DecodeStatus::kBadPayload);
+}
+
+TEST(WireCodec, StatsPerLoopBreakdownRoundTrips) {
+  StatsResponse resp;
+  resp.frames_out = 100;
+  resp.per_loop.resize(3);
+  resp.per_loop[0].frames_out = 60;
+  resp.per_loop[1].frames_out = 40;
+  resp.per_loop[1].connections_accepted = 5;
+  resp.per_loop[2].batches = 7;
+  resp.per_loop[2].bytes_in = 123456;
+  std::vector<std::uint8_t> bytes;
+  encode_stats_response(bytes, 8, resp);
+  const auto f = split(bytes);
+  const auto rd = decode_response(f.header, f.payload);
+  ASSERT_EQ(rd.status, DecodeStatus::kOk);
+  const auto& out = std::get<StatsResponse>(rd.response);
+  ASSERT_EQ(out.per_loop.size(), 3u);
+  EXPECT_EQ(out.per_loop[0].frames_out, 60u);
+  EXPECT_EQ(out.per_loop[1].frames_out, 40u);
+  EXPECT_EQ(out.per_loop[1].connections_accepted, 5u);
+  EXPECT_EQ(out.per_loop[2].batches, 7u);
+  EXPECT_EQ(out.per_loop[2].bytes_in, 123456u);
+}
+
+TEST(WireCodec, V1StatsFramesStillParseWithEmptyPerLoop) {
+  // A v1 peer's STATS frame is the frozen 22-field prefix with no per-loop
+  // appendix: build one by stripping the (empty) appendix off a v2 frame
+  // and stamping version 1. The 22 shared fields must decode unchanged.
+  StatsResponse resp;
+  resp.node_count = 777;
+  resp.batches = 19;
+  std::vector<std::uint8_t> bytes;
+  encode_stats_response(bytes, 4, resp);
+  bytes.resize(bytes.size() - 4);  // drop the u32 loop_count == 0
+  bytes[4] = 1;                    // version byte
+  const auto new_len = static_cast<std::uint32_t>(bytes.size() - kHeaderSize);
+  bytes[16] = static_cast<std::uint8_t>(new_len);
+  bytes[17] = static_cast<std::uint8_t>(new_len >> 8);
+  bytes[18] = static_cast<std::uint8_t>(new_len >> 16);
+  bytes[19] = static_cast<std::uint8_t>(new_len >> 24);
+  const auto hd = decode_header(bytes);
+  ASSERT_EQ(hd.status, DecodeStatus::kOk);
+  EXPECT_EQ(hd.header.version, 1);
+  const auto rd = decode_response(
+      hd.header, std::span<const std::uint8_t>(bytes).subspan(kHeaderSize));
+  ASSERT_EQ(rd.status, DecodeStatus::kOk);
+  const auto& out = std::get<StatsResponse>(rd.response);
+  EXPECT_EQ(out.node_count, 777u);
+  EXPECT_EQ(out.batches, 19u);
+  EXPECT_TRUE(out.per_loop.empty());
+
+  // The same bytes with version 2 claim a per-loop appendix that is not
+  // there — rejected, not misparsed.
+  bytes[4] = kVersion;
+  const auto hd2 = decode_header(bytes);
+  ASSERT_EQ(hd2.status, DecodeStatus::kOk);
+  EXPECT_EQ(decode_response(hd2.header,
+                            std::span<const std::uint8_t>(bytes).subspan(
+                                kHeaderSize))
+                .status,
+            DecodeStatus::kBadPayload);
+}
+
 TEST(WireCodec, ErrorRoundTrip) {
   ErrorResponse resp;
   resp.code = static_cast<std::uint16_t>(ErrorCode::kOutOfRange);
@@ -230,6 +345,32 @@ TEST(WireHeader, BadVersionRejected) {
   auto bytes = valid_frame();
   bytes[4] = kVersion + 1;
   EXPECT_EQ(decode_header(bytes).status, DecodeStatus::kBadVersion);
+  bytes[4] = 0;  // below kMinVersion
+  EXPECT_EQ(decode_header(bytes).status, DecodeStatus::kBadVersion);
+}
+
+TEST(WireHeader, WholeVersionRangeAccepted) {
+  // v2 receivers speak to v1 peers: every version in [kMinVersion,
+  // kVersion] passes the header check and is reported back verbatim.
+  for (std::uint8_t version = kMinVersion; version <= kVersion; ++version) {
+    auto bytes = valid_frame();
+    bytes[4] = version;
+    const auto hd = decode_header(bytes);
+    EXPECT_EQ(hd.status, DecodeStatus::kOk) << "version " << int{version};
+    EXPECT_EQ(hd.header.version, version);
+  }
+}
+
+TEST(WireHeader, BatchRouteIsV2Only) {
+  // A v1 peer never learned BATCH_ROUTE; a v1-stamped batch frame gets
+  // the same kBadType that peer would produce itself.
+  std::vector<std::uint8_t> bytes;
+  BatchRouteRequest req;
+  req.pairs = {{1, 2}};
+  encode_batch_route_request(bytes, 3, req);
+  ASSERT_EQ(decode_header(bytes).status, DecodeStatus::kOk);
+  bytes[4] = 1;
+  EXPECT_EQ(decode_header(bytes).status, DecodeStatus::kBadType);
 }
 
 TEST(WireHeader, UnknownTypeRejected) {
